@@ -1,0 +1,291 @@
+//! LabelRankT — incremental label-distribution propagation.
+//!
+//! Xie, Chen & Szymanski, "LabelRankT: incremental community detection in
+//! dynamic networks via label propagation" (DyNetMM 2013) — the paper's
+//! reference \[12\], dismissed in §I because it "cannot guarantee the result
+//! given by incremental updating is of equal quality compared to the
+//! result calculated from scratch". We implement it so that claim can be
+//! *measured* (see `repro abl-dyn`): unlike rSLPA's Correction
+//! Propagation, LabelRankT's conditional update freezes stale state, and
+//! its incremental runs drift from scratch runs.
+//!
+//! The static algorithm (LabelRank) keeps a label probability distribution
+//! per vertex and iterates four operators: propagation (average of
+//! neighbors, with a self-loop), inflation (element-wise power), cutoff
+//! (drop tiny probabilities), and conditional update (a vertex only
+//! changes if too few neighbors already agree with it). The dynamic
+//! variant re-activates only vertices touched by edits.
+
+use rslpa_graph::{AdjacencyGraph, Cover, EditBatch, FxHashMap, FxHashSet, Label, VertexId};
+
+/// LabelRankT parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LabelRankConfig {
+    /// Inflation exponent (reference implementation: 2).
+    pub inflation: f64,
+    /// Cutoff threshold `r`: labels with probability below it are dropped.
+    pub cutoff: f64,
+    /// Conditional-update fraction `q`: a vertex updates only if fewer
+    /// than `q·deg` neighbors share its maximal label set.
+    pub q: f64,
+    /// Maximum iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for LabelRankConfig {
+    fn default() -> Self {
+        Self { inflation: 2.0, cutoff: 0.1, q: 0.6, max_iterations: 50 }
+    }
+}
+
+/// Sparse label distribution: sorted `(label, probability)` pairs.
+type Dist = Vec<(Label, f64)>;
+
+/// A LabelRankT detector with persistent per-vertex distributions.
+#[derive(Clone, Debug)]
+pub struct LabelRankT {
+    config: LabelRankConfig,
+    dists: Vec<Dist>,
+}
+
+impl LabelRankT {
+    /// Initialize and run the static algorithm on `graph`.
+    pub fn new(graph: &AdjacencyGraph, config: LabelRankConfig) -> Self {
+        let n = graph.num_vertices();
+        let mut this = Self { config, dists: (0..n as Label).map(|v| vec![(v, 1.0)]).collect() };
+        let all: Vec<VertexId> = (0..n as VertexId).collect();
+        this.iterate(graph, &all);
+        this
+    }
+
+    /// Apply an edit batch incrementally: only vertices incident to edits
+    /// (and, transitively, vertices destabilized by them) are re-run.
+    /// This is LabelRankT's selective update — the part that trades
+    /// quality for speed.
+    pub fn apply_batch(&mut self, graph_after: &AdjacencyGraph, batch: &EditBatch) {
+        let n = graph_after.num_vertices();
+        if self.dists.len() < n {
+            self.dists.extend((self.dists.len() as Label..n as Label).map(|v| vec![(v, 1.0)]));
+        }
+        let mut touched: FxHashSet<VertexId> = FxHashSet::default();
+        for &(u, v) in batch.insertions().iter().chain(batch.deletions()) {
+            touched.insert(u);
+            touched.insert(v);
+        }
+        // Reset touched vertices to their own label and re-run locally.
+        for &v in &touched {
+            self.dists[v as usize] = vec![(v, 1.0)];
+        }
+        let mut active: Vec<VertexId> = touched.into_iter().collect();
+        active.sort_unstable();
+        self.iterate(graph_after, &active);
+    }
+
+    /// Run the operator loop, activating `seed` vertices; an updated
+    /// vertex re-activates its neighbors for the next sweep.
+    fn iterate(&mut self, graph: &AdjacencyGraph, seed: &[VertexId]) {
+        let mut active: FxHashSet<VertexId> = seed.iter().copied().collect();
+        for _iter in 0..self.config.max_iterations {
+            if active.is_empty() {
+                break;
+            }
+            let mut order: Vec<VertexId> = active.iter().copied().collect();
+            order.sort_unstable(); // deterministic sweeps
+            let mut next_active: FxHashSet<VertexId> = FxHashSet::default();
+            let mut new_dists: Vec<(VertexId, Dist)> = Vec::with_capacity(order.len());
+            for &v in &order {
+                let nbrs = graph.neighbors(v);
+                if nbrs.is_empty() {
+                    continue;
+                }
+                if !self.should_update(v, nbrs) {
+                    continue;
+                }
+                let propagated = self.propagate(v, nbrs);
+                let inflated = inflate_and_cut(propagated, self.config.inflation, self.config.cutoff);
+                if inflated != self.dists[v as usize] {
+                    new_dists.push((v, inflated));
+                }
+            }
+            if new_dists.is_empty() {
+                break;
+            }
+            for (v, d) in new_dists {
+                self.dists[v as usize] = d;
+                next_active.insert(v);
+                for &u in graph.neighbors(v) {
+                    next_active.insert(u);
+                }
+            }
+            active = next_active;
+        }
+    }
+
+    /// Conditional update test: update only if fewer than `q·deg`
+    /// neighbors have a maximal-label set contained in ours.
+    fn should_update(&self, v: VertexId, nbrs: &[VertexId]) -> bool {
+        let mine = max_labels(&self.dists[v as usize]);
+        let agreeing = nbrs
+            .iter()
+            .filter(|&&u| {
+                let theirs = max_labels(&self.dists[u as usize]);
+                theirs.iter().all(|l| mine.binary_search(l).is_ok())
+            })
+            .count();
+        (agreeing as f64) < self.config.q * nbrs.len() as f64
+    }
+
+    /// Propagation operator: average neighbor distributions plus a
+    /// self-loop term.
+    fn propagate(&self, v: VertexId, nbrs: &[VertexId]) -> Dist {
+        let mut acc: FxHashMap<Label, f64> = FxHashMap::default();
+        let weight = 1.0 / (nbrs.len() + 1) as f64;
+        for &u in nbrs.iter().chain(std::iter::once(&v)) {
+            for &(l, p) in &self.dists[u as usize] {
+                *acc.entry(l).or_insert(0.0) += p * weight;
+            }
+        }
+        let mut out: Dist = acc.into_iter().collect();
+        out.sort_unstable_by_key(|&(l, _)| l);
+        out
+    }
+
+    /// Extract communities: vertices grouped by their maximal label(s);
+    /// ties produce overlap.
+    pub fn communities(&self) -> Cover {
+        let mut by_label: FxHashMap<Label, Vec<VertexId>> = FxHashMap::default();
+        for (v, dist) in self.dists.iter().enumerate() {
+            for l in max_labels(dist) {
+                by_label.entry(l).or_default().push(v as VertexId);
+            }
+        }
+        Cover::new(by_label.into_values())
+    }
+
+    /// The current distribution of a vertex (diagnostics).
+    pub fn distribution(&self, v: VertexId) -> &[(Label, f64)] {
+        &self.dists[v as usize]
+    }
+}
+
+/// Labels achieving the maximum probability (sorted).
+fn max_labels(dist: &Dist) -> Vec<Label> {
+    let max = dist.iter().map(|&(_, p)| p).fold(f64::NEG_INFINITY, f64::max);
+    let mut out: Vec<Label> =
+        dist.iter().filter(|&&(_, p)| p >= max - 1e-12).map(|&(l, _)| l).collect();
+    out.sort_unstable();
+    out
+}
+
+/// Inflation + cutoff + renormalization.
+fn inflate_and_cut(dist: Dist, inflation: f64, cutoff: f64) -> Dist {
+    let mut inflated: Dist = dist.into_iter().map(|(l, p)| (l, p.powf(inflation))).collect();
+    let sum: f64 = inflated.iter().map(|&(_, p)| p).sum();
+    if sum <= 0.0 {
+        return inflated;
+    }
+    for (_, p) in inflated.iter_mut() {
+        *p /= sum;
+    }
+    // Cutoff relative to the renormalized mass; always keep the max.
+    let max = inflated.iter().map(|&(_, p)| p).fold(f64::NEG_INFINITY, f64::max);
+    inflated.retain(|&(_, p)| p >= cutoff || p >= max - 1e-12);
+    let sum: f64 = inflated.iter().map(|&(_, p)| p).sum();
+    for (_, p) in inflated.iter_mut() {
+        *p /= sum;
+    }
+    inflated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cliques() -> AdjacencyGraph {
+        let mut g = AdjacencyGraph::new(8);
+        for base in [0u32, 4] {
+            for i in base..base + 4 {
+                for j in (i + 1)..base + 4 {
+                    g.insert_edge(i, j);
+                }
+            }
+        }
+        g.insert_edge(3, 4);
+        g
+    }
+
+    #[test]
+    fn static_run_finds_cliques() {
+        let lr = LabelRankT::new(&two_cliques(), LabelRankConfig::default());
+        let cover = lr.communities();
+        // The two cliques should map to (at most a few) communities with
+        // the left and right cores separated.
+        let of = |v: u32| {
+            cover
+                .communities()
+                .iter()
+                .position(|c| c.contains(&v))
+                .expect("covered")
+        };
+        assert_eq!(of(0), of(1));
+        assert_eq!(of(0), of(2));
+        assert_eq!(of(5), of(6));
+        assert_eq!(of(5), of(7));
+        assert_ne!(of(0), of(6), "cliques must separate: {:?}", cover.communities());
+    }
+
+    #[test]
+    fn distributions_are_normalized() {
+        let lr = LabelRankT::new(&two_cliques(), LabelRankConfig::default());
+        for v in 0..8u32 {
+            let sum: f64 = lr.distribution(v).iter().map(|&(_, p)| p).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "vertex {v} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn incremental_update_is_local() {
+        let g = two_cliques();
+        let mut lr = LabelRankT::new(&g, LabelRankConfig::default());
+        let before: Vec<_> = (0..8u32).map(|v| lr.distribution(v).to_vec()).collect();
+        // Edit inside the right clique; the left clique's interior (vertex
+        // 0, two hops from the edit) usually keeps its state — that
+        // locality is LabelRankT's selling point *and* its weakness.
+        let mut g2 = g.clone();
+        g2.remove_edge(5, 6);
+        let batch = EditBatch::from_lists([], [(5, 6)]);
+        lr.apply_batch(&g2, &batch);
+        assert_eq!(lr.distribution(0), &before[0][..], "far vertex untouched");
+    }
+
+    #[test]
+    fn handles_deletions_without_panicking() {
+        // (Unlike iLCD, LabelRankT accepts deletions; the paper's §I
+        // criticism is about quality, not capability.)
+        let g = two_cliques();
+        let mut lr = LabelRankT::new(&g, LabelRankConfig::default());
+        let mut g2 = g.clone();
+        g2.remove_edge(3, 4);
+        lr.apply_batch(&g2, &EditBatch::from_lists([], [(3, 4)]));
+        let cover = lr.communities();
+        assert!(!cover.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = two_cliques();
+        let a = LabelRankT::new(&g, LabelRankConfig::default()).communities();
+        let b = LabelRankT::new(&g, LabelRankConfig::default()).communities();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn inflate_and_cut_keeps_max_and_normalizes() {
+        let d = vec![(1, 0.7), (2, 0.25), (3, 0.05)];
+        let out = inflate_and_cut(d, 2.0, 0.1);
+        assert_eq!(out[0].0, 1);
+        let sum: f64 = out.iter().map(|&(_, p)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(!out.iter().any(|&(l, _)| l == 3), "tiny label cut");
+    }
+}

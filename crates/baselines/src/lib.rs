@@ -1,0 +1,34 @@
+//! Baseline algorithms and analytic voting tools.
+//!
+//! * [`slpa`] — the Speaker–Listener Label Propagation Algorithm (Xie &
+//!   Szymanski, PAKDD 2012 — the paper's \[10\]), the algorithm rSLPA is
+//!   measured against in Figs. 7–8. Both a centralized implementation and
+//!   a BSP vertex program (the parallelized SLPA of \[15\], ported to the
+//!   message-passing model) with identical semantics.
+//! * [`lpa`] — the classic single-label propagation of Raghavan et al.
+//!   (the paper's \[23\]); disjoint communities only, used as a sanity
+//!   baseline in ablations.
+//! * [`voting`] — exact win-probability calculators for plurality voting
+//!   and uniform picking, reproducing Figs. 2–3 and Theorem 1 numerically.
+//!
+//! Two further dynamic-graph baselines from the paper's §I/related work
+//! are provided for head-to-head experiments:
+//!
+//! * [`labelrankt`] — LabelRankT \[12\], whose incremental updates are *not*
+//!   guaranteed to match scratch quality (measured in `repro abl-dyn`);
+//! * [`ilcd`] — a simplified iLCD \[11\], whose insertion-only nature is
+//!   encoded in its API (no deletion method exists).
+
+pub mod ilcd;
+pub mod labelrankt;
+pub mod lpa;
+pub mod slpa;
+pub mod slpa_bsp;
+pub mod voting;
+
+pub use ilcd::{ILcd, ILcdConfig};
+pub use labelrankt::{LabelRankConfig, LabelRankT};
+pub use lpa::{run_lpa, LpaConfig};
+pub use slpa::{extract_cover, run_slpa, SlpaConfig, SlpaResult};
+pub use slpa_bsp::SlpaProgram;
+pub use voting::{plurality_win_distribution, uniform_distribution, voting_distribution};

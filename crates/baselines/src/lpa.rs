@@ -1,0 +1,139 @@
+//! Classic (disjoint) Label Propagation — Raghavan et al. 2007.
+//!
+//! The ancestor of SLPA (paper §VI: "can only detect disjoint
+//! communities"); each vertex holds one label and adopts its neighborhood's
+//! plurality label each round. Kept as a cheap sanity baseline for
+//! ablations and tests.
+
+use rslpa_graph::rng::{PickKey, Stream};
+use rslpa_graph::{AdjacencyGraph, FxHashMap, Label, VertexId};
+
+/// LPA configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LpaConfig {
+    /// Maximum sweeps (synchronous LPA can oscillate; a cap is required).
+    pub max_iterations: usize,
+    /// RNG seed for tie-breaking.
+    pub seed: u64,
+}
+
+impl Default for LpaConfig {
+    fn default() -> Self {
+        Self { max_iterations: 100, seed: 42 }
+    }
+}
+
+/// Run synchronous LPA; returns per-vertex labels (community = equal label).
+pub fn run_lpa(graph: &AdjacencyGraph, config: &LpaConfig) -> Vec<Label> {
+    let n = graph.num_vertices();
+    let mut labels: Vec<Label> = (0..n as Label).collect();
+    let mut next = labels.clone();
+    let mut counts: FxHashMap<Label, u32> = FxHashMap::default();
+    for t in 1..=config.max_iterations as u32 {
+        let mut changed = false;
+        for v in 0..n as VertexId {
+            let nbrs = graph.neighbors(v);
+            if nbrs.is_empty() {
+                continue;
+            }
+            counts.clear();
+            let mut max = 0u32;
+            for &u in nbrs {
+                let c = counts.entry(labels[u as usize]).or_insert(0);
+                *c += 1;
+                max = max.max(*c);
+            }
+            let mut tied: Vec<Label> = counts
+                .iter()
+                .filter(|(_, &c)| c == max)
+                .map(|(&l, _)| l)
+                .collect();
+            tied.sort_unstable();
+            // Prefer keeping the current label on ties (standard damping
+            // that prevents two-coloring oscillation on bipartite graphs).
+            let new = if tied.contains(&labels[v as usize]) {
+                labels[v as usize]
+            } else {
+                let key = PickKey::new(config.seed, v, t);
+                tied[key.bounded(Stream::VoteTie, tied.len() as u64) as usize]
+            };
+            if new != labels[v as usize] {
+                changed = true;
+            }
+            next[v as usize] = new;
+        }
+        std::mem::swap(&mut labels, &mut next);
+        if !changed {
+            break;
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_cliques_get_two_labels() {
+        let mut g = AdjacencyGraph::new(8);
+        for base in [0u32, 4] {
+            for i in base..base + 4 {
+                for j in (i + 1)..base + 4 {
+                    g.insert_edge(i, j);
+                }
+            }
+        }
+        g.insert_edge(3, 4);
+        let labels = run_lpa(&g, &LpaConfig::default());
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[4], labels[5]);
+        assert_eq!(labels[4], labels[7]);
+    }
+
+    #[test]
+    fn clique_converges_to_one_label() {
+        let mut g = AdjacencyGraph::new(5);
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                g.insert_edge(i, j);
+            }
+        }
+        let labels = run_lpa(&g, &LpaConfig::default());
+        assert!(labels.iter().all(|&l| l == labels[0]));
+    }
+
+    #[test]
+    fn isolated_vertices_keep_labels() {
+        let g = AdjacencyGraph::new(3);
+        let labels = run_lpa(&g, &LpaConfig::default());
+        assert_eq!(labels, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut g = AdjacencyGraph::new(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3)] {
+            g.insert_edge(u, v);
+        }
+        let a = run_lpa(&g, &LpaConfig::default());
+        let b = run_lpa(&g, &LpaConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bipartite_does_not_oscillate_forever() {
+        // K_{3,3}: classic synchronous-LPA oscillator; the keep-current
+        // damping must let it converge to a single label.
+        let mut g = AdjacencyGraph::new(6);
+        for u in 0..3u32 {
+            for v in 3..6u32 {
+                g.insert_edge(u, v);
+            }
+        }
+        let labels = run_lpa(&g, &LpaConfig { max_iterations: 50, seed: 1 });
+        let distinct: std::collections::HashSet<_> = labels.iter().collect();
+        assert!(distinct.len() <= 2, "should settle, got {labels:?}");
+    }
+}

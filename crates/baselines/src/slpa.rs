@@ -1,0 +1,292 @@
+//! SLPA: the Speaker–Listener Label Propagation Algorithm (paper §II-B).
+//!
+//! The *synchronous* formulation used by the parallelized SLPA the paper
+//! compares against (\[15\]): per iteration, every vertex receives one label
+//! from each neighbor (the speaker uniformly picks one from its memory),
+//! appends the plurality winner (ties broken uniformly), and after `T`
+//! iterations labels below the frequency threshold `τ` are filtered out;
+//! surviving labels define (overlapping) communities.
+//!
+//! All randomness is addressed through [`PickKey`]s, which makes this
+//! implementation bit-identical to the BSP vertex program in
+//! [`crate::slpa_bsp`] — asserted by tests.
+
+use rslpa_graph::rng::{PickKey, Stream};
+use rslpa_graph::{AdjacencyGraph, Cover, FxHashMap, Label, VertexId};
+
+/// SLPA configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SlpaConfig {
+    /// Label-propagation iterations `T` (paper: 100).
+    pub iterations: usize,
+    /// Post-processing frequency threshold `τ` (paper: 0.2 ≈ 1/om).
+    pub threshold: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SlpaConfig {
+    fn default() -> Self {
+        Self { iterations: 100, threshold: 0.2, seed: 42 }
+    }
+}
+
+/// Output of an SLPA run.
+#[derive(Clone, Debug)]
+pub struct SlpaResult {
+    /// Per-vertex label memories of length `T + 1`.
+    pub memories: Vec<Vec<Label>>,
+    /// Communities extracted by thresholding.
+    pub cover: Cover,
+}
+
+/// The label a speaker `u` sends to listener `v` at iteration `t`
+/// (uniform over `u`'s memory, which has length `t` at that point).
+#[inline]
+pub(crate) fn speaker_pick(seed: u64, u: VertexId, v: VertexId, t: u32, memory: &[Label]) -> Label {
+    let key = PickKey { seed, vertex: u, iteration: t, epoch: v };
+    memory[key.bounded(Stream::Src, memory.len() as u64) as usize]
+}
+
+/// Plurality winner of `received` for listener `v` at iteration `t`;
+/// ties broken uniformly (deterministic through the key).
+pub(crate) fn listener_select(
+    seed: u64,
+    v: VertexId,
+    t: u32,
+    received: &[Label],
+    counts: &mut FxHashMap<Label, u32>,
+) -> Option<Label> {
+    if received.is_empty() {
+        return None;
+    }
+    counts.clear();
+    let mut max = 0u32;
+    for &l in received {
+        let c = counts.entry(l).or_insert(0);
+        *c += 1;
+        max = max.max(*c);
+    }
+    let mut tied: Vec<Label> = counts
+        .iter()
+        .filter(|(_, &c)| c == max)
+        .map(|(&l, _)| l)
+        .collect();
+    tied.sort_unstable(); // canonical order before the random tie-break
+    let key = PickKey::new(seed, v, t);
+    Some(tied[key.bounded(Stream::VoteTie, tied.len() as u64) as usize])
+}
+
+/// Run synchronous SLPA on a static graph.
+pub fn run_slpa(graph: &AdjacencyGraph, config: &SlpaConfig) -> SlpaResult {
+    let n = graph.num_vertices();
+    let mut memories: Vec<Vec<Label>> = (0..n as VertexId)
+        .map(|v| {
+            let mut m = Vec::with_capacity(config.iterations + 1);
+            m.push(v);
+            m
+        })
+        .collect();
+    let mut received: Vec<Label> = Vec::new();
+    let mut appended: Vec<Label> = vec![0; n];
+    let mut counts: FxHashMap<Label, u32> = FxHashMap::default();
+    for t in 1..=config.iterations as u32 {
+        for v in 0..n as VertexId {
+            received.clear();
+            for &u in graph.neighbors(v) {
+                received.push(speaker_pick(config.seed, u, v, t, &memories[u as usize]));
+            }
+            // Isolated vertices keep repeating their own label so memory
+            // lengths stay aligned across the graph.
+            appended[v as usize] = listener_select(config.seed, v, t, &received, &mut counts)
+                .unwrap_or(memories[v as usize][0]);
+        }
+        for v in 0..n {
+            memories[v].push(appended[v]);
+        }
+    }
+    let cover = extract_cover(&memories, config.threshold);
+    SlpaResult { memories, cover }
+}
+
+/// The labels a vertex retains after thresholding: frequency `≥ threshold`
+/// of the memory length, falling back to the single most frequent label
+/// (smallest id on ties) when nothing survives — reference-implementation
+/// behaviour. Shared by the centralized and distributed extraction paths.
+pub fn kept_labels(memory: &[Label], threshold: f64) -> Vec<Label> {
+    let mut counts: FxHashMap<Label, u32> = FxHashMap::default();
+    for &l in memory {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    let min_count = (threshold * memory.len() as f64).ceil() as u32;
+    let mut kept: Vec<Label> = counts
+        .iter()
+        .filter(|(_, &c)| c >= min_count)
+        .map(|(&l, _)| l)
+        .collect();
+    if kept.is_empty() {
+        let (&l, _) = counts
+            .iter()
+            .max_by_key(|(&l, &c)| (c, std::cmp::Reverse(l)))
+            .expect("memory is never empty");
+        kept.push(l);
+    }
+    kept.sort_unstable();
+    kept
+}
+
+/// SLPA post-processing: per vertex, keep labels whose frequency in the
+/// memory is `≥ threshold`; each surviving label names a community formed
+/// by all vertices that kept it. Communities that are subsets of others
+/// are dropped.
+pub fn extract_cover(memories: &[Vec<Label>], threshold: f64) -> Cover {
+    let mut by_label: FxHashMap<Label, Vec<VertexId>> = FxHashMap::default();
+    for (v, memory) in memories.iter().enumerate() {
+        for l in kept_labels(memory, threshold) {
+            by_label.entry(l).or_default().push(v as VertexId);
+        }
+    }
+    let mut communities: Vec<Vec<VertexId>> = by_label.into_values().collect();
+    for c in communities.iter_mut() {
+        c.sort_unstable();
+    }
+    // Subset removal: sort by size descending; a community is kept only if
+    // it is not contained in an already-kept one.
+    communities.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    let mut kept: Vec<Vec<VertexId>> = Vec::with_capacity(communities.len());
+    'outer: for c in communities {
+        for k in &kept {
+            if is_subset(&c, k) {
+                continue 'outer;
+            }
+        }
+        kept.push(c);
+    }
+    Cover::new(kept)
+}
+
+/// `a ⊆ b` for sorted slices.
+fn is_subset(a: &[VertexId], b: &[VertexId]) -> bool {
+    if a.len() > b.len() {
+        return false;
+    }
+    let mut i = 0;
+    for &x in a {
+        // Advance in b; both sorted.
+        while i < b.len() && b[i] < x {
+            i += 1;
+        }
+        if i == b.len() || b[i] != x {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cliques() -> AdjacencyGraph {
+        // Two K4s joined by a single bridge.
+        let mut g = AdjacencyGraph::new(8);
+        for base in [0u32, 4] {
+            for i in base..base + 4 {
+                for j in (i + 1)..base + 4 {
+                    g.insert_edge(i, j);
+                }
+            }
+        }
+        g.insert_edge(3, 4);
+        g
+    }
+
+    #[test]
+    fn memories_have_t_plus_one_labels() {
+        let g = two_cliques();
+        let r = run_slpa(&g, &SlpaConfig { iterations: 30, ..Default::default() });
+        for m in &r.memories {
+            assert_eq!(m.len(), 31);
+        }
+    }
+
+    #[test]
+    fn detects_two_cliques() {
+        let g = two_cliques();
+        let r = run_slpa(&g, &SlpaConfig { iterations: 100, threshold: 0.3, seed: 1 });
+        // Expect (at least) two communities, one containing 0..3, other 4..7.
+        let has_left = r.cover.communities().iter().any(|c| [0u32, 1, 2].iter().all(|v| c.contains(v)));
+        let has_right = r.cover.communities().iter().any(|c| [5u32, 6, 7].iter().all(|v| c.contains(v)));
+        assert!(has_left && has_right, "cover was {:?}", r.cover.communities());
+    }
+
+    #[test]
+    fn fig1_label_selection_semantics() {
+        // Paper Fig. 1: received (1,1,2,2,3) — labels 1 and 2 tie at
+        // frequency 2; one of them must win, never 3.
+        let mut counts = FxHashMap::default();
+        let mut winners = std::collections::HashSet::new();
+        for seed in 0..64 {
+            let w = listener_select(seed, 0, 1, &[1, 1, 2, 2, 3], &mut counts).unwrap();
+            assert!(w == 1 || w == 2, "label 3 can never win");
+            winners.insert(w);
+        }
+        assert_eq!(winners.len(), 2, "both tied labels win under some seed");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = two_cliques();
+        let a = run_slpa(&g, &SlpaConfig { seed: 5, iterations: 50, ..Default::default() });
+        let b = run_slpa(&g, &SlpaConfig { seed: 5, iterations: 50, ..Default::default() });
+        assert_eq!(a.memories, b.memories);
+        let c = run_slpa(&g, &SlpaConfig { seed: 6, iterations: 50, ..Default::default() });
+        assert_ne!(a.memories, c.memories);
+    }
+
+    #[test]
+    fn isolated_vertex_keeps_own_label() {
+        let mut g = AdjacencyGraph::new(3);
+        g.insert_edge(0, 1);
+        let r = run_slpa(&g, &SlpaConfig { iterations: 10, ..Default::default() });
+        assert!(r.memories[2].iter().all(|&l| l == 2));
+    }
+
+    #[test]
+    fn extract_cover_threshold_filters() {
+        // Vertex 0 memory: 8×a + 2×b; τ=0.3 keeps only a.
+        let memories = vec![vec![7, 7, 7, 7, 7, 7, 7, 7, 9, 9], vec![7; 10]];
+        let cover = extract_cover(&memories, 0.3);
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover.communities()[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn extract_cover_keeps_most_frequent_when_all_below() {
+        let memories = vec![vec![1, 2, 3, 4, 5]]; // all at 0.2 < τ=0.5
+        let cover = extract_cover(&memories, 0.5);
+        assert_eq!(cover.len(), 1, "fallback to most frequent label");
+    }
+
+    #[test]
+    fn subset_communities_removed() {
+        // Label 1 community {0,1,2}; label 2 community {0,1} ⊂ it.
+        let memories = vec![
+            vec![1, 1, 2, 2],
+            vec![1, 1, 2, 2],
+            vec![1, 1, 1, 1],
+        ];
+        let cover = extract_cover(&memories, 0.4);
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover.communities()[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn is_subset_cases() {
+        assert!(is_subset(&[1, 3], &[0, 1, 2, 3]));
+        assert!(!is_subset(&[1, 4], &[0, 1, 2, 3]));
+        assert!(is_subset(&[], &[0]));
+        assert!(!is_subset(&[0, 1], &[0]));
+    }
+}

@@ -1,0 +1,212 @@
+//! SLPA as a BSP vertex program.
+//!
+//! One superstep per SLPA iteration: at superstep `s` every vertex appends
+//! the plurality winner of the labels received from its neighbors (sent at
+//! `s − 1`) and speaks for iteration `s + 1`. Message complexity is the
+//! paper's headline cost for SLPA: **two labels per edge per iteration**
+//! (each endpoint speaks to the other), versus rSLPA's one per vertex —
+//! the bench harness measures exactly this difference.
+//!
+//! Identical pick semantics to [`crate::slpa::run_slpa`] (the same
+//! [`PickKey`](rslpa_graph::rng::PickKey) addressing), so memories agree
+//! bit-for-bit with the centralized run.
+
+use rslpa_distsim::{Ctx, VertexProgram};
+use rslpa_graph::{FxHashMap, Label, VertexId};
+
+use crate::slpa::{listener_select, speaker_pick, SlpaConfig};
+
+/// BSP SLPA program; per-vertex state is the label memory.
+pub struct SlpaProgram {
+    /// Shared configuration.
+    pub config: SlpaConfig,
+}
+
+impl SlpaProgram {
+    fn speak(&self, ctx: &mut Ctx<'_, Label>, memory: &[Label], t: u32) {
+        let me = ctx.vertex();
+        for &v in ctx.neighbors() {
+            ctx.send(v, speaker_pick(self.config.seed, me, v, t, memory));
+        }
+    }
+}
+
+impl VertexProgram for SlpaProgram {
+    type Msg = Label;
+    type State = Vec<Label>;
+
+    fn init(&self, ctx: &mut Ctx<'_, Label>) -> Vec<Label> {
+        let mut memory = Vec::with_capacity(self.config.iterations + 1);
+        memory.push(ctx.vertex());
+        if self.config.iterations > 0 {
+            self.speak(ctx, &memory, 1);
+            ctx.remain_active(); // isolated vertices must still append
+        }
+        memory
+    }
+
+    fn step(&self, ctx: &mut Ctx<'_, Label>, memory: &mut Vec<Label>, inbox: &[(VertexId, Label)]) {
+        let t = ctx.superstep() as u32;
+        if t as usize > self.config.iterations {
+            return;
+        }
+        let received: Vec<Label> = inbox.iter().map(|&(_, l)| l).collect();
+        let mut counts: FxHashMap<Label, u32> = FxHashMap::default();
+        let chosen = listener_select(self.config.seed, ctx.vertex(), t, &received, &mut counts)
+            .unwrap_or(memory[0]);
+        memory.push(chosen);
+        if (t as usize) < self.config.iterations {
+            self.speak(ctx, memory, t + 1);
+            ctx.remain_active();
+        }
+    }
+}
+
+/// Distributed SLPA community extraction: each vertex thresholds its
+/// memory locally and ships its id to the *owner vertex* of every kept
+/// label (labels are vertex ids, so the label's own vertex collects the
+/// community — a one-round shuffle, the cheap post-processing the paper
+/// contrasts with rSLPA's similarity pipeline in Fig. 8).
+pub struct SlpaExtractProgram<'a> {
+    /// Memories produced by an SLPA run.
+    pub memories: &'a [Vec<Label>],
+    /// Frequency threshold τ.
+    pub threshold: f64,
+}
+
+impl VertexProgram for SlpaExtractProgram<'_> {
+    type Msg = VertexId;
+    type State = Vec<VertexId>;
+
+    fn init(&self, ctx: &mut Ctx<'_, VertexId>) -> Vec<VertexId> {
+        let v = ctx.vertex();
+        for l in crate::slpa::kept_labels(&self.memories[v as usize], self.threshold) {
+            ctx.send(l, v);
+        }
+        Vec::new()
+    }
+
+    fn step(&self, _ctx: &mut Ctx<'_, VertexId>, members: &mut Vec<VertexId>, inbox: &[(VertexId, VertexId)]) {
+        members.extend(inbox.iter().map(|&(_, m)| m));
+    }
+}
+
+/// Run the distributed extraction and assemble the cover (host-side
+/// subset removal, as in the centralized path).
+pub fn extract_cover_bsp(
+    graph: &rslpa_graph::CsrGraph,
+    memories: &[Vec<Label>],
+    threshold: f64,
+    partitioner: &dyn rslpa_graph::Partitioner,
+    executor: rslpa_distsim::Executor,
+) -> (rslpa_graph::Cover, rslpa_distsim::RunStats) {
+    let mut engine = rslpa_distsim::BspEngine::new(
+        graph,
+        SlpaExtractProgram { memories, threshold },
+        partitioner,
+        executor,
+    );
+    engine.run(3);
+    let stats = engine.stats().clone();
+    // Equivalent to the centralized grouping: rebuild per-label communities
+    // from the collected members, then subset-remove via extract_cover's
+    // canonical path on a synthetic "memory" is not possible here, so we
+    // reuse the same dedup logic through Cover + subset filter.
+    let mut communities: Vec<Vec<VertexId>> = Vec::new();
+    engine.for_each_state(|_, members| {
+        if !members.is_empty() {
+            let mut c = members.clone();
+            c.sort_unstable();
+            c.dedup();
+            communities.push(c);
+        }
+    });
+    communities.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    let mut kept: Vec<Vec<VertexId>> = Vec::with_capacity(communities.len());
+    'outer: for c in communities {
+        for k in &kept {
+            if c.iter().all(|x| k.binary_search(x).is_ok()) {
+                continue 'outer;
+            }
+        }
+        kept.push(c);
+    }
+    (rslpa_graph::Cover::new(kept), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slpa::run_slpa;
+    use rslpa_distsim::{BspEngine, Executor};
+    use rslpa_graph::{AdjacencyGraph, CsrGraph, HashPartitioner};
+
+    fn ring(n: usize) -> AdjacencyGraph {
+        AdjacencyGraph::from_edges(n, (0..n as u32).map(|i| (i, (i + 1) % n as u32)))
+    }
+
+    fn run_bsp(g: &AdjacencyGraph, config: SlpaConfig, executor: Executor) -> (Vec<Vec<Label>>, rslpa_distsim::RunStats) {
+        let csr = CsrGraph::from_adjacency(g);
+        let mut engine = BspEngine::new(&csr, SlpaProgram { config }, &HashPartitioner::new(3), executor);
+        engine.run(config.iterations + 2);
+        let stats = engine.stats().clone();
+        (engine.into_states(), stats)
+    }
+
+    #[test]
+    fn bsp_matches_centralized_bitwise() {
+        let g = ring(12);
+        let config = SlpaConfig { iterations: 25, threshold: 0.2, seed: 3 };
+        let centralized = run_slpa(&g, &config);
+        let (bsp, _) = run_bsp(&g, config, Executor::Sequential);
+        assert_eq!(centralized.memories, bsp);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = ring(30);
+        let config = SlpaConfig { iterations: 15, threshold: 0.2, seed: 4 };
+        let (seq, _) = run_bsp(&g, config, Executor::Sequential);
+        let (par, _) = run_bsp(&g, config, Executor::Parallel);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn message_cost_is_two_per_edge_per_iteration() {
+        let g = ring(10); // 10 edges
+        let config = SlpaConfig { iterations: 7, threshold: 0.2, seed: 1 };
+        let (_, stats) = run_bsp(&g, config, Executor::Sequential);
+        // Supersteps 0..T-1 each carry 2|E| messages; the final superstep
+        // appends without speaking.
+        assert_eq!(stats.total_messages(), 2 * 10 * 7);
+    }
+
+    #[test]
+    fn distributed_extraction_matches_centralized() {
+        let g = ring(16);
+        let config = SlpaConfig { iterations: 30, threshold: 0.25, seed: 8 };
+        let result = run_slpa(&g, &config);
+        let csr = CsrGraph::from_adjacency(&g);
+        let (cover, stats) = extract_cover_bsp(
+            &csr,
+            &result.memories,
+            config.threshold,
+            &HashPartitioner::new(3),
+            Executor::Sequential,
+        );
+        assert_eq!(cover, result.cover);
+        // One shuffle round: messages = total kept labels, bounded by n/τ.
+        assert!(stats.total_messages() >= 16);
+        assert!(stats.rounds() <= 3);
+    }
+
+    #[test]
+    fn memories_complete_even_for_isolated_vertices() {
+        let mut g = ring(6);
+        let v = g.add_vertex(); // isolated
+        let config = SlpaConfig { iterations: 9, threshold: 0.2, seed: 2 };
+        let (memories, _) = run_bsp(&g, config, Executor::Sequential);
+        assert_eq!(memories[v as usize].len(), 10);
+        assert!(memories[v as usize].iter().all(|&l| l == v));
+    }
+}

@@ -1,0 +1,32 @@
+//! Criterion: workload generators (LFR, R-MAT, edit batches) — generation
+//! must never dominate experiment runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rslpa_gen::edits::uniform_batch;
+use rslpa_gen::lfr::LfrParams;
+use rslpa_gen::webgraph::{rmat, RmatParams};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    for &n in &[1_000usize, 4_000] {
+        group.bench_with_input(BenchmarkId::new("lfr", n), &n, |b, &n| {
+            b.iter(|| LfrParams { seed: 1, ..LfrParams::scaled(n) }.generate().expect("lfr"));
+        });
+    }
+    for &scale in &[12u32, 14] {
+        group.bench_with_input(BenchmarkId::new("rmat", 1usize << scale), &scale, |b, &s| {
+            b.iter(|| rmat(&RmatParams::web(s, 2)));
+        });
+    }
+    let g = rmat(&RmatParams::web(13, 3));
+    for &size in &[100usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("uniform_batch", size), &size, |b, &s| {
+            b.iter(|| uniform_batch(&g, s, 4));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion: label-propagation throughput — rSLPA's randomized picking
+//! vs SLPA's voting, centralized and BSP (the Fig. 8 LP stage).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rslpa_baselines::{run_slpa, SlpaConfig};
+use rslpa_core::propagation_bsp::run_propagation_bsp;
+use rslpa_core::run_propagation;
+use rslpa_distsim::Executor;
+use rslpa_gen::er::erdos_renyi;
+use rslpa_graph::{CsrGraph, HashPartitioner};
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagation");
+    group.sample_size(10);
+    for &n in &[1_000usize, 4_000] {
+        let g = erdos_renyi(n, n * 10, 7);
+        let t = 50;
+        group.bench_with_input(BenchmarkId::new("rslpa_centralized", n), &g, |b, g| {
+            b.iter(|| run_propagation(g, t, 1));
+        });
+        group.bench_with_input(BenchmarkId::new("slpa_centralized", n), &g, |b, g| {
+            b.iter(|| run_slpa(g, &SlpaConfig { iterations: t, threshold: 0.2, seed: 1 }));
+        });
+        let csr = CsrGraph::from_adjacency(&g);
+        let p = HashPartitioner::new(7);
+        group.bench_with_input(BenchmarkId::new("rslpa_bsp_parallel", n), &csr, |b, csr| {
+            b.iter(|| run_propagation_bsp(csr, t, 1, &p, Executor::Parallel));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_propagation);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run -p rslpa-bench --release --bin repro -- all
+//! cargo run -p rslpa-bench --release --bin repro -- fig9
+//! cargo run -p rslpa-bench --release --bin repro -- fig7b --paper-scale
+//! ```
+
+use rslpa_bench::{exp_ablations, exp_dynamic, exp_synthetic, exp_voting, exp_web, Scale};
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("fig2", "plurality-voting win distributions (exact)"),
+    ("fig3", "voting vs uniform-picking over a fixed multiset"),
+    ("thm1", "max Pu <= max Pv on random multisets"),
+    ("thm23", "(src,pos) sampling == pooled-multiset sampling"),
+    ("table1", "LFR parameters and achieved statistics"),
+    ("fig7a", "rSLPA NMI vs iterations (convergence)"),
+    ("fig7b", "NMI vs graph size N (SLPA vs rSLPA)"),
+    ("fig7c", "NMI vs average degree k"),
+    ("fig7d", "NMI vs mixing parameter mu"),
+    ("fig7e", "NMI vs memberships om"),
+    ("fig7f", "NMI vs overlapping vertices on"),
+    ("table2", "simulated web-graph statistics"),
+    ("fig8", "static running time split (SLPA vs rSLPA)"),
+    ("fig9", "incremental vs scratch across batch sizes"),
+    ("eq8", "measured eta vs the Eq. 8 model and bounds"),
+    ("abl-prune", "unconditional vs value-pruned cascade"),
+    ("abl-dyn", "incremental/scratch parity: rSLPA vs LabelRankT"),
+    ("abl-msgs", "per-iteration traffic vs density"),
+    ("abl-post", "hash-to-min rounds vs diameter"),
+    ("abl-edits", "targeted churn workloads"),
+    ("abl-part", "partitioner sensitivity"),
+    ("profile", "centralized pipeline wall-clock profile"),
+];
+
+fn run(id: &str, scale: &Scale) -> bool {
+    match id {
+        "fig2" => exp_voting::fig2(),
+        "fig3" => exp_voting::fig3(),
+        "thm1" => exp_voting::thm1(20_000),
+        "thm23" => exp_voting::thm23(400_000),
+        "table1" => exp_synthetic::table1(scale),
+        "fig7a" => exp_synthetic::fig7a(scale),
+        "fig7b" => exp_synthetic::fig7b(scale),
+        "fig7c" => exp_synthetic::fig7c(scale),
+        "fig7d" => exp_synthetic::fig7d(scale),
+        "fig7e" => exp_synthetic::fig7e(scale),
+        "fig7f" => exp_synthetic::fig7f(scale),
+        "table2" => exp_web::table2(scale),
+        "fig8" => exp_web::fig8(scale),
+        "fig9" => exp_dynamic::fig9(scale),
+        "eq8" => exp_dynamic::eq8(scale),
+        "abl-prune" => exp_dynamic::abl_prune(scale),
+        "abl-dyn" => exp_dynamic::abl_dyn(scale),
+        "abl-msgs" => exp_ablations::abl_msgs(scale),
+        "abl-post" => exp_ablations::abl_post(scale),
+        "abl-edits" => exp_ablations::abl_edits(scale),
+        "abl-part" => exp_ablations::abl_part(scale),
+        "profile" => exp_ablations::profile(scale),
+        _ => return false,
+    }
+    true
+}
+
+fn usage() {
+    eprintln!("usage: repro [--paper-scale] <experiment | all>");
+    eprintln!("experiments:");
+    for (id, desc) in EXPERIMENTS {
+        eprintln!("  {id:<10} {desc}");
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if let Some(i) = args.iter().position(|a| a == "--paper-scale") {
+        args.remove(i);
+        Scale::paper()
+    } else {
+        Scale::quick()
+    };
+    let Some(target) = args.first() else {
+        usage();
+        std::process::exit(2);
+    };
+    let started = std::time::Instant::now();
+    if target == "all" {
+        for (id, _) in EXPERIMENTS {
+            let t = std::time::Instant::now();
+            assert!(run(id, &scale), "unknown experiment {id}");
+            eprintln!("[{id} done in {:.1}s]\n", t.elapsed().as_secs_f64());
+        }
+    } else if !run(target, &scale) {
+        eprintln!("unknown experiment: {target}\n");
+        usage();
+        std::process::exit(2);
+    }
+    eprintln!("[total {:.1}s]", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,127 @@
+//! Figures 2–3 and Theorems 1–3: exact voting distributions.
+
+use rslpa_baselines::voting::{
+    plurality_win_distribution, theorem1_max_probabilities, uniform_distribution, voting_distribution,
+};
+use rslpa_graph::rng::DetRng;
+use rslpa_graph::Label;
+
+use crate::report::{f3, Table};
+
+fn dist_row(labels: &[Label], dist: &rslpa_graph::FxHashMap<Label, f64>) -> Vec<String> {
+    labels.iter().map(|l| f3(dist.get(l).copied().unwrap_or(0.0))).collect()
+}
+
+/// Fig. 2: plurality-vote win probabilities for the four voter settings.
+pub fn fig2() {
+    let settings: [(&str, Vec<Vec<Label>>); 4] = [
+        ("(a) voters (1,2), (1,2), (1,1)", vec![vec![1, 2], vec![1, 2], vec![1, 1]]),
+        ("(b) voters (1,2), (1,2), (1,3)", vec![vec![1, 2], vec![1, 2], vec![1, 3]]),
+        ("(c) voters (2,2), (1,1), (1,1)", vec![vec![2, 2], vec![1, 1], vec![1, 1]]),
+        ("(d) voters (2,2), (1,1)", vec![vec![2, 2], vec![1, 1]]),
+    ];
+    let mut table = Table::new("Fig. 2 — plurality voting win probabilities (exact)", &["setting", "P(1)", "P(2)", "P(3)"]);
+    for (name, voters) in settings {
+        let d = plurality_win_distribution(&voters);
+        let mut row = vec![name.to_string()];
+        row.extend(dist_row(&[1, 2, 3], &d));
+        table.row(row);
+    }
+    table.print();
+    println!(
+        "note: under the uniform tie-breaking the paper's own Fig. 1 specifies, P(2) in (b)\n\
+         rises to 1/3 (the prose says it \"drops\"); the non-local sensitivity the example\n\
+         illustrates holds either way.\n"
+    );
+}
+
+/// Fig. 3: voting vs uniform-picking over the fixed multiset.
+pub fn fig3() {
+    let m: Vec<Label> = vec![1, 2, 2, 2, 3, 3, 3, 4, 4, 5];
+    let labels = [1, 2, 3, 4, 5];
+    let mut table = Table::new(
+        "Fig. 3 — M = (1,2,2,2,3,3,3,4,4,5)",
+        &["process", "P(1)", "P(2)", "P(3)", "P(4)", "P(5)", "max"],
+    );
+    for (name, dist) in [("(a) voting", voting_distribution(&m)), ("(b) uniform-pick", uniform_distribution(&m))] {
+        let mut row = vec![name.to_string()];
+        row.extend(dist_row(&labels, &dist));
+        row.push(f3(dist.values().copied().fold(0.0, f64::max)));
+        table.row(row);
+    }
+    table.print();
+    println!("Theorem 1 visible in the last column: max P_u <= max P_v.\n");
+}
+
+/// Theorem 1 on random multisets: max P_u ≤ max P_v always.
+pub fn thm1(trials: u64) {
+    let mut rng = DetRng::new(17);
+    let mut worst_gap = f64::INFINITY;
+    let mut violations = 0u64;
+    for _ in 0..trials {
+        let len = 1 + rng.bounded(24) as usize;
+        let m: Vec<Label> = (0..len).map(|_| rng.bounded(8) as Label).collect();
+        let (pu, pv) = theorem1_max_probabilities(&m);
+        if pu > pv + 1e-12 {
+            violations += 1;
+        }
+        worst_gap = worst_gap.min(pv - pu);
+    }
+    let mut table = Table::new("Theorem 1 — max Pu <= max Pv on random multisets", &["trials", "violations", "min (maxPv - maxPu)"]);
+    table.row(vec![trials.to_string(), violations.to_string(), f3(worst_gap)]);
+    table.print();
+    assert_eq!(violations, 0, "Theorem 1 must hold");
+}
+
+/// Theorems 2–3: pooled-union sampling ≡ (src, pos) sampling, Monte-Carlo.
+pub fn thm23(trials: u64) {
+    // Three neighbor sequences of equal length m = 4.
+    let seqs: [&[Label]; 3] = [&[1, 1, 2, 3], &[2, 2, 2, 4], &[1, 3, 3, 4]];
+    let mut rng = DetRng::new(23);
+    let mut count_pair = rslpa_graph::FxHashMap::<Label, u64>::default();
+    let mut count_pool = rslpa_graph::FxHashMap::<Label, u64>::default();
+    for _ in 0..trials {
+        // Process of Theorem 3: uniform (src, pos).
+        let src = rng.bounded(3) as usize;
+        let pos = rng.bounded(4) as usize;
+        *count_pair.entry(seqs[src][pos]).or_insert(0) += 1;
+        // Process of Theorem 2: every voter sends uniformly, pick from M.
+        let m: Vec<Label> = seqs.iter().map(|s| s[rng.bounded(4) as usize]).collect();
+        *count_pool.entry(m[rng.bounded(3) as usize]).or_insert(0) += 1;
+    }
+    // Analytic pooled frequency: f(l) / (n·m).
+    let mut pooled = rslpa_graph::FxHashMap::<Label, f64>::default();
+    for s in seqs {
+        for &l in s {
+            *pooled.entry(l).or_insert(0.0) += 1.0 / 12.0;
+        }
+    }
+    let mut table = Table::new(
+        "Theorems 2/3 — (src,pos) vs pooled-multiset sampling",
+        &["label", "analytic", "(src,pos)", "pooled"],
+    );
+    let mut labels: Vec<Label> = pooled.keys().copied().collect();
+    labels.sort_unstable();
+    let mut max_err: f64 = 0.0;
+    for l in labels {
+        let a = pooled[&l];
+        let p1 = *count_pair.get(&l).unwrap_or(&0) as f64 / trials as f64;
+        let p2 = *count_pool.get(&l).unwrap_or(&0) as f64 / trials as f64;
+        max_err = max_err.max((p1 - a).abs()).max((p2 - a).abs());
+        table.row(vec![l.to_string(), f3(a), f3(p1), f3(p2)]);
+    }
+    table.print();
+    println!("max deviation from analytic: {max_err:.4}\n");
+    assert!(max_err < 0.01, "Monte-Carlo deviation too large: {max_err}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn voting_experiments_run() {
+        super::fig2();
+        super::fig3();
+        super::thm1(2_000);
+        super::thm23(100_000);
+    }
+}

@@ -1,0 +1,18 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! The `repro` binary dispatches to one module per experiment family; see
+//! DESIGN.md §4 for the experiment index and EXPERIMENTS.md for recorded
+//! outputs. All experiments run at a laptop-friendly default scale that
+//! preserves the paper's *shapes* (who wins, by what factor, where curves
+//! bend); `--paper-scale` restores the original sizes where feasible.
+
+pub mod exp_ablations;
+pub mod exp_dynamic;
+pub mod exp_synthetic;
+pub mod exp_voting;
+pub mod exp_web;
+pub mod report;
+pub mod scale;
+
+pub use report::Table;
+pub use scale::Scale;

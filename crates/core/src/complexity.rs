@@ -1,0 +1,159 @@
+//! The §IV-D complexity model: expected incremental cost and its bounds.
+//!
+//! * `p_c` (Eq. 3): probability that one pick's chosen edge is deleted or
+//!   switched after a batch of `m_d` deletions and `m_a` insertions on a
+//!   graph with `|E|` edges. Note the published equation contains a typo —
+//!   its second factor `(|E|−m_d)/(|E|−m_d+m_a)` is the *keep* probability
+//!   `n_u/(n_u+n_a)` derived two sentences earlier; the switch probability
+//!   consistent with that derivation (and with `p_c = 0` when no edges
+//!   change) is `m_a/(|E|−m_d+m_a)`, which is what we implement.
+//! * `Q(t)` (Eqs. 5–7): probability a label picked at iteration `t` needs
+//!   no update; closed form `Π_{k=1..t} (1 − p_c/k)`.
+//! * `η̂` (Eq. 8): expected number of labels needing updates.
+//! * Best case (Eq. 10): `η ≥ T·|V|·p_c` (all propagation paths length 1).
+//! * Worst case (Eq. 12): `η ≤ T·|V| − |V|·(1−p_c)·(1−(1−p_c)^T)/p_c`
+//!   (all paths maximal).
+
+/// Probability that a single pick's chosen edge changed (Eq. 3, corrected).
+///
+/// `m_d` deleted edges, `m_a` inserted edges, `num_edges` edges *before*
+/// the batch.
+pub fn p_c(m_d: usize, m_a: usize, num_edges: usize) -> f64 {
+    assert!(num_edges > 0, "p_c undefined on an edgeless graph");
+    assert!(m_d <= num_edges, "cannot delete more edges than exist");
+    let e = num_edges as f64;
+    let md = m_d as f64;
+    let ma = m_a as f64;
+    let p_deleted = md / e;
+    let p_switched = if ma == 0.0 { 0.0 } else { ma / (e - md + ma) };
+    (p_deleted + (1.0 - p_deleted) * p_switched).clamp(0.0, 1.0)
+}
+
+/// `Q(t) = Π_{k=1..t} (1 − p_c/k)` — closed form of the recursion (Eq. 7).
+pub fn q_t(t: usize, pc: f64) -> f64 {
+    (1..=t).map(|k| 1.0 - pc / k as f64).product()
+}
+
+/// `Q(t)` via the recursion of Eq. 6 (tests cross-check against [`q_t`]).
+pub fn q_t_recursive(t: usize, pc: f64) -> f64 {
+    let mut q = 1.0; // Q(0) = 1
+    for k in 1..=t {
+        q *= 1.0 - pc / k as f64;
+    }
+    q
+}
+
+/// Expected number of labels needing updates (Eq. 8):
+/// `η̂ = T·|V| − |V|·Σ_{t=1..T} Q(t)`.
+pub fn expected_eta(t_max: usize, num_vertices: usize, pc: f64) -> f64 {
+    let v = num_vertices as f64;
+    let mut sum_q = 0.0;
+    let mut q = 1.0;
+    for k in 1..=t_max {
+        q *= 1.0 - pc / k as f64;
+        sum_q += q;
+    }
+    t_max as f64 * v - v * sum_q
+}
+
+/// Best-case lower bound (Eq. 10): `η ≥ T·|V|·p_c`.
+pub fn eta_lower_bound(t_max: usize, num_vertices: usize, pc: f64) -> f64 {
+    t_max as f64 * num_vertices as f64 * pc
+}
+
+/// Worst-case upper bound (Eq. 12):
+/// `η ≤ T·|V| − |V|·(1−p_c − (1−p_c)^{T+1})/p_c`.
+pub fn eta_upper_bound(t_max: usize, num_vertices: usize, pc: f64) -> f64 {
+    let v = num_vertices as f64;
+    let t = t_max as f64;
+    if pc <= f64::EPSILON {
+        return 0.0; // limit as p_c → 0: geometric sum → T
+    }
+    let geo = (1.0 - pc - (1.0 - pc).powi(t_max as i32 + 1)) / pc;
+    t * v - v * geo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_boundary_cases() {
+        assert_eq!(p_c(0, 0, 100), 0.0, "no edits, no change");
+        assert!((p_c(10, 0, 100) - 0.1).abs() < 1e-12, "deletions only: m_d/|E|");
+        // Insertions only: switch probability m_a/(|E|+m_a).
+        assert!((p_c(0, 25, 100) - 0.2).abs() < 1e-12);
+        assert_eq!(p_c(100, 0, 100), 1.0, "delete everything");
+    }
+
+    #[test]
+    fn pc_monotone_in_edits() {
+        let base = p_c(5, 5, 1000);
+        assert!(p_c(10, 5, 1000) > base);
+        assert!(p_c(5, 10, 1000) > base);
+        assert!(p_c(5, 5, 2000) < base, "larger graph dilutes");
+    }
+
+    #[test]
+    fn q_closed_form_matches_recursion() {
+        for &pc in &[0.0, 0.01, 0.3, 0.9, 1.0] {
+            for t in 0..50 {
+                assert!(
+                    (q_t(t, pc) - q_t_recursive(t, pc)).abs() < 1e-12,
+                    "mismatch at t={t}, pc={pc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn q_is_decreasing_and_bounded() {
+        let pc = 0.2;
+        let mut prev = 1.0;
+        for t in 1..100 {
+            let q = q_t(t, pc);
+            assert!(q <= prev + 1e-15, "Q must not increase");
+            assert!((0.0..=1.0).contains(&q));
+            // Eq. 9/11: (1-pc)^t <= Q(t) <= 1 - pc for t >= 1.
+            assert!(q <= 1.0 - pc + 1e-12);
+            assert!(q >= (1.0 - pc).powi(t as i32) - 1e-12);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn eta_bounds_bracket_expectation() {
+        for &(t, v, pc) in &[(100usize, 1000usize, 0.01f64), (200, 5000, 0.001), (50, 100, 0.3)] {
+            let lo = eta_lower_bound(t, v, pc);
+            let hat = expected_eta(t, v, pc);
+            let hi = eta_upper_bound(t, v, pc);
+            assert!(lo <= hat + 1e-9, "lower {lo} > η̂ {hat}");
+            assert!(hat <= hi + 1e-9, "η̂ {hat} > upper {hi}");
+        }
+    }
+
+    #[test]
+    fn eta_zero_when_no_edits() {
+        assert_eq!(expected_eta(100, 1000, 0.0), 0.0);
+        assert_eq!(eta_upper_bound(100, 1000, 0.0), 0.0);
+        assert_eq!(eta_lower_bound(100, 1000, 0.0), 0.0);
+    }
+
+    #[test]
+    fn eta_everything_when_pc_one() {
+        // p_c = 1: every pick changed; η̂ = T·V exactly (Q(t) = 0 ∀t ≥ 1).
+        let (t, v) = (20, 50);
+        assert!((expected_eta(t, v, 1.0) - (t * v) as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eta_sublinear_in_batch_size() {
+        // The paper's Fig. 9 observation: doubling the batch less than
+        // doubles the update count at large batches.
+        let (t, v, e) = (200, 10_000, 150_000);
+        let eta_small = expected_eta(t, v, p_c(500, 500, e));
+        let eta_large = expected_eta(t, v, p_c(5_000, 5_000, e));
+        assert!(eta_large < 10.0 * eta_small, "10x batch must be < 10x cost");
+        assert!(eta_large > eta_small);
+    }
+}

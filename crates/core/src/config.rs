@@ -1,0 +1,58 @@
+//! rSLPA configuration.
+
+/// Configuration shared by the centralized and BSP implementations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RslpaConfig {
+    /// Label-propagation iterations `T`. The paper's convergence study
+    /// (Fig. 7a) settles on 200 for rSLPA (vs 100 for SLPA).
+    pub iterations: usize,
+    /// Run-level RNG seed; every random pick is a pure function of this.
+    pub seed: u64,
+    /// Cascade semantics. `false` = the paper's Algorithm 2, which
+    /// forwards a corrected label to all recorded receivers even when its
+    /// value happens to be unchanged (this is what §IV-D's η counts).
+    /// `true` = prune the cascade at value-identical updates — a correct
+    /// optimization the paper doesn't apply, measured as an ablation.
+    pub value_pruned_cascade: bool,
+    /// Grid used by the τ1 entropy scan when evaluating *between* edge
+    /// weight breakpoints is requested; `None` (default) evaluates exactly
+    /// at the breakpoints, which dominates the paper's 0.001 grid.
+    pub tau1_grid: Option<f64>,
+}
+
+impl Default for RslpaConfig {
+    fn default() -> Self {
+        Self { iterations: 200, seed: 42, value_pruned_cascade: false, tau1_grid: None }
+    }
+}
+
+impl RslpaConfig {
+    /// Paper defaults with an explicit seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    /// Shrunk iteration count for tests.
+    pub fn quick(iterations: usize, seed: u64) -> Self {
+        Self { iterations, seed, ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = RslpaConfig::default();
+        assert_eq!(c.iterations, 200);
+        assert!(!c.value_pruned_cascade);
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(RslpaConfig::with_seed(7).seed, 7);
+        let q = RslpaConfig::quick(10, 3);
+        assert_eq!((q.iterations, q.seed), (10, 3));
+    }
+}

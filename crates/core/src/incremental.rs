@@ -1,0 +1,423 @@
+//! Algorithm 2 — Correction Propagation (centralized semantics).
+//!
+//! After an edit batch, every affected vertex re-examines its `T` picks
+//! (paper §IV-A):
+//!
+//! * **Category 1** (neighborhood unchanged): nothing to do — such
+//!   vertices never appear in the batch deltas.
+//! * **Category 2** (only lost neighbors): a pick whose source edge was
+//!   deleted is re-drawn uniformly from the remaining neighbors; surviving
+//!   picks are kept (Theorem 4: they are still uniform on the new set).
+//! * **Category 3** (gained neighbors, possibly lost some): picks through
+//!   deleted edges re-draw from all current neighbors; surviving picks are
+//!   kept with probability `n_u / (n_u + n_a)` and otherwise re-drawn from
+//!   the **new** neighbors only (Theorem 5 shows the composite is uniform
+//!   on the new neighborhood).
+//!
+//! Then changes cascade (§IV-B): when `l_v^t` is updated, every receiver
+//! recorded in `R_v^t` updates its own slot and forwards in turn. The
+//! paper's Algorithm 2 forwards *unconditionally* (lines 18–22 carry no
+//! value comparison) — that unpruned cascade is what the §IV-D analysis
+//! counts, so it is the default here; `value_pruned` stops at
+//! value-identical updates as a measured ablation.
+//!
+//! Because every slot's receivers sit at strictly later iterations, one
+//! ascending sweep over iteration buckets delivers every correction
+//! exactly once.
+
+use rslpa_graph::rng::{PickKey, Stream};
+use rslpa_graph::{AdjacencyGraph, AppliedBatch, FxHashSet, VertexId};
+
+use crate::propagation::draw_pick;
+use crate::state::{LabelState, NO_SOURCE};
+
+/// Work accounting for one incremental repair — the measured counterpart
+/// of §IV-D's η.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Vertices whose neighborhood changed (Categories 2–3).
+    pub affected_vertices: usize,
+    /// Picks re-drawn in the adjacent-edge phase.
+    pub repicks: usize,
+    /// Category-3 keep/redraw coins flipped.
+    pub coins: usize,
+    /// Corrections delivered through receiver records.
+    pub deliveries: usize,
+    /// Distinct label slots updated (η: repicked or corrected).
+    pub eta: usize,
+    /// Deliveries whose value actually differed (≤ `deliveries`).
+    pub value_changes: usize,
+}
+
+/// Apply Correction Propagation to `state` for a batch already applied to
+/// the graph (`graph_after` is the post-edit topology, `applied` the
+/// per-vertex deltas).
+pub fn apply_correction(
+    state: &mut LabelState,
+    graph_after: &AdjacencyGraph,
+    applied: &AppliedBatch,
+    value_pruned: bool,
+) -> UpdateReport {
+    let t_max = state.iterations() as u32;
+    let seed = state.seed();
+    let mut report = UpdateReport { affected_vertices: applied.deltas.len(), ..Default::default() };
+    // Per-iteration buckets of slots to forward from, deduplicated.
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); t_max as usize + 1];
+    let mut scheduled: FxHashSet<(VertexId, u32)> = FxHashSet::default();
+    let mut touched: FxHashSet<(VertexId, u32)> = FxHashSet::default();
+
+    let schedule = |v: VertexId, t: u32, buckets: &mut Vec<Vec<VertexId>>, scheduled: &mut FxHashSet<(VertexId, u32)>| {
+        if scheduled.insert((v, t)) {
+            buckets[t as usize].push(v);
+        }
+    };
+
+    // --- Phase A: adjacent edge changes (Algorithm 2 lines 1–12) ---
+    for v in applied.affected_vertices() {
+        let delta = &applied.deltas[&v];
+        let nbrs = graph_after.neighbors(v);
+        for t in 1..=t_max {
+            let (old_src, old_pos) = state.pick(v, t);
+            if nbrs.is_empty() {
+                // Lost every neighbor: the slot reverts to the own label.
+                if old_src != NO_SOURCE {
+                    state.remove_record(old_src, old_pos, v, t);
+                    state.set_pick(v, t, NO_SOURCE, 0);
+                    let own = state.label(v, 0);
+                    let changed = state.label(v, t) != own;
+                    state.set_label(v, t, own);
+                    report.repicks += 1;
+                    touched.insert((v, t));
+                    if !value_pruned || changed {
+                        schedule(v, t, &mut buckets, &mut scheduled);
+                    }
+                }
+                continue;
+            }
+            let needs_full_repick = if old_src == NO_SOURCE {
+                true // was isolated; every neighbor is effectively new
+            } else {
+                delta.removed_contains(old_src)
+            };
+            if needs_full_repick {
+                repick(state, v, t, old_src, old_pos, nbrs, value_pruned, &mut report, &mut touched, |v, t| {
+                    schedule(v, t, &mut buckets, &mut scheduled)
+                });
+                continue;
+            }
+            if delta.added.is_empty() {
+                continue; // Category 2, source survived: keep (Theorem 4).
+            }
+            // Category 3, source survived: keep with probability n_u / deg.
+            let deg = nbrs.len();
+            let na = delta.added.len();
+            debug_assert!(na <= deg);
+            let epoch = state.bump_epoch(v, t);
+            let key = PickKey { seed, vertex: v, iteration: t, epoch };
+            report.coins += 1;
+            if key.unit_f64(Stream::Cat3Coin) < na as f64 / deg as f64 {
+                // Redraw from the *new* neighbors only (Theorem 5).
+                repick(state, v, t, old_src, old_pos, &delta.added, value_pruned, &mut report, &mut touched, |v, t| {
+                    schedule(v, t, &mut buckets, &mut scheduled)
+                });
+            }
+        }
+    }
+
+    // --- Phase B: cascade through receiver records (lines 13–24) ---
+    for t in 1..=t_max {
+        let bucket = std::mem::take(&mut buckets[t as usize]);
+        for v in bucket {
+            let l = state.label(v, t);
+            // Collect receivers first: delivering mutates the state.
+            let receivers: Vec<(VertexId, u32)> = state.receivers_of(v, t).collect();
+            for (r, k) in receivers {
+                debug_assert!(k > t);
+                report.deliveries += 1;
+                let changed = state.label(r, k) != l;
+                if changed {
+                    state.set_label(r, k, l);
+                    report.value_changes += 1;
+                }
+                touched.insert((r, k));
+                if !value_pruned || changed {
+                    schedule(r, k, &mut buckets, &mut scheduled);
+                }
+            }
+        }
+    }
+
+    report.eta = touched.len();
+    debug_assert!(crate::verify::check_consistency(state, graph_after).is_ok());
+    report
+}
+
+/// Re-draw the pick of `(v, t)` uniformly from `candidates`, maintain the
+/// reverse records, and schedule the slot for cascade forwarding.
+#[allow(clippy::too_many_arguments)]
+fn repick(
+    state: &mut LabelState,
+    v: VertexId,
+    t: u32,
+    old_src: VertexId,
+    old_pos: u32,
+    candidates: &[VertexId],
+    value_pruned: bool,
+    report: &mut UpdateReport,
+    touched: &mut FxHashSet<(VertexId, u32)>,
+    mut schedule: impl FnMut(VertexId, u32),
+) {
+    if old_src != NO_SOURCE {
+        state.remove_record(old_src, old_pos, v, t);
+    }
+    let epoch = state.bump_epoch(v, t);
+    let (src, pos) = draw_pick(state.seed(), v, t, epoch, candidates);
+    state.set_pick(v, t, src, pos);
+    state.add_record(src, pos, v, t);
+    let new_label = state.label(src, pos);
+    let changed = state.label(v, t) != new_label;
+    state.set_label(v, t, new_label);
+    report.repicks += 1;
+    touched.insert((v, t));
+    if !value_pruned || changed {
+        schedule(v, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagation::run_propagation;
+    use crate::verify::check_consistency;
+    use rslpa_graph::{DynamicGraph, EditBatch};
+
+    /// Run a batch through graph + state, returning the report.
+    fn step(
+        dg: &mut DynamicGraph,
+        state: &mut LabelState,
+        batch: EditBatch,
+        pruned: bool,
+    ) -> UpdateReport {
+        let applied = dg.apply(&batch).expect("valid batch");
+        apply_correction(state, dg.graph(), &applied, pruned)
+    }
+
+    fn star_plus_ring() -> AdjacencyGraph {
+        // Vertex 0 is a hub over 1..=4; 1-2-3-4-1 ring around it.
+        AdjacencyGraph::from_edges(
+            5,
+            [(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (2, 3), (3, 4), (4, 1)],
+        )
+    }
+
+    #[test]
+    fn consistency_after_single_deletion() {
+        for seed in 0..10 {
+            let g = star_plus_ring();
+            let mut dg = DynamicGraph::new(g);
+            let mut state = run_propagation(dg.graph(), 12, seed);
+            step(&mut dg, &mut state, EditBatch::from_lists([], [(0, 3)]), false);
+            check_consistency(&state, dg.graph()).unwrap();
+        }
+    }
+
+    #[test]
+    fn consistency_after_single_insertion() {
+        for seed in 0..10 {
+            let g = star_plus_ring();
+            let mut dg = DynamicGraph::new(g);
+            let mut state = run_propagation(dg.graph(), 12, seed);
+            step(&mut dg, &mut state, EditBatch::from_lists([(1, 3)], []), false);
+            check_consistency(&state, dg.graph()).unwrap();
+        }
+    }
+
+    #[test]
+    fn consistency_after_mixed_batches_both_modes() {
+        for pruned in [false, true] {
+            let g = star_plus_ring();
+            let mut dg = DynamicGraph::new(g);
+            let mut state = run_propagation(dg.graph(), 10, 7);
+            step(&mut dg, &mut state, EditBatch::from_lists([(1, 3)], [(0, 2)]), pruned);
+            step(&mut dg, &mut state, EditBatch::from_lists([(2, 4)], [(1, 2), (3, 4)]), pruned);
+            step(&mut dg, &mut state, EditBatch::from_lists([(0, 2)], [(2, 4)]), pruned);
+            check_consistency(&state, dg.graph()).unwrap();
+        }
+    }
+
+    /// Paper Fig. 4a: a pick through a *preserved* edge survives deletion
+    /// of a different edge (Category 2 keep).
+    #[test]
+    fn fig4a_preserved_edge_pick_is_kept() {
+        let g = star_plus_ring();
+        let mut dg = DynamicGraph::new(g);
+        let mut state = run_propagation(dg.graph(), 8, 3);
+        // Find a slot of the hub whose source is vertex 1.
+        let slot = (1..=8u32).find(|&t| state.pick(0, t).0 == 1).expect("some pick from 1");
+        let before = state.pick(0, slot);
+        // Delete hub edge to a *different* neighbor (pick an unused one).
+        let victim = (2..=4u32).find(|&u| u != before.0).unwrap();
+        step(&mut dg, &mut state, EditBatch::from_lists([], [(0, victim)]), false);
+        assert_eq!(state.pick(0, slot), before, "pick through preserved edge kept");
+    }
+
+    /// Paper Fig. 4b: a pick through a *deleted* edge must be re-drawn
+    /// from the remaining neighbors.
+    #[test]
+    fn fig4b_deleted_edge_pick_is_redrawn() {
+        let g = star_plus_ring();
+        let mut dg = DynamicGraph::new(g);
+        let mut state = run_propagation(dg.graph(), 8, 3);
+        let slot = (1..=8u32).find(|&t| state.pick(0, t).0 == 1).expect("some pick from 1");
+        step(&mut dg, &mut state, EditBatch::from_lists([], [(0, 1)]), false);
+        let (new_src, _) = state.pick(0, slot);
+        assert_ne!(new_src, 1, "deleted source must be replaced");
+        assert!(dg.graph().neighbors(0).contains(&new_src));
+    }
+
+    /// Paper Fig. 5a / Theorem 5: with one new neighbor among `deg`
+    /// current ones, a surviving pick is kept with probability
+    /// `(deg-1)/deg`; across seeds the keep rate must match.
+    #[test]
+    fn fig5a_category3_keep_rate() {
+        let mut kept = 0u32;
+        let trials = 2000;
+        for seed in 0..trials {
+            // Path 1-0-2 plus insertion of (0,3): deg becomes 3, na = 1.
+            let g = AdjacencyGraph::from_edges(4, [(0, 1), (0, 2)]);
+            let mut dg = DynamicGraph::new(g);
+            let mut state = run_propagation(dg.graph(), 1, seed as u64);
+            let before = state.pick(0, 1);
+            step(&mut dg, &mut state, EditBatch::from_lists([(0, 3)], []), false);
+            let after = state.pick(0, 1);
+            if after == before {
+                kept += 1;
+            } else {
+                assert_eq!(after.0, 3, "redraw must target the new neighbor");
+            }
+        }
+        let rate = f64::from(kept) / f64::from(trials);
+        assert!((rate - 2.0 / 3.0).abs() < 0.04, "keep rate {rate} vs 2/3");
+    }
+
+    /// Paper Fig. 6: a propagation chain 5→4→3→2→1; deleting the first
+    /// edge updates every downstream label. Built by hand so the chain
+    /// shape is exact.
+    #[test]
+    fn fig6_propagation_tree_cascade() {
+        // Path graph 1-2-3-4-5 (ids 0..4 = vertices 1..5).
+        let g = AdjacencyGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut state = LabelState::new(5, 4, 99);
+        // Hand-craft: at t=1, vertex 3 (id) picks (4, 0) — label "5" (id 4).
+        // t=2: vertex 2 picks (3, 1); t=3: vertex 1 picks (2, 2);
+        // t=4: vertex 0 picks (1, 3). All other slots: self-ish picks.
+        let chain = [(3u32, 1u32, 4u32, 0u32), (2, 2, 3, 1), (1, 3, 2, 2), (0, 4, 1, 3)];
+        // Fill every slot with a valid default first: pick left neighbor pos 0.
+        for v in 0..5u32 {
+            for t in 1..=4u32 {
+                let src = g.neighbors(v)[0];
+                state.set_pick(v, t, src, 0);
+                state.set_label(v, t, state.label(src, 0));
+                state.add_record(src, 0, v, t);
+            }
+        }
+        for &(v, t, src, pos) in &chain {
+            let (os, op) = state.pick(v, t);
+            state.remove_record(os, op, v, t);
+            state.set_pick(v, t, src, pos);
+            state.set_label(v, t, state.label(src, pos));
+            state.add_record(src, pos, v, t);
+        }
+        check_consistency(&state, &g).unwrap();
+        assert_eq!(state.label(0, 4), 4, "label 5 reached vertex 1");
+        // Delete edge (4,5) i.e. ids (3,4).
+        let mut dg = DynamicGraph::new(g);
+        let applied = dg.apply(&EditBatch::from_lists([], [(3, 4)])).unwrap();
+        let report = apply_correction(&mut state, dg.graph(), &applied, false);
+        check_consistency(&state, dg.graph()).unwrap();
+        // Vertex 3's t=1 slot was repicked; the chain must have been
+        // corrected all the way down (3 deliveries along the chain).
+        assert!(report.repicks >= 1);
+        assert!(report.deliveries >= 3, "chain of 3 downstream labels, got {report:?}");
+        let l = state.label(3, 1);
+        assert_eq!(state.label(2, 2), l);
+        assert_eq!(state.label(1, 3), l);
+        assert_eq!(state.label(0, 4), l);
+        assert_ne!(state.label(0, 4), 4, "old label 5 must be gone from the chain");
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let g = star_plus_ring();
+        let mut dg = DynamicGraph::new(g);
+        let mut state = run_propagation(dg.graph(), 6, 1);
+        let before: Vec<_> = (0..5).map(|v| state.label_sequence(v).to_vec()).collect();
+        let report = step(&mut dg, &mut state, EditBatch::new(), false);
+        assert_eq!(report, UpdateReport::default());
+        let after: Vec<_> = (0..5).map(|v| state.label_sequence(v).to_vec()).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn vertex_losing_all_neighbors_reverts_to_own_label() {
+        let g = AdjacencyGraph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+        let mut dg = DynamicGraph::new(g);
+        let mut state = run_propagation(dg.graph(), 6, 2);
+        step(&mut dg, &mut state, EditBatch::from_lists([], [(0, 1), (0, 2)]), false);
+        assert!(state.label_sequence(0).iter().all(|&l| l == 0));
+        check_consistency(&state, dg.graph()).unwrap();
+    }
+
+    #[test]
+    fn previously_isolated_vertex_joins() {
+        let mut g = AdjacencyGraph::new(4);
+        g.insert_edge(0, 1);
+        g.insert_edge(1, 2);
+        let mut dg = DynamicGraph::new(g);
+        let mut state = run_propagation(dg.graph(), 6, 2);
+        assert!(state.label_sequence(3).iter().all(|&l| l == 3));
+        step(&mut dg, &mut state, EditBatch::from_lists([(3, 1)], []), false);
+        check_consistency(&state, dg.graph()).unwrap();
+        // All picks of vertex 3 now come from its only neighbor 1.
+        for t in 1..=6u32 {
+            assert_eq!(state.pick(3, t).0, 1);
+        }
+    }
+
+    #[test]
+    fn pruned_mode_touches_no_more_than_faithful() {
+        for seed in 0..8u64 {
+            let make = || {
+                let g = star_plus_ring();
+                let dg = DynamicGraph::new(g);
+                let state = run_propagation(dg.graph(), 15, seed);
+                (dg, state)
+            };
+            let batch = EditBatch::from_lists([(1, 3)], [(0, 1)]);
+            let (mut dg_f, mut st_f) = make();
+            let rep_f = step(&mut dg_f, &mut st_f, batch.clone(), false);
+            let (mut dg_p, mut st_p) = make();
+            let rep_p = step(&mut dg_p, &mut st_p, batch, true);
+            assert!(rep_p.deliveries <= rep_f.deliveries, "{rep_p:?} vs {rep_f:?}");
+            assert_eq!(rep_p.repicks, rep_f.repicks, "phase A identical");
+            // Both end bit-identical: pruning only skips no-op deliveries.
+            for v in 0..5u32 {
+                assert_eq!(st_f.label_sequence(v), st_p.label_sequence(v));
+                for t in 1..=15u32 {
+                    assert_eq!(st_f.pick(v, t), st_p.pick(v, t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eta_counts_distinct_slots() {
+        let g = star_plus_ring();
+        let mut dg = DynamicGraph::new(g);
+        let mut state = run_propagation(dg.graph(), 15, 4);
+        let report = step(&mut dg, &mut state, EditBatch::from_lists([], [(0, 1)]), false);
+        assert!(report.eta <= report.repicks + report.deliveries);
+        assert!(report.eta >= report.repicks);
+        assert!(report.value_changes <= report.deliveries);
+    }
+}

@@ -1,0 +1,330 @@
+//! Post-processing: from label sequences to overlapping communities
+//! (paper §III-B).
+//!
+//! 1. **Edge weights**: `w_ij = P(l_i = l_j)` for labels drawn uniformly
+//!    from the two sequences — computable by counting common labels:
+//!    `w_ij = Σ_l f(l,i)·f(l,j) / (T+1)²`.
+//! 2. **τ2** (Eq. 2): `min_i max_j w_ij` over vertices with at least one
+//!    neighbor — the weak-attachment threshold guaranteeing "no isolated
+//!    vertex" has zero attachment options.
+//! 3. **τ1** (Eq. 1): the strong threshold maximizing the size entropy of
+//!    the communities (connected components with ≥ 2 vertices of the
+//!    `w ≥ τ1` subgraph). The paper scans `[τ2, max w]` on a 0.001 grid;
+//!    we sweep the *exact* breakpoints (distinct edge weights) descending
+//!    with an incremental union-find, which evaluates every grid the paper
+//!    could choose at `O(|E| α)` total cost.
+//! 4. **Extraction**: components of the τ1-filtered graph (size ≥ 2) are
+//!    communities; a vertex left isolated by the filter weakly attaches to
+//!    the community of every neighbor with `w ≥ τ2` — overlaps arise
+//!    exactly there ("two communities will overlap when some vertices
+//!    belong to both of them weakly").
+
+use rslpa_graph::{AdjacencyGraph, Cover, Label, UnionFind, VertexId};
+
+use crate::state::LabelState;
+
+/// Outcome of post-processing.
+#[derive(Clone, Debug)]
+pub struct PostprocessResult {
+    /// Extracted overlapping communities.
+    pub cover: Cover,
+    /// Strong threshold chosen by entropy maximization.
+    pub tau1: f64,
+    /// Weak-attachment threshold (Eq. 2).
+    pub tau2: f64,
+    /// Entropy achieved at `tau1`.
+    pub entropy: f64,
+    /// Canonical edge list with weights (diagnostics / distributed replay).
+    pub weights: Vec<(VertexId, VertexId, f64)>,
+}
+
+/// Similarity of two label histograms: `P(l_i = l_j)` under independent
+/// uniform draws — `Σ_l f_i(l)·f_j(l) / (m_i·m_j)`.
+pub fn sequence_similarity(hist_a: &[(Label, u32)], hist_b: &[(Label, u32)], m: usize) -> f64 {
+    let mut common = 0u64;
+    let (mut i, mut j) = (0, 0);
+    while i < hist_a.len() && j < hist_b.len() {
+        match hist_a[i].0.cmp(&hist_b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                common += u64::from(hist_a[i].1) * u64::from(hist_b[j].1);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    common as f64 / (m as f64 * m as f64)
+}
+
+/// Compute `w_ij` for every edge of `graph` from the label state.
+pub fn edge_weights(graph: &AdjacencyGraph, state: &LabelState) -> Vec<(VertexId, VertexId, f64)> {
+    let n = graph.num_vertices();
+    let m = state.iterations() + 1;
+    let histograms: Vec<_> = (0..n as VertexId).map(|v| state.histogram(v)).collect();
+    let mut out = Vec::with_capacity(graph.num_edges());
+    for (u, v) in graph.edges() {
+        let w = sequence_similarity(&histograms[u as usize], &histograms[v as usize], m);
+        out.push((u, v, w));
+    }
+    out
+}
+
+/// τ2 = `min_i max_j w_ij` (Eq. 2) over vertices with ≥ 1 neighbor.
+pub fn select_tau2(n: usize, weights: &[(VertexId, VertexId, f64)]) -> f64 {
+    let mut best = vec![f64::NEG_INFINITY; n];
+    for &(u, v, w) in weights {
+        best[u as usize] = best[u as usize].max(w);
+        best[v as usize] = best[v as usize].max(w);
+    }
+    best.iter()
+        .copied()
+        .filter(|w| w.is_finite())
+        .fold(f64::INFINITY, f64::min)
+        .min(1.0) // empty weight list ⇒ τ2 defaults to 1.0
+}
+
+/// Sweep τ1 candidates (descending distinct weights ≥ τ2) with an
+/// incremental union-find, returning `(τ1, entropy at τ1)`.
+///
+/// Entropy is maintained incrementally: communities are components of size
+/// ≥ 2; each union updates only the two merged components' terms.
+pub fn select_tau1(
+    n: usize,
+    weights: &[(VertexId, VertexId, f64)],
+    tau2: f64,
+    grid: Option<f64>,
+) -> (f64, f64) {
+    let mut sorted: Vec<(f64, VertexId, VertexId)> =
+        weights.iter().map(|&(u, v, w)| (w, u, v)).collect();
+    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("weights are finite"));
+    let nf = n as f64;
+    let term = |size: usize| -> f64 {
+        if size < 2 {
+            return 0.0;
+        }
+        let p = size as f64 / nf;
+        -p * p.ln()
+    };
+    let mut uf = UnionFind::new(n);
+    let mut entropy = 0.0;
+    let mut best = (f64::INFINITY, f64::NEG_INFINITY); // (tau1, entropy)
+    let mut i = 0;
+    while i < sorted.len() {
+        let w = sorted[i].0;
+        if w < tau2 {
+            break; // paper scans only [τ2, max w]
+        }
+        // Snap to the requested grid (paper default 0.001) when asked; the
+        // group boundary stays the exact weight otherwise.
+        let threshold = match grid {
+            Some(g) => (w / g).floor() * g,
+            None => w,
+        };
+        // Add all edges with weight >= current group boundary.
+        while i < sorted.len() && sorted[i].0 >= threshold && sorted[i].0 >= tau2 {
+            let (_, u, v) = sorted[i];
+            let (ru, rv) = (uf.find(u), uf.find(v));
+            if ru != rv {
+                let (su, sv) = (uf.set_size(ru), uf.set_size(rv));
+                entropy += term(su + sv) - term(su) - term(sv);
+                uf.union(ru, rv);
+            }
+            i += 1;
+        }
+        if entropy > best.1 + 1e-15 {
+            best = (threshold, entropy);
+        }
+    }
+    if best.1 == f64::NEG_INFINITY {
+        // No edge reaches τ2 (degenerate); fall back to τ2 itself.
+        (tau2, 0.0)
+    } else {
+        best
+    }
+}
+
+/// Extract the final cover at `(τ1, τ2)`.
+pub fn extract_communities(
+    n: usize,
+    weights: &[(VertexId, VertexId, f64)],
+    tau1: f64,
+    tau2: f64,
+) -> Cover {
+    // Strong components under w >= τ1.
+    let mut uf = UnionFind::new(n);
+    for &(u, v, w) in weights {
+        if w >= tau1 {
+            uf.union(u, v);
+        }
+    }
+    let labels = uf.component_labels();
+    let mut size_of: rslpa_graph::FxHashMap<VertexId, usize> = Default::default();
+    for &l in &labels {
+        *size_of.entry(l).or_insert(0) += 1;
+    }
+    let is_member = |v: VertexId| size_of[&labels[v as usize]] >= 2;
+    let mut communities: rslpa_graph::FxHashMap<VertexId, Vec<VertexId>> = Default::default();
+    for v in 0..n as VertexId {
+        if is_member(v) {
+            communities.entry(labels[v as usize]).or_default().push(v);
+        }
+    }
+    // Weak attachment of filter-isolated vertices (overlap source).
+    for &(u, v, w) in weights {
+        if w < tau2 {
+            continue;
+        }
+        for (iso, anchor) in [(u, v), (v, u)] {
+            if !is_member(iso) && is_member(anchor) {
+                let c = communities.get_mut(&labels[anchor as usize]).expect("anchor community");
+                if !c.contains(&iso) {
+                    c.push(iso);
+                }
+            }
+        }
+    }
+    Cover::new(communities.into_values())
+}
+
+/// Full post-processing pipeline (centralized).
+pub fn postprocess(graph: &AdjacencyGraph, state: &LabelState, grid: Option<f64>) -> PostprocessResult {
+    let n = graph.num_vertices();
+    let weights = edge_weights(graph, state);
+    let tau2 = select_tau2(n, &weights);
+    let (tau1, entropy) = select_tau1(n, &weights, tau2, grid);
+    let cover = extract_communities(n, &weights, tau1, tau2);
+    PostprocessResult { cover, tau1, tau2, entropy, weights }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagation::run_propagation;
+
+    #[test]
+    fn similarity_of_identical_sequences_is_concentration() {
+        // Histogram [(7, 4)] over m=4: P = 16/16 = 1.
+        let h = vec![(7u32, 4u32)];
+        assert!((sequence_similarity(&h, &h, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_of_disjoint_sequences_is_zero() {
+        let a = vec![(1u32, 3u32)];
+        let b = vec![(2u32, 3u32)];
+        assert_eq!(sequence_similarity(&a, &b, 3), 0.0);
+    }
+
+    #[test]
+    fn similarity_counts_cross_products() {
+        // a: 2×x + 1×y, b: 1×x + 2×y over m=3: (2·1 + 1·2)/9 = 4/9.
+        let a = vec![(1u32, 2u32), (2, 1)];
+        let b = vec![(1u32, 1u32), (2, 2)];
+        assert!((sequence_similarity(&a, &b, 3) - 4.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tau2_is_min_of_max() {
+        // Vertex degrees of attachment: 0: max(.9,.2)=.9, 1: .9, 2: max(.2,.5)=.5, 3: .5
+        let w = vec![(0, 1, 0.9), (0, 2, 0.2), (2, 3, 0.5)];
+        assert!((select_tau2(4, &w) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tau1_prefers_balanced_split() {
+        // Two dense triangles (w=.9) bridged by w=.3. Every vertex's best
+        // edge is 0.9, so τ2 = 0.9, the sweep never admits the bridge, and
+        // the entropy optimum is the two-triple split.
+        let w = vec![
+            (0, 1, 0.9),
+            (1, 2, 0.9),
+            (0, 2, 0.9),
+            (3, 4, 0.9),
+            (4, 5, 0.9),
+            (3, 5, 0.9),
+            (2, 3, 0.3),
+        ];
+        let tau2 = select_tau2(6, &w);
+        assert!((tau2 - 0.9).abs() < 1e-12);
+        let (tau1, entropy) = select_tau1(6, &w, tau2, None);
+        assert!(tau1 > 0.3, "strong threshold must exclude the bridge, got {tau1}");
+        assert!(entropy > 0.0);
+        let cover = extract_communities(6, &w, tau1, tau2);
+        assert_eq!(cover.sizes(), vec![3, 3]);
+    }
+
+    #[test]
+    fn tau1_sweep_separates_weakly_bridged_groups() {
+        // Strong pairs {0,1} and {4,5}; vertices 2 and 3 hang off them at
+        // 0.45 and bridge each other at 0.4. τ2 = 0.45 (the weakest
+        // vertex's best edge); the sweep picks the pair split (τ1 = 0.9),
+        // and the weak attachment pulls 2 and 3 into the pairs.
+        let w = vec![
+            (0, 1, 0.9),
+            (4, 5, 0.9),
+            (1, 2, 0.45),
+            (3, 4, 0.45),
+            (2, 3, 0.4),
+        ];
+        let tau2 = select_tau2(6, &w);
+        assert!((tau2 - 0.45).abs() < 1e-12);
+        let (tau1, _) = select_tau1(6, &w, tau2, None);
+        assert!((tau1 - 0.9).abs() < 1e-12, "got {tau1}");
+        let cover = extract_communities(6, &w, tau1, tau2);
+        assert_eq!(cover.sizes(), vec![3, 3]);
+        assert_eq!(cover.num_overlapping(6), 0);
+    }
+
+    #[test]
+    fn weak_attachment_creates_overlap() {
+        // Groups {0,1} and {3,4} at w=.9; vertex 2 attaches weakly (w=.5)
+        // to both — it must appear in both communities.
+        let w = vec![(0, 1, 0.9), (3, 4, 0.9), (1, 2, 0.5), (2, 3, 0.5)];
+        let tau2 = select_tau2(5, &w);
+        assert!((tau2 - 0.5).abs() < 1e-12);
+        let cover = extract_communities(5, &w, 0.9, tau2);
+        assert_eq!(cover.len(), 2);
+        assert_eq!(cover.num_overlapping(5), 1);
+        for c in cover.communities() {
+            assert!(c.contains(&2), "vertex 2 in both: {:?}", cover.communities());
+        }
+    }
+
+    #[test]
+    fn grid_snapping_quantizes_tau1() {
+        let w = vec![(0, 1, 0.923), (2, 3, 0.511), (1, 2, 0.1)];
+        let (tau1, _) = select_tau1(4, &w, 0.1, Some(0.001));
+        assert!((tau1 * 1000.0).fract().abs() < 1e-9, "τ1 {tau1} not on 0.001 grid");
+    }
+
+    #[test]
+    fn full_pipeline_on_two_cliques() {
+        let mut g = AdjacencyGraph::new(8);
+        for base in [0u32, 4] {
+            for i in base..base + 4 {
+                for j in (i + 1)..base + 4 {
+                    g.insert_edge(i, j);
+                }
+            }
+        }
+        g.insert_edge(3, 4);
+        let state = run_propagation(&g, 60, 5);
+        let result = postprocess(&g, &state, None);
+        assert!(result.tau2 <= result.tau1 + 1e-12);
+        assert!(result.cover.len() >= 2, "cliques must separate: {:?}", result.cover.communities());
+        // Every vertex should be covered (paper's no-isolated principle).
+        assert_eq!(result.cover.covered_vertices().len(), 8, "{:?}", result.cover.communities());
+        let left = result.cover.communities().iter().any(|c| c.windows(2).count() >= 2 && c.contains(&0) && c.contains(&1));
+        assert!(left, "{:?}", result.cover.communities());
+    }
+
+    #[test]
+    fn empty_graph_pipeline_degenerates_gracefully() {
+        let g = AdjacencyGraph::new(3);
+        let state = run_propagation(&g, 5, 1);
+        let r = postprocess(&g, &state, None);
+        assert!(r.cover.is_empty());
+        assert_eq!(r.weights.len(), 0);
+    }
+}

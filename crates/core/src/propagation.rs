@@ -1,0 +1,162 @@
+//! Algorithm 1 — randomized label propagation (centralized).
+//!
+//! At iteration `t`, every vertex `v` uniformly picks `src ∈ N(v)` and
+//! `pos ∈ {0, …, t−1}` and appends `l_src^pos`. By Theorems 2–3 this is
+//! equivalent in distribution to SLPA's "uniformly pick from the pooled
+//! multiset of neighbor sends", while moving only **one** label per vertex
+//! per iteration. Receiver records are registered as picks happen (the
+//! paper: "R_i can be simply recorded during the label propagation process
+//! with no additional operations required").
+
+use rslpa_graph::rng::{PickKey, Stream};
+use rslpa_graph::{AdjacencyGraph, VertexId};
+
+use crate::state::{LabelState, NO_SOURCE};
+
+/// Draw the `(src, pos)` pick for `(v, t)` at `epoch` from `neighbors`.
+///
+/// Shared by the initial run (epoch 0), the BSP program, and every repick
+/// path of the incremental algorithm — one definition of randomness.
+#[inline]
+pub fn draw_pick(
+    seed: u64,
+    v: VertexId,
+    t: u32,
+    epoch: u32,
+    neighbors: &[VertexId],
+) -> (VertexId, u32) {
+    debug_assert!(!neighbors.is_empty());
+    let key = PickKey { seed, vertex: v, iteration: t, epoch };
+    let src = neighbors[key.bounded(Stream::Src, neighbors.len() as u64) as usize];
+    let pos = key.bounded(Stream::Pos, u64::from(t)) as u32;
+    (src, pos)
+}
+
+/// Run `T` iterations of randomized label propagation on `graph`.
+///
+/// Isolated vertices keep repeating their own label (src = sentinel, no
+/// record), so all label sequences have length `T + 1`.
+pub fn run_propagation(graph: &AdjacencyGraph, t_max: usize, seed: u64) -> LabelState {
+    let n = graph.num_vertices();
+    let mut state = LabelState::new(n, t_max, seed);
+    for t in 1..=t_max as u32 {
+        for v in 0..n as VertexId {
+            let nbrs = graph.neighbors(v);
+            if nbrs.is_empty() {
+                // Sentinel pick; label defaults to the initial label.
+                state.set_pick(v, t, NO_SOURCE, 0);
+                state.set_label(v, t, state.label(v, 0));
+                continue;
+            }
+            let (src, pos) = draw_pick(seed, v, t, 0, nbrs);
+            state.set_pick(v, t, src, pos);
+            state.set_label(v, t, state.label(src, pos));
+            state.add_record(src, pos, v, t);
+        }
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rslpa_graph::rng::DetRng;
+
+    fn triangle() -> AdjacencyGraph {
+        AdjacencyGraph::from_edges(3, [(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn sequences_complete_and_consistent() {
+        let g = triangle();
+        let s = run_propagation(&g, 10, 1);
+        for v in 0..3u32 {
+            assert_eq!(s.label_sequence(v).len(), 11);
+            for t in 1..=10u32 {
+                let (src, pos) = s.pick(v, t);
+                assert!(g.neighbors(v).contains(&src), "src must be a neighbor");
+                assert!(pos < t, "pos must reference an earlier slot");
+                assert_eq!(s.label(v, t), s.label(src, pos), "label consistent with provenance");
+            }
+        }
+        assert_eq!(s.total_records(), 3 * 10);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = triangle();
+        let a = run_propagation(&g, 20, 5);
+        let b = run_propagation(&g, 20, 5);
+        assert_eq!(a.label_sequence(0), b.label_sequence(0));
+        let c = run_propagation(&g, 20, 6);
+        assert_ne!(
+            (0..3).map(|v| a.label_sequence(v).to_vec()).collect::<Vec<_>>(),
+            (0..3).map(|v| c.label_sequence(v).to_vec()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn isolated_vertices_repeat_own_label() {
+        let mut g = AdjacencyGraph::new(3);
+        g.insert_edge(0, 1);
+        let s = run_propagation(&g, 5, 1);
+        assert!(s.label_sequence(2).iter().all(|&l| l == 2));
+        assert_eq!(s.pick(2, 3), (NO_SOURCE, 0));
+        assert_eq!(s.total_records(), 2 * 5);
+    }
+
+    /// Theorem 3 realized: over many seeds, `(src, pos)` at a fixed slot is
+    /// uniform over `N(v) × {0..t-1}` (χ² test).
+    #[test]
+    fn picks_are_uniform_over_src_pos() {
+        let g = triangle();
+        let (v, t) = (0u32, 4u32);
+        let cells = 2 * 4; // |N(0)| = 2, pos ∈ 0..4
+        let trials = 8000u64;
+        let mut counts = vec![0u64; cells];
+        for seed in 0..trials {
+            let (src, pos) = draw_pick(seed, v, t, 0, g.neighbors(v));
+            let si = g.neighbors(v).iter().position(|&u| u == src).unwrap();
+            counts[si * 4 + pos as usize] += 1;
+        }
+        let expected = trials as f64 / cells as f64;
+        let chi2: f64 = counts.iter().map(|&c| (c as f64 - expected).powi(2) / expected).sum();
+        // 7 dof, 99.9% critical value 24.3; generous margin.
+        assert!(chi2 < 30.0, "chi2 = {chi2}, counts = {counts:?}");
+    }
+
+    /// Theorems 2/3 cross-check: picking `(src, pos)` uniformly matches the
+    /// distribution of "every neighbor sends a uniform label from its
+    /// sequence, then pick uniformly from the received multiset".
+    #[test]
+    fn equivalence_with_pooled_multiset_sampling() {
+        // Fixed neighbor sequences of length 3; vertex v has 2 neighbors.
+        let seqs: [&[u32]; 2] = [&[1, 1, 2], &[2, 3, 3]];
+        let trials = 60_000u64;
+        // Process A: draw (src, pos) uniformly.
+        let mut count_a: std::collections::HashMap<u32, u64> = Default::default();
+        let mut rng = DetRng::new(1);
+        for _ in 0..trials {
+            let src = rng.bounded(2) as usize;
+            let pos = rng.bounded(3) as usize;
+            *count_a.entry(seqs[src][pos]).or_insert(0) += 1;
+        }
+        // Process B: each neighbor sends uniform label; pick uniform from
+        // the received multiset.
+        let mut count_b: std::collections::HashMap<u32, u64> = Default::default();
+        for _ in 0..trials {
+            let m = [seqs[0][rng.bounded(3) as usize], seqs[1][rng.bounded(3) as usize]];
+            *count_b.entry(m[rng.bounded(2) as usize]).or_insert(0) += 1;
+        }
+        for l in [1u32, 2, 3] {
+            let pa = *count_a.get(&l).unwrap_or(&0) as f64 / trials as f64;
+            let pb = *count_b.get(&l).unwrap_or(&0) as f64 / trials as f64;
+            assert!((pa - pb).abs() < 0.01, "label {l}: {pa} vs {pb}");
+        }
+        // And both match the analytic pooled frequency: 1:2/6, 2:2/6, 3:2/6.
+        for l in [1u32, 2, 3] {
+            let pa = *count_a.get(&l).unwrap_or(&0) as f64 / trials as f64;
+            assert!((pa - 1.0 / 3.0).abs() < 0.01, "label {l} analytic mismatch: {pa}");
+        }
+    }
+}

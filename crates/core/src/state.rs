@@ -1,0 +1,325 @@
+//! The label-propagation state with full provenance.
+//!
+//! For every vertex `v` and iteration `t ∈ 1..=T` the state stores the
+//! appended label `l_v^t`, its provenance `(src_v^t, pos_v^t)`, and a
+//! repick epoch (how many times this slot has been re-drawn — the input to
+//! the counter-based RNG). The reverse index `R_v^t` — *who picked my
+//! label at slot `t`, and at which of their iterations* — is the paper's
+//! receiver-record structure (§IV-B), stored as one flat list per vertex
+//! (`≈ T` entries on average, one per outgoing pick).
+//!
+//! Layout is struct-of-arrays over a flattened `[n × (T+1)]` (labels) /
+//! `[n × T]` (picks) index space: the propagation and cascade inner loops
+//! touch one row at a time, and flat `Vec<u32>`s keep that row contiguous.
+
+use rslpa_graph::{Label, VertexId};
+
+/// Sentinel `src` for slots picked while the vertex had no neighbors.
+pub const NO_SOURCE: VertexId = VertexId::MAX;
+
+/// One receiver record: `receiver` picked this vertex's label at slot
+/// `slot`, storing it at the receiver's iteration `k`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Record {
+    /// Slot (iteration index into this vertex's label sequence) picked.
+    pub slot: u32,
+    /// The picking vertex.
+    pub receiver: VertexId,
+    /// The iteration at which the receiver stored the label (`k > slot`).
+    pub k: u32,
+}
+
+/// Full provenance state after `T` iterations (and any number of
+/// incremental repairs).
+#[derive(Clone, Debug)]
+pub struct LabelState {
+    n: usize,
+    t_max: usize,
+    seed: u64,
+    /// `labels[v * (T+1) + t]`, `t ∈ 0..=T`.
+    labels: Vec<Label>,
+    /// `src[v * T + (t-1)]`, `t ∈ 1..=T`.
+    src: Vec<VertexId>,
+    /// `pos[v * T + (t-1)]`.
+    pos: Vec<u32>,
+    /// Repick epoch per pick slot, same indexing as `src`.
+    epoch: Vec<u32>,
+    /// Receiver records per vertex.
+    records: Vec<Vec<Record>>,
+}
+
+impl LabelState {
+    /// Fresh state before propagation: `l_v^0 = v`, all picks unset.
+    pub fn new(n: usize, t_max: usize, seed: u64) -> Self {
+        let mut labels = vec![0 as Label; n * (t_max + 1)];
+        for v in 0..n {
+            labels[v * (t_max + 1)] = v as Label;
+        }
+        Self {
+            n,
+            t_max,
+            seed,
+            labels,
+            src: vec![NO_SOURCE; n * t_max],
+            pos: vec![0; n * t_max],
+            epoch: vec![0; n * t_max],
+            records: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Iteration count `T`.
+    #[inline]
+    pub fn iterations(&self) -> usize {
+        self.t_max
+    }
+
+    /// Run seed.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    #[inline]
+    fn lidx(&self, v: VertexId, t: u32) -> usize {
+        debug_assert!(t as usize <= self.t_max);
+        v as usize * (self.t_max + 1) + t as usize
+    }
+
+    #[inline]
+    fn pidx(&self, v: VertexId, t: u32) -> usize {
+        debug_assert!((1..=self.t_max as u32).contains(&t));
+        v as usize * self.t_max + (t as usize - 1)
+    }
+
+    /// Label of `v` at iteration `t` (`t = 0` is the initial label).
+    #[inline]
+    pub fn label(&self, v: VertexId, t: u32) -> Label {
+        self.labels[self.lidx(v, t)]
+    }
+
+    /// Set label of `v` at iteration `t ≥ 1`.
+    #[inline]
+    pub fn set_label(&mut self, v: VertexId, t: u32, l: Label) {
+        let i = self.lidx(v, t);
+        self.labels[i] = l;
+    }
+
+    /// The full label sequence of `v` (`T + 1` entries).
+    #[inline]
+    pub fn label_sequence(&self, v: VertexId) -> &[Label] {
+        let base = v as usize * (self.t_max + 1);
+        &self.labels[base..base + self.t_max + 1]
+    }
+
+    /// Provenance of the pick at `(v, t)`: `(src, pos)`.
+    #[inline]
+    pub fn pick(&self, v: VertexId, t: u32) -> (VertexId, u32) {
+        let i = self.pidx(v, t);
+        (self.src[i], self.pos[i])
+    }
+
+    /// Record a pick (does not touch records — see [`Self::add_record`]).
+    #[inline]
+    pub fn set_pick(&mut self, v: VertexId, t: u32, src: VertexId, pos: u32) {
+        let i = self.pidx(v, t);
+        self.src[i] = src;
+        self.pos[i] = pos;
+    }
+
+    /// Current repick epoch of `(v, t)`.
+    #[inline]
+    pub fn epoch(&self, v: VertexId, t: u32) -> u32 {
+        self.epoch[self.pidx(v, t)]
+    }
+
+    /// Bump and return the new epoch of `(v, t)` (fresh randomness for a
+    /// repick or a Category-3 coin).
+    #[inline]
+    pub fn bump_epoch(&mut self, v: VertexId, t: u32) -> u32 {
+        let i = self.pidx(v, t);
+        self.epoch[i] += 1;
+        self.epoch[i]
+    }
+
+    /// Register that `receiver` picked `(owner, slot)` at iteration `k`.
+    #[inline]
+    pub fn add_record(&mut self, owner: VertexId, slot: u32, receiver: VertexId, k: u32) {
+        debug_assert!(slot < k, "receivers pick strictly earlier slots");
+        self.records[owner as usize].push(Record { slot, receiver, k });
+    }
+
+    /// Remove the record `(owner, slot) -> (receiver, k)`; panics if absent
+    /// (that would mean the reverse index is corrupt).
+    pub fn remove_record(&mut self, owner: VertexId, slot: u32, receiver: VertexId, k: u32) {
+        let list = &mut self.records[owner as usize];
+        let idx = list
+            .iter()
+            .position(|r| r.slot == slot && r.receiver == receiver && r.k == k)
+            .expect("record to remove must exist");
+        list.swap_remove(idx);
+    }
+
+    /// All records of `owner` (unordered).
+    #[inline]
+    pub fn records(&self, owner: VertexId) -> &[Record] {
+        &self.records[owner as usize]
+    }
+
+    /// Receivers of `(owner, slot)`, i.e. `R_owner^slot`.
+    pub fn receivers_of(&self, owner: VertexId, slot: u32) -> impl Iterator<Item = (VertexId, u32)> + '_ {
+        self.records[owner as usize]
+            .iter()
+            .filter(move |r| r.slot == slot)
+            .map(|r| (r.receiver, r.k))
+    }
+
+    /// Total number of records (should equal the number of non-isolated
+    /// picks, `≤ n·T`).
+    pub fn total_records(&self) -> usize {
+        self.records.iter().map(Vec::len).sum()
+    }
+
+    /// Label frequency histogram of `v` as a sorted `(label, count)` list —
+    /// the input to post-processing similarity.
+    pub fn histogram(&self, v: VertexId) -> Vec<(Label, u32)> {
+        let seq = self.label_sequence(v);
+        let mut sorted: Vec<Label> = seq.to_vec();
+        sorted.sort_unstable();
+        let mut out: Vec<(Label, u32)> = Vec::new();
+        for &l in &sorted {
+            match out.last_mut() {
+                Some((prev, c)) if *prev == l => *c += 1,
+                _ => out.push((l, 1)),
+            }
+        }
+        out
+    }
+
+    /// Replace a vertex's whole pick row with "isolated" state (used when a
+    /// vertex loses all neighbors); caller is responsible for record
+    /// cleanup and cascade scheduling.
+    pub fn clear_picks(&mut self, v: VertexId) {
+        for t in 1..=self.t_max as u32 {
+            let i = self.pidx(v, t);
+            self.src[i] = NO_SOURCE;
+            self.pos[i] = 0;
+        }
+    }
+
+    /// Approximate resident memory of the state in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.labels.len() * 4
+            + self.src.len() * 4
+            + self.pos.len() * 4
+            + self.epoch.len() * 4
+            + self.records.iter().map(|r| r.len() * std::mem::size_of::<Record>() + 24).sum::<usize>()
+    }
+
+    /// Grow the state to `n_new ≥ n` vertices (vertex insertion support);
+    /// new vertices start isolated with `l^t = id` for all `t`.
+    pub fn grow(&mut self, n_new: usize) {
+        assert!(n_new >= self.n, "cannot shrink");
+        let t1 = self.t_max + 1;
+        let old_n = self.n;
+        self.labels.resize(n_new * t1, 0);
+        for v in old_n..n_new {
+            for t in 0..t1 {
+                self.labels[v * t1 + t] = v as Label;
+            }
+        }
+        self.src.resize(n_new * self.t_max, NO_SOURCE);
+        self.pos.resize(n_new * self.t_max, 0);
+        self.epoch.resize(n_new * self.t_max, 0);
+        self.records.resize(n_new, Vec::new());
+        self.n = n_new;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_labels_are_vertex_ids() {
+        let s = LabelState::new(4, 3, 1);
+        for v in 0..4u32 {
+            assert_eq!(s.label(v, 0), v);
+            assert_eq!(s.label_sequence(v).len(), 4);
+        }
+    }
+
+    #[test]
+    fn pick_round_trip() {
+        let mut s = LabelState::new(3, 5, 1);
+        s.set_pick(1, 3, 2, 1);
+        assert_eq!(s.pick(1, 3), (2, 1));
+        assert_eq!(s.pick(1, 1), (NO_SOURCE, 0));
+    }
+
+    #[test]
+    fn epochs_bump() {
+        let mut s = LabelState::new(2, 2, 1);
+        assert_eq!(s.epoch(0, 1), 0);
+        assert_eq!(s.bump_epoch(0, 1), 1);
+        assert_eq!(s.bump_epoch(0, 1), 2);
+        assert_eq!(s.epoch(1, 1), 0, "other slots unaffected");
+    }
+
+    #[test]
+    fn records_add_remove_query() {
+        let mut s = LabelState::new(4, 4, 1);
+        s.add_record(2, 1, 3, 2);
+        s.add_record(2, 1, 0, 4);
+        s.add_record(2, 3, 3, 4);
+        let r: Vec<_> = s.receivers_of(2, 1).collect();
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&(3, 2)) && r.contains(&(0, 4)));
+        assert_eq!(s.total_records(), 3);
+        s.remove_record(2, 1, 3, 2);
+        assert_eq!(s.receivers_of(2, 1).count(), 1);
+        assert_eq!(s.total_records(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must exist")]
+    fn removing_missing_record_panics() {
+        let mut s = LabelState::new(2, 2, 1);
+        s.remove_record(0, 1, 1, 2);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let mut s = LabelState::new(1, 4, 1);
+        // Sequence: [0, 7, 7, 0, 9]
+        s.set_label(0, 1, 7);
+        s.set_label(0, 2, 7);
+        s.set_label(0, 3, 0);
+        s.set_label(0, 4, 9);
+        assert_eq!(s.histogram(0), vec![(0, 2), (7, 2), (9, 1)]);
+    }
+
+    #[test]
+    fn grow_adds_isolated_vertices() {
+        let mut s = LabelState::new(2, 3, 1);
+        s.set_label(1, 2, 9);
+        s.grow(4);
+        assert_eq!(s.num_vertices(), 4);
+        assert_eq!(s.label(1, 2), 9, "existing data preserved");
+        for t in 0..=3 {
+            assert_eq!(s.label(3, t), 3);
+        }
+        assert_eq!(s.pick(3, 1), (NO_SOURCE, 0));
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let s = LabelState::new(10, 5, 1);
+        assert!(s.memory_bytes() > 10 * 6 * 4);
+    }
+}

@@ -1,0 +1,469 @@
+//! The BSP engine: superstep loop, message routing, executors.
+
+use rslpa_graph::{CsrGraph, Partitioner, VertexId};
+
+use crate::program::{Aggregates, Ctx, VertexProgram};
+use crate::stats::{RunStats, SuperstepStats};
+
+/// How supersteps are executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Executor {
+    /// One logical worker at a time, in worker order. Deterministic and
+    /// allocation-friendly; the default for tests.
+    Sequential,
+    /// One OS thread per worker via crossbeam scoped threads. Produces
+    /// bit-identical results to `Sequential` (inboxes are canonically
+    /// ordered at consumption).
+    Parallel,
+}
+
+/// Per-worker, per-vertex pending inboxes.
+type WorkerInboxes<M> = Vec<Vec<Vec<(VertexId, M)>>>;
+
+/// Output of one worker for one superstep.
+struct WorkerOutput<M> {
+    /// `(to, from, payload)` in emission order.
+    outbox: Vec<(VertexId, VertexId, M)>,
+    aggregates: Aggregates,
+    processed: u64,
+    compute: u64,
+}
+
+/// Runs a [`VertexProgram`] over a partitioned graph.
+pub struct BspEngine<'g, P: VertexProgram> {
+    graph: &'g CsrGraph,
+    program: P,
+    executor: Executor,
+    /// Worker owning each vertex.
+    owner: Vec<u32>,
+    /// Index of each vertex within its worker's dense arrays.
+    local_idx: Vec<u32>,
+    /// Vertices per worker, ascending.
+    worker_vertices: Vec<Vec<VertexId>>,
+    /// Vertex states per worker, parallel to `worker_vertices`.
+    worker_states: Vec<Vec<P::State>>,
+    /// Pending inboxes per worker/vertex.
+    worker_inboxes: WorkerInboxes<P::Msg>,
+    /// `remain_active` flags per worker/vertex.
+    worker_active: Vec<Vec<bool>>,
+    aggregates: Aggregates,
+    stats: RunStats,
+    superstep: usize,
+    started: bool,
+}
+
+impl<'g, P: VertexProgram> BspEngine<'g, P>
+where
+    P::Msg: Send,
+    P::State: Send,
+{
+    /// Plan an engine over `graph` with the given partitioner and executor.
+    pub fn new(graph: &'g CsrGraph, program: P, partitioner: &dyn Partitioner, executor: Executor) -> Self {
+        let n = graph.num_vertices();
+        let num_workers = partitioner.num_parts();
+        let mut owner = vec![0u32; n];
+        let mut local_idx = vec![0u32; n];
+        let mut worker_vertices = vec![Vec::new(); num_workers];
+        for v in 0..n as VertexId {
+            let w = partitioner.assign(v);
+            owner[v as usize] = w as u32;
+            local_idx[v as usize] = worker_vertices[w].len() as u32;
+            worker_vertices[w].push(v);
+        }
+        let worker_inboxes = worker_vertices.iter().map(|vs| vec![Vec::new(); vs.len()]).collect();
+        let worker_active = worker_vertices.iter().map(|vs| vec![false; vs.len()]).collect();
+        let worker_states = worker_vertices.iter().map(|vs| Vec::with_capacity(vs.len())).collect();
+        Self {
+            graph,
+            program,
+            executor,
+            owner,
+            local_idx,
+            worker_vertices,
+            worker_states,
+            worker_inboxes,
+            worker_active,
+            aggregates: Aggregates::default(),
+            stats: RunStats::default(),
+            superstep: 0,
+            started: false,
+        }
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.worker_vertices.len()
+    }
+
+    /// Run until quiescent or `max_supersteps` executed. May be called
+    /// repeatedly to continue a paused run.
+    pub fn run(&mut self, max_supersteps: usize) -> &RunStats {
+        for _ in 0..max_supersteps {
+            let quiescent = self.run_superstep();
+            if quiescent {
+                break;
+            }
+        }
+        &self.stats
+    }
+
+    /// Execute exactly one superstep. Returns `true` when the computation
+    /// is quiescent (no messages in flight, no vertex active).
+    pub fn run_superstep(&mut self) -> bool {
+        let init_round = !self.started;
+        self.started = true;
+        let num_workers = self.worker_vertices.len();
+
+        let outputs: Vec<WorkerOutput<P::Msg>> = match self.executor {
+            Executor::Sequential => {
+                let mut outs = Vec::with_capacity(num_workers);
+                for w in 0..num_workers {
+                    outs.push(Self::run_worker(
+                        self.graph,
+                        &self.program,
+                        self.superstep,
+                        init_round,
+                        &self.worker_vertices[w],
+                        &mut self.worker_states[w],
+                        &mut self.worker_inboxes[w],
+                        &mut self.worker_active[w],
+                        &self.aggregates,
+                    ));
+                }
+                outs
+            }
+            Executor::Parallel => {
+                let graph = self.graph;
+                let program = &self.program;
+                let superstep = self.superstep;
+                let aggregates = &self.aggregates;
+                let vertices = &self.worker_vertices;
+                let states = &mut self.worker_states;
+                let inboxes = &mut self.worker_inboxes;
+                let actives = &mut self.worker_active;
+                crossbeam::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(num_workers);
+                    for (((vs, st), ib), ac) in vertices
+                        .iter()
+                        .zip(states.iter_mut())
+                        .zip(inboxes.iter_mut())
+                        .zip(actives.iter_mut())
+                    {
+                        handles.push(scope.spawn(move |_| {
+                            Self::run_worker(graph, program, superstep, init_round, vs, st, ib, ac, aggregates)
+                        }));
+                    }
+                    handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+                })
+                .expect("scope panicked")
+            }
+        };
+
+        // Merge aggregates and stats in worker order (deterministic).
+        let mut next_agg = Aggregates::default();
+        let mut step_stats = SuperstepStats::default();
+        let mut max_compute = 0u64;
+        let mut remote_out = vec![0u64; num_workers];
+        let mut remote_in = vec![0u64; num_workers];
+        for (w, out) in outputs.iter().enumerate() {
+            next_agg.merge(&out.aggregates);
+            step_stats.active_vertices += out.processed;
+            max_compute = max_compute.max(out.compute);
+            for &(to, from, ref msg) in &out.outbox {
+                let bytes = self.program.msg_bytes(msg);
+                step_stats.messages += 1;
+                step_stats.bytes += bytes;
+                let dest = self.owner[to as usize] as usize;
+                if dest != w {
+                    debug_assert_eq!(self.owner[from as usize] as usize, w);
+                    step_stats.remote_messages += 1;
+                    step_stats.remote_bytes += bytes;
+                    remote_out[w] += bytes;
+                    remote_in[dest] += bytes;
+                }
+            }
+        }
+        step_stats.max_worker_compute = max_compute;
+        step_stats.max_worker_remote_bytes = remote_out
+            .iter()
+            .zip(&remote_in)
+            .map(|(o, i)| o + i)
+            .max()
+            .unwrap_or(0);
+
+        // Deliver messages.
+        let mut delivered = 0u64;
+        for out in outputs {
+            for (to, from, msg) in out.outbox {
+                let w = self.owner[to as usize] as usize;
+                let li = self.local_idx[to as usize] as usize;
+                self.worker_inboxes[w][li].push((from, msg));
+                delivered += 1;
+            }
+        }
+
+        self.stats.supersteps.push(step_stats);
+        self.aggregates = next_agg;
+        self.superstep += 1;
+
+        let any_active = self.worker_active.iter().any(|ws| ws.iter().any(|&a| a));
+        delivered == 0 && !any_active
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_worker(
+        graph: &CsrGraph,
+        program: &P,
+        superstep: usize,
+        init_round: bool,
+        vertices: &[VertexId],
+        states: &mut Vec<P::State>,
+        inboxes: &mut [Vec<(VertexId, P::Msg)>],
+        actives: &mut [bool],
+        aggregates_prev: &Aggregates,
+    ) -> WorkerOutput<P::Msg> {
+        let mut out = WorkerOutput {
+            outbox: Vec::new(),
+            aggregates: Aggregates::default(),
+            processed: 0,
+            compute: 0,
+        };
+        for (i, &v) in vertices.iter().enumerate() {
+            if !init_round && !actives[i] && inboxes[i].is_empty() {
+                continue;
+            }
+            let mut inbox = std::mem::take(&mut inboxes[i]);
+            // Canonical inbox order: ascending sender, per-sender emission
+            // order preserved (stable sort). This is what makes parallel and
+            // sequential execution bit-identical.
+            inbox.sort_by_key(|&(from, _)| from);
+            let mut keep = false;
+            let mut vertex_outbox: Vec<(VertexId, P::Msg)> = Vec::new();
+            {
+                let mut ctx = Ctx {
+                    vertex: v,
+                    superstep,
+                    graph,
+                    outbox: &mut vertex_outbox,
+                    aggregates_prev,
+                    aggregates_next: &mut out.aggregates,
+                    keep_active: &mut keep,
+                };
+                if init_round {
+                    let state = program.init(&mut ctx);
+                    states.push(state);
+                } else {
+                    program.step(&mut ctx, &mut states[i], &inbox);
+                }
+            }
+            actives[i] = keep;
+            out.processed += 1;
+            out.compute += 1 + inbox.len() as u64;
+            out.outbox.extend(vertex_outbox.into_iter().map(|(to, msg)| (to, v, msg)));
+        }
+        out
+    }
+
+    /// State of vertex `v` (panics before the init superstep ran).
+    pub fn state(&self, v: VertexId) -> &P::State {
+        let w = self.owner[v as usize] as usize;
+        &self.worker_states[w][self.local_idx[v as usize] as usize]
+    }
+
+    /// Consume the engine, returning states in vertex order.
+    pub fn into_states(mut self) -> Vec<P::State> {
+        let n = self.owner.len();
+        let mut per_worker: Vec<std::vec::IntoIter<P::State>> =
+            self.worker_states.drain(..).map(Vec::into_iter).collect();
+        let mut states = Vec::with_capacity(n);
+        for v in 0..n {
+            let w = self.owner[v] as usize;
+            states.push(per_worker[w].next().expect("state missing"));
+        }
+        states
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Aggregates from the most recent superstep.
+    pub fn aggregates(&self) -> &Aggregates {
+        &self.aggregates
+    }
+
+    /// Borrow the program back (e.g. to read configuration).
+    pub fn program(&self) -> &P {
+        &self.program
+    }
+}
+
+// The engine needs to update `self.aggregates` after the merge above; done
+// here to keep the borrow checker happy about `outputs` consuming fields.
+impl<'g, P: VertexProgram> BspEngine<'g, P>
+where
+    P::Msg: Send,
+    P::State: Send,
+{
+    /// Run a closure over every vertex state in vertex order.
+    pub fn for_each_state(&self, mut f: impl FnMut(VertexId, &P::State)) {
+        for v in 0..self.owner.len() as VertexId {
+            f(v, self.state(v));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rslpa_graph::{AdjacencyGraph, HashPartitioner};
+
+    /// Each vertex floods its id for `rounds` rounds and remembers the max
+    /// id it has seen — a tiny, fully deterministic diffusion program.
+    struct MaxFlood {
+        rounds: usize,
+    }
+
+    impl VertexProgram for MaxFlood {
+        type Msg = u32;
+        type State = u32;
+
+        fn init(&self, ctx: &mut Ctx<'_, u32>) -> u32 {
+            let v = ctx.vertex();
+            for &n in ctx.neighbors() {
+                ctx.send(n, v);
+            }
+            v
+        }
+
+        fn step(&self, ctx: &mut Ctx<'_, u32>, state: &mut u32, inbox: &[(u32, u32)]) {
+            let before = *state;
+            for &(_, m) in inbox {
+                *state = (*state).max(m);
+            }
+            if *state != before && ctx.superstep() < self.rounds {
+                let s = *state;
+                for &n in ctx.neighbors() {
+                    ctx.send(n, s);
+                }
+            }
+        }
+    }
+
+    fn path_graph(n: usize) -> CsrGraph {
+        let g = AdjacencyGraph::from_edges(n, (0..n as u32 - 1).map(|i| (i, i + 1)));
+        CsrGraph::from_adjacency(&g)
+    }
+
+    #[test]
+    fn max_flood_converges_on_path() {
+        let g = path_graph(6);
+        let mut eng = BspEngine::new(&g, MaxFlood { rounds: 100 }, &HashPartitioner::new(3), Executor::Sequential);
+        eng.run(100);
+        for v in 0..6 {
+            assert_eq!(*eng.state(v), 5, "vertex {v} should see the max id");
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree_bitwise() {
+        let g = path_graph(40);
+        let p = HashPartitioner::new(4);
+        let mut seq = BspEngine::new(&g, MaxFlood { rounds: 100 }, &p, Executor::Sequential);
+        seq.run(200);
+        let mut par = BspEngine::new(&g, MaxFlood { rounds: 100 }, &p, Executor::Parallel);
+        par.run(200);
+        let s1 = seq.into_states();
+        let s2 = par.into_states();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn stats_count_messages_and_rounds() {
+        let g = path_graph(4); // edges: 0-1, 1-2, 2-3
+        let mut eng = BspEngine::new(&g, MaxFlood { rounds: 100 }, &HashPartitioner::new(2), Executor::Sequential);
+        eng.run(100);
+        let stats = eng.stats();
+        // Init superstep sends one message per half-edge = 6 messages.
+        assert_eq!(stats.supersteps[0].messages, 6);
+        assert_eq!(stats.supersteps[0].active_vertices, 4);
+        assert!(stats.rounds() >= 3, "propagation takes multiple rounds");
+        // Final round delivers nothing and engine stops.
+        assert!(stats.total_messages() > 0);
+    }
+
+    #[test]
+    fn remote_messages_do_not_exceed_total() {
+        let g = path_graph(20);
+        let mut eng = BspEngine::new(&g, MaxFlood { rounds: 100 }, &HashPartitioner::new(4), Executor::Sequential);
+        eng.run(100);
+        let s = eng.stats();
+        assert!(s.total_remote_messages() <= s.total_messages());
+        assert!(s.total_remote_messages() > 0, "hash partition of a path must cut edges");
+    }
+
+    #[test]
+    fn single_worker_has_no_remote_traffic() {
+        let g = path_graph(10);
+        let mut eng = BspEngine::new(&g, MaxFlood { rounds: 100 }, &HashPartitioner::new(1), Executor::Sequential);
+        eng.run(100);
+        assert_eq!(eng.stats().total_remote_messages(), 0);
+    }
+
+    #[test]
+    fn into_states_is_vertex_ordered() {
+        let g = path_graph(10);
+        let mut eng = BspEngine::new(&g, MaxFlood { rounds: 0 }, &HashPartitioner::new(3), Executor::Sequential);
+        eng.run(1);
+        let states = eng.into_states();
+        assert_eq!(states.len(), 10);
+        // With rounds = 0 nothing propagates past init; state == own id
+        // except where a neighbor's init message already arrived (none,
+        // since steps beyond init are suppressed by rounds=0 only after
+        // receipt). Here we only check ordering of the id-initialized part.
+        for (v, &s) in states.iter().enumerate() {
+            assert!(s >= v as u32);
+        }
+    }
+
+    /// Aggregator plumbing: every vertex contributes its degree at init;
+    /// next superstep everyone can read the global min/max/sum.
+    struct DegreeAgg;
+
+    impl VertexProgram for DegreeAgg {
+        type Msg = ();
+        type State = (f64, f64, f64);
+
+        fn init(&self, ctx: &mut Ctx<'_, ()>) -> Self::State {
+            ctx.aggregate(ctx.neighbors().len() as f64);
+            ctx.remain_active();
+            (0.0, 0.0, 0.0)
+        }
+
+        fn step(&self, ctx: &mut Ctx<'_, ()>, state: &mut Self::State, _inbox: &[(u32, ())]) {
+            let a = ctx.aggregates();
+            *state = (a.min, a.max, a.sum);
+        }
+    }
+
+    #[test]
+    fn aggregates_visible_next_superstep() {
+        let g = path_graph(5); // degrees: 1,2,2,2,1 -> min 1, max 2, sum 8
+        let mut eng = BspEngine::new(&g, DegreeAgg, &HashPartitioner::new(2), Executor::Sequential);
+        eng.run(2);
+        for v in 0..5 {
+            let &(min, max, sum) = eng.state(v);
+            assert_eq!((min, max, sum), (1.0, 2.0, 8.0));
+        }
+    }
+
+    #[test]
+    fn quiescence_detected() {
+        let g = path_graph(3);
+        let mut eng = BspEngine::new(&g, MaxFlood { rounds: 100 }, &HashPartitioner::new(2), Executor::Sequential);
+        // Run with a generous budget; engine must stop early.
+        eng.run(1000);
+        assert!(eng.stats().rounds() < 20);
+    }
+}

@@ -1,0 +1,180 @@
+//! The vertex-program abstraction and its per-step context.
+
+use rslpa_graph::{CsrGraph, VertexId};
+
+/// Global aggregates combined across all vertices within one superstep and
+/// visible to every vertex in the *next* superstep (Pregel aggregator
+/// semantics). A fixed sum/min/max/count palette covers everything the
+/// reproduction needs (e.g. τ2 = global min of per-vertex max similarity).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Aggregates {
+    /// Sum of contributed values.
+    pub sum: f64,
+    /// Minimum contributed value (`+inf` if none).
+    pub min: f64,
+    /// Maximum contributed value (`-inf` if none).
+    pub max: f64,
+    /// Number of contributions.
+    pub count: u64,
+}
+
+impl Default for Aggregates {
+    fn default() -> Self {
+        Self { sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, count: 0 }
+    }
+}
+
+impl Aggregates {
+    /// Fold one contribution in.
+    #[inline]
+    pub fn add(&mut self, v: f64) {
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.count += 1;
+    }
+
+    /// Merge two partial aggregates (worker-local then global).
+    #[inline]
+    pub fn merge(&mut self, other: &Aggregates) {
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+    }
+}
+
+/// Per-vertex execution context handed to [`VertexProgram::init`] and
+/// [`VertexProgram::step`].
+pub struct Ctx<'a, M> {
+    pub(crate) vertex: VertexId,
+    pub(crate) superstep: usize,
+    pub(crate) graph: &'a CsrGraph,
+    pub(crate) outbox: &'a mut Vec<(VertexId, M)>,
+    pub(crate) aggregates_prev: &'a Aggregates,
+    pub(crate) aggregates_next: &'a mut Aggregates,
+    pub(crate) keep_active: &'a mut bool,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// The vertex being computed.
+    #[inline]
+    pub fn vertex(&self) -> VertexId {
+        self.vertex
+    }
+
+    /// Current superstep (0 = the `init` round).
+    #[inline]
+    pub fn superstep(&self) -> usize {
+        self.superstep
+    }
+
+    /// Topology neighbors of the current vertex.
+    #[inline]
+    pub fn neighbors(&self) -> &'a [VertexId] {
+        self.graph.neighbors(self.vertex)
+    }
+
+    /// Neighbors of an arbitrary vertex (programs occasionally need remote
+    /// topology; in a real system this is a co-partitioned lookup).
+    #[inline]
+    pub fn neighbors_of(&self, v: VertexId) -> &'a [VertexId] {
+        self.graph.neighbors(v)
+    }
+
+    /// Full topology snapshot.
+    #[inline]
+    pub fn graph(&self) -> &'a CsrGraph {
+        self.graph
+    }
+
+    /// Send `msg` to vertex `to`, delivered next superstep.
+    #[inline]
+    pub fn send(&mut self, to: VertexId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+
+    /// Aggregates contributed during the *previous* superstep.
+    #[inline]
+    pub fn aggregates(&self) -> &Aggregates {
+        self.aggregates_prev
+    }
+
+    /// Contribute to the aggregates visible next superstep.
+    #[inline]
+    pub fn aggregate(&mut self, value: f64) {
+        self.aggregates_next.add(value);
+    }
+
+    /// Request to be scheduled next superstep even without incoming
+    /// messages (default is message-driven activation).
+    #[inline]
+    pub fn remain_active(&mut self) {
+        *self.keep_active = true;
+    }
+}
+
+/// A Pregel-style vertex program.
+///
+/// Execution model:
+/// 1. Superstep 0 calls [`init`](Self::init) on every vertex to create its
+///    state (and possibly send messages).
+/// 2. Superstep `s ≥ 1` calls [`step`](Self::step) on every vertex that
+///    received messages or called [`Ctx::remain_active`] in `s - 1`.
+/// 3. The engine stops when no messages are in flight and no vertex is
+///    active, or after `max_supersteps`.
+///
+/// Programs must be deterministic functions of their inputs (use
+/// [`rslpa_graph::rng::PickKey`] for randomness); the engine guarantees a
+/// canonical inbox order (ascending sender id, then send order), making
+/// sequential and parallel execution bit-identical.
+pub trait VertexProgram: Sync {
+    /// Message payload.
+    type Msg: Clone + Send;
+    /// Per-vertex persistent state.
+    type State: Send;
+
+    /// Create vertex state at superstep 0.
+    fn init(&self, ctx: &mut Ctx<'_, Self::Msg>) -> Self::State;
+
+    /// Process the inbox at superstep ≥ 1. `inbox` holds `(sender, msg)`
+    /// pairs in canonical order.
+    fn step(&self, ctx: &mut Ctx<'_, Self::Msg>, state: &mut Self::State, inbox: &[(VertexId, Self::Msg)]);
+
+    /// Serialized size of one message, for byte accounting. The default
+    /// charges the in-memory payload size; variable-size payloads (label
+    /// sets) should override.
+    fn msg_bytes(&self, _msg: &Self::Msg) -> u64 {
+        std::mem::size_of::<Self::Msg>() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_fold_and_merge() {
+        let mut a = Aggregates::default();
+        a.add(2.0);
+        a.add(-1.0);
+        let mut b = Aggregates::default();
+        b.add(10.0);
+        a.merge(&b);
+        assert_eq!(a.sum, 11.0);
+        assert_eq!(a.min, -1.0);
+        assert_eq!(a.max, 10.0);
+        assert_eq!(a.count, 3);
+    }
+
+    #[test]
+    fn default_aggregates_are_identity_for_merge() {
+        let mut a = Aggregates::default();
+        let mut b = Aggregates::default();
+        b.add(5.0);
+        a.merge(&b);
+        assert_eq!(a.min, 5.0);
+        assert_eq!(a.max, 5.0);
+        assert_eq!(a.count, 1);
+    }
+}

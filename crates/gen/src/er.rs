@@ -1,0 +1,90 @@
+//! Erdős–Rényi `G(n, m)` graphs.
+//!
+//! Null-model graphs for tests and for the complexity experiments of §IV-D,
+//! whose analysis assumes "no prior distribution ... about the degrees of
+//! vertices" — i.e. exactly the uniform-random-edge model.
+
+use rslpa_graph::rng::DetRng;
+use rslpa_graph::{AdjacencyGraph, VertexId};
+
+/// A uniform random graph with `n` vertices and exactly `m` distinct edges.
+///
+/// Panics if `m` exceeds the number of possible edges.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> AdjacencyGraph {
+    let possible = n * n.saturating_sub(1) / 2;
+    assert!(m <= possible, "m = {m} exceeds {possible} possible edges");
+    let mut g = AdjacencyGraph::new(n);
+    let mut rng = DetRng::new(seed);
+    if n < 2 {
+        return g;
+    }
+    // Rejection sampling is fine while m is a small fraction of possible;
+    // switch to dense sampling (shuffle of all pairs) when m is large.
+    if m * 3 < possible {
+        let mut placed = 0usize;
+        while placed < m {
+            let u = rng.bounded(n as u64) as VertexId;
+            let v = rng.bounded(n as u64) as VertexId;
+            if u != v && g.insert_edge(u, v) {
+                placed += 1;
+            }
+        }
+    } else {
+        let mut pairs: Vec<(VertexId, VertexId)> = Vec::with_capacity(possible);
+        for u in 0..n as VertexId {
+            for v in (u + 1)..n as VertexId {
+                pairs.push((u, v));
+            }
+        }
+        rng.shuffle(&mut pairs);
+        for &(u, v) in &pairs[..m] {
+            g.insert_edge(u, v);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count() {
+        let g = erdos_renyi(100, 250, 1);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 250);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn dense_path_used_near_complete() {
+        let g = erdos_renyi(20, 180, 2); // 190 possible
+        assert_eq!(g.num_edges(), 180);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(erdos_renyi(50, 100, 3), erdos_renyi(50, 100, 3));
+        assert_ne!(erdos_renyi(50, 100, 3), erdos_renyi(50, 100, 4));
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(erdos_renyi(0, 0, 1).num_vertices(), 0);
+        assert_eq!(erdos_renyi(1, 0, 1).num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn too_many_edges_panics() {
+        let _ = erdos_renyi(4, 7, 1);
+    }
+
+    #[test]
+    fn degrees_are_roughly_uniform() {
+        let g = erdos_renyi(200, 2000, 5); // expected degree 20
+        let max = g.max_degree();
+        assert!((10..=40).contains(&max.min(40)), "max degree {max} implausible for ER");
+    }
+}

@@ -1,0 +1,110 @@
+//! The GN (Girvan–Newman) planted-partition benchmark.
+//!
+//! The classic 128-vertex, 4-community benchmark (paper reference \[1\]),
+//! which LFR superseded but which remains the cheapest known-truth graph
+//! for unit tests: each vertex has expected degree `z_in + z_out = 16`,
+//! with `z_in` edges inside its 32-vertex community.
+
+use rslpa_graph::rng::DetRng;
+use rslpa_graph::{AdjacencyGraph, Cover, VertexId};
+
+/// Parameters of the GN benchmark.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GnParams {
+    /// Number of communities (classic: 4).
+    pub groups: usize,
+    /// Vertices per community (classic: 32).
+    pub group_size: usize,
+    /// Expected intra-community degree (classic: 16 − z_out).
+    pub z_in: f64,
+    /// Expected inter-community degree.
+    pub z_out: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GnParams {
+    fn default() -> Self {
+        Self { groups: 4, group_size: 32, z_in: 14.0, z_out: 2.0, seed: 1 }
+    }
+}
+
+/// Generate a GN benchmark graph with its ground-truth (disjoint) cover.
+pub fn gn_benchmark(params: &GnParams) -> (AdjacencyGraph, Cover) {
+    let n = params.groups * params.group_size;
+    let mut g = AdjacencyGraph::new(n);
+    let mut rng = DetRng::new(params.seed);
+    let group = |v: VertexId| (v as usize) / params.group_size;
+    // Edge probabilities from expected degrees.
+    let p_in = (params.z_in / (params.group_size as f64 - 1.0)).min(1.0);
+    let p_out = if params.groups > 1 {
+        (params.z_out / ((params.groups - 1) as f64 * params.group_size as f64)).min(1.0)
+    } else {
+        0.0
+    };
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            let p = if group(u) == group(v) { p_in } else { p_out };
+            if rng.unit_f64() < p {
+                g.insert_edge(u, v);
+            }
+        }
+    }
+    let cover = Cover::new((0..params.groups).map(|c| {
+        ((c * params.group_size) as VertexId..((c + 1) * params.group_size) as VertexId).collect()
+    }));
+    (g, cover)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_shape() {
+        let (g, cover) = gn_benchmark(&GnParams::default());
+        assert_eq!(g.num_vertices(), 128);
+        assert_eq!(cover.len(), 4);
+        assert_eq!(cover.sizes(), vec![32, 32, 32, 32]);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn expected_degree_is_near_z_in_plus_z_out() {
+        let p = GnParams::default();
+        let (g, _) = gn_benchmark(&p);
+        let avg = g.avg_degree();
+        assert!((avg - (p.z_in + p.z_out)).abs() < 2.5, "avg degree {avg}");
+    }
+
+    #[test]
+    fn intra_edges_dominate_when_z_in_high() {
+        let (g, cover) = gn_benchmark(&GnParams::default());
+        let m = cover.memberships(g.num_vertices());
+        let (mut intra, mut inter) = (0usize, 0usize);
+        for (u, v) in g.edges() {
+            if m[u as usize] == m[v as usize] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > 4 * inter, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = gn_benchmark(&GnParams::default()).0;
+        let b = gn_benchmark(&GnParams::default()).0;
+        assert_eq!(a, b);
+        let c = gn_benchmark(&GnParams { seed: 2, ..Default::default() }).0;
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn single_group_has_no_external_edges() {
+        let (g, cover) = gn_benchmark(&GnParams { groups: 1, group_size: 16, ..Default::default() });
+        assert_eq!(cover.len(), 1);
+        assert!(g.num_edges() > 0);
+    }
+}

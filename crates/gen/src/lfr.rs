@@ -1,0 +1,643 @@
+//! The LFR benchmark with overlapping communities.
+//!
+//! Reimplementation of the generative model of Lancichinetti & Fortunato,
+//! "Benchmarks for testing community detection algorithms on directed and
+//! weighted graphs with overlapping communities", Phys. Rev. E 80 (2009) —
+//! the paper's reference \[19\] and the source of every synthetic experiment
+//! in §V-A. The pipeline:
+//!
+//! 1. draw vertex degrees from a bounded power law `τ1` whose lower cutoff
+//!    is solved so the mean equals `k` (Table I's average degree);
+//! 2. split each degree into internal `(1-µ)·d` and external `µ·d` stubs;
+//! 3. draw community sizes from a bounded power law `τ2` summing to the
+//!    total number of memberships (`n − on + on·om`);
+//! 4. assign memberships (overlapping vertices get `om` distinct
+//!    communities) subject to fit constraints, hardest-first randomized;
+//! 5. wire internal stubs with a per-community configuration model and
+//!    external stubs with a global configuration model that rejects
+//!    intra-community pairs, both with bounded rewiring repair.
+//!
+//! The generator is deterministic in `seed` and returns the achieved
+//! mixing so experiments can report parameter fidelity.
+
+use rslpa_graph::rng::DetRng;
+use rslpa_graph::{AdjacencyGraph, Cover, FxHashSet, VertexId};
+
+use crate::powerlaw::PowerLaw;
+
+/// Parameters of the LFR benchmark (paper Table I).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LfrParams {
+    /// `N`: number of vertices.
+    pub n: usize,
+    /// `k`: average degree.
+    pub avg_degree: f64,
+    /// `maxk`: maximum degree.
+    pub max_degree: usize,
+    /// `µ`: mixing parameter (fraction of each vertex's edges leaving its
+    /// communities).
+    pub mixing: f64,
+    /// Degree power-law exponent (LFR default 2).
+    pub tau1: f64,
+    /// Community-size power-law exponent (LFR default 1).
+    pub tau2: f64,
+    /// `on`: number of overlapping vertices.
+    pub overlapping_vertices: usize,
+    /// `om`: memberships per overlapping vertex.
+    pub memberships: usize,
+    /// Smallest community size; `None` derives a feasible default.
+    pub min_community: Option<usize>,
+    /// Largest community size; `None` derives a feasible default.
+    pub max_community: Option<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LfrParams {
+    /// The paper's default setting: `N = 10,000`, `k = 30`, `maxk = 100`,
+    /// `om = 2`, `on = 0.1·N`, `µ = 0.1` (§V-A1).
+    pub fn paper_defaults() -> Self {
+        let n = 10_000;
+        Self {
+            n,
+            avg_degree: 30.0,
+            max_degree: 100,
+            mixing: 0.1,
+            tau1: 2.0,
+            tau2: 1.0,
+            overlapping_vertices: n / 10,
+            memberships: 2,
+            min_community: None,
+            max_community: None,
+            seed: 42,
+        }
+    }
+
+    /// A proportionally scaled-down setting for fast tests and CI.
+    pub fn scaled(n: usize) -> Self {
+        Self {
+            n,
+            avg_degree: 12.0,
+            max_degree: 40,
+            mixing: 0.1,
+            tau1: 2.0,
+            tau2: 1.0,
+            overlapping_vertices: n / 10,
+            memberships: 2,
+            min_community: None,
+            max_community: None,
+            seed: 42,
+        }
+    }
+
+    /// Density slack: a vertex with internal share `s` only joins
+    /// communities of size `> SLACK · s`, keeping intra-community density
+    /// comfortably below 1 so the configuration model can wire without
+    /// mass rejection (the official LFR code achieves the same by moving
+    /// vertices between communities during rewiring).
+    const SLACK: f64 = 1.3;
+
+    /// Derived smallest community size.
+    fn minc(&self) -> usize {
+        self.min_community.unwrap_or_else(|| {
+            let kmin = PowerLaw::solve_min_for_mean(self.avg_degree, self.max_degree as f64, self.tau1)
+                .unwrap_or(self.avg_degree / 2.0);
+            ((Self::SLACK * (1.0 - self.mixing) * kmin).ceil() as usize + 2).max(6)
+        })
+    }
+
+    /// Derived largest community size: must fit the largest per-membership
+    /// internal degree, `(1-µ)·maxk` for a non-overlapping hub, with slack.
+    fn maxc(&self) -> usize {
+        self.max_community.unwrap_or_else(|| {
+            let need = (Self::SLACK * (1.0 - self.mixing) * self.max_degree as f64).ceil() as usize + 3;
+            need.max(2 * self.minc())
+        })
+    }
+}
+
+/// A generated LFR instance.
+#[derive(Clone, Debug)]
+pub struct LfrGraph {
+    /// The benchmark graph.
+    pub graph: AdjacencyGraph,
+    /// Planted overlapping communities.
+    pub ground_truth: Cover,
+    /// Fraction of edges joining vertices with no shared community.
+    pub achieved_mixing: f64,
+    /// Stubs dropped during rewiring repair (diagnostic; small).
+    pub dropped_stubs: usize,
+}
+
+/// Generation failure (infeasible parameters after bounded retries).
+#[derive(Clone, Debug)]
+pub struct LfrError(pub String);
+
+impl std::fmt::Display for LfrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LFR generation failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for LfrError {}
+
+impl LfrParams {
+    /// Generate a graph with planted overlapping communities.
+    pub fn generate(&self) -> Result<LfrGraph, LfrError> {
+        self.validate()?;
+        // Up to a few restarts with perturbed seeds: the randomized
+        // membership assignment can (rarely) dead-end.
+        let mut last_err = None;
+        for attempt in 0..8 {
+            match self.generate_once(self.seed.wrapping_add(attempt * 0x9e37)) {
+                Ok(g) => return Ok(g),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| LfrError("exhausted retries".into())))
+    }
+
+    fn validate(&self) -> Result<(), LfrError> {
+        if self.n < 10 {
+            return Err(LfrError(format!("n = {} too small", self.n)));
+        }
+        if !(0.0..1.0).contains(&self.mixing) {
+            return Err(LfrError(format!("mixing {} outside [0,1)", self.mixing)));
+        }
+        if self.memberships < 1 {
+            return Err(LfrError("om must be >= 1".into()));
+        }
+        if self.overlapping_vertices > self.n {
+            return Err(LfrError("on > n".into()));
+        }
+        if self.avg_degree >= self.max_degree as f64 {
+            return Err(LfrError("avg degree >= max degree".into()));
+        }
+        if self.max_degree >= self.n {
+            return Err(LfrError("max degree >= n".into()));
+        }
+        Ok(())
+    }
+
+    fn generate_once(&self, seed: u64) -> Result<LfrGraph, LfrError> {
+        let n = self.n;
+        let om = self.memberships;
+        let on = self.overlapping_vertices;
+        let mut rng = DetRng::new(seed);
+
+        // --- 1. degree sequence ---
+        let kmin = PowerLaw::solve_min_for_mean(self.avg_degree, self.max_degree as f64, self.tau1)
+            .ok_or_else(|| LfrError("cannot match average degree".into()))?;
+        let degree_dist = PowerLaw::new(kmin, self.max_degree as f64, self.tau1);
+        let mut degree: Vec<usize> = (0..n).map(|_| degree_dist.sample(&mut rng).min(self.max_degree)).collect();
+
+        // --- pick which vertices overlap ---
+        let mut ids: Vec<VertexId> = (0..n as VertexId).collect();
+        rng.shuffle(&mut ids);
+        let overlapping: FxHashSet<VertexId> = ids[..on].iter().copied().collect();
+        let om_of = |v: VertexId| if overlapping.contains(&v) { om } else { 1 };
+
+        // --- 2. internal/external split ---
+        let mut internal = vec![0usize; n];
+        for v in 0..n {
+            let omv = om_of(v as VertexId);
+            // Every membership needs at least one internal stub.
+            let want = ((1.0 - self.mixing) * degree[v] as f64).round() as usize;
+            internal[v] = want.clamp(omv, degree[v].max(omv));
+            if degree[v] < internal[v] {
+                degree[v] = internal[v];
+            }
+        }
+
+        // --- 3. community sizes ---
+        let (minc, maxc) = (self.minc(), self.maxc());
+        if minc > maxc {
+            return Err(LfrError(format!("minc {minc} > maxc {maxc}")));
+        }
+        let total_memberships: usize = (0..n).map(|v| om_of(v as VertexId)).sum();
+        if total_memberships < minc {
+            return Err(LfrError("fewer memberships than one minimum community".into()));
+        }
+        let size_dist = PowerLaw::new(minc as f64, maxc as f64, self.tau2);
+        let mut sizes: Vec<usize> = Vec::new();
+        let mut sum = 0usize;
+        while sum < total_memberships {
+            let s = size_dist.sample(&mut rng).clamp(minc, maxc);
+            sizes.push(s);
+            sum += s;
+        }
+        // Shrink to make Σ sizes == total memberships.
+        let mut excess = sum - total_memberships;
+        for s in sizes.iter_mut() {
+            let cut = excess.min(*s - minc);
+            *s -= cut;
+            excess -= cut;
+            if excess == 0 {
+                break;
+            }
+        }
+        if excess > 0 {
+            // All at minc: drop one community, push the remainder onto others.
+            let dropped = sizes.pop().ok_or_else(|| LfrError("no communities".into()))?;
+            let mut grow = dropped - excess;
+            for s in sizes.iter_mut() {
+                let add = grow.min(maxc - *s);
+                *s += add;
+                grow -= add;
+                if grow == 0 {
+                    break;
+                }
+            }
+            if grow > 0 {
+                return Err(LfrError("cannot balance community sizes".into()));
+            }
+        }
+        let num_comms = sizes.len();
+        if num_comms < 2 {
+            return Err(LfrError("need at least two communities; raise n or lower maxc".into()));
+        }
+
+        // --- 4. membership assignment, hardest-first randomized ---
+        // Token = one membership of a vertex with its internal-degree share.
+        let mut tokens: Vec<(VertexId, usize)> = Vec::with_capacity(total_memberships);
+        for v in 0..n as VertexId {
+            let omv = om_of(v);
+            let base = internal[v as usize] / omv;
+            let rem = internal[v as usize] % omv;
+            for j in 0..omv {
+                tokens.push((v, base + usize::from(j < rem)));
+            }
+        }
+        // Hardest (largest share) first; shuffle within equal shares.
+        rng.shuffle(&mut tokens);
+        tokens.sort_by_key(|&(_, share)| std::cmp::Reverse(share));
+
+        let mut remaining: Vec<usize> = sizes.clone();
+        let mut member_of: Vec<Vec<u32>> = vec![Vec::new(); n]; // community ids per vertex
+        let mut members: Vec<Vec<VertexId>> = vec![Vec::new(); num_comms];
+        let mut feasible: Vec<u32> = Vec::with_capacity(num_comms);
+        for &(v, share) in &tokens {
+            feasible.clear();
+            let need = ((Self::SLACK * share as f64).ceil() as usize).max(share + 1);
+            for c in 0..num_comms {
+                if remaining[c] > 0 && sizes[c] > need && !member_of[v as usize].contains(&(c as u32)) {
+                    feasible.push(c as u32);
+                }
+            }
+            if feasible.is_empty() {
+                // Relax the slack rather than dead-ending: strict LFR
+                // feasibility (share < size) is still enforced.
+                for c in 0..num_comms {
+                    if remaining[c] > 0 && sizes[c] > share && !member_of[v as usize].contains(&(c as u32)) {
+                        feasible.push(c as u32);
+                    }
+                }
+            }
+            let Some(&c) = (!feasible.is_empty()).then(|| &feasible[rng.bounded(feasible.len() as u64) as usize])
+            else {
+                return Err(LfrError(format!(
+                    "membership assignment dead end (vertex {v}, share {share})"
+                )));
+            };
+            remaining[c as usize] -= 1;
+            member_of[v as usize].push(c);
+            members[c as usize].push(v);
+        }
+        debug_assert!(remaining.iter().all(|&r| r == 0));
+        for m in member_of.iter_mut() {
+            m.sort_unstable();
+        }
+
+        // --- 5. wiring ---
+        let mut graph = AdjacencyGraph::new(n);
+        let mut dropped = 0usize;
+        let shares_community = |u: VertexId, v: VertexId, member_of: &Vec<Vec<u32>>| -> bool {
+            let (a, b) = (&member_of[u as usize], &member_of[v as usize]);
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => return true,
+                }
+            }
+            false
+        };
+
+        // 5a. intra-community configuration model, one community at a time.
+        for c in 0..num_comms {
+            let mut stubs: Vec<VertexId> = Vec::new();
+            let mut pool = members[c].clone();
+            pool.sort_unstable();
+            for &v in &members[c] {
+                // Recover v's share for community c.
+                let omv = om_of(v);
+                let base = internal[v as usize] / omv;
+                let rem = internal[v as usize] % omv;
+                let idx = member_of[v as usize].iter().position(|&x| x == c as u32).expect("member");
+                // Deterministic share split: the first `rem` memberships in
+                // sorted community order get the +1.
+                let share = (base + usize::from(idx < rem)).min(sizes[c] - 1);
+                stubs.extend(std::iter::repeat_n(v, share));
+            }
+            if stubs.len() % 2 == 1 {
+                stubs.pop();
+                dropped += 1;
+            }
+            dropped += wire_configuration(&mut graph, &mut stubs, &mut rng, Some(&pool), |u, v, g| {
+                u == v || g.has_edge(u, v)
+            });
+        }
+
+        // 5b. external configuration model over all remaining stubs.
+        let mut ext_stubs: Vec<VertexId> = Vec::new();
+        for v in 0..n as VertexId {
+            let have = graph.degree(v);
+            let want = degree[v as usize];
+            ext_stubs.extend(std::iter::repeat_n(v, want.saturating_sub(have)));
+        }
+        if ext_stubs.len() % 2 == 1 {
+            ext_stubs.pop();
+            dropped += 1;
+        }
+        dropped += wire_configuration(&mut graph, &mut ext_stubs, &mut rng, None, |u, v, g| {
+            u == v || g.has_edge(u, v) || shares_community(u, v, &member_of)
+        });
+
+        // --- finish: cover + achieved mixing ---
+        let ground_truth = Cover::new(members);
+        let mut external_edges = 0usize;
+        let total_edges = graph.num_edges();
+        for (u, v) in graph.edges() {
+            if !shares_community(u, v, &member_of) {
+                external_edges += 1;
+            }
+        }
+        let achieved_mixing = if total_edges == 0 { 0.0 } else { external_edges as f64 / total_edges as f64 };
+        Ok(LfrGraph { graph, ground_truth, achieved_mixing, dropped_stubs: dropped })
+    }
+}
+
+/// Pair up `stubs` with a shuffled configuration model, rejecting pairs for
+/// which `bad(u, v, graph)` holds, with bounded re-shuffling and edge-swap
+/// repair. Returns the number of stubs dropped as irreparable.
+fn wire_configuration(
+    graph: &mut AdjacencyGraph,
+    stubs: &mut Vec<VertexId>,
+    rng: &mut DetRng,
+    pool: Option<&[VertexId]>,
+    bad: impl Fn(VertexId, VertexId, &AdjacencyGraph) -> bool,
+) -> usize {
+    let mut deferred: Vec<VertexId> = Vec::new();
+    for _round in 0..20 {
+        rng.shuffle(stubs);
+        deferred.clear();
+        for pair in stubs.chunks_exact(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if bad(u, v, graph) {
+                deferred.push(u);
+                deferred.push(v);
+            } else {
+                let fresh = graph.insert_edge(u, v);
+                debug_assert!(fresh, "bad() must reject existing edges");
+            }
+        }
+        if stubs.len() % 2 == 1 {
+            deferred.push(*stubs.last().expect("odd leftover"));
+        }
+        std::mem::swap(stubs, &mut deferred);
+        if stubs.len() <= 1 {
+            break;
+        }
+    }
+    // Edge-swap repair for the irreducible leftovers: to place stub pair
+    // (u, v) whose direct edge is rejected, find an existing edge (x, y)
+    // such that (u, x) and (v, y) are both acceptable, then rewire
+    // {x,y} -> {u,x}, {v,y}. This resolves parity traps where every
+    // remaining cross pair is bad. Swap candidates are restricted to edges
+    // this phase could itself have created (both endpoints in `pool` if
+    // given, and `(x, y)` must be re-creatable under `bad` once removed) so
+    // the repair never cannibalizes the other phase's edges.
+    let n = graph.num_vertices() as u64;
+    let in_pool = |v: VertexId| pool.is_none_or(|p| p.binary_search(&v).is_ok());
+    let mut dropped = 0usize;
+    while stubs.len() >= 2 {
+        let v = stubs.pop().expect("len >= 2");
+        let u = stubs.pop().expect("len >= 1");
+        if !bad(u, v, graph) {
+            graph.insert_edge(u, v);
+            continue;
+        }
+        let mut repaired = false;
+        for _attempt in 0..200 {
+            let x = match pool {
+                Some(p) => p[rng.bounded(p.len() as u64) as usize],
+                None => rng.bounded(n) as VertexId,
+            };
+            if graph.degree(x) == 0 {
+                continue;
+            }
+            let nbrs = graph.neighbors(x);
+            let y = nbrs[rng.bounded(nbrs.len() as u64) as usize];
+            if x == u || x == v || y == u || y == v || !in_pool(y) {
+                continue;
+            }
+            if bad(u, x, graph) || bad(v, y, graph) {
+                continue;
+            }
+            graph.remove_edge(x, y);
+            if bad(x, y, graph) {
+                // (x, y) is not an edge this phase would create (e.g. an
+                // intra-community edge seen from the external phase): undo.
+                graph.insert_edge(x, y);
+                continue;
+            }
+            graph.insert_edge(u, x);
+            graph.insert_edge(v, y);
+            repaired = true;
+            break;
+        }
+        if !repaired {
+            dropped += 2;
+        }
+    }
+    dropped += stubs.len();
+    stubs.clear();
+    dropped
+}
+
+/// Achieved statistics of a generated instance (for the Table I report).
+#[derive(Clone, Debug)]
+pub struct LfrStats {
+    /// Vertices.
+    pub n: usize,
+    /// Achieved average degree.
+    pub avg_degree: f64,
+    /// Achieved maximum degree.
+    pub max_degree: usize,
+    /// Achieved mixing.
+    pub mixing: f64,
+    /// Number of planted communities.
+    pub num_communities: usize,
+    /// Smallest / largest planted community.
+    pub community_size_range: (usize, usize),
+    /// Vertices in ≥ 2 communities.
+    pub overlapping_vertices: usize,
+}
+
+impl LfrGraph {
+    /// Compute achieved statistics.
+    pub fn stats(&self) -> LfrStats {
+        let sizes = self.ground_truth.sizes();
+        LfrStats {
+            n: self.graph.num_vertices(),
+            avg_degree: self.graph.avg_degree(),
+            max_degree: self.graph.max_degree(),
+            mixing: self.achieved_mixing,
+            num_communities: self.ground_truth.len(),
+            community_size_range: (
+                sizes.iter().copied().min().unwrap_or(0),
+                sizes.iter().copied().max().unwrap_or(0),
+            ),
+            overlapping_vertices: self.ground_truth.num_overlapping(self.graph.num_vertices()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> LfrParams {
+        LfrParams { seed: 7, ..LfrParams::scaled(600) }
+    }
+
+    #[test]
+    fn generates_with_requested_size() {
+        let g = small_params().generate().expect("generation succeeds");
+        assert_eq!(g.graph.num_vertices(), 600);
+        assert!(g.graph.num_edges() > 0);
+        g.graph.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn average_degree_is_close() {
+        let p = small_params();
+        let g = p.generate().unwrap();
+        let avg = g.graph.avg_degree();
+        assert!(
+            (avg - p.avg_degree).abs() / p.avg_degree < 0.15,
+            "avg degree {avg} vs target {}",
+            p.avg_degree
+        );
+    }
+
+    #[test]
+    fn mixing_is_close_to_target() {
+        let p = small_params();
+        let g = p.generate().unwrap();
+        assert!(
+            (g.achieved_mixing - p.mixing).abs() < 0.06,
+            "achieved mixing {} vs target {}",
+            g.achieved_mixing,
+            p.mixing
+        );
+    }
+
+    #[test]
+    fn overlap_counts_match() {
+        let p = small_params();
+        let g = p.generate().unwrap();
+        let n = g.graph.num_vertices();
+        assert_eq!(g.ground_truth.num_overlapping(n), p.overlapping_vertices);
+        // Every vertex is covered.
+        assert_eq!(g.ground_truth.covered_vertices().len(), n);
+        // Total memberships = n + on·(om−1).
+        assert_eq!(
+            g.ground_truth.total_memberships(),
+            n + p.overlapping_vertices * (p.memberships - 1)
+        );
+    }
+
+    #[test]
+    fn membership_multiplicity_is_om() {
+        let p = LfrParams { memberships: 3, seed: 9, ..LfrParams::scaled(600) };
+        let g = p.generate().unwrap();
+        let m = g.ground_truth.memberships(600);
+        let with_three = m.iter().filter(|x| x.len() == 3).count();
+        assert_eq!(with_three, p.overlapping_vertices);
+        assert!(m.iter().all(|x| x.len() == 1 || x.len() == 3));
+    }
+
+    #[test]
+    fn community_sizes_respect_bounds() {
+        let p = small_params();
+        let g = p.generate().unwrap();
+        let (minc, maxc) = (p.minc(), p.maxc());
+        for s in g.ground_truth.sizes() {
+            assert!((minc..=maxc).contains(&s), "size {s} outside [{minc}, {maxc}]");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let p = small_params();
+        let a = p.generate().unwrap();
+        let b = p.generate().unwrap();
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.ground_truth, b.ground_truth);
+        let c = LfrParams { seed: 8, ..p }.generate().unwrap();
+        assert_ne!(a.graph, c.graph);
+    }
+
+    #[test]
+    fn intra_density_exceeds_inter_density() {
+        // The defining property of a community benchmark.
+        let g = small_params().generate().unwrap();
+        let n = g.graph.num_vertices();
+        let memb = g.ground_truth.memberships(n);
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for (u, v) in g.graph.edges() {
+            let shared = memb[u as usize].iter().any(|c| memb[v as usize].contains(c));
+            if shared {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > 5 * inter, "intra {intra} inter {inter}");
+    }
+
+    #[test]
+    fn dropped_stubs_are_negligible() {
+        let p = small_params();
+        let g = p.generate().unwrap();
+        let total_stubs = 2 * g.graph.num_edges() + g.dropped_stubs;
+        assert!(
+            (g.dropped_stubs as f64) < 0.02 * total_stubs as f64,
+            "dropped {} of {}",
+            g.dropped_stubs,
+            total_stubs
+        );
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(LfrParams { mixing: 1.5, ..LfrParams::scaled(200) }.generate().is_err());
+        assert!(LfrParams { overlapping_vertices: 999, ..LfrParams::scaled(200) }.generate().is_err());
+        assert!(LfrParams { avg_degree: 50.0, max_degree: 40, ..LfrParams::scaled(200) }
+            .generate()
+            .is_err());
+    }
+
+    #[test]
+    fn stats_report_is_consistent() {
+        let g = small_params().generate().unwrap();
+        let s = g.stats();
+        assert_eq!(s.n, 600);
+        assert!(s.num_communities >= 2);
+        assert!(s.community_size_range.0 <= s.community_size_range.1);
+        assert_eq!(s.overlapping_vertices, 60);
+    }
+}

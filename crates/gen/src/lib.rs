@@ -1,0 +1,30 @@
+//! Workload generators for the rSLPA reproduction.
+//!
+//! * [`lfr`] — the LFR benchmark with overlapping ground-truth communities
+//!   (Lancichinetti & Fortunato, Phys. Rev. E 80, 2009 — the paper's \[19\]),
+//!   used for every synthetic-accuracy experiment (Figs. 7a–7f, Table I).
+//! * [`webgraph`] — R-MAT and Barabási–Albert generators standing in for
+//!   the `eu-2015-tpd` crawl (Table II, Figs. 8–9); see DESIGN.md for the
+//!   substitution argument.
+//! * [`gn`] — the planted-partition GN benchmark (Girvan & Newman 2002),
+//!   cheap known-truth graphs for tests.
+//! * [`er`] — Erdős–Rényi `G(n, m)` graphs for null-model tests and the
+//!   complexity experiments.
+//! * [`edits`] — dynamic workloads: uniform half-insert/half-delete batches
+//!   exactly as in §V-B1, plus targeted intra/inter-community variants.
+//! * [`powerlaw`] — bounded discrete power-law sampling shared by LFR and
+//!   the web-graph generators.
+
+pub mod edits;
+pub mod er;
+pub mod gn;
+pub mod lfr;
+pub mod powerlaw;
+pub mod webgraph;
+
+pub use edits::{uniform_batch, EditWorkload};
+pub use er::erdos_renyi;
+pub use gn::{gn_benchmark, GnParams};
+pub use lfr::{LfrGraph, LfrParams};
+pub use powerlaw::PowerLaw;
+pub use webgraph::{barabasi_albert, rmat, RmatParams};

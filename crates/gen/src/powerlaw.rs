@@ -1,0 +1,155 @@
+//! Bounded discrete power-law sampling.
+//!
+//! LFR draws vertex degrees from `p(x) ∝ x^{-τ1}` on `[x_min, x_max]` with
+//! `x_min` chosen so the mean hits the requested average degree, and
+//! community sizes from `p(x) ∝ x^{-τ2}` on `[minc, maxc]`. We sample by
+//! inverse transform over the *continuous* bounded Pareto and round —
+//! smooth in `x_min` (so the mean can be matched by bisection) and accurate
+//! to within rounding for the discrete target.
+
+use rslpa_graph::rng::DetRng;
+
+/// A bounded power-law distribution `p(x) ∝ x^{-exponent}` on
+/// `[min, max]`, sampled continuously and rounded to integers.
+#[derive(Clone, Copy, Debug)]
+pub struct PowerLaw {
+    /// Lower bound (continuous; samples round to `>= ceil(min - 0.5)`).
+    pub min: f64,
+    /// Upper bound.
+    pub max: f64,
+    /// Exponent `τ > 0` (τ = 1 handled via the logarithmic CDF).
+    pub exponent: f64,
+}
+
+impl PowerLaw {
+    /// New distribution; panics on degenerate bounds.
+    pub fn new(min: f64, max: f64, exponent: f64) -> Self {
+        assert!(min > 0.0 && max >= min, "need 0 < min <= max, got [{min}, {max}]");
+        assert!(exponent > 0.0, "exponent must be positive");
+        Self { min, max, exponent }
+    }
+
+    /// Inverse-CDF sample of the continuous bounded Pareto.
+    pub fn sample_continuous(&self, rng: &mut DetRng) -> f64 {
+        let u = rng.unit_f64();
+        let (a, b, t) = (self.min, self.max, self.exponent);
+        if (t - 1.0).abs() < 1e-9 {
+            // p(x) ∝ 1/x  ⇒  F^{-1}(u) = a (b/a)^u
+            a * (b / a).powf(u)
+        } else {
+            let e = 1.0 - t;
+            let (am, bm) = (a.powf(e), b.powf(e));
+            (am + u * (bm - am)).powf(1.0 / e)
+        }
+    }
+
+    /// Sample rounded to the nearest integer, clamped into `[⌈min⌉.., ⌊max⌋]`
+    /// interpreted loosely (rounding may hit `round(min)`/`round(max)`).
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let x = self.sample_continuous(rng).round();
+        (x.max(1.0)) as usize
+    }
+
+    /// Analytic mean of the continuous distribution.
+    pub fn mean(&self) -> f64 {
+        let (a, b, t) = (self.min, self.max, self.exponent);
+        if (t - 1.0).abs() < 1e-9 {
+            (b - a) / (b / a).ln()
+        } else if (t - 2.0).abs() < 1e-9 {
+            let e1 = 1.0 - t; // = -1
+            (b / a).ln() / ((b.powf(e1) - a.powf(e1)) / e1)
+        } else {
+            let e1 = 1.0 - t;
+            let e2 = 2.0 - t;
+            ((b.powf(e2) - a.powf(e2)) / e2) / ((b.powf(e1) - a.powf(e1)) / e1)
+        }
+    }
+
+    /// Find `min` (by bisection) so that [`mean`](Self::mean) equals
+    /// `target` for the given `max` and `exponent`. Returns `None` if the
+    /// target is unreachable (below 1 or above `max`-ish).
+    pub fn solve_min_for_mean(target: f64, max: f64, exponent: f64) -> Option<f64> {
+        if target <= 1.0 || target >= max {
+            return None;
+        }
+        let (mut lo, mut hi) = (1e-3, max);
+        // mean is increasing in `min`; standard bisection.
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            let m = PowerLaw::new(mid, max, exponent).mean();
+            if m < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let found = 0.5 * (lo + hi);
+        let achieved = PowerLaw::new(found, max, exponent).mean();
+        ((achieved - target).abs() < 0.05 * target + 0.5).then_some(found)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_respect_bounds() {
+        let pl = PowerLaw::new(5.0, 100.0, 2.0);
+        let mut rng = DetRng::new(1);
+        for _ in 0..10_000 {
+            let x = pl.sample(&mut rng);
+            assert!((5..=100).contains(&x), "sample {x} out of bounds");
+        }
+    }
+
+    #[test]
+    fn empirical_mean_matches_analytic() {
+        let pl = PowerLaw::new(5.0, 100.0, 2.0);
+        let mut rng = DetRng::new(2);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| pl.sample_continuous(&mut rng)).sum();
+        let emp = sum / n as f64;
+        let ana = pl.mean();
+        assert!((emp - ana).abs() / ana < 0.02, "empirical {emp} vs analytic {ana}");
+    }
+
+    #[test]
+    fn tau_one_special_case() {
+        let pl = PowerLaw::new(10.0, 50.0, 1.0);
+        let mut rng = DetRng::new(3);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| pl.sample_continuous(&mut rng)).sum();
+        let emp = sum / n as f64;
+        assert!((emp - pl.mean()).abs() / pl.mean() < 0.02);
+    }
+
+    #[test]
+    fn solve_min_hits_target_mean() {
+        // Paper defaults: avg degree 30, max degree 100, τ1 = 2.
+        let min = PowerLaw::solve_min_for_mean(30.0, 100.0, 2.0).expect("solvable");
+        let achieved = PowerLaw::new(min, 100.0, 2.0).mean();
+        assert!((achieved - 30.0).abs() < 0.1, "achieved {achieved}");
+        assert!(min > 1.0 && min < 30.0);
+    }
+
+    #[test]
+    fn solve_min_rejects_unreachable_targets() {
+        assert!(PowerLaw::solve_min_for_mean(0.5, 100.0, 2.0).is_none());
+        assert!(PowerLaw::solve_min_for_mean(100.0, 100.0, 2.0).is_none());
+    }
+
+    #[test]
+    fn heavier_tail_with_smaller_exponent() {
+        // Smaller τ ⇒ more mass at large values ⇒ larger mean.
+        let m_small = PowerLaw::new(5.0, 1000.0, 1.5).mean();
+        let m_large = PowerLaw::new(5.0, 1000.0, 3.0).mean();
+        assert!(m_small > m_large);
+    }
+
+    #[test]
+    #[should_panic(expected = "min <= max")]
+    fn rejects_bad_bounds() {
+        let _ = PowerLaw::new(10.0, 5.0, 2.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Web-scale graph simulators.
+//!
+//! The paper's real-world dataset is the `eu-2015-tpd` crawl (6.65M pages,
+//! 170M hyperlinks; Table II), distributed in WebGraph/LLP compressed form
+//! we cannot ship. We substitute generators that reproduce the properties
+//! the evaluation actually depends on — heavy-tailed degrees and local
+//! clustering at tunable scale:
+//!
+//! * [`rmat`] — the recursive-matrix generator (Chakrabarti et al., SDM'04)
+//!   with the standard web-graph corner weights; emits a *directed
+//!   multigraph* which is then run through the paper's own preparation
+//!   pipeline (symmetrize, dedupe, drop self-loops).
+//! * [`barabasi_albert`] — preferential attachment, a second heavy-tailed
+//!   model for cross-checking generator sensitivity.
+
+use rslpa_graph::rng::DetRng;
+use rslpa_graph::{AdjacencyGraph, GraphBuilder, VertexId};
+
+/// R-MAT parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RmatParams {
+    /// log2 of the number of vertices.
+    pub scale: u32,
+    /// Directed edge samples to draw (before cleaning).
+    pub edges: usize,
+    /// Corner probabilities; must sum to 1. Standard web-graph values:
+    /// a = 0.57, b = 0.19, c = 0.19, d = 0.05.
+    pub a: f64,
+    /// See `a`.
+    pub b: f64,
+    /// See `a`.
+    pub c: f64,
+    /// See `a`.
+    pub d: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RmatParams {
+    /// Standard web-graph corner weights at the given scale, sized for the
+    /// paper's average degree (~25.6): `edges ≈ 12.8 · 2^scale` directed
+    /// samples, which after symmetrize/dedupe lands near that average.
+    pub fn web(scale: u32, seed: u64) -> Self {
+        let n = 1usize << scale;
+        Self { scale, edges: n * 13, a: 0.57, b: 0.19, c: 0.19, d: 0.05, seed }
+    }
+}
+
+/// Generate an R-MAT graph, cleaned into a binary graph via the paper's
+/// preparation pipeline.
+pub fn rmat(params: &RmatParams) -> AdjacencyGraph {
+    let sum = params.a + params.b + params.c + params.d;
+    assert!((sum - 1.0).abs() < 1e-9, "corner probabilities must sum to 1, got {sum}");
+    let n = 1usize << params.scale;
+    let mut rng = DetRng::new(params.seed);
+    let mut builder = GraphBuilder::with_capacity(params.edges);
+    for _ in 0..params.edges {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _level in 0..params.scale {
+            u <<= 1;
+            v <<= 1;
+            let r = rng.unit_f64();
+            if r < params.a {
+                // top-left: no bits set
+            } else if r < params.a + params.b {
+                v |= 1;
+            } else if r < params.a + params.b + params.c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        builder.add_edge(u as VertexId, v as VertexId);
+    }
+    builder.build_with_vertices(n)
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m` existing vertices chosen proportionally to degree.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> AdjacencyGraph {
+    assert!(m >= 1 && n > m, "need n > m >= 1");
+    let mut g = AdjacencyGraph::new(n);
+    let mut rng = DetRng::new(seed);
+    // Repeated-endpoints list: picking a uniform element is degree-
+    // proportional sampling (the standard BA implementation trick).
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+    // Seed clique over the first m+1 vertices.
+    for u in 0..=(m as VertexId) {
+        for v in (u + 1)..=(m as VertexId) {
+            g.insert_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in (m + 1)..n {
+        let v = v as VertexId;
+        let mut attached = 0usize;
+        let mut guard = 0usize;
+        while attached < m {
+            let &target = rng.pick(&endpoints);
+            guard += 1;
+            if target != v && g.insert_edge(v, target) {
+                endpoints.push(v);
+                endpoints.push(target);
+                attached += 1;
+            }
+            assert!(guard < 100 * m + 1000, "preferential attachment stuck");
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_produces_heavy_tail() {
+        let g = rmat(&RmatParams::web(12, 1)); // 4096 vertices
+        assert_eq!(g.num_vertices(), 4096);
+        assert!(g.num_edges() > 10_000);
+        // Web graphs: max degree far above average.
+        assert!(
+            (g.max_degree() as f64) > 8.0 * g.avg_degree(),
+            "max {} avg {}",
+            g.max_degree(),
+            g.avg_degree()
+        );
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rmat_is_deterministic() {
+        let a = rmat(&RmatParams::web(10, 7));
+        let b = rmat(&RmatParams::web(10, 7));
+        assert_eq!(a, b);
+        let c = rmat(&RmatParams::web(10, 8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rmat_rejects_bad_corners() {
+        let _ = rmat(&RmatParams { a: 0.9, ..RmatParams::web(8, 1) });
+    }
+
+    #[test]
+    fn ba_degree_and_size() {
+        let g = barabasi_albert(2000, 4, 3);
+        assert_eq!(g.num_vertices(), 2000);
+        // Each of the n-m-1 arrivals adds m edges, plus the seed clique.
+        let expected = (2000 - 5) * 4 + 10;
+        assert_eq!(g.num_edges(), expected);
+        assert!(g.max_degree() > 40, "hubs expected, max = {}", g.max_degree());
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn ba_is_connected() {
+        let g = barabasi_albert(500, 2, 9);
+        let labels = rslpa_graph::connected_components(500, g.edges());
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn ba_deterministic_in_seed() {
+        assert_eq!(barabasi_albert(300, 3, 5), barabasi_albert(300, 3, 5));
+        assert_ne!(barabasi_albert(300, 3, 5), barabasi_albert(300, 3, 6));
+    }
+}

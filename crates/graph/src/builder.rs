@@ -1,0 +1,144 @@
+//! Graph construction from dirty input.
+//!
+//! The paper prepares its web-crawl dataset by "remov\[ing\] the direction of
+//! edges, as well as multiple edges and self-loops" (§V-B1). `GraphBuilder`
+//! is that pipeline: it accepts arbitrary directed/duplicated/looped edge
+//! streams (optionally weighted, with thresholding — §I: "any network can be
+//! transformed to a binary graph") and emits a clean [`AdjacencyGraph`].
+
+use crate::{AdjacencyGraph, VertexId};
+
+/// Accumulates raw edges and normalizes them into a binary graph.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    edges: Vec<(VertexId, VertexId)>,
+    max_vertex: Option<VertexId>,
+    dropped_self_loops: usize,
+}
+
+impl GraphBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-size the edge buffer.
+    pub fn with_capacity(edges: usize) -> Self {
+        Self { edges: Vec::with_capacity(edges), ..Self::default() }
+    }
+
+    /// Add a possibly-directed edge; direction is discarded.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        if u == v {
+            self.dropped_self_loops += 1;
+            return self;
+        }
+        let e = if u < v { (u, v) } else { (v, u) };
+        self.max_vertex = Some(self.max_vertex.map_or(e.1, |m| m.max(e.1)));
+        self.edges.push(e);
+        self
+    }
+
+    /// Add a weighted edge, kept only if `weight >= threshold`
+    /// (binarization of weighted networks, paper §I).
+    pub fn add_weighted_edge(&mut self, u: VertexId, v: VertexId, weight: f64, threshold: f64) -> &mut Self {
+        if weight >= threshold {
+            self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Add every edge from an iterator.
+    pub fn extend(&mut self, edges: impl IntoIterator<Item = (VertexId, VertexId)>) -> &mut Self {
+        for (u, v) in edges {
+            self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Number of self-loops dropped so far.
+    pub fn dropped_self_loops(&self) -> usize {
+        self.dropped_self_loops
+    }
+
+    /// Finish with an explicit vertex count (ids `0..n`); edges referencing
+    /// vertices `>= n` panic, as that is a caller bug.
+    pub fn build_with_vertices(mut self, n: usize) -> AdjacencyGraph {
+        if let Some(m) = self.max_vertex {
+            assert!((m as usize) < n, "edge endpoint {m} outside 0..{n}");
+        }
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let mut g = AdjacencyGraph::new(n);
+        for (u, v) in self.edges {
+            let fresh = g.insert_edge(u, v);
+            debug_assert!(fresh, "dedup must have removed duplicates");
+        }
+        g
+    }
+
+    /// Finish, inferring the vertex count as `max id + 1`.
+    pub fn build(self) -> AdjacencyGraph {
+        let n = self.max_vertex.map_or(0, |m| m as usize + 1);
+        self.build_with_vertices(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_direction_duplicates_loops() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(2, 1).add_edge(1, 2).add_edge(1, 1).add_edge(0, 2);
+        assert_eq!(b.dropped_self_loops(), 1);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(0, 2));
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn weighted_thresholding() {
+        let mut b = GraphBuilder::new();
+        b.add_weighted_edge(0, 1, 0.9, 0.5).add_weighted_edge(1, 2, 0.2, 0.5);
+        let g = b.build_with_vertices(3);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn explicit_vertex_count_allows_isolated_tail() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        let g = b.build_with_vertices(10);
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.degree(9), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 5);
+        let _ = b.build_with_vertices(3);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn extend_and_capacity() {
+        let mut b = GraphBuilder::with_capacity(4);
+        b.extend([(0, 1), (1, 2), (2, 0)]);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 3);
+    }
+}

@@ -1,0 +1,175 @@
+//! Sequential connected components via union-find.
+//!
+//! Post-processing extracts communities as connected components of the
+//! similarity-filtered graph (paper §III-B). The distributed executor uses
+//! hash-to-min (`rslpa-distsim::cc`); this module is the centralized
+//! counterpart and the test oracle the distributed version is checked
+//! against.
+
+use crate::VertexId;
+
+/// Union-find with union by size and path halving.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    num_sets: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n as u32).collect(), size: vec![1; n], num_sets: n }
+    }
+
+    /// Representative of `x`'s set (path halving).
+    #[inline]
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.num_sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: u32) -> usize {
+        let r = self.find(x);
+        self.size[r as usize] as usize
+    }
+
+    /// Dense component labels: `labels[v]` is the *minimum vertex id* in
+    /// `v`'s component — the same canonical labeling hash-to-min converges
+    /// to, so the two implementations are directly comparable.
+    pub fn component_labels(&mut self) -> Vec<VertexId> {
+        let n = self.parent.len();
+        let mut min_of_root = vec![u32::MAX; n];
+        for v in 0..n as u32 {
+            let r = self.find(v);
+            min_of_root[r as usize] = min_of_root[r as usize].min(v);
+        }
+        (0..n as u32).map(|v| min_of_root[self.find(v) as usize]).collect()
+    }
+}
+
+/// Connected components of the graph formed by `edges` over `0..n`.
+///
+/// Returns min-id component labels (see [`UnionFind::component_labels`]).
+pub fn connected_components(
+    n: usize,
+    edges: impl IntoIterator<Item = (VertexId, VertexId)>,
+) -> Vec<VertexId> {
+    let mut uf = UnionFind::new(n);
+    for (u, v) in edges {
+        uf.union(u, v);
+    }
+    uf.component_labels()
+}
+
+/// Group vertices by component label; components are sorted by their label
+/// and vertices within each component ascending.
+pub fn components_as_groups(labels: &[VertexId]) -> Vec<Vec<VertexId>> {
+    let mut by_label: crate::FxHashMap<VertexId, Vec<VertexId>> = Default::default();
+    for (v, &l) in labels.iter().enumerate() {
+        by_label.entry(l).or_default().push(v as VertexId);
+    }
+    let mut groups: Vec<_> = by_label.into_values().collect();
+    groups.sort_unstable_by_key(|g| g[0]);
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn singletons_then_unions() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_sets(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already merged");
+        assert_eq!(uf.num_sets(), 3);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+        assert_eq!(uf.set_size(2), 3);
+    }
+
+    #[test]
+    fn component_labels_are_min_ids() {
+        let labels = connected_components(6, [(3, 4), (4, 5), (1, 2)]);
+        assert_eq!(labels, vec![0, 1, 1, 3, 3, 3]);
+    }
+
+    #[test]
+    fn groups_round_trip() {
+        let labels = connected_components(5, [(0, 1), (2, 3)]);
+        let groups = components_as_groups(&labels);
+        assert_eq!(groups, vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let labels = connected_components(0, []);
+        assert!(labels.is_empty());
+        assert!(components_as_groups(&labels).is_empty());
+    }
+
+    proptest! {
+        /// Union-find agrees with BFS reachability on random graphs.
+        #[test]
+        fn matches_bfs_reachability(edges in proptest::collection::vec((0u32..30, 0u32..30), 0..80)) {
+            let n = 30usize;
+            let edges: Vec<_> = edges.into_iter().filter(|(u, v)| u != v).collect();
+            let labels = connected_components(n, edges.iter().copied());
+            // BFS oracle
+            let mut adj = vec![Vec::new(); n];
+            for &(u, v) in &edges {
+                adj[u as usize].push(v);
+                adj[v as usize].push(u);
+            }
+            let mut oracle = vec![u32::MAX; n];
+            for start in 0..n as u32 {
+                if oracle[start as usize] != u32::MAX { continue; }
+                let mut stack = vec![start];
+                oracle[start as usize] = start;
+                while let Some(x) = stack.pop() {
+                    for &y in &adj[x as usize] {
+                        if oracle[y as usize] == u32::MAX {
+                            oracle[y as usize] = start;
+                            stack.push(y);
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(labels, oracle);
+        }
+    }
+}

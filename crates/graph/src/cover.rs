@@ -1,0 +1,150 @@
+//! Community covers: the output vocabulary of overlapping detection.
+//!
+//! A *cover* is a set of communities, each a set of vertices; unlike a
+//! partition, communities may overlap and some vertices may be uncovered.
+//! Generators attach ground-truth covers, detectors emit detected covers,
+//! and metrics compare the two.
+
+use crate::{FxHashSet, VertexId};
+
+/// A set of (possibly overlapping) communities.
+///
+/// Canonical form: every community is sorted ascending and non-empty;
+/// communities themselves are sorted by (first member, length, content) so
+/// two equal covers compare equal structurally.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cover {
+    communities: Vec<Vec<VertexId>>,
+}
+
+impl Cover {
+    /// Build from raw community lists; members are sorted and deduplicated,
+    /// empty communities dropped, duplicate communities merged.
+    pub fn new(communities: impl IntoIterator<Item = Vec<VertexId>>) -> Self {
+        let mut cs: Vec<Vec<VertexId>> = communities
+            .into_iter()
+            .map(|mut c| {
+                c.sort_unstable();
+                c.dedup();
+                c
+            })
+            .filter(|c| !c.is_empty())
+            .collect();
+        cs.sort();
+        cs.dedup();
+        Self { communities: cs }
+    }
+
+    /// A disjoint cover from per-vertex labels (e.g. connected-component
+    /// output); every vertex is covered by exactly one community.
+    pub fn from_partition_labels(labels: &[VertexId]) -> Self {
+        let mut by_label: crate::FxHashMap<VertexId, Vec<VertexId>> = Default::default();
+        for (v, &l) in labels.iter().enumerate() {
+            by_label.entry(l).or_default().push(v as VertexId);
+        }
+        Self::new(by_label.into_values())
+    }
+
+    /// The communities, canonical order.
+    pub fn communities(&self) -> &[Vec<VertexId>] {
+        &self.communities
+    }
+
+    /// Number of communities.
+    pub fn len(&self) -> usize {
+        self.communities.len()
+    }
+
+    /// True if there are no communities.
+    pub fn is_empty(&self) -> bool {
+        self.communities.is_empty()
+    }
+
+    /// Community sizes, in canonical community order.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.communities.iter().map(Vec::len).collect()
+    }
+
+    /// Per-vertex list of community indices, for `n` vertices.
+    pub fn memberships(&self, n: usize) -> Vec<Vec<u32>> {
+        let mut m = vec![Vec::new(); n];
+        for (ci, c) in self.communities.iter().enumerate() {
+            for &v in c {
+                debug_assert!((v as usize) < n, "vertex {v} outside 0..{n}");
+                m[v as usize].push(ci as u32);
+            }
+        }
+        m
+    }
+
+    /// Vertices belonging to at least one community.
+    pub fn covered_vertices(&self) -> FxHashSet<VertexId> {
+        self.communities.iter().flatten().copied().collect()
+    }
+
+    /// Number of vertices in ≥ 2 communities.
+    pub fn num_overlapping(&self, n: usize) -> usize {
+        self.memberships(n).iter().filter(|m| m.len() >= 2).count()
+    }
+
+    /// Largest community size (0 if empty).
+    pub fn max_size(&self) -> usize {
+        self.communities.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total membership count (Σ community sizes).
+    pub fn total_memberships(&self) -> usize {
+        self.communities.iter().map(Vec::len).sum()
+    }
+}
+
+impl FromIterator<Vec<VertexId>> for Cover {
+    fn from_iter<T: IntoIterator<Item = Vec<VertexId>>>(iter: T) -> Self {
+        Self::new(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalizes_input() {
+        let c = Cover::new(vec![vec![3, 1, 1], vec![], vec![0, 2], vec![1, 3]]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.communities(), &[vec![0, 2], vec![1, 3]]);
+    }
+
+    #[test]
+    fn from_partition_labels_round_trip() {
+        let labels = vec![0, 0, 2, 2, 2];
+        let c = Cover::from_partition_labels(&labels);
+        assert_eq!(c.communities(), &[vec![0, 1], vec![2, 3, 4]]);
+        assert_eq!(c.num_overlapping(5), 0);
+    }
+
+    #[test]
+    fn memberships_and_overlap() {
+        let c = Cover::new(vec![vec![0, 1, 2], vec![2, 3]]);
+        let m = c.memberships(5);
+        assert_eq!(m[2], vec![0, 1]);
+        assert_eq!(m[4], Vec::<u32>::new());
+        assert_eq!(c.num_overlapping(5), 1);
+        assert_eq!(c.covered_vertices().len(), 4);
+        assert_eq!(c.total_memberships(), 5);
+        assert_eq!(c.max_size(), 3);
+    }
+
+    #[test]
+    fn equal_covers_compare_equal_regardless_of_order() {
+        let a = Cover::new(vec![vec![1, 0], vec![2, 3]]);
+        let b = Cover::new(vec![vec![3, 2], vec![0, 1]]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sizes_reported() {
+        let c = Cover::new(vec![vec![0], vec![1, 2, 3]]);
+        assert_eq!(c.sizes(), vec![1, 3]);
+    }
+}

@@ -1,0 +1,236 @@
+//! Immutable compressed-sparse-row snapshot.
+//!
+//! Read-only passes (post-processing edge weights, metrics, partition
+//! planning) iterate the whole edge set; CSR gives them one contiguous
+//! allocation and cache-linear scans instead of `|V|` small vectors.
+
+use crate::{AdjacencyGraph, VertexId};
+
+/// CSR representation: `offsets.len() == n + 1`, and the neighbors of `v`
+/// are `targets[offsets[v]..offsets[v+1]]`, sorted ascending.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+    num_edges: usize,
+}
+
+impl CsrGraph {
+    /// Snapshot a mutable adjacency graph.
+    pub fn from_adjacency(g: &AdjacencyGraph) -> Self {
+        let n = g.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * g.num_edges());
+        offsets.push(0);
+        for v in 0..n as VertexId {
+            targets.extend_from_slice(g.neighbors(v));
+            offsets.push(targets.len());
+        }
+        Self { offsets, targets, num_edges: g.num_edges() }
+    }
+
+    /// Build directly from canonical `(u, v)` edges with `u != v`;
+    /// duplicates are tolerated and removed.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut degree = vec![0usize; n];
+        for &(u, v) in edges {
+            assert_ne!(u, v, "self-loop");
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets[..n].to_vec();
+        let mut targets = vec![0 as VertexId; acc];
+        for &(u, v) in edges {
+            targets[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Sort and dedupe each neighbor run in place.
+        let mut dedup_targets = Vec::with_capacity(targets.len());
+        let mut new_offsets = Vec::with_capacity(n + 1);
+        new_offsets.push(0);
+        for v in 0..n {
+            let run = &mut targets[offsets[v]..offsets[v + 1]];
+            run.sort_unstable();
+            let mut prev = None;
+            for &t in run.iter() {
+                if Some(t) != prev {
+                    dedup_targets.push(t);
+                    prev = Some(t);
+                }
+            }
+            new_offsets.push(dedup_targets.len());
+        }
+        let num_edges = dedup_targets.len() / 2;
+        Self { offsets: new_offsets, targets: dedup_targets, num_edges }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Sorted neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Whether edge `{u, v}` is present.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterate undirected edges with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices() as VertexId).flat_map(move |u| {
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// Breadth-first eccentricity of `start` (levels until frontier empties);
+    /// used to estimate diameter for the O(log d) round-budget experiments.
+    pub fn bfs_eccentricity(&self, start: VertexId) -> usize {
+        let n = self.num_vertices();
+        let mut dist = vec![usize::MAX; n];
+        let mut frontier = vec![start];
+        dist[start as usize] = 0;
+        let mut level = 0;
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in self.neighbors(u) {
+                    if dist[v as usize] == usize::MAX {
+                        dist[v as usize] = level + 1;
+                        next.push(v);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            level += 1;
+            frontier = next;
+        }
+        level
+    }
+
+    /// Lower bound on the diameter obtained with a double-sweep BFS from
+    /// `start` (classic heuristic: the farthest vertex from a farthest
+    /// vertex is near-diametral on real graphs).
+    pub fn diameter_lower_bound(&self, start: VertexId) -> usize {
+        let n = self.num_vertices();
+        if n == 0 {
+            return 0;
+        }
+        let far = self.farthest_from(start).0;
+        self.bfs_eccentricity(far).max(self.bfs_eccentricity(start))
+    }
+
+    fn farthest_from(&self, start: VertexId) -> (VertexId, usize) {
+        let n = self.num_vertices();
+        let mut dist = vec![usize::MAX; n];
+        let mut frontier = vec![start];
+        dist[start as usize] = 0;
+        let mut last = start;
+        let mut level = 0;
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in self.neighbors(u) {
+                    if dist[v as usize] == usize::MAX {
+                        dist[v as usize] = level + 1;
+                        next.push(v);
+                        last = v;
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            level += 1;
+            frontier = next;
+        }
+        (last, level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> CsrGraph {
+        CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn from_adjacency_round_trip() {
+        let g = AdjacencyGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let c = CsrGraph::from_adjacency(&g);
+        assert_eq!(c.num_vertices(), 4);
+        assert_eq!(c.num_edges(), 4);
+        for v in 0..4 {
+            assert_eq!(c.neighbors(v), g.neighbors(v));
+            assert_eq!(c.degree(v), g.degree(v));
+        }
+    }
+
+    #[test]
+    fn from_edges_dedupes() {
+        let c = CsrGraph::from_edges(3, &[(0, 1), (0, 1), (1, 2)]);
+        assert_eq!(c.num_edges(), 2);
+        assert_eq!(c.neighbors(0), &[1]);
+        assert_eq!(c.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn edges_are_canonical() {
+        let c = path4();
+        assert_eq!(c.edges().collect::<Vec<_>>(), vec![(0, 1), (1, 2), (2, 3)]);
+        assert!(c.has_edge(1, 0));
+        assert!(!c.has_edge(0, 3));
+    }
+
+    #[test]
+    fn bfs_eccentricity_on_path() {
+        let c = path4();
+        assert_eq!(c.bfs_eccentricity(0), 3);
+        assert_eq!(c.bfs_eccentricity(1), 2);
+    }
+
+    #[test]
+    fn diameter_lower_bound_on_path_is_exact() {
+        let c = path4();
+        assert_eq!(c.diameter_lower_bound(1), 3);
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let c = CsrGraph::from_edges(3, &[]);
+        assert_eq!(c.num_edges(), 0);
+        assert_eq!(c.degree(1), 0);
+        assert_eq!(c.bfs_eccentricity(0), 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Dynamic graph: applies [`EditBatch`]es and reports per-vertex
+//! neighborhood deltas.
+//!
+//! The incremental algorithm (paper §IV-A) classifies each vertex by *how*
+//! its neighbor set changed:
+//!
+//! * **Category 1** — no change,
+//! * **Category 2** — only lost neighbors,
+//! * **Category 3** — gained neighbors (and possibly also lost some).
+//!
+//! [`AppliedBatch`] carries exactly the information needed for that
+//! classification: for every affected vertex, the sorted lists of added and
+//! removed neighbors.
+
+use crate::{AdjacencyGraph, EditBatch, EditError, FxHashMap, VertexId};
+
+/// Neighborhood change of a single vertex caused by one batch.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VertexDelta {
+    /// Neighbors gained, sorted ascending.
+    pub added: Vec<VertexId>,
+    /// Neighbors lost, sorted ascending.
+    pub removed: Vec<VertexId>,
+}
+
+impl VertexDelta {
+    /// Paper Category of this vertex (2 = only losses, 3 = any gains).
+    /// Vertices without a delta are Category 1 and never appear in
+    /// [`AppliedBatch::deltas`].
+    pub fn category(&self) -> u8 {
+        if self.added.is_empty() {
+            2
+        } else {
+            3
+        }
+    }
+
+    /// Whether `v` is among the removed neighbors.
+    #[inline]
+    pub fn removed_contains(&self, v: VertexId) -> bool {
+        self.removed.binary_search(&v).is_ok()
+    }
+}
+
+/// Result of applying a batch: which vertices changed and how.
+#[derive(Clone, Debug, Default)]
+pub struct AppliedBatch {
+    /// Per-vertex neighborhood deltas; only affected vertices appear.
+    pub deltas: FxHashMap<VertexId, VertexDelta>,
+    /// Number of edges inserted.
+    pub num_inserted: usize,
+    /// Number of edges deleted.
+    pub num_deleted: usize,
+}
+
+impl AppliedBatch {
+    /// Vertices whose neighborhood changed, in ascending id order
+    /// (deterministic iteration for the sequential executor).
+    pub fn affected_vertices(&self) -> Vec<VertexId> {
+        let mut vs: Vec<_> = self.deltas.keys().copied().collect();
+        vs.sort_unstable();
+        vs
+    }
+}
+
+/// A mutable graph that tracks batch application.
+///
+/// Thin wrapper over [`AdjacencyGraph`]; exists so that callers cannot
+/// mutate the adjacency store without going through validated batches
+/// (the provenance state in `rslpa-core` would silently rot otherwise).
+#[derive(Clone, Debug)]
+pub struct DynamicGraph {
+    graph: AdjacencyGraph,
+    batches_applied: usize,
+}
+
+impl DynamicGraph {
+    /// Wrap an initial graph snapshot.
+    pub fn new(graph: AdjacencyGraph) -> Self {
+        Self { graph, batches_applied: 0 }
+    }
+
+    /// Read access to the current graph.
+    #[inline]
+    pub fn graph(&self) -> &AdjacencyGraph {
+        &self.graph
+    }
+
+    /// Number of batches applied so far.
+    pub fn batches_applied(&self) -> usize {
+        self.batches_applied
+    }
+
+    /// Grow the vertex id space to `n` vertices (isolated). Needed before a
+    /// batch that wires up a brand-new vertex — the paper handles vertex
+    /// insertion "as pretending the new vertex was an old vertex with all
+    /// old neighbors removed", i.e. an isolated vertex plus edge insertions.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        while self.graph.num_vertices() < n {
+            self.graph.add_vertex();
+        }
+    }
+
+    /// Validate and apply `batch`, returning per-vertex deltas.
+    pub fn apply(&mut self, batch: &EditBatch) -> Result<AppliedBatch, EditError> {
+        batch.validate(&self.graph)?;
+        let mut applied = AppliedBatch::default();
+        for &(u, v) in batch.deletions() {
+            let removed = self.graph.remove_edge(u, v);
+            debug_assert!(removed, "validated deletion must exist");
+            applied.deltas.entry(u).or_default().removed.push(v);
+            applied.deltas.entry(v).or_default().removed.push(u);
+            applied.num_deleted += 1;
+        }
+        for &(u, v) in batch.insertions() {
+            let inserted = self.graph.insert_edge(u, v);
+            debug_assert!(inserted, "validated insertion must be new");
+            applied.deltas.entry(u).or_default().added.push(v);
+            applied.deltas.entry(v).or_default().added.push(u);
+            applied.num_inserted += 1;
+        }
+        for delta in applied.deltas.values_mut() {
+            delta.added.sort_unstable();
+            delta.removed.sort_unstable();
+        }
+        self.batches_applied += 1;
+        Ok(applied)
+    }
+
+    /// Delete a vertex by removing all incident edges (paper: "vertex
+    /// deletion can also be handled by ignoring the deleted vertex").
+    /// Returns the delta batch that was applied.
+    pub fn isolate_vertex(&mut self, v: VertexId) -> Result<AppliedBatch, EditError> {
+        let nbrs: Vec<_> = self.graph.neighbors(v).to_vec();
+        let batch = EditBatch::from_lists([], nbrs.iter().map(|&u| (v, u)));
+        self.apply(&batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> DynamicGraph {
+        DynamicGraph::new(AdjacencyGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]))
+    }
+
+    #[test]
+    fn apply_reports_deltas_for_both_endpoints() {
+        let mut g = square();
+        let batch = EditBatch::from_lists([(0, 2)], [(1, 2)]);
+        let applied = g.apply(&batch).unwrap();
+        assert_eq!(applied.num_inserted, 1);
+        assert_eq!(applied.num_deleted, 1);
+        assert_eq!(applied.affected_vertices(), vec![0, 1, 2]);
+        let d0 = &applied.deltas[&0];
+        assert_eq!(d0.added, vec![2]);
+        assert!(d0.removed.is_empty());
+        assert_eq!(d0.category(), 3);
+        let d1 = &applied.deltas[&1];
+        assert_eq!(d1.removed, vec![2]);
+        assert_eq!(d1.category(), 2);
+        let d2 = &applied.deltas[&2];
+        assert_eq!(d2.added, vec![0]);
+        assert_eq!(d2.removed, vec![1]);
+        assert_eq!(d2.category(), 3, "gain plus loss is Category 3");
+    }
+
+    #[test]
+    fn deletion_happens_before_insertion() {
+        // Deleting (0,1) and inserting (0,2) in one batch must leave the
+        // graph consistent regardless of internal order; validate() already
+        // guarantees no overlap, but ordering matters for delta bookkeeping.
+        let mut g = square();
+        let batch = EditBatch::from_lists([(0, 2)], [(0, 1)]);
+        g.apply(&batch).unwrap();
+        assert!(!g.graph().has_edge(0, 1));
+        assert!(g.graph().has_edge(0, 2));
+        g.graph().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invalid_batch_leaves_graph_untouched() {
+        let mut g = square();
+        let before = g.graph().clone();
+        let bad = EditBatch::from_lists([(0, 1)], []); // exists already
+        assert!(g.apply(&bad).is_err());
+        assert_eq!(g.graph(), &before);
+        assert_eq!(g.batches_applied(), 0);
+    }
+
+    #[test]
+    fn vertex_insertion_flow() {
+        let mut g = square();
+        g.ensure_vertices(5);
+        assert_eq!(g.graph().num_vertices(), 5);
+        let batch = EditBatch::from_lists([(4, 0), (4, 2)], []);
+        let applied = g.apply(&batch).unwrap();
+        assert_eq!(applied.deltas[&4].added, vec![0, 2]);
+        assert_eq!(applied.deltas[&4].category(), 3);
+    }
+
+    #[test]
+    fn isolate_vertex_reduces_to_deletions() {
+        let mut g = square();
+        let applied = g.isolate_vertex(0).unwrap();
+        assert_eq!(applied.num_deleted, 2);
+        assert_eq!(g.graph().degree(0), 0);
+        assert_eq!(applied.deltas[&1].removed, vec![0]);
+        assert_eq!(applied.deltas[&3].removed, vec![0]);
+    }
+
+    #[test]
+    fn batch_counter_increments() {
+        let mut g = square();
+        g.apply(&EditBatch::from_lists([(0, 2)], [])).unwrap();
+        g.apply(&EditBatch::from_lists([], [(0, 2)])).unwrap();
+        assert_eq!(g.batches_applied(), 2);
+    }
+
+    #[test]
+    fn removed_contains_uses_sorted_search() {
+        let d = VertexDelta { added: vec![], removed: vec![2, 5, 9] };
+        assert!(d.removed_contains(5));
+        assert!(!d.removed_contains(4));
+    }
+}

@@ -1,0 +1,220 @@
+//! Edit batches: the unit of graph change in the dynamic setting.
+//!
+//! The paper's incremental algorithm consumes "a batch of edge insertion and
+//! deletion operations" (§I) and assumes deleted edges exist and inserted
+//! edges do not (§IV premise: deletions are drawn from existing edges,
+//! insertions from non-existing ones). [`EditBatch::validate`] enforces
+//! exactly that contract so that downstream state repair can trust its
+//! category analysis.
+
+use crate::{AdjacencyGraph, VertexId};
+
+/// Canonicalize an undirected edge as `(min, max)`.
+#[inline]
+pub fn canonical(u: VertexId, v: VertexId) -> (VertexId, VertexId) {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+/// A batch of undirected edge insertions and deletions.
+///
+/// Batches are kept canonical: edges stored as `(min, max)`, sorted,
+/// deduplicated, and with no edge appearing in both lists.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EditBatch {
+    insertions: Vec<(VertexId, VertexId)>,
+    deletions: Vec<(VertexId, VertexId)>,
+}
+
+/// Why a batch failed validation against a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EditError {
+    /// An insertion references a vertex outside `0..n`.
+    VertexOutOfRange { edge: (VertexId, VertexId), num_vertices: usize },
+    /// An inserted edge already exists in the graph.
+    InsertExisting { edge: (VertexId, VertexId) },
+    /// A deleted edge does not exist in the graph.
+    DeleteMissing { edge: (VertexId, VertexId) },
+    /// An edge is a self-loop.
+    SelfLoop { vertex: VertexId },
+}
+
+impl std::fmt::Display for EditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::VertexOutOfRange { edge, num_vertices } => {
+                write!(f, "edge {edge:?} references vertex outside 0..{num_vertices}")
+            }
+            Self::InsertExisting { edge } => write!(f, "insertion of existing edge {edge:?}"),
+            Self::DeleteMissing { edge } => write!(f, "deletion of missing edge {edge:?}"),
+            Self::SelfLoop { vertex } => write!(f, "self-loop at vertex {vertex}"),
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+impl EditBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from raw lists, canonicalizing and deduplicating.
+    ///
+    /// An edge present in both lists is dropped from both: on a graph where
+    /// the batch validates, "delete e then insert e" (or the reverse) is a
+    /// net no-op for the neighbor sets, and the paper's uniform-edit model
+    /// never produces such pairs.
+    pub fn from_lists(
+        insertions: impl IntoIterator<Item = (VertexId, VertexId)>,
+        deletions: impl IntoIterator<Item = (VertexId, VertexId)>,
+    ) -> Self {
+        let mut ins: Vec<_> = insertions.into_iter().map(|(u, v)| canonical(u, v)).collect();
+        let mut del: Vec<_> = deletions.into_iter().map(|(u, v)| canonical(u, v)).collect();
+        ins.sort_unstable();
+        ins.dedup();
+        del.sort_unstable();
+        del.dedup();
+        // Drop edges present in both lists (sorted set intersection).
+        let ins_set: crate::FxHashSet<_> = ins.iter().copied().collect();
+        let both: crate::FxHashSet<_> = del.iter().copied().filter(|e| ins_set.contains(e)).collect();
+        if !both.is_empty() {
+            ins.retain(|e| !both.contains(e));
+            del.retain(|e| !both.contains(e));
+        }
+        Self { insertions: ins, deletions: del }
+    }
+
+    /// Add one insertion (non-canonical input accepted).
+    pub fn insert(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        let e = canonical(u, v);
+        if let Err(p) = self.insertions.binary_search(&e) {
+            self.insertions.insert(p, e);
+        }
+        self
+    }
+
+    /// Add one deletion (non-canonical input accepted).
+    pub fn delete(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        let e = canonical(u, v);
+        if let Err(p) = self.deletions.binary_search(&e) {
+            self.deletions.insert(p, e);
+        }
+        self
+    }
+
+    /// Canonical sorted insertions.
+    pub fn insertions(&self) -> &[(VertexId, VertexId)] {
+        &self.insertions
+    }
+
+    /// Canonical sorted deletions.
+    pub fn deletions(&self) -> &[(VertexId, VertexId)] {
+        &self.deletions
+    }
+
+    /// Total number of edit operations.
+    pub fn len(&self) -> usize {
+        self.insertions.len() + self.deletions.len()
+    }
+
+    /// True if the batch performs no edits.
+    pub fn is_empty(&self) -> bool {
+        self.insertions.is_empty() && self.deletions.is_empty()
+    }
+
+    /// Check the batch is applicable to `g`: inserted edges absent, deleted
+    /// edges present, all endpoints in range, no self-loops.
+    pub fn validate(&self, g: &AdjacencyGraph) -> Result<(), EditError> {
+        let n = g.num_vertices();
+        for &(u, v) in self.insertions.iter().chain(&self.deletions) {
+            if u == v {
+                return Err(EditError::SelfLoop { vertex: u });
+            }
+            if (u as usize) >= n || (v as usize) >= n {
+                return Err(EditError::VertexOutOfRange { edge: (u, v), num_vertices: n });
+            }
+        }
+        for &(u, v) in &self.insertions {
+            if g.has_edge(u, v) {
+                return Err(EditError::InsertExisting { edge: (u, v) });
+            }
+        }
+        for &(u, v) in &self.deletions {
+            if !g.has_edge(u, v) {
+                return Err(EditError::DeleteMissing { edge: (u, v) });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_lists_canonicalizes_and_dedupes() {
+        let b = EditBatch::from_lists([(3, 1), (1, 3), (0, 2)], [(5, 4)]);
+        assert_eq!(b.insertions(), &[(0, 2), (1, 3)]);
+        assert_eq!(b.deletions(), &[(4, 5)]);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn conflicting_edge_cancels() {
+        let b = EditBatch::from_lists([(0, 1), (2, 3)], [(1, 0)]);
+        assert_eq!(b.insertions(), &[(2, 3)]);
+        assert!(b.deletions().is_empty());
+    }
+
+    #[test]
+    fn builder_methods_keep_sorted() {
+        let mut b = EditBatch::new();
+        b.insert(5, 2).insert(1, 0).delete(9, 3);
+        assert_eq!(b.insertions(), &[(0, 1), (2, 5)]);
+        assert_eq!(b.deletions(), &[(3, 9)]);
+        b.insert(5, 2); // duplicate is a no-op
+        assert_eq!(b.insertions().len(), 2);
+    }
+
+    #[test]
+    fn validate_accepts_good_batch() {
+        let g = AdjacencyGraph::from_edges(4, [(0, 1), (1, 2)]);
+        let b = EditBatch::from_lists([(0, 3)], [(1, 2)]);
+        assert!(b.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_existing_insert() {
+        let g = AdjacencyGraph::from_edges(3, [(0, 1)]);
+        let b = EditBatch::from_lists([(1, 0)], []);
+        assert_eq!(b.validate(&g), Err(EditError::InsertExisting { edge: (0, 1) }));
+    }
+
+    #[test]
+    fn validate_rejects_missing_delete() {
+        let g = AdjacencyGraph::from_edges(3, [(0, 1)]);
+        let b = EditBatch::from_lists([], [(1, 2)]);
+        assert_eq!(b.validate(&g), Err(EditError::DeleteMissing { edge: (1, 2) }));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_and_self_loop() {
+        let g = AdjacencyGraph::from_edges(3, [(0, 1)]);
+        let b = EditBatch::from_lists([(0, 7)], []);
+        assert!(matches!(b.validate(&g), Err(EditError::VertexOutOfRange { .. })));
+        let b2 = EditBatch::from_lists([(2, 2)], []);
+        assert!(matches!(b2.validate(&g), Err(EditError::SelfLoop { vertex: 2 })));
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = EditError::InsertExisting { edge: (1, 2) };
+        assert!(e.to_string().contains("existing"));
+    }
+}

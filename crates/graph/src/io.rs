@@ -1,0 +1,135 @@
+//! Plain-text edge-list I/O and the paper's dataset preparation pipeline.
+//!
+//! The paper extracts its WebGraph-compressed crawl "into plain texts, then
+//! remove\[s\] the direction of edges, as well as multiple edges and
+//! self-loops" (§V-B1). [`read_edge_list`] + [`GraphBuilder`] reproduce
+//! exactly that flow for any whitespace-separated `u v` file with `#`
+//! comments (the common SNAP format).
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::{AdjacencyGraph, GraphBuilder, VertexId};
+
+/// Errors from edge-list parsing.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line that is neither a comment, blank, nor `u v`.
+    Parse { line_number: usize, line: String },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Parse { line_number, line } => {
+                write!(f, "cannot parse line {line_number}: {line:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Parse a whitespace-separated edge list. Lines starting with `#` or `%`
+/// and blank lines are skipped. Extra columns (e.g. weights/timestamps) are
+/// ignored.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Vec<(VertexId, VertexId)>, IoError> {
+    let mut edges = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_number = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_ascii_whitespace();
+        let (Some(a), Some(b)) = (it.next(), it.next()) else {
+            return Err(IoError::Parse { line_number, line });
+        };
+        let (Ok(u), Ok(v)) = (a.parse::<VertexId>(), b.parse::<VertexId>()) else {
+            return Err(IoError::Parse { line_number, line });
+        };
+        edges.push((u, v));
+    }
+    Ok(edges)
+}
+
+/// Read an edge-list file and run the full preparation pipeline
+/// (symmetrize, dedupe, drop self-loops) into a binary graph.
+pub fn load_binary_graph(path: &Path) -> Result<AdjacencyGraph, IoError> {
+    let file = std::fs::File::open(path)?;
+    let edges = read_edge_list(std::io::BufReader::new(file))?;
+    let mut b = GraphBuilder::with_capacity(edges.len());
+    b.extend(edges);
+    Ok(b.build())
+}
+
+/// Write a graph as a canonical (`u < v`, sorted) edge list.
+pub fn write_edge_list<W: Write>(g: &AdjacencyGraph, writer: W) -> std::io::Result<()> {
+    let mut out = BufWriter::new(writer);
+    writeln!(out, "# {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(out, "{u} {v}")?;
+    }
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_snap_style_input() {
+        let input = "# comment\n% also comment\n\n0 1\n1 2 extra-col\n 2  3 \n";
+        let edges = read_edge_list(Cursor::new(input)).unwrap();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn rejects_garbage_with_line_number() {
+        let input = "0 1\nnot an edge\n";
+        match read_edge_list(Cursor::new(input)) {
+            Err(IoError::Parse { line_number, .. }) => assert_eq!(line_number, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_single_column() {
+        assert!(read_edge_list(Cursor::new("42\n")).is_err());
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let g = AdjacencyGraph::from_edges(4, [(0, 1), (2, 3), (1, 2)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let edges = read_edge_list(Cursor::new(buf)).unwrap();
+        let mut b = GraphBuilder::new();
+        b.extend(edges);
+        let g2 = b.build_with_vertices(4);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn load_pipeline_cleans_dirty_file() {
+        let dir = std::env::temp_dir().join("rslpa_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dirty.txt");
+        std::fs::write(&path, "1 0\n0 1\n2 2\n1 2\n").unwrap();
+        let g = load_binary_graph(&path).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2, "directed dup merged, self-loop dropped");
+        std::fs::remove_file(&path).ok();
+    }
+}

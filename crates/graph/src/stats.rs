@@ -1,0 +1,112 @@
+//! Graph statistics in the shape of the paper's Table II.
+
+use crate::AdjacencyGraph;
+
+/// Summary statistics of a binary graph (Table II analogue; the paper's
+/// table reports in/out degrees of the *directed* crawl, ours reports the
+/// symmetrized binary graph the algorithms actually run on).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of undirected edges.
+    pub num_edges: usize,
+    /// Average degree `2|E|/|V|`.
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated_vertices: usize,
+    /// Number of connected components.
+    pub num_components: usize,
+    /// Size of the largest connected component.
+    pub largest_component: usize,
+}
+
+impl GraphStats {
+    /// Compute all statistics in two passes over the graph.
+    pub fn compute(g: &AdjacencyGraph) -> Self {
+        let n = g.num_vertices();
+        let mut max_degree = 0usize;
+        let mut min_degree = usize::MAX;
+        let mut isolated = 0usize;
+        for v in 0..n as u32 {
+            let d = g.degree(v);
+            max_degree = max_degree.max(d);
+            min_degree = min_degree.min(d);
+            if d == 0 {
+                isolated += 1;
+            }
+        }
+        if n == 0 {
+            min_degree = 0;
+        }
+        let labels = crate::connected_components(n, g.edges());
+        let mut sizes: crate::FxHashMap<u32, usize> = Default::default();
+        for &l in &labels {
+            *sizes.entry(l).or_insert(0) += 1;
+        }
+        Self {
+            num_vertices: n,
+            num_edges: g.num_edges(),
+            avg_degree: g.avg_degree(),
+            max_degree,
+            min_degree,
+            isolated_vertices: isolated,
+            num_components: sizes.len(),
+            largest_component: sizes.values().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "# nodes            {}", self.num_vertices)?;
+        writeln!(f, "# edges            {}", self.num_edges)?;
+        writeln!(f, "avg. degree        {:.3}", self.avg_degree)?;
+        writeln!(f, "max degree         {}", self.max_degree)?;
+        writeln!(f, "min degree         {}", self.min_degree)?;
+        writeln!(f, "isolated vertices  {}", self.isolated_vertices)?;
+        writeln!(f, "# components       {}", self.num_components)?;
+        write!(f, "largest component  {}", self.largest_component)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_known_graph() {
+        // Two triangles plus an isolated vertex.
+        let g = AdjacencyGraph::from_edges(7, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_vertices, 7);
+        assert_eq!(s.num_edges, 6);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.min_degree, 0);
+        assert_eq!(s.isolated_vertices, 1);
+        assert_eq!(s.num_components, 3);
+        assert_eq!(s.largest_component, 3);
+        assert!((s.avg_degree - 12.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_on_empty_graph() {
+        let s = GraphStats::compute(&AdjacencyGraph::new(0));
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.min_degree, 0);
+        assert_eq!(s.num_components, 0);
+    }
+
+    #[test]
+    fn display_includes_all_rows() {
+        let g = AdjacencyGraph::from_edges(2, [(0, 1)]);
+        let text = GraphStats::compute(&g).to_string();
+        for key in ["# nodes", "# edges", "avg. degree", "max degree", "largest component"] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+    }
+}

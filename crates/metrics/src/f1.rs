@@ -1,0 +1,105 @@
+//! Average best-match F1 between covers.
+//!
+//! A secondary quality measure (Yang & Leskovec 2013 style): each community
+//! is matched to its best F1 counterpart in the other cover, averaged both
+//! ways. Less principled than NMI but more interpretable; used in
+//! experiment reports alongside NMI.
+
+use rslpa_graph::{Cover, FxHashMap};
+
+/// F1 of two vertex sets given their sizes and intersection.
+#[inline]
+fn f1(size_a: usize, size_b: usize, common: usize) -> f64 {
+    if common == 0 {
+        return 0.0;
+    }
+    let p = common as f64 / size_b as f64;
+    let r = common as f64 / size_a as f64;
+    2.0 * p * r / (p + r)
+}
+
+/// Mean over `a`'s communities of the best F1 against any community of `b`.
+fn one_sided_f1(a: &Cover, b: &Cover, n: usize) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    let b_memberships = b.memberships(n);
+    let mut acc = 0.0;
+    for ca in a.communities() {
+        let mut common: FxHashMap<u32, usize> = FxHashMap::default();
+        for &v in ca {
+            for &l in &b_memberships[v as usize] {
+                *common.entry(l).or_insert(0) += 1;
+            }
+        }
+        let best = common
+            .iter()
+            .map(|(&l, &cnt)| f1(ca.len(), b.communities()[l as usize].len(), cnt))
+            .fold(0.0, f64::max);
+        acc += best;
+    }
+    acc / a.len() as f64
+}
+
+/// Symmetric average F1 between covers over `n` vertices; in `[0, 1]`,
+/// 1 iff identical.
+pub fn avg_f1(a: &Cover, b: &Cover, n: usize) -> f64 {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return 1.0,
+        (true, false) | (false, true) => return 0.0,
+        _ => {}
+    }
+    0.5 * (one_sided_f1(a, b, n) + one_sided_f1(b, a, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover(cs: &[&[u32]]) -> Cover {
+        Cover::new(cs.iter().map(|c| c.to_vec()))
+    }
+
+    #[test]
+    fn identical_covers_score_one() {
+        let a = cover(&[&[0, 1, 2], &[3, 4]]);
+        assert!((avg_f1(&a, &a, 5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_covers_score_zero() {
+        let a = cover(&[&[0, 1]]);
+        let b = cover(&[&[2, 3]]);
+        assert_eq!(avg_f1(&a, &b, 4), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_scores_between() {
+        let a = cover(&[&[0, 1, 2, 3]]);
+        let b = cover(&[&[2, 3, 4, 5]]);
+        let s = avg_f1(&a, &b, 6);
+        assert!((s - 0.5).abs() < 1e-12, "F1 of half-overlapping equal-size sets is 0.5, got {s}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = cover(&[&[0, 1, 2], &[3, 4, 5]]);
+        let b = cover(&[&[0, 1], &[2, 3, 4, 5]]);
+        assert!((avg_f1(&a, &b, 6) - avg_f1(&b, &a, 6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_conventions_match_nmi() {
+        let a = cover(&[&[0]]);
+        let e = Cover::default();
+        assert_eq!(avg_f1(&e, &e, 1), 1.0);
+        assert_eq!(avg_f1(&a, &e, 1), 0.0);
+    }
+
+    #[test]
+    fn extra_noise_community_lowers_score() {
+        let truth = cover(&[&[0, 1, 2], &[3, 4, 5]]);
+        let noisy = cover(&[&[0, 1, 2], &[3, 4, 5], &[0, 3]]);
+        assert!(avg_f1(&truth, &noisy, 6) < 1.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Community-quality metrics.
+//!
+//! The paper evaluates detected covers against LFR ground truth with
+//! "the Normalized Mutual Information (NMI), one of the most widely used
+//! measures" (§V-A2). For *overlapping* covers the canonical such measure
+//! is the LFK extended NMI (Lancichinetti, Fortunato & Kertész, New J.
+//! Phys. 11, 2009 — by the same authors as the LFR benchmark), implemented
+//! in [`onmi`]. Classic partition NMI, average F1, the community-size
+//! entropy of the paper's Eq. (1), and Newman modularity round out the
+//! toolbox.
+
+pub mod entropy;
+pub mod f1;
+pub mod modularity;
+pub mod nmi;
+pub mod omega;
+pub mod onmi;
+
+pub use entropy::size_entropy;
+pub use f1::avg_f1;
+pub use modularity::modularity;
+pub use nmi::partition_nmi;
+pub use omega::omega_index;
+pub use onmi::overlapping_nmi;

@@ -1,0 +1,97 @@
+//! Newman modularity.
+//!
+//! The paper deliberately avoids Modularity as an objective ("the most
+//! widely used objective Modularity has some limitations", §II-A, citing
+//! Lancichinetti & Fortunato 2011), but it remains the standard sanity
+//! metric for *reporting* community quality on real graphs with no ground
+//! truth — which is how the bench harness uses it.
+
+use rslpa_graph::{AdjacencyGraph, Cover};
+
+/// Newman modularity `Q = Σ_c [ e_c/m − (d_c/2m)² ]` of a cover treated as
+/// a partition by **first membership** (overlapping vertices are counted in
+/// their lowest-indexed community; uncovered vertices form singletons).
+pub fn modularity(graph: &AdjacencyGraph, cover: &Cover) -> f64 {
+    let n = graph.num_vertices();
+    let m = graph.num_edges();
+    if m == 0 {
+        return 0.0;
+    }
+    // Assign each vertex one community id; uncovered vertices get fresh ids.
+    let memberships = cover.memberships(n);
+    let mut assignment = vec![u32::MAX; n];
+    let mut next = cover.len() as u32;
+    for v in 0..n {
+        assignment[v] = match memberships[v].first() {
+            Some(&c) => c,
+            None => {
+                let c = next;
+                next += 1;
+                c
+            }
+        };
+    }
+    let num_comms = next as usize;
+    let mut internal = vec![0usize; num_comms]; // edges inside community
+    let mut degree_sum = vec![0usize; num_comms];
+    for v in 0..n as u32 {
+        degree_sum[assignment[v as usize] as usize] += graph.degree(v);
+    }
+    for (u, v) in graph.edges() {
+        if assignment[u as usize] == assignment[v as usize] {
+            internal[assignment[u as usize] as usize] += 1;
+        }
+    }
+    let m2 = 2.0 * m as f64;
+    (0..num_comms)
+        .map(|c| internal[c] as f64 / m as f64 - (degree_sum[c] as f64 / m2).powi(2))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_cliques_bridge() {
+        // Two triangles joined by one edge; the natural split has high Q.
+        let g = AdjacencyGraph::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
+        let good = Cover::new(vec![vec![0, 1, 2], vec![3, 4, 5]]);
+        let bad = Cover::new(vec![vec![0, 3], vec![1, 4], vec![2, 5]]);
+        let qg = modularity(&g, &good);
+        let qb = modularity(&g, &bad);
+        assert!(qg > 0.3, "good split Q = {qg}");
+        assert!(qg > qb, "good {qg} vs bad {qb}");
+    }
+
+    #[test]
+    fn single_community_q_is_zero() {
+        let g = AdjacencyGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let all = Cover::new(vec![vec![0, 1, 2, 3]]);
+        assert!(modularity(&g, &all).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_q_is_zero() {
+        let g = AdjacencyGraph::new(3);
+        assert_eq!(modularity(&g, &Cover::default()), 0.0);
+    }
+
+    #[test]
+    fn uncovered_vertices_become_singletons() {
+        let g = AdjacencyGraph::from_edges(4, [(0, 1), (2, 3)]);
+        let partial = Cover::new(vec![vec![0, 1]]);
+        // Vertices 2, 3 are singletons: the (2,3) edge is external.
+        let q = modularity(&g, &partial);
+        let full = modularity(&g, &Cover::new(vec![vec![0, 1], vec![2, 3]]));
+        assert!(full > q);
+    }
+
+    #[test]
+    fn q_is_bounded() {
+        let g = AdjacencyGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let c = Cover::new(vec![vec![0, 1], vec![2, 3], vec![4]]);
+        let q = modularity(&g, &c);
+        assert!((-1.0..=1.0).contains(&q));
+    }
+}

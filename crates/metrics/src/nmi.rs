@@ -1,0 +1,124 @@
+//! Classic NMI for disjoint partitions.
+//!
+//! Danon et al. (2005) normalization: `2·I(X;Y) / (H(X) + H(Y))`. Used as a
+//! cross-check of the overlapping variant on disjoint covers, and for the
+//! LPA baseline which only emits partitions.
+
+use rslpa_graph::{Cover, FxHashMap};
+
+/// NMI between two *partitions* given as per-vertex labels of equal length.
+///
+/// Labels are arbitrary ids (need not be dense). Returns 1.0 for identical
+/// partitions (up to relabeling), 0.0 for independent ones. Two all-equal
+/// (zero-entropy) partitions score 1 by convention.
+pub fn partition_nmi(a: &[u32], b: &[u32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "label vectors must align");
+    let n = a.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let nf = n as f64;
+    let mut count_a: FxHashMap<u32, usize> = FxHashMap::default();
+    let mut count_b: FxHashMap<u32, usize> = FxHashMap::default();
+    let mut joint: FxHashMap<(u32, u32), usize> = FxHashMap::default();
+    for i in 0..n {
+        *count_a.entry(a[i]).or_insert(0) += 1;
+        *count_b.entry(b[i]).or_insert(0) += 1;
+        *joint.entry((a[i], b[i])).or_insert(0) += 1;
+    }
+    let entropy = |counts: &FxHashMap<u32, usize>| -> f64 {
+        counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / nf;
+                -p * p.log2()
+            })
+            .sum()
+    };
+    let ha = entropy(&count_a);
+    let hb = entropy(&count_b);
+    if ha == 0.0 && hb == 0.0 {
+        return 1.0; // both trivial partitions: identical by convention
+    }
+    let mut mi = 0.0;
+    for (&(la, lb), &c) in &joint {
+        let pxy = c as f64 / nf;
+        let px = count_a[&la] as f64 / nf;
+        let py = count_b[&lb] as f64 / nf;
+        mi += pxy * (pxy / (px * py)).log2();
+    }
+    (2.0 * mi / (ha + hb)).clamp(0.0, 1.0)
+}
+
+/// Partition NMI between two disjoint covers over `n` vertices.
+///
+/// Panics if either cover overlaps or leaves vertices uncovered — use
+/// [`crate::overlapping_nmi`] for general covers.
+pub fn partition_nmi_covers(a: &Cover, b: &Cover, n: usize) -> f64 {
+    let to_labels = |c: &Cover| -> Vec<u32> {
+        let m = c.memberships(n);
+        m.iter()
+            .enumerate()
+            .map(|(v, ms)| {
+                assert!(ms.len() == 1, "vertex {v} has {} memberships; not a partition", ms.len());
+                ms[0]
+            })
+            .collect()
+    };
+    partition_nmi(&to_labels(a), &to_labels(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_up_to_relabeling() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        let b = vec![7, 7, 3, 3, 9, 9];
+        assert!((partition_nmi(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_partitions_score_low() {
+        // Perfectly crossed 2x2 design: labels independent.
+        let a = vec![0, 0, 1, 1];
+        let b = vec![0, 1, 0, 1];
+        assert!(partition_nmi(&a, &b) < 1e-9);
+    }
+
+    #[test]
+    fn refinement_scores_between() {
+        let coarse = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let fine = vec![0, 0, 1, 1, 2, 2, 3, 3];
+        let s = partition_nmi(&coarse, &fine);
+        assert!(s > 0.5 && s < 1.0, "refinement score {s}");
+    }
+
+    #[test]
+    fn trivial_partitions() {
+        assert_eq!(partition_nmi(&[5, 5, 5], &[2, 2, 2]), 1.0);
+        assert_eq!(partition_nmi(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn covers_path() {
+        let a = Cover::new(vec![vec![0, 1], vec![2, 3]]);
+        let b = Cover::new(vec![vec![0, 1], vec![2, 3]]);
+        assert!((partition_nmi_covers(&a, &b, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a partition")]
+    fn overlapping_cover_rejected() {
+        let a = Cover::new(vec![vec![0, 1], vec![1, 2]]);
+        let _ = partition_nmi_covers(&a, &a, 3);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = vec![0, 0, 1, 2, 2, 1];
+        let b = vec![1, 0, 1, 2, 2, 2];
+        assert!((partition_nmi(&a, &b) - partition_nmi(&b, &a)).abs() < 1e-12);
+    }
+}

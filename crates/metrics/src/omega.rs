@@ -1,0 +1,121 @@
+//! The Omega index for overlapping covers.
+//!
+//! Collins & Dent (1988), popularized for overlapping community evaluation
+//! by Gregory (2011): the chance-corrected fraction of vertex *pairs* on
+//! whose co-membership multiplicity the two covers agree. Complements NMI:
+//! Omega is pair-based and penalizes disagreement on *how many* shared
+//! communities a pair has, which NMI's per-community matching can miss.
+
+use rslpa_graph::{Cover, FxHashMap};
+
+/// Co-membership counts per unordered pair.
+fn pair_counts(cover: &Cover) -> FxHashMap<(u32, u32), u32> {
+    let mut counts: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+    for c in cover.communities() {
+        for (i, &u) in c.iter().enumerate() {
+            for &v in &c[i + 1..] {
+                *counts.entry((u, v)).or_insert(0) += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Omega index between covers over `n` vertices; 1 for identical covers,
+/// ≈0 for chance-level agreement (can be negative for anti-agreement).
+pub fn omega_index(a: &Cover, b: &Cover, n: usize) -> f64 {
+    assert!(n >= 2, "need at least two vertices");
+    let total_pairs = (n * (n - 1) / 2) as f64;
+    let ca = pair_counts(a);
+    let cb = pair_counts(b);
+    // Observed agreement: pairs with identical multiplicity. Pairs in
+    // neither map agree at multiplicity 0.
+    let mut agree = 0u64;
+    let mut seen_either = 0u64;
+    for (pair, &ma) in &ca {
+        let mb = cb.get(pair).copied().unwrap_or(0);
+        if ma == mb {
+            agree += 1;
+        }
+        seen_either += 1;
+    }
+    for pair in cb.keys() {
+        if !ca.contains_key(pair) {
+            seen_either += 1; // multiplicities differ (0 vs >0): no agree
+        }
+    }
+    let zero_zero = total_pairs - seen_either as f64;
+    let observed = (agree as f64 + zero_zero) / total_pairs;
+    // Expected agreement under independence: Σ_j P_A(j)·P_B(j).
+    let hist = |counts: &FxHashMap<(u32, u32), u32>| -> FxHashMap<u32, f64> {
+        let mut h: FxHashMap<u32, f64> = FxHashMap::default();
+        for &m in counts.values() {
+            *h.entry(m).or_insert(0.0) += 1.0;
+        }
+        let nonzero: f64 = h.values().sum();
+        h.insert(0, total_pairs - nonzero);
+        for v in h.values_mut() {
+            *v /= total_pairs;
+        }
+        h
+    };
+    let ha = hist(&ca);
+    let hb = hist(&cb);
+    let expected: f64 = ha
+        .iter()
+        .filter_map(|(j, pa)| hb.get(j).map(|pb| pa * pb))
+        .sum();
+    if (1.0 - expected).abs() < 1e-12 {
+        return 1.0; // both covers are trivial in the same way
+    }
+    (observed - expected) / (1.0 - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover(cs: &[&[u32]]) -> Cover {
+        Cover::new(cs.iter().map(|c| c.to_vec()))
+    }
+
+    #[test]
+    fn identical_covers_score_one() {
+        let a = cover(&[&[0, 1, 2], &[2, 3, 4]]);
+        assert!((omega_index(&a, &a, 5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_cover_against_empty_is_low() {
+        let a = cover(&[&[0, 1, 2, 3]]);
+        let empty = Cover::default();
+        let s = omega_index(&a, &empty, 8);
+        assert!(s < 0.2, "score {s}");
+    }
+
+    #[test]
+    fn multiplicity_matters() {
+        // Pair (0,1) shares two communities in A but only one in B: the
+        // pair disagrees even though it is "together" in both.
+        let a = cover(&[&[0, 1, 2], &[0, 1, 3]]);
+        let b1 = cover(&[&[0, 1, 2], &[0, 1, 3]]);
+        let b2 = cover(&[&[0, 1, 2], &[1, 3, 4]]);
+        let n = 5;
+        assert!(omega_index(&a, &b1, n) > omega_index(&a, &b2, n));
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = cover(&[&[0, 1, 2], &[3, 4]]);
+        let b = cover(&[&[0, 1], &[2, 3, 4]]);
+        assert!((omega_index(&a, &b, 5) - omega_index(&b, &a, 5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_agreement_between_zero_and_one() {
+        let a = cover(&[&[0, 1, 2, 3], &[4, 5, 6, 7]]);
+        let b = cover(&[&[0, 1, 2, 4], &[3, 5, 6, 7]]);
+        let s = omega_index(&a, &b, 8);
+        assert!(s > 0.0 && s < 1.0, "score {s}");
+    }
+}

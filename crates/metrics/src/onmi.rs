@@ -1,0 +1,198 @@
+//! Extended NMI for overlapping covers (LFK variant).
+//!
+//! Lancichinetti, Fortunato & Kertész 2009, Appendix B: each community is a
+//! binary random variable over the vertex set; the similarity of covers
+//! `X` and `Y` is
+//!
+//! ```text
+//! NMI(X, Y) = 1 − ½ · ( H(X|Y)_norm + H(Y|X)_norm )
+//! ```
+//!
+//! where `H(X|Y)_norm` averages, over communities `X_k`, the best (lowest)
+//! conditional entropy against any `Y_l`, normalized by `H(X_k)`. The
+//! complementarity guard of the original paper (reject a candidate `Y_l`
+//! when matching would rely on *anti*-correlation) is included; without it
+//! a community and its complement would count as a perfect match.
+
+use rslpa_graph::{Cover, FxHashMap};
+
+/// Binary entropy helper: `h(p) = −p·log₂(p)` with `h(0) = 0`.
+#[inline]
+fn h(p: f64) -> f64 {
+    if p <= 0.0 {
+        0.0
+    } else {
+        -p * p.log2()
+    }
+}
+
+/// Entropy of a community viewed as a binary indicator over `n` vertices.
+#[inline]
+fn community_entropy(size: usize, n: usize) -> f64 {
+    let p = size as f64 / n as f64;
+    h(p) + h(1.0 - p)
+}
+
+/// `H(X_k | Y_l)` from the 2×2 joint distribution, or `None` when the
+/// complementarity guard rejects the pair.
+fn conditional_entropy(
+    size_x: usize,
+    size_y: usize,
+    common: usize,
+    n: usize,
+) -> Option<f64> {
+    let nf = n as f64;
+    // Joint counts: d = |X∩Y|, c = |X\Y|, b = |Y\X|, a = rest.
+    let d = common as f64 / nf;
+    let c = (size_x - common) as f64 / nf;
+    let b = (size_y - common) as f64 / nf;
+    let a = 1.0 - d - c - b;
+    // Guard (LFK eq. B.14): accept only if h(a) + h(d) >= h(b) + h(c).
+    if h(a) + h(d) < h(b) + h(c) {
+        return None;
+    }
+    let joint = h(a) + h(b) + h(c) + h(d);
+    let hy = community_entropy(size_y, n);
+    Some(joint - hy)
+}
+
+/// One-sided normalized conditional entropy `H(X|Y)_norm`.
+fn normalized_conditional(x: &Cover, y: &Cover, n: usize) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    // Pre-index Y memberships per vertex for fast intersection counting.
+    let y_memberships = y.memberships(n);
+    let mut acc = 0.0;
+    for xk in x.communities() {
+        let hx = community_entropy(xk.len(), n);
+        if hx == 0.0 {
+            // Degenerate community (empty or the whole vertex set): carries
+            // no information; count it as perfectly explained.
+            continue;
+        }
+        // Count |X_k ∩ Y_l| for all l in one pass over X_k's members.
+        let mut common: FxHashMap<u32, usize> = FxHashMap::default();
+        for &v in xk {
+            for &l in &y_memberships[v as usize] {
+                *common.entry(l).or_insert(0) += 1;
+            }
+        }
+        let mut best = hx; // fallback: H(X_k|Y) = H(X_k) if no candidate survives
+        for (&l, &cnt) in &common {
+            let yl = &y.communities()[l as usize];
+            if let Some(ce) = conditional_entropy(xk.len(), yl.len(), cnt, n) {
+                best = best.min(ce);
+            }
+        }
+        acc += best / hx;
+    }
+    acc / x.len() as f64
+}
+
+/// LFK extended NMI between two overlapping covers over `n` vertices.
+///
+/// Returns a value in `[0, 1]`; `1` iff the covers are identical (up to
+/// community order), `≈ 0` for unrelated covers. Two empty covers score 1,
+/// one empty cover scores 0.
+pub fn overlapping_nmi(a: &Cover, b: &Cover, n: usize) -> f64 {
+    assert!(n > 0, "need a non-empty vertex set");
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return 1.0,
+        (true, false) | (false, true) => return 0.0,
+        _ => {}
+    }
+    let hxy = normalized_conditional(a, b, n);
+    let hyx = normalized_conditional(b, a, n);
+    (1.0 - 0.5 * (hxy + hyx)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rslpa_graph::rng::DetRng;
+
+    fn cover(cs: &[&[u32]]) -> Cover {
+        Cover::new(cs.iter().map(|c| c.to_vec()))
+    }
+
+    #[test]
+    fn identical_covers_score_one() {
+        let a = cover(&[&[0, 1, 2], &[3, 4, 5], &[5, 6, 7]]);
+        assert!((overlapping_nmi(&a, &a, 8) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_structure_scores_below_one() {
+        let a = cover(&[&[0, 1, 2, 3], &[4, 5, 6, 7]]);
+        let b = cover(&[&[0, 1, 4, 5], &[2, 3, 6, 7]]);
+        let s = overlapping_nmi(&a, &b, 8);
+        assert!(s < 0.5, "orthogonal splits should score low, got {s}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = cover(&[&[0, 1, 2], &[2, 3, 4]]);
+        let b = cover(&[&[0, 1], &[2, 3, 4, 5]]);
+        let n = 6;
+        assert!((overlapping_nmi(&a, &b, n) - overlapping_nmi(&b, &a, n)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_is_zero_one() {
+        let mut rng = DetRng::new(1);
+        for trial in 0..20 {
+            let n = 30;
+            let mk = |rng: &mut DetRng| {
+                Cover::new((0..4).map(|_| {
+                    (0..n as u32).filter(|_| rng.unit_f64() < 0.3).collect::<Vec<_>>()
+                }))
+            };
+            let a = mk(&mut rng);
+            let b = mk(&mut rng);
+            let s = overlapping_nmi(&a, &b, n);
+            assert!((0.0..=1.0).contains(&s), "trial {trial}: score {s}");
+        }
+    }
+
+    #[test]
+    fn empty_cover_conventions() {
+        let a = cover(&[&[0, 1]]);
+        let empty = Cover::default();
+        assert_eq!(overlapping_nmi(&empty, &empty, 4), 1.0);
+        assert_eq!(overlapping_nmi(&a, &empty, 4), 0.0);
+        assert_eq!(overlapping_nmi(&empty, &a, 4), 0.0);
+    }
+
+    #[test]
+    fn complement_is_not_a_match() {
+        // Without the LFK guard, {0..4} would "explain" {5..9} perfectly
+        // via anti-correlation; the guard must prevent a high score.
+        let a = cover(&[&[0, 1, 2, 3, 4]]);
+        let b = cover(&[&[5, 6, 7, 8, 9]]);
+        let s = overlapping_nmi(&a, &b, 10);
+        assert!(s < 0.2, "complementary covers must score low, got {s}");
+    }
+
+    #[test]
+    fn refining_a_cover_reduces_score_gracefully() {
+        let truth = cover(&[&[0, 1, 2, 3, 4, 5], &[6, 7, 8, 9, 10, 11]]);
+        let split = cover(&[&[0, 1, 2], &[3, 4, 5], &[6, 7, 8, 9, 10, 11]]);
+        let shuffled = cover(&[&[0, 3, 6, 9], &[1, 4, 7, 10], &[2, 5, 8, 11]]);
+        let s_split = overlapping_nmi(&truth, &split, 12);
+        let s_shuffled = overlapping_nmi(&truth, &shuffled, 12);
+        assert!(s_split > s_shuffled, "split {s_split} vs shuffled {s_shuffled}");
+        assert!(s_split > 0.5);
+    }
+
+    #[test]
+    fn overlap_detected_better_than_missed() {
+        // Truth has an overlapping vertex 4; a detection that captures the
+        // overlap should beat one that assigns it to a single community.
+        let truth = cover(&[&[0, 1, 2, 3, 4], &[4, 5, 6, 7, 8]]);
+        let with_overlap = cover(&[&[0, 1, 2, 3, 4], &[4, 5, 6, 7, 8]]);
+        let without = cover(&[&[0, 1, 2, 3, 4], &[5, 6, 7, 8]]);
+        let n = 9;
+        assert!(overlapping_nmi(&truth, &with_overlap, n) > overlapping_nmi(&truth, &without, n));
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: detect overlapping communities, change the graph, repair
+//! incrementally, detect again.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rslpa::prelude::*;
+
+fn main() {
+    // Two 5-cliques sharing vertex 4 — the textbook overlapping setup:
+    // vertex 4 belongs to both communities.
+    let mut edges = Vec::new();
+    for group in [&[0u32, 1, 2, 3, 4][..], &[4u32, 5, 6, 7, 8][..]] {
+        for (i, &u) in group.iter().enumerate() {
+            for &v in &group[i + 1..] {
+                edges.push((u, v));
+            }
+        }
+    }
+    let graph = AdjacencyGraph::from_edges(9, edges);
+    println!("graph: {} vertices, {} edges", graph.num_vertices(), graph.num_edges());
+
+    // 1. Initial detection.
+    let mut detector = RslpaDetector::new(graph, RslpaConfig::quick(80, 42));
+    let detection = detector.detect();
+    println!("\ninitial communities (tau1 = {:.3}, tau2 = {:.3}):", detection.result.tau1, detection.result.tau2);
+    for (i, c) in detection.result.cover.communities().iter().enumerate() {
+        println!("  community {i}: {c:?}");
+    }
+    let overlapping = detection.result.cover.num_overlapping(9);
+    println!("  overlapping vertices: {overlapping}");
+
+    // 2. The graph changes: vertex 0 defects to the right clique.
+    let batch = EditBatch::from_lists([(0, 6), (0, 7), (0, 8)], [(0, 2), (0, 3)]);
+    let report = detector.apply_batch(&batch).expect("valid batch");
+    println!(
+        "\napplied batch of {} edits: repaired {} of {} label slots ({} repicks, {} cascade deliveries)",
+        batch.len(),
+        report.eta,
+        9 * detector.config().iterations,
+        report.repicks,
+        report.deliveries,
+    );
+
+    // 3. Detect again from the repaired state — no recomputation.
+    let detection = detector.detect();
+    println!("\ncommunities after the batch:");
+    for (i, c) in detection.result.cover.communities().iter().enumerate() {
+        println!("  community {i}: {c:?}");
+    }
+}

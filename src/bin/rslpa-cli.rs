@@ -1,0 +1,243 @@
+//! `rslpa-cli` — run the detector on edge-list files from the shell.
+//!
+//! ```sh
+//! rslpa-cli stats    graph.txt
+//! rslpa-cli detect   graph.txt --iterations 200 --seed 42 --out communities.txt
+//! rslpa-cli stream   graph.txt edits.txt --detect-every 2
+//! rslpa-cli generate lfr 5000 --out graph.txt
+//! ```
+//!
+//! Formats: graphs are whitespace-separated `u v` lines (`#`/`%` comments
+//! allowed; direction, duplicates and self-loops are cleaned on load).
+//! Edit files contain `+ u v` / `- u v` lines; a blank line ends a batch.
+
+use std::io::{BufRead, Write};
+use std::path::Path;
+use std::process::ExitCode;
+
+use rslpa::gen::lfr::LfrParams;
+use rslpa::gen::webgraph::{barabasi_albert, rmat, RmatParams};
+use rslpa::graph::io::{load_binary_graph, write_edge_list};
+use rslpa::graph::GraphStats;
+use rslpa::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("detect") => cmd_detect(&args[1..]),
+        Some("stream") => cmd_stream(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: rslpa-cli <command>\n\
+                 commands:\n\
+                 \x20 stats    <graph>                          graph statistics\n\
+                 \x20 detect   <graph> [--iterations N] [--seed S] [--out FILE]\n\
+                 \x20 stream   <graph> <edits> [--iterations N] [--seed S] [--detect-every K]\n\
+                 \x20 generate <lfr|rmat|ba> <size> [--seed S] [--out FILE]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Parse `--flag value` options out of an argument list; returns the
+/// remaining positional arguments.
+fn split_options(args: &[String]) -> (Vec<&str>, std::collections::HashMap<&str, &str>) {
+    let mut positional = Vec::new();
+    let mut options = std::collections::HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(flag) = a.strip_prefix("--") {
+            let value = it.next().map(String::as_str).unwrap_or("");
+            options.insert(flag, value);
+        } else {
+            positional.push(a.as_str());
+        }
+    }
+    (positional, options)
+}
+
+fn opt_parse<T: std::str::FromStr>(
+    options: &std::collections::HashMap<&str, &str>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match options.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse {v:?}")),
+    }
+}
+
+fn cmd_stats(args: &[String]) -> CliResult {
+    let (pos, _) = split_options(args);
+    let [path] = pos[..] else { return Err("stats needs exactly one graph file".into()) };
+    let graph = load_binary_graph(Path::new(path))?;
+    println!("{}", GraphStats::compute(&graph));
+    Ok(())
+}
+
+fn write_cover(cover: &Cover, out: Option<&str>) -> CliResult {
+    let mut sink: Box<dyn Write> = match out {
+        Some(path) => Box::new(std::io::BufWriter::new(std::fs::File::create(path)?)),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    for c in cover.communities() {
+        let line: Vec<String> = c.iter().map(u32::to_string).collect();
+        writeln!(sink, "{}", line.join(" "))?;
+    }
+    sink.flush()?;
+    Ok(())
+}
+
+fn cmd_detect(args: &[String]) -> CliResult {
+    let (pos, options) = split_options(args);
+    let [path] = pos[..] else { return Err("detect needs exactly one graph file".into()) };
+    let graph = load_binary_graph(Path::new(path))?;
+    let iterations: usize = opt_parse(&options, "iterations", 200)?;
+    let seed: u64 = opt_parse(&options, "seed", 42)?;
+    let detector = RslpaDetector::new(graph, RslpaConfig::quick(iterations, seed));
+    let detection = detector.detect();
+    eprintln!(
+        "{} communities (tau1 = {:.4}, tau2 = {:.4}), {} covered, {} overlapping",
+        detection.result.cover.len(),
+        detection.result.tau1,
+        detection.result.tau2,
+        detection.result.cover.covered_vertices().len(),
+        detection.result.cover.num_overlapping(detector.graph().num_vertices()),
+    );
+    write_cover(&detection.result.cover, options.get("out").copied())
+}
+
+/// Parse an edit stream: `+ u v` / `- u v` lines, blank line = batch end.
+fn parse_edit_batches<R: BufRead>(reader: R) -> Result<Vec<EditBatch>, String> {
+    let mut batches = Vec::new();
+    let mut ins: Vec<(u32, u32)> = Vec::new();
+    let mut del: Vec<(u32, u32)> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            if !ins.is_empty() || !del.is_empty() {
+                batches.push(EditBatch::from_lists(ins.drain(..), del.drain(..)));
+            }
+            continue;
+        }
+        if trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_ascii_whitespace();
+        let (Some(op), Some(u), Some(v)) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!("line {}: expected '+|- u v'", lineno + 1));
+        };
+        let u: u32 = u.parse().map_err(|_| format!("line {}: bad vertex {u:?}", lineno + 1))?;
+        let v: u32 = v.parse().map_err(|_| format!("line {}: bad vertex {v:?}", lineno + 1))?;
+        match op {
+            "+" => ins.push((u, v)),
+            "-" => del.push((u, v)),
+            _ => return Err(format!("line {}: unknown op {op:?}", lineno + 1)),
+        }
+    }
+    if !ins.is_empty() || !del.is_empty() {
+        batches.push(EditBatch::from_lists(ins, del));
+    }
+    Ok(batches)
+}
+
+fn cmd_stream(args: &[String]) -> CliResult {
+    let (pos, options) = split_options(args);
+    let [graph_path, edits_path] = pos[..] else {
+        return Err("stream needs a graph file and an edits file".into());
+    };
+    let graph = load_binary_graph(Path::new(graph_path))?;
+    let iterations: usize = opt_parse(&options, "iterations", 200)?;
+    let seed: u64 = opt_parse(&options, "seed", 42)?;
+    let detect_every: usize = opt_parse(&options, "detect-every", 1)?;
+    let file = std::fs::File::open(edits_path)?;
+    let batches = parse_edit_batches(std::io::BufReader::new(file))?;
+    let mut detector = RslpaDetector::new(graph, RslpaConfig::quick(iterations, seed));
+    println!(
+        "initial: {} vertices, {} edges, {} communities",
+        detector.graph().num_vertices(),
+        detector.graph().num_edges(),
+        detector.detect().result.cover.len()
+    );
+    for (i, batch) in batches.iter().enumerate() {
+        // Grow the id space if the batch references fresh vertices.
+        let max_id = batch
+            .insertions()
+            .iter()
+            .chain(batch.deletions())
+            .flat_map(|&(u, v)| [u, v])
+            .max()
+            .unwrap_or(0);
+        detector.ensure_vertices(max_id as usize + 1);
+        let report = detector.apply_batch(batch)?;
+        print!(
+            "batch {:>3}: {:>6} edits, repaired {:>8} slots ({} repicks, {} deliveries)",
+            i + 1,
+            batch.len(),
+            report.eta,
+            report.repicks,
+            report.deliveries
+        );
+        if (i + 1) % detect_every == 0 {
+            let cover = detector.detect().result.cover;
+            print!(", {} communities", cover.len());
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> CliResult {
+    let (pos, options) = split_options(args);
+    let [kind, size] = pos[..] else {
+        return Err("generate needs a kind (lfr|rmat|ba) and a size".into());
+    };
+    let n: usize = size.parse().map_err(|_| format!("bad size {size:?}"))?;
+    let seed: u64 = opt_parse(&options, "seed", 42)?;
+    let graph = match kind {
+        "lfr" => {
+            let instance = LfrParams { seed, ..LfrParams::scaled(n) }.generate()?;
+            eprintln!(
+                "planted {} communities ({} overlapping vertices), mixing {:.3}",
+                instance.ground_truth.len(),
+                instance.ground_truth.num_overlapping(n),
+                instance.achieved_mixing
+            );
+            if let Some(truth_path) = options.get("truth") {
+                let mut f = std::io::BufWriter::new(std::fs::File::create(truth_path)?);
+                for c in instance.ground_truth.communities() {
+                    let line: Vec<String> = c.iter().map(u32::to_string).collect();
+                    writeln!(f, "{}", line.join(" "))?;
+                }
+            }
+            instance.graph
+        }
+        "rmat" => {
+            let scale = (n.max(2) as f64).log2().ceil() as u32;
+            rmat(&RmatParams::web(scale, seed))
+        }
+        "ba" => barabasi_albert(n, 5, seed),
+        other => return Err(format!("unknown generator {other:?}").into()),
+    };
+    match options.get("out") {
+        Some(path) => {
+            write_edge_list(&graph, std::fs::File::create(path)?)?;
+            eprintln!("wrote {} vertices, {} edges to {path}", graph.num_vertices(), graph.num_edges());
+        }
+        None => write_edge_list(&graph, std::io::stdout().lock())?,
+    }
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! # rSLPA — Overlapping Community Detection over Distributed Dynamic Graphs
+//!
+//! A full reproduction of *"On Efficiently Detecting Overlapping
+//! Communities over Distributed Dynamic Graphs"* (Jian, Lian, Chen — ICDE
+//! 2018): the rSLPA algorithm, its incremental Correction Propagation, the
+//! SLPA baseline, a distributed BSP runtime simulator, the LFR benchmark
+//! generator, and overlapping-community quality metrics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rslpa::prelude::*;
+//!
+//! // A graph with two obvious communities.
+//! let graph = AdjacencyGraph::from_edges(6, [
+//!     (0, 1), (1, 2), (0, 2),
+//!     (3, 4), (4, 5), (3, 5),
+//!     (2, 3),
+//! ]);
+//!
+//! // Detect, then keep detecting as the graph changes.
+//! let mut detector = RslpaDetector::new(graph, RslpaConfig::quick(50, 42));
+//! let communities = detector.detect().result.cover;
+//! assert!(communities.len() >= 1);
+//!
+//! let batch = EditBatch::from_lists([(1, 4)], []);
+//! let report = detector.apply_batch(&batch).unwrap();
+//! println!("repaired {} labels instead of recomputing {}",
+//!          report.eta, 6 * detector.config().iterations);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`graph`] | graph substrate: adjacency/CSR stores, edit batches, deterministic RNG, partitioners |
+//! | [`distsim`] | BSP cluster simulator with message accounting and a cost model |
+//! | [`gen`] | LFR benchmark, R-MAT/BA web graphs, edit workloads |
+//! | [`metrics`] | overlapping NMI, partition NMI, F1, entropy, modularity |
+//! | [`baselines`] | SLPA (centralized + BSP), LPA, exact voting distributions |
+//! | [`core`] | rSLPA: randomized propagation, Correction Propagation, post-processing, complexity model |
+
+pub use rslpa_baselines as baselines;
+pub use rslpa_core as core;
+pub use rslpa_distsim as distsim;
+pub use rslpa_gen as gen;
+pub use rslpa_graph as graph;
+pub use rslpa_metrics as metrics;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use rslpa_baselines::{run_slpa, SlpaConfig};
+    pub use rslpa_core::{postprocess, run_propagation, DetectionResult, RslpaConfig, RslpaDetector};
+    pub use rslpa_distsim::{BspEngine, CostModel, Executor};
+    pub use rslpa_gen::lfr::LfrParams;
+    pub use rslpa_gen::uniform_batch;
+    pub use rslpa_graph::{AdjacencyGraph, Cover, CsrGraph, EditBatch, GraphBuilder, HashPartitioner};
+    pub use rslpa_metrics::{avg_f1, overlapping_nmi};
+}

@@ -1,0 +1,82 @@
+//! Integration: the dynamic baselines from the paper's §I, head to head
+//! with rSLPA on the same stream.
+
+use rslpa::baselines::{ILcd, ILcdConfig, LabelRankConfig, LabelRankT};
+use rslpa::metrics::omega_index;
+use rslpa::prelude::*;
+
+#[test]
+fn labelrankt_finds_planted_structure_statically() {
+    let params = LfrParams { seed: 13, ..LfrParams::scaled(400) };
+    let instance = params.generate().expect("generation");
+    let n = instance.graph.num_vertices();
+    let lrt = LabelRankT::new(&instance.graph, LabelRankConfig::default());
+    let nmi = overlapping_nmi(&lrt.communities(), &instance.ground_truth, n);
+    assert!(nmi > 0.25, "LabelRankT static NMI {nmi}");
+}
+
+/// Both dynamic detectors survive the same stream; only rSLPA carries the
+/// incremental ≡ scratch guarantee, which we assert for it alone. (The
+/// quality *ranking* between the two is scale-dependent — at the bench
+/// harness's density rSLPA wins decisively; see `repro abl-dyn` — so it
+/// is not asserted at this toy scale.)
+#[test]
+fn dynamic_stream_guarantees_hold_per_algorithm() {
+    let params = LfrParams { seed: 17, ..LfrParams::scaled(400) };
+    let instance = params.generate().expect("generation");
+    let n = instance.graph.num_vertices();
+    let truth = &instance.ground_truth;
+
+    let mut detector = RslpaDetector::new(instance.graph.clone(), RslpaConfig::quick(80, 2));
+    let mut lrt = LabelRankT::new(&instance.graph, LabelRankConfig::default());
+    let mut graph = instance.graph.clone();
+    for round in 0..3u64 {
+        let batch = uniform_batch(&graph, 40, round);
+        detector.apply_batch(&batch).unwrap();
+        let mut dg = rslpa::graph::DynamicGraph::new(graph);
+        dg.apply(&batch).unwrap();
+        graph = dg.graph().clone();
+        lrt.apply_batch(&graph, &batch);
+    }
+    // rSLPA: incremental detection is statistically equivalent to scratch.
+    let rslpa_inc = overlapping_nmi(&detector.detect().result.cover, truth, n);
+    detector.recompute_from_scratch();
+    let rslpa_scr = overlapping_nmi(&detector.detect().result.cover, truth, n);
+    assert!(
+        (rslpa_inc - rslpa_scr).abs() < 0.15,
+        "rSLPA incremental {rslpa_inc} vs scratch {rslpa_scr}"
+    );
+    assert!(rslpa_inc > 0.4, "rSLPA must keep finding structure: {rslpa_inc}");
+    // LabelRankT: merely required to keep producing a sane cover.
+    let lrt_nmi = overlapping_nmi(&lrt.communities(), truth, n);
+    assert!(lrt_nmi > 0.2, "LabelRankT collapsed: {lrt_nmi}");
+}
+
+#[test]
+fn ilcd_handles_insertion_stream_of_lfr_edges() {
+    let params = LfrParams { seed: 19, ..LfrParams::scaled(300) };
+    let instance = params.generate().expect("generation");
+    let n = instance.graph.num_vertices();
+    let mut ilcd = ILcd::new(n, ILcdConfig::default());
+    ilcd.add_edges(instance.graph.edges());
+    let cover = ilcd.communities();
+    assert!(cover.len() >= 2, "iLCD should find some structure");
+    // Quality is modest (the paper's point); just require better than
+    // nothing on both metrics.
+    let nmi = overlapping_nmi(&cover, &instance.ground_truth, n);
+    assert!(nmi > 0.05, "iLCD NMI {nmi}");
+}
+
+#[test]
+fn omega_and_nmi_rank_detections_consistently() {
+    let params = LfrParams { seed: 23, ..LfrParams::scaled(400) };
+    let instance = params.generate().expect("generation");
+    let n = instance.graph.num_vertices();
+    let truth = &instance.ground_truth;
+    let state = run_propagation(&instance.graph, 80, 1);
+    let good = postprocess(&instance.graph, &state, None).cover;
+    // A deliberately bad cover: one giant community.
+    let bad = Cover::new(vec![(0..n as u32).collect::<Vec<_>>()]);
+    assert!(omega_index(&good, truth, n) > omega_index(&bad, truth, n));
+    assert!(overlapping_nmi(&good, truth, n) > overlapping_nmi(&bad, truth, n));
+}
