@@ -30,7 +30,11 @@ pub struct ILcdConfig {
 
 impl Default for ILcdConfig {
     fn default() -> Self {
-        Self { join_threshold: 2, seed_threshold: 2, merge_overlap: 0.75 }
+        Self {
+            join_threshold: 2,
+            seed_threshold: 2,
+            merge_overlap: 0.75,
+        }
     }
 }
 
@@ -45,7 +49,11 @@ pub struct ILcd {
 impl ILcd {
     /// Empty detector over `n` vertices.
     pub fn new(n: usize, config: ILcdConfig) -> Self {
-        Self { config, graph: AdjacencyGraph::new(n), communities: Vec::new() }
+        Self {
+            config,
+            graph: AdjacencyGraph::new(n),
+            communities: Vec::new(),
+        }
     }
 
     /// Current graph snapshot.
@@ -97,7 +105,9 @@ impl ILcd {
     }
 
     fn share_community(&self, u: VertexId, v: VertexId) -> bool {
-        self.communities.iter().any(|c| c.contains(&u) && c.contains(&v))
+        self.communities
+            .iter()
+            .any(|c| c.contains(&u) && c.contains(&v))
     }
 
     fn merge_overlapping(&mut self) {
@@ -170,8 +180,14 @@ mod tests {
         }
         let cover = ilcd.communities();
         assert_eq!(cover.len(), 2, "{:?}", cover.communities());
-        assert!(cover.communities().iter().any(|c| c.contains(&0) && c.contains(&3)));
-        assert!(cover.communities().iter().any(|c| c.contains(&4) && c.contains(&7)));
+        assert!(cover
+            .communities()
+            .iter()
+            .any(|c| c.contains(&0) && c.contains(&3)));
+        assert!(cover
+            .communities()
+            .iter()
+            .any(|c| c.contains(&4) && c.contains(&7)));
     }
 
     #[test]

@@ -34,7 +34,12 @@ pub struct LabelRankConfig {
 
 impl Default for LabelRankConfig {
     fn default() -> Self {
-        Self { inflation: 2.0, cutoff: 0.1, q: 0.6, max_iterations: 50 }
+        Self {
+            inflation: 2.0,
+            cutoff: 0.1,
+            q: 0.6,
+            max_iterations: 50,
+        }
     }
 }
 
@@ -52,7 +57,10 @@ impl LabelRankT {
     /// Initialize and run the static algorithm on `graph`.
     pub fn new(graph: &AdjacencyGraph, config: LabelRankConfig) -> Self {
         let n = graph.num_vertices();
-        let mut this = Self { config, dists: (0..n as Label).map(|v| vec![(v, 1.0)]).collect() };
+        let mut this = Self {
+            config,
+            dists: (0..n as Label).map(|v| vec![(v, 1.0)]).collect(),
+        };
         let all: Vec<VertexId> = (0..n as VertexId).collect();
         this.iterate(graph, &all);
         this
@@ -65,7 +73,8 @@ impl LabelRankT {
     pub fn apply_batch(&mut self, graph_after: &AdjacencyGraph, batch: &EditBatch) {
         let n = graph_after.num_vertices();
         if self.dists.len() < n {
-            self.dists.extend((self.dists.len() as Label..n as Label).map(|v| vec![(v, 1.0)]));
+            self.dists
+                .extend((self.dists.len() as Label..n as Label).map(|v| vec![(v, 1.0)]));
         }
         let mut touched: FxHashSet<VertexId> = FxHashSet::default();
         for &(u, v) in batch.insertions().iter().chain(batch.deletions()) {
@@ -102,7 +111,8 @@ impl LabelRankT {
                     continue;
                 }
                 let propagated = self.propagate(v, nbrs);
-                let inflated = inflate_and_cut(propagated, self.config.inflation, self.config.cutoff);
+                let inflated =
+                    inflate_and_cut(propagated, self.config.inflation, self.config.cutoff);
                 if inflated != self.dists[v as usize] {
                     new_dists.push((v, inflated));
                 }
@@ -170,16 +180,25 @@ impl LabelRankT {
 
 /// Labels achieving the maximum probability (sorted).
 fn max_labels(dist: &Dist) -> Vec<Label> {
-    let max = dist.iter().map(|&(_, p)| p).fold(f64::NEG_INFINITY, f64::max);
-    let mut out: Vec<Label> =
-        dist.iter().filter(|&&(_, p)| p >= max - 1e-12).map(|&(l, _)| l).collect();
+    let max = dist
+        .iter()
+        .map(|&(_, p)| p)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut out: Vec<Label> = dist
+        .iter()
+        .filter(|&&(_, p)| p >= max - 1e-12)
+        .map(|&(l, _)| l)
+        .collect();
     out.sort_unstable();
     out
 }
 
 /// Inflation + cutoff + renormalization.
 fn inflate_and_cut(dist: Dist, inflation: f64, cutoff: f64) -> Dist {
-    let mut inflated: Dist = dist.into_iter().map(|(l, p)| (l, p.powf(inflation))).collect();
+    let mut inflated: Dist = dist
+        .into_iter()
+        .map(|(l, p)| (l, p.powf(inflation)))
+        .collect();
     let sum: f64 = inflated.iter().map(|&(_, p)| p).sum();
     if sum <= 0.0 {
         return inflated;
@@ -188,7 +207,10 @@ fn inflate_and_cut(dist: Dist, inflation: f64, cutoff: f64) -> Dist {
         *p /= sum;
     }
     // Cutoff relative to the renormalized mass; always keep the max.
-    let max = inflated.iter().map(|&(_, p)| p).fold(f64::NEG_INFINITY, f64::max);
+    let max = inflated
+        .iter()
+        .map(|&(_, p)| p)
+        .fold(f64::NEG_INFINITY, f64::max);
     inflated.retain(|&(_, p)| p >= cutoff || p >= max - 1e-12);
     let sum: f64 = inflated.iter().map(|&(_, p)| p).sum();
     for (_, p) in inflated.iter_mut() {
@@ -231,7 +253,12 @@ mod tests {
         assert_eq!(of(0), of(2));
         assert_eq!(of(5), of(6));
         assert_eq!(of(5), of(7));
-        assert_ne!(of(0), of(6), "cliques must separate: {:?}", cover.communities());
+        assert_ne!(
+            of(0),
+            of(6),
+            "cliques must separate: {:?}",
+            cover.communities()
+        );
     }
 
     #[test]

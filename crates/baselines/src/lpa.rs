@@ -19,7 +19,10 @@ pub struct LpaConfig {
 
 impl Default for LpaConfig {
     fn default() -> Self {
-        Self { max_iterations: 100, seed: 42 }
+        Self {
+            max_iterations: 100,
+            seed: 42,
+        }
     }
 }
 
@@ -132,7 +135,13 @@ mod tests {
                 g.insert_edge(u, v);
             }
         }
-        let labels = run_lpa(&g, &LpaConfig { max_iterations: 50, seed: 1 });
+        let labels = run_lpa(
+            &g,
+            &LpaConfig {
+                max_iterations: 50,
+                seed: 1,
+            },
+        );
         let distinct: std::collections::HashSet<_> = labels.iter().collect();
         assert!(distinct.len() <= 2, "should settle, got {labels:?}");
     }

@@ -27,7 +27,11 @@ pub struct SlpaConfig {
 
 impl Default for SlpaConfig {
     fn default() -> Self {
-        Self { iterations: 100, threshold: 0.2, seed: 42 }
+        Self {
+            iterations: 100,
+            threshold: 0.2,
+            seed: 42,
+        }
     }
 }
 
@@ -44,7 +48,12 @@ pub struct SlpaResult {
 /// (uniform over `u`'s memory, which has length `t` at that point).
 #[inline]
 pub(crate) fn speaker_pick(seed: u64, u: VertexId, v: VertexId, t: u32, memory: &[Label]) -> Label {
-    let key = PickKey { seed, vertex: u, iteration: t, epoch: v };
+    let key = PickKey {
+        seed,
+        vertex: u,
+        iteration: t,
+        epoch: v,
+    };
     memory[key.bounded(Stream::Src, memory.len() as u64) as usize]
 }
 
@@ -205,7 +214,13 @@ mod tests {
     #[test]
     fn memories_have_t_plus_one_labels() {
         let g = two_cliques();
-        let r = run_slpa(&g, &SlpaConfig { iterations: 30, ..Default::default() });
+        let r = run_slpa(
+            &g,
+            &SlpaConfig {
+                iterations: 30,
+                ..Default::default()
+            },
+        );
         for m in &r.memories {
             assert_eq!(m.len(), 31);
         }
@@ -214,11 +229,30 @@ mod tests {
     #[test]
     fn detects_two_cliques() {
         let g = two_cliques();
-        let r = run_slpa(&g, &SlpaConfig { iterations: 100, threshold: 0.3, seed: 1 });
+        let r = run_slpa(
+            &g,
+            &SlpaConfig {
+                iterations: 100,
+                threshold: 0.3,
+                seed: 1,
+            },
+        );
         // Expect (at least) two communities, one containing 0..3, other 4..7.
-        let has_left = r.cover.communities().iter().any(|c| [0u32, 1, 2].iter().all(|v| c.contains(v)));
-        let has_right = r.cover.communities().iter().any(|c| [5u32, 6, 7].iter().all(|v| c.contains(v)));
-        assert!(has_left && has_right, "cover was {:?}", r.cover.communities());
+        let has_left = r
+            .cover
+            .communities()
+            .iter()
+            .any(|c| [0u32, 1, 2].iter().all(|v| c.contains(v)));
+        let has_right = r
+            .cover
+            .communities()
+            .iter()
+            .any(|c| [5u32, 6, 7].iter().all(|v| c.contains(v)));
+        assert!(
+            has_left && has_right,
+            "cover was {:?}",
+            r.cover.communities()
+        );
     }
 
     #[test]
@@ -238,10 +272,31 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let g = two_cliques();
-        let a = run_slpa(&g, &SlpaConfig { seed: 5, iterations: 50, ..Default::default() });
-        let b = run_slpa(&g, &SlpaConfig { seed: 5, iterations: 50, ..Default::default() });
+        let a = run_slpa(
+            &g,
+            &SlpaConfig {
+                seed: 5,
+                iterations: 50,
+                ..Default::default()
+            },
+        );
+        let b = run_slpa(
+            &g,
+            &SlpaConfig {
+                seed: 5,
+                iterations: 50,
+                ..Default::default()
+            },
+        );
         assert_eq!(a.memories, b.memories);
-        let c = run_slpa(&g, &SlpaConfig { seed: 6, iterations: 50, ..Default::default() });
+        let c = run_slpa(
+            &g,
+            &SlpaConfig {
+                seed: 6,
+                iterations: 50,
+                ..Default::default()
+            },
+        );
         assert_ne!(a.memories, c.memories);
     }
 
@@ -249,7 +304,13 @@ mod tests {
     fn isolated_vertex_keeps_own_label() {
         let mut g = AdjacencyGraph::new(3);
         g.insert_edge(0, 1);
-        let r = run_slpa(&g, &SlpaConfig { iterations: 10, ..Default::default() });
+        let r = run_slpa(
+            &g,
+            &SlpaConfig {
+                iterations: 10,
+                ..Default::default()
+            },
+        );
         assert!(r.memories[2].iter().all(|&l| l == 2));
     }
 
@@ -272,11 +333,7 @@ mod tests {
     #[test]
     fn subset_communities_removed() {
         // Label 1 community {0,1,2}; label 2 community {0,1} ⊂ it.
-        let memories = vec![
-            vec![1, 1, 2, 2],
-            vec![1, 1, 2, 2],
-            vec![1, 1, 1, 1],
-        ];
+        let memories = vec![vec![1, 1, 2, 2], vec![1, 1, 2, 2], vec![1, 1, 1, 1]];
         let cover = extract_cover(&memories, 0.4);
         assert_eq!(cover.len(), 1);
         assert_eq!(cover.communities()[0], vec![0, 1, 2]);

@@ -86,7 +86,12 @@ impl VertexProgram for SlpaExtractProgram<'_> {
         Vec::new()
     }
 
-    fn step(&self, _ctx: &mut Ctx<'_, VertexId>, members: &mut Vec<VertexId>, inbox: &[(VertexId, VertexId)]) {
+    fn step(
+        &self,
+        _ctx: &mut Ctx<'_, VertexId>,
+        members: &mut Vec<VertexId>,
+        inbox: &[(VertexId, VertexId)],
+    ) {
         members.extend(inbox.iter().map(|&(_, m)| m));
     }
 }
@@ -102,7 +107,10 @@ pub fn extract_cover_bsp(
 ) -> (rslpa_graph::Cover, rslpa_distsim::RunStats) {
     let mut engine = rslpa_distsim::BspEngine::new(
         graph,
-        SlpaExtractProgram { memories, threshold },
+        SlpaExtractProgram {
+            memories,
+            threshold,
+        },
         partitioner,
         executor,
     );
@@ -145,9 +153,18 @@ mod tests {
         AdjacencyGraph::from_edges(n, (0..n as u32).map(|i| (i, (i + 1) % n as u32)))
     }
 
-    fn run_bsp(g: &AdjacencyGraph, config: SlpaConfig, executor: Executor) -> (Vec<Vec<Label>>, rslpa_distsim::RunStats) {
+    fn run_bsp(
+        g: &AdjacencyGraph,
+        config: SlpaConfig,
+        executor: Executor,
+    ) -> (Vec<Vec<Label>>, rslpa_distsim::RunStats) {
         let csr = CsrGraph::from_adjacency(g);
-        let mut engine = BspEngine::new(&csr, SlpaProgram { config }, &HashPartitioner::new(3), executor);
+        let mut engine = BspEngine::new(
+            &csr,
+            SlpaProgram { config },
+            &HashPartitioner::new(3),
+            executor,
+        );
         engine.run(config.iterations + 2);
         let stats = engine.stats().clone();
         (engine.into_states(), stats)
@@ -156,7 +173,11 @@ mod tests {
     #[test]
     fn bsp_matches_centralized_bitwise() {
         let g = ring(12);
-        let config = SlpaConfig { iterations: 25, threshold: 0.2, seed: 3 };
+        let config = SlpaConfig {
+            iterations: 25,
+            threshold: 0.2,
+            seed: 3,
+        };
         let centralized = run_slpa(&g, &config);
         let (bsp, _) = run_bsp(&g, config, Executor::Sequential);
         assert_eq!(centralized.memories, bsp);
@@ -165,7 +186,11 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let g = ring(30);
-        let config = SlpaConfig { iterations: 15, threshold: 0.2, seed: 4 };
+        let config = SlpaConfig {
+            iterations: 15,
+            threshold: 0.2,
+            seed: 4,
+        };
         let (seq, _) = run_bsp(&g, config, Executor::Sequential);
         let (par, _) = run_bsp(&g, config, Executor::Parallel);
         assert_eq!(seq, par);
@@ -174,7 +199,11 @@ mod tests {
     #[test]
     fn message_cost_is_two_per_edge_per_iteration() {
         let g = ring(10); // 10 edges
-        let config = SlpaConfig { iterations: 7, threshold: 0.2, seed: 1 };
+        let config = SlpaConfig {
+            iterations: 7,
+            threshold: 0.2,
+            seed: 1,
+        };
         let (_, stats) = run_bsp(&g, config, Executor::Sequential);
         // Supersteps 0..T-1 each carry 2|E| messages; the final superstep
         // appends without speaking.
@@ -184,7 +213,11 @@ mod tests {
     #[test]
     fn distributed_extraction_matches_centralized() {
         let g = ring(16);
-        let config = SlpaConfig { iterations: 30, threshold: 0.25, seed: 8 };
+        let config = SlpaConfig {
+            iterations: 30,
+            threshold: 0.25,
+            seed: 8,
+        };
         let result = run_slpa(&g, &config);
         let csr = CsrGraph::from_adjacency(&g);
         let (cover, stats) = extract_cover_bsp(
@@ -204,7 +237,11 @@ mod tests {
     fn memories_complete_even_for_isolated_vertices() {
         let mut g = ring(6);
         let v = g.add_vertex(); // isolated
-        let config = SlpaConfig { iterations: 9, threshold: 0.2, seed: 2 };
+        let config = SlpaConfig {
+            iterations: 9,
+            threshold: 0.2,
+            seed: 2,
+        };
         let (memories, _) = run_bsp(&g, config, Executor::Sequential);
         assert_eq!(memories[v as usize].len(), 10);
         assert!(memories[v as usize].iter().all(|&l| l == v));

@@ -54,7 +54,10 @@ pub fn uniform_distribution(m: &[Label]) -> FxHashMap<Label, f64> {
 /// Enumerates all `Π |L_i|` outcomes; intended for few voters.
 pub fn plurality_win_distribution(voters: &[Vec<Label>]) -> FxHashMap<Label, f64> {
     assert!(!voters.is_empty(), "need at least one voter");
-    assert!(voters.iter().all(|v| !v.is_empty()), "voters must hold labels");
+    assert!(
+        voters.iter().all(|v| !v.is_empty()),
+        "voters must hold labels"
+    );
     let total: f64 = voters.iter().map(|v| v.len() as f64).product();
     assert!(total <= 1e7, "enumeration too large ({total} outcomes)");
     let mut dist: FxHashMap<Label, f64> = FxHashMap::default();
@@ -89,7 +92,10 @@ fn enumerate(
 /// of Theorem 1.
 pub fn theorem1_max_probabilities(m: &[Label]) -> (f64, f64) {
     let max_of = |d: &FxHashMap<Label, f64>| d.values().copied().fold(0.0, f64::max);
-    (max_of(&uniform_distribution(m)), max_of(&voting_distribution(m)))
+    (
+        max_of(&uniform_distribution(m)),
+        max_of(&voting_distribution(m)),
+    )
 }
 
 #[cfg(test)]
@@ -143,7 +149,10 @@ mod tests {
         assert!((get(&b, 3) - 1.0 / 12.0).abs() < 1e-12);
         assert!(get(&b, 1) < get(&a, 1), "P(1) decreases");
         assert!(get(&b, 3) > get(&a, 3), "P(3) increases");
-        assert!((get(&b, 2) - get(&a, 2)).abs() > 0.05, "P(2) moved although untouched");
+        assert!(
+            (get(&b, 2) - get(&a, 2)).abs() > 0.05,
+            "P(2) moved although untouched"
+        );
     }
 
     #[test]

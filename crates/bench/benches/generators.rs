@@ -11,13 +11,24 @@ fn bench_generators(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[1_000usize, 4_000] {
         group.bench_with_input(BenchmarkId::new("lfr", n), &n, |b, &n| {
-            b.iter(|| LfrParams { seed: 1, ..LfrParams::scaled(n) }.generate().expect("lfr"));
+            b.iter(|| {
+                LfrParams {
+                    seed: 1,
+                    ..LfrParams::scaled(n)
+                }
+                .generate()
+                .expect("lfr")
+            });
         });
     }
     for &scale in &[12u32, 14] {
-        group.bench_with_input(BenchmarkId::new("rmat", 1usize << scale), &scale, |b, &s| {
-            b.iter(|| rmat(&RmatParams::web(s, 2)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("rmat", 1usize << scale),
+            &scale,
+            |b, &s| {
+                b.iter(|| rmat(&RmatParams::web(s, 2)));
+            },
+        );
     }
     let g = rmat(&RmatParams::web(13, 3));
     for &size in &[100usize, 10_000] {

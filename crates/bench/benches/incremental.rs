@@ -22,22 +22,30 @@ fn bench_incremental(c: &mut Criterion) {
     });
     for &batch_size in &[10usize, 100, 1_000] {
         let batch = uniform_batch(&base, batch_size, 9);
-        group.bench_with_input(BenchmarkId::new("correction", batch_size), &batch, |b, batch| {
-            b.iter(|| {
-                let mut dg = DynamicGraph::new(base.clone());
-                let mut state = state0.clone();
-                let applied = dg.apply(batch).expect("valid");
-                apply_correction(&mut state, dg.graph(), &applied, false)
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("correction_pruned", batch_size), &batch, |b, batch| {
-            b.iter(|| {
-                let mut dg = DynamicGraph::new(base.clone());
-                let mut state = state0.clone();
-                let applied = dg.apply(batch).expect("valid");
-                apply_correction(&mut state, dg.graph(), &applied, true)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("correction", batch_size),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    let mut dg = DynamicGraph::new(base.clone());
+                    let mut state = state0.clone();
+                    let applied = dg.apply(batch).expect("valid");
+                    apply_correction(&mut state, dg.graph(), &applied, false)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("correction_pruned", batch_size),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    let mut dg = DynamicGraph::new(base.clone());
+                    let mut state = state0.clone();
+                    let applied = dg.apply(batch).expect("valid");
+                    apply_correction(&mut state, dg.graph(), &applied, true)
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -20,19 +20,34 @@ fn bench_postprocess(c: &mut Criterion) {
             b.iter(|| edge_weights(g, &state));
         });
         let weights = edge_weights(&g, &state);
-        group.bench_with_input(BenchmarkId::new("tau_selection", n), &weights, |b, weights| {
-            b.iter(|| {
-                let tau2 = select_tau2(n, weights);
-                select_tau1(n, weights, tau2, None)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("tau_selection", n),
+            &weights,
+            |b, weights| {
+                b.iter(|| {
+                    let tau2 = select_tau2(n, weights);
+                    select_tau1(n, weights, tau2, None)
+                });
+            },
+        );
         group.bench_with_input(BenchmarkId::new("full_pipeline", n), &g, |b, g| {
             b.iter(|| postprocess(g, &state, None));
         });
-        let slpa = run_slpa(&g, &SlpaConfig { iterations: t, threshold: 0.2, seed: 1 });
-        group.bench_with_input(BenchmarkId::new("slpa_thresholding", n), &slpa.memories, |b, m| {
-            b.iter(|| extract_cover(m, 0.2));
-        });
+        let slpa = run_slpa(
+            &g,
+            &SlpaConfig {
+                iterations: t,
+                threshold: 0.2,
+                seed: 1,
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("slpa_thresholding", n),
+            &slpa.memories,
+            |b, m| {
+                b.iter(|| extract_cover(m, 0.2));
+            },
+        );
     }
     group.finish();
 }

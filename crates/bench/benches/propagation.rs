@@ -19,7 +19,16 @@ fn bench_propagation(c: &mut Criterion) {
             b.iter(|| run_propagation(g, t, 1));
         });
         group.bench_with_input(BenchmarkId::new("slpa_centralized", n), &g, |b, g| {
-            b.iter(|| run_slpa(g, &SlpaConfig { iterations: t, threshold: 0.2, seed: 1 }));
+            b.iter(|| {
+                run_slpa(
+                    g,
+                    &SlpaConfig {
+                        iterations: t,
+                        threshold: 0.2,
+                        seed: 1,
+                    },
+                )
+            });
         });
         let csr = CsrGraph::from_adjacency(&g);
         let p = HashPartitioner::new(7);

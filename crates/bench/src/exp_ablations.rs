@@ -21,14 +21,29 @@ pub fn abl_msgs(scale: &Scale) {
     let iters = 10usize;
     let mut table = Table::new(
         format!("Ablation — per-iteration messages vs density (n={n}, T={iters})"),
-        &["avg degree", "|E|", "SLPA msgs/iter", "rSLPA msgs/iter", "ratio"],
+        &[
+            "avg degree",
+            "|E|",
+            "SLPA msgs/iter",
+            "rSLPA msgs/iter",
+            "ratio",
+        ],
     );
     let partitioner = HashPartitioner::new(scale.workers);
     for &k in &[4usize, 8, 16, 32, 64] {
         let g = erdos_renyi(n, n * k / 2, 42);
         let csr = CsrGraph::from_adjacency(&g);
-        let config = SlpaConfig { iterations: iters, threshold: 0.2, seed: 1 };
-        let mut engine = BspEngine::new(&csr, SlpaProgram { config }, &partitioner, Executor::Sequential);
+        let config = SlpaConfig {
+            iterations: iters,
+            threshold: 0.2,
+            seed: 1,
+        };
+        let mut engine = BspEngine::new(
+            &csr,
+            SlpaProgram { config },
+            &partitioner,
+            Executor::Sequential,
+        );
         engine.run(iters + 2);
         let slpa = engine.stats().total_messages() as f64 / iters as f64;
         let (_, stats) = run_propagation_bsp(&csr, iters, 1, &partitioner, Executor::Sequential);
@@ -54,8 +69,13 @@ pub fn abl_post(_scale: &Scale) {
     for &d in &[64usize, 256, 1024, 4096] {
         let g = AdjacencyGraph::from_edges(d + 1, (0..d as u32).map(|i| (i, i + 1)));
         let csr = CsrGraph::from_adjacency(&g);
-        let (_, stats) =
-            distributed_components(&csr, |_, _| true, &HashPartitioner::new(4), Executor::Sequential, 100_000);
+        let (_, stats) = distributed_components(
+            &csr,
+            |_, _| true,
+            &HashPartitioner::new(4),
+            Executor::Sequential,
+            100_000,
+        );
         table.row(vec![
             d.to_string(),
             stats.rounds().to_string(),
@@ -77,7 +97,11 @@ pub fn abl_edits(scale: &Scale) {
         "Ablation — NMI after 4 targeted batches of 100 edits",
         &["workload", "NMI before", "NMI after", "eta total"],
     );
-    for workload in [EditWorkload::Uniform, EditWorkload::Consolidating, EditWorkload::Eroding] {
+    for workload in [
+        EditWorkload::Uniform,
+        EditWorkload::Consolidating,
+        EditWorkload::Eroding,
+    ] {
         let mut detector = rslpa_core::RslpaDetector::new(
             instance.graph.clone(),
             rslpa_core::RslpaConfig::quick(t_max, 2),
@@ -89,7 +113,12 @@ pub fn abl_edits(scale: &Scale) {
             eta += detector.apply_batch(&batch).expect("valid").eta;
         }
         let after = overlapping_nmi(&detector.detect().result.cover, &truth, n);
-        table.row(vec![format!("{workload:?}"), f3(before), f3(after), eta.to_string()]);
+        table.row(vec![
+            format!("{workload:?}"),
+            f3(before),
+            f3(after),
+            eta.to_string(),
+        ]);
     }
     table.print();
     println!(
@@ -105,13 +134,23 @@ pub fn abl_part(scale: &Scale) {
     let csr = CsrGraph::from_adjacency(&instance.graph);
     let t_max = 20usize;
     let mut table = Table::new(
-        format!("Ablation — partitioner sensitivity ({} workers, T={t_max})", scale.workers),
-        &["partitioner", "edge cut", "remote msgs", "total msgs", "remote %"],
+        format!(
+            "Ablation — partitioner sensitivity ({} workers, T={t_max})",
+            scale.workers
+        ),
+        &[
+            "partitioner",
+            "edge cut",
+            "remote msgs",
+            "total msgs",
+            "remote %",
+        ],
     );
     let hash = HashPartitioner::new(scale.workers);
     let block = BlockPartitioner::new(csr.num_vertices(), scale.workers);
     let bfs = BfsPartitioner::plan(&csr, scale.workers);
-    let parts: Vec<(&str, &dyn Partitioner)> = vec![("hash", &hash), ("block", &block), ("bfs-locality", &bfs)];
+    let parts: Vec<(&str, &dyn Partitioner)> =
+        vec![("hash", &hash), ("block", &block), ("bfs-locality", &bfs)];
     for (name, p) in parts {
         let (_, stats) = run_propagation_bsp(&csr, t_max, 1, p, Executor::Sequential);
         let remote = stats.total_remote_messages();
@@ -125,7 +164,9 @@ pub fn abl_part(scale: &Scale) {
         ]);
     }
     table.print();
-    println!("expected: locality partitioning cuts remote traffic; totals identical (same algorithm).\n");
+    println!(
+        "expected: locality partitioning cuts remote traffic; totals identical (same algorithm).\n"
+    );
 }
 
 /// Extension: per-stage centralized wall-clock profile of the rSLPA
@@ -142,7 +183,10 @@ pub fn profile(scale: &Scale) {
     let result = postprocess(&instance.graph, &state, None);
     let post = start.elapsed();
     let mut table = Table::new(
-        format!("Profile — centralized rSLPA on LFR n={} (T={t_max})", instance.graph.num_vertices()),
+        format!(
+            "Profile — centralized rSLPA on LFR n={} (T={t_max})",
+            instance.graph.num_vertices()
+        ),
         &["stage", "wall (ms)", "notes"],
     );
     table.row(vec![
@@ -153,7 +197,11 @@ pub fn profile(scale: &Scale) {
     table.row(vec![
         "post-processing".into(),
         format!("{:.1}", post.as_secs_f64() * 1e3),
-        format!("{} communities, tau1={:.3}", result.cover.len(), result.tau1),
+        format!(
+            "{} communities, tau1={:.3}",
+            result.cover.len(),
+            result.tau1
+        ),
     ]);
     table.row(vec![
         "state memory".into(),

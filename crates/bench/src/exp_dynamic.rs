@@ -42,7 +42,8 @@ pub fn fig9(scale: &Scale) {
 
     // From-scratch reference: one full BSP propagation on the edited graph.
     let scratch_start = Instant::now();
-    let (state0, scratch_stats) = run_propagation_bsp(&csr, t_max, 4, &partitioner, Executor::Parallel);
+    let (state0, scratch_stats) =
+        run_propagation_bsp(&csr, t_max, 4, &partitioner, Executor::Parallel);
     let scratch_wall = scratch_start.elapsed().as_secs_f64();
     let scratch_time = scratch_stats.simulated_time(&model);
 
@@ -52,7 +53,15 @@ pub fn fig9(scale: &Scale) {
             g.num_vertices(),
             g.num_edges()
         ),
-        &["batch", "eta", "eta/|labels|", "incr time (sim s)", "scratch (sim s)", "speedup", "incr wall (s)"],
+        &[
+            "batch",
+            "eta",
+            "eta/|labels|",
+            "incr time (sim s)",
+            "scratch (sim s)",
+            "speedup",
+            "incr wall (s)",
+        ],
     );
     let total_labels = (g.num_vertices() * t_max) as f64;
     for &batch_size in &scale.batch_sizes {
@@ -106,7 +115,14 @@ pub fn eq8(scale: &Scale) {
     let trials = scale.runs.max(3);
     let mut table = Table::new(
         format!("Eq. 8 — measured eta vs model (ER n={n}, m={m}, T={t_max}, {trials} trials)"),
-        &["batch", "p_c", "lower (Eq.10)", "eta-hat (Eq.8)", "measured", "upper (Eq.12)"],
+        &[
+            "batch",
+            "p_c",
+            "lower (Eq.10)",
+            "eta-hat (Eq.8)",
+            "measured",
+            "upper (Eq.12)",
+        ],
     );
     for &batch_size in &[40usize, 100, 200, 400, 800] {
         let pc = p_c(batch_size / 2, batch_size - batch_size / 2, m);
@@ -141,7 +157,14 @@ pub fn abl_prune(scale: &Scale) {
     let t_max = scale.t_rslpa.min(100);
     let mut table = Table::new(
         "Ablation — Algorithm 2's unconditional cascade vs value-pruned",
-        &["batch", "deliveries (paper)", "deliveries (pruned)", "saved", "eta (paper)", "eta (pruned)"],
+        &[
+            "batch",
+            "deliveries (paper)",
+            "deliveries (pruned)",
+            "saved",
+            "eta (paper)",
+            "eta (pruned)",
+        ],
     );
     for &batch_size in &[40usize, 200, 800] {
         let g = erdos_renyi(n, m, 77);
@@ -165,7 +188,9 @@ pub fn abl_prune(scale: &Scale) {
         ]);
     }
     table.print();
-    println!("pruning is value-transparent (final labels identical) but ships fewer corrections.\n");
+    println!(
+        "pruning is value-transparent (final labels identical) but ships fewer corrections.\n"
+    );
 }
 
 /// §I's criticisms of the prior dynamic detectors, measured: LabelRankT's
@@ -185,7 +210,9 @@ pub fn abl_dyn(scale: &Scale) {
     let batch_size = 100usize;
 
     let mut table = Table::new(
-        format!("Ablation — incremental vs scratch parity after {rounds} batches of {batch_size} edits"),
+        format!(
+            "Ablation — incremental vs scratch parity after {rounds} batches of {batch_size} edits"
+        ),
         &["algorithm", "NMI incremental", "NMI scratch", "|gap|"],
     );
 
@@ -199,7 +226,11 @@ pub fn abl_dyn(scale: &Scale) {
     }
     let rslpa_inc = overlapping_nmi(&detector.detect().result.cover, truth, n);
     let scratch_state = run_propagation(detector.graph(), t_max, 999);
-    let rslpa_scr = overlapping_nmi(&postprocess(detector.graph(), &scratch_state, None).cover, truth, n);
+    let rslpa_scr = overlapping_nmi(
+        &postprocess(detector.graph(), &scratch_state, None).cover,
+        truth,
+        n,
+    );
     table.row(vec![
         "rSLPA".into(),
         f3(rslpa_inc),
@@ -217,7 +248,11 @@ pub fn abl_dyn(scale: &Scale) {
         lrt.apply_batch(&graph, batch);
     }
     let lrt_inc = overlapping_nmi(&lrt.communities(), truth, n);
-    let lrt_scr = overlapping_nmi(&LabelRankT::new(&graph, LabelRankConfig::default()).communities(), truth, n);
+    let lrt_scr = overlapping_nmi(
+        &LabelRankT::new(&graph, LabelRankConfig::default()).communities(),
+        truth,
+        n,
+    );
     table.row(vec![
         "LabelRankT".into(),
         f3(lrt_inc),
@@ -248,16 +283,28 @@ mod tests {
         let csr = CsrGraph::from_adjacency(&g);
         let p = HashPartitioner::new(scale.workers);
         let model = crate::scale::scaled_model();
-        let (state0, scratch) = run_propagation_bsp(&csr, scale.t_rslpa, 4, &p, Executor::Sequential);
+        let (state0, scratch) =
+            run_propagation_bsp(&csr, scale.t_rslpa, 4, &p, Executor::Sequential);
         let mut dg = DynamicGraph::new(g);
         let batch = uniform_batch(dg.graph(), 10, 2);
         let applied = dg.apply(&batch).unwrap();
         let csr_after = CsrGraph::from_adjacency(dg.graph());
         let mut central = state0.clone();
         let report = apply_correction(&mut central, dg.graph(), &applied, false);
-        let (_, bsp_stats) =
-            run_correction_bsp(&state0, &csr_after, &applied, false, &p, Executor::Sequential);
-        let adjusted = repair_cost(&bsp_stats, report.affected_vertices, scale.t_rslpa, scale.workers);
+        let (_, bsp_stats) = run_correction_bsp(
+            &state0,
+            &csr_after,
+            &applied,
+            false,
+            &p,
+            Executor::Sequential,
+        );
+        let adjusted = repair_cost(
+            &bsp_stats,
+            report.affected_vertices,
+            scale.t_rslpa,
+            scale.workers,
+        );
         assert!(
             adjusted.simulated_time(&model) < scratch.simulated_time(&model),
             "incremental must beat scratch for a 10-edge batch"

@@ -21,7 +21,14 @@ pub fn rslpa_nmi(params: &LfrParams, t_max: usize, seed: u64) -> f64 {
 pub fn slpa_nmi(params: &LfrParams, t_max: usize, seed: u64) -> f64 {
     let instance = params.generate().expect("LFR generation");
     let n = instance.graph.num_vertices();
-    let result = run_slpa(&instance.graph, &SlpaConfig { iterations: t_max, threshold: 0.2, seed });
+    let result = run_slpa(
+        &instance.graph,
+        &SlpaConfig {
+            iterations: t_max,
+            threshold: 0.2,
+            seed,
+        },
+    );
     overlapping_nmi(&result.cover, &instance.ground_truth, n)
 }
 
@@ -31,35 +38,74 @@ fn avg(runs: u64, mut f: impl FnMut(u64) -> f64) -> f64 {
 
 /// Table I: parameter glossary + achieved statistics at the defaults.
 pub fn table1(scale: &Scale) {
-    let mut glossary = Table::new("Table I — LFR parameters (defaults in parentheses)", &["parameter", "description", "default"]);
-    glossary.row(vec!["N".into(), "number of vertices".into(), scale.lfr_n.to_string()]);
-    glossary.row(vec!["k".into(), "average degree".into(), format!("{}", scale.lfr_k)]);
-    glossary.row(vec!["maxk".into(), "max degree".into(), scale.lfr_maxk.to_string()]);
+    let mut glossary = Table::new(
+        "Table I — LFR parameters (defaults in parentheses)",
+        &["parameter", "description", "default"],
+    );
+    glossary.row(vec![
+        "N".into(),
+        "number of vertices".into(),
+        scale.lfr_n.to_string(),
+    ]);
+    glossary.row(vec![
+        "k".into(),
+        "average degree".into(),
+        format!("{}", scale.lfr_k),
+    ]);
+    glossary.row(vec![
+        "maxk".into(),
+        "max degree".into(),
+        scale.lfr_maxk.to_string(),
+    ]);
     glossary.row(vec!["mu".into(), "mixing parameter".into(), "0.1".into()]);
-    glossary.row(vec!["on".into(), "overlapping vertices".into(), "0.1 N".into()]);
-    glossary.row(vec!["om".into(), "memberships of overlapping".into(), "2".into()]);
+    glossary.row(vec![
+        "on".into(),
+        "overlapping vertices".into(),
+        "0.1 N".into(),
+    ]);
+    glossary.row(vec![
+        "om".into(),
+        "memberships of overlapping".into(),
+        "2".into(),
+    ]);
     glossary.print();
 
     let params = scale.lfr(scale.lfr_n, 42);
     let instance = params.generate().expect("LFR generation");
     let stats = instance.stats();
-    let mut achieved = Table::new("Table I (cont.) — achieved statistics of the default instance", &["statistic", "value"]);
+    let mut achieved = Table::new(
+        "Table I (cont.) — achieved statistics of the default instance",
+        &["statistic", "value"],
+    );
     achieved.row(vec!["vertices".into(), stats.n.to_string()]);
     achieved.row(vec!["avg degree".into(), f3(stats.avg_degree)]);
     achieved.row(vec!["max degree".into(), stats.max_degree.to_string()]);
     achieved.row(vec!["achieved mixing".into(), f3(stats.mixing)]);
-    achieved.row(vec!["communities".into(), stats.num_communities.to_string()]);
+    achieved.row(vec![
+        "communities".into(),
+        stats.num_communities.to_string(),
+    ]);
     achieved.row(vec![
         "community sizes".into(),
-        format!("{}..{}", stats.community_size_range.0, stats.community_size_range.1),
+        format!(
+            "{}..{}",
+            stats.community_size_range.0, stats.community_size_range.1
+        ),
     ]);
-    achieved.row(vec!["overlapping vertices".into(), stats.overlapping_vertices.to_string()]);
+    achieved.row(vec![
+        "overlapping vertices".into(),
+        stats.overlapping_vertices.to_string(),
+    ]);
     achieved.print();
 }
 
 /// Fig. 7a: rSLPA NMI vs iteration count T, for several N.
 pub fn fig7a(scale: &Scale) {
-    let ns = [scale.lfr_n_sweep[0], scale.lfr_n, *scale.lfr_n_sweep.last().unwrap()];
+    let ns = [
+        scale.lfr_n_sweep[0],
+        scale.lfr_n,
+        *scale.lfr_n_sweep.last().unwrap(),
+    ];
     let mut headers: Vec<String> = vec!["T".into()];
     headers.extend(ns.iter().map(|n| format!("N={n}")));
     let href: Vec<&str> = headers.iter().map(String::as_str).collect();
@@ -67,13 +113,18 @@ pub fn fig7a(scale: &Scale) {
     for &t in &scale.t_sweep {
         let mut row = vec![t.to_string()];
         for &n in &ns {
-            let score = avg(scale.runs, |seed| rslpa_nmi(&scale.lfr(n, 100 + seed), t, seed));
+            let score = avg(scale.runs, |seed| {
+                rslpa_nmi(&scale.lfr(n, 100 + seed), t, seed)
+            });
             row.push(f3(score));
         }
         table.row(row);
     }
     table.print();
-    println!("expected shape: stable for T >= {} (paper: T >= 200).\n", scale.t_rslpa);
+    println!(
+        "expected shape: stable for T >= {} (paper: T >= 200).\n",
+        scale.t_rslpa
+    );
 }
 
 /// Shared driver for Figs. 7b–7f: sweep one LFR parameter, compare both
@@ -81,8 +132,12 @@ pub fn fig7a(scale: &Scale) {
 fn sweep(title: &str, xlabel: &str, scale: &Scale, points: Vec<(String, LfrParams)>) {
     let mut table = Table::new(title, &[xlabel, "SLPA", "rSLPA"]);
     for (x, params) in points {
-        let s = avg(scale.runs, |seed| slpa_nmi(&params, scale.t_slpa, 300 + seed));
-        let r = avg(scale.runs, |seed| rslpa_nmi(&params, scale.t_rslpa, 600 + seed));
+        let s = avg(scale.runs, |seed| {
+            slpa_nmi(&params, scale.t_slpa, 300 + seed)
+        });
+        let r = avg(scale.runs, |seed| {
+            rslpa_nmi(&params, scale.t_rslpa, 600 + seed)
+        });
         table.row(vec![x, f3(s), f3(r)]);
     }
     table.print();
@@ -156,7 +211,12 @@ pub fn fig7f(scale: &Scale) {
             (format!("{:.2}N", frac), p)
         })
         .collect();
-    sweep("Fig. 7f — NMI vs overlapping vertices on", "on", scale, points);
+    sweep(
+        "Fig. 7f — NMI vs overlapping vertices on",
+        "on",
+        scale,
+        points,
+    );
     println!("expected shape: both decline as boundaries blur.\n");
 }
 

@@ -1,7 +1,8 @@
 //! Figures 2–3 and Theorems 1–3: exact voting distributions.
 
 use rslpa_baselines::voting::{
-    plurality_win_distribution, theorem1_max_probabilities, uniform_distribution, voting_distribution,
+    plurality_win_distribution, theorem1_max_probabilities, uniform_distribution,
+    voting_distribution,
 };
 use rslpa_graph::rng::DetRng;
 use rslpa_graph::Label;
@@ -9,18 +10,33 @@ use rslpa_graph::Label;
 use crate::report::{f3, Table};
 
 fn dist_row(labels: &[Label], dist: &rslpa_graph::FxHashMap<Label, f64>) -> Vec<String> {
-    labels.iter().map(|l| f3(dist.get(l).copied().unwrap_or(0.0))).collect()
+    labels
+        .iter()
+        .map(|l| f3(dist.get(l).copied().unwrap_or(0.0)))
+        .collect()
 }
 
 /// Fig. 2: plurality-vote win probabilities for the four voter settings.
 pub fn fig2() {
     let settings: [(&str, Vec<Vec<Label>>); 4] = [
-        ("(a) voters (1,2), (1,2), (1,1)", vec![vec![1, 2], vec![1, 2], vec![1, 1]]),
-        ("(b) voters (1,2), (1,2), (1,3)", vec![vec![1, 2], vec![1, 2], vec![1, 3]]),
-        ("(c) voters (2,2), (1,1), (1,1)", vec![vec![2, 2], vec![1, 1], vec![1, 1]]),
+        (
+            "(a) voters (1,2), (1,2), (1,1)",
+            vec![vec![1, 2], vec![1, 2], vec![1, 1]],
+        ),
+        (
+            "(b) voters (1,2), (1,2), (1,3)",
+            vec![vec![1, 2], vec![1, 2], vec![1, 3]],
+        ),
+        (
+            "(c) voters (2,2), (1,1), (1,1)",
+            vec![vec![2, 2], vec![1, 1], vec![1, 1]],
+        ),
         ("(d) voters (2,2), (1,1)", vec![vec![2, 2], vec![1, 1]]),
     ];
-    let mut table = Table::new("Fig. 2 — plurality voting win probabilities (exact)", &["setting", "P(1)", "P(2)", "P(3)"]);
+    let mut table = Table::new(
+        "Fig. 2 — plurality voting win probabilities (exact)",
+        &["setting", "P(1)", "P(2)", "P(3)"],
+    );
     for (name, voters) in settings {
         let d = plurality_win_distribution(&voters);
         let mut row = vec![name.to_string()];
@@ -43,7 +59,10 @@ pub fn fig3() {
         "Fig. 3 — M = (1,2,2,2,3,3,3,4,4,5)",
         &["process", "P(1)", "P(2)", "P(3)", "P(4)", "P(5)", "max"],
     );
-    for (name, dist) in [("(a) voting", voting_distribution(&m)), ("(b) uniform-pick", uniform_distribution(&m))] {
+    for (name, dist) in [
+        ("(a) voting", voting_distribution(&m)),
+        ("(b) uniform-pick", uniform_distribution(&m)),
+    ] {
         let mut row = vec![name.to_string()];
         row.extend(dist_row(&labels, &dist));
         row.push(f3(dist.values().copied().fold(0.0, f64::max)));
@@ -67,8 +86,15 @@ pub fn thm1(trials: u64) {
         }
         worst_gap = worst_gap.min(pv - pu);
     }
-    let mut table = Table::new("Theorem 1 — max Pu <= max Pv on random multisets", &["trials", "violations", "min (maxPv - maxPu)"]);
-    table.row(vec![trials.to_string(), violations.to_string(), f3(worst_gap)]);
+    let mut table = Table::new(
+        "Theorem 1 — max Pu <= max Pv on random multisets",
+        &["trials", "violations", "min (maxPv - maxPu)"],
+    );
+    table.row(vec![
+        trials.to_string(),
+        violations.to_string(),
+        f3(worst_gap),
+    ]);
     table.print();
     assert_eq!(violations, 0, "Theorem 1 must hold");
 }

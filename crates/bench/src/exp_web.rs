@@ -21,16 +21,31 @@ pub fn table2(scale: &Scale) {
     let g = web_graph(scale);
     let stats = GraphStats::compute(&g);
     let mut table = Table::new(
-        format!("Table II — simulated web graph (R-MAT scale {}, eu-2015-tpd stand-in)", scale.web_scale),
+        format!(
+            "Table II — simulated web graph (R-MAT scale {}, eu-2015-tpd stand-in)",
+            scale.web_scale
+        ),
         &["statistic", "value"],
     );
     table.row(vec!["# nodes".into(), stats.num_vertices.to_string()]);
-    table.row(vec!["# edges (undirected)".into(), stats.num_edges.to_string()]);
+    table.row(vec![
+        "# edges (undirected)".into(),
+        stats.num_edges.to_string(),
+    ]);
     table.row(vec!["avg. degree".into(), f3(stats.avg_degree)]);
     table.row(vec!["max degree".into(), stats.max_degree.to_string()]);
-    table.row(vec!["isolated vertices".into(), stats.isolated_vertices.to_string()]);
-    table.row(vec!["# components".into(), stats.num_components.to_string()]);
-    table.row(vec!["largest component".into(), stats.largest_component.to_string()]);
+    table.row(vec![
+        "isolated vertices".into(),
+        stats.isolated_vertices.to_string(),
+    ]);
+    table.row(vec![
+        "# components".into(),
+        stats.num_components.to_string(),
+    ]);
+    table.row(vec![
+        "largest component".into(),
+        stats.largest_component.to_string(),
+    ]);
     table.print();
     println!("paper's crawl: 6,650,532 nodes, 170,145,510 directed edges, avg degree 25.58.\n");
 }
@@ -52,20 +67,44 @@ pub fn fig8_measure(scale: &Scale) -> Vec<Fig8Row> {
     let partitioner = HashPartitioner::new(scale.workers);
 
     // SLPA: T = 100, voting, thresholding post-processing.
-    let config = SlpaConfig { iterations: scale.t_slpa, threshold: 0.2, seed: 8 };
-    let mut engine = BspEngine::new(&csr, SlpaProgram { config }, &partitioner, Executor::Parallel);
+    let config = SlpaConfig {
+        iterations: scale.t_slpa,
+        threshold: 0.2,
+        seed: 8,
+    };
+    let mut engine = BspEngine::new(
+        &csr,
+        SlpaProgram { config },
+        &partitioner,
+        Executor::Parallel,
+    );
     engine.run(scale.t_slpa + 2);
     let slpa_prop = engine.stats().clone();
     let memories = engine.into_states();
-    let (_, slpa_post) = extract_cover_bsp(&csr, &memories, config.threshold, &partitioner, Executor::Parallel);
+    let (_, slpa_post) = extract_cover_bsp(
+        &csr,
+        &memories,
+        config.threshold,
+        &partitioner,
+        Executor::Parallel,
+    );
 
     // rSLPA: T = 200, randomized propagation, similarity post-processing.
-    let (state, rslpa_prop) = run_propagation_bsp(&csr, scale.t_rslpa, 8, &partitioner, Executor::Parallel);
+    let (state, rslpa_prop) =
+        run_propagation_bsp(&csr, scale.t_rslpa, 8, &partitioner, Executor::Parallel);
     let (_, rslpa_post) = postprocess_bsp(&csr, &state, &partitioner, Executor::Parallel);
 
     vec![
-        Fig8Row { name: "SLPA", propagation: slpa_prop, post: slpa_post },
-        Fig8Row { name: "rSLPA", propagation: rslpa_prop, post: rslpa_post },
+        Fig8Row {
+            name: "SLPA",
+            propagation: slpa_prop,
+            post: slpa_post,
+        },
+        Fig8Row {
+            name: "rSLPA",
+            propagation: rslpa_prop,
+            post: rslpa_post,
+        },
     ]
 }
 
@@ -74,11 +113,26 @@ pub fn fig8(scale: &Scale) {
     let rows = fig8_measure(scale);
     let model = crate::scale::scaled_model();
     let mut table = Table::new(
-        format!("Fig. 8 — static running time on the web graph ({} workers, simulated seconds)", scale.workers),
-        &["algorithm", "T", "LP msgs (M)", "LP time", "post msgs (M)", "post time", "total"],
+        format!(
+            "Fig. 8 — static running time on the web graph ({} workers, simulated seconds)",
+            scale.workers
+        ),
+        &[
+            "algorithm",
+            "T",
+            "LP msgs (M)",
+            "LP time",
+            "post msgs (M)",
+            "post time",
+            "total",
+        ],
     );
     for row in &rows {
-        let t = if row.name == "SLPA" { scale.t_slpa } else { scale.t_rslpa };
+        let t = if row.name == "SLPA" {
+            scale.t_slpa
+        } else {
+            scale.t_rslpa
+        };
         let lp = row.propagation.simulated_time(&model);
         let post = row.post.simulated_time(&model);
         table.row(vec![

@@ -90,7 +90,10 @@ impl Scale {
 /// the algorithms; scaling the barrier by the same factor keeps the
 /// volume-to-latency ratio in the paper's regime.
 pub fn scaled_model() -> rslpa_distsim::CostModel {
-    rslpa_distsim::CostModel { round_latency: 2e-5, ..Default::default() }
+    rslpa_distsim::CostModel {
+        round_latency: 2e-5,
+        ..Default::default()
+    }
 }
 
 #[cfg(test)]

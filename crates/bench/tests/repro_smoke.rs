@@ -1,0 +1,36 @@
+//! Smoke tests for the `repro` experiment binary: a cheap experiment runs
+//! end-to-end and exits 0; bad invocations exit 2.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn no_args_prints_usage_and_exits_2() {
+    let out = repro().output().expect("spawn repro");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn unknown_experiment_exits_2() {
+    let out = repro().arg("fig99").output().expect("spawn repro");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown experiment"));
+}
+
+#[test]
+fn fig2_runs_end_to_end() {
+    // fig2 is the exact plurality-voting distribution — the cheapest
+    // experiment, pure computation, no graph generation.
+    let out = repro().arg("fig2").output().expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "repro fig2 failed: {}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    assert!(!out.stdout.is_empty(), "fig2 prints a table");
+}

@@ -80,7 +80,10 @@ mod tests {
     #[test]
     fn pc_boundary_cases() {
         assert_eq!(p_c(0, 0, 100), 0.0, "no edits, no change");
-        assert!((p_c(10, 0, 100) - 0.1).abs() < 1e-12, "deletions only: m_d/|E|");
+        assert!(
+            (p_c(10, 0, 100) - 0.1).abs() < 1e-12,
+            "deletions only: m_d/|E|"
+        );
         // Insertions only: switch probability m_a/(|E|+m_a).
         assert!((p_c(0, 25, 100) - 0.2).abs() < 1e-12);
         assert_eq!(p_c(100, 0, 100), 1.0, "delete everything");
@@ -123,7 +126,11 @@ mod tests {
 
     #[test]
     fn eta_bounds_bracket_expectation() {
-        for &(t, v, pc) in &[(100usize, 1000usize, 0.01f64), (200, 5000, 0.001), (50, 100, 0.3)] {
+        for &(t, v, pc) in &[
+            (100usize, 1000usize, 0.01f64),
+            (200, 5000, 0.001),
+            (50, 100, 0.3),
+        ] {
             let lo = eta_lower_bound(t, v, pc);
             let hat = expected_eta(t, v, pc);
             let hi = eta_upper_bound(t, v, pc);

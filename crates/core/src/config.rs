@@ -22,19 +22,31 @@ pub struct RslpaConfig {
 
 impl Default for RslpaConfig {
     fn default() -> Self {
-        Self { iterations: 200, seed: 42, value_pruned_cascade: false, tau1_grid: None }
+        Self {
+            iterations: 200,
+            seed: 42,
+            value_pruned_cascade: false,
+            tau1_grid: None,
+        }
     }
 }
 
 impl RslpaConfig {
     /// Paper defaults with an explicit seed.
     pub fn with_seed(seed: u64) -> Self {
-        Self { seed, ..Self::default() }
+        Self {
+            seed,
+            ..Self::default()
+        }
     }
 
     /// Shrunk iteration count for tests.
     pub fn quick(iterations: usize, seed: u64) -> Self {
-        Self { iterations, seed, ..Self::default() }
+        Self {
+            iterations,
+            seed,
+            ..Self::default()
+        }
     }
 }
 

@@ -56,7 +56,12 @@ impl RslpaDetector {
     /// Run the initial label propagation on `graph`.
     pub fn new(graph: AdjacencyGraph, config: RslpaConfig) -> Self {
         let state = run_propagation(&graph, config.iterations, config.seed);
-        Self { graph: DynamicGraph::new(graph), state, config, batches_applied: 0 }
+        Self {
+            graph: DynamicGraph::new(graph),
+            state,
+            config,
+            batches_applied: 0,
+        }
     }
 
     /// Current graph.
@@ -104,7 +109,9 @@ impl RslpaDetector {
 
     /// Extract communities from the current label state (post-processing).
     pub fn detect(&self) -> DetectionResult {
-        DetectionResult { result: postprocess(self.graph.graph(), &self.state, self.config.tau1_grid) }
+        DetectionResult {
+            result: postprocess(self.graph.graph(), &self.state, self.config.tau1_grid),
+        }
     }
 
     /// Rebuild the label state from scratch on the current graph (the
@@ -147,19 +154,27 @@ mod tests {
     fn vertex_growth_and_attachment() {
         let mut d = RslpaDetector::new(two_triangles(), RslpaConfig::quick(25, 3));
         d.ensure_vertices(7);
-        let report = d.apply_batch(&EditBatch::from_lists([(6, 0), (6, 1)], [])).unwrap();
+        let report = d
+            .apply_batch(&EditBatch::from_lists([(6, 0), (6, 1)], []))
+            .unwrap();
         assert!(report.repicks >= 25, "new vertex repicks all its slots");
         check_consistency(d.state(), d.graph()).unwrap();
         // The new vertex should join the left triangle's community.
         let r = d.detect();
-        let joined = r.result.cover.communities().iter().any(|c| c.contains(&6) && c.contains(&0));
+        let joined = r
+            .result
+            .cover
+            .communities()
+            .iter()
+            .any(|c| c.contains(&6) && c.contains(&0));
         assert!(joined, "{:?}", r.result.cover.communities());
     }
 
     #[test]
     fn recompute_from_scratch_matches_fresh_detector() {
         let mut d = RslpaDetector::new(two_triangles(), RslpaConfig::quick(30, 5));
-        d.apply_batch(&EditBatch::from_lists([(0, 4)], [(2, 3)])).unwrap();
+        d.apply_batch(&EditBatch::from_lists([(0, 4)], [(2, 3)]))
+            .unwrap();
         d.recompute_from_scratch();
         let fresh = RslpaDetector::new(d.graph().clone(), RslpaConfig::quick(30, 5));
         for v in 0..6u32 {

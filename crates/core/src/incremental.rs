@@ -60,13 +60,19 @@ pub fn apply_correction(
 ) -> UpdateReport {
     let t_max = state.iterations() as u32;
     let seed = state.seed();
-    let mut report = UpdateReport { affected_vertices: applied.deltas.len(), ..Default::default() };
+    let mut report = UpdateReport {
+        affected_vertices: applied.deltas.len(),
+        ..Default::default()
+    };
     // Per-iteration buckets of slots to forward from, deduplicated.
     let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); t_max as usize + 1];
     let mut scheduled: FxHashSet<(VertexId, u32)> = FxHashSet::default();
     let mut touched: FxHashSet<(VertexId, u32)> = FxHashSet::default();
 
-    let schedule = |v: VertexId, t: u32, buckets: &mut Vec<Vec<VertexId>>, scheduled: &mut FxHashSet<(VertexId, u32)>| {
+    let schedule = |v: VertexId,
+                    t: u32,
+                    buckets: &mut Vec<Vec<VertexId>>,
+                    scheduled: &mut FxHashSet<(VertexId, u32)>| {
         if scheduled.insert((v, t)) {
             buckets[t as usize].push(v);
         }
@@ -100,9 +106,18 @@ pub fn apply_correction(
                 delta.removed_contains(old_src)
             };
             if needs_full_repick {
-                repick(state, v, t, old_src, old_pos, nbrs, value_pruned, &mut report, &mut touched, |v, t| {
-                    schedule(v, t, &mut buckets, &mut scheduled)
-                });
+                repick(
+                    state,
+                    v,
+                    t,
+                    old_src,
+                    old_pos,
+                    nbrs,
+                    value_pruned,
+                    &mut report,
+                    &mut touched,
+                    |v, t| schedule(v, t, &mut buckets, &mut scheduled),
+                );
                 continue;
             }
             if delta.added.is_empty() {
@@ -113,13 +128,27 @@ pub fn apply_correction(
             let na = delta.added.len();
             debug_assert!(na <= deg);
             let epoch = state.bump_epoch(v, t);
-            let key = PickKey { seed, vertex: v, iteration: t, epoch };
+            let key = PickKey {
+                seed,
+                vertex: v,
+                iteration: t,
+                epoch,
+            };
             report.coins += 1;
             if key.unit_f64(Stream::Cat3Coin) < na as f64 / deg as f64 {
                 // Redraw from the *new* neighbors only (Theorem 5).
-                repick(state, v, t, old_src, old_pos, &delta.added, value_pruned, &mut report, &mut touched, |v, t| {
-                    schedule(v, t, &mut buckets, &mut scheduled)
-                });
+                repick(
+                    state,
+                    v,
+                    t,
+                    old_src,
+                    old_pos,
+                    &delta.added,
+                    value_pruned,
+                    &mut report,
+                    &mut touched,
+                    |v, t| schedule(v, t, &mut buckets, &mut scheduled),
+                );
             }
         }
     }
@@ -206,7 +235,16 @@ mod tests {
         // Vertex 0 is a hub over 1..=4; 1-2-3-4-1 ring around it.
         AdjacencyGraph::from_edges(
             5,
-            [(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (2, 3), (3, 4), (4, 1)],
+            [
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 1),
+            ],
         )
     }
 
@@ -216,7 +254,12 @@ mod tests {
             let g = star_plus_ring();
             let mut dg = DynamicGraph::new(g);
             let mut state = run_propagation(dg.graph(), 12, seed);
-            step(&mut dg, &mut state, EditBatch::from_lists([], [(0, 3)]), false);
+            step(
+                &mut dg,
+                &mut state,
+                EditBatch::from_lists([], [(0, 3)]),
+                false,
+            );
             check_consistency(&state, dg.graph()).unwrap();
         }
     }
@@ -227,7 +270,12 @@ mod tests {
             let g = star_plus_ring();
             let mut dg = DynamicGraph::new(g);
             let mut state = run_propagation(dg.graph(), 12, seed);
-            step(&mut dg, &mut state, EditBatch::from_lists([(1, 3)], []), false);
+            step(
+                &mut dg,
+                &mut state,
+                EditBatch::from_lists([(1, 3)], []),
+                false,
+            );
             check_consistency(&state, dg.graph()).unwrap();
         }
     }
@@ -238,9 +286,24 @@ mod tests {
             let g = star_plus_ring();
             let mut dg = DynamicGraph::new(g);
             let mut state = run_propagation(dg.graph(), 10, 7);
-            step(&mut dg, &mut state, EditBatch::from_lists([(1, 3)], [(0, 2)]), pruned);
-            step(&mut dg, &mut state, EditBatch::from_lists([(2, 4)], [(1, 2), (3, 4)]), pruned);
-            step(&mut dg, &mut state, EditBatch::from_lists([(0, 2)], [(2, 4)]), pruned);
+            step(
+                &mut dg,
+                &mut state,
+                EditBatch::from_lists([(1, 3)], [(0, 2)]),
+                pruned,
+            );
+            step(
+                &mut dg,
+                &mut state,
+                EditBatch::from_lists([(2, 4)], [(1, 2), (3, 4)]),
+                pruned,
+            );
+            step(
+                &mut dg,
+                &mut state,
+                EditBatch::from_lists([(0, 2)], [(2, 4)]),
+                pruned,
+            );
             check_consistency(&state, dg.graph()).unwrap();
         }
     }
@@ -253,12 +316,23 @@ mod tests {
         let mut dg = DynamicGraph::new(g);
         let mut state = run_propagation(dg.graph(), 8, 3);
         // Find a slot of the hub whose source is vertex 1.
-        let slot = (1..=8u32).find(|&t| state.pick(0, t).0 == 1).expect("some pick from 1");
+        let slot = (1..=8u32)
+            .find(|&t| state.pick(0, t).0 == 1)
+            .expect("some pick from 1");
         let before = state.pick(0, slot);
         // Delete hub edge to a *different* neighbor (pick an unused one).
         let victim = (2..=4u32).find(|&u| u != before.0).unwrap();
-        step(&mut dg, &mut state, EditBatch::from_lists([], [(0, victim)]), false);
-        assert_eq!(state.pick(0, slot), before, "pick through preserved edge kept");
+        step(
+            &mut dg,
+            &mut state,
+            EditBatch::from_lists([], [(0, victim)]),
+            false,
+        );
+        assert_eq!(
+            state.pick(0, slot),
+            before,
+            "pick through preserved edge kept"
+        );
     }
 
     /// Paper Fig. 4b: a pick through a *deleted* edge must be re-drawn
@@ -268,8 +342,15 @@ mod tests {
         let g = star_plus_ring();
         let mut dg = DynamicGraph::new(g);
         let mut state = run_propagation(dg.graph(), 8, 3);
-        let slot = (1..=8u32).find(|&t| state.pick(0, t).0 == 1).expect("some pick from 1");
-        step(&mut dg, &mut state, EditBatch::from_lists([], [(0, 1)]), false);
+        let slot = (1..=8u32)
+            .find(|&t| state.pick(0, t).0 == 1)
+            .expect("some pick from 1");
+        step(
+            &mut dg,
+            &mut state,
+            EditBatch::from_lists([], [(0, 1)]),
+            false,
+        );
         let (new_src, _) = state.pick(0, slot);
         assert_ne!(new_src, 1, "deleted source must be replaced");
         assert!(dg.graph().neighbors(0).contains(&new_src));
@@ -288,7 +369,12 @@ mod tests {
             let mut dg = DynamicGraph::new(g);
             let mut state = run_propagation(dg.graph(), 1, seed as u64);
             let before = state.pick(0, 1);
-            step(&mut dg, &mut state, EditBatch::from_lists([(0, 3)], []), false);
+            step(
+                &mut dg,
+                &mut state,
+                EditBatch::from_lists([(0, 3)], []),
+                false,
+            );
             let after = state.pick(0, 1);
             if after == before {
                 kept += 1;
@@ -311,7 +397,12 @@ mod tests {
         // Hand-craft: at t=1, vertex 3 (id) picks (4, 0) — label "5" (id 4).
         // t=2: vertex 2 picks (3, 1); t=3: vertex 1 picks (2, 2);
         // t=4: vertex 0 picks (1, 3). All other slots: self-ish picks.
-        let chain = [(3u32, 1u32, 4u32, 0u32), (2, 2, 3, 1), (1, 3, 2, 2), (0, 4, 1, 3)];
+        let chain = [
+            (3u32, 1u32, 4u32, 0u32),
+            (2, 2, 3, 1),
+            (1, 3, 2, 2),
+            (0, 4, 1, 3),
+        ];
         // Fill every slot with a valid default first: pick left neighbor pos 0.
         for v in 0..5u32 {
             for t in 1..=4u32 {
@@ -338,12 +429,19 @@ mod tests {
         // Vertex 3's t=1 slot was repicked; the chain must have been
         // corrected all the way down (3 deliveries along the chain).
         assert!(report.repicks >= 1);
-        assert!(report.deliveries >= 3, "chain of 3 downstream labels, got {report:?}");
+        assert!(
+            report.deliveries >= 3,
+            "chain of 3 downstream labels, got {report:?}"
+        );
         let l = state.label(3, 1);
         assert_eq!(state.label(2, 2), l);
         assert_eq!(state.label(1, 3), l);
         assert_eq!(state.label(0, 4), l);
-        assert_ne!(state.label(0, 4), 4, "old label 5 must be gone from the chain");
+        assert_ne!(
+            state.label(0, 4),
+            4,
+            "old label 5 must be gone from the chain"
+        );
     }
 
     #[test]
@@ -363,7 +461,12 @@ mod tests {
         let g = AdjacencyGraph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
         let mut dg = DynamicGraph::new(g);
         let mut state = run_propagation(dg.graph(), 6, 2);
-        step(&mut dg, &mut state, EditBatch::from_lists([], [(0, 1), (0, 2)]), false);
+        step(
+            &mut dg,
+            &mut state,
+            EditBatch::from_lists([], [(0, 1), (0, 2)]),
+            false,
+        );
         assert!(state.label_sequence(0).iter().all(|&l| l == 0));
         check_consistency(&state, dg.graph()).unwrap();
     }
@@ -376,7 +479,12 @@ mod tests {
         let mut dg = DynamicGraph::new(g);
         let mut state = run_propagation(dg.graph(), 6, 2);
         assert!(state.label_sequence(3).iter().all(|&l| l == 3));
-        step(&mut dg, &mut state, EditBatch::from_lists([(3, 1)], []), false);
+        step(
+            &mut dg,
+            &mut state,
+            EditBatch::from_lists([(3, 1)], []),
+            false,
+        );
         check_consistency(&state, dg.graph()).unwrap();
         // All picks of vertex 3 now come from its only neighbor 1.
         for t in 1..=6u32 {
@@ -398,7 +506,10 @@ mod tests {
             let rep_f = step(&mut dg_f, &mut st_f, batch.clone(), false);
             let (mut dg_p, mut st_p) = make();
             let rep_p = step(&mut dg_p, &mut st_p, batch, true);
-            assert!(rep_p.deliveries <= rep_f.deliveries, "{rep_p:?} vs {rep_f:?}");
+            assert!(
+                rep_p.deliveries <= rep_f.deliveries,
+                "{rep_p:?} vs {rep_f:?}"
+            );
             assert_eq!(rep_p.repicks, rep_f.repicks, "phase A identical");
             // Both end bit-identical: pruning only skips no-op deliveries.
             for v in 0..5u32 {
@@ -415,7 +526,12 @@ mod tests {
         let g = star_plus_ring();
         let mut dg = DynamicGraph::new(g);
         let mut state = run_propagation(dg.graph(), 15, 4);
-        let report = step(&mut dg, &mut state, EditBatch::from_lists([], [(0, 1)]), false);
+        let report = step(
+            &mut dg,
+            &mut state,
+            EditBatch::from_lists([], [(0, 1)]),
+            false,
+        );
         assert!(report.eta <= report.repicks + report.deliveries);
         assert!(report.eta >= report.repicks);
         assert!(report.value_changes <= report.deliveries);

@@ -76,7 +76,11 @@ pub struct CorrectionProgram<'a> {
 impl<'a> CorrectionProgram<'a> {
     /// New program over the previous state and an applied batch.
     pub fn new(prev: &'a LabelState, applied: &'a AppliedBatch, value_pruned: bool) -> Self {
-        Self { prev, applied, value_pruned }
+        Self {
+            prev,
+            applied,
+            value_pruned,
+        }
     }
 
     fn t_max(&self) -> u32 {
@@ -94,7 +98,13 @@ impl<'a> CorrectionProgram<'a> {
             let (old_src, old_pos) = state.picks[ti];
             if nbrs.is_empty() {
                 if old_src != NO_SOURCE {
-                    ctx.send(old_src, CorrMsg::Unrecord { slot: old_pos, k: t });
+                    ctx.send(
+                        old_src,
+                        CorrMsg::Unrecord {
+                            slot: old_pos,
+                            k: t,
+                        },
+                    );
                     state.picks[ti] = (NO_SOURCE, 0);
                     let own = state.labels[0];
                     let changed = state.labels[t as usize] != own;
@@ -104,7 +114,14 @@ impl<'a> CorrectionProgram<'a> {
                     if !self.value_pruned || changed {
                         for r in &state.records {
                             if r.slot == t {
-                                ctx.send(r.receiver, CorrMsg::Value { t: r.k, origin_pos: t, label: own });
+                                ctx.send(
+                                    r.receiver,
+                                    CorrMsg::Value {
+                                        t: r.k,
+                                        origin_pos: t,
+                                        label: own,
+                                    },
+                                );
                             }
                         }
                     }
@@ -123,7 +140,12 @@ impl<'a> CorrectionProgram<'a> {
             let deg = nbrs.len();
             let na = delta.added.len();
             state.epochs[ti] += 1;
-            let key = PickKey { seed, vertex: v, iteration: t, epoch: state.epochs[ti] };
+            let key = PickKey {
+                seed,
+                vertex: v,
+                iteration: t,
+                epoch: state.epochs[ti],
+            };
             if key.unit_f64(Stream::Cat3Coin) < na as f64 / deg as f64 {
                 self.repick(ctx, state, t, old_src, old_pos, Some(&delta.added));
             }
@@ -142,7 +164,13 @@ impl<'a> CorrectionProgram<'a> {
     ) {
         let ti = t as usize - 1;
         if old_src != NO_SOURCE {
-            ctx.send(old_src, CorrMsg::Unrecord { slot: old_pos, k: t });
+            ctx.send(
+                old_src,
+                CorrMsg::Unrecord {
+                    slot: old_pos,
+                    k: t,
+                },
+            );
         }
         state.epochs[ti] += 1;
         let pool = candidates.unwrap_or_else(|| ctx.neighbors());
@@ -171,7 +199,12 @@ impl VertexProgram for CorrectionProgram<'_> {
         state
     }
 
-    fn step(&self, ctx: &mut Ctx<'_, CorrMsg>, state: &mut CorrState, inbox: &[(VertexId, CorrMsg)]) {
+    fn step(
+        &self,
+        ctx: &mut Ctx<'_, CorrMsg>,
+        state: &mut CorrState,
+        inbox: &[(VertexId, CorrMsg)],
+    ) {
         // 1. Unrecords first: detach receivers that repicked away.
         for &(from, msg) in inbox {
             if let CorrMsg::Unrecord { slot, k } = msg {
@@ -187,7 +220,12 @@ impl VertexProgram for CorrectionProgram<'_> {
         // 2. Apply Values (staleness-guarded), collecting slots to forward.
         let mut changed_slots: Vec<u32> = Vec::new();
         for &(from, msg) in inbox {
-            if let CorrMsg::Value { t, origin_pos, label } = msg {
+            if let CorrMsg::Value {
+                t,
+                origin_pos,
+                label,
+            } = msg
+            {
                 let ti = t as usize - 1;
                 if state.picks[ti] != (from, origin_pos) {
                     continue; // stale: the slot was repicked meanwhile
@@ -206,8 +244,19 @@ impl VertexProgram for CorrectionProgram<'_> {
         let pre_fetch_records = state.records.len();
         for &(from, msg) in inbox {
             if let CorrMsg::Fetch { pos, k } = msg {
-                state.records.push(Record { slot: pos, receiver: from, k });
-                ctx.send(from, CorrMsg::Value { t: k, origin_pos: pos, label: state.labels[pos as usize] });
+                state.records.push(Record {
+                    slot: pos,
+                    receiver: from,
+                    k,
+                });
+                ctx.send(
+                    from,
+                    CorrMsg::Value {
+                        t: k,
+                        origin_pos: pos,
+                        label: state.labels[pos as usize],
+                    },
+                );
             }
         }
         // 4. Forward corrections to previously-registered receivers.
@@ -216,7 +265,14 @@ impl VertexProgram for CorrectionProgram<'_> {
             for i in 0..pre_fetch_records {
                 let r = state.records[i];
                 if r.slot == t {
-                    ctx.send(r.receiver, CorrMsg::Value { t: r.k, origin_pos: t, label });
+                    ctx.send(
+                        r.receiver,
+                        CorrMsg::Value {
+                            t: r.k,
+                            origin_pos: t,
+                            label,
+                        },
+                    );
                 }
             }
         }
@@ -277,7 +333,11 @@ mod tests {
 
     fn compare_states(a: &LabelState, b: &LabelState, n: usize, t_max: u32) {
         for v in 0..n as VertexId {
-            assert_eq!(a.label_sequence(v), b.label_sequence(v), "labels differ at {v}");
+            assert_eq!(
+                a.label_sequence(v),
+                b.label_sequence(v),
+                "labels differ at {v}"
+            );
             for t in 1..=t_max {
                 assert_eq!(a.pick(v, t), b.pick(v, t), "picks differ at ({v}, {t})");
                 assert_eq!(a.epoch(v, t), b.epoch(v, t), "epochs differ at ({v}, {t})");
@@ -289,7 +349,18 @@ mod tests {
     fn exercise(batch: EditBatch, seed: u64, pruned: bool) {
         let g = AdjacencyGraph::from_edges(
             8,
-            [(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (5, 6), (6, 7), (7, 4), (0, 4), (2, 6)],
+            [
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 4),
+                (0, 4),
+                (2, 6),
+            ],
         );
         let t_max = 10usize;
         let mut dg = DynamicGraph::new(g);
@@ -300,8 +371,14 @@ mod tests {
         apply_correction(&mut central, dg.graph(), &applied, pruned);
         // Distributed repair.
         let csr = CsrGraph::from_adjacency(dg.graph());
-        let (bsp, _) =
-            run_correction_bsp(&state0, &csr, &applied, pruned, &HashPartitioner::new(3), Executor::Sequential);
+        let (bsp, _) = run_correction_bsp(
+            &state0,
+            &csr,
+            &applied,
+            pruned,
+            &HashPartitioner::new(3),
+            Executor::Sequential,
+        );
         check_consistency(&bsp, dg.graph()).unwrap();
         compare_states(&central, &bsp, 8, t_max as u32);
     }
@@ -323,7 +400,11 @@ mod tests {
     #[test]
     fn matches_centralized_on_mixed_batch() {
         for seed in 0..6 {
-            exercise(EditBatch::from_lists([(1, 7), (3, 5)], [(0, 1), (5, 6)]), seed, false);
+            exercise(
+                EditBatch::from_lists([(1, 7), (3, 5)], [(0, 1), (5, 6)]),
+                seed,
+                false,
+            );
         }
     }
 
@@ -339,7 +420,9 @@ mod tests {
         let g = AdjacencyGraph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
         let mut dg = DynamicGraph::new(g);
         let state0 = run_propagation(dg.graph(), 8, 3);
-        let applied = dg.apply(&EditBatch::from_lists([(0, 3)], [(1, 2)])).unwrap();
+        let applied = dg
+            .apply(&EditBatch::from_lists([(0, 3)], [(1, 2)]))
+            .unwrap();
         let csr = CsrGraph::from_adjacency(dg.graph());
         let p = HashPartitioner::new(3);
         let (a, _) = run_correction_bsp(&state0, &csr, &applied, false, &p, Executor::Sequential);
@@ -359,8 +442,14 @@ mod tests {
         let state0 = run_propagation(dg.graph(), t_max, 1);
         let applied = dg.apply(&EditBatch::from_lists([], [(0, 1)])).unwrap();
         let csr = CsrGraph::from_adjacency(dg.graph());
-        let (_, stats) =
-            run_correction_bsp(&state0, &csr, &applied, false, &HashPartitioner::new(4), Executor::Sequential);
+        let (_, stats) = run_correction_bsp(
+            &state0,
+            &csr,
+            &applied,
+            false,
+            &HashPartitioner::new(4),
+            Executor::Sequential,
+        );
         let scratch_cost = (2 * n * t_max) as u64;
         assert!(
             stats.total_messages() < scratch_cost / 4,
@@ -378,7 +467,10 @@ mod tests {
         let mut central = run_propagation(&g, 8, 5);
         let mut dg_b = DynamicGraph::new(g);
         let mut bsp_state = central.clone();
-        for (ins, del) in [(vec![(0u32, 2u32)], vec![(3u32, 4u32)]), (vec![(1, 3)], vec![(0, 2)])] {
+        for (ins, del) in [
+            (vec![(0u32, 2u32)], vec![(3u32, 4u32)]),
+            (vec![(1, 3)], vec![(0, 2)]),
+        ] {
             let batch = EditBatch::from_lists(ins, del);
             let applied_c = dg_c.apply(&batch).unwrap();
             apply_correction(&mut central, dg_c.graph(), &applied_c, false);

@@ -177,7 +177,9 @@ pub fn extract_communities(
         }
         for (iso, anchor) in [(u, v), (v, u)] {
             if !is_member(iso) && is_member(anchor) {
-                let c = communities.get_mut(&labels[anchor as usize]).expect("anchor community");
+                let c = communities
+                    .get_mut(&labels[anchor as usize])
+                    .expect("anchor community");
                 if !c.contains(&iso) {
                     c.push(iso);
                 }
@@ -188,13 +190,23 @@ pub fn extract_communities(
 }
 
 /// Full post-processing pipeline (centralized).
-pub fn postprocess(graph: &AdjacencyGraph, state: &LabelState, grid: Option<f64>) -> PostprocessResult {
+pub fn postprocess(
+    graph: &AdjacencyGraph,
+    state: &LabelState,
+    grid: Option<f64>,
+) -> PostprocessResult {
     let n = graph.num_vertices();
     let weights = edge_weights(graph, state);
     let tau2 = select_tau2(n, &weights);
     let (tau1, entropy) = select_tau1(n, &weights, tau2, grid);
     let cover = extract_communities(n, &weights, tau1, tau2);
-    PostprocessResult { cover, tau1, tau2, entropy, weights }
+    PostprocessResult {
+        cover,
+        tau1,
+        tau2,
+        entropy,
+        weights,
+    }
 }
 
 #[cfg(test)]
@@ -248,7 +260,10 @@ mod tests {
         let tau2 = select_tau2(6, &w);
         assert!((tau2 - 0.9).abs() < 1e-12);
         let (tau1, entropy) = select_tau1(6, &w, tau2, None);
-        assert!(tau1 > 0.3, "strong threshold must exclude the bridge, got {tau1}");
+        assert!(
+            tau1 > 0.3,
+            "strong threshold must exclude the bridge, got {tau1}"
+        );
         assert!(entropy > 0.0);
         let cover = extract_communities(6, &w, tau1, tau2);
         assert_eq!(cover.sizes(), vec![3, 3]);
@@ -287,7 +302,11 @@ mod tests {
         assert_eq!(cover.len(), 2);
         assert_eq!(cover.num_overlapping(5), 1);
         for c in cover.communities() {
-            assert!(c.contains(&2), "vertex 2 in both: {:?}", cover.communities());
+            assert!(
+                c.contains(&2),
+                "vertex 2 in both: {:?}",
+                cover.communities()
+            );
         }
     }
 
@@ -295,7 +314,10 @@ mod tests {
     fn grid_snapping_quantizes_tau1() {
         let w = vec![(0, 1, 0.923), (2, 3, 0.511), (1, 2, 0.1)];
         let (tau1, _) = select_tau1(4, &w, 0.1, Some(0.001));
-        assert!((tau1 * 1000.0).fract().abs() < 1e-9, "τ1 {tau1} not on 0.001 grid");
+        assert!(
+            (tau1 * 1000.0).fract().abs() < 1e-9,
+            "τ1 {tau1} not on 0.001 grid"
+        );
     }
 
     #[test]
@@ -312,10 +334,23 @@ mod tests {
         let state = run_propagation(&g, 60, 5);
         let result = postprocess(&g, &state, None);
         assert!(result.tau2 <= result.tau1 + 1e-12);
-        assert!(result.cover.len() >= 2, "cliques must separate: {:?}", result.cover.communities());
+        assert!(
+            result.cover.len() >= 2,
+            "cliques must separate: {:?}",
+            result.cover.communities()
+        );
         // Every vertex should be covered (paper's no-isolated principle).
-        assert_eq!(result.cover.covered_vertices().len(), 8, "{:?}", result.cover.communities());
-        let left = result.cover.communities().iter().any(|c| c.windows(2).count() >= 2 && c.contains(&0) && c.contains(&1));
+        assert_eq!(
+            result.cover.covered_vertices().len(),
+            8,
+            "{:?}",
+            result.cover.communities()
+        );
+        let left = result
+            .cover
+            .communities()
+            .iter()
+            .any(|c| c.windows(2).count() >= 2 && c.contains(&0) && c.contains(&1));
         assert!(left, "{:?}", result.cover.communities());
     }
 

@@ -68,10 +68,18 @@ impl VertexProgram for WeightProgram<'_> {
             // exposes the latest superstep's aggregates).
             ctx.remain_active();
         }
-        WeightState { owned: Vec::new(), max_incident: f64::NEG_INFINITY }
+        WeightState {
+            owned: Vec::new(),
+            max_incident: f64::NEG_INFINITY,
+        }
     }
 
-    fn step(&self, ctx: &mut Ctx<'_, WeightMsg>, state: &mut WeightState, inbox: &[(VertexId, WeightMsg)]) {
+    fn step(
+        &self,
+        ctx: &mut Ctx<'_, WeightMsg>,
+        state: &mut WeightState,
+        inbox: &[(VertexId, WeightMsg)],
+    ) {
         let v = ctx.vertex();
         let m = self.state.iterations() + 1;
         let mut my_hist: Option<Vec<(Label, u32)>> = None;
@@ -93,10 +101,9 @@ impl VertexProgram for WeightProgram<'_> {
         }
         match ctx.superstep() {
             1 => ctx.remain_active(),
-            2
-                if state.max_incident.is_finite() => {
-                    ctx.aggregate(state.max_incident);
-                }
+            2 if state.max_incident.is_finite() => {
+                ctx.aggregate(state.max_incident);
+            }
             _ => {}
         }
     }
@@ -159,7 +166,11 @@ pub fn postprocess_bsp_with_candidates(
     let tau2 = if tau2_agg.is_finite() { tau2_agg } else { 1.0 };
 
     // --- Phase 2: τ1 candidates via repeated filtered components ---
-    let mut distinct: Vec<f64> = weights.iter().map(|&(_, _, w)| w).filter(|&w| w >= tau2).collect();
+    let mut distinct: Vec<f64> = weights
+        .iter()
+        .map(|&(_, _, w)| w)
+        .filter(|&w| w >= tau2)
+        .collect();
     distinct.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     distinct.dedup();
     let candidates: Vec<f64> = if distinct.len() <= tau1_candidates || tau1_candidates < 2 {
@@ -208,7 +219,11 @@ pub fn postprocess_bsp_with_candidates(
             best = (tau, e);
         }
     }
-    let (tau1, entropy) = if best.1.is_finite() { best } else { (tau2, 0.0) };
+    let (tau1, entropy) = if best.1.is_finite() {
+        best
+    } else {
+        (tau2, 0.0)
+    };
 
     // --- Phase 3: final extraction (one more filtered run + attachment).
     let (_, final_stats) = distributed_components(
@@ -220,7 +235,16 @@ pub fn postprocess_bsp_with_candidates(
     );
     stats.extend(&final_stats);
     let cover = extract_communities(n, &weights, tau1, tau2);
-    (PostprocessResult { cover, tau1, tau2, entropy, weights }, stats)
+    (
+        PostprocessResult {
+            cover,
+            tau1,
+            tau2,
+            entropy,
+            weights,
+        },
+        stats,
+    )
 }
 
 #[cfg(test)]
@@ -249,11 +273,22 @@ mod tests {
         let csr = CsrGraph::from_adjacency(&g);
         let state = run_propagation(&g, 40, 7);
         let central = postprocess(&g, &state, None);
-        let (bsp, _) = postprocess_bsp_with_candidates(&csr, &state, &HashPartitioner::new(3), Executor::Sequential, usize::MAX);
+        let (bsp, _) = postprocess_bsp_with_candidates(
+            &csr,
+            &state,
+            &HashPartitioner::new(3),
+            Executor::Sequential,
+            usize::MAX,
+        );
         // Few distinct weights ⇒ the candidate set is exhaustive and the
         // sweep must find the same (τ1, τ2, cover).
         assert!((central.tau2 - bsp.tau2).abs() < 1e-12);
-        assert!((central.tau1 - bsp.tau1).abs() < 1e-12, "{} vs {}", central.tau1, bsp.tau1);
+        assert!(
+            (central.tau1 - bsp.tau1).abs() < 1e-12,
+            "{} vs {}",
+            central.tau1,
+            bsp.tau1
+        );
         assert_eq!(central.cover, bsp.cover);
         assert_eq!(central.weights, bsp.weights);
     }
@@ -263,7 +298,8 @@ mod tests {
         let g = two_cliques();
         let csr = CsrGraph::from_adjacency(&g);
         let state = run_propagation(&g, 40, 7);
-        let (_, stats) = postprocess_bsp(&csr, &state, &HashPartitioner::new(3), Executor::Sequential);
+        let (_, stats) =
+            postprocess_bsp(&csr, &state, &HashPartitioner::new(3), Executor::Sequential);
         // Histogram round: one message per edge, each ≥ 8 bytes/entry —
         // the O(|E|·T)-byte phase the paper charges to post-processing.
         assert!(stats.total_bytes() > (csr.num_edges() * 8) as u64);

@@ -26,7 +26,12 @@ pub fn draw_pick(
     neighbors: &[VertexId],
 ) -> (VertexId, u32) {
     debug_assert!(!neighbors.is_empty());
-    let key = PickKey { seed, vertex: v, iteration: t, epoch };
+    let key = PickKey {
+        seed,
+        vertex: v,
+        iteration: t,
+        epoch,
+    };
     let src = neighbors[key.bounded(Stream::Src, neighbors.len() as u64) as usize];
     let pos = key.bounded(Stream::Pos, u64::from(t)) as u32;
     (src, pos)
@@ -76,7 +81,11 @@ mod tests {
                 let (src, pos) = s.pick(v, t);
                 assert!(g.neighbors(v).contains(&src), "src must be a neighbor");
                 assert!(pos < t, "pos must reference an earlier slot");
-                assert_eq!(s.label(v, t), s.label(src, pos), "label consistent with provenance");
+                assert_eq!(
+                    s.label(v, t),
+                    s.label(src, pos),
+                    "label consistent with provenance"
+                );
             }
         }
         assert_eq!(s.total_records(), 3 * 10);
@@ -90,8 +99,12 @@ mod tests {
         assert_eq!(a.label_sequence(0), b.label_sequence(0));
         let c = run_propagation(&g, 20, 6);
         assert_ne!(
-            (0..3).map(|v| a.label_sequence(v).to_vec()).collect::<Vec<_>>(),
-            (0..3).map(|v| c.label_sequence(v).to_vec()).collect::<Vec<_>>()
+            (0..3)
+                .map(|v| a.label_sequence(v).to_vec())
+                .collect::<Vec<_>>(),
+            (0..3)
+                .map(|v| c.label_sequence(v).to_vec())
+                .collect::<Vec<_>>()
         );
     }
 
@@ -120,7 +133,10 @@ mod tests {
             counts[si * 4 + pos as usize] += 1;
         }
         let expected = trials as f64 / cells as f64;
-        let chi2: f64 = counts.iter().map(|&c| (c as f64 - expected).powi(2) / expected).sum();
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| (c as f64 - expected).powi(2) / expected)
+            .sum();
         // 7 dof, 99.9% critical value 24.3; generous margin.
         assert!(chi2 < 30.0, "chi2 = {chi2}, counts = {counts:?}");
     }
@@ -145,7 +161,10 @@ mod tests {
         // the received multiset.
         let mut count_b: std::collections::HashMap<u32, u64> = Default::default();
         for _ in 0..trials {
-            let m = [seqs[0][rng.bounded(3) as usize], seqs[1][rng.bounded(3) as usize]];
+            let m = [
+                seqs[0][rng.bounded(3) as usize],
+                seqs[1][rng.bounded(3) as usize],
+            ];
             *count_b.entry(m[rng.bounded(2) as usize]).or_insert(0) += 1;
         }
         for l in [1u32, 2, 3] {
@@ -156,7 +175,10 @@ mod tests {
         // And both match the analytic pooled frequency: 1:2/6, 2:2/6, 3:2/6.
         for l in [1u32, 2, 3] {
             let pa = *count_a.get(&l).unwrap_or(&0) as f64 / trials as f64;
-            assert!((pa - 1.0 / 3.0).abs() < 0.01, "label {l} analytic mismatch: {pa}");
+            assert!(
+                (pa - 1.0 / 3.0).abs() < 0.01,
+                "label {l} analytic mismatch: {pa}"
+            );
         }
     }
 }

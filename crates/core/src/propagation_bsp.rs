@@ -88,11 +88,20 @@ impl VertexProgram for PropagationProgram {
         state
     }
 
-    fn step(&self, ctx: &mut Ctx<'_, PropMsg>, state: &mut PropState, inbox: &[(VertexId, PropMsg)]) {
+    fn step(
+        &self,
+        ctx: &mut Ctx<'_, PropMsg>,
+        state: &mut PropState,
+        inbox: &[(VertexId, PropMsg)],
+    ) {
         for &(from, msg) in inbox {
             match msg {
                 PropMsg::Request { pos, t } => {
-                    state.records.push(Record { slot: pos, receiver: from, k: t });
+                    state.records.push(Record {
+                        slot: pos,
+                        receiver: from,
+                        k: t,
+                    });
                     let label = state.labels[pos as usize];
                     ctx.send(from, PropMsg::Reply { t, label });
                 }
@@ -120,7 +129,12 @@ pub fn run_propagation_bsp(
     partitioner: &dyn Partitioner,
     executor: Executor,
 ) -> (LabelState, RunStats) {
-    let mut engine = BspEngine::new(graph, PropagationProgram { t_max, seed }, partitioner, executor);
+    let mut engine = BspEngine::new(
+        graph,
+        PropagationProgram { t_max, seed },
+        partitioner,
+        executor,
+    );
     engine.run(2 * t_max + 2);
     let stats = engine.stats().clone();
     let n = graph.num_vertices();
@@ -160,9 +174,14 @@ mod tests {
         let g = ring_with_chords(16);
         let csr = CsrGraph::from_adjacency(&g);
         let central = run_propagation(&g, 12, 9);
-        let (bsp, _) = run_propagation_bsp(&csr, 12, 9, &HashPartitioner::new(4), Executor::Sequential);
+        let (bsp, _) =
+            run_propagation_bsp(&csr, 12, 9, &HashPartitioner::new(4), Executor::Sequential);
         for v in 0..16u32 {
-            assert_eq!(central.label_sequence(v), bsp.label_sequence(v), "vertex {v}");
+            assert_eq!(
+                central.label_sequence(v),
+                bsp.label_sequence(v),
+                "vertex {v}"
+            );
             for t in 1..=12u32 {
                 assert_eq!(central.pick(v, t), bsp.pick(v, t));
             }
@@ -187,7 +206,13 @@ mod tests {
         let g = ring_with_chords(20);
         let csr = CsrGraph::from_adjacency(&g);
         let t_max = 8;
-        let (_, stats) = run_propagation_bsp(&csr, t_max, 2, &HashPartitioner::new(4), Executor::Sequential);
+        let (_, stats) = run_propagation_bsp(
+            &csr,
+            t_max,
+            2,
+            &HashPartitioner::new(4),
+            Executor::Sequential,
+        );
         // One request + one reply per vertex per iteration, no isolated
         // vertices in this graph.
         assert_eq!(stats.total_messages(), (2 * 20 * t_max) as u64);
@@ -201,7 +226,8 @@ mod tests {
         let mut g = AdjacencyGraph::new(5);
         g.insert_edge(0, 1);
         let csr = CsrGraph::from_adjacency(&g);
-        let (state, stats) = run_propagation_bsp(&csr, 6, 3, &HashPartitioner::new(2), Executor::Sequential);
+        let (state, stats) =
+            run_propagation_bsp(&csr, 6, 3, &HashPartitioner::new(2), Executor::Sequential);
         assert_eq!(stats.total_messages(), 2 * 2 * 6);
         for v in 2..5u32 {
             assert!(state.label_sequence(v).iter().all(|&l| l == v));

@@ -172,7 +172,11 @@ impl LabelState {
     }
 
     /// Receivers of `(owner, slot)`, i.e. `R_owner^slot`.
-    pub fn receivers_of(&self, owner: VertexId, slot: u32) -> impl Iterator<Item = (VertexId, u32)> + '_ {
+    pub fn receivers_of(
+        &self,
+        owner: VertexId,
+        slot: u32,
+    ) -> impl Iterator<Item = (VertexId, u32)> + '_ {
         self.records[owner as usize]
             .iter()
             .filter(move |r| r.slot == slot)
@@ -218,7 +222,11 @@ impl LabelState {
             + self.src.len() * 4
             + self.pos.len() * 4
             + self.epoch.len() * 4
-            + self.records.iter().map(|r| r.len() * std::mem::size_of::<Record>() + 24).sum::<usize>()
+            + self
+                .records
+                .iter()
+                .map(|r| r.len() * std::mem::size_of::<Record>() + 24)
+                .sum::<usize>()
     }
 
     /// Grow the state to `n_new ≥ n` vertices (vertex insertion support);

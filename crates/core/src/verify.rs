@@ -13,7 +13,10 @@ use crate::state::{LabelState, NO_SOURCE};
 pub fn check_consistency(state: &LabelState, graph: &AdjacencyGraph) -> Result<(), String> {
     let n = state.num_vertices();
     if n != graph.num_vertices() {
-        return Err(format!("state has {n} vertices, graph {}", graph.num_vertices()));
+        return Err(format!(
+            "state has {n} vertices, graph {}",
+            graph.num_vertices()
+        ));
     }
     let t_max = state.iterations() as u32;
     let mut expected_records = 0usize;
@@ -32,12 +35,17 @@ pub fn check_consistency(state: &LabelState, graph: &AdjacencyGraph) -> Result<(
                     return Err(format!("vertex {v} t={t}: pick {src} but no neighbors"));
                 }
                 if state.label(v, t) != v {
-                    return Err(format!("isolated vertex {v} t={t}: label {}", state.label(v, t)));
+                    return Err(format!(
+                        "isolated vertex {v} t={t}: label {}",
+                        state.label(v, t)
+                    ));
                 }
                 continue;
             }
             if nbrs.binary_search(&src).is_err() {
-                return Err(format!("vertex {v} t={t}: src {src} is not a current neighbor"));
+                return Err(format!(
+                    "vertex {v} t={t}: src {src} is not a current neighbor"
+                ));
             }
             if pos >= t {
                 return Err(format!("vertex {v} t={t}: pos {pos} >= t"));
@@ -50,9 +58,14 @@ pub fn check_consistency(state: &LabelState, graph: &AdjacencyGraph) -> Result<(
                 ));
             }
             // The reverse record must exist exactly once.
-            let hits = state.receivers_of(src, pos).filter(|&(r, k)| r == v && k == t).count();
+            let hits = state
+                .receivers_of(src, pos)
+                .filter(|&(r, k)| r == v && k == t)
+                .count();
             if hits != 1 {
-                return Err(format!("vertex {v} t={t}: {hits} records at ({src}, {pos})"));
+                return Err(format!(
+                    "vertex {v} t={t}: {hits} records at ({src}, {pos})"
+                ));
             }
             expected_records += 1;
         }
@@ -75,7 +88,9 @@ pub fn check_consistency(state: &LabelState, graph: &AdjacencyGraph) -> Result<(
         }
     }
     if total != expected_records {
-        return Err(format!("record count {total} != expected {expected_records}"));
+        return Err(format!(
+            "record count {total} != expected {expected_records}"
+        ));
     }
     Ok(())
 }

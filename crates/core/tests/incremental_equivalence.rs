@@ -26,7 +26,18 @@ use rslpa_metrics::overlapping_nmi;
 fn base_graph() -> AdjacencyGraph {
     AdjacencyGraph::from_edges(
         8,
-        [(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (5, 6), (6, 7), (7, 4), (0, 4), (2, 6)],
+        [
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 0),
+            (4, 5),
+            (5, 6),
+            (6, 7),
+            (7, 4),
+            (0, 4),
+            (2, 6),
+        ],
     )
 }
 
@@ -55,8 +66,10 @@ fn repaired_pick_marginals_are_uniform() {
     let nbrs: Vec<u32> = base_graph().neighbors(probe_v).to_vec();
     assert_eq!(nbrs, vec![1, 3, 4], "fixture sanity");
     let new_nbrs = [3u32, 4u32];
-    let cells: Vec<(u32, u32)> =
-        new_nbrs.iter().flat_map(|&s| (0..probe_t).map(move |p| (s, p))).collect();
+    let cells: Vec<(u32, u32)> = new_nbrs
+        .iter()
+        .flat_map(|&s| (0..probe_t).map(move |p| (s, p)))
+        .collect();
     // Every observed pick must be legal.
     for &(src, pos) in counts.keys() {
         assert!(new_nbrs.contains(&src), "illegal src {src}");
@@ -97,8 +110,11 @@ fn repaired_label_marginals_match_scratch() {
         }
     }
     for (i, &(v, t)) in probes.iter().enumerate() {
-        let labels: std::collections::HashSet<u32> =
-            inc_counts[i].keys().chain(scr_counts[i].keys()).copied().collect();
+        let labels: std::collections::HashSet<u32> = inc_counts[i]
+            .keys()
+            .chain(scr_counts[i].keys())
+            .copied()
+            .collect();
         let tv: f64 = labels
             .iter()
             .map(|l| {
@@ -161,7 +177,10 @@ fn consecutive_batches_remain_consistent() {
 /// repair score the same NMI (vs ground truth) as a from-scratch rerun.
 #[test]
 fn nmi_after_incremental_matches_scratch_on_lfr() {
-    let params = LfrParams { seed: 21, ..LfrParams::scaled(400) };
+    let params = LfrParams {
+        seed: 21,
+        ..LfrParams::scaled(400)
+    };
     let instance = params.generate().expect("LFR generation");
     let n = instance.graph.num_vertices();
     let t_max = 60usize;
@@ -169,7 +188,8 @@ fn nmi_after_incremental_matches_scratch_on_lfr() {
     let mut nmi_scr = 0.0;
     let runs = 3;
     for seed in 0..runs {
-        let mut detector = RslpaDetector::new(instance.graph.clone(), RslpaConfig::quick(t_max, seed));
+        let mut detector =
+            RslpaDetector::new(instance.graph.clone(), RslpaConfig::quick(t_max, seed));
         let batch = rslpa_gen::edits::uniform_batch(detector.graph(), 40, seed + 7);
         detector.apply_batch(&batch).unwrap();
         let inc_cover = detector.detect().result.cover;

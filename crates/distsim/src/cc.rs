@@ -77,7 +77,12 @@ impl<F: Fn(VertexId, VertexId) -> bool + Sync> VertexProgram for HashToMin<F> {
         c
     }
 
-    fn step(&self, ctx: &mut Ctx<'_, Self::Msg>, state: &mut Cluster, inbox: &[(VertexId, Self::Msg)]) {
+    fn step(
+        &self,
+        ctx: &mut Ctx<'_, Self::Msg>,
+        state: &mut Cluster,
+        inbox: &[(VertexId, Self::Msg)],
+    ) {
         // New cluster = union of all received sets (k-way sorted merge via
         // collect + sort + dedup; received sets are small in practice).
         let mut next: Cluster = inbox.iter().flat_map(|(_, c)| c.iter().copied()).collect();
@@ -133,7 +138,13 @@ mod tests {
     #[test]
     fn matches_union_find_on_small_graph() {
         let g = csr(7, &[(0, 1), (1, 2), (3, 4), (5, 6)]);
-        let (labels, _) = distributed_components(&g, |_, _| true, &HashPartitioner::new(3), Executor::Sequential, 100);
+        let (labels, _) = distributed_components(
+            &g,
+            |_, _| true,
+            &HashPartitioner::new(3),
+            Executor::Sequential,
+            100,
+        );
         let oracle = connected_components(7, g.edges());
         assert_eq!(labels, oracle);
     }
@@ -143,7 +154,13 @@ mod tests {
         // Path 0-1-2-3; filtering out (1,2) yields {0,1} and {2,3}.
         let g = csr(4, &[(0, 1), (1, 2), (2, 3)]);
         let keep = |u: u32, v: u32| !(u.min(v) == 1 && u.max(v) == 2);
-        let (labels, _) = distributed_components(&g, keep, &HashPartitioner::new(2), Executor::Sequential, 100);
+        let (labels, _) = distributed_components(
+            &g,
+            keep,
+            &HashPartitioner::new(2),
+            Executor::Sequential,
+            100,
+        );
         assert_eq!(labels, vec![0, 0, 2, 2]);
     }
 
@@ -152,8 +169,13 @@ mod tests {
         let n = 256;
         let edges: Vec<_> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
         let g = csr(n, &edges);
-        let (labels, stats) =
-            distributed_components(&g, |_, _| true, &HashPartitioner::new(4), Executor::Sequential, 1000);
+        let (labels, stats) = distributed_components(
+            &g,
+            |_, _| true,
+            &HashPartitioner::new(4),
+            Executor::Sequential,
+            1000,
+        );
         assert!(labels.iter().all(|&l| l == 0));
         // Diameter 255; naive min-propagation needs ~255 rounds. Hash-to-min
         // must be far below (O(log d) ≈ 8–30 with constants).
@@ -184,7 +206,13 @@ mod tests {
     #[test]
     fn isolated_vertices_label_themselves() {
         let g = csr(3, &[]);
-        let (labels, stats) = distributed_components(&g, |_, _| true, &HashPartitioner::new(2), Executor::Sequential, 10);
+        let (labels, stats) = distributed_components(
+            &g,
+            |_, _| true,
+            &HashPartitioner::new(2),
+            Executor::Sequential,
+            10,
+        );
         assert_eq!(labels, vec![0, 1, 2]);
         assert!(stats.rounds() <= 2, "no traffic means immediate quiescence");
     }

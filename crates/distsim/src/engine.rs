@@ -11,7 +11,7 @@ pub enum Executor {
     /// One logical worker at a time, in worker order. Deterministic and
     /// allocation-friendly; the default for tests.
     Sequential,
-    /// One OS thread per worker via crossbeam scoped threads. Produces
+    /// One OS thread per worker via `std::thread::scope`. Produces
     /// bit-identical results to `Sequential` (inboxes are canonically
     /// ordered at consumption).
     Parallel,
@@ -58,7 +58,12 @@ where
     P::State: Send,
 {
     /// Plan an engine over `graph` with the given partitioner and executor.
-    pub fn new(graph: &'g CsrGraph, program: P, partitioner: &dyn Partitioner, executor: Executor) -> Self {
+    pub fn new(
+        graph: &'g CsrGraph,
+        program: P,
+        partitioner: &dyn Partitioner,
+        executor: Executor,
+    ) -> Self {
         let n = graph.num_vertices();
         let num_workers = partitioner.num_parts();
         let mut owner = vec![0u32; n];
@@ -70,9 +75,18 @@ where
             local_idx[v as usize] = worker_vertices[w].len() as u32;
             worker_vertices[w].push(v);
         }
-        let worker_inboxes = worker_vertices.iter().map(|vs| vec![Vec::new(); vs.len()]).collect();
-        let worker_active = worker_vertices.iter().map(|vs| vec![false; vs.len()]).collect();
-        let worker_states = worker_vertices.iter().map(|vs| Vec::with_capacity(vs.len())).collect();
+        let worker_inboxes = worker_vertices
+            .iter()
+            .map(|vs| vec![Vec::new(); vs.len()])
+            .collect();
+        let worker_active = worker_vertices
+            .iter()
+            .map(|vs| vec![false; vs.len()])
+            .collect();
+        let worker_states = worker_vertices
+            .iter()
+            .map(|vs| Vec::with_capacity(vs.len()))
+            .collect();
         Self {
             graph,
             program,
@@ -141,7 +155,7 @@ where
                 let states = &mut self.worker_states;
                 let inboxes = &mut self.worker_inboxes;
                 let actives = &mut self.worker_active;
-                crossbeam::thread::scope(|scope| {
+                std::thread::scope(|scope| {
                     let mut handles = Vec::with_capacity(num_workers);
                     for (((vs, st), ib), ac) in vertices
                         .iter()
@@ -149,13 +163,17 @@ where
                         .zip(inboxes.iter_mut())
                         .zip(actives.iter_mut())
                     {
-                        handles.push(scope.spawn(move |_| {
-                            Self::run_worker(graph, program, superstep, init_round, vs, st, ib, ac, aggregates)
+                        handles.push(scope.spawn(move || {
+                            Self::run_worker(
+                                graph, program, superstep, init_round, vs, st, ib, ac, aggregates,
+                            )
                         }));
                     }
-                    handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("worker panicked"))
+                        .collect()
                 })
-                .expect("scope panicked")
             }
         };
 
@@ -259,7 +277,8 @@ where
             actives[i] = keep;
             out.processed += 1;
             out.compute += 1 + inbox.len() as u64;
-            out.outbox.extend(vertex_outbox.into_iter().map(|(to, msg)| (to, v, msg)));
+            out.outbox
+                .extend(vertex_outbox.into_iter().map(|(to, msg)| (to, v, msg)));
         }
         out
     }
@@ -359,7 +378,12 @@ mod tests {
     #[test]
     fn max_flood_converges_on_path() {
         let g = path_graph(6);
-        let mut eng = BspEngine::new(&g, MaxFlood { rounds: 100 }, &HashPartitioner::new(3), Executor::Sequential);
+        let mut eng = BspEngine::new(
+            &g,
+            MaxFlood { rounds: 100 },
+            &HashPartitioner::new(3),
+            Executor::Sequential,
+        );
         eng.run(100);
         for v in 0..6 {
             assert_eq!(*eng.state(v), 5, "vertex {v} should see the max id");
@@ -382,7 +406,12 @@ mod tests {
     #[test]
     fn stats_count_messages_and_rounds() {
         let g = path_graph(4); // edges: 0-1, 1-2, 2-3
-        let mut eng = BspEngine::new(&g, MaxFlood { rounds: 100 }, &HashPartitioner::new(2), Executor::Sequential);
+        let mut eng = BspEngine::new(
+            &g,
+            MaxFlood { rounds: 100 },
+            &HashPartitioner::new(2),
+            Executor::Sequential,
+        );
         eng.run(100);
         let stats = eng.stats();
         // Init superstep sends one message per half-edge = 6 messages.
@@ -396,17 +425,30 @@ mod tests {
     #[test]
     fn remote_messages_do_not_exceed_total() {
         let g = path_graph(20);
-        let mut eng = BspEngine::new(&g, MaxFlood { rounds: 100 }, &HashPartitioner::new(4), Executor::Sequential);
+        let mut eng = BspEngine::new(
+            &g,
+            MaxFlood { rounds: 100 },
+            &HashPartitioner::new(4),
+            Executor::Sequential,
+        );
         eng.run(100);
         let s = eng.stats();
         assert!(s.total_remote_messages() <= s.total_messages());
-        assert!(s.total_remote_messages() > 0, "hash partition of a path must cut edges");
+        assert!(
+            s.total_remote_messages() > 0,
+            "hash partition of a path must cut edges"
+        );
     }
 
     #[test]
     fn single_worker_has_no_remote_traffic() {
         let g = path_graph(10);
-        let mut eng = BspEngine::new(&g, MaxFlood { rounds: 100 }, &HashPartitioner::new(1), Executor::Sequential);
+        let mut eng = BspEngine::new(
+            &g,
+            MaxFlood { rounds: 100 },
+            &HashPartitioner::new(1),
+            Executor::Sequential,
+        );
         eng.run(100);
         assert_eq!(eng.stats().total_remote_messages(), 0);
     }
@@ -414,7 +456,12 @@ mod tests {
     #[test]
     fn into_states_is_vertex_ordered() {
         let g = path_graph(10);
-        let mut eng = BspEngine::new(&g, MaxFlood { rounds: 0 }, &HashPartitioner::new(3), Executor::Sequential);
+        let mut eng = BspEngine::new(
+            &g,
+            MaxFlood { rounds: 0 },
+            &HashPartitioner::new(3),
+            Executor::Sequential,
+        );
         eng.run(1);
         let states = eng.into_states();
         assert_eq!(states.len(), 10);
@@ -450,7 +497,12 @@ mod tests {
     #[test]
     fn aggregates_visible_next_superstep() {
         let g = path_graph(5); // degrees: 1,2,2,2,1 -> min 1, max 2, sum 8
-        let mut eng = BspEngine::new(&g, DegreeAgg, &HashPartitioner::new(2), Executor::Sequential);
+        let mut eng = BspEngine::new(
+            &g,
+            DegreeAgg,
+            &HashPartitioner::new(2),
+            Executor::Sequential,
+        );
         eng.run(2);
         for v in 0..5 {
             let &(min, max, sum) = eng.state(v);
@@ -461,7 +513,12 @@ mod tests {
     #[test]
     fn quiescence_detected() {
         let g = path_graph(3);
-        let mut eng = BspEngine::new(&g, MaxFlood { rounds: 100 }, &HashPartitioner::new(2), Executor::Sequential);
+        let mut eng = BspEngine::new(
+            &g,
+            MaxFlood { rounds: 100 },
+            &HashPartitioner::new(2),
+            Executor::Sequential,
+        );
         // Run with a generous budget; engine must stop early.
         eng.run(1000);
         assert!(eng.stats().rounds() < 20);

@@ -8,7 +8,7 @@
 //! * [`VertexProgram`] — Pregel-style per-vertex compute with message
 //!   passing, aggregators, and vote-to-halt semantics.
 //! * [`BspEngine`] — runs a program over a partitioned graph with either a
-//!   deterministic sequential executor or a crossbeam-threaded executor.
+//!   deterministic sequential executor or a scoped-thread parallel executor.
 //!   Both produce **bit-identical** results (messages are delivered in a
 //!   canonical order), so tests run sequentially and benches in parallel.
 //! * [`RunStats`]/[`CostModel`] — per-superstep message/byte accounting and

@@ -20,7 +20,12 @@ pub struct Aggregates {
 
 impl Default for Aggregates {
     fn default() -> Self {
-        Self { sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, count: 0 }
+        Self {
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            count: 0,
+        }
     }
 }
 
@@ -139,7 +144,12 @@ pub trait VertexProgram: Sync {
 
     /// Process the inbox at superstep ≥ 1. `inbox` holds `(sender, msg)`
     /// pairs in canonical order.
-    fn step(&self, ctx: &mut Ctx<'_, Self::Msg>, state: &mut Self::State, inbox: &[(VertexId, Self::Msg)]);
+    fn step(
+        &self,
+        ctx: &mut Ctx<'_, Self::Msg>,
+        state: &mut Self::State,
+        inbox: &[(VertexId, Self::Msg)],
+    );
 
     /// Serialized size of one message, for byte accounting. The default
     /// charges the in-memory payload size; variable-size payloads (label

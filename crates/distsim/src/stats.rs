@@ -91,7 +91,11 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        Self { round_latency: 5e-3, network_bandwidth: 1e9, compute_rate: 5e7 }
+        Self {
+            round_latency: 5e-3,
+            network_bandwidth: 1e9,
+            compute_rate: 5e7,
+        }
     }
 }
 
@@ -103,7 +107,10 @@ impl CostModel {
     /// the algorithms. Scaling the barrier with the data keeps the
     /// volume-to-latency ratio in the paper's regime.
     pub fn low_latency() -> Self {
-        Self { round_latency: 2e-4, ..Self::default() }
+        Self {
+            round_latency: 2e-4,
+            ..Self::default()
+        }
     }
 }
 
@@ -115,8 +122,18 @@ mod tests {
     fn totals_sum_over_supersteps() {
         let stats = RunStats {
             supersteps: vec![
-                SuperstepStats { messages: 10, bytes: 80, active_vertices: 5, ..Default::default() },
-                SuperstepStats { messages: 3, bytes: 24, active_vertices: 2, ..Default::default() },
+                SuperstepStats {
+                    messages: 10,
+                    bytes: 80,
+                    active_vertices: 5,
+                    ..Default::default()
+                },
+                SuperstepStats {
+                    messages: 3,
+                    bytes: 24,
+                    active_vertices: 2,
+                    ..Default::default()
+                },
             ],
         };
         assert_eq!(stats.rounds(), 2);
@@ -127,10 +144,18 @@ mod tests {
 
     #[test]
     fn simulated_time_charges_latency_per_round() {
-        let model = CostModel { round_latency: 1.0, network_bandwidth: 1.0, compute_rate: 1.0 };
+        let model = CostModel {
+            round_latency: 1.0,
+            network_bandwidth: 1.0,
+            compute_rate: 1.0,
+        };
         let stats = RunStats {
             supersteps: vec![
-                SuperstepStats { max_worker_remote_bytes: 2, max_worker_compute: 3, ..Default::default() },
+                SuperstepStats {
+                    max_worker_remote_bytes: 2,
+                    max_worker_compute: 3,
+                    ..Default::default()
+                },
                 SuperstepStats::default(),
             ],
         };
@@ -140,8 +165,12 @@ mod tests {
 
     #[test]
     fn extend_concatenates_phases() {
-        let mut a = RunStats { supersteps: vec![SuperstepStats::default()] };
-        let b = RunStats { supersteps: vec![SuperstepStats::default(); 2] };
+        let mut a = RunStats {
+            supersteps: vec![SuperstepStats::default()],
+        };
+        let b = RunStats {
+            supersteps: vec![SuperstepStats::default(); 2],
+        };
         a.extend(&b);
         assert_eq!(a.rounds(), 3);
     }

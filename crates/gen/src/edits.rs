@@ -62,7 +62,9 @@ pub fn targeted_batch(
     let n = graph.num_vertices();
     let memberships = cover.memberships(n);
     let shares = |u: VertexId, v: VertexId| -> bool {
-        memberships[u as usize].iter().any(|c| memberships[v as usize].contains(c))
+        memberships[u as usize]
+            .iter()
+            .any(|c| memberships[v as usize].contains(c))
     };
     let mut rng = DetRng::new(seed);
     let del_target = size / 2;
@@ -98,7 +100,10 @@ pub fn targeted_batch(
     let mut guard = 0usize;
     while insertions.len() < ins_target {
         guard += 1;
-        assert!(guard < 1000 * ins_target + 100_000, "insertion sampling stuck");
+        assert!(
+            guard < 1000 * ins_target + 100_000,
+            "insertion sampling stuck"
+        );
         let u = rng.bounded(n as u64) as VertexId;
         let v = rng.bounded(n as u64) as VertexId;
         if u == v || graph.has_edge(u, v) {
@@ -123,7 +128,11 @@ fn sample_existing_edges(
     count: usize,
     rng: &mut DetRng,
 ) -> Vec<(VertexId, VertexId)> {
-    assert!(count <= graph.num_edges(), "cannot delete {count} of {} edges", graph.num_edges());
+    assert!(
+        count <= graph.num_edges(),
+        "cannot delete {count} of {} edges",
+        graph.num_edges()
+    );
     let mut edges: Vec<(VertexId, VertexId)> = graph.edges().collect();
     // Partial Fisher–Yates: shuffle only the prefix we need.
     for i in 0..count {
@@ -151,7 +160,10 @@ fn sample_non_edges(
     let mut guard = 0usize;
     while out.len() < count {
         guard += 1;
-        assert!(guard < 1000 * count + 1_000_000, "non-edge sampling stuck (graph too dense?)");
+        assert!(
+            guard < 1000 * count + 1_000_000,
+            "non-edge sampling stuck (graph too dense?)"
+        );
         let u = rng.bounded(n) as VertexId;
         let v = rng.bounded(n) as VertexId;
         if u == v || graph.has_edge(u, v) {
@@ -213,21 +225,54 @@ mod tests {
 
     #[test]
     fn targeted_batches_validate_and_bias() {
-        let lfr = crate::lfr::LfrParams { seed: 3, ..crate::lfr::LfrParams::scaled(400) };
+        let lfr = crate::lfr::LfrParams {
+            seed: 3,
+            ..crate::lfr::LfrParams::scaled(400)
+        };
         let inst = lfr.generate().unwrap();
         let n = inst.graph.num_vertices();
         let memb = inst.ground_truth.memberships(n);
-        let shares = |u: VertexId, v: VertexId| memb[u as usize].iter().any(|c| memb[v as usize].contains(c));
+        let shares = |u: VertexId, v: VertexId| {
+            memb[u as usize]
+                .iter()
+                .any(|c| memb[v as usize].contains(c))
+        };
 
-        let cons = targeted_batch(&inst.graph, &inst.ground_truth, EditWorkload::Consolidating, 60, 4);
+        let cons = targeted_batch(
+            &inst.graph,
+            &inst.ground_truth,
+            EditWorkload::Consolidating,
+            60,
+            4,
+        );
         assert!(cons.validate(&inst.graph).is_ok());
-        let intra_ins = cons.insertions().iter().filter(|&&(u, v)| shares(u, v)).count();
-        assert!(intra_ins * 2 > cons.insertions().len(), "consolidating batch should insert mostly intra");
+        let intra_ins = cons
+            .insertions()
+            .iter()
+            .filter(|&&(u, v)| shares(u, v))
+            .count();
+        assert!(
+            intra_ins * 2 > cons.insertions().len(),
+            "consolidating batch should insert mostly intra"
+        );
 
-        let erode = targeted_batch(&inst.graph, &inst.ground_truth, EditWorkload::Eroding, 60, 4);
+        let erode = targeted_batch(
+            &inst.graph,
+            &inst.ground_truth,
+            EditWorkload::Eroding,
+            60,
+            4,
+        );
         assert!(erode.validate(&inst.graph).is_ok());
-        let intra_del = erode.deletions().iter().filter(|&&(u, v)| shares(u, v)).count();
-        assert!(intra_del * 2 > erode.deletions().len(), "eroding batch should delete mostly intra");
+        let intra_del = erode
+            .deletions()
+            .iter()
+            .filter(|&&(u, v)| shares(u, v))
+            .count();
+        assert!(
+            intra_del * 2 > erode.deletions().len(),
+            "eroding batch should delete mostly intra"
+        );
     }
 
     #[test]

@@ -85,6 +85,9 @@ mod tests {
     fn degrees_are_roughly_uniform() {
         let g = erdos_renyi(200, 2000, 5); // expected degree 20
         let max = g.max_degree();
-        assert!((10..=40).contains(&max.min(40)), "max degree {max} implausible for ER");
+        assert!(
+            (10..=40).contains(&max.min(40)),
+            "max degree {max} implausible for ER"
+        );
     }
 }

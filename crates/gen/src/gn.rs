@@ -25,7 +25,13 @@ pub struct GnParams {
 
 impl Default for GnParams {
     fn default() -> Self {
-        Self { groups: 4, group_size: 32, z_in: 14.0, z_out: 2.0, seed: 1 }
+        Self {
+            groups: 4,
+            group_size: 32,
+            z_in: 14.0,
+            z_out: 2.0,
+            seed: 1,
+        }
     }
 }
 
@@ -97,13 +103,21 @@ mod tests {
         let a = gn_benchmark(&GnParams::default()).0;
         let b = gn_benchmark(&GnParams::default()).0;
         assert_eq!(a, b);
-        let c = gn_benchmark(&GnParams { seed: 2, ..Default::default() }).0;
+        let c = gn_benchmark(&GnParams {
+            seed: 2,
+            ..Default::default()
+        })
+        .0;
         assert_ne!(a, c);
     }
 
     #[test]
     fn single_group_has_no_external_edges() {
-        let (g, cover) = gn_benchmark(&GnParams { groups: 1, group_size: 16, ..Default::default() });
+        let (g, cover) = gn_benchmark(&GnParams {
+            groups: 1,
+            group_size: 16,
+            ..Default::default()
+        });
         assert_eq!(cover.len(), 1);
         assert!(g.num_edges() > 0);
     }

@@ -100,8 +100,9 @@ impl LfrParams {
     /// Derived smallest community size.
     fn minc(&self) -> usize {
         self.min_community.unwrap_or_else(|| {
-            let kmin = PowerLaw::solve_min_for_mean(self.avg_degree, self.max_degree as f64, self.tau1)
-                .unwrap_or(self.avg_degree / 2.0);
+            let kmin =
+                PowerLaw::solve_min_for_mean(self.avg_degree, self.max_degree as f64, self.tau1)
+                    .unwrap_or(self.avg_degree / 2.0);
             ((Self::SLACK * (1.0 - self.mixing) * kmin).ceil() as usize + 2).max(6)
         })
     }
@@ -110,7 +111,8 @@ impl LfrParams {
     /// internal degree, `(1-µ)·maxk` for a non-overlapping hub, with slack.
     fn maxc(&self) -> usize {
         self.max_community.unwrap_or_else(|| {
-            let need = (Self::SLACK * (1.0 - self.mixing) * self.max_degree as f64).ceil() as usize + 3;
+            let need =
+                (Self::SLACK * (1.0 - self.mixing) * self.max_degree as f64).ceil() as usize + 3;
             need.max(2 * self.minc())
         })
     }
@@ -189,7 +191,9 @@ impl LfrParams {
         let kmin = PowerLaw::solve_min_for_mean(self.avg_degree, self.max_degree as f64, self.tau1)
             .ok_or_else(|| LfrError("cannot match average degree".into()))?;
         let degree_dist = PowerLaw::new(kmin, self.max_degree as f64, self.tau1);
-        let mut degree: Vec<usize> = (0..n).map(|_| degree_dist.sample(&mut rng).min(self.max_degree)).collect();
+        let mut degree: Vec<usize> = (0..n)
+            .map(|_| degree_dist.sample(&mut rng).min(self.max_degree))
+            .collect();
 
         // --- pick which vertices overlap ---
         let mut ids: Vec<VertexId> = (0..n as VertexId).collect();
@@ -216,7 +220,9 @@ impl LfrParams {
         }
         let total_memberships: usize = (0..n).map(|v| om_of(v as VertexId)).sum();
         if total_memberships < minc {
-            return Err(LfrError("fewer memberships than one minimum community".into()));
+            return Err(LfrError(
+                "fewer memberships than one minimum community".into(),
+            ));
         }
         let size_dist = PowerLaw::new(minc as f64, maxc as f64, self.tau2);
         let mut sizes: Vec<usize> = Vec::new();
@@ -238,7 +244,9 @@ impl LfrParams {
         }
         if excess > 0 {
             // All at minc: drop one community, push the remainder onto others.
-            let dropped = sizes.pop().ok_or_else(|| LfrError("no communities".into()))?;
+            let dropped = sizes
+                .pop()
+                .ok_or_else(|| LfrError("no communities".into()))?;
             let mut grow = dropped - excess;
             for s in sizes.iter_mut() {
                 let add = grow.min(maxc - *s);
@@ -254,7 +262,9 @@ impl LfrParams {
         }
         let num_comms = sizes.len();
         if num_comms < 2 {
-            return Err(LfrError("need at least two communities; raise n or lower maxc".into()));
+            return Err(LfrError(
+                "need at least two communities; raise n or lower maxc".into(),
+            ));
         }
 
         // --- 4. membership assignment, hardest-first randomized ---
@@ -280,7 +290,10 @@ impl LfrParams {
             feasible.clear();
             let need = ((Self::SLACK * share as f64).ceil() as usize).max(share + 1);
             for c in 0..num_comms {
-                if remaining[c] > 0 && sizes[c] > need && !member_of[v as usize].contains(&(c as u32)) {
+                if remaining[c] > 0
+                    && sizes[c] > need
+                    && !member_of[v as usize].contains(&(c as u32))
+                {
                     feasible.push(c as u32);
                 }
             }
@@ -288,12 +301,16 @@ impl LfrParams {
                 // Relax the slack rather than dead-ending: strict LFR
                 // feasibility (share < size) is still enforced.
                 for c in 0..num_comms {
-                    if remaining[c] > 0 && sizes[c] > share && !member_of[v as usize].contains(&(c as u32)) {
+                    if remaining[c] > 0
+                        && sizes[c] > share
+                        && !member_of[v as usize].contains(&(c as u32))
+                    {
                         feasible.push(c as u32);
                     }
                 }
             }
-            let Some(&c) = (!feasible.is_empty()).then(|| &feasible[rng.bounded(feasible.len() as u64) as usize])
+            let Some(&c) = (!feasible.is_empty())
+                .then(|| &feasible[rng.bounded(feasible.len() as u64) as usize])
             else {
                 return Err(LfrError(format!(
                     "membership assignment dead end (vertex {v}, share {share})"
@@ -334,7 +351,10 @@ impl LfrParams {
                 let omv = om_of(v);
                 let base = internal[v as usize] / omv;
                 let rem = internal[v as usize] % omv;
-                let idx = member_of[v as usize].iter().position(|&x| x == c as u32).expect("member");
+                let idx = member_of[v as usize]
+                    .iter()
+                    .position(|&x| x == c as u32)
+                    .expect("member");
                 // Deterministic share split: the first `rem` memberships in
                 // sorted community order get the +1.
                 let share = (base + usize::from(idx < rem)).min(sizes[c] - 1);
@@ -344,9 +364,10 @@ impl LfrParams {
                 stubs.pop();
                 dropped += 1;
             }
-            dropped += wire_configuration(&mut graph, &mut stubs, &mut rng, Some(&pool), |u, v, g| {
-                u == v || g.has_edge(u, v)
-            });
+            dropped +=
+                wire_configuration(&mut graph, &mut stubs, &mut rng, Some(&pool), |u, v, g| {
+                    u == v || g.has_edge(u, v)
+                });
         }
 
         // 5b. external configuration model over all remaining stubs.
@@ -373,8 +394,17 @@ impl LfrParams {
                 external_edges += 1;
             }
         }
-        let achieved_mixing = if total_edges == 0 { 0.0 } else { external_edges as f64 / total_edges as f64 };
-        Ok(LfrGraph { graph, ground_truth, achieved_mixing, dropped_stubs: dropped })
+        let achieved_mixing = if total_edges == 0 {
+            0.0
+        } else {
+            external_edges as f64 / total_edges as f64
+        };
+        Ok(LfrGraph {
+            graph,
+            ground_truth,
+            achieved_mixing,
+            dropped_stubs: dropped,
+        })
     }
 }
 
@@ -509,7 +539,10 @@ mod tests {
     use super::*;
 
     fn small_params() -> LfrParams {
-        LfrParams { seed: 7, ..LfrParams::scaled(600) }
+        LfrParams {
+            seed: 7,
+            ..LfrParams::scaled(600)
+        }
     }
 
     #[test]
@@ -561,7 +594,11 @@ mod tests {
 
     #[test]
     fn membership_multiplicity_is_om() {
-        let p = LfrParams { memberships: 3, seed: 9, ..LfrParams::scaled(600) };
+        let p = LfrParams {
+            memberships: 3,
+            seed: 9,
+            ..LfrParams::scaled(600)
+        };
         let g = p.generate().unwrap();
         let m = g.ground_truth.memberships(600);
         let with_three = m.iter().filter(|x| x.len() == 3).count();
@@ -575,7 +612,10 @@ mod tests {
         let g = p.generate().unwrap();
         let (minc, maxc) = (p.minc(), p.maxc());
         for s in g.ground_truth.sizes() {
-            assert!((minc..=maxc).contains(&s), "size {s} outside [{minc}, {maxc}]");
+            assert!(
+                (minc..=maxc).contains(&s),
+                "size {s} outside [{minc}, {maxc}]"
+            );
         }
     }
 
@@ -599,7 +639,9 @@ mod tests {
         let mut intra = 0usize;
         let mut inter = 0usize;
         for (u, v) in g.graph.edges() {
-            let shared = memb[u as usize].iter().any(|c| memb[v as usize].contains(c));
+            let shared = memb[u as usize]
+                .iter()
+                .any(|c| memb[v as usize].contains(c));
             if shared {
                 intra += 1;
             } else {
@@ -624,11 +666,25 @@ mod tests {
 
     #[test]
     fn rejects_bad_parameters() {
-        assert!(LfrParams { mixing: 1.5, ..LfrParams::scaled(200) }.generate().is_err());
-        assert!(LfrParams { overlapping_vertices: 999, ..LfrParams::scaled(200) }.generate().is_err());
-        assert!(LfrParams { avg_degree: 50.0, max_degree: 40, ..LfrParams::scaled(200) }
-            .generate()
-            .is_err());
+        assert!(LfrParams {
+            mixing: 1.5,
+            ..LfrParams::scaled(200)
+        }
+        .generate()
+        .is_err());
+        assert!(LfrParams {
+            overlapping_vertices: 999,
+            ..LfrParams::scaled(200)
+        }
+        .generate()
+        .is_err());
+        assert!(LfrParams {
+            avg_degree: 50.0,
+            max_degree: 40,
+            ..LfrParams::scaled(200)
+        }
+        .generate()
+        .is_err());
     }
 
     #[test]

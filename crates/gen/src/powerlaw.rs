@@ -24,7 +24,10 @@ pub struct PowerLaw {
 impl PowerLaw {
     /// New distribution; panics on degenerate bounds.
     pub fn new(min: f64, max: f64, exponent: f64) -> Self {
-        assert!(min > 0.0 && max >= min, "need 0 < min <= max, got [{min}, {max}]");
+        assert!(
+            min > 0.0 && max >= min,
+            "need 0 < min <= max, got [{min}, {max}]"
+        );
         assert!(exponent > 0.0, "exponent must be positive");
         Self { min, max, exponent }
     }
@@ -111,7 +114,10 @@ mod tests {
         let sum: f64 = (0..n).map(|_| pl.sample_continuous(&mut rng)).sum();
         let emp = sum / n as f64;
         let ana = pl.mean();
-        assert!((emp - ana).abs() / ana < 0.02, "empirical {emp} vs analytic {ana}");
+        assert!(
+            (emp - ana).abs() / ana < 0.02,
+            "empirical {emp} vs analytic {ana}"
+        );
     }
 
     #[test]

@@ -42,7 +42,15 @@ impl RmatParams {
     /// samples, which after symmetrize/dedupe lands near that average.
     pub fn web(scale: u32, seed: u64) -> Self {
         let n = 1usize << scale;
-        Self { scale, edges: n * 13, a: 0.57, b: 0.19, c: 0.19, d: 0.05, seed }
+        Self {
+            scale,
+            edges: n * 13,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+            seed,
+        }
     }
 }
 
@@ -50,7 +58,10 @@ impl RmatParams {
 /// preparation pipeline.
 pub fn rmat(params: &RmatParams) -> AdjacencyGraph {
     let sum = params.a + params.b + params.c + params.d;
-    assert!((sum - 1.0).abs() < 1e-9, "corner probabilities must sum to 1, got {sum}");
+    assert!(
+        (sum - 1.0).abs() < 1e-9,
+        "corner probabilities must sum to 1, got {sum}"
+    );
     let n = 1usize << params.scale;
     let mut rng = DetRng::new(params.seed);
     let mut builder = GraphBuilder::with_capacity(params.edges);
@@ -142,7 +153,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "sum to 1")]
     fn rmat_rejects_bad_corners() {
-        let _ = rmat(&RmatParams { a: 0.9, ..RmatParams::web(8, 1) });
+        let _ = rmat(&RmatParams {
+            a: 0.9,
+            ..RmatParams::web(8, 1)
+        });
     }
 
     #[test]
@@ -152,7 +166,11 @@ mod tests {
         // Each of the n-m-1 arrivals adds m edges, plus the seed clique.
         let expected = (2000 - 5) * 4 + 10;
         assert_eq!(g.num_edges(), expected);
-        assert!(g.max_degree() > 40, "hubs expected, max = {}", g.max_degree());
+        assert!(
+            g.max_degree() > 40,
+            "hubs expected, max = {}",
+            g.max_degree()
+        );
         g.check_invariants().unwrap();
     }
 

@@ -23,7 +23,10 @@ pub struct AdjacencyGraph {
 impl AdjacencyGraph {
     /// An empty graph with `n` isolated vertices.
     pub fn new(n: usize) -> Self {
-        Self { adj: vec![Vec::new(); n], num_edges: 0 }
+        Self {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
     }
 
     /// Build from an edge iterator; duplicate edges and self-loops are
@@ -31,7 +34,10 @@ impl AdjacencyGraph {
     pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (VertexId, VertexId)>) -> Self {
         let mut g = Self::new(n);
         for (u, v) in edges {
-            assert!(g.insert_edge(u, v), "duplicate or self-loop edge ({u}, {v})");
+            assert!(
+                g.insert_edge(u, v),
+                "duplicate or self-loop edge ({u}, {v})"
+            );
         }
         g
     }
@@ -69,7 +75,11 @@ impl AdjacencyGraph {
     /// Whether the undirected edge `{u, v}` exists.
     #[inline]
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.adj[a as usize].binary_search(&b).is_ok()
     }
 
@@ -86,7 +96,10 @@ impl AdjacencyGraph {
     /// logic errors in callers, not data conditions.
     pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> bool {
         assert_ne!(u, v, "self-loop ({u}, {u})");
-        assert!((u as usize) < self.adj.len() && (v as usize) < self.adj.len(), "vertex out of range");
+        assert!(
+            (u as usize) < self.adj.len() && (v as usize) < self.adj.len(),
+            "vertex out of range"
+        );
         let pos_v = match self.adj[u as usize].binary_search(&v) {
             Ok(_) => return false,
             Err(p) => p,
@@ -119,7 +132,9 @@ impl AdjacencyGraph {
     pub fn isolate_vertex(&mut self, v: VertexId) -> Vec<VertexId> {
         let nbrs = std::mem::take(&mut self.adj[v as usize]);
         for &u in &nbrs {
-            let pos = self.adj[u as usize].binary_search(&v).expect("symmetry violated");
+            let pos = self.adj[u as usize]
+                .binary_search(&v)
+                .expect("symmetry violated");
             self.adj[u as usize].remove(pos);
         }
         self.num_edges -= nbrs.len();
@@ -130,7 +145,10 @@ impl AdjacencyGraph {
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
         self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
             let u = u as VertexId;
-            nbrs.iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+            nbrs.iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
         })
     }
 
@@ -220,7 +238,10 @@ mod tests {
     fn insert_remove_round_trip() {
         let mut g = AdjacencyGraph::new(5);
         assert!(g.insert_edge(0, 4));
-        assert!(!g.insert_edge(4, 0), "duplicate rejected (either orientation)");
+        assert!(
+            !g.insert_edge(4, 0),
+            "duplicate rejected (either orientation)"
+        );
         assert_eq!(g.num_edges(), 1);
         assert!(g.remove_edge(0, 4));
         assert!(!g.remove_edge(0, 4), "double delete rejected");

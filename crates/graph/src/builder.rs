@@ -24,7 +24,10 @@ impl GraphBuilder {
 
     /// Pre-size the edge buffer.
     pub fn with_capacity(edges: usize) -> Self {
-        Self { edges: Vec::with_capacity(edges), ..Self::default() }
+        Self {
+            edges: Vec::with_capacity(edges),
+            ..Self::default()
+        }
     }
 
     /// Add a possibly-directed edge; direction is discarded.
@@ -41,7 +44,13 @@ impl GraphBuilder {
 
     /// Add a weighted edge, kept only if `weight >= threshold`
     /// (binarization of weighted networks, paper §I).
-    pub fn add_weighted_edge(&mut self, u: VertexId, v: VertexId, weight: f64, threshold: f64) -> &mut Self {
+    pub fn add_weighted_edge(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        weight: f64,
+        threshold: f64,
+    ) -> &mut Self {
         if weight >= threshold {
             self.add_edge(u, v);
         }
@@ -91,7 +100,10 @@ mod tests {
     #[test]
     fn normalizes_direction_duplicates_loops() {
         let mut b = GraphBuilder::new();
-        b.add_edge(2, 1).add_edge(1, 2).add_edge(1, 1).add_edge(0, 2);
+        b.add_edge(2, 1)
+            .add_edge(1, 2)
+            .add_edge(1, 1)
+            .add_edge(0, 2);
         assert_eq!(b.dropped_self_loops(), 1);
         let g = b.build();
         assert_eq!(g.num_vertices(), 3);
@@ -104,7 +116,8 @@ mod tests {
     #[test]
     fn weighted_thresholding() {
         let mut b = GraphBuilder::new();
-        b.add_weighted_edge(0, 1, 0.9, 0.5).add_weighted_edge(1, 2, 0.2, 0.5);
+        b.add_weighted_edge(0, 1, 0.9, 0.5)
+            .add_weighted_edge(1, 2, 0.2, 0.5);
         let g = b.build_with_vertices(3);
         assert!(g.has_edge(0, 1));
         assert!(!g.has_edge(1, 2));

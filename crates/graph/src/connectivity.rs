@@ -19,7 +19,11 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        Self { parent: (0..n as u32).collect(), size: vec![1; n], num_sets: n }
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            num_sets: n,
+        }
     }
 
     /// Representative of `x`'s set (path halving).
@@ -74,7 +78,9 @@ impl UnionFind {
             let r = self.find(v);
             min_of_root[r as usize] = min_of_root[r as usize].min(v);
         }
-        (0..n as u32).map(|v| min_of_root[self.find(v) as usize]).collect()
+        (0..n as u32)
+            .map(|v| min_of_root[self.find(v) as usize])
+            .collect()
     }
 }
 

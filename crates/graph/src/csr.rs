@@ -26,7 +26,11 @@ impl CsrGraph {
             targets.extend_from_slice(g.neighbors(v));
             offsets.push(targets.len());
         }
-        Self { offsets, targets, num_edges: g.num_edges() }
+        Self {
+            offsets,
+            targets,
+            num_edges: g.num_edges(),
+        }
     }
 
     /// Build directly from canonical `(u, v)` edges with `u != v`;
@@ -70,7 +74,11 @@ impl CsrGraph {
             new_offsets.push(dedup_targets.len());
         }
         let num_edges = dedup_targets.len() / 2;
-        Self { offsets: new_offsets, targets: dedup_targets, num_edges }
+        Self {
+            offsets: new_offsets,
+            targets: dedup_targets,
+            num_edges,
+        }
     }
 
     /// Number of vertices.
@@ -106,7 +114,11 @@ impl CsrGraph {
     /// Iterate undirected edges with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
         (0..self.num_vertices() as VertexId).flat_map(move |u| {
-            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
         })
     }
 

@@ -77,7 +77,10 @@ pub struct DynamicGraph {
 impl DynamicGraph {
     /// Wrap an initial graph snapshot.
     pub fn new(graph: AdjacencyGraph) -> Self {
-        Self { graph, batches_applied: 0 }
+        Self {
+            graph,
+            batches_applied: 0,
+        }
     }
 
     /// Read access to the current graph.
@@ -142,7 +145,10 @@ mod tests {
     use super::*;
 
     fn square() -> DynamicGraph {
-        DynamicGraph::new(AdjacencyGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]))
+        DynamicGraph::new(AdjacencyGraph::from_edges(
+            4,
+            [(0, 1), (1, 2), (2, 3), (3, 0)],
+        ))
     }
 
     #[test]
@@ -220,7 +226,10 @@ mod tests {
 
     #[test]
     fn removed_contains_uses_sorted_search() {
-        let d = VertexDelta { added: vec![], removed: vec![2, 5, 9] };
+        let d = VertexDelta {
+            added: vec![],
+            removed: vec![2, 5, 9],
+        };
         assert!(d.removed_contains(5));
         assert!(!d.removed_contains(4));
     }

@@ -33,7 +33,10 @@ pub struct EditBatch {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EditError {
     /// An insertion references a vertex outside `0..n`.
-    VertexOutOfRange { edge: (VertexId, VertexId), num_vertices: usize },
+    VertexOutOfRange {
+        edge: (VertexId, VertexId),
+        num_vertices: usize,
+    },
     /// An inserted edge already exists in the graph.
     InsertExisting { edge: (VertexId, VertexId) },
     /// A deleted edge does not exist in the graph.
@@ -46,7 +49,10 @@ impl std::fmt::Display for EditError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::VertexOutOfRange { edge, num_vertices } => {
-                write!(f, "edge {edge:?} references vertex outside 0..{num_vertices}")
+                write!(
+                    f,
+                    "edge {edge:?} references vertex outside 0..{num_vertices}"
+                )
             }
             Self::InsertExisting { edge } => write!(f, "insertion of existing edge {edge:?}"),
             Self::DeleteMissing { edge } => write!(f, "deletion of missing edge {edge:?}"),
@@ -73,20 +79,33 @@ impl EditBatch {
         insertions: impl IntoIterator<Item = (VertexId, VertexId)>,
         deletions: impl IntoIterator<Item = (VertexId, VertexId)>,
     ) -> Self {
-        let mut ins: Vec<_> = insertions.into_iter().map(|(u, v)| canonical(u, v)).collect();
-        let mut del: Vec<_> = deletions.into_iter().map(|(u, v)| canonical(u, v)).collect();
+        let mut ins: Vec<_> = insertions
+            .into_iter()
+            .map(|(u, v)| canonical(u, v))
+            .collect();
+        let mut del: Vec<_> = deletions
+            .into_iter()
+            .map(|(u, v)| canonical(u, v))
+            .collect();
         ins.sort_unstable();
         ins.dedup();
         del.sort_unstable();
         del.dedup();
         // Drop edges present in both lists (sorted set intersection).
         let ins_set: crate::FxHashSet<_> = ins.iter().copied().collect();
-        let both: crate::FxHashSet<_> = del.iter().copied().filter(|e| ins_set.contains(e)).collect();
+        let both: crate::FxHashSet<_> = del
+            .iter()
+            .copied()
+            .filter(|e| ins_set.contains(e))
+            .collect();
         if !both.is_empty() {
             ins.retain(|e| !both.contains(e));
             del.retain(|e| !both.contains(e));
         }
-        Self { insertions: ins, deletions: del }
+        Self {
+            insertions: ins,
+            deletions: del,
+        }
     }
 
     /// Add one insertion (non-canonical input accepted).
@@ -136,7 +155,10 @@ impl EditBatch {
                 return Err(EditError::SelfLoop { vertex: u });
             }
             if (u as usize) >= n || (v as usize) >= n {
-                return Err(EditError::VertexOutOfRange { edge: (u, v), num_vertices: n });
+                return Err(EditError::VertexOutOfRange {
+                    edge: (u, v),
+                    num_vertices: n,
+                });
             }
         }
         for &(u, v) in &self.insertions {
@@ -193,23 +215,35 @@ mod tests {
     fn validate_rejects_existing_insert() {
         let g = AdjacencyGraph::from_edges(3, [(0, 1)]);
         let b = EditBatch::from_lists([(1, 0)], []);
-        assert_eq!(b.validate(&g), Err(EditError::InsertExisting { edge: (0, 1) }));
+        assert_eq!(
+            b.validate(&g),
+            Err(EditError::InsertExisting { edge: (0, 1) })
+        );
     }
 
     #[test]
     fn validate_rejects_missing_delete() {
         let g = AdjacencyGraph::from_edges(3, [(0, 1)]);
         let b = EditBatch::from_lists([], [(1, 2)]);
-        assert_eq!(b.validate(&g), Err(EditError::DeleteMissing { edge: (1, 2) }));
+        assert_eq!(
+            b.validate(&g),
+            Err(EditError::DeleteMissing { edge: (1, 2) })
+        );
     }
 
     #[test]
     fn validate_rejects_out_of_range_and_self_loop() {
         let g = AdjacencyGraph::from_edges(3, [(0, 1)]);
         let b = EditBatch::from_lists([(0, 7)], []);
-        assert!(matches!(b.validate(&g), Err(EditError::VertexOutOfRange { .. })));
+        assert!(matches!(
+            b.validate(&g),
+            Err(EditError::VertexOutOfRange { .. })
+        ));
         let b2 = EditBatch::from_lists([(2, 2)], []);
-        assert!(matches!(b2.validate(&g), Err(EditError::SelfLoop { vertex: 2 })));
+        assert!(matches!(
+            b2.validate(&g),
+            Err(EditError::SelfLoop { vertex: 2 })
+        ));
     }
 
     #[test]

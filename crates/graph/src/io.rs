@@ -76,7 +76,12 @@ pub fn load_binary_graph(path: &Path) -> Result<AdjacencyGraph, IoError> {
 /// Write a graph as a canonical (`u < v`, sorted) edge list.
 pub fn write_edge_list<W: Write>(g: &AdjacencyGraph, writer: W) -> std::io::Result<()> {
     let mut out = BufWriter::new(writer);
-    writeln!(out, "# {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        out,
+        "# {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v) in g.edges() {
         writeln!(out, "{u} {v}")?;
     }

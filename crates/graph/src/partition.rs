@@ -64,7 +64,10 @@ impl BlockPartitioner {
     /// Partition `n` vertices into `parts` contiguous blocks.
     pub fn new(n: usize, parts: usize) -> Self {
         assert!(parts > 0, "need at least one partition");
-        Self { parts, block: n.div_ceil(parts).max(1) }
+        Self {
+            parts,
+            block: n.div_ceil(parts).max(1),
+        }
     }
 }
 

@@ -23,8 +23,6 @@
 //! Theorems 2–5 are statements about exact uniformity, and our Monte-Carlo
 //! tests verify them with χ² bounds that would flag modulo bias).
 
-use rand::RngCore;
-
 /// SplitMix64 finalizer: bijective mixing of a 64-bit value.
 #[inline]
 pub fn splitmix64(mut z: u64) -> u64 {
@@ -87,7 +85,12 @@ impl PickKey {
     /// Create a key for the initial run (epoch 0).
     #[inline]
     pub fn new(seed: u64, vertex: u32, iteration: u32) -> Self {
-        Self { seed, vertex, iteration, epoch: 0 }
+        Self {
+            seed,
+            vertex,
+            iteration,
+            epoch: 0,
+        }
     }
 
     /// The same slot one repick later.
@@ -149,12 +152,14 @@ impl DetRng {
     /// Seeded generator; distinct seeds give independent streams.
     pub fn new(seed: u64) -> Self {
         // Avoid the all-zero fixed point of a raw counter by pre-mixing.
-        Self { state: splitmix64(seed ^ 0x6a09_e667_f3bc_c908) }
+        Self {
+            state: splitmix64(seed ^ 0x6a09_e667_f3bc_c908),
+        }
     }
 
     /// Next raw 64-bit value.
     #[inline]
-    #[allow(clippy::should_implement_trait)] // also exposed via RngCore below
+    #[allow(clippy::should_implement_trait)] // `next` mirrors the former RngCore surface
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.state;
@@ -198,16 +203,24 @@ impl DetRng {
     }
 }
 
-impl RngCore for DetRng {
-    fn next_u32(&mut self) -> u32 {
+// `rand::RngCore`-shaped conveniences, implemented inherently so the crate
+// keeps zero external runtime dependencies. If interop with the `rand`
+// ecosystem is ever needed, a trait impl can delegate to these.
+impl DetRng {
+    /// High 32 bits of the next value.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
         (self.next() >> 32) as u32
     }
 
-    fn next_u64(&mut self) -> u64 {
+    /// Alias for [`DetRng::next`], matching the `RngCore` spelling.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
         self.next()
     }
 
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Fill `dest` with pseudorandom bytes (little-endian word stream).
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for chunk in &mut chunks {
             chunk.copy_from_slice(&self.next().to_le_bytes());
@@ -217,11 +230,6 @@ impl RngCore for DetRng {
             let bytes = self.next().to_le_bytes();
             tail.copy_from_slice(&bytes[..tail.len()]);
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 

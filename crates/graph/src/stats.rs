@@ -105,7 +105,13 @@ mod tests {
     fn display_includes_all_rows() {
         let g = AdjacencyGraph::from_edges(2, [(0, 1)]);
         let text = GraphStats::compute(&g).to_string();
-        for key in ["# nodes", "# edges", "avg. degree", "max degree", "largest component"] {
+        for key in [
+            "# nodes",
+            "# edges",
+            "avg. degree",
+            "max degree",
+            "largest component",
+        ] {
             assert!(text.contains(key), "missing {key} in {text}");
         }
     }

@@ -78,7 +78,10 @@ mod tests {
         let a = cover(&[&[0, 1, 2, 3]]);
         let b = cover(&[&[2, 3, 4, 5]]);
         let s = avg_f1(&a, &b, 6);
-        assert!((s - 0.5).abs() < 1e-12, "F1 of half-overlapping equal-size sets is 0.5, got {s}");
+        assert!(
+            (s - 0.5).abs() < 1e-12,
+            "F1 of half-overlapping equal-size sets is 0.5, got {s}"
+        );
     }
 
     #[test]

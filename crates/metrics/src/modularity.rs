@@ -55,7 +55,8 @@ mod tests {
     #[test]
     fn two_cliques_bridge() {
         // Two triangles joined by one edge; the natural split has high Q.
-        let g = AdjacencyGraph::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
+        let g =
+            AdjacencyGraph::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
         let good = Cover::new(vec![vec![0, 1, 2], vec![3, 4, 5]]);
         let bad = Cover::new(vec![vec![0, 3], vec![1, 4], vec![2, 5]]);
         let qg = modularity(&g, &good);

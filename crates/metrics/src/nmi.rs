@@ -60,7 +60,11 @@ pub fn partition_nmi_covers(a: &Cover, b: &Cover, n: usize) -> f64 {
         m.iter()
             .enumerate()
             .map(|(v, ms)| {
-                assert!(ms.len() == 1, "vertex {v} has {} memberships; not a partition", ms.len());
+                assert!(
+                    ms.len() == 1,
+                    "vertex {v} has {} memberships; not a partition",
+                    ms.len()
+                );
                 ms[0]
             })
             .collect()

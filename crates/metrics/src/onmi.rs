@@ -35,12 +35,7 @@ fn community_entropy(size: usize, n: usize) -> f64 {
 
 /// `H(X_k | Y_l)` from the 2×2 joint distribution, or `None` when the
 /// complementarity guard rejects the pair.
-fn conditional_entropy(
-    size_x: usize,
-    size_y: usize,
-    common: usize,
-    n: usize,
-) -> Option<f64> {
+fn conditional_entropy(size_x: usize, size_y: usize, common: usize, n: usize) -> Option<f64> {
     let nf = n as f64;
     // Joint counts: d = |X∩Y|, c = |X\Y|, b = |Y\X|, a = rest.
     let d = common as f64 / nf;
@@ -145,7 +140,9 @@ mod tests {
             let n = 30;
             let mk = |rng: &mut DetRng| {
                 Cover::new((0..4).map(|_| {
-                    (0..n as u32).filter(|_| rng.unit_f64() < 0.3).collect::<Vec<_>>()
+                    (0..n as u32)
+                        .filter(|_| rng.unit_f64() < 0.3)
+                        .collect::<Vec<_>>()
                 }))
             };
             let a = mk(&mut rng);
@@ -181,7 +178,10 @@ mod tests {
         let shuffled = cover(&[&[0, 3, 6, 9], &[1, 4, 7, 10], &[2, 5, 8, 11]]);
         let s_split = overlapping_nmi(&truth, &split, 12);
         let s_shuffled = overlapping_nmi(&truth, &shuffled, 12);
-        assert!(s_split > s_shuffled, "split {s_split} vs shuffled {s_shuffled}");
+        assert!(
+            s_split > s_shuffled,
+            "split {s_split} vs shuffled {s_shuffled}"
+        );
         assert!(s_split > 0.5);
     }
 

@@ -10,7 +10,10 @@ use rslpa::prelude::*;
 
 fn main() {
     let n = 1_000;
-    let params = LfrParams { seed: 5, ..LfrParams::scaled(n) };
+    let params = LfrParams {
+        seed: 5,
+        ..LfrParams::scaled(n)
+    };
     let instance = params.generate().expect("LFR generation");
     let truth = &instance.ground_truth;
     println!(
@@ -33,7 +36,14 @@ fn main() {
         println!("  {t_max:<4} {:.3}", nmi / runs as f64);
     }
 
-    let slpa = run_slpa(&instance.graph, &SlpaConfig { iterations: 100, threshold: 0.2, seed: 1 });
+    let slpa = run_slpa(
+        &instance.graph,
+        &SlpaConfig {
+            iterations: 100,
+            threshold: 0.2,
+            seed: 1,
+        },
+    );
     let slpa_nmi = overlapping_nmi(&slpa.cover, truth, n);
     println!("\n SLPA reference (T = 100, tau = 0.2): NMI {slpa_nmi:.3}");
     println!("\n(The paper's Fig. 7a: rSLPA stabilizes for T >= 200; use `repro fig7a` for the full sweep.)");

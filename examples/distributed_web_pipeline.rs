@@ -21,7 +21,10 @@ fn main() {
     //    drops self-loops through GraphBuilder.
     let scale = 13; // 8192 pages; raise to taste
     let raw = rslpa::gen::webgraph::rmat(&rslpa::gen::webgraph::RmatParams::web(scale, 2015));
-    println!("simulated web crawl (Table II analogue):\n{}", GraphStats::compute(&raw));
+    println!(
+        "simulated web crawl (Table II analogue):\n{}",
+        GraphStats::compute(&raw)
+    );
 
     // 2. Distribute over 7 workers (the paper's cluster size).
     let csr = CsrGraph::from_adjacency(&raw);
@@ -30,7 +33,8 @@ fn main() {
 
     // 3. BSP label propagation, T = 200 (the paper's rSLPA setting).
     let t_max = 200;
-    let (state, prop_stats) = run_propagation_bsp(&csr, t_max, 42, &partitioner, Executor::Parallel);
+    let (state, prop_stats) =
+        run_propagation_bsp(&csr, t_max, 42, &partitioner, Executor::Parallel);
     let model = CostModel::default();
     println!(
         "\nlabel propagation: {} rounds, {:.1}M messages ({:.1}M remote), simulated {:.2}s on {workers} workers",
@@ -70,5 +74,8 @@ fn main() {
         raw.num_vertices(),
         cover.num_overlapping(raw.num_vertices()),
     );
-    println!("modularity of the (first-membership) partition: {:.3}", modularity(&raw, cover));
+    println!(
+        "modularity of the (first-membership) partition: {:.3}",
+        modularity(&raw, cover)
+    );
 }

@@ -16,7 +16,10 @@ use rslpa::prelude::*;
 
 fn main() {
     // "Users" with planted friend circles.
-    let params = LfrParams { seed: 7, ..LfrParams::scaled(1_000) };
+    let params = LfrParams {
+        seed: 7,
+        ..LfrParams::scaled(1_000)
+    };
     let instance = params.generate().expect("LFR generation");
     let truth = instance.ground_truth.clone();
     let n = instance.graph.num_vertices();
@@ -31,14 +34,21 @@ fn main() {
     let mut detector = RslpaDetector::new(instance.graph, RslpaConfig::quick(120, 99));
     let initial = detector.detect();
     let nmi0 = overlapping_nmi(&initial.result.cover, &truth, n);
-    println!("initial detection: {} communities, NMI vs ground truth = {nmi0:.3}", initial.result.cover.len());
+    println!(
+        "initial detection: {} communities, NMI vs ground truth = {nmi0:.3}",
+        initial.result.cover.len()
+    );
 
     // Simulate a day of churn: eight batches alternating between
     // community-consolidating and community-eroding edits.
     let slots_total = n * detector.config().iterations;
     let mut repaired_total = 0usize;
     for hour in 0..8u64 {
-        let workload = if hour % 2 == 0 { EditWorkload::Consolidating } else { EditWorkload::Eroding };
+        let workload = if hour % 2 == 0 {
+            EditWorkload::Consolidating
+        } else {
+            EditWorkload::Eroding
+        };
         let batch = targeted_batch(detector.graph(), &truth, workload, 200, 1_000 + hour);
         let report = detector.apply_batch(&batch).expect("valid batch");
         repaired_total += report.eta;

@@ -19,12 +19,19 @@ fn main() {
         }
     }
     let graph = AdjacencyGraph::from_edges(9, edges);
-    println!("graph: {} vertices, {} edges", graph.num_vertices(), graph.num_edges());
+    println!(
+        "graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
 
     // 1. Initial detection.
     let mut detector = RslpaDetector::new(graph, RslpaConfig::quick(80, 42));
     let detection = detector.detect();
-    println!("\ninitial communities (tau1 = {:.3}, tau2 = {:.3}):", detection.result.tau1, detection.result.tau2);
+    println!(
+        "\ninitial communities (tau1 = {:.3}, tau2 = {:.3}):",
+        detection.result.tau1, detection.result.tau2
+    );
     for (i, c) in detection.result.cover.communities().iter().enumerate() {
         println!("  community {i}: {c:?}");
     }

@@ -75,13 +75,17 @@ fn opt_parse<T: std::str::FromStr>(
 ) -> Result<T, String> {
     match options.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key}: cannot parse {v:?}")),
     }
 }
 
 fn cmd_stats(args: &[String]) -> CliResult {
     let (pos, _) = split_options(args);
-    let [path] = pos[..] else { return Err("stats needs exactly one graph file".into()) };
+    let [path] = pos[..] else {
+        return Err("stats needs exactly one graph file".into());
+    };
     let graph = load_binary_graph(Path::new(path))?;
     println!("{}", GraphStats::compute(&graph));
     Ok(())
@@ -102,7 +106,9 @@ fn write_cover(cover: &Cover, out: Option<&str>) -> CliResult {
 
 fn cmd_detect(args: &[String]) -> CliResult {
     let (pos, options) = split_options(args);
-    let [path] = pos[..] else { return Err("detect needs exactly one graph file".into()) };
+    let [path] = pos[..] else {
+        return Err("detect needs exactly one graph file".into());
+    };
     let graph = load_binary_graph(Path::new(path))?;
     let iterations: usize = opt_parse(&options, "iterations", 200)?;
     let seed: u64 = opt_parse(&options, "seed", 42)?;
@@ -114,7 +120,10 @@ fn cmd_detect(args: &[String]) -> CliResult {
         detection.result.tau1,
         detection.result.tau2,
         detection.result.cover.covered_vertices().len(),
-        detection.result.cover.num_overlapping(detector.graph().num_vertices()),
+        detection
+            .result
+            .cover
+            .num_overlapping(detector.graph().num_vertices()),
     );
     write_cover(&detection.result.cover, options.get("out").copied())
 }
@@ -140,8 +149,12 @@ fn parse_edit_batches<R: BufRead>(reader: R) -> Result<Vec<EditBatch>, String> {
         let (Some(op), Some(u), Some(v)) = (parts.next(), parts.next(), parts.next()) else {
             return Err(format!("line {}: expected '+|- u v'", lineno + 1));
         };
-        let u: u32 = u.parse().map_err(|_| format!("line {}: bad vertex {u:?}", lineno + 1))?;
-        let v: u32 = v.parse().map_err(|_| format!("line {}: bad vertex {v:?}", lineno + 1))?;
+        let u: u32 = u
+            .parse()
+            .map_err(|_| format!("line {}: bad vertex {u:?}", lineno + 1))?;
+        let v: u32 = v
+            .parse()
+            .map_err(|_| format!("line {}: bad vertex {v:?}", lineno + 1))?;
         match op {
             "+" => ins.push((u, v)),
             "-" => del.push((u, v)),
@@ -209,7 +222,11 @@ fn cmd_generate(args: &[String]) -> CliResult {
     let seed: u64 = opt_parse(&options, "seed", 42)?;
     let graph = match kind {
         "lfr" => {
-            let instance = LfrParams { seed, ..LfrParams::scaled(n) }.generate()?;
+            let instance = LfrParams {
+                seed,
+                ..LfrParams::scaled(n)
+            }
+            .generate()?;
             eprintln!(
                 "planted {} communities ({} overlapping vertices), mixing {:.3}",
                 instance.ground_truth.len(),
@@ -235,7 +252,11 @@ fn cmd_generate(args: &[String]) -> CliResult {
     match options.get("out") {
         Some(path) => {
             write_edge_list(&graph, std::fs::File::create(path)?)?;
-            eprintln!("wrote {} vertices, {} edges to {path}", graph.num_vertices(), graph.num_edges());
+            eprintln!(
+                "wrote {} vertices, {} edges to {path}",
+                graph.num_vertices(),
+                graph.num_edges()
+            );
         }
         None => write_edge_list(&graph, std::io::stdout().lock())?,
     }

@@ -50,10 +50,14 @@ pub use rslpa_metrics as metrics;
 /// The names most programs need.
 pub mod prelude {
     pub use rslpa_baselines::{run_slpa, SlpaConfig};
-    pub use rslpa_core::{postprocess, run_propagation, DetectionResult, RslpaConfig, RslpaDetector};
+    pub use rslpa_core::{
+        postprocess, run_propagation, DetectionResult, RslpaConfig, RslpaDetector,
+    };
     pub use rslpa_distsim::{BspEngine, CostModel, Executor};
     pub use rslpa_gen::lfr::LfrParams;
     pub use rslpa_gen::uniform_batch;
-    pub use rslpa_graph::{AdjacencyGraph, Cover, CsrGraph, EditBatch, GraphBuilder, HashPartitioner};
+    pub use rslpa_graph::{
+        AdjacencyGraph, Cover, CsrGraph, EditBatch, GraphBuilder, HashPartitioner,
+    };
     pub use rslpa_metrics::{avg_f1, overlapping_nmi};
 }

@@ -1,0 +1,117 @@
+//! End-to-end smoke tests for the `rslpa-cli` binary: every subcommand runs
+//! on a tiny synthetic graph and exits 0.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rslpa-cli"))
+}
+
+fn tmp_dir(test: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(test);
+    fs::create_dir_all(&dir).expect("create tmp dir");
+    dir
+}
+
+fn assert_success(out: &Output, what: &str) {
+    assert!(
+        out.status.success(),
+        "{what} failed with {:?}\nstdout: {}\nstderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+}
+
+/// Two triangles joined by a bridge — the quickstart graph.
+const TINY_GRAPH: &str = "# two communities\n0 1\n1 2\n0 2\n3 4\n4 5\n3 5\n2 3\n";
+
+#[test]
+fn no_args_prints_usage_and_exits_2() {
+    let out = cli().output().expect("spawn rslpa-cli");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn stats_on_tiny_graph() {
+    let dir = tmp_dir("stats");
+    let graph = dir.join("graph.txt");
+    fs::write(&graph, TINY_GRAPH).unwrap();
+    let out = cli().arg("stats").arg(&graph).output().expect("spawn");
+    assert_success(&out, "stats");
+    assert!(!out.stdout.is_empty(), "stats prints something");
+}
+
+#[test]
+fn detect_writes_a_cover() {
+    let dir = tmp_dir("detect");
+    let graph = dir.join("graph.txt");
+    let cover = dir.join("cover.txt");
+    fs::write(&graph, TINY_GRAPH).unwrap();
+    let out = cli()
+        .args(["detect"])
+        .arg(&graph)
+        .args(["--iterations", "50", "--seed", "42", "--out"])
+        .arg(&cover)
+        .output()
+        .expect("spawn");
+    assert_success(&out, "detect");
+    let cover = fs::read_to_string(&cover).expect("cover file written");
+    assert!(!cover.trim().is_empty(), "at least one community line");
+    for token in cover.split_whitespace() {
+        let v: u32 = token.parse().expect("cover lines are vertex ids");
+        assert!(v < 6);
+    }
+}
+
+#[test]
+fn stream_applies_edit_batches() {
+    let dir = tmp_dir("stream");
+    let graph = dir.join("graph.txt");
+    let edits = dir.join("edits.txt");
+    fs::write(&graph, TINY_GRAPH).unwrap();
+    // Batch 1 inserts a cross edge; batch 2 deletes it again.
+    fs::write(&edits, "+ 1 4\n\n- 1 4\n").unwrap();
+    let out = cli()
+        .args(["stream"])
+        .arg(&graph)
+        .arg(&edits)
+        .args(["--iterations", "40", "--seed", "7", "--detect-every", "1"])
+        .output()
+        .expect("spawn");
+    assert_success(&out, "stream");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("batch   1"),
+        "per-batch report printed:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("batch   2"),
+        "second batch processed:\n{stdout}"
+    );
+}
+
+#[test]
+fn generate_detect_round_trip() {
+    let dir = tmp_dir("generate");
+    let graph = dir.join("ba.txt");
+    let out = cli()
+        .args(["generate", "ba", "60", "--seed", "1", "--out"])
+        .arg(&graph)
+        .output()
+        .expect("spawn");
+    assert_success(&out, "generate ba");
+    assert!(graph.exists(), "graph file written");
+
+    let out = cli()
+        .args(["detect"])
+        .arg(&graph)
+        .args(["--iterations", "30", "--seed", "3"])
+        .output()
+        .expect("spawn");
+    assert_success(&out, "detect on generated graph");
+    assert!(!out.stdout.is_empty(), "cover written to stdout");
+}

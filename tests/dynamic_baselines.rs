@@ -7,7 +7,10 @@ use rslpa::prelude::*;
 
 #[test]
 fn labelrankt_finds_planted_structure_statically() {
-    let params = LfrParams { seed: 13, ..LfrParams::scaled(400) };
+    let params = LfrParams {
+        seed: 13,
+        ..LfrParams::scaled(400)
+    };
     let instance = params.generate().expect("generation");
     let n = instance.graph.num_vertices();
     let lrt = LabelRankT::new(&instance.graph, LabelRankConfig::default());
@@ -22,7 +25,10 @@ fn labelrankt_finds_planted_structure_statically() {
 /// is not asserted at this toy scale.)
 #[test]
 fn dynamic_stream_guarantees_hold_per_algorithm() {
-    let params = LfrParams { seed: 17, ..LfrParams::scaled(400) };
+    let params = LfrParams {
+        seed: 17,
+        ..LfrParams::scaled(400)
+    };
     let instance = params.generate().expect("generation");
     let n = instance.graph.num_vertices();
     let truth = &instance.ground_truth;
@@ -46,7 +52,10 @@ fn dynamic_stream_guarantees_hold_per_algorithm() {
         (rslpa_inc - rslpa_scr).abs() < 0.15,
         "rSLPA incremental {rslpa_inc} vs scratch {rslpa_scr}"
     );
-    assert!(rslpa_inc > 0.4, "rSLPA must keep finding structure: {rslpa_inc}");
+    assert!(
+        rslpa_inc > 0.4,
+        "rSLPA must keep finding structure: {rslpa_inc}"
+    );
     // LabelRankT: merely required to keep producing a sane cover.
     let lrt_nmi = overlapping_nmi(&lrt.communities(), truth, n);
     assert!(lrt_nmi > 0.2, "LabelRankT collapsed: {lrt_nmi}");
@@ -54,7 +63,10 @@ fn dynamic_stream_guarantees_hold_per_algorithm() {
 
 #[test]
 fn ilcd_handles_insertion_stream_of_lfr_edges() {
-    let params = LfrParams { seed: 19, ..LfrParams::scaled(300) };
+    let params = LfrParams {
+        seed: 19,
+        ..LfrParams::scaled(300)
+    };
     let instance = params.generate().expect("generation");
     let n = instance.graph.num_vertices();
     let mut ilcd = ILcd::new(n, ILcdConfig::default());
@@ -69,7 +81,10 @@ fn ilcd_handles_insertion_stream_of_lfr_edges() {
 
 #[test]
 fn omega_and_nmi_rank_detections_consistently() {
-    let params = LfrParams { seed: 23, ..LfrParams::scaled(400) };
+    let params = LfrParams {
+        seed: 23,
+        ..LfrParams::scaled(400)
+    };
     let instance = params.generate().expect("generation");
     let n = instance.graph.num_vertices();
     let truth = &instance.ground_truth;

@@ -10,13 +10,19 @@ use rslpa::prelude::*;
 /// LFR → rSLPA → overlapping NMI: the Fig. 7 pipeline at test scale.
 #[test]
 fn lfr_to_nmi_pipeline() {
-    let params = LfrParams { seed: 3, ..LfrParams::scaled(600) };
+    let params = LfrParams {
+        seed: 3,
+        ..LfrParams::scaled(600)
+    };
     let instance = params.generate().expect("generation");
     let n = instance.graph.num_vertices();
     let state = run_propagation(&instance.graph, 80, 1);
     let cover = postprocess(&instance.graph, &state, None).cover;
     let nmi = overlapping_nmi(&cover, &instance.ground_truth, n);
-    assert!(nmi > 0.6, "rSLPA should find most of the planted structure, NMI = {nmi}");
+    assert!(
+        nmi > 0.6,
+        "rSLPA should find most of the planted structure, NMI = {nmi}"
+    );
 }
 
 /// SLPA and rSLPA both detect the GN benchmark's planted partition.
@@ -25,7 +31,14 @@ fn both_algorithms_crack_gn_benchmark() {
     let (graph, truth) = gn_benchmark(&GnParams::default());
     let n = graph.num_vertices();
 
-    let slpa = run_slpa(&graph, &SlpaConfig { iterations: 100, threshold: 0.3, seed: 2 });
+    let slpa = run_slpa(
+        &graph,
+        &SlpaConfig {
+            iterations: 100,
+            threshold: 0.3,
+            seed: 2,
+        },
+    );
     let slpa_nmi = overlapping_nmi(&slpa.cover, &truth, n);
     assert!(slpa_nmi > 0.6, "SLPA NMI = {slpa_nmi}");
 
@@ -39,7 +52,10 @@ fn both_algorithms_crack_gn_benchmark() {
 /// quality within noise of scratch recomputation.
 #[test]
 fn dynamic_stream_preserves_quality() {
-    let params = LfrParams { seed: 11, ..LfrParams::scaled(500) };
+    let params = LfrParams {
+        seed: 11,
+        ..LfrParams::scaled(500)
+    };
     let instance = params.generate().expect("generation");
     let n = instance.graph.num_vertices();
     let truth = &instance.ground_truth;
@@ -60,7 +76,11 @@ fn dynamic_stream_preserves_quality() {
 /// Distributed pipeline equals the centralized one end to end (same seed).
 #[test]
 fn distributed_pipeline_matches_centralized() {
-    let (graph, _) = gn_benchmark(&GnParams { groups: 3, group_size: 12, ..Default::default() });
+    let (graph, _) = gn_benchmark(&GnParams {
+        groups: 3,
+        group_size: 12,
+        ..Default::default()
+    });
     let csr = CsrGraph::from_adjacency(&graph);
     let partitioner = HashPartitioner::new(4);
     let t_max = 40;
@@ -71,8 +91,13 @@ fn distributed_pipeline_matches_centralized() {
     let (bsp_state, _) = run_propagation_bsp(&csr, t_max, 9, &partitioner, Executor::Parallel);
     // Exhaustive candidate budget: the sweep evaluates every distinct
     // weight and must therefore agree with the centralized sweep exactly.
-    let (bsp, _) =
-        postprocess_bsp_with_candidates(&csr, &bsp_state, &partitioner, Executor::Parallel, usize::MAX);
+    let (bsp, _) = postprocess_bsp_with_candidates(
+        &csr,
+        &bsp_state,
+        &partitioner,
+        Executor::Parallel,
+        usize::MAX,
+    );
 
     for v in 0..graph.num_vertices() as u32 {
         assert_eq!(central_state.label_sequence(v), bsp_state.label_sequence(v));
@@ -87,15 +112,31 @@ fn rslpa_traffic_beats_slpa_on_dense_graphs() {
     use rslpa::baselines::SlpaProgram;
     use rslpa::distsim::BspEngine;
 
-    let (graph, _) = gn_benchmark(&GnParams { groups: 4, group_size: 16, z_in: 10.0, z_out: 2.0, seed: 3 });
+    let (graph, _) = gn_benchmark(&GnParams {
+        groups: 4,
+        group_size: 16,
+        z_in: 10.0,
+        z_out: 2.0,
+        seed: 3,
+    });
     let csr = CsrGraph::from_adjacency(&graph);
     let partitioner = HashPartitioner::new(4);
     let iterations = 20;
 
-    let (_, rslpa_stats) = run_propagation_bsp(&csr, iterations, 1, &partitioner, Executor::Sequential);
+    let (_, rslpa_stats) =
+        run_propagation_bsp(&csr, iterations, 1, &partitioner, Executor::Sequential);
 
-    let config = SlpaConfig { iterations, threshold: 0.2, seed: 1 };
-    let mut engine = BspEngine::new(&csr, SlpaProgram { config }, &partitioner, Executor::Sequential);
+    let config = SlpaConfig {
+        iterations,
+        threshold: 0.2,
+        seed: 1,
+    };
+    let mut engine = BspEngine::new(
+        &csr,
+        SlpaProgram { config },
+        &partitioner,
+        Executor::Sequential,
+    );
     engine.run(iterations + 2);
     let slpa_stats = engine.stats().clone();
 
