@@ -6,7 +6,10 @@
 //! cargo run -p rslpa-bench --release --bin repro -- fig7b --paper-scale
 //! ```
 
-use rslpa_bench::{exp_ablations, exp_dynamic, exp_synthetic, exp_voting, exp_web, Scale};
+use rslpa_bench::exp_serve::ServeWorkload;
+use rslpa_bench::{
+    exp_ablations, exp_dynamic, exp_serve, exp_synthetic, exp_voting, exp_web, Scale,
+};
 
 const EXPERIMENTS: &[(&str, &str)] = &[
     ("fig2", "plurality-voting win distributions (exact)"),
@@ -31,6 +34,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("abl-edits", "targeted churn workloads"),
     ("abl-part", "partitioner sensitivity"),
     ("profile", "centralized pipeline wall-clock profile"),
+    (
+        "serve",
+        "live serve loop: 100k-edit replay with 10:1 reads (emits BENCH_serve.json)",
+    ),
 ];
 
 fn run(id: &str, scale: &Scale) -> bool {
@@ -57,6 +64,9 @@ fn run(id: &str, scale: &Scale) -> bool {
         "abl-edits" => exp_ablations::abl_edits(scale),
         "abl-part" => exp_ablations::abl_part(scale),
         "profile" => exp_ablations::profile(scale),
+        "serve" => exp_serve::serve(&ServeWorkload::full(), "BENCH_serve.json"),
+        "serve-smoke" => exp_serve::serve(&ServeWorkload::smoke(), "BENCH_serve.json"),
+        "serve-rmat" => exp_serve::serve(&ServeWorkload::full_rmat(), "BENCH_serve_rmat.json"),
         _ => return false,
     }
     true
@@ -68,6 +78,8 @@ fn usage() {
     for (id, desc) in EXPERIMENTS {
         eprintln!("  {id:<10} {desc}");
     }
+    eprintln!("  serve-smoke  CI-scale serve workload (not part of 'all')");
+    eprintln!("  serve-rmat   full serve workload over an R-MAT web graph (not part of 'all')");
 }
 
 fn main() {

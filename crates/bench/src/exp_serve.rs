@@ -1,0 +1,385 @@
+//! Mixed read/write workload against the live serve subsystem.
+//!
+//! Not a paper experiment — this drives `rslpa_serve` the way the ROADMAP's
+//! production north star would be driven: a writer replays a stream of
+//! edits (micro-batched by the ingestion policy) while reader threads
+//! hammer the snapshot query API at a configured read/write ratio. The
+//! driver reports sustained edits/sec and query latency percentiles and
+//! writes them to `BENCH_serve.json`, giving the perf trajectory a data
+//! point per PR.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rslpa_gen::edits::uniform_batch;
+use rslpa_gen::lfr::LfrParams;
+use rslpa_gen::webgraph::{rmat, RmatParams};
+use rslpa_graph::rng::DetRng;
+use rslpa_graph::{AdjacencyGraph, DynamicGraph, VertexId};
+use rslpa_serve::{BySize, CommunityService, ServeConfig};
+
+use crate::report::Table;
+
+/// Graph family the edit stream runs over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// LFR benchmark graph (planted overlapping communities).
+    Lfr,
+    /// R-MAT web graph (power-law, the paper's Table 2 family).
+    Rmat,
+}
+
+impl Topology {
+    fn label(self) -> &'static str {
+        match self {
+            Topology::Lfr => "lfr",
+            Topology::Rmat => "rmat",
+        }
+    }
+}
+
+/// Workload knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeWorkload {
+    /// Human label recorded in the JSON (`full` / `smoke` / `full-rmat`).
+    pub mode: &'static str,
+    /// Graph family the stream runs over.
+    pub topology: Topology,
+    /// Approximate vertex count of the seed graph (R-MAT rounds up to the
+    /// next power of two).
+    pub graph_n: usize,
+    /// Detector iterations `T`.
+    pub iterations: usize,
+    /// Total edit operations replayed.
+    pub total_edits: usize,
+    /// Edits generated per workload round (each round is one valid
+    /// uniform batch against the evolving graph).
+    pub round_edits: usize,
+    /// Interleaved queries per edit (the read/write ratio).
+    pub queries_per_edit: usize,
+    /// Reader threads sharing the query quota.
+    pub query_threads: usize,
+    /// Micro-batch flush threshold.
+    pub flush_size: usize,
+    /// Publish a snapshot every this many flushes.
+    pub snapshot_every: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl ServeWorkload {
+    /// The acceptance configuration: 100k edits, 10:1 reads over an LFR
+    /// graph. Takes a couple of seconds in release mode.
+    pub fn full() -> Self {
+        Self {
+            mode: "full",
+            topology: Topology::Lfr,
+            graph_n: 2_000,
+            iterations: 50,
+            total_edits: 100_000,
+            round_edits: 1_000,
+            queries_per_edit: 10,
+            query_threads: 4,
+            flush_size: 256,
+            snapshot_every: 8,
+            seed: 42,
+        }
+    }
+
+    /// The full workload over an R-MAT web graph instead of LFR.
+    pub fn full_rmat() -> Self {
+        Self {
+            mode: "full-rmat",
+            topology: Topology::Rmat,
+            ..Self::full()
+        }
+    }
+
+    /// CI-scale smoke: same shape, two orders of magnitude lighter.
+    pub fn smoke() -> Self {
+        Self {
+            mode: "smoke",
+            topology: Topology::Lfr,
+            graph_n: 400,
+            iterations: 25,
+            total_edits: 4_000,
+            round_edits: 400,
+            queries_per_edit: 10,
+            query_threads: 2,
+            flush_size: 128,
+            snapshot_every: 4,
+            seed: 42,
+        }
+    }
+}
+
+/// Numbers the driver reports (and serializes).
+#[derive(Clone, Copy, Debug)]
+pub struct ServeBenchResult {
+    /// Seconds spent in initial propagation + genesis snapshot.
+    pub startup_secs: f64,
+    /// Wall seconds from first edit submitted to final barrier answered.
+    pub ingest_secs: f64,
+    /// Sustained write throughput including snapshot publishing.
+    pub edits_per_sec: f64,
+    /// Wall seconds the reader threads ran.
+    pub query_secs: f64,
+    /// Aggregate read throughput across reader threads.
+    pub queries_per_sec: f64,
+    /// Queries actually issued.
+    pub queries_issued: u64,
+    /// Final published epoch.
+    pub final_epoch: u64,
+    /// Final service stats.
+    pub stats: rslpa_serve::StatsReport,
+}
+
+/// Build the seed graph for the configured topology.
+fn seed_graph(w: &ServeWorkload) -> AdjacencyGraph {
+    match w.topology {
+        Topology::Lfr => {
+            LfrParams {
+                seed: w.seed,
+                ..LfrParams::scaled(w.graph_n)
+            }
+            .generate()
+            .expect("LFR generation")
+            .graph
+        }
+        Topology::Rmat => {
+            let scale = (w.graph_n.max(2) as f64).log2().ceil() as u32;
+            rmat(&RmatParams::web(scale, w.seed))
+        }
+    }
+}
+
+/// Run the workload and return the measurements.
+pub fn run_workload(w: &ServeWorkload) -> ServeBenchResult {
+    let graph = seed_graph(w);
+    let n = graph.num_vertices();
+
+    let startup = Instant::now();
+    let service = Arc::new(CommunityService::start(
+        graph.clone(),
+        ServeConfig::quick(w.iterations, w.seed)
+            .with_policy(BySize::new(w.flush_size))
+            .with_snapshot_every(w.snapshot_every),
+    ));
+    let startup_secs = startup.elapsed().as_secs_f64();
+
+    let total_queries = (w.total_edits * w.queries_per_edit) as u64;
+    let per_thread = total_queries.div_ceil(w.query_threads as u64);
+    let mut result = ServeBenchResult {
+        startup_secs,
+        ingest_secs: 0.0,
+        edits_per_sec: 0.0,
+        query_secs: 0.0,
+        queries_per_sec: 0.0,
+        queries_issued: 0,
+        final_epoch: 0,
+        stats: Default::default(),
+    };
+
+    std::thread::scope(|s| {
+        // Readers: a 60/25/15 mix of membership / overlap / roster point
+        // queries, answered lock-free from the newest epoch snapshot.
+        // Each returns its own wall time so throughput reflects the time
+        // the readers actually ran, not the (longer) writer replay.
+        let mut readers = Vec::with_capacity(w.query_threads);
+        for t in 0..w.query_threads {
+            let service = Arc::clone(&service);
+            readers.push(s.spawn(move || {
+                let started = Instant::now();
+                let mut queries = service.query();
+                let mut rng = DetRng::new(w.seed ^ 0xdead_beef_u64.rotate_left(t as u32));
+                for i in 0..per_thread {
+                    let u = rng.bounded(n as u64) as VertexId;
+                    match i % 20 {
+                        0..=11 => {
+                            let _ = queries.membership(u);
+                        }
+                        12..=16 => {
+                            let v = rng.bounded(n as u64) as VertexId;
+                            let _ = queries.overlap(u, v);
+                        }
+                        _ => {
+                            let c = queries.membership(u).first().copied().unwrap_or(0);
+                            let _ = queries.roster(c);
+                        }
+                    }
+                }
+                started.elapsed().as_secs_f64()
+            }));
+        }
+
+        // Writer (this thread): replay rounds of valid uniform batches
+        // generated against a shadow copy of the evolving graph.
+        let ingest = service.ingest();
+        let mut shadow = DynamicGraph::new(graph);
+        let rounds = w.total_edits.div_ceil(w.round_edits);
+        let barrier_every = (rounds / 10).max(1);
+        let ingest_started = Instant::now();
+        let mut submitted = 0usize;
+        for round in 0..rounds {
+            let size = w.round_edits.min(w.total_edits - submitted);
+            let batch = uniform_batch(shadow.graph(), size, w.seed.wrapping_add(round as u64));
+            shadow.apply(&batch).expect("uniform batch validates");
+            for &(u, v) in batch.deletions() {
+                ingest.delete(u, v).expect("service alive");
+            }
+            for &(u, v) in batch.insertions() {
+                ingest.insert(u, v).expect("service alive");
+            }
+            submitted += size;
+            if (round + 1) % barrier_every == 0 {
+                ingest.barrier().expect("service alive");
+            }
+        }
+        result.final_epoch = ingest.barrier().expect("service alive");
+        result.ingest_secs = ingest_started.elapsed().as_secs_f64();
+        result.query_secs = readers
+            .into_iter()
+            .map(|h| h.join().expect("reader thread"))
+            .fold(0.0, f64::max);
+    });
+
+    let service = Arc::into_inner(service).expect("threads joined");
+    result.stats = service.shutdown();
+    result.edits_per_sec = result.stats.edits_enqueued as f64 / result.ingest_secs.max(1e-9);
+    result.queries_issued = result.stats.queries.count;
+    result.queries_per_sec = result.queries_issued as f64 / result.query_secs.max(1e-9);
+    result
+}
+
+/// Serialize one run as the `BENCH_serve.json` payload.
+pub fn to_json(w: &ServeWorkload, r: &ServeBenchResult) -> String {
+    format!(
+        "{{\n  \"experiment\": \"serve\",\n  \"mode\": \"{}\",\n  \
+         \"config\": {{\"topology\": \"{}\", \"graph_n\": {}, \"iterations\": {}, \"total_edits\": {}, \
+         \"queries_per_edit\": {}, \"query_threads\": {}, \"flush_size\": {}, \
+         \"snapshot_every\": {}, \"seed\": {}}},\n  \
+         \"startup_secs\": {:.4},\n  \"ingest_secs\": {:.4},\n  \
+         \"edits_per_sec\": {:.1},\n  \"query_secs\": {:.4},\n  \
+         \"queries_per_sec\": {:.1},\n  \"queries_issued\": {},\n  \
+         \"query_p50_us\": {:.3},\n  \"query_p90_us\": {:.3},\n  \
+         \"query_p99_us\": {:.3},\n  \"query_max_us\": {:.3},\n  \
+         \"final_epoch\": {},\n  \"stats\": {}\n}}\n",
+        w.mode,
+        w.topology.label(),
+        w.graph_n,
+        w.iterations,
+        w.total_edits,
+        w.queries_per_edit,
+        w.query_threads,
+        w.flush_size,
+        w.snapshot_every,
+        w.seed,
+        r.startup_secs,
+        r.ingest_secs,
+        r.edits_per_sec,
+        r.query_secs,
+        r.queries_per_sec,
+        r.queries_issued,
+        r.stats.queries.p50_ns as f64 / 1e3,
+        r.stats.queries.p90_ns as f64 / 1e3,
+        r.stats.queries.p99_ns as f64 / 1e3,
+        r.stats.queries.max_ns as f64 / 1e3,
+        r.final_epoch,
+        r.stats.to_json(),
+    )
+}
+
+/// Run the workload, print the table, and write `out_path`.
+pub fn serve(w: &ServeWorkload, out_path: &str) {
+    eprintln!(
+        "[serve:{}] {} n={}, {} edits, {}:1 reads over {} threads",
+        w.mode,
+        w.topology.label(),
+        w.graph_n,
+        w.total_edits,
+        w.queries_per_edit,
+        w.query_threads
+    );
+    let r = run_workload(w);
+    let mut t = Table::new(format!("serve workload ({})", w.mode), &["metric", "value"]);
+    t.row(vec![
+        "edits applied".into(),
+        r.stats.edits_applied.to_string(),
+    ]);
+    t.row(vec![
+        "edits/sec (sustained)".into(),
+        format!("{:.0}", r.edits_per_sec),
+    ]);
+    t.row(vec!["queries issued".into(), r.queries_issued.to_string()]);
+    t.row(vec![
+        "queries/sec".into(),
+        format!("{:.0}", r.queries_per_sec),
+    ]);
+    t.row(vec![
+        "query p50 (us)".into(),
+        format!("{:.2}", r.stats.queries.p50_ns as f64 / 1e3),
+    ]);
+    t.row(vec![
+        "query p99 (us)".into(),
+        format!("{:.2}", r.stats.queries.p99_ns as f64 / 1e3),
+    ]);
+    t.row(vec![
+        "flush p99 (us)".into(),
+        format!("{:.2}", r.stats.flushes.p99_ns as f64 / 1e3),
+    ]);
+    t.row(vec![
+        "snapshot publish p99 (us)".into(),
+        format!("{:.2}", r.stats.snapshots.p99_ns as f64 / 1e3),
+    ]);
+    t.row(vec![
+        "batches flushed".into(),
+        r.stats.batches_flushed.to_string(),
+    ]);
+    t.row(vec![
+        "snapshots published".into(),
+        r.stats.snapshots_published.to_string(),
+    ]);
+    t.row(vec!["final epoch".into(), r.final_epoch.to_string()]);
+    t.print();
+    let json = to_json(w, &r);
+    std::fs::write(out_path, &json).expect("write BENCH_serve.json");
+    eprintln!("[serve:{}] wrote {out_path}", w.mode);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_workload_round_trips_to_json() {
+        let w = ServeWorkload {
+            mode: "micro",
+            topology: Topology::Lfr,
+            graph_n: 200,
+            iterations: 15,
+            total_edits: 300,
+            round_edits: 100,
+            queries_per_edit: 3,
+            query_threads: 1,
+            flush_size: 64,
+            snapshot_every: 2,
+            seed: 7,
+        };
+        let r = run_workload(&w);
+        assert_eq!(r.stats.edits_enqueued, 300);
+        assert!(r.stats.edits_applied > 0);
+        assert!(r.queries_issued >= 300, "{r:?}");
+        assert!(r.final_epoch >= 1);
+        assert!(r.edits_per_sec > 0.0);
+        let json = to_json(&w, &r);
+        assert!(json.contains("\"experiment\": \"serve\""));
+        assert!(json.contains("\"query_p99_us\""));
+        assert!(json.contains("\"edits_per_sec\""));
+        // Crude but effective: balanced braces, parseable-ish.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Property: applying an [`EditBatch`] and then its inverse (insertions
+//! and deletions swapped) restores the exact adjacency structure.
+//!
+//! The serve loop's maintenance thread leans on this: compensating edits
+//! (an op stream that nets out) must leave the graph — and therefore the
+//! repaired label state's topology — bit-identical, or replay/undo
+//! tooling would drift from the source of truth.
+
+use proptest::prelude::*;
+use rslpa_graph::{AdjacencyGraph, DynamicGraph, EditBatch, FxHashSet, VertexId};
+
+const N: u32 = 16;
+
+/// Build a graph from arbitrary pairs, skipping self-loops/duplicates.
+fn graph_from(pairs: &[(VertexId, VertexId)]) -> AdjacencyGraph {
+    let mut g = AdjacencyGraph::new(N as usize);
+    for &(u, v) in pairs {
+        if u != v {
+            g.insert_edge(u, v);
+        }
+    }
+    g
+}
+
+/// Split arbitrary candidate pairs into a batch valid against `g`:
+/// present edges become deletions, absent ones insertions.
+fn batch_against(g: &AdjacencyGraph, pairs: &[(VertexId, VertexId)]) -> EditBatch {
+    let mut ins = Vec::new();
+    let mut del = Vec::new();
+    let mut seen = FxHashSet::default();
+    for &(u, v) in pairs {
+        if u == v || !seen.insert((u.min(v), u.max(v))) {
+            continue;
+        }
+        if g.has_edge(u, v) {
+            del.push((u, v));
+        } else {
+            ins.push((u, v));
+        }
+    }
+    EditBatch::from_lists(ins, del)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn apply_then_inverse_restores_adjacency(
+        edges in proptest::collection::vec((0u32..N, 0u32..N), 0..60),
+        flips in proptest::collection::vec((0u32..N, 0u32..N), 1..40),
+    ) {
+        let before = graph_from(&edges);
+        let batch = batch_against(&before, &flips);
+        let mut dg = DynamicGraph::new(before.clone());
+        dg.apply(&batch).expect("batch built to validate");
+
+        // The inverse batch swaps the roles of the two lists.
+        let inverse = EditBatch::from_lists(
+            batch.deletions().iter().copied(),
+            batch.insertions().iter().copied(),
+        );
+        prop_assert!(inverse.validate(dg.graph()).is_ok());
+        dg.apply(&inverse).expect("inverse validates on the edited graph");
+
+        prop_assert_eq!(dg.graph(), &before);
+        prop_assert!(dg.graph().check_invariants().is_ok());
+    }
+
+    #[test]
+    fn inverse_deltas_mirror_forward_deltas(
+        edges in proptest::collection::vec((0u32..N, 0u32..N), 0..60),
+        flips in proptest::collection::vec((0u32..N, 0u32..N), 1..30),
+    ) {
+        let before = graph_from(&edges);
+        let batch = batch_against(&before, &flips);
+        let mut dg = DynamicGraph::new(before);
+        let forward = dg.apply(&batch).expect("valid batch");
+        let inverse = EditBatch::from_lists(
+            batch.deletions().iter().copied(),
+            batch.insertions().iter().copied(),
+        );
+        let backward = dg.apply(&inverse).expect("valid inverse");
+
+        // Same vertices affected, with added/removed roles exchanged.
+        prop_assert_eq!(forward.affected_vertices(), backward.affected_vertices());
+        prop_assert_eq!(forward.num_inserted, backward.num_deleted);
+        prop_assert_eq!(forward.num_deleted, backward.num_inserted);
+        for (v, fd) in &forward.deltas {
+            let bd = &backward.deltas[v];
+            prop_assert_eq!(&fd.added, &bd.removed);
+            prop_assert_eq!(&fd.removed, &bd.added);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # rslpa-serve — live community serving over a mutating graph
+//!
+//! The paper's deployment story (§V-B3) is "let the algorithm handle
+//! changes continuously, and calculate the communities once per hour".
+//! This crate turns that sentence into a subsystem: a long-lived
+//! in-memory service that ingests edge edits while answering community
+//! queries, with the two sides decoupled so neither waits on the other.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  writers ──▶ EditQueue ──▶ maintenance thread ──▶ SnapshotStore
+//!             (micro-batch     RslpaDetector:        (epoch chain of
+//!              per policy)     apply_batch +          Arc snapshots)
+//!                              detect                      │
+//!  readers ◀──────────────── lock-free refresh ◀──────────┘
+//! ```
+//!
+//! * [`queue`] — MPSC ingestion queue carrying [`EditOp`]s, barriers, and
+//!   shutdown, in submission order.
+//! * [`policy`] — pluggable micro-batching: flush by size, by deadline,
+//!   per-edit, or only at explicit barriers.
+//! * [`maintain`] — the single-writer maintenance loop; folds op soup into
+//!   valid [`EditBatch`](rslpa_graph::EditBatch)es (net-effect
+//!   resolution), repairs the label state incrementally (Correction
+//!   Propagation, paper §IV), and publishes snapshots.
+//! * [`snapshot`] — versioned immutable [`CommunitySnapshot`]s linked into
+//!   an epoch chain; readers advance with atomic loads only and can pin
+//!   any epoch indefinitely.
+//! * [`query`] — vertex membership, community roster, vertex overlap, and
+//!   epoch-to-epoch membership diffs, all latency-accounted.
+//! * [`stats`] — wait-free histograms + counters; p50/p99 summaries.
+//!
+//! The facade is [`CommunityService`]; see its docs for a runnable
+//! example.
+
+pub mod maintain;
+pub mod policy;
+pub mod query;
+pub mod queue;
+pub mod service;
+pub mod snapshot;
+pub mod stats;
+
+pub use policy::{BarrierOnly, ByDeadline, BySize, FlushPolicy, Immediate};
+pub use query::QueryEngine;
+pub use queue::EditOp;
+pub use service::{CommunityService, IngestHandle, ServeConfig, ServiceClosed};
+pub use snapshot::{
+    membership_diff, CommunitySnapshot, MembershipDiff, SnapshotReader, SnapshotStore,
+};
+pub use stats::{LatencyHistogram, LatencySummary, ServeStats, StatsReport};

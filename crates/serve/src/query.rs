@@ -1,0 +1,83 @@
+//! The read side: latency-accounted queries over epoch snapshots.
+//!
+//! A [`QueryEngine`] is cheap to clone — one per reader thread is the
+//! intended pattern. Point queries (`membership`, `roster`, `overlap`)
+//! refresh the engine's lock-free [`SnapshotReader`] and answer from the
+//! newest epoch; `pin()` freezes an epoch for repeatable reads; epoch-diff
+//! queries go through the store's bounded history.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rslpa_graph::VertexId;
+
+use crate::snapshot::{
+    membership_diff, CommunitySnapshot, MembershipDiff, SnapshotReader, SnapshotStore,
+};
+use crate::stats::ServeStats;
+
+/// Handle for issuing queries against the live community state.
+#[derive(Clone, Debug)]
+pub struct QueryEngine {
+    reader: SnapshotReader,
+    store: Arc<SnapshotStore>,
+    stats: Arc<ServeStats>,
+}
+
+impl QueryEngine {
+    pub(crate) fn new(
+        reader: SnapshotReader,
+        store: Arc<SnapshotStore>,
+        stats: Arc<ServeStats>,
+    ) -> Self {
+        Self {
+            reader,
+            store,
+            stats,
+        }
+    }
+
+    fn timed<T>(&self, f: impl FnOnce() -> T) -> T {
+        let started = Instant::now();
+        let out = f();
+        self.stats.queries.record(started.elapsed());
+        out
+    }
+
+    /// Community ids containing `v` in the newest epoch.
+    pub fn membership(&mut self, v: VertexId) -> Vec<u32> {
+        let snap = self.reader.refresh();
+        self.timed(|| snap.membership(v).to_vec())
+    }
+
+    /// Members of community `c` in the newest epoch (`None` = unknown id).
+    pub fn roster(&mut self, c: u32) -> Option<Vec<VertexId>> {
+        let snap = self.reader.refresh();
+        self.timed(|| snap.roster(c).map(<[VertexId]>::to_vec))
+    }
+
+    /// Communities shared by `u` and `v` in the newest epoch.
+    pub fn overlap(&mut self, u: VertexId, v: VertexId) -> Vec<u32> {
+        let snap = self.reader.refresh();
+        self.timed(|| snap.overlap(u, v))
+    }
+
+    /// Pin the newest epoch for repeatable reads; the returned snapshot
+    /// answers identically forever, regardless of later publishes.
+    pub fn pin(&mut self) -> Arc<CommunitySnapshot> {
+        self.reader.refresh()
+    }
+
+    /// Epoch currently visible to this engine (without refreshing).
+    pub fn epoch(&self) -> u64 {
+        self.reader.epoch()
+    }
+
+    /// Vertex-membership difference between two recent epochs, if both are
+    /// still inside the store's history window.
+    pub fn membership_diff(&self, epoch_a: u64, epoch_b: u64) -> Option<MembershipDiff> {
+        let a = self.store.by_epoch(epoch_a)?;
+        let b = self.store.by_epoch(epoch_b)?;
+        Some(self.timed(|| membership_diff(&a, &b)))
+    }
+}

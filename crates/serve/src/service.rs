@@ -1,0 +1,421 @@
+//! [`CommunityService`]: the long-lived facade tying queue, policy,
+//! maintenance loop, snapshot store, and query engine together.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use rslpa_core::{RslpaConfig, RslpaDetector};
+use rslpa_graph::{AdjacencyGraph, VertexId};
+
+use crate::maintain::MaintenanceLoop;
+use crate::policy::{BySize, FlushPolicy};
+use crate::query::QueryEngine;
+use crate::queue::{BarrierGate, Command, EditOp, EditQueue};
+use crate::snapshot::{CommunitySnapshot, SnapshotReader, SnapshotStore};
+use crate::stats::{ServeStats, StatsReport};
+
+/// Service configuration.
+pub struct ServeConfig {
+    /// Detector parameters (iterations, seed, cascade mode).
+    pub detector: RslpaConfig,
+    /// Micro-batching policy for the ingestion queue.
+    pub policy: Box<dyn FlushPolicy>,
+    /// Publish a snapshot every this many flushes (≥ 1). Barriers and
+    /// shutdown always publish. Post-processing dominates flush cost, so
+    /// raising this trades snapshot freshness for ingest throughput.
+    pub snapshot_every: usize,
+    /// How many recent epochs stay addressable for diff queries.
+    pub history: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            detector: RslpaConfig::default(),
+            policy: Box::new(BySize::default()),
+            snapshot_every: 1,
+            history: 64,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Small-iteration config for tests and examples.
+    pub fn quick(iterations: usize, seed: u64) -> Self {
+        Self {
+            detector: RslpaConfig::quick(iterations, seed),
+            ..Self::default()
+        }
+    }
+
+    /// Replace the flush policy (builder style).
+    pub fn with_policy(mut self, policy: impl FlushPolicy + 'static) -> Self {
+        self.policy = Box::new(policy);
+        self
+    }
+
+    /// Set the snapshot cadence (builder style).
+    pub fn with_snapshot_every(mut self, every: usize) -> Self {
+        self.snapshot_every = every.max(1);
+        self
+    }
+}
+
+/// Error submitting to a service that has shut down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceClosed;
+
+impl std::fmt::Display for ServiceClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "community service is shut down")
+    }
+}
+
+impl std::error::Error for ServiceClosed {}
+
+/// A clonable write handle: feeds edits and barriers into the queue from
+/// any thread.
+#[derive(Clone)]
+pub struct IngestHandle {
+    queue: Arc<EditQueue>,
+    stats: Arc<ServeStats>,
+}
+
+impl IngestHandle {
+    /// Enqueue one edit operation.
+    pub fn submit(&self, op: EditOp) -> Result<(), ServiceClosed> {
+        if self.queue.push(Command::Edit(op)) {
+            self.stats.note_enqueued();
+            Ok(())
+        } else {
+            Err(ServiceClosed)
+        }
+    }
+
+    /// Enqueue an edge insertion.
+    pub fn insert(&self, u: VertexId, v: VertexId) -> Result<(), ServiceClosed> {
+        self.submit(EditOp::Insert(u, v))
+    }
+
+    /// Enqueue an edge deletion.
+    pub fn delete(&self, u: VertexId, v: VertexId) -> Result<(), ServiceClosed> {
+        self.submit(EditOp::Delete(u, v))
+    }
+
+    /// Block until every edit enqueued before this call is applied and a
+    /// covering snapshot is published; returns that snapshot's epoch.
+    pub fn barrier(&self) -> Result<u64, ServiceClosed> {
+        let gate = BarrierGate::new();
+        if !self.queue.push(Command::Barrier(gate.clone())) {
+            return Err(ServiceClosed);
+        }
+        Ok(gate.wait())
+    }
+}
+
+/// A live, queryable community-detection service over a mutating graph.
+///
+/// ```
+/// use rslpa_graph::AdjacencyGraph;
+/// use rslpa_serve::{CommunityService, ServeConfig};
+///
+/// let graph = AdjacencyGraph::from_edges(6, [
+///     (0, 1), (1, 2), (0, 2),
+///     (3, 4), (4, 5), (3, 5),
+///     (2, 3),
+/// ]);
+/// let service = CommunityService::start(graph, ServeConfig::quick(30, 7));
+/// let mut queries = service.query();
+///
+/// // Reads are served from the genesis snapshot immediately.
+/// assert!(!queries.membership(0).is_empty());
+///
+/// // Writes flow through the ingestion queue; a barrier waits for them.
+/// service.ingest().insert(1, 4).unwrap();
+/// let epoch = service.ingest().barrier().unwrap();
+/// assert!(epoch > 0);
+/// let report = service.shutdown();
+/// assert_eq!(report.edits_applied, 1);
+/// ```
+pub struct CommunityService {
+    queue: Arc<EditQueue>,
+    store: Arc<SnapshotStore>,
+    stats: Arc<ServeStats>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl CommunityService {
+    /// Run initial label propagation on `graph`, publish the genesis
+    /// snapshot (epoch 0), and start the maintenance thread.
+    pub fn start(graph: AdjacencyGraph, config: ServeConfig) -> Self {
+        let detector = RslpaDetector::new(graph, config.detector);
+        let genesis = CommunitySnapshot::build(0, detector.graph(), &detector.detect(), 0);
+        let store = Arc::new(SnapshotStore::new(genesis, config.history));
+        let queue = EditQueue::new();
+        let stats = Arc::new(ServeStats::default());
+        let worker = MaintenanceLoop {
+            detector,
+            queue: Arc::clone(&queue),
+            store: Arc::clone(&store),
+            stats: Arc::clone(&stats),
+            policy: config.policy,
+            snapshot_every: config.snapshot_every.max(1),
+            flushes_since_snapshot: 0,
+            dirty_since_snapshot: false,
+        };
+        let handle = std::thread::Builder::new()
+            .name("rslpa-serve-maintain".into())
+            .spawn(move || worker.run())
+            .expect("spawn maintenance thread");
+        Self {
+            queue,
+            store,
+            stats,
+            worker: Some(handle),
+        }
+    }
+
+    /// A clonable write handle.
+    pub fn ingest(&self) -> IngestHandle {
+        IngestHandle {
+            queue: Arc::clone(&self.queue),
+            stats: Arc::clone(&self.stats),
+        }
+    }
+
+    /// A latency-accounted query engine (one per reader thread).
+    pub fn query(&self) -> QueryEngine {
+        QueryEngine::new(
+            self.store.reader(),
+            Arc::clone(&self.store),
+            Arc::clone(&self.stats),
+        )
+    }
+
+    /// A raw lock-free snapshot reader.
+    pub fn reader(&self) -> SnapshotReader {
+        self.store.reader()
+    }
+
+    /// The newest published snapshot.
+    pub fn latest(&self) -> Arc<CommunitySnapshot> {
+        self.store.latest()
+    }
+
+    /// Newest published epoch.
+    pub fn latest_epoch(&self) -> u64 {
+        self.store.latest_epoch()
+    }
+
+    /// Commands currently waiting in the ingestion queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Point-in-time operation counters and latency summaries.
+    pub fn stats(&self) -> StatsReport {
+        self.stats.report()
+    }
+
+    /// Flush remaining edits, publish a final snapshot, stop the
+    /// maintenance thread, and return the final stats.
+    pub fn shutdown(mut self) -> StatsReport {
+        self.shutdown_inner();
+        self.stats.report()
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.queue.push(Command::Shutdown);
+        if let Some(handle) = self.worker.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for CommunityService {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{BarrierOnly, Immediate};
+    use std::time::Duration;
+
+    fn two_triangles() -> AdjacencyGraph {
+        AdjacencyGraph::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+    }
+
+    #[test]
+    fn genesis_snapshot_is_queryable_before_any_edit() {
+        let svc = CommunityService::start(two_triangles(), ServeConfig::quick(30, 3));
+        let snap = svc.latest();
+        assert_eq!(snap.epoch, 0);
+        assert_eq!(snap.num_vertices, 6);
+        assert!(!snap.cover.is_empty());
+        let mut q = svc.query();
+        assert!(!q.membership(0).is_empty());
+        assert!(svc.stats().queries.count >= 1);
+    }
+
+    #[test]
+    fn barrier_applies_all_enqueued_edits() {
+        let svc = CommunityService::start(
+            two_triangles(),
+            ServeConfig::quick(30, 3).with_policy(BarrierOnly),
+        );
+        let ingest = svc.ingest();
+        ingest.insert(0, 3).unwrap();
+        ingest.insert(1, 4).unwrap();
+        ingest.delete(2, 3).unwrap();
+        let epoch = ingest.barrier().unwrap();
+        assert!(epoch >= 1);
+        let snap = svc.latest();
+        assert_eq!(snap.epoch, epoch);
+        assert_eq!(snap.num_edges, 7 + 2 - 1);
+        let report = svc.shutdown();
+        assert_eq!(report.edits_applied, 3);
+        assert_eq!(report.edits_rejected, 0);
+        assert_eq!(report.barriers, 1);
+    }
+
+    #[test]
+    fn noop_edits_are_rejected_not_fatal() {
+        let svc = CommunityService::start(
+            two_triangles(),
+            ServeConfig::quick(20, 1).with_policy(BarrierOnly),
+        );
+        let ingest = svc.ingest();
+        ingest.insert(0, 1).unwrap(); // exists
+        ingest.delete(0, 4).unwrap(); // absent
+        ingest.insert(2, 2).unwrap(); // self-loop
+        ingest.barrier().unwrap();
+        let report = svc.shutdown();
+        assert_eq!(report.edits_applied, 0);
+        assert_eq!(report.edits_rejected, 3);
+    }
+
+    #[test]
+    fn quiet_barriers_do_not_mint_new_epochs() {
+        let svc = CommunityService::start(two_triangles(), ServeConfig::quick(20, 1));
+        let ingest = svc.ingest();
+        let e1 = ingest.barrier().unwrap();
+        let e2 = ingest.barrier().unwrap();
+        assert_eq!(e1, 0, "no edits -> genesis still current");
+        assert_eq!(e2, 0);
+        assert_eq!(svc.shutdown().snapshots_published, 0);
+    }
+
+    #[test]
+    fn edits_reference_fresh_vertices() {
+        let svc = CommunityService::start(
+            two_triangles(),
+            ServeConfig::quick(25, 5).with_policy(BarrierOnly),
+        );
+        let ingest = svc.ingest();
+        ingest.insert(6, 0).unwrap();
+        ingest.insert(6, 1).unwrap();
+        ingest.barrier().unwrap();
+        let snap = svc.latest();
+        assert_eq!(snap.num_vertices, 7);
+        assert!(
+            !snap.membership(6).is_empty(),
+            "new vertex joins a community"
+        );
+        drop(svc);
+    }
+
+    #[test]
+    fn immediate_policy_flushes_per_edit() {
+        let svc = CommunityService::start(
+            two_triangles(),
+            ServeConfig::quick(20, 2).with_policy(Immediate),
+        );
+        let ingest = svc.ingest();
+        ingest.insert(0, 4).unwrap();
+        ingest.insert(1, 5).unwrap();
+        ingest.barrier().unwrap();
+        let report = svc.shutdown();
+        assert_eq!(report.edits_applied, 2);
+        assert!(
+            report.batches_flushed >= 2,
+            "immediate policy batches nothing: {report:?}"
+        );
+    }
+
+    #[test]
+    fn size_policy_batches_edits() {
+        let svc = CommunityService::start(
+            two_triangles(),
+            ServeConfig::quick(20, 2).with_policy(crate::policy::BySize {
+                max_edits: 64,
+                max_linger: Duration::from_millis(50),
+            }),
+        );
+        let ingest = svc.ingest();
+        ingest.insert(0, 4).unwrap();
+        ingest.insert(1, 5).unwrap();
+        ingest.insert(2, 5).unwrap();
+        ingest.barrier().unwrap();
+        let report = svc.shutdown();
+        assert_eq!(report.edits_applied, 3);
+        assert_eq!(
+            report.batches_flushed, 1,
+            "one barrier flush expected: {report:?}"
+        );
+    }
+
+    #[test]
+    fn submissions_after_shutdown_fail_cleanly() {
+        let svc = CommunityService::start(two_triangles(), ServeConfig::quick(10, 1));
+        let ingest = svc.ingest();
+        svc.shutdown();
+        assert_eq!(ingest.insert(0, 4), Err(ServiceClosed));
+        assert_eq!(ingest.barrier(), Err(ServiceClosed));
+        assert!(ServiceClosed.to_string().contains("shut down"));
+    }
+
+    #[test]
+    fn snapshot_every_throttles_publishing() {
+        let svc = CommunityService::start(
+            two_triangles(),
+            ServeConfig::quick(20, 4)
+                .with_policy(Immediate)
+                .with_snapshot_every(1000),
+        );
+        let ingest = svc.ingest();
+        for v in 0..3u32 {
+            ingest.insert(v, v + 3).unwrap();
+        }
+        // No barrier: snapshots are throttled, so the epoch may lag...
+        std::thread::sleep(Duration::from_millis(20));
+        let lagging = svc.latest_epoch();
+        // ...but shutdown always publishes the final state.
+        let report = svc.shutdown();
+        assert!(lagging <= report.snapshots_published);
+        assert_eq!(report.edits_applied, 3);
+        assert!(report.snapshots_published >= 1);
+    }
+
+    #[test]
+    fn query_engine_diff_across_barrier() {
+        let svc = CommunityService::start(
+            two_triangles(),
+            ServeConfig::quick(30, 11).with_policy(BarrierOnly),
+        );
+        let ingest = svc.ingest();
+        let q0 = ingest.barrier().unwrap();
+        // Tear the bridge and the right triangle apart.
+        ingest.delete(2, 3).unwrap();
+        ingest.delete(3, 4).unwrap();
+        ingest.delete(4, 5).unwrap();
+        ingest.delete(3, 5).unwrap();
+        let q1 = ingest.barrier().unwrap();
+        let q = svc.query();
+        let diff = q.membership_diff(q0, q1).expect("both epochs in history");
+        assert!(diff.changed.iter().any(|&v| v >= 3), "{diff:?}");
+        drop(svc);
+    }
+}

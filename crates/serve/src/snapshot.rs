@@ -1,0 +1,438 @@
+//! Versioned, immutable community snapshots with lock-free reader access.
+//!
+//! Every published epoch is an [`Arc<CommunitySnapshot>`] — a frozen cover
+//! plus a prebuilt vertex→communities index — linked into a singly-linked
+//! chain whose `next` pointers are [`OnceLock`]s:
+//!
+//! ```text
+//! epoch 0 ──next──▶ epoch 1 ──next──▶ epoch 2   (newest)
+//! ```
+//!
+//! A [`SnapshotReader`] holds an `Arc` to some node and advances by
+//! following `next` pointers: `OnceLock::get` is a single atomic load, so
+//! *readers are lock-free and never block on the writer* — a publish in
+//! flight is simply not visible until its `set` completes. A reader that
+//! keeps its pinned `Arc` observes epoch N forever, unchanged, no matter
+//! how many epochs the writer publishes (the chain only appends). The
+//! writer-side mutex in [`SnapshotStore`] orders publishers and is never
+//! taken by readers that go through a reader handle.
+//!
+//! Memory: a node keeps every *later* node alive through the chain, so the
+//! oldest live reader bounds reclamation — exactly the epoch-pinning
+//! semantics a snapshot query API wants. The store additionally retains a
+//! bounded history ring so epoch-diff queries can address recent epochs by
+//! number.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use rslpa_core::DetectionResult;
+use rslpa_graph::{AdjacencyGraph, Cover, VertexId};
+
+/// An immutable view of the community structure at one epoch.
+#[derive(Clone, Debug)]
+pub struct CommunitySnapshot {
+    /// Monotonically increasing version; epoch 0 is the genesis snapshot
+    /// taken before any edits.
+    pub epoch: u64,
+    /// Vertices in the graph at publish time.
+    pub num_vertices: usize,
+    /// Edges in the graph at publish time.
+    pub num_edges: usize,
+    /// Edit batches applied since service start.
+    pub batches_applied: usize,
+    /// The extracted overlapping communities.
+    pub cover: Cover,
+    /// Strong threshold chosen by the post-processing entropy scan.
+    pub tau1: f64,
+    /// Weak-attachment threshold.
+    pub tau2: f64,
+    /// Per-vertex community ids (indices into `cover.communities()`).
+    memberships: Vec<Vec<u32>>,
+    /// Content hash per community, for cross-epoch identity comparison.
+    community_hashes: Vec<u64>,
+}
+
+impl CommunitySnapshot {
+    /// Freeze a detection result into a queryable snapshot.
+    pub fn build(
+        epoch: u64,
+        graph: &AdjacencyGraph,
+        detection: &DetectionResult,
+        batches_applied: usize,
+    ) -> Self {
+        let cover = detection.result.cover.clone();
+        let n = graph.num_vertices();
+        let memberships = cover.memberships(n);
+        let community_hashes = cover
+            .communities()
+            .iter()
+            .map(|c| hash_members(c))
+            .collect();
+        Self {
+            epoch,
+            num_vertices: n,
+            num_edges: graph.num_edges(),
+            batches_applied,
+            cover,
+            tau1: detection.result.tau1,
+            tau2: detection.result.tau2,
+            memberships,
+            community_hashes,
+        }
+    }
+
+    /// Community ids containing `v` (empty for uncovered or out-of-range
+    /// vertices), sorted ascending.
+    pub fn membership(&self, v: VertexId) -> &[u32] {
+        self.memberships
+            .get(v as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Members of community `c`, or `None` for an unknown id.
+    pub fn roster(&self, c: u32) -> Option<&[VertexId]> {
+        self.cover.communities().get(c as usize).map(Vec::as_slice)
+    }
+
+    /// Community ids shared by `u` and `v` (sorted-list intersection).
+    pub fn overlap(&self, u: VertexId, v: VertexId) -> Vec<u32> {
+        let (a, b) = (self.membership(u), self.membership(v));
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Content identities of the communities containing `v`, sorted. Two
+    /// epochs agree on a vertex exactly when these sets agree — community
+    /// *indices* are not stable across epochs, community *contents* are
+    /// the comparable identity.
+    fn membership_fingerprint(&self, v: VertexId) -> Vec<u64> {
+        let mut h: Vec<u64> = self
+            .membership(v)
+            .iter()
+            .map(|&c| self.community_hashes[c as usize])
+            .collect();
+        h.sort_unstable();
+        h
+    }
+}
+
+/// FNV-1a over the member list — cheap, deterministic, and collision-safe
+/// enough for diffing (a collision requires two different communities in
+/// two specific epochs to hash equal *and* contain the probed vertex).
+fn hash_members(members: &[VertexId]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &m in members {
+        h ^= u64::from(m);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Vertex-level difference between two epochs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MembershipDiff {
+    /// Older epoch compared.
+    pub epoch_a: u64,
+    /// Newer epoch compared.
+    pub epoch_b: u64,
+    /// Vertices whose community set changed (by community *content*, not
+    /// index), ascending.
+    pub changed: Vec<VertexId>,
+    /// Vertices covered in `b` but not in `a`.
+    pub gained_coverage: usize,
+    /// Vertices covered in `a` but not in `b`.
+    pub lost_coverage: usize,
+}
+
+/// Compare two snapshots vertex by vertex.
+pub fn membership_diff(a: &CommunitySnapshot, b: &CommunitySnapshot) -> MembershipDiff {
+    let n = a.num_vertices.max(b.num_vertices);
+    let mut diff = MembershipDiff {
+        epoch_a: a.epoch,
+        epoch_b: b.epoch,
+        ..Default::default()
+    };
+    for v in 0..n as VertexId {
+        let (ma, mb) = (a.membership(v), b.membership(v));
+        if ma.is_empty() && !mb.is_empty() {
+            diff.gained_coverage += 1;
+        } else if !ma.is_empty() && mb.is_empty() {
+            diff.lost_coverage += 1;
+        }
+        if ma.len() != mb.len() || a.membership_fingerprint(v) != b.membership_fingerprint(v) {
+            diff.changed.push(v);
+        }
+    }
+    diff
+}
+
+/// A link in the epoch chain.
+#[derive(Debug)]
+struct Node {
+    snap: Arc<CommunitySnapshot>,
+    next: OnceLock<Arc<Node>>,
+}
+
+/// Publishes snapshots and hands out lock-free readers.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    /// Writer-side pointer to the newest node. Readers obtained *through a
+    /// handle* never touch this; `latest()` takes it briefly to clone.
+    newest: Mutex<Arc<Node>>,
+    /// Recent epochs addressable by number (for diff queries).
+    history: Mutex<VecDeque<Arc<CommunitySnapshot>>>,
+    history_capacity: usize,
+    latest_epoch: AtomicU64,
+}
+
+impl SnapshotStore {
+    /// Create a store seeded with the genesis snapshot.
+    pub fn new(genesis: CommunitySnapshot, history_capacity: usize) -> Self {
+        let epoch = genesis.epoch;
+        let snap = Arc::new(genesis);
+        let node = Arc::new(Node {
+            snap: snap.clone(),
+            next: OnceLock::new(),
+        });
+        let mut history = VecDeque::new();
+        history.push_back(snap);
+        Self {
+            newest: Mutex::new(node),
+            history: Mutex::new(history),
+            history_capacity: history_capacity.max(2),
+            latest_epoch: AtomicU64::new(epoch),
+        }
+    }
+
+    /// Publish a new epoch. Single-writer by design (the maintenance
+    /// loop); the mutex makes accidental concurrent publishers safe too.
+    pub fn publish(&self, snapshot: CommunitySnapshot) -> u64 {
+        let epoch = snapshot.epoch;
+        let snap = Arc::new(snapshot);
+        let node = Arc::new(Node {
+            snap: snap.clone(),
+            next: OnceLock::new(),
+        });
+        {
+            let mut newest = self.newest.lock().unwrap();
+            newest
+                .next
+                .set(node.clone())
+                .expect("chain tail already extended — epoch published twice?");
+            *newest = node;
+        }
+        {
+            let mut history = self.history.lock().unwrap();
+            history.push_back(snap);
+            while history.len() > self.history_capacity {
+                history.pop_front();
+            }
+        }
+        self.latest_epoch.store(epoch, Ordering::Release);
+        epoch
+    }
+
+    /// Epoch of the newest published snapshot (atomic load).
+    pub fn latest_epoch(&self) -> u64 {
+        self.latest_epoch.load(Ordering::Acquire)
+    }
+
+    /// The newest snapshot (brief writer-mutex clone; use a
+    /// [`SnapshotReader`] on hot paths).
+    pub fn latest(&self) -> Arc<CommunitySnapshot> {
+        self.newest.lock().unwrap().snap.clone()
+    }
+
+    /// A lock-free reader positioned at the current newest epoch.
+    pub fn reader(&self) -> SnapshotReader {
+        SnapshotReader {
+            cur: self.newest.lock().unwrap().clone(),
+        }
+    }
+
+    /// Fetch a recent epoch by number, if still in the history window.
+    pub fn by_epoch(&self, epoch: u64) -> Option<Arc<CommunitySnapshot>> {
+        self.history
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|s| s.epoch == epoch)
+            .cloned()
+    }
+}
+
+/// A reader cursor into the epoch chain.
+///
+/// [`refresh`](Self::refresh) advances to the newest published epoch using
+/// only atomic loads and `Arc` clones — no locks, so a reader can never be
+/// blocked by the maintenance loop mid-publish. [`pinned`](Self::pinned)
+/// returns the current position without advancing, for callers that need
+/// repeatable reads across multiple queries.
+#[derive(Clone, Debug)]
+pub struct SnapshotReader {
+    cur: Arc<Node>,
+}
+
+impl SnapshotReader {
+    /// Advance to the newest epoch and return it. Lock-free.
+    pub fn refresh(&mut self) -> Arc<CommunitySnapshot> {
+        while let Some(next) = self.cur.next.get() {
+            self.cur = next.clone();
+        }
+        self.cur.snap.clone()
+    }
+
+    /// The snapshot at the reader's current position, without advancing.
+    pub fn pinned(&self) -> Arc<CommunitySnapshot> {
+        self.cur.snap.clone()
+    }
+
+    /// Epoch at the current position.
+    pub fn epoch(&self) -> u64 {
+        self.cur.snap.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rslpa_core::{RslpaConfig, RslpaDetector};
+
+    fn snap_for(epoch: u64, edges: &[(u32, u32)], n: usize) -> CommunitySnapshot {
+        let g = AdjacencyGraph::from_edges(n, edges.iter().copied());
+        let det = RslpaDetector::new(g.clone(), RslpaConfig::quick(20, 5));
+        CommunitySnapshot::build(epoch, &g, &det.detect(), epoch as usize)
+    }
+
+    fn triangle_pair() -> Vec<(u32, u32)> {
+        vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+    }
+
+    #[test]
+    fn snapshot_indexes_are_consistent() {
+        let s = snap_for(0, &triangle_pair(), 6);
+        for v in 0..6u32 {
+            for &c in s.membership(v) {
+                assert!(s.roster(c).unwrap().contains(&v), "v={v} c={c}");
+            }
+        }
+        for (ci, comm) in s.cover.communities().iter().enumerate() {
+            for &v in comm {
+                assert!(s.membership(v).contains(&(ci as u32)));
+            }
+        }
+        assert!(s.roster(u32::MAX).is_none());
+        assert!(s.membership(99).is_empty());
+    }
+
+    #[test]
+    fn overlap_is_sorted_intersection() {
+        let s = snap_for(0, &triangle_pair(), 6);
+        for u in 0..6u32 {
+            for v in 0..6u32 {
+                let o = s.overlap(u, v);
+                for &c in &o {
+                    assert!(s.membership(u).contains(&c));
+                    assert!(s.membership(v).contains(&c));
+                }
+                assert!(o.windows(2).all(|w| w[0] < w[1]));
+            }
+            assert_eq!(s.overlap(u, u).len(), s.membership(u).len());
+        }
+    }
+
+    #[test]
+    fn reader_advances_through_publishes() {
+        let store = SnapshotStore::new(snap_for(0, &triangle_pair(), 6), 8);
+        let mut reader = store.reader();
+        assert_eq!(reader.epoch(), 0);
+        store.publish(snap_for(1, &triangle_pair(), 6));
+        store.publish(snap_for(2, &triangle_pair(), 6));
+        assert_eq!(store.latest_epoch(), 2);
+        assert_eq!(reader.epoch(), 0, "no advance before refresh");
+        assert_eq!(reader.refresh().epoch, 2);
+        assert_eq!(reader.epoch(), 2);
+    }
+
+    #[test]
+    fn pinned_snapshot_survives_later_epochs() {
+        let store = SnapshotStore::new(snap_for(0, &triangle_pair(), 6), 2);
+        let reader = store.reader();
+        let pinned = reader.pinned();
+        for e in 1..10 {
+            store.publish(snap_for(e, &[(0, 1)], 3));
+        }
+        // Pinned epoch 0 still answers from its own cover even though the
+        // history ring has long evicted it.
+        assert_eq!(pinned.epoch, 0);
+        assert_eq!(pinned.num_vertices, 6);
+        assert!(store.by_epoch(0).is_none(), "history ring bounded");
+        assert!(store.by_epoch(9).is_some());
+    }
+
+    #[test]
+    fn history_serves_recent_epochs_for_diff() {
+        let store = SnapshotStore::new(snap_for(0, &triangle_pair(), 6), 8);
+        store.publish(snap_for(1, &[(0, 1), (1, 2), (0, 2)], 6));
+        let a = store.by_epoch(0).unwrap();
+        let b = store.by_epoch(1).unwrap();
+        let d = membership_diff(&a, &b);
+        assert_eq!((d.epoch_a, d.epoch_b), (0, 1));
+        // The right triangle 3-4-5 disappeared in epoch 1.
+        assert!(d.lost_coverage >= 3, "{d:?}");
+        assert!(d.changed.iter().any(|&v| v >= 3));
+    }
+
+    #[test]
+    fn diff_of_identical_snapshots_is_empty() {
+        let a = snap_for(0, &triangle_pair(), 6);
+        let b = snap_for(1, &triangle_pair(), 6);
+        let d = membership_diff(&a, &b);
+        assert!(d.changed.is_empty(), "{d:?}");
+        assert_eq!(d.gained_coverage, 0);
+        assert_eq!(d.lost_coverage, 0);
+    }
+
+    #[test]
+    fn concurrent_readers_while_publishing() {
+        let store = Arc::new(SnapshotStore::new(snap_for(0, &triangle_pair(), 6), 4));
+        let publishes = 50u64;
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let store = Arc::clone(&store);
+                s.spawn(move || {
+                    let mut reader = store.reader();
+                    let mut last = reader.epoch();
+                    while last < publishes {
+                        let snap = reader.refresh();
+                        assert!(snap.epoch >= last, "epochs move forward");
+                        last = snap.epoch;
+                        // Internal consistency must hold at every epoch.
+                        for &c in snap.membership(0) {
+                            assert!(snap.roster(c).unwrap().contains(&0));
+                        }
+                    }
+                });
+            }
+            for e in 1..=publishes {
+                store.publish(snap_for(e, &triangle_pair(), 6));
+            }
+        });
+        assert_eq!(store.latest_epoch(), publishes);
+    }
+}

@@ -1,0 +1,344 @@
+//! Per-operation latency/throughput accounting for the serve loop.
+//!
+//! Queries and flushes record into log₂-bucketed histograms of atomic
+//! counters, so recording from many reader threads is wait-free and a
+//! percentile read never stops the world. Percentiles are resolved to the
+//! upper bound of the containing bucket — at most 2× off, which is plenty
+//! for p50/p99 trend tracking across PRs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log₂ buckets: bucket `i` holds samples in `[2^(i-1), 2^i)` ns
+/// (bucket 0 holds 0 ns). 2^63 ns ≈ 292 years — nothing saturates.
+const BUCKETS: usize = 64;
+
+/// A wait-free latency histogram over nanosecond samples.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&self, elapsed: Duration) {
+        let ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let idx = (64 - ns.leading_zeros()) as usize; // 0 for ns == 0
+        self.buckets[idx.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Freeze into a plain summary (counts read once; concurrent recording
+    /// keeps the summary internally consistent enough for reporting).
+    pub fn summarize(&self) -> LatencySummary {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        let percentile = |q: f64| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            let target = (q * total as f64).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= target {
+                    // Upper bound of bucket i: 2^i - 1 ns (bucket 0 = 0 ns).
+                    return if i == 0 { 0 } else { (1u64 << i) - 1 };
+                }
+            }
+            self.max_ns.load(Ordering::Relaxed)
+        };
+        LatencySummary {
+            count: total,
+            mean_ns: if total == 0 {
+                0
+            } else {
+                self.sum_ns.load(Ordering::Relaxed) / total
+            },
+            p50_ns: percentile(0.50),
+            p90_ns: percentile(0.90),
+            p99_ns: percentile(0.99),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen histogram view.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Arithmetic mean, nanoseconds.
+    pub mean_ns: u64,
+    /// Median (bucket upper bound), nanoseconds.
+    pub p50_ns: u64,
+    /// 90th percentile, nanoseconds.
+    pub p90_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+    /// Largest sample, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl std::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1}us p50={:.1}us p99={:.1}us max={:.1}us",
+            self.count,
+            self.mean_ns as f64 / 1e3,
+            self.p50_ns as f64 / 1e3,
+            self.p99_ns as f64 / 1e3,
+            self.max_ns as f64 / 1e3,
+        )
+    }
+}
+
+/// Shared counters for one service instance. All fields are monotone
+/// counters updated with relaxed atomics; a [`StatsReport`] is a consistent
+/// enough point-in-time read for reporting.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Query latency (all query kinds pooled).
+    pub queries: LatencyHistogram,
+    /// Flush latency: net-batch resolution + incremental repair only;
+    /// detection/publish cost is tracked separately in `snapshots`.
+    pub flushes: LatencyHistogram,
+    /// Snapshot publish latency: post-processing (detect) + index build +
+    /// epoch swap. Its count is the number of snapshots published.
+    pub snapshots: LatencyHistogram,
+    /// Edit operations accepted into the queue.
+    pub edits_enqueued: AtomicU64,
+    /// Edit operations applied to the graph.
+    pub edits_applied: AtomicU64,
+    /// Edit operations dropped as no-ops (inserting a present edge,
+    /// deleting an absent one, self-loops).
+    pub edits_rejected: AtomicU64,
+    /// Micro-batches flushed into the detector.
+    pub batches_flushed: AtomicU64,
+    /// Label slots repaired across all flushes (Σ η).
+    pub slots_repaired: AtomicU64,
+    /// Barriers honored.
+    pub barriers: AtomicU64,
+}
+
+macro_rules! bump {
+    ($field:expr) => {
+        $field.fetch_add(1, Ordering::Relaxed)
+    };
+    ($field:expr, $n:expr) => {
+        $field.fetch_add($n, Ordering::Relaxed)
+    };
+}
+
+impl ServeStats {
+    pub(crate) fn note_enqueued(&self) {
+        bump!(self.edits_enqueued);
+    }
+
+    pub(crate) fn note_flush(&self, applied: u64, rejected: u64, eta: u64, took: Duration) {
+        bump!(self.batches_flushed);
+        bump!(self.edits_applied, applied);
+        bump!(self.edits_rejected, rejected);
+        bump!(self.slots_repaired, eta);
+        self.flushes.record(took);
+    }
+
+    pub(crate) fn note_snapshot(&self, took: Duration) {
+        self.snapshots.record(took);
+    }
+
+    pub(crate) fn note_barrier(&self) {
+        bump!(self.barriers);
+    }
+
+    /// Point-in-time report.
+    pub fn report(&self) -> StatsReport {
+        let snapshots = self.snapshots.summarize();
+        StatsReport {
+            queries: self.queries.summarize(),
+            flushes: self.flushes.summarize(),
+            snapshots_published: snapshots.count,
+            snapshots,
+            edits_enqueued: self.edits_enqueued.load(Ordering::Relaxed),
+            edits_applied: self.edits_applied.load(Ordering::Relaxed),
+            edits_rejected: self.edits_rejected.load(Ordering::Relaxed),
+            batches_flushed: self.batches_flushed.load(Ordering::Relaxed),
+            slots_repaired: self.slots_repaired.load(Ordering::Relaxed),
+            barriers: self.barriers.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain point-in-time view of [`ServeStats`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StatsReport {
+    /// Query latency summary.
+    pub queries: LatencySummary,
+    /// Flush latency summary (repair only; see `snapshots` for detect).
+    pub flushes: LatencySummary,
+    /// Snapshot publish latency summary (detect + build + swap).
+    pub snapshots: LatencySummary,
+    /// Snapshots published (== `snapshots.count`, kept for readability).
+    pub snapshots_published: u64,
+    /// See [`ServeStats::edits_enqueued`].
+    pub edits_enqueued: u64,
+    /// See [`ServeStats::edits_applied`].
+    pub edits_applied: u64,
+    /// See [`ServeStats::edits_rejected`].
+    pub edits_rejected: u64,
+    /// See [`ServeStats::batches_flushed`].
+    pub batches_flushed: u64,
+    /// See [`ServeStats::slots_repaired`].
+    pub slots_repaired: u64,
+    /// See [`ServeStats::barriers`].
+    pub barriers: u64,
+}
+
+impl StatsReport {
+    /// Render as a JSON object fragment (no external deps; all fields are
+    /// numbers, so no escaping is needed).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"edits_enqueued\":{},\"edits_applied\":{},\"edits_rejected\":{},\
+             \"batches_flushed\":{},\"snapshots_published\":{},\"slots_repaired\":{},\
+             \"barriers\":{},\
+             \"query_count\":{},\"query_mean_ns\":{},\"query_p50_ns\":{},\
+             \"query_p90_ns\":{},\"query_p99_ns\":{},\"query_max_ns\":{},\
+             \"flush_count\":{},\"flush_mean_ns\":{},\"flush_p50_ns\":{},\
+             \"flush_p99_ns\":{},\"snapshot_mean_ns\":{},\"snapshot_p50_ns\":{},\
+             \"snapshot_p99_ns\":{}}}",
+            self.edits_enqueued,
+            self.edits_applied,
+            self.edits_rejected,
+            self.batches_flushed,
+            self.snapshots_published,
+            self.slots_repaired,
+            self.barriers,
+            self.queries.count,
+            self.queries.mean_ns,
+            self.queries.p50_ns,
+            self.queries.p90_ns,
+            self.queries.p99_ns,
+            self.queries.max_ns,
+            self.flushes.count,
+            self.flushes.mean_ns,
+            self.flushes.p50_ns,
+            self.flushes.p99_ns,
+            self.snapshots.mean_ns,
+            self.snapshots.p50_ns,
+            self.snapshots.p99_ns,
+        )
+    }
+}
+
+impl std::fmt::Display for StatsReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "edits: {} applied, {} rejected of {} enqueued in {} flushes",
+            self.edits_applied, self.edits_rejected, self.edits_enqueued, self.batches_flushed
+        )?;
+        writeln!(
+            f,
+            "snapshots: {} published, {} barriers, {} slots repaired",
+            self.snapshots_published, self.barriers, self.slots_repaired
+        )?;
+        writeln!(f, "queries: {}", self.queries)?;
+        writeln!(f, "flushes: {}", self.flushes)?;
+        write!(f, "publishes: {}", self.snapshots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_summarizes_to_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.summarize(), LatencySummary::default());
+    }
+
+    #[test]
+    fn percentiles_are_bucket_upper_bounds() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_nanos(100)); // bucket [64, 128)
+        }
+        h.record(Duration::from_micros(100)); // ~1e5 ns
+        let s = h.summarize();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ns, 127);
+        assert_eq!(s.p99_ns, 127);
+        assert!(s.max_ns >= 100_000);
+        assert!(s.mean_ns > 100 && s.mean_ns < 2_000);
+    }
+
+    #[test]
+    fn zero_duration_lands_in_bucket_zero() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        let s = h.summarize();
+        assert_eq!(s.p50_ns, 0);
+        assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn report_json_is_wellformed_enough() {
+        let stats = ServeStats::default();
+        stats.note_enqueued();
+        stats.note_flush(1, 0, 5, Duration::from_micros(3));
+        let json = stats.report().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"edits_applied\":1"));
+        assert!(json.contains("\"slots_repaired\":5"));
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(Duration::from_nanos(i));
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.summarize().count, 4000);
+    }
+}

@@ -1,0 +1,150 @@
+//! Snapshot semantics under real concurrency: a reader holding epoch N
+//! must see identical query answers before and after the writer publishes
+//! epoch N+1 — no torn reads, no answers mixing two epochs.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use rslpa_graph::{AdjacencyGraph, VertexId};
+use rslpa_serve::{BarrierOnly, BySize, CommunityService, ServeConfig};
+
+fn two_triangles() -> AdjacencyGraph {
+    AdjacencyGraph::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+}
+
+/// Every answer a pinned snapshot can give, frozen into plain data.
+fn all_answers(snap: &rslpa_serve::CommunitySnapshot) -> Vec<(Vec<u32>, Vec<Vec<u32>>)> {
+    (0..snap.num_vertices as VertexId)
+        .map(|v| {
+            let membership = snap.membership(v).to_vec();
+            let overlaps = (0..snap.num_vertices as VertexId)
+                .map(|u| snap.overlap(v, u))
+                .collect();
+            (membership, overlaps)
+        })
+        .collect()
+}
+
+#[test]
+fn pinned_epoch_answers_are_immutable_across_publishes() {
+    let service = CommunityService::start(
+        two_triangles(),
+        ServeConfig::quick(30, 13).with_policy(BarrierOnly),
+    );
+    let mut queries = service.query();
+    let pinned = queries.pin();
+    let epoch_n = pinned.epoch;
+    let before = all_answers(&pinned);
+
+    // Writer: demolish the structure the pinned epoch describes.
+    let ingest = service.ingest();
+    for (u, v) in [(2, 3), (3, 4), (4, 5), (3, 5)] {
+        ingest.delete(u, v).unwrap();
+    }
+    for (u, v) in [(0, 4), (1, 5)] {
+        ingest.insert(u, v).unwrap();
+    }
+    let epoch_n1 = ingest.barrier().unwrap();
+    assert!(epoch_n1 > epoch_n, "writer really published a new epoch");
+
+    // The pinned snapshot still answers exactly as before...
+    assert_eq!(all_answers(&pinned), before);
+    assert_eq!(pinned.epoch, epoch_n);
+    // ...while a refreshed reader sees the new world.
+    let fresh = queries.pin();
+    assert_eq!(fresh.epoch, epoch_n1);
+    assert_ne!(all_answers(&fresh), before, "the graph change was visible");
+    drop(service);
+}
+
+#[test]
+fn concurrent_readers_never_observe_torn_snapshots() {
+    // Readers hammer membership/roster cross-checks while the writer
+    // churns edits and publishes epochs. Within one pinned snapshot,
+    // membership and roster must agree perfectly — a torn read (index from
+    // epoch N against cover from N+1) would break the cross-check.
+    let service = Arc::new(CommunityService::start(
+        two_triangles(),
+        ServeConfig::quick(25, 17).with_policy(BySize::new(4)),
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer_epochs = 40u64;
+
+    std::thread::scope(|s| {
+        for reader_id in 0..3 {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut queries = service.query();
+                let mut last_epoch = 0u64;
+                let mut checks = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = queries.pin();
+                    assert!(
+                        snap.epoch >= last_epoch,
+                        "reader {reader_id}: epochs regressed"
+                    );
+                    last_epoch = snap.epoch;
+                    for v in 0..snap.num_vertices as VertexId {
+                        for &c in snap.membership(v) {
+                            let roster = snap
+                                .roster(c)
+                                .expect("membership references an existing community");
+                            assert!(
+                                roster.binary_search(&v).is_ok(),
+                                "reader {reader_id}: v={v} missing from its community \
+                                 c={c} at epoch {} — torn snapshot",
+                                snap.epoch
+                            );
+                        }
+                    }
+                    checks += 1;
+                }
+                assert!(checks > 0, "reader {reader_id} never ran");
+            });
+        }
+
+        // Writer: oscillate a handful of edges; every barrier publishes.
+        let ingest = service.ingest();
+        for round in 0..writer_epochs {
+            let (u, v) = ((round % 3) as VertexId, (3 + round % 3) as VertexId);
+            if ingest.insert(u, v).is_ok() {
+                ingest.barrier().unwrap();
+            }
+            ingest.delete(u, v).unwrap();
+            ingest.barrier().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let service = Arc::into_inner(service).expect("all threads joined");
+    let report = service.shutdown();
+    assert!(report.snapshots_published >= 2, "{report:?}");
+    assert!(report.queries.count == 0, "pin() is not a counted query");
+}
+
+#[test]
+fn lagging_reader_walks_forward_through_every_epoch_gap() {
+    // A reader that refreshes only occasionally must still land on the
+    // newest epoch, regardless of how many epochs it slept through.
+    let service = CommunityService::start(
+        two_triangles(),
+        ServeConfig::quick(20, 23).with_policy(BarrierOnly),
+    );
+    let mut queries = service.query();
+    assert_eq!(queries.pin().epoch, 0);
+
+    let ingest = service.ingest();
+    let mut last = 0;
+    for round in 0..10u32 {
+        let (u, v) = (round % 3, 3 + (round + 1) % 3);
+        if round % 2 == 0 {
+            let _ = ingest.insert(u, v);
+        } else {
+            let _ = ingest.delete(u, v);
+        }
+        last = ingest.barrier().unwrap();
+    }
+    assert_eq!(queries.pin().epoch, last, "reader caught up in one refresh");
+    drop(service);
+}

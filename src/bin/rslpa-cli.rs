@@ -4,12 +4,16 @@
 //! rslpa-cli stats    graph.txt
 //! rslpa-cli detect   graph.txt --iterations 200 --seed 42 --out communities.txt
 //! rslpa-cli stream   graph.txt edits.txt --detect-every 2
+//! rslpa-cli replay   graph.txt edits.txt --queries-per-edit 4 --stats-json out.json
 //! rslpa-cli generate lfr 5000 --out graph.txt
 //! ```
 //!
 //! Formats: graphs are whitespace-separated `u v` lines (`#`/`%` comments
 //! allowed; direction, duplicates and self-loops are cleaned on load).
-//! Edit files contain `+ u v` / `- u v` lines; a blank line ends a batch.
+//! Edit files contain `+ u v` / `- u v` lines; a blank line ends a batch
+//! (`stream`) / marks a barrier (`replay`). Malformed edit lines are hard
+//! errors — a silently skipped edit would desynchronize the replayed
+//! graph from the caller's intent.
 
 use std::io::{BufRead, Write};
 use std::path::Path;
@@ -20,6 +24,7 @@ use rslpa::gen::webgraph::{barabasi_albert, rmat, RmatParams};
 use rslpa::graph::io::{load_binary_graph, write_edge_list};
 use rslpa::graph::GraphStats;
 use rslpa::prelude::*;
+use rslpa::serve::BySize;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,6 +32,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("detect") => cmd_detect(&args[1..]),
         Some("stream") => cmd_stream(&args[1..]),
+        Some("replay" | "serve") => cmd_replay(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         _ => {
             eprintln!(
@@ -35,6 +41,9 @@ fn main() -> ExitCode {
                  \x20 stats    <graph>                          graph statistics\n\
                  \x20 detect   <graph> [--iterations N] [--seed S] [--out FILE]\n\
                  \x20 stream   <graph> <edits> [--iterations N] [--seed S] [--detect-every K]\n\
+                 \x20 replay   <graph> <edits> [--iterations N] [--seed S] [--flush-size B]\n\
+                 \x20          [--snapshot-every K] [--queries-per-edit Q] [--stats-json FILE]\n\
+                 \x20          replay an edit log through the live serve loop (blank line = barrier)\n\
                  \x20 generate <lfr|rmat|ba> <size> [--seed S] [--out FILE]"
             );
             return ExitCode::from(2);
@@ -128,18 +137,26 @@ fn cmd_detect(args: &[String]) -> CliResult {
     write_cover(&detection.result.cover, options.get("out").copied())
 }
 
-/// Parse an edit stream: `+ u v` / `- u v` lines, blank line = batch end.
-fn parse_edit_batches<R: BufRead>(reader: R) -> Result<Vec<EditBatch>, String> {
-    let mut batches = Vec::new();
-    let mut ins: Vec<(u32, u32)> = Vec::new();
-    let mut del: Vec<(u32, u32)> = Vec::new();
+/// One parsed line of an edit file.
+enum EditLine {
+    /// `+ u v` (insert = true) or `- u v` (insert = false).
+    Op(bool, u32, u32),
+    /// Blank line: batch boundary (`stream`) / barrier (`replay`).
+    Break,
+}
+
+/// Strictly parse an edit stream: `+ u v` / `- u v` lines, `#` comments,
+/// blank line = batch boundary. Any malformed line — wrong operator, bad
+/// vertex, missing or *trailing* tokens — is a hard error naming the line,
+/// never a silent skip: a dropped edit would desynchronize the replayed
+/// graph from the caller's intent.
+fn parse_edit_lines<R: BufRead>(reader: R) -> Result<Vec<EditLine>, String> {
+    let mut lines = Vec::new();
     for (lineno, line) in reader.lines().enumerate() {
         let line = line.map_err(|e| e.to_string())?;
         let trimmed = line.trim();
         if trimmed.is_empty() {
-            if !ins.is_empty() || !del.is_empty() {
-                batches.push(EditBatch::from_lists(ins.drain(..), del.drain(..)));
-            }
+            lines.push(EditLine::Break);
             continue;
         }
         if trimmed.starts_with('#') {
@@ -149,6 +166,12 @@ fn parse_edit_batches<R: BufRead>(reader: R) -> Result<Vec<EditBatch>, String> {
         let (Some(op), Some(u), Some(v)) = (parts.next(), parts.next(), parts.next()) else {
             return Err(format!("line {}: expected '+|- u v'", lineno + 1));
         };
+        if let Some(extra) = parts.next() {
+            return Err(format!(
+                "line {}: trailing token {extra:?} after '+|- u v'",
+                lineno + 1
+            ));
+        }
         let u: u32 = u
             .parse()
             .map_err(|_| format!("line {}: bad vertex {u:?}", lineno + 1))?;
@@ -156,9 +179,28 @@ fn parse_edit_batches<R: BufRead>(reader: R) -> Result<Vec<EditBatch>, String> {
             .parse()
             .map_err(|_| format!("line {}: bad vertex {v:?}", lineno + 1))?;
         match op {
-            "+" => ins.push((u, v)),
-            "-" => del.push((u, v)),
+            "+" => lines.push(EditLine::Op(true, u, v)),
+            "-" => lines.push(EditLine::Op(false, u, v)),
             _ => return Err(format!("line {}: unknown op {op:?}", lineno + 1)),
+        }
+    }
+    Ok(lines)
+}
+
+/// Group parsed edit lines into validated batches (blank line = batch end).
+fn parse_edit_batches<R: BufRead>(reader: R) -> Result<Vec<EditBatch>, String> {
+    let mut batches = Vec::new();
+    let mut ins: Vec<(u32, u32)> = Vec::new();
+    let mut del: Vec<(u32, u32)> = Vec::new();
+    for line in parse_edit_lines(reader)? {
+        match line {
+            EditLine::Op(true, u, v) => ins.push((u, v)),
+            EditLine::Op(false, u, v) => del.push((u, v)),
+            EditLine::Break => {
+                if !ins.is_empty() || !del.is_empty() {
+                    batches.push(EditBatch::from_lists(ins.drain(..), del.drain(..)));
+                }
+            }
         }
     }
     if !ins.is_empty() || !del.is_empty() {
@@ -209,6 +251,97 @@ fn cmd_stream(args: &[String]) -> CliResult {
             print!(", {} communities", cover.len());
         }
         println!();
+    }
+    Ok(())
+}
+
+/// Replay an edit log through the live serve loop, issuing interleaved
+/// queries against the epoch snapshots. Blank lines in the edit file are
+/// barriers: the replay waits for a covering snapshot and reports it.
+fn cmd_replay(args: &[String]) -> CliResult {
+    let (pos, options) = split_options(args);
+    let [graph_path, edits_path] = pos[..] else {
+        return Err("replay needs a graph file and an edits file".into());
+    };
+    let graph = load_binary_graph(Path::new(graph_path))?;
+    let iterations: usize = opt_parse(&options, "iterations", 50)?;
+    let seed: u64 = opt_parse(&options, "seed", 42)?;
+    let flush_size: usize = opt_parse(&options, "flush-size", 256)?;
+    let snapshot_every: usize = opt_parse(&options, "snapshot-every", 1)?;
+    let queries_per_edit: usize = opt_parse(&options, "queries-per-edit", 2)?;
+    let file = std::fs::File::open(edits_path)?;
+    let lines = parse_edit_lines(std::io::BufReader::new(file))?;
+
+    let started = std::time::Instant::now();
+    let service = CommunityService::start(
+        graph,
+        ServeConfig::quick(iterations, seed)
+            .with_policy(BySize::new(flush_size))
+            .with_snapshot_every(snapshot_every),
+    );
+    let propagation_secs = started.elapsed().as_secs_f64();
+    let genesis = service.latest();
+    println!(
+        "epoch 0: {} vertices, {} edges, {} communities (initial propagation {:.2}s)",
+        genesis.num_vertices,
+        genesis.num_edges,
+        genesis.cover.len(),
+        propagation_secs,
+    );
+
+    let ingest = service.ingest();
+    let mut queries = service.query();
+    let replay_started = std::time::Instant::now();
+    let mut edits = 0u64;
+    for line in lines {
+        match line {
+            EditLine::Op(insert, u, v) => {
+                if insert {
+                    ingest.insert(u, v)?;
+                } else {
+                    ingest.delete(u, v)?;
+                }
+                edits += 1;
+                // Interleave reads: queries answer from the newest published
+                // snapshot while the maintenance thread repairs in parallel.
+                for k in 0..queries_per_edit {
+                    if k % 2 == 0 {
+                        let _ = queries.membership(u);
+                    } else {
+                        let _ = queries.overlap(u, v);
+                    }
+                }
+            }
+            EditLine::Break => {
+                let epoch = ingest.barrier()?;
+                let snap = service.latest();
+                println!(
+                    "epoch {epoch}: {} vertices, {} edges, {} communities ({} batches applied)",
+                    snap.num_vertices,
+                    snap.num_edges,
+                    snap.cover.len(),
+                    snap.batches_applied,
+                );
+            }
+        }
+    }
+    let final_epoch = ingest.barrier()?;
+    let replay_secs = replay_started.elapsed().as_secs_f64();
+    let report = service.shutdown();
+    let snap_line = format!(
+        "replayed {edits} edits in {replay_secs:.2}s ({:.0} edits/s), final epoch {final_epoch}",
+        edits as f64 / replay_secs.max(1e-9),
+    );
+    println!("{snap_line}");
+    println!("{report}");
+    if let Some(path) = options.get("stats-json") {
+        let json = format!(
+            "{{\"edits\":{edits},\"replay_secs\":{replay_secs:.4},\
+             \"final_epoch\":{final_epoch},\"stats\":{}}}\n",
+            report.to_json()
+        );
+        std::fs::write(path, json)?;
+        eprintln!("wrote stats to {path}");
     }
     Ok(())
 }

@@ -39,6 +39,7 @@
 //! | [`metrics`] | overlapping NMI, partition NMI, F1, entropy, modularity |
 //! | [`baselines`] | SLPA (centralized + BSP), LPA, exact voting distributions |
 //! | [`core`] | rSLPA: randomized propagation, Correction Propagation, post-processing, complexity model |
+//! | [`serve`] | live serving: micro-batched ingestion queue, epoch-swapped snapshots, lock-free queries |
 
 pub use rslpa_baselines as baselines;
 pub use rslpa_core as core;
@@ -46,6 +47,7 @@ pub use rslpa_distsim as distsim;
 pub use rslpa_gen as gen;
 pub use rslpa_graph as graph;
 pub use rslpa_metrics as metrics;
+pub use rslpa_serve as serve;
 
 /// The names most programs need.
 pub mod prelude {
@@ -60,4 +62,5 @@ pub mod prelude {
         AdjacencyGraph, Cover, CsrGraph, EditBatch, GraphBuilder, HashPartitioner,
     };
     pub use rslpa_metrics::{avg_f1, overlapping_nmi};
+    pub use rslpa_serve::{CommunityService, EditOp, ServeConfig};
 }

@@ -95,6 +95,96 @@ fn stream_applies_edit_batches() {
 }
 
 #[test]
+fn stream_fails_on_malformed_edit_lines() {
+    let dir = tmp_dir("stream_malformed");
+    let graph = dir.join("graph.txt");
+    fs::write(&graph, TINY_GRAPH).unwrap();
+    // A malformed line must fail loudly with its line number — silently
+    // skipping it would desynchronize the replayed graph.
+    for (name, contents, needle) in [
+        ("garbage", "+ 1 4\nbogus line here\n", "line 2"),
+        ("missing-vertex", "+ 1\n", "line 1"),
+        ("bad-op", "* 1 4\n", "unknown op"),
+        ("bad-vertex", "+ one 4\n", "bad vertex"),
+        ("trailing", "+ 1 4 extra\n", "trailing token"),
+    ] {
+        let edits = dir.join(format!("{name}.txt"));
+        fs::write(&edits, contents).unwrap();
+        let out = cli()
+            .args(["stream"])
+            .arg(&graph)
+            .arg(&edits)
+            .args(["--iterations", "10"])
+            .output()
+            .expect("spawn");
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{name}: malformed edits must exit nonzero"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("error") && stderr.contains(needle),
+            "{name}: diagnostic should mention {needle:?}, got: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn replay_serves_edit_log_with_queries() {
+    let dir = tmp_dir("replay");
+    let graph = dir.join("graph.txt");
+    let edits = dir.join("edits.txt");
+    let stats = dir.join("stats.json");
+    fs::write(&graph, TINY_GRAPH).unwrap();
+    // Two barriers: one mid-log, one implicit at the end.
+    fs::write(&edits, "+ 0 3\n+ 1 4\n\n- 2 3\n- 0 3\n").unwrap();
+    let out = cli()
+        .args(["replay"])
+        .arg(&graph)
+        .arg(&edits)
+        .args([
+            "--iterations",
+            "30",
+            "--seed",
+            "7",
+            "--queries-per-edit",
+            "3",
+        ])
+        .arg("--stats-json")
+        .arg(&stats)
+        .output()
+        .expect("spawn");
+    assert_success(&out, "replay");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("epoch 0:"),
+        "genesis line printed:\n{stdout}"
+    );
+    assert!(stdout.contains("replayed 4 edits"), "summary:\n{stdout}");
+    let json = fs::read_to_string(&stats).expect("stats json written");
+    assert!(json.contains("\"edits_applied\":4"), "{json}");
+    assert!(json.contains("\"query_p99_ns\""), "{json}");
+}
+
+#[test]
+fn replay_fails_on_malformed_edit_lines() {
+    let dir = tmp_dir("replay_malformed");
+    let graph = dir.join("graph.txt");
+    let edits = dir.join("edits.txt");
+    fs::write(&graph, TINY_GRAPH).unwrap();
+    fs::write(&edits, "+ 0 3\n+ nope 4\n").unwrap();
+    let out = cli()
+        .args(["replay"])
+        .arg(&graph)
+        .arg(&edits)
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
+}
+
+#[test]
 fn generate_detect_round_trip() {
     let dir = tmp_dir("generate");
     let graph = dir.join("ba.txt");
