@@ -38,6 +38,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "serve",
         "live serve loop: 100k-edit replay with 10:1 reads (emits BENCH_serve.json)",
     ),
+    (
+        "serve-sharded",
+        "sharded maintenance sweep: 100k-edit replay at 1/2/4/8 shards (emits BENCH_serve.json)",
+    ),
 ];
 
 fn run(id: &str, scale: &Scale) -> bool {
@@ -64,9 +68,61 @@ fn run(id: &str, scale: &Scale) -> bool {
         "abl-edits" => exp_ablations::abl_edits(scale),
         "abl-part" => exp_ablations::abl_part(scale),
         "profile" => exp_ablations::profile(scale),
-        "serve" => exp_serve::serve(&ServeWorkload::full(), "BENCH_serve.json"),
-        "serve-smoke" => exp_serve::serve(&ServeWorkload::smoke(), "BENCH_serve.json"),
-        "serve-rmat" => exp_serve::serve(&ServeWorkload::full_rmat(), "BENCH_serve_rmat.json"),
+        "serve" | "serve-smoke" | "serve-rmat" | "serve-sharded" => {
+            return run_serve(id, &ServeOpts::default())
+        }
+        _ => return false,
+    }
+    true
+}
+
+/// Extra knobs for the serve experiments (`--shards N`, `--out FILE`,
+/// `--roster-out FILE`).
+struct ServeOpts {
+    shards: usize,
+    out: Option<String>,
+    roster_out: Option<String>,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            out: None,
+            roster_out: None,
+        }
+    }
+}
+
+fn run_serve(id: &str, opts: &ServeOpts) -> bool {
+    let out = |default: &str| opts.out.clone().unwrap_or_else(|| default.to_string());
+    let roster = opts.roster_out.as_deref();
+    if id == "serve-sharded" && (opts.shards != 1 || roster.is_some()) {
+        // The sweep fixes its own shard counts and checks rosters
+        // internally; a silently-ignored flag would mislead.
+        eprintln!("serve-sharded does not take --shards or --roster-out");
+        std::process::exit(2);
+    }
+    match id {
+        "serve" => exp_serve::serve_to(
+            &ServeWorkload::full_sharded(opts.shards),
+            &out("BENCH_serve.json"),
+            roster,
+        ),
+        "serve-smoke" => exp_serve::serve_to(
+            &ServeWorkload::smoke_sharded(opts.shards),
+            &out("BENCH_serve.json"),
+            roster,
+        ),
+        "serve-rmat" => exp_serve::serve_to(
+            &ServeWorkload {
+                shards: opts.shards,
+                ..ServeWorkload::full_rmat()
+            },
+            &out("BENCH_serve_rmat.json"),
+            roster,
+        ),
+        "serve-sharded" => exp_serve::serve_sharded(&out("BENCH_serve.json")),
         _ => return false,
     }
     true
@@ -80,6 +136,18 @@ fn usage() {
     }
     eprintln!("  serve-smoke  CI-scale serve workload (not part of 'all')");
     eprintln!("  serve-rmat   full serve workload over an R-MAT web graph (not part of 'all')");
+    eprintln!("serve options: --shards N, --out FILE, --roster-out FILE");
+}
+
+/// Pull `--flag value` pairs out of `args`, returning the value of `flag`.
+fn take_option(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    }
+    args.remove(i);
+    Some(args.remove(i))
 }
 
 fn main() {
@@ -90,16 +158,40 @@ fn main() {
     } else {
         Scale::quick()
     };
+    let serve_opts = ServeOpts {
+        shards: take_option(&mut args, "--shards")
+            .map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("--shards: {v:?} is not a number");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(1),
+        out: take_option(&mut args, "--out"),
+        roster_out: take_option(&mut args, "--roster-out"),
+    };
     let Some(target) = args.first() else {
         usage();
         std::process::exit(2);
     };
+    let serve_flags_given =
+        serve_opts.shards != 1 || serve_opts.out.is_some() || serve_opts.roster_out.is_some();
+    if serve_flags_given && !target.starts_with("serve") {
+        eprintln!("--shards/--out/--roster-out only apply to serve experiments");
+        std::process::exit(2);
+    }
     let started = std::time::Instant::now();
     if target == "all" {
         for (id, _) in EXPERIMENTS {
             let t = std::time::Instant::now();
             assert!(run(id, &scale), "unknown experiment {id}");
             eprintln!("[{id} done in {:.1}s]\n", t.elapsed().as_secs_f64());
+        }
+    } else if target.starts_with("serve") {
+        if !run_serve(target, &serve_opts) {
+            eprintln!("unknown experiment: {target}\n");
+            usage();
+            std::process::exit(2);
         }
     } else if !run(target, &scale) {
         eprintln!("unknown experiment: {target}\n");

@@ -9,13 +9,13 @@
 //! point per PR.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use rslpa_gen::edits::uniform_batch;
+use rslpa_gen::edits::{targeted_batch, uniform_batch, EditWorkload};
 use rslpa_gen::lfr::LfrParams;
 use rslpa_gen::webgraph::{rmat, RmatParams};
 use rslpa_graph::rng::DetRng;
-use rslpa_graph::{AdjacencyGraph, DynamicGraph, VertexId};
+use rslpa_graph::{AdjacencyGraph, Cover, DynamicGraph, EditBatch, VertexId};
 use rslpa_serve::{BySize, CommunityService, ServeConfig};
 
 use crate::report::Table;
@@ -63,6 +63,12 @@ pub struct ServeWorkload {
     pub flush_size: usize,
     /// Publish a snapshot every this many flushes.
     pub snapshot_every: usize,
+    /// Maintenance shards (1 = the single-writer baseline).
+    pub shards: usize,
+    /// Edit-stream bias: the paper's uniform rewiring, or churn that
+    /// respects the planted communities (the realistic serving case,
+    /// where partition locality exists to be exploited).
+    pub churn: EditWorkload,
     /// Workload seed.
     pub seed: u64,
 }
@@ -82,7 +88,17 @@ impl ServeWorkload {
             query_threads: 4,
             flush_size: 256,
             snapshot_every: 8,
+            shards: 1,
+            churn: EditWorkload::Uniform,
             seed: 42,
+        }
+    }
+
+    /// The full workload at a given shard count.
+    pub fn full_sharded(shards: usize) -> Self {
+        Self {
+            shards,
+            ..Self::full()
         }
     }
 
@@ -108,13 +124,23 @@ impl ServeWorkload {
             query_threads: 2,
             flush_size: 128,
             snapshot_every: 4,
+            shards: 1,
+            churn: EditWorkload::Uniform,
             seed: 42,
+        }
+    }
+
+    /// The smoke workload at a given shard count.
+    pub fn smoke_sharded(shards: usize) -> Self {
+        Self {
+            shards,
+            ..Self::smoke()
         }
     }
 }
 
 /// Numbers the driver reports (and serializes).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeBenchResult {
     /// Seconds spent in initial propagation + genesis snapshot.
     pub startup_secs: f64,
@@ -130,40 +156,66 @@ pub struct ServeBenchResult {
     pub queries_issued: u64,
     /// Final published epoch.
     pub final_epoch: u64,
+    /// Roster of the final epoch (canonical cover, for cross-shard
+    /// divergence checks).
+    pub final_cover: Cover,
     /// Final service stats.
     pub stats: rslpa_serve::StatsReport,
 }
 
-/// Build the seed graph for the configured topology.
-fn seed_graph(w: &ServeWorkload) -> AdjacencyGraph {
+/// Build the seed graph for the configured topology, plus the planted
+/// cover when one exists (it parameterizes community-respecting churn).
+fn seed_graph(w: &ServeWorkload) -> (AdjacencyGraph, Option<Cover>) {
     match w.topology {
         Topology::Lfr => {
-            LfrParams {
+            let instance = LfrParams {
                 seed: w.seed,
                 ..LfrParams::scaled(w.graph_n)
             }
             .generate()
-            .expect("LFR generation")
-            .graph
+            .expect("LFR generation");
+            (instance.graph, Some(instance.ground_truth))
         }
         Topology::Rmat => {
             let scale = (w.graph_n.max(2) as f64).log2().ceil() as u32;
-            rmat(&RmatParams::web(scale, w.seed))
+            (rmat(&RmatParams::web(scale, w.seed)), None)
         }
+    }
+}
+
+/// One round's edit batch under the configured churn bias.
+fn next_batch(
+    w: &ServeWorkload,
+    graph: &AdjacencyGraph,
+    truth: Option<&Cover>,
+    size: usize,
+    seed: u64,
+) -> EditBatch {
+    match (w.churn, truth) {
+        (EditWorkload::Uniform, _) | (_, None) => uniform_batch(graph, size, seed),
+        (bias, Some(cover)) => targeted_batch(graph, cover, bias, size, seed),
     }
 }
 
 /// Run the workload and return the measurements.
 pub fn run_workload(w: &ServeWorkload) -> ServeBenchResult {
-    let graph = seed_graph(w);
+    let (graph, truth) = seed_graph(w);
     let n = graph.num_vertices();
 
     let startup = Instant::now();
+    // A long linger keeps batch boundaries purely size-driven (the writer
+    // never stalls), so the same edit log produces the same batch sequence
+    // — and therefore the same rosters — at every shard count.
+    let policy = BySize {
+        max_edits: w.flush_size,
+        max_linger: Duration::from_secs(30),
+    };
     let service = Arc::new(CommunityService::start(
         graph.clone(),
         ServeConfig::quick(w.iterations, w.seed)
-            .with_policy(BySize::new(w.flush_size))
-            .with_snapshot_every(w.snapshot_every),
+            .with_policy(policy)
+            .with_snapshot_every(w.snapshot_every)
+            .with_shards(w.shards),
     ));
     let startup_secs = startup.elapsed().as_secs_f64();
 
@@ -177,6 +229,7 @@ pub fn run_workload(w: &ServeWorkload) -> ServeBenchResult {
         queries_per_sec: 0.0,
         queries_issued: 0,
         final_epoch: 0,
+        final_cover: Cover::default(),
         stats: Default::default(),
     };
 
@@ -212,8 +265,8 @@ pub fn run_workload(w: &ServeWorkload) -> ServeBenchResult {
             }));
         }
 
-        // Writer (this thread): replay rounds of valid uniform batches
-        // generated against a shadow copy of the evolving graph.
+        // Writer (this thread): replay rounds of valid batches generated
+        // against a shadow copy of the evolving graph.
         let ingest = service.ingest();
         let mut shadow = DynamicGraph::new(graph);
         let rounds = w.total_edits.div_ceil(w.round_edits);
@@ -222,8 +275,14 @@ pub fn run_workload(w: &ServeWorkload) -> ServeBenchResult {
         let mut submitted = 0usize;
         for round in 0..rounds {
             let size = w.round_edits.min(w.total_edits - submitted);
-            let batch = uniform_batch(shadow.graph(), size, w.seed.wrapping_add(round as u64));
-            shadow.apply(&batch).expect("uniform batch validates");
+            let batch = next_batch(
+                w,
+                shadow.graph(),
+                truth.as_ref(),
+                size,
+                w.seed.wrapping_add(round as u64),
+            );
+            shadow.apply(&batch).expect("generated batch validates");
             for &(u, v) in batch.deletions() {
                 ingest.delete(u, v).expect("service alive");
             }
@@ -244,6 +303,7 @@ pub fn run_workload(w: &ServeWorkload) -> ServeBenchResult {
     });
 
     let service = Arc::into_inner(service).expect("threads joined");
+    result.final_cover = service.latest().cover.clone();
     result.stats = service.shutdown();
     result.edits_per_sec = result.stats.edits_enqueued as f64 / result.ingest_secs.max(1e-9);
     result.queries_issued = result.stats.queries.count;
@@ -253,17 +313,31 @@ pub fn run_workload(w: &ServeWorkload) -> ServeBenchResult {
 
 /// Serialize one run as the `BENCH_serve.json` payload.
 pub fn to_json(w: &ServeWorkload, r: &ServeBenchResult) -> String {
+    to_json_with_extra(w, r, "")
+}
+
+fn churn_label(churn: EditWorkload) -> &'static str {
+    match churn {
+        EditWorkload::Uniform => "uniform",
+        EditWorkload::Consolidating => "consolidating",
+        EditWorkload::Eroding => "eroding",
+    }
+}
+
+/// Serialize one run, splicing `extra` (either empty or a string starting
+/// with `,\n  `) before the closing brace.
+fn to_json_with_extra(w: &ServeWorkload, r: &ServeBenchResult, extra: &str) -> String {
     format!(
         "{{\n  \"experiment\": \"serve\",\n  \"mode\": \"{}\",\n  \
          \"config\": {{\"topology\": \"{}\", \"graph_n\": {}, \"iterations\": {}, \"total_edits\": {}, \
          \"queries_per_edit\": {}, \"query_threads\": {}, \"flush_size\": {}, \
-         \"snapshot_every\": {}, \"seed\": {}}},\n  \
+         \"snapshot_every\": {}, \"shards\": {}, \"churn\": \"{}\", \"cores\": {}, \"seed\": {}}},\n  \
          \"startup_secs\": {:.4},\n  \"ingest_secs\": {:.4},\n  \
          \"edits_per_sec\": {:.1},\n  \"query_secs\": {:.4},\n  \
          \"queries_per_sec\": {:.1},\n  \"queries_issued\": {},\n  \
          \"query_p50_us\": {:.3},\n  \"query_p90_us\": {:.3},\n  \
          \"query_p99_us\": {:.3},\n  \"query_max_us\": {:.3},\n  \
-         \"final_epoch\": {},\n  \"stats\": {}\n}}\n",
+         \"final_epoch\": {},\n  \"stats\": {}{}\n}}\n",
         w.mode,
         w.topology.label(),
         w.graph_n,
@@ -273,6 +347,9 @@ pub fn to_json(w: &ServeWorkload, r: &ServeBenchResult) -> String {
         w.query_threads,
         w.flush_size,
         w.snapshot_every,
+        w.shards,
+        churn_label(w.churn),
+        std::thread::available_parallelism().map_or(1, usize::from),
         w.seed,
         r.startup_secs,
         r.ingest_secs,
@@ -286,19 +363,35 @@ pub fn to_json(w: &ServeWorkload, r: &ServeBenchResult) -> String {
         r.stats.queries.max_ns as f64 / 1e3,
         r.final_epoch,
         r.stats.to_json(),
+        extra,
     )
 }
 
-/// Run the workload, print the table, and write `out_path`.
-pub fn serve(w: &ServeWorkload, out_path: &str) {
+/// Write the final roster as plain text: one community per line, members
+/// space-separated, canonical (sorted) order — diffable across runs.
+pub fn write_roster(cover: &Cover, path: &str) {
+    let mut out = String::new();
+    for c in cover.communities() {
+        let line: Vec<String> = c.iter().map(u32::to_string).collect();
+        out.push_str(&line.join(" "));
+        out.push('\n');
+    }
+    std::fs::write(path, out).expect("write roster file");
+    eprintln!("[serve] wrote roster to {path}");
+}
+
+/// Run the workload, print the table, and write `out_path`; optionally
+/// dump the final roster for cross-run divergence checks.
+pub fn serve_to(w: &ServeWorkload, out_path: &str, roster_out: Option<&str>) {
     eprintln!(
-        "[serve:{}] {} n={}, {} edits, {}:1 reads over {} threads",
+        "[serve:{}] {} n={}, {} edits, {}:1 reads over {} threads, {} shard(s)",
         w.mode,
         w.topology.label(),
         w.graph_n,
         w.total_edits,
         w.queries_per_edit,
-        w.query_threads
+        w.query_threads,
+        w.shards,
     );
     let r = run_workload(w);
     let mut t = Table::new(format!("serve workload ({})", w.mode), &["metric", "value"]);
@@ -340,10 +433,137 @@ pub fn serve(w: &ServeWorkload, out_path: &str) {
         r.stats.snapshots_published.to_string(),
     ]);
     t.row(vec!["final epoch".into(), r.final_epoch.to_string()]);
+    if w.shards > 1 {
+        t.row(vec![
+            "exchange rounds".into(),
+            r.stats.exchange_rounds.to_string(),
+        ]);
+        t.row(vec![
+            "boundary msgs".into(),
+            r.stats.boundary_msgs.to_string(),
+        ]);
+    }
     t.print();
     let json = to_json(w, &r);
     std::fs::write(out_path, &json).expect("write BENCH_serve.json");
     eprintln!("[serve:{}] wrote {out_path}", w.mode);
+    if let Some(path) = roster_out {
+        write_roster(&r.final_cover, path);
+    }
+}
+
+/// Run the workload, print the table, and write `out_path`.
+pub fn serve(w: &ServeWorkload, out_path: &str) {
+    serve_to(w, out_path, None);
+}
+
+/// Run the 1/2/4/8-shard series for one churn bias, print its table, and
+/// render its JSON object.
+fn sharded_series(churn: EditWorkload) -> (Vec<(ServeWorkload, ServeBenchResult)>, String) {
+    let shard_counts = [1usize, 2, 4, 8];
+    let mut runs: Vec<(ServeWorkload, ServeBenchResult)> = Vec::new();
+    for &shards in &shard_counts {
+        let w = ServeWorkload {
+            mode: "sharded",
+            churn,
+            ..ServeWorkload::full_sharded(shards)
+        };
+        eprintln!(
+            "[serve-sharded] shards={shards} churn={}: {} edits over {} n={}",
+            churn_label(churn),
+            w.total_edits,
+            w.topology.label(),
+            w.graph_n
+        );
+        runs.push((w, run_workload(&w)));
+    }
+    let baseline = runs[0].1.edits_per_sec;
+    let rosters_match = runs
+        .iter()
+        .all(|(_, r)| r.final_cover == runs[0].1.final_cover);
+
+    let mut t = Table::new(
+        format!(
+            "serve sharded sweep (100k-edit LFR workload, {} churn)",
+            churn_label(churn)
+        ),
+        &[
+            "shards",
+            "edits/sec",
+            "speedup",
+            "flush p99 (us)",
+            "snap mean (ms)",
+            "snap p99 (ms)",
+            "rounds",
+            "boundary msgs",
+        ],
+    );
+    for (w, r) in &runs {
+        t.row(vec![
+            w.shards.to_string(),
+            format!("{:.0}", r.edits_per_sec),
+            format!("{:.2}x", r.edits_per_sec / baseline),
+            format!("{:.1}", r.stats.flushes.p99_ns as f64 / 1e3),
+            format!("{:.2}", r.stats.snapshots.mean_ns as f64 / 1e6),
+            format!("{:.2}", r.stats.snapshots.p99_ns as f64 / 1e6),
+            r.stats.exchange_rounds.to_string(),
+            r.stats.boundary_msgs.to_string(),
+        ]);
+    }
+    t.print();
+    assert!(
+        rosters_match,
+        "final rosters diverged across shard counts — sharding changed semantics"
+    );
+
+    let fmt = |f: &dyn Fn(&ServeBenchResult) -> String| -> String {
+        runs.iter()
+            .map(|(_, r)| f(r))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let json = format!(
+        "{{\n    \"churn\": \"{}\",\n    \"shard_counts\": [{}],\n    \
+         \"edits_per_sec\": [{}],\n    \"speedup_vs_1\": [{}],\n    \
+         \"flush_p99_ns\": [{}],\n    \"snapshot_mean_ns\": [{}],\n    \
+         \"snapshot_p99_ns\": [{}],\n    \"exchange_rounds\": [{}],\n    \
+         \"boundary_msgs\": [{}],\n    \"vertices_migrated\": [{}],\n    \
+         \"rosters_match\": {}\n  }}",
+        churn_label(churn),
+        shard_counts
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+        fmt(&|r| format!("{:.1}", r.edits_per_sec)),
+        fmt(&|r| format!("{:.3}", r.edits_per_sec / baseline)),
+        fmt(&|r| r.stats.flushes.p99_ns.to_string()),
+        fmt(&|r| r.stats.snapshots.mean_ns.to_string()),
+        fmt(&|r| r.stats.snapshots.p99_ns.to_string()),
+        fmt(&|r| r.stats.exchange_rounds.to_string()),
+        fmt(&|r| r.stats.boundary_msgs.to_string()),
+        fmt(&|r| r.stats.vertices_migrated.to_string()),
+        rosters_match,
+    );
+    (runs, json)
+}
+
+/// The sharded sweep: the full workload at 1/2/4/8 maintenance shards
+/// under both churn biases — the paper's uniform rewiring (locality-
+/// adversarial: the graph converges to random) and community-respecting
+/// churn (the serving case partition locality is built for). Every shard
+/// count must land on the same final roster; the whole series (baseline
+/// fields = the uniform shards=1 run) goes to `out_path`.
+pub fn serve_sharded(out_path: &str) {
+    let (uniform_runs, uniform_json) = sharded_series(EditWorkload::Uniform);
+    let (_, consolidating_json) = sharded_series(EditWorkload::Consolidating);
+    let extra = format!(
+        ",\n  \"sharded\": {uniform_json},\n  \"sharded_consolidating\": {consolidating_json}"
+    );
+    let (w1, r1) = &uniform_runs[0];
+    let json = to_json_with_extra(w1, r1, &extra);
+    std::fs::write(out_path, &json).expect("write BENCH_serve.json");
+    eprintln!("[serve-sharded] wrote {out_path}");
 }
 
 #[cfg(test)]
@@ -363,6 +583,8 @@ mod tests {
             query_threads: 1,
             flush_size: 64,
             snapshot_every: 2,
+            shards: 1,
+            churn: EditWorkload::Uniform,
             seed: 7,
         };
         let r = run_workload(&w);
@@ -381,5 +603,34 @@ mod tests {
             json.matches('}').count(),
             "{json}"
         );
+        assert!(json.contains("\"shards\": 1"));
+    }
+
+    #[test]
+    fn micro_workload_rosters_agree_across_shard_counts() {
+        let base = ServeWorkload {
+            mode: "micro",
+            topology: Topology::Lfr,
+            graph_n: 200,
+            iterations: 15,
+            total_edits: 400,
+            round_edits: 100,
+            queries_per_edit: 1,
+            query_threads: 1,
+            flush_size: 64,
+            snapshot_every: 2,
+            shards: 1,
+            churn: EditWorkload::Uniform,
+            seed: 9,
+        };
+        let r1 = run_workload(&base);
+        let r4 = run_workload(&ServeWorkload { shards: 4, ..base });
+        assert!(!r1.final_cover.is_empty());
+        assert_eq!(
+            r1.final_cover, r4.final_cover,
+            "sharding changed the final roster"
+        );
+        assert_eq!(r1.final_epoch, r4.final_epoch, "snapshot cadence drifted");
+        assert_eq!(r4.stats.shards.len(), 4);
     }
 }

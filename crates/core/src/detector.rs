@@ -22,10 +22,10 @@
 //! assert_eq!(updated.result.cover.covered_vertices().len(), 6);
 //! ```
 
-use rslpa_graph::{AdjacencyGraph, DynamicGraph, EditBatch, EditError};
+use rslpa_graph::{AdjacencyGraph, DynamicGraph, EditBatch, EditError, FxHashSet, VertexId};
 
 use crate::config::RslpaConfig;
-use crate::incremental::{apply_correction, UpdateReport};
+use crate::incremental::{apply_correction_tracked, UpdateReport};
 use crate::postprocess::{postprocess, PostprocessResult};
 use crate::propagation::run_propagation;
 use crate::state::LabelState;
@@ -96,12 +96,26 @@ impl RslpaDetector {
     /// Apply an edit batch and incrementally repair the label state
     /// (Correction Propagation). Returns the work report.
     pub fn apply_batch(&mut self, batch: &EditBatch) -> Result<UpdateReport, EditError> {
+        let mut dirty = FxHashSet::default();
+        self.apply_batch_tracked(batch, &mut dirty)
+    }
+
+    /// [`apply_batch`](Self::apply_batch) that additionally accumulates
+    /// every vertex whose label sequence changed into `dirty` — the input
+    /// for dirty-region post-processing
+    /// ([`IncrementalPostprocess`](crate::postprocess_incremental::IncrementalPostprocess)).
+    pub fn apply_batch_tracked(
+        &mut self,
+        batch: &EditBatch,
+        dirty: &mut FxHashSet<VertexId>,
+    ) -> Result<UpdateReport, EditError> {
         let applied = self.graph.apply(batch)?;
-        let report = apply_correction(
+        let report = apply_correction_tracked(
             &mut self.state,
             self.graph.graph(),
             &applied,
             self.config.value_pruned_cascade,
+            dirty,
         );
         self.batches_applied += 1;
         Ok(report)

@@ -58,6 +58,21 @@ pub fn apply_correction(
     applied: &AppliedBatch,
     value_pruned: bool,
 ) -> UpdateReport {
+    let mut dirty = FxHashSet::default();
+    apply_correction_tracked(state, graph_after, applied, value_pruned, &mut dirty)
+}
+
+/// [`apply_correction`] that additionally records every vertex whose label
+/// *value* changed into `dirty` — the input set for dirty-region
+/// post-processing (a vertex whose histogram is unchanged cannot change
+/// any edge weight).
+pub fn apply_correction_tracked(
+    state: &mut LabelState,
+    graph_after: &AdjacencyGraph,
+    applied: &AppliedBatch,
+    value_pruned: bool,
+    dirty: &mut FxHashSet<VertexId>,
+) -> UpdateReport {
     let t_max = state.iterations() as u32;
     let seed = state.seed();
     let mut report = UpdateReport {
@@ -94,6 +109,9 @@ pub fn apply_correction(
                     state.set_label(v, t, own);
                     report.repicks += 1;
                     touched.insert((v, t));
+                    if changed {
+                        dirty.insert(v);
+                    }
                     if !value_pruned || changed {
                         schedule(v, t, &mut buckets, &mut scheduled);
                     }
@@ -116,6 +134,7 @@ pub fn apply_correction(
                     value_pruned,
                     &mut report,
                     &mut touched,
+                    dirty,
                     |v, t| schedule(v, t, &mut buckets, &mut scheduled),
                 );
                 continue;
@@ -147,6 +166,7 @@ pub fn apply_correction(
                     value_pruned,
                     &mut report,
                     &mut touched,
+                    dirty,
                     |v, t| schedule(v, t, &mut buckets, &mut scheduled),
                 );
             }
@@ -167,6 +187,7 @@ pub fn apply_correction(
                 if changed {
                     state.set_label(r, k, l);
                     report.value_changes += 1;
+                    dirty.insert(r);
                 }
                 touched.insert((r, k));
                 if !value_pruned || changed {
@@ -194,6 +215,7 @@ fn repick(
     value_pruned: bool,
     report: &mut UpdateReport,
     touched: &mut FxHashSet<(VertexId, u32)>,
+    dirty: &mut FxHashSet<VertexId>,
     mut schedule: impl FnMut(VertexId, u32),
 ) {
     if old_src != NO_SOURCE {
@@ -208,6 +230,9 @@ fn repick(
     state.set_label(v, t, new_label);
     report.repicks += 1;
     touched.insert((v, t));
+    if changed {
+        dirty.insert(v);
+    }
     if !value_pruned || changed {
         schedule(v, t);
     }

@@ -35,14 +35,18 @@ pub mod incremental;
 pub mod incremental_bsp;
 pub mod postprocess;
 pub mod postprocess_bsp;
+pub mod postprocess_incremental;
 pub mod propagation;
 pub mod propagation_bsp;
+pub mod shard;
 pub mod state;
 pub mod verify;
 
 pub use config::RslpaConfig;
 pub use detector::{DetectionResult, RslpaDetector};
-pub use incremental::{apply_correction, UpdateReport};
+pub use incremental::{apply_correction, apply_correction_tracked, UpdateReport};
 pub use postprocess::{postprocess, PostprocessResult};
+pub use postprocess_incremental::IncrementalPostprocess;
 pub use propagation::run_propagation;
+pub use shard::{Envelope, ShardFlushReport, ShardMsg, ShardRepairState, VertexRowData};
 pub use state::LabelState;

@@ -1,0 +1,355 @@
+//! Dirty-region post-processing: re-extract communities after an edit
+//! batch without recomputing the whole pipeline.
+//!
+//! Full post-processing ([`postprocess`](crate::postprocess::postprocess))
+//! rebuilds every vertex histogram and every edge weight on each call —
+//! `O(n·T + m·T)` — even when a flush touched a handful of vertices. This
+//! module keeps both as caches:
+//!
+//! * per-vertex label histograms, invalidated by the *dirty set* (vertices
+//!   whose label sequence changed since the last refresh, as tracked by
+//!   [`apply_correction_tracked`](crate::incremental::apply_correction_tracked)
+//!   or the shard workers);
+//! * the previous refresh's weight list (canonical edge order), merged
+//!   against the current edge set: a surviving edge with two clean
+//!   endpoints reuses its weight, everything else — dirty-incident,
+//!   inserted, or re-inserted — is recomputed. The weight pass optionally
+//!   fans out over [`set_threads`](IncrementalPostprocess::set_threads)
+//!   worker threads (the serve coordinator hands it the shard budget);
+//!   each weight is an independent pure function, so the thread count
+//!   cannot change a single bit of the output.
+//!
+//! The τ2 / τ1 / extraction stages still run over the full weight list —
+//! they are `O(m log m)` and cheap next to the `O(m·T)` weight pass — so
+//! the result is **bit-identical** to a full recompute: an edge weight
+//! depends only on its endpoints' histograms, and every endpoint whose
+//! histogram changed is in the dirty set. The tests below pin that
+//! equality under random churn.
+
+use rslpa_graph::{AdjacencyGraph, FxHashSet, Label, VertexId};
+
+use crate::postprocess::{
+    extract_communities, select_tau1, select_tau2, sequence_similarity, PostprocessResult,
+};
+use crate::state::{histogram_of, LabelState};
+
+/// Incremental replacement for [`postprocess`](crate::postprocess::postprocess).
+#[derive(Clone, Debug)]
+pub struct IncrementalPostprocess {
+    /// Draws per sequence (`T + 1`).
+    m: usize,
+    /// τ1 grid (must match the full pipeline's configuration).
+    grid: Option<f64>,
+    /// Threads for the weight pass (1 = serial).
+    threads: usize,
+    /// Cached sorted `(label, count)` histogram per vertex.
+    hists: Vec<Vec<(Label, u32)>>,
+    /// The previous refresh's weight list, in canonical edge order.
+    prev_weights: Vec<(VertexId, VertexId, f64)>,
+    /// Vertices whose histogram changed since the last refresh.
+    pending: FxHashSet<VertexId>,
+}
+
+/// The histogram of an untouched fresh vertex (own label only).
+fn own_label_hist(v: VertexId, m: usize) -> Vec<(Label, u32)> {
+    vec![(v as Label, m as u32)]
+}
+
+impl IncrementalPostprocess {
+    /// Seed the caches from a propagated state. Edge weights start cold;
+    /// the first [`refresh`](Self::refresh) fills them (equivalent to one
+    /// full post-processing pass).
+    pub fn new(state: &LabelState, grid: Option<f64>) -> Self {
+        let m = state.iterations() + 1;
+        let hists = (0..state.num_vertices() as VertexId)
+            .map(|v| histogram_of(state.label_sequence(v)))
+            .collect();
+        Self {
+            m,
+            grid,
+            threads: 1,
+            hists,
+            prev_weights: Vec::new(),
+            pending: FxHashSet::default(),
+        }
+    }
+
+    /// Fan the weight pass out over `threads` workers (1 = serial; the
+    /// output is bit-identical either way).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Grow the vertex space to `n`; new vertices start with their
+    /// own-label histogram (the sequence a fresh isolated vertex has).
+    pub fn ensure_vertices(&mut self, n: usize) {
+        while self.hists.len() < n {
+            let v = self.hists.len() as VertexId;
+            self.hists.push(own_label_hist(v, self.m));
+        }
+    }
+
+    /// Replace `v`'s label sequence (marks its incident edges for
+    /// recomputation at the next refresh).
+    pub fn set_sequence(&mut self, v: VertexId, labels: &[Label]) {
+        debug_assert_eq!(labels.len(), self.m, "sequence length mismatch");
+        self.ensure_vertices(v as usize + 1);
+        self.hists[v as usize] = histogram_of(labels);
+        self.pending.insert(v);
+    }
+
+    /// Vertices currently marked dirty (diagnostics).
+    pub fn pending_dirty(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Recompute the dirty region and run threshold selection +
+    /// extraction over the merged weight list. Bit-identical to
+    /// `postprocess(graph, state, grid)` on the state the caches mirror.
+    pub fn refresh(&mut self, graph: &AdjacencyGraph) -> PostprocessResult {
+        let n = graph.num_vertices();
+        self.ensure_vertices(n);
+        let mut dirty = vec![false; n];
+        for v in self.pending.drain() {
+            if let Some(flag) = dirty.get_mut(v as usize) {
+                *flag = true;
+            }
+        }
+        // 1. Merge the current edge set (canonical, sorted) against the
+        //    previous weight list: a surviving edge with clean endpoints
+        //    keeps its weight, everything else is marked for recompute
+        //    (NaN never occurs as a real weight). An edge deleted and
+        //    later re-inserted is only reused if it survived every
+        //    intermediate refresh with clean endpoints — otherwise it is
+        //    absent from `prev_weights` and recomputed here.
+        let mut wlist: Vec<(VertexId, VertexId, f64)> = Vec::with_capacity(graph.num_edges());
+        let mut stale = 0usize;
+        let mut old = self.prev_weights.iter().peekable();
+        for (u, v) in graph.edges() {
+            debug_assert!(u < v, "edges() must yield canonical pairs");
+            while let Some(&&(ou, ov, _)) = old.peek() {
+                if (ou, ov) < (u, v) {
+                    old.next();
+                } else {
+                    break;
+                }
+            }
+            let mut w = f64::NAN;
+            if !dirty[u as usize] && !dirty[v as usize] {
+                if let Some(&&(ou, ov, ow)) = old.peek() {
+                    if (ou, ov) == (u, v) {
+                        w = ow;
+                    }
+                }
+            }
+            if w.is_nan() {
+                stale += 1;
+            }
+            wlist.push((u, v, w));
+        }
+        // 2. Fill the stale entries. Each weight is a pure function of the
+        //    two cached histograms, so the parallel split is free of
+        //    ordering effects.
+        let compute = |&mut (u, v, ref mut w): &mut (VertexId, VertexId, f64)| {
+            if w.is_nan() {
+                *w = sequence_similarity(&self.hists[u as usize], &self.hists[v as usize], self.m);
+            }
+        };
+        if self.threads <= 1 || stale < 256 {
+            wlist.iter_mut().for_each(compute);
+        } else {
+            let chunk = wlist.len().div_ceil(self.threads).max(1);
+            std::thread::scope(|s| {
+                for slice in wlist.chunks_mut(chunk) {
+                    s.spawn(|| slice.iter_mut().for_each(compute));
+                }
+            });
+        }
+        self.prev_weights.clone_from(&wlist);
+        // 3. Thresholds + extraction, identical to the full pipeline.
+        let tau2 = select_tau2(n, &wlist);
+        let (tau1, entropy) = select_tau1(n, &wlist, tau2, self.grid);
+        let cover = extract_communities(n, &wlist, tau1, tau2);
+        PostprocessResult {
+            cover,
+            tau1,
+            tau2,
+            entropy,
+            weights: wlist,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RslpaConfig;
+    use crate::detector::RslpaDetector;
+    use crate::postprocess::postprocess;
+    use rslpa_graph::edits::canonical;
+    use rslpa_graph::rng::DetRng;
+    use rslpa_graph::EditBatch;
+
+    fn assert_results_equal(a: &PostprocessResult, b: &PostprocessResult) {
+        assert_eq!(a.tau1.to_bits(), b.tau1.to_bits(), "tau1 drifted");
+        assert_eq!(a.tau2.to_bits(), b.tau2.to_bits(), "tau2 drifted");
+        assert_eq!(a.entropy.to_bits(), b.entropy.to_bits(), "entropy drifted");
+        assert_eq!(a.cover, b.cover, "cover drifted");
+        assert_eq!(a.weights.len(), b.weights.len());
+        for (x, y) in a.weights.iter().zip(&b.weights) {
+            assert_eq!((x.0, x.1), (y.0, y.1), "edge order drifted");
+            assert_eq!(x.2.to_bits(), y.2.to_bits(), "weight drifted at {x:?}");
+        }
+    }
+
+    fn seed_graph() -> AdjacencyGraph {
+        let mut g = AdjacencyGraph::new(12);
+        for base in [0u32, 4, 8] {
+            for i in base..base + 4 {
+                for j in (i + 1)..base + 4 {
+                    g.insert_edge(i, j);
+                }
+            }
+        }
+        g.insert_edge(3, 4);
+        g.insert_edge(7, 8);
+        g
+    }
+
+    /// A random valid batch against `g`: flip `k` random vertex pairs.
+    fn random_batch(g: &AdjacencyGraph, rng: &mut DetRng, k: usize) -> EditBatch {
+        let n = g.num_vertices() as u64;
+        let mut ins = Vec::new();
+        let mut del = Vec::new();
+        let mut seen = FxHashSet::default();
+        while ins.len() + del.len() < k {
+            let u = rng.bounded(n) as VertexId;
+            let v = rng.bounded(n) as VertexId;
+            if u == v || !seen.insert(canonical(u, v)) {
+                continue;
+            }
+            if g.has_edge(u, v) {
+                del.push((u, v));
+            } else {
+                ins.push((u, v));
+            }
+        }
+        EditBatch::from_lists(ins, del)
+    }
+
+    #[test]
+    fn first_refresh_matches_full_postprocess() {
+        let g = seed_graph();
+        let det = RslpaDetector::new(g.clone(), RslpaConfig::quick(30, 7));
+        let mut pp = IncrementalPostprocess::new(det.state(), None);
+        let full = postprocess(&g, det.state(), None);
+        assert_results_equal(&pp.refresh(&g), &full);
+        // A second refresh with nothing dirty is identical again.
+        assert_results_equal(&pp.refresh(&g), &full);
+    }
+
+    #[test]
+    fn stays_bit_identical_under_random_churn() {
+        for seed in [3u64, 11, 29] {
+            let g = seed_graph();
+            let mut det = RslpaDetector::new(g, RslpaConfig::quick(25, seed));
+            let mut pp = IncrementalPostprocess::new(det.state(), None);
+            let mut rng = DetRng::new(seed ^ 0x5eed);
+            for round in 0..12 {
+                let batch = random_batch(det.graph(), &mut rng, 3 + round % 5);
+                let mut dirty = FxHashSet::default();
+                det.apply_batch_tracked(&batch, &mut dirty).unwrap();
+                for v in dirty {
+                    pp.set_sequence(v, det.state().label_sequence(v));
+                }
+                let incremental = pp.refresh(det.graph());
+                let full = postprocess(det.graph(), det.state(), None);
+                assert_results_equal(&incremental, &full);
+            }
+        }
+    }
+
+    #[test]
+    fn survives_edge_delete_then_reinsert() {
+        // The regression the merge rule exists for: an edge whose endpoint
+        // histograms change *while the edge is absent* must be recomputed
+        // when it re-enters the graph (it dropped out of `prev_weights`
+        // at the intermediate refresh, so reuse is impossible).
+        let g = seed_graph();
+        let mut det = RslpaDetector::new(g, RslpaConfig::quick(20, 9));
+        let mut pp = IncrementalPostprocess::new(det.state(), None);
+        pp.refresh(det.graph());
+        let steps = [
+            EditBatch::from_lists([], [(3, 4)]),
+            EditBatch::from_lists([(0, 8)], [(1, 2)]), // churn histograms
+            EditBatch::from_lists([(3, 4)], [(0, 8)]), // re-insert
+        ];
+        for batch in &steps {
+            let mut dirty = FxHashSet::default();
+            det.apply_batch_tracked(&batch.clone(), &mut dirty).unwrap();
+            for v in dirty {
+                pp.set_sequence(v, det.state().label_sequence(v));
+            }
+            assert_results_equal(
+                &pp.refresh(det.graph()),
+                &postprocess(det.graph(), det.state(), None),
+            );
+        }
+    }
+
+    #[test]
+    fn vertex_growth_seeds_own_label_histograms() {
+        let g = seed_graph();
+        let mut det = RslpaDetector::new(g, RslpaConfig::quick(20, 5));
+        let mut pp = IncrementalPostprocess::new(det.state(), None);
+        pp.refresh(det.graph());
+        det.ensure_vertices(14);
+        pp.ensure_vertices(14);
+        let batch = EditBatch::from_lists([(12, 0), (12, 1), (13, 12)], []);
+        let mut dirty = FxHashSet::default();
+        det.apply_batch_tracked(&batch, &mut dirty).unwrap();
+        for v in dirty {
+            pp.set_sequence(v, det.state().label_sequence(v));
+        }
+        assert_results_equal(
+            &pp.refresh(det.graph()),
+            &postprocess(det.graph(), det.state(), None),
+        );
+    }
+
+    #[test]
+    fn threaded_weight_pass_is_bit_identical() {
+        // Ring plus chords: > 256 edges so the first refresh (everything
+        // stale) takes the parallel path.
+        let n = 400u32;
+        let mut g = AdjacencyGraph::new(n as usize);
+        for v in 0..n {
+            g.insert_edge(v, (v + 1) % n);
+            g.insert_edge(v, (v + 7) % n);
+        }
+        let mut det = RslpaDetector::new(g, RslpaConfig::quick(20, 17));
+        let mut serial = IncrementalPostprocess::new(det.state(), None);
+        let mut threaded = IncrementalPostprocess::new(det.state(), None);
+        threaded.set_threads(4);
+        assert_results_equal(&serial.refresh(det.graph()), &threaded.refresh(det.graph()));
+        let mut rng = DetRng::new(99);
+        for _ in 0..3 {
+            let batch = random_batch(det.graph(), &mut rng, 60);
+            let mut dirty = FxHashSet::default();
+            det.apply_batch_tracked(&batch, &mut dirty).unwrap();
+            for v in dirty {
+                serial.set_sequence(v, det.state().label_sequence(v));
+                threaded.set_sequence(v, det.state().label_sequence(v));
+            }
+            assert_results_equal(&serial.refresh(det.graph()), &threaded.refresh(det.graph()));
+        }
+    }
+
+    #[test]
+    fn grid_configuration_is_respected() {
+        let g = seed_graph();
+        let det = RslpaDetector::new(g.clone(), RslpaConfig::quick(30, 13));
+        let mut pp = IncrementalPostprocess::new(det.state(), Some(0.001));
+        assert_results_equal(&pp.refresh(&g), &postprocess(&g, det.state(), Some(0.001)));
+    }
+}

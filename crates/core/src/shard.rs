@@ -1,0 +1,907 @@
+//! Per-shard Correction Propagation: the repair state one maintenance
+//! shard owns, plus the boundary-exchange message protocol between shards.
+//!
+//! The serve subsystem partitions the vertex space with a
+//! [`Partitioner`](rslpa_graph::Partitioner); each shard owns the
+//! adjacency rows, label sequences, pick provenance, and receiver records
+//! of *its* vertices. After an edit batch, every shard repairs its own
+//! affected vertices (Algorithm 2 Phase A) and drains the resulting
+//! cascade as far as it runs inside the shard. Corrections that cross a
+//! partition boundary become [`ShardMsg`]s addressed to the owner of the
+//! remote vertex; a coordinator routes them and shards keep pumping until
+//! no envelope is in flight.
+//!
+//! The protocol is the same three-message scheme as the BSP vertex program
+//! ([`crate::incremental_bsp`]): `Unrecord` detaches a stale receiver
+//! record, `Fetch` registers a new pick and requests its label, `Value`
+//! carries a corrected label guarded by its origin `(src, pos)` so stale
+//! deliveries are dropped. Because every pick is a pure function of
+//! `(seed, vertex, iteration, epoch)` and slot dependencies point strictly
+//! backwards in iteration time (`pos < t`), the repaired fixed point is
+//! unique — independent of shard count, message ordering, and how eagerly
+//! a shard drains its local cascade. The tests below pin that claim
+//! against the centralized [`apply_correction`](crate::incremental)
+//! bit for bit.
+
+use std::sync::Arc;
+
+use rslpa_graph::{
+    AdjacencyGraph, FxHashMap, FxHashSet, Label, Partitioner, VertexDelta, VertexId,
+};
+
+use crate::propagation::draw_pick;
+use crate::state::{LabelState, Record, NO_SOURCE};
+
+/// A boundary-exchange message between shards (same protocol as the BSP
+/// correction program, carried over shard channels instead of the
+/// simulator's per-vertex mailboxes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardMsg {
+    /// "Forget that I picked your slot `slot` for my iteration `k`."
+    Unrecord {
+        /// Slot at the (old) source.
+        slot: u32,
+        /// Iteration at the sender.
+        k: u32,
+    },
+    /// "Register me for your slot `pos` and send me its label for my
+    /// iteration `k`."
+    Fetch {
+        /// Requested slot at the destination.
+        pos: u32,
+        /// Iteration at the sender.
+        k: u32,
+    },
+    /// A label value for the destination's slot `t`, read from the
+    /// sender's slot `origin_pos` (staleness guard).
+    Value {
+        /// Slot at the destination this value fills.
+        t: u32,
+        /// Slot at the sender it was read from.
+        origin_pos: u32,
+        /// The label.
+        label: Label,
+    },
+}
+
+/// An addressed [`ShardMsg`]: the routing unit of the exchange protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// Destination vertex (owner shard = `partitioner.assign(to)`).
+    pub to: VertexId,
+    /// Sending vertex.
+    pub from: VertexId,
+    /// Payload.
+    pub msg: ShardMsg,
+}
+
+/// Work accounting for one shard over one flush (summable across shards
+/// and exchange rounds).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardFlushReport {
+    /// Picks re-drawn in Phase A.
+    pub repicks: usize,
+    /// Category-3 keep/redraw coins flipped.
+    pub coins: usize,
+    /// `Value` messages applied (stale ones excluded).
+    pub deliveries: usize,
+    /// Applied deliveries that changed the stored label.
+    pub value_changes: usize,
+    /// Distinct label slots written this flush (the η analogue).
+    pub eta: usize,
+    /// Envelopes that crossed a shard boundary.
+    pub boundary_msgs: usize,
+}
+
+impl ShardFlushReport {
+    /// Accumulate another report into this one.
+    pub fn absorb(&mut self, other: &ShardFlushReport) {
+        self.repicks += other.repicks;
+        self.coins += other.coins;
+        self.deliveries += other.deliveries;
+        self.value_changes += other.value_changes;
+        self.eta += other.eta;
+        self.boundary_msgs += other.boundary_msgs;
+    }
+}
+
+/// A vertex's full provenance rows in transit between shards
+/// (repartitioning moves whole rows; nothing else ever crosses outside
+/// the message protocol).
+#[derive(Clone, Debug)]
+pub struct VertexRowData {
+    /// `T + 1` labels.
+    pub labels: Vec<Label>,
+    /// `(src, pos)` per pick slot.
+    pub picks: Vec<(VertexId, u32)>,
+    /// Repick epoch per slot.
+    pub epochs: Vec<u32>,
+    /// Receiver records.
+    pub records: Vec<Record>,
+    /// Sorted neighbor list.
+    pub neighbors: Vec<VertexId>,
+    /// Whether the label sequence changed since the last dirty drain.
+    pub dirty: bool,
+}
+
+/// The full provenance rows of one owned vertex.
+#[derive(Clone, Debug)]
+struct VertexRow {
+    /// `T + 1` labels (`labels[0]` is the immutable initial label).
+    labels: Vec<Label>,
+    /// `(src, pos)` per pick slot, index `t - 1`.
+    picks: Vec<(VertexId, u32)>,
+    /// Repick epoch per slot, index `t - 1`.
+    epochs: Vec<u32>,
+    /// Receiver records of this vertex (who picked my slots).
+    records: Vec<Record>,
+    /// Sorted neighbor list (the shard-owned adjacency row).
+    neighbors: Vec<VertexId>,
+}
+
+impl VertexRow {
+    /// A fresh, isolated vertex: every slot repeats the own label.
+    fn fresh(v: VertexId, t_max: usize) -> Self {
+        Self {
+            labels: vec![v as Label; t_max + 1],
+            picks: vec![(NO_SOURCE, 0); t_max],
+            epochs: vec![0; t_max],
+            records: Vec::new(),
+            neighbors: Vec::new(),
+        }
+    }
+}
+
+/// Repair state owned by one maintenance shard.
+pub struct ShardRepairState {
+    shard: usize,
+    t_max: usize,
+    seed: u64,
+    value_pruned: bool,
+    partitioner: Arc<dyn Partitioner>,
+    rows: FxHashMap<VertexId, VertexRow>,
+    /// Owned vertices whose label sequence changed since the last drain
+    /// (the input to dirty-region post-processing).
+    dirty: FxHashSet<VertexId>,
+    /// Slots written during the current flush (distinct-η accounting).
+    touched: FxHashSet<(VertexId, u32)>,
+    /// Local delivery queue: envelopes addressed to this shard that have
+    /// not been applied yet.
+    local: Vec<Envelope>,
+}
+
+impl ShardRepairState {
+    /// Carve shard `shard`'s rows out of a globally propagated state.
+    pub fn from_state(
+        state: &LabelState,
+        graph: &AdjacencyGraph,
+        shard: usize,
+        partitioner: Arc<dyn Partitioner>,
+    ) -> Self {
+        let t_max = state.iterations();
+        let mut rows = FxHashMap::default();
+        for v in 0..state.num_vertices() as VertexId {
+            if partitioner.assign(v) != shard {
+                continue;
+            }
+            rows.insert(
+                v,
+                VertexRow {
+                    labels: state.label_sequence(v).to_vec(),
+                    picks: (1..=t_max as u32).map(|t| state.pick(v, t)).collect(),
+                    epochs: (1..=t_max as u32).map(|t| state.epoch(v, t)).collect(),
+                    records: state.records(v).to_vec(),
+                    neighbors: graph.neighbors(v).to_vec(),
+                },
+            );
+        }
+        Self {
+            shard,
+            t_max,
+            seed: state.seed(),
+            // Paper-faithful unconditional forwarding by default;
+            // `set_value_pruned` selects the ablation semantics.
+            value_pruned: false,
+            partitioner,
+            rows,
+            dirty: FxHashSet::default(),
+            touched: FxHashSet::default(),
+            local: Vec::new(),
+        }
+    }
+
+    /// Select the cascade semantics (paper-faithful unconditional
+    /// forwarding vs value-pruned ablation).
+    pub fn set_value_pruned(&mut self, pruned: bool) {
+        self.value_pruned = pruned;
+    }
+
+    /// Shard index.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Number of owned vertices.
+    pub fn num_owned(&self) -> usize {
+        self.rows.len()
+    }
+
+    #[inline]
+    fn owns(&self, v: VertexId) -> bool {
+        self.partitioner.assign(v) == self.shard
+    }
+
+    /// Apply this shard's per-vertex deltas (Phase A of Algorithm 2), then
+    /// drain the local cascade; cross-shard envelopes are appended to
+    /// `out`. Starts a new flush (resets the distinct-slot accounting).
+    pub fn apply_deltas(
+        &mut self,
+        deltas: &[(VertexId, VertexDelta)],
+        out: &mut Vec<Envelope>,
+    ) -> ShardFlushReport {
+        self.touched.clear();
+        let mut report = ShardFlushReport::default();
+        let mut staged = Vec::new();
+        for (v, delta) in deltas {
+            debug_assert!(self.owns(*v), "delta routed to the wrong shard");
+            self.phase_a(*v, delta, &mut staged, &mut report);
+        }
+        self.route(staged, out, &mut report);
+        self.drain_local(out, &mut report);
+        report
+    }
+
+    /// Deliver a round of inbound envelopes (all addressed to owned
+    /// vertices), drain the local cascade, and append outbound cross-shard
+    /// envelopes to `out`.
+    pub fn exchange(&mut self, inbox: Vec<Envelope>, out: &mut Vec<Envelope>) -> ShardFlushReport {
+        let mut report = ShardFlushReport::default();
+        self.local.extend(inbox);
+        self.drain_local(out, &mut report);
+        report
+    }
+
+    /// Replace the ownership map (repartitioning). The caller is
+    /// responsible for moving rows via [`extract_rows`](Self::extract_rows)
+    /// / [`adopt_rows`](Self::adopt_rows) so that every vertex's row lives
+    /// on its (new) owner exactly once.
+    pub fn set_partitioner(&mut self, partitioner: Arc<dyn Partitioner>) {
+        self.partitioner = partitioner;
+    }
+
+    /// Remove and return the rows of `ids` (vertices this shard no longer
+    /// owns), with their dirty flags. Must only be called between flushes
+    /// (no envelopes in flight).
+    pub fn extract_rows(&mut self, ids: &[VertexId]) -> Vec<(VertexId, VertexRowData)> {
+        ids.iter()
+            .map(|&v| {
+                let row = self.rows.remove(&v).expect("extracting a row we own");
+                let dirty = self.dirty.remove(&v);
+                (
+                    v,
+                    VertexRowData {
+                        labels: row.labels,
+                        picks: row.picks,
+                        epochs: row.epochs,
+                        records: row.records,
+                        neighbors: row.neighbors,
+                        dirty,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Install rows migrated from other shards.
+    pub fn adopt_rows(&mut self, rows: Vec<(VertexId, VertexRowData)>) {
+        for (v, data) in rows {
+            debug_assert!(self.owns(v), "adopting a row we do not own");
+            if data.dirty {
+                self.dirty.insert(v);
+            }
+            let prev = self.rows.insert(
+                v,
+                VertexRow {
+                    labels: data.labels,
+                    picks: data.picks,
+                    epochs: data.epochs,
+                    records: data.records,
+                    neighbors: data.neighbors,
+                },
+            );
+            debug_assert!(prev.is_none(), "adopted row collides with a live one");
+        }
+    }
+
+    /// Owned vertices whose label sequences changed since the last drain,
+    /// with their current sequences; clears the dirty set.
+    pub fn drain_dirty(&mut self) -> Vec<(VertexId, Vec<Label>)> {
+        let mut dirty: Vec<VertexId> = self.dirty.drain().collect();
+        dirty.sort_unstable();
+        dirty
+            .into_iter()
+            .map(|v| (v, self.rows[&v].labels.clone()))
+            .collect()
+    }
+
+    /// Copy this shard's rows back into a global [`LabelState`] (test and
+    /// inspection support; `state` must be sized to cover the owned ids).
+    pub fn export_into(&self, state: &mut LabelState) {
+        let mut owned: Vec<&VertexId> = self.rows.keys().collect();
+        owned.sort_unstable();
+        for &v in owned {
+            let row = &self.rows[&v];
+            for t in 1..=self.t_max as u32 {
+                state.set_label(v, t, row.labels[t as usize]);
+                let (src, pos) = row.picks[t as usize - 1];
+                state.set_pick(v, t, src, pos);
+                while state.epoch(v, t) < row.epochs[t as usize - 1] {
+                    state.bump_epoch(v, t);
+                }
+            }
+            for r in &row.records {
+                state.add_record(v, r.slot, r.receiver, r.k);
+            }
+        }
+    }
+
+    /// Phase A for one owned vertex: update the adjacency row, re-examine
+    /// every pick slot, stage protocol messages.
+    fn phase_a(
+        &mut self,
+        v: VertexId,
+        delta: &VertexDelta,
+        staged: &mut Vec<Envelope>,
+        report: &mut ShardFlushReport,
+    ) {
+        let t_max = self.t_max as u32;
+        let seed = self.seed;
+        let value_pruned = self.value_pruned;
+        let row = self
+            .rows
+            .entry(v)
+            .or_insert_with(|| VertexRow::fresh(v, t_max as usize));
+        for &gone in &delta.removed {
+            if let Ok(i) = row.neighbors.binary_search(&gone) {
+                row.neighbors.remove(i);
+            }
+        }
+        for &new in &delta.added {
+            if let Err(i) = row.neighbors.binary_search(&new) {
+                row.neighbors.insert(i, new);
+            }
+        }
+        for t in 1..=t_max {
+            let ti = t as usize - 1;
+            let (old_src, old_pos) = row.picks[ti];
+            if row.neighbors.is_empty() {
+                if old_src != NO_SOURCE {
+                    staged.push(Envelope {
+                        to: old_src,
+                        from: v,
+                        msg: ShardMsg::Unrecord {
+                            slot: old_pos,
+                            k: t,
+                        },
+                    });
+                    row.picks[ti] = (NO_SOURCE, 0);
+                    let own = row.labels[0];
+                    let changed = row.labels[t as usize] != own;
+                    row.labels[t as usize] = own;
+                    report.repicks += 1;
+                    if self.touched.insert((v, t)) {
+                        report.eta += 1;
+                    }
+                    if changed {
+                        self.dirty.insert(v);
+                    }
+                    // A reverted slot gets no incoming Value to trigger
+                    // forwarding, so notify its receivers directly.
+                    if !value_pruned || changed {
+                        for r in &row.records {
+                            if r.slot == t {
+                                staged.push(Envelope {
+                                    to: r.receiver,
+                                    from: v,
+                                    msg: ShardMsg::Value {
+                                        t: r.k,
+                                        origin_pos: t,
+                                        label: own,
+                                    },
+                                });
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+            let needs_full_repick =
+                old_src == NO_SOURCE || delta.removed.binary_search(&old_src).is_ok();
+            if needs_full_repick {
+                row.epochs[ti] += 1;
+                let (src, pos) = draw_pick(seed, v, t, row.epochs[ti], &row.neighbors);
+                stage_repick(v, t, old_src, old_pos, src, pos, row, staged, report);
+                continue;
+            }
+            if delta.added.is_empty() {
+                continue; // Category 2, source survived (Theorem 4).
+            }
+            // Category 3, surviving pick: keep with probability n_u / deg.
+            let deg = row.neighbors.len();
+            let na = delta.added.len();
+            row.epochs[ti] += 1;
+            let key = rslpa_graph::rng::PickKey {
+                seed,
+                vertex: v,
+                iteration: t,
+                epoch: row.epochs[ti],
+            };
+            report.coins += 1;
+            if key.unit_f64(rslpa_graph::rng::Stream::Cat3Coin) < na as f64 / deg as f64 {
+                // Redraw from the new neighbors only (Theorem 5).
+                row.epochs[ti] += 1;
+                let (src, pos) = draw_pick(seed, v, t, row.epochs[ti], &delta.added);
+                stage_repick(v, t, old_src, old_pos, src, pos, row, staged, report);
+            }
+        }
+    }
+
+    /// Apply every locally-deliverable envelope, batch-by-destination with
+    /// the BSP step ordering, until only cross-shard envelopes remain.
+    fn drain_local(&mut self, out: &mut Vec<Envelope>, report: &mut ShardFlushReport) {
+        while !self.local.is_empty() {
+            let pending = std::mem::take(&mut self.local);
+            // Group by destination, preserving arrival order per vertex.
+            let mut by_dest: FxHashMap<VertexId, Vec<Envelope>> = FxHashMap::default();
+            for env in pending {
+                by_dest.entry(env.to).or_default().push(env);
+            }
+            let mut dests: Vec<VertexId> = by_dest.keys().copied().collect();
+            dests.sort_unstable();
+            let mut staged = Vec::new();
+            for v in dests {
+                self.step_vertex(v, &by_dest[&v], &mut staged, report);
+            }
+            self.route(staged, out, report);
+        }
+    }
+
+    /// One vertex's superstep: unrecords, values (coalesced), fetches,
+    /// then forwards — the exact ordering of the BSP correction program.
+    fn step_vertex(
+        &mut self,
+        v: VertexId,
+        inbox: &[Envelope],
+        staged: &mut Vec<Envelope>,
+        report: &mut ShardFlushReport,
+    ) {
+        let row = self.rows.get_mut(&v).expect("message to unknown vertex");
+        // 1. Unrecords: detach receivers that repicked away.
+        for env in inbox {
+            if let ShardMsg::Unrecord { slot, k } = env.msg {
+                let i = row
+                    .records
+                    .iter()
+                    .position(|r| r.slot == slot && r.receiver == env.from && r.k == k)
+                    .expect("unrecord must reference a live record");
+                row.records.swap_remove(i);
+            }
+        }
+        // 2. Values, staleness-guarded; collect slots whose forward is due.
+        let mut changed_slots: Vec<u32> = Vec::new();
+        for env in inbox {
+            if let ShardMsg::Value {
+                t,
+                origin_pos,
+                label,
+            } = env.msg
+            {
+                let ti = t as usize - 1;
+                if row.picks[ti] != (env.from, origin_pos) {
+                    continue; // stale: the slot was repicked meanwhile
+                }
+                report.deliveries += 1;
+                let changed = row.labels[t as usize] != label;
+                row.labels[t as usize] = label;
+                if self.touched.insert((v, t)) {
+                    report.eta += 1;
+                }
+                if changed {
+                    report.value_changes += 1;
+                    self.dirty.insert(v);
+                }
+                if !self.value_pruned || changed {
+                    changed_slots.push(t);
+                }
+            }
+        }
+        changed_slots.sort_unstable();
+        changed_slots.dedup();
+        // 3. Serve fetches with post-update labels; snapshot the record
+        //    count first so step 4 does not double-deliver to them.
+        let pre_fetch_records = row.records.len();
+        for env in inbox {
+            if let ShardMsg::Fetch { pos, k } = env.msg {
+                row.records.push(Record {
+                    slot: pos,
+                    receiver: env.from,
+                    k,
+                });
+                staged.push(Envelope {
+                    to: env.from,
+                    from: v,
+                    msg: ShardMsg::Value {
+                        t: k,
+                        origin_pos: pos,
+                        label: row.labels[pos as usize],
+                    },
+                });
+            }
+        }
+        // 4. Forward corrections to previously-registered receivers.
+        for &t in &changed_slots {
+            let label = row.labels[t as usize];
+            for i in 0..pre_fetch_records {
+                let r = row.records[i];
+                if r.slot == t {
+                    staged.push(Envelope {
+                        to: r.receiver,
+                        from: v,
+                        msg: ShardMsg::Value {
+                            t: r.k,
+                            origin_pos: t,
+                            label,
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    /// Split staged envelopes into the local queue and the cross-shard
+    /// outbox.
+    fn route(
+        &mut self,
+        staged: Vec<Envelope>,
+        out: &mut Vec<Envelope>,
+        report: &mut ShardFlushReport,
+    ) {
+        for env in staged {
+            if self.owns(env.to) {
+                self.local.push(env);
+            } else {
+                report.boundary_msgs += 1;
+                out.push(env);
+            }
+        }
+    }
+}
+
+/// Stage the bookkeeping of a re-drawn pick: unrecord the old source,
+/// register with (and fetch from) the new one.
+#[allow(clippy::too_many_arguments)]
+fn stage_repick(
+    v: VertexId,
+    t: u32,
+    old_src: VertexId,
+    old_pos: u32,
+    src: VertexId,
+    pos: u32,
+    row: &mut VertexRow,
+    staged: &mut Vec<Envelope>,
+    report: &mut ShardFlushReport,
+) {
+    if old_src != NO_SOURCE {
+        staged.push(Envelope {
+            to: old_src,
+            from: v,
+            msg: ShardMsg::Unrecord {
+                slot: old_pos,
+                k: t,
+            },
+        });
+    }
+    row.picks[t as usize - 1] = (src, pos);
+    staged.push(Envelope {
+        to: src,
+        from: v,
+        msg: ShardMsg::Fetch { pos, k: t },
+    });
+    report.repicks += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incremental::apply_correction;
+    use crate::propagation::run_propagation;
+    use crate::verify::check_consistency;
+    use rslpa_graph::{DynamicGraph, EditBatch, HashPartitioner};
+
+    /// Drive a set of shards over one applied batch until quiescence,
+    /// mirroring what the serve coordinator does.
+    fn run_shards(
+        shards: &mut [ShardRepairState],
+        partitioner: &dyn Partitioner,
+        applied: &rslpa_graph::AppliedBatch,
+    ) -> ShardFlushReport {
+        let per_shard = rslpa_graph::sharding::split_deltas(applied, partitioner);
+        let mut total = ShardFlushReport::default();
+        let mut outbox = Vec::new();
+        for (shard, deltas) in shards.iter_mut().zip(&per_shard) {
+            total.absorb(&shard.apply_deltas(deltas, &mut outbox));
+        }
+        while !outbox.is_empty() {
+            let mut inboxes: Vec<Vec<Envelope>> = vec![Vec::new(); shards.len()];
+            for env in outbox.drain(..) {
+                inboxes[partitioner.assign(env.to)].push(env);
+            }
+            for (shard, inbox) in shards.iter_mut().zip(inboxes) {
+                if !inbox.is_empty() {
+                    total.absorb(&shard.exchange(inbox, &mut outbox));
+                }
+            }
+        }
+        total
+    }
+
+    fn assemble(shards: &[ShardRepairState], n: usize, t_max: usize, seed: u64) -> LabelState {
+        let mut state = LabelState::new(n, t_max, seed);
+        for shard in shards {
+            shard.export_into(&mut state);
+        }
+        state
+    }
+
+    fn compare_states(a: &LabelState, b: &LabelState, n: usize, t_max: u32) {
+        for v in 0..n as VertexId {
+            assert_eq!(
+                a.label_sequence(v),
+                b.label_sequence(v),
+                "labels differ at {v}"
+            );
+            for t in 1..=t_max {
+                assert_eq!(a.pick(v, t), b.pick(v, t), "picks differ at ({v}, {t})");
+                assert_eq!(a.epoch(v, t), b.epoch(v, t), "epochs differ at ({v}, {t})");
+            }
+        }
+        assert_eq!(a.total_records(), b.total_records());
+    }
+
+    fn cube_graph() -> AdjacencyGraph {
+        AdjacencyGraph::from_edges(
+            8,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 4),
+                (0, 4),
+                (2, 6),
+            ],
+        )
+    }
+
+    fn exercise(batch: EditBatch, seed: u64, parts: usize, pruned: bool) {
+        let t_max = 10usize;
+        let mut dg = DynamicGraph::new(cube_graph());
+        let state0 = run_propagation(dg.graph(), t_max, seed);
+        let applied = dg.apply(&batch).unwrap();
+
+        let mut central = state0.clone();
+        apply_correction(&mut central, dg.graph(), &applied, pruned);
+
+        let partitioner: Arc<dyn Partitioner> = Arc::new(HashPartitioner::new(parts));
+        let pre_batch = cube_graph(); // pre-batch adjacency
+        let mut shards: Vec<ShardRepairState> = (0..parts)
+            .map(|s| {
+                let mut shard =
+                    ShardRepairState::from_state(&state0, &pre_batch, s, Arc::clone(&partitioner));
+                shard.set_value_pruned(pruned);
+                shard
+            })
+            .collect();
+        run_shards(&mut shards, partitioner.as_ref(), &applied);
+        let sharded = assemble(&shards, 8, t_max, seed);
+        check_consistency(&sharded, dg.graph()).unwrap();
+        compare_states(&central, &sharded, 8, t_max as u32);
+    }
+
+    #[test]
+    fn matches_centralized_on_deletion() {
+        for seed in 0..5 {
+            for parts in [1, 2, 4] {
+                exercise(EditBatch::from_lists([], [(0, 1)]), seed, parts, false);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_centralized_on_insertion() {
+        for seed in 0..5 {
+            for parts in [1, 2, 4] {
+                exercise(EditBatch::from_lists([(1, 5)], []), seed, parts, false);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_centralized_on_mixed_batch() {
+        for seed in 0..5 {
+            for parts in [1, 2, 4] {
+                exercise(
+                    EditBatch::from_lists([(1, 7), (3, 5)], [(0, 1), (5, 6)]),
+                    seed,
+                    parts,
+                    false,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_centralized_pruned_mode() {
+        for seed in 0..5 {
+            exercise(EditBatch::from_lists([(1, 7)], [(2, 3)]), seed, 3, true);
+        }
+    }
+
+    #[test]
+    fn multi_batch_continuity_across_shard_counts() {
+        // Apply a sequence of batches; shard repair must stay bit-aligned
+        // with the centralized state at every step, for every shard count.
+        let t_max = 8usize;
+        let seed = 5u64;
+        let batches = [
+            EditBatch::from_lists([(0, 2)], [(3, 0)]),
+            EditBatch::from_lists([(1, 3)], [(0, 2)]),
+            EditBatch::from_lists([(0, 6), (3, 7)], [(4, 5)]),
+        ];
+        for parts in [1, 2, 4] {
+            let mut dg_c = DynamicGraph::new(cube_graph());
+            let mut central = run_propagation(dg_c.graph(), t_max, seed);
+            let partitioner: Arc<dyn Partitioner> = Arc::new(HashPartitioner::new(parts));
+            let mut shards: Vec<ShardRepairState> = (0..parts)
+                .map(|s| {
+                    ShardRepairState::from_state(
+                        &central,
+                        dg_c.graph(),
+                        s,
+                        Arc::clone(&partitioner),
+                    )
+                })
+                .collect();
+            for batch in &batches {
+                let applied = dg_c.apply(batch).unwrap();
+                apply_correction(&mut central, dg_c.graph(), &applied, false);
+                run_shards(&mut shards, partitioner.as_ref(), &applied);
+                let sharded = assemble(&shards, 8, t_max, seed);
+                compare_states(&central, &sharded, 8, t_max as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn migration_between_batches_preserves_bit_equality() {
+        // Repartition mid-stream (extract + adopt + new ownership map) and
+        // keep repairing: the final state must still match the
+        // centralized reference bit for bit.
+        let t_max = 8usize;
+        let seed = 7u64;
+        let parts = 3usize;
+        let mut dg_c = DynamicGraph::new(cube_graph());
+        let mut central = run_propagation(dg_c.graph(), t_max, seed);
+        let p_old: Arc<dyn Partitioner> = Arc::new(HashPartitioner::with_seed(parts, 1));
+        let mut shards: Vec<ShardRepairState> = (0..parts)
+            .map(|s| ShardRepairState::from_state(&central, dg_c.graph(), s, Arc::clone(&p_old)))
+            .collect();
+
+        let batch1 = EditBatch::from_lists([(0, 2)], [(6, 7)]);
+        let applied = dg_c.apply(&batch1).unwrap();
+        apply_correction(&mut central, dg_c.graph(), &applied, false);
+        run_shards(&mut shards, p_old.as_ref(), &applied);
+
+        // Migrate to a different ownership map, the way the coordinator
+        // does between flushes.
+        let p_new: Arc<dyn Partitioner> = Arc::new(HashPartitioner::with_seed(parts, 99));
+        let mut in_flight: Vec<Vec<(VertexId, VertexRowData)>> = vec![Vec::new(); parts];
+        for shard in shards.iter_mut() {
+            let leaving: Vec<VertexId> = (0..8u32)
+                .filter(|&v| p_old.assign(v) == shard.shard() && p_new.assign(v) != shard.shard())
+                .collect();
+            for (v, row) in shard.extract_rows(&leaving) {
+                in_flight[p_new.assign(v)].push((v, row));
+            }
+        }
+        for (shard, rows) in shards.iter_mut().zip(in_flight) {
+            shard.set_partitioner(Arc::clone(&p_new));
+            shard.adopt_rows(rows);
+        }
+
+        let batch2 = EditBatch::from_lists([(1, 6), (5, 7)], [(0, 2)]);
+        let applied = dg_c.apply(&batch2).unwrap();
+        apply_correction(&mut central, dg_c.graph(), &applied, false);
+        run_shards(&mut shards, p_new.as_ref(), &applied);
+        let sharded = assemble(&shards, 8, t_max, seed);
+        compare_states(&central, &sharded, 8, t_max as u32);
+    }
+
+    #[test]
+    fn fresh_vertex_attaches_identically() {
+        // Vertex 8 does not exist at propagation time; the shard creates
+        // its row lazily and must land exactly where the centralized
+        // grow-then-repair path lands.
+        let t_max = 9usize;
+        let seed = 11u64;
+        let mut dg = DynamicGraph::new(cube_graph());
+        let state0 = run_propagation(dg.graph(), t_max, seed);
+        let partitioner: Arc<dyn Partitioner> = Arc::new(HashPartitioner::new(3));
+        let mut shards: Vec<ShardRepairState> = (0..3)
+            .map(|s| ShardRepairState::from_state(&state0, dg.graph(), s, Arc::clone(&partitioner)))
+            .collect();
+
+        let mut central = state0.clone();
+        dg.ensure_vertices(9);
+        central.grow(9);
+        let applied = dg
+            .apply(&EditBatch::from_lists([(8, 0), (8, 5)], []))
+            .unwrap();
+        apply_correction(&mut central, dg.graph(), &applied, false);
+        run_shards(&mut shards, partitioner.as_ref(), &applied);
+        let sharded = assemble(&shards, 9, t_max, seed);
+        compare_states(&central, &sharded, 9, t_max as u32);
+    }
+
+    #[test]
+    fn drain_dirty_reports_changed_sequences_once() {
+        let t_max = 8usize;
+        let mut dg = DynamicGraph::new(cube_graph());
+        let state0 = run_propagation(dg.graph(), t_max, 3);
+        let partitioner: Arc<dyn Partitioner> = Arc::new(HashPartitioner::new(2));
+        let mut shards: Vec<ShardRepairState> = (0..2)
+            .map(|s| ShardRepairState::from_state(&state0, dg.graph(), s, Arc::clone(&partitioner)))
+            .collect();
+        let applied = dg.apply(&EditBatch::from_lists([], [(0, 1)])).unwrap();
+        run_shards(&mut shards, partitioner.as_ref(), &applied);
+        let assembled = assemble(&shards, 8, t_max, 3);
+        let mut reported: Vec<VertexId> = Vec::new();
+        for shard in &mut shards {
+            for (v, labels) in shard.drain_dirty() {
+                assert_eq!(labels, assembled.label_sequence(v), "sequence for {v}");
+                reported.push(v);
+            }
+        }
+        // Every vertex whose sequence differs from the pre-batch state
+        // must have been reported dirty.
+        for v in 0..8u32 {
+            if state0.label_sequence(v) != assembled.label_sequence(v) {
+                assert!(reported.contains(&v), "dirty vertex {v} not reported");
+            }
+        }
+        // A second drain is empty.
+        for shard in &mut shards {
+            assert!(shard.drain_dirty().is_empty());
+        }
+    }
+
+    #[test]
+    fn boundary_message_count_is_zero_for_single_shard() {
+        let mut dg = DynamicGraph::new(cube_graph());
+        let state0 = run_propagation(dg.graph(), 8, 1);
+        let partitioner: Arc<dyn Partitioner> = Arc::new(HashPartitioner::new(1));
+        let mut shards = vec![ShardRepairState::from_state(
+            &state0,
+            dg.graph(),
+            0,
+            Arc::clone(&partitioner),
+        )];
+        let applied = dg.apply(&EditBatch::from_lists([(1, 6)], [])).unwrap();
+        let report = run_shards(&mut shards, partitioner.as_ref(), &applied);
+        assert_eq!(report.boundary_msgs, 0);
+        assert!(report.repicks > 0 || report.coins > 0);
+    }
+}

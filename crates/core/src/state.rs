@@ -17,6 +17,22 @@ use rslpa_graph::{Label, VertexId};
 /// Sentinel `src` for slots picked while the vertex had no neighbors.
 pub const NO_SOURCE: VertexId = VertexId::MAX;
 
+/// Sorted `(label, count)` histogram of one label sequence — the single
+/// definition every consumer (state queries, post-processing caches) must
+/// share, or cached histograms drift from freshly-built ones.
+pub fn histogram_of(labels: &[Label]) -> Vec<(Label, u32)> {
+    let mut sorted = labels.to_vec();
+    sorted.sort_unstable();
+    let mut out: Vec<(Label, u32)> = Vec::new();
+    for l in sorted {
+        match out.last_mut() {
+            Some((prev, c)) if *prev == l => *c += 1,
+            _ => out.push((l, 1)),
+        }
+    }
+    out
+}
+
 /// One receiver record: `receiver` picked this vertex's label at slot
 /// `slot`, storing it at the receiver's iteration `k`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -192,17 +208,7 @@ impl LabelState {
     /// Label frequency histogram of `v` as a sorted `(label, count)` list —
     /// the input to post-processing similarity.
     pub fn histogram(&self, v: VertexId) -> Vec<(Label, u32)> {
-        let seq = self.label_sequence(v);
-        let mut sorted: Vec<Label> = seq.to_vec();
-        sorted.sort_unstable();
-        let mut out: Vec<(Label, u32)> = Vec::new();
-        for &l in &sorted {
-            match out.last_mut() {
-                Some((prev, c)) if *prev == l => *c += 1,
-                _ => out.push((l, 1)),
-            }
-        }
-        out
+        histogram_of(self.label_sequence(v))
     }
 
     /// Replace a vertex's whole pick row with "isolated" state (used when a

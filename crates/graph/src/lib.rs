@@ -19,7 +19,11 @@
 //!   on the hot path everywhere; the std SipHash is measurably slower).
 //! * [`connectivity`] — sequential union-find connected components, the
 //!   centralized counterpart of the distributed hash-to-min pass.
-//! * [`partition`] — vertex partitioners for the distributed simulator.
+//! * [`partition`] — vertex partitioners for the distributed simulator
+//!   and the sharded serve path (hash, block, BFS-locality, and
+//!   community-aligned planned partitions).
+//! * [`sharding`] — partition-aware edit routing and boundary-vertex
+//!   bookkeeping for sharded maintenance.
 //! * [`io`] — plain-text edge-list reading/writing and the paper's data
 //!   preparation pipeline (symmetrize, dedupe, drop self-loops, §V-B1).
 
@@ -34,6 +38,7 @@ pub mod fxhash;
 pub mod io;
 pub mod partition;
 pub mod rng;
+pub mod sharding;
 pub mod stats;
 
 pub use adjacency::AdjacencyGraph;
@@ -44,8 +49,9 @@ pub use csr::CsrGraph;
 pub use dynamic::{AppliedBatch, DynamicGraph, VertexDelta};
 pub use edits::{EditBatch, EditError};
 pub use fxhash::{FxHashMap, FxHashSet};
-pub use partition::{BlockPartitioner, HashPartitioner, Partitioner};
+pub use partition::{BlockPartitioner, HashPartitioner, Partitioner, PlannedPartitioner};
 pub use rng::{DetRng, PickKey};
+pub use sharding::{split_deltas, BoundaryTracker};
 pub use stats::GraphStats;
 
 /// Vertex identifier. Graphs are addressed with dense ids `0..n`.

@@ -134,6 +134,136 @@ impl Partitioner for BfsPartitioner {
     }
 }
 
+/// A materialized assignment for an open-ended vertex space: ids covered
+/// by the plan use it, ids beyond it (vertices created after planning)
+/// fall back to hashing. This is what a long-lived sharded service needs —
+/// locality for the seed graph, a total deterministic map forever after.
+#[derive(Clone, Debug)]
+pub struct PlannedPartitioner {
+    assignment: Vec<u32>,
+    fallback: HashPartitioner,
+}
+
+impl PlannedPartitioner {
+    /// Plan a BFS-locality partition of `graph` (see [`BfsPartitioner`]);
+    /// neighborhoods tend to stay on one shard, which is what keeps
+    /// boundary-exchange traffic low.
+    pub fn bfs_locality(graph: &crate::AdjacencyGraph, parts: usize) -> Self {
+        let csr = CsrGraph::from_adjacency(graph);
+        let bfs = BfsPartitioner::plan(&csr, parts);
+        Self {
+            assignment: (0..graph.num_vertices() as VertexId)
+                .map(|v| bfs.assign(v) as u32)
+                .collect(),
+            fallback: HashPartitioner::new(parts),
+        }
+    }
+
+    /// Plan a community-aligned partition from a detected cover: whole
+    /// communities (largest first) go to the least-loaded shard, so the
+    /// vast majority of edges — and therefore of correction-cascade hops —
+    /// stay shard-local. Overlapping vertices follow the largest of their
+    /// communities; uncovered vertices fall back to hashing. On graphs
+    /// with community structure this cuts far fewer edges than BFS
+    /// chunking, whose layers straddle every community of a small-world
+    /// graph.
+    pub fn from_cover(cover: &crate::Cover, n: usize, parts: usize) -> Self {
+        assert!(parts > 0, "need at least one partition");
+        let fallback = HashPartitioner::new(parts);
+        let mut order: Vec<usize> = (0..cover.len()).collect();
+        // Largest first; canonical cover order breaks ties deterministically.
+        order.sort_by_key(|&c| std::cmp::Reverse(cover.communities()[c].len()));
+        let mut load = vec![0usize; parts];
+        let mut assignment = vec![u32::MAX; n];
+        for c in order {
+            let shard = (0..parts).min_by_key(|&s| load[s]).expect("parts > 0");
+            let mut placed = 0usize;
+            for &v in &cover.communities()[c] {
+                if let Some(slot) = assignment.get_mut(v as usize) {
+                    if *slot == u32::MAX {
+                        *slot = shard as u32;
+                        placed += 1;
+                    }
+                }
+            }
+            load[shard] += placed;
+        }
+        for (v, slot) in assignment.iter_mut().enumerate() {
+            if *slot == u32::MAX {
+                *slot = fallback.assign(v as VertexId) as u32;
+            }
+        }
+        Self {
+            assignment,
+            fallback,
+        }
+    }
+
+    /// Re-plan a community-aligned partition *stickily*: each community
+    /// goes to the shard where most of its members already live under
+    /// `prev`, unless that shard is already loaded past `~1.25×` its fair
+    /// share (then the least-loaded shard takes it). Uncovered vertices
+    /// keep their previous owner. Minimizes row migration while tracking
+    /// the evolving community structure.
+    pub fn rebalance(prev: &dyn Partitioner, cover: &crate::Cover, n: usize, parts: usize) -> Self {
+        assert!(parts > 0, "need at least one partition");
+        let fallback = HashPartitioner::new(parts);
+        let cap = (n.div_ceil(parts) * 5).div_ceil(4).max(1); // ~1.25× fair share
+        let mut order: Vec<usize> = (0..cover.len()).collect();
+        order.sort_by_key(|&c| std::cmp::Reverse(cover.communities()[c].len()));
+        let mut load = vec![0usize; parts];
+        let mut assignment = vec![u32::MAX; n];
+        for c in order {
+            let members = &cover.communities()[c];
+            let mut votes = vec![0usize; parts];
+            for &v in members {
+                if (v as usize) < n && assignment[v as usize] == u32::MAX {
+                    votes[prev.assign(v)] += 1;
+                }
+            }
+            let preferred = (0..parts).max_by_key(|&s| (votes[s], parts - s)).unwrap();
+            let shard = if load[preferred] + votes.iter().sum::<usize>() <= cap {
+                preferred
+            } else {
+                (0..parts).min_by_key(|&s| load[s]).unwrap()
+            };
+            let mut placed = 0usize;
+            for &v in members {
+                if let Some(slot) = assignment.get_mut(v as usize) {
+                    if *slot == u32::MAX {
+                        *slot = shard as u32;
+                        placed += 1;
+                    }
+                }
+            }
+            load[shard] += placed;
+        }
+        for (v, slot) in assignment.iter_mut().enumerate() {
+            if *slot == u32::MAX {
+                *slot = prev.assign(v as VertexId) as u32;
+            }
+        }
+        Self {
+            assignment,
+            fallback,
+        }
+    }
+}
+
+impl Partitioner for PlannedPartitioner {
+    #[inline]
+    fn assign(&self, v: VertexId) -> usize {
+        match self.assignment.get(v as usize) {
+            Some(&s) => s as usize,
+            None => self.fallback.assign(v),
+        }
+    }
+
+    fn num_parts(&self) -> usize {
+        self.fallback.num_parts()
+    }
+}
+
 /// Fraction of edges whose endpoints live on different workers — the
 /// quantity a locality partitioner tries to minimize.
 pub fn edge_cut(g: &CsrGraph, p: &dyn Partitioner) -> f64 {
@@ -215,6 +345,103 @@ mod tests {
         // Hash partitioning of the same graph almost surely cuts something.
         let h = HashPartitioner::new(2);
         assert!(edge_cut(&csr, &h) > 0.0);
+    }
+
+    #[test]
+    fn planned_partitioner_extends_past_the_plan() {
+        // Two disjoint cliques stay whole under the plan; vertices created
+        // after planning get a deterministic hash assignment.
+        let mut g = AdjacencyGraph::new(8);
+        for base in [0u32, 4] {
+            for u in base..base + 4 {
+                for v in (u + 1)..base + 4 {
+                    g.insert_edge(u, v);
+                }
+            }
+        }
+        let p = PlannedPartitioner::bfs_locality(&g, 2);
+        assert_eq!(p.num_parts(), 2);
+        let csr = CsrGraph::from_adjacency(&g);
+        assert_eq!(edge_cut(&csr, &p), 0.0, "planned part keeps cliques whole");
+        let h = HashPartitioner::new(2);
+        for v in 8..40u32 {
+            assert_eq!(p.assign(v), h.assign(v), "fallback is plain hashing");
+        }
+    }
+
+    #[test]
+    fn cover_partitioner_keeps_communities_whole_and_balanced() {
+        use crate::Cover;
+        // Four communities of different sizes over 12 vertices.
+        let cover = Cover::new(vec![
+            vec![0, 1, 2, 3],
+            vec![4, 5, 6],
+            vec![7, 8, 9],
+            vec![10, 11],
+        ]);
+        let p = PlannedPartitioner::from_cover(&cover, 12, 2);
+        for community in cover.communities() {
+            let shard = p.assign(community[0]);
+            for &v in community {
+                assert_eq!(p.assign(v), shard, "community split across shards");
+            }
+        }
+        // Greedy balance: 4+2 vs 3+3 (or similar) — never 7 vs 5+.
+        let mut counts = [0usize; 2];
+        for v in 0..12u32 {
+            counts[p.assign(v)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 6), "{counts:?}");
+        // Vertices outside every community hash deterministically.
+        assert_eq!(p.assign(500), HashPartitioner::new(2).assign(500));
+    }
+
+    #[test]
+    fn rebalance_is_sticky_under_small_cover_changes() {
+        use crate::Cover;
+        let cover = Cover::new(vec![vec![0, 1, 2, 3], vec![4, 5, 6], vec![7, 8, 9, 10, 11]]);
+        let p0 = PlannedPartitioner::from_cover(&cover, 12, 2);
+        // One vertex hops community; everything else must stay put.
+        let shifted = Cover::new(vec![vec![0, 1, 2], vec![3, 4, 5, 6], vec![7, 8, 9, 10, 11]]);
+        let p1 = PlannedPartitioner::rebalance(&p0, &shifted, 12, 2);
+        let moved: Vec<u32> = (0..12u32)
+            .filter(|&v| p0.assign(v) != p1.assign(v))
+            .collect();
+        assert!(moved.len() <= 1, "sticky rebalance moved {moved:?}");
+        for community in shifted.communities() {
+            let shard = p1.assign(community[0]);
+            assert!(community.iter().all(|&v| p1.assign(v) == shard));
+        }
+    }
+
+    #[test]
+    fn rebalance_respects_the_load_cap() {
+        use crate::Cover;
+        // All communities prefer shard 0; the cap must push some away.
+        let p0 = BlockPartitioner::new(16, 2); // 0..8 on shard 0
+        let cover = Cover::new(vec![
+            vec![0, 1, 2, 3, 4],
+            vec![5, 6, 7, 10, 11],
+            vec![8, 9, 12, 13, 14, 15],
+        ]);
+        let p1 = PlannedPartitioner::rebalance(&p0, &cover, 16, 2);
+        let mut counts = [0usize; 2];
+        for v in 0..16u32 {
+            counts[p1.assign(v)] += 1;
+        }
+        let cap = (16usize.div_ceil(2) * 5).div_ceil(4);
+        assert!(counts.iter().all(|&c| c <= cap + 5), "{counts:?}");
+        assert!(counts[1] > 0, "cap never pushed anything off shard 0");
+    }
+
+    #[test]
+    fn cover_partitioner_overlap_follows_largest_community() {
+        use crate::Cover;
+        let cover = Cover::new(vec![vec![0, 1, 2, 5], vec![3, 4, 5]]);
+        let p = PlannedPartitioner::from_cover(&cover, 6, 2);
+        // Vertex 5 overlaps; the larger community is placed first and
+        // claims it.
+        assert_eq!(p.assign(5), p.assign(0));
     }
 
     #[test]

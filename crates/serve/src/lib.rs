@@ -9,27 +9,40 @@
 //! ## Architecture
 //!
 //! ```text
-//!  writers ──▶ EditQueue ──▶ maintenance thread ──▶ SnapshotStore
-//!             (micro-batch     RslpaDetector:        (epoch chain of
-//!              per policy)     apply_batch +          Arc snapshots)
-//!                              detect                      │
-//!  readers ◀──────────────── lock-free refresh ◀──────────┘
+//!  writers ──▶ EditQueue ──▶ coordinator ──▶ router ─┬▶ shard worker 0 ─┐
+//!             (micro-batch    net-resolve   (deltas  ├▶ shard worker 1  │ boundary
+//!              per policy)    + growth)     by owner)└▶ shard worker N  │ exchange
+//!                                  │                  ▲ Unrecord/Fetch/Value
+//!                                  │                  └─────rounds──────┘
+//!                                  ▼ dirty label sequences at publish
+//!                        IncrementalPostprocess ──▶ snapshot ──▶ SnapshotStore
+//!                        (dirty-region weights)     assembly     (epoch chain)
+//!                                                                     │
+//!  readers ◀─────────────────── lock-free refresh ◀──────────────────┘
 //! ```
 //!
 //! * [`queue`] — MPSC ingestion queue carrying [`EditOp`]s, barriers, and
 //!   shutdown, in submission order.
 //! * [`policy`] — pluggable micro-batching: flush by size, by deadline,
 //!   per-edit, or only at explicit barriers.
-//! * [`maintain`] — the single-writer maintenance loop; folds op soup into
-//!   valid [`EditBatch`](rslpa_graph::EditBatch)es (net-effect
-//!   resolution), repairs the label state incrementally (Correction
-//!   Propagation, paper §IV), and publishes snapshots.
+//! * [`maintain`] — the maintenance coordinator; folds op soup into valid
+//!   [`EditBatch`](rslpa_graph::EditBatch)es (net-effect resolution),
+//!   repairs the label state through the engine, and publishes snapshots
+//!   via dirty-region post-processing (only vertices whose label
+//!   sequences changed since the last publish are re-weighted).
+//! * [`shards`] (internal) — the repair engine: a single-writer
+//!   [`RslpaDetector`](rslpa_core::RslpaDetector) at `shards = 1` (the
+//!   default), or per-partition workers exchanging boundary corrections
+//!   and re-partitioned around each published cover at `shards > 1`.
+//!   Rosters are bit-identical across shard counts.
 //! * [`snapshot`] — versioned immutable [`CommunitySnapshot`]s linked into
 //!   an epoch chain; readers advance with atomic loads only and can pin
 //!   any epoch indefinitely.
 //! * [`query`] — vertex membership, community roster, vertex overlap, and
 //!   epoch-to-epoch membership diffs, all latency-accounted.
-//! * [`stats`] — wait-free histograms + counters; p50/p99 summaries.
+//! * [`stats`] — wait-free histograms + counters (global, per-shard, and
+//!   boundary-exchange); p50/p99 summaries resolved to log₂-bucket
+//!   geometric means.
 //!
 //! The facade is [`CommunityService`]; see its docs for a runnable
 //! example.
@@ -39,6 +52,7 @@ pub mod policy;
 pub mod query;
 pub mod queue;
 pub mod service;
+pub(crate) mod shards;
 pub mod snapshot;
 pub mod stats;
 
@@ -49,4 +63,4 @@ pub use service::{CommunityService, IngestHandle, ServeConfig, ServiceClosed};
 pub use snapshot::{
     membership_diff, CommunitySnapshot, MembershipDiff, SnapshotReader, SnapshotStore,
 };
-pub use stats::{LatencyHistogram, LatencySummary, ServeStats, StatsReport};
+pub use stats::{LatencyHistogram, LatencySummary, ServeStats, ShardCounts, StatsReport};

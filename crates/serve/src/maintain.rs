@@ -1,10 +1,15 @@
-//! The maintenance loop: single writer that drains the ingestion queue,
-//! applies micro-batches through Correction Propagation, and publishes
+//! The maintenance loop: the coordinator that drains the ingestion queue,
+//! applies micro-batches through the repair engine, and publishes
 //! snapshots.
 //!
-//! One thread owns the [`RslpaDetector`] (graph + label state) outright —
-//! no shared mutable state, so the hot repair path runs without any
-//! synchronization. Readers interact only through the epoch-swapped
+//! One thread drives the loop. With `shards = 1` it owns the
+//! [`RslpaDetector`](rslpa_core::RslpaDetector) outright (the pre-sharding
+//! single-writer path); with `shards > 1` it routes each flush to the
+//! per-partition workers and drives their boundary exchange (see
+//! [`crate::shards`]). Either way, snapshot publishing runs dirty-region
+//! post-processing: only vertices whose label sequences changed since the
+//! last publish have their histograms and incident edge weights
+//! recomputed. Readers interact only through the epoch-swapped
 //! [`SnapshotStore`].
 //!
 //! Live streams are messier than the paper's curated batches: clients may
@@ -17,11 +22,12 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use rslpa_core::RslpaDetector;
+use rslpa_core::{DetectionResult, IncrementalPostprocess};
 use rslpa_graph::{AdjacencyGraph, EditBatch, FxHashMap, VertexId};
 
 use crate::policy::FlushPolicy;
 use crate::queue::{Command, EditOp, EditQueue};
+use crate::shards::RepairEngine;
 use crate::snapshot::{CommunitySnapshot, SnapshotStore};
 use crate::stats::ServeStats;
 
@@ -70,7 +76,8 @@ pub(crate) fn resolve_ops(graph: &AdjacencyGraph, ops: &[EditOp]) -> (EditBatch,
 
 /// State owned by the maintenance thread.
 pub(crate) struct MaintenanceLoop {
-    pub(crate) detector: RslpaDetector,
+    pub(crate) engine: RepairEngine,
+    pub(crate) postprocess: IncrementalPostprocess,
     pub(crate) queue: Arc<EditQueue>,
     pub(crate) store: Arc<SnapshotStore>,
     pub(crate) stats: Arc<ServeStats>,
@@ -102,43 +109,57 @@ impl MaintenanceLoop {
                 let age = oldest_at.map(|t| t.elapsed()).unwrap_or_default();
                 self.policy.poll_timeout(pending.len(), age)
             };
-            match self.queue.pop_wait(timeout) {
-                Some(Command::Edit(op)) => {
-                    if pending.is_empty() {
-                        oldest_at = Some(Instant::now());
+            // Drain whole chunks per lock acquisition; command semantics
+            // stay per-op (the policy sees every edit individually, and
+            // barriers/shutdown act exactly where they sit in the order).
+            let chunk = self.queue.pop_chunk(timeout);
+            if chunk.is_empty() && self.queue.is_closed() {
+                // Closed and drained (shutdown command consumed by an
+                // earlier iteration, or queue dropped).
+                self.flush(&mut pending);
+                self.publish_snapshot();
+                return;
+            }
+            for cmd in chunk {
+                match cmd {
+                    Command::Edit(op) => {
+                        if pending.is_empty() {
+                            oldest_at = Some(Instant::now());
+                        }
+                        pending.push(op);
+                        let age = oldest_at.map(|t| t.elapsed()).unwrap_or_default();
+                        if self.policy.should_flush(pending.len(), age) {
+                            self.flush(&mut pending);
+                            oldest_at = None;
+                            self.flushes_since_snapshot += 1;
+                            if self.flushes_since_snapshot >= self.snapshot_every {
+                                self.publish_snapshot();
+                            }
+                        }
                     }
-                    pending.push(op);
-                }
-                Some(Command::Barrier(gate)) => {
-                    // Opens on drop, so a panic mid-flush cannot strand the
-                    // waiting client (it sees the pre-flush epoch instead).
-                    let opener = OpenOnDrop {
-                        gate,
-                        store: Arc::clone(&self.store),
-                    };
-                    self.flush(&mut pending);
-                    oldest_at = None;
-                    self.publish_snapshot();
-                    self.stats.note_barrier();
-                    drop(opener); // open with the freshly published epoch
-                    continue;
-                }
-                Some(Command::Shutdown) => {
-                    self.flush(&mut pending);
-                    self.publish_snapshot();
-                    return;
-                }
-                None => {
-                    if self.queue.is_closed() {
-                        // Closed and drained (shutdown command consumed by
-                        // an earlier iteration, or queue dropped).
+                    Command::Barrier(gate) => {
+                        // Opens on drop, so a panic mid-flush cannot strand
+                        // the waiting client (it sees the pre-flush epoch
+                        // instead).
+                        let opener = OpenOnDrop {
+                            gate,
+                            store: Arc::clone(&self.store),
+                        };
+                        self.flush(&mut pending);
+                        oldest_at = None;
+                        self.publish_snapshot();
+                        self.stats.note_barrier();
+                        drop(opener); // open with the freshly published epoch
+                    }
+                    Command::Shutdown => {
                         self.flush(&mut pending);
                         self.publish_snapshot();
                         return;
                     }
-                    // Timed out waiting: fall through to the policy check.
                 }
             }
+            // Timed out (or drained) without a size flush: give the
+            // deadline policies their say.
             let age = oldest_at.map(|t| t.elapsed()).unwrap_or_default();
             if self.policy.should_flush(pending.len(), age) {
                 self.flush(&mut pending);
@@ -157,24 +178,21 @@ impl MaintenanceLoop {
             return;
         }
         let started = Instant::now();
-        let (batch, rejected) = resolve_ops(self.detector.graph(), pending);
+        let (batch, rejected) = resolve_ops(self.engine.graph(), pending);
         // Grow the vertex space only for inserts that survived net
         // resolution — an insert/delete pair referencing a huge fresh id
         // must not permanently inflate the graph.
         if let Some(m) = batch.insertions().iter().map(|&(_, v)| v).max() {
-            if (m as usize) >= self.detector.graph().num_vertices() {
-                self.detector.ensure_vertices(m as usize + 1);
+            if (m as usize) >= self.engine.graph().num_vertices() {
+                self.engine.ensure_vertices(m as usize + 1);
+                self.postprocess.ensure_vertices(m as usize + 1);
             }
         }
         let applied = batch.len() as u64;
         let eta = if batch.is_empty() {
             0
         } else {
-            let report = self
-                .detector
-                .apply_batch(&batch)
-                .expect("net-resolved batch validates by construction");
-            report.eta as u64
+            self.engine.apply(&batch, &self.stats)
         };
         self.stats
             .note_flush(applied, rejected, eta, started.elapsed());
@@ -182,9 +200,9 @@ impl MaintenanceLoop {
         pending.clear();
     }
 
-    /// Run post-processing and publish the next epoch. Skipped when no
-    /// flush happened since the last publish (barriers on a quiet stream
-    /// must not churn out identical epochs).
+    /// Run dirty-region post-processing and publish the next epoch.
+    /// Skipped when no flush happened since the last publish (barriers on
+    /// a quiet stream must not churn out identical epochs).
     fn publish_snapshot(&mut self) {
         self.flushes_since_snapshot = 0;
         if !self.dirty_since_snapshot {
@@ -192,15 +210,25 @@ impl MaintenanceLoop {
         }
         self.dirty_since_snapshot = false;
         let started = Instant::now();
-        let detection = self.detector.detect();
+        self.engine.sync_dirty(&mut self.postprocess);
+        let detection = DetectionResult {
+            result: self.postprocess.refresh(self.engine.graph()),
+        };
         let snapshot = CommunitySnapshot::build(
             self.store.latest_epoch() + 1,
-            self.detector.graph(),
+            self.engine.graph(),
             &detection,
-            self.detector.batches_applied(),
+            self.engine.batches_applied(),
         );
         self.store.publish(snapshot);
+        // The snapshot histogram covers post-processing + build + swap
+        // only, so close it before repartitioning.
         self.stats.note_snapshot(started.elapsed());
+        // Re-shard around the communities just published: the ownership
+        // map tracks the structure it serves, so cascade locality does
+        // not decay as the graph drifts from the genesis partition.
+        self.engine
+            .repartition(&detection.result.cover, &self.stats);
     }
 }
 

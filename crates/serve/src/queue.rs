@@ -133,6 +133,33 @@ impl EditQueue {
         }
     }
 
+    /// Dequeue *everything* currently waiting, blocking up to `timeout`
+    /// (forever when `None`) for the first command. Returns an empty vec
+    /// on timeout or when the queue is closed and drained. One lock
+    /// acquisition per busy-loop iteration instead of one per op — the
+    /// maintenance loop's answer to high-rate writers.
+    pub(crate) fn pop_chunk(&self, timeout: Option<Duration>) -> Vec<Command> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if !inner.queue.is_empty() {
+                return std::mem::take(&mut inner.queue).into();
+            }
+            if inner.closed {
+                return Vec::new();
+            }
+            match timeout {
+                None => inner = self.not_empty.wait(inner).unwrap(),
+                Some(d) => {
+                    let (guard, res) = self.not_empty.wait_timeout(inner, d).unwrap();
+                    inner = guard;
+                    if res.timed_out() {
+                        return std::mem::take(&mut inner.queue).into();
+                    }
+                }
+            }
+        }
+    }
+
     /// Close the queue without enqueueing anything: later pushes fail and
     /// blocked consumers wake. Used by the maintenance loop's disconnect
     /// guard so a dying worker can't leave producers submitting into void.

@@ -4,13 +4,14 @@
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use rslpa_core::{RslpaConfig, RslpaDetector};
+use rslpa_core::{DetectionResult, RslpaConfig};
 use rslpa_graph::{AdjacencyGraph, VertexId};
 
 use crate::maintain::MaintenanceLoop;
 use crate::policy::{BySize, FlushPolicy};
 use crate::query::QueryEngine;
 use crate::queue::{BarrierGate, Command, EditOp, EditQueue};
+use crate::shards::RepairEngine;
 use crate::snapshot::{CommunitySnapshot, SnapshotReader, SnapshotStore};
 use crate::stats::{ServeStats, StatsReport};
 
@@ -26,6 +27,12 @@ pub struct ServeConfig {
     pub snapshot_every: usize,
     /// How many recent epochs stay addressable for diff queries.
     pub history: usize,
+    /// Maintenance shards. `1` (the default) keeps the single-writer
+    /// path; `> 1` partitions the vertex space and repairs flushes on
+    /// that many worker threads with boundary exchange. Rosters are
+    /// bit-identical across shard counts for the same edit/barrier
+    /// sequence.
+    pub shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -35,6 +42,7 @@ impl Default for ServeConfig {
             policy: Box::new(BySize::default()),
             snapshot_every: 1,
             history: 64,
+            shards: 1,
         }
     }
 }
@@ -57,6 +65,12 @@ impl ServeConfig {
     /// Set the snapshot cadence (builder style).
     pub fn with_snapshot_every(mut self, every: usize) -> Self {
         self.snapshot_every = every.max(1);
+        self
+    }
+
+    /// Set the maintenance shard count (builder style).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 }
@@ -146,15 +160,21 @@ pub struct CommunityService {
 
 impl CommunityService {
     /// Run initial label propagation on `graph`, publish the genesis
-    /// snapshot (epoch 0), and start the maintenance thread.
+    /// snapshot (epoch 0), and start the maintenance thread (plus shard
+    /// workers when `config.shards > 1`).
     pub fn start(graph: AdjacencyGraph, config: ServeConfig) -> Self {
-        let detector = RslpaDetector::new(graph, config.detector);
-        let genesis = CommunitySnapshot::build(0, detector.graph(), &detector.detect(), 0);
+        let stats = Arc::new(ServeStats::with_shards(config.shards.max(1)));
+        let bootstrap =
+            RepairEngine::bootstrap(graph, &config.detector, config.shards.max(1), &stats);
+        let detection = DetectionResult {
+            result: bootstrap.genesis,
+        };
+        let genesis = CommunitySnapshot::build(0, bootstrap.engine.graph(), &detection, 0);
         let store = Arc::new(SnapshotStore::new(genesis, config.history));
         let queue = EditQueue::new();
-        let stats = Arc::new(ServeStats::default());
         let worker = MaintenanceLoop {
-            detector,
+            engine: bootstrap.engine,
+            postprocess: bootstrap.postprocess,
             queue: Arc::clone(&queue),
             store: Arc::clone(&store),
             stats: Arc::clone(&stats),

@@ -1,0 +1,496 @@
+//! The repair engine behind the maintenance loop: a single-writer
+//! detector, or N partition-sharded workers with boundary exchange.
+//!
+//! * [`RepairEngine::Single`] — the pre-sharding hot path: one
+//!   [`RslpaDetector`] owned by the maintenance thread, repairing via
+//!   centralized Correction Propagation. Default (`shards = 1`).
+//! * [`RepairEngine::Sharded`] — `N` worker threads, each owning one
+//!   [`ShardRepairState`] (its partition's adjacency rows + label
+//!   provenance). The coordinator routes each flush's per-vertex deltas to
+//!   their owner shards ([`split_deltas`]), the workers repair their
+//!   regions in parallel and drain local cascades, and corrections that
+//!   cross a partition boundary travel as [`Envelope`]s through
+//!   coordinator-driven exchange rounds until the cascade is quiescent.
+//!
+//! Both engines produce **bit-identical** label state for the same batch
+//! sequence (pinned by `rslpa_core::shard` tests and the cross-shard
+//! roster tests in this crate), so shard count is purely a throughput
+//! knob.
+
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rslpa_core::shard::{Envelope, ShardFlushReport, ShardRepairState, VertexRowData};
+use rslpa_core::{IncrementalPostprocess, RslpaConfig, RslpaDetector};
+use rslpa_graph::sharding::split_deltas;
+use rslpa_graph::Cover;
+use rslpa_graph::{
+    AdjacencyGraph, BoundaryTracker, DynamicGraph, EditBatch, FxHashSet, Label, Partitioner,
+    PlannedPartitioner, VertexId,
+};
+
+use crate::stats::ServeStats;
+
+/// How long the coordinator waits for a worker reply before concluding the
+/// worker died (a worker panic would otherwise deadlock the loop).
+const WORKER_REPLY_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Commands the coordinator sends to a shard worker.
+enum ShardCmd {
+    /// Phase A for this shard's slice of the flush.
+    Apply(Vec<(VertexId, rslpa_graph::VertexDelta)>),
+    /// One boundary-exchange round of inbound envelopes.
+    Exchange(Vec<Envelope>),
+    /// Report owned vertices whose label sequences changed.
+    DrainDirty,
+    /// Hand over the rows of vertices this shard no longer owns.
+    Extract(Vec<VertexId>),
+    /// Install the new ownership map and any rows migrating in.
+    Adopt {
+        partitioner: Arc<dyn Partitioner>,
+        rows: Vec<(VertexId, VertexRowData)>,
+    },
+    /// Exit the worker thread.
+    Shutdown,
+}
+
+/// Worker replies, tagged with the shard index where the coordinator
+/// needs it.
+enum ShardReply {
+    Repaired {
+        shard: usize,
+        out: Vec<Envelope>,
+        report: ShardFlushReport,
+    },
+    Dirty {
+        rows: Vec<(VertexId, Vec<Label>)>,
+    },
+    Extracted {
+        rows: Vec<(VertexId, VertexRowData)>,
+    },
+    Adopted,
+}
+
+fn worker_loop(mut shard: ShardRepairState, cmds: Receiver<ShardCmd>, replies: Sender<ShardReply>) {
+    let idx = shard.shard();
+    while let Ok(cmd) = cmds.recv() {
+        match cmd {
+            ShardCmd::Apply(deltas) => {
+                let mut out = Vec::new();
+                let report = shard.apply_deltas(&deltas, &mut out);
+                if replies
+                    .send(ShardReply::Repaired {
+                        shard: idx,
+                        out,
+                        report,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            ShardCmd::Exchange(inbox) => {
+                let mut out = Vec::new();
+                let report = shard.exchange(inbox, &mut out);
+                if replies
+                    .send(ShardReply::Repaired {
+                        shard: idx,
+                        out,
+                        report,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            ShardCmd::DrainDirty => {
+                if replies
+                    .send(ShardReply::Dirty {
+                        rows: shard.drain_dirty(),
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            ShardCmd::Extract(ids) => {
+                if replies
+                    .send(ShardReply::Extracted {
+                        rows: shard.extract_rows(&ids),
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            ShardCmd::Adopt { partitioner, rows } => {
+                shard.set_partitioner(partitioner);
+                shard.adopt_rows(rows);
+                if replies.send(ShardReply::Adopted).is_err() {
+                    return;
+                }
+            }
+            ShardCmd::Shutdown => return,
+        }
+    }
+}
+
+/// Single-writer engine: the pre-sharding maintenance path.
+pub(crate) struct SingleEngine {
+    detector: RslpaDetector,
+    dirty: FxHashSet<VertexId>,
+}
+
+/// Partition-sharded engine: coordinator state plus worker handles.
+pub(crate) struct ShardedEngine {
+    /// Topology mirror (the coordinator needs the whole graph for net-op
+    /// resolution and post-processing; the label state lives only on the
+    /// shards).
+    graph: DynamicGraph,
+    partitioner: Arc<dyn Partitioner>,
+    boundary: BoundaryTracker,
+    workers: Vec<Sender<ShardCmd>>,
+    replies: Receiver<ShardReply>,
+    handles: Vec<JoinHandle<()>>,
+    batches_applied: usize,
+}
+
+/// The maintenance loop's repair backend.
+pub(crate) enum RepairEngine {
+    Single(Box<SingleEngine>),
+    Sharded(ShardedEngine),
+}
+
+/// What `start` hands the service: the engine, the incremental
+/// post-processor (histograms seeded, weights cold), and the genesis
+/// detection result.
+pub(crate) struct Bootstrap {
+    pub(crate) engine: RepairEngine,
+    pub(crate) postprocess: IncrementalPostprocess,
+    pub(crate) genesis: rslpa_core::PostprocessResult,
+}
+
+impl RepairEngine {
+    /// Run initial propagation on `graph` and stand up the engine.
+    pub(crate) fn bootstrap(
+        graph: AdjacencyGraph,
+        config: &RslpaConfig,
+        shards: usize,
+        stats: &ServeStats,
+    ) -> Bootstrap {
+        if shards <= 1 {
+            let detector = RslpaDetector::new(graph, *config);
+            let mut postprocess = IncrementalPostprocess::new(detector.state(), config.tau1_grid);
+            let genesis = postprocess.refresh(detector.graph());
+            return Bootstrap {
+                engine: RepairEngine::Single(Box::new(SingleEngine {
+                    detector,
+                    dirty: FxHashSet::default(),
+                })),
+                postprocess,
+                genesis,
+            };
+        }
+        let state = rslpa_core::run_propagation(&graph, config.iterations, config.seed);
+        let mut postprocess = IncrementalPostprocess::new(&state, config.tau1_grid);
+        // The coordinator owns publishing, so it borrows the shard budget
+        // for the snapshot weight pass — capped at the machine's actual
+        // parallelism (extra threads on a small host only add switches).
+        let hw = std::thread::available_parallelism().map_or(1, usize::from);
+        postprocess.set_threads(shards.min(hw));
+        let genesis = postprocess.refresh(&graph);
+        // Shard along the communities the genesis detection just found:
+        // correction cascades follow edges, and community-aligned shards
+        // keep most edges — hence most cascade hops — shard-local. (BFS
+        // chunking is useless here: on a small-world graph its layers
+        // straddle every community; hashing is worse still.)
+        let partitioner: Arc<dyn Partitioner> = Arc::new(PlannedPartitioner::from_cover(
+            &genesis.cover,
+            graph.num_vertices(),
+            shards,
+        ));
+        let boundary = BoundaryTracker::new(&graph, partitioner.as_ref());
+        stats.set_boundary_gauges(
+            boundary.cut_edges() as u64,
+            boundary.boundary_vertices() as u64,
+        );
+        let (reply_tx, replies) = std::sync::mpsc::channel();
+        let mut workers = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let mut shard =
+                ShardRepairState::from_state(&state, &graph, s, Arc::clone(&partitioner));
+            shard.set_value_pruned(config.value_pruned_cascade);
+            let (cmd_tx, cmd_rx) = std::sync::mpsc::channel();
+            let reply_tx = reply_tx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rslpa-serve-shard-{s}"))
+                    .spawn(move || worker_loop(shard, cmd_rx, reply_tx))
+                    .expect("spawn shard worker"),
+            );
+            workers.push(cmd_tx);
+        }
+        Bootstrap {
+            engine: RepairEngine::Sharded(ShardedEngine {
+                graph: DynamicGraph::new(graph),
+                partitioner,
+                boundary,
+                workers,
+                replies,
+                handles,
+                batches_applied: 0,
+            }),
+            postprocess,
+            genesis,
+        }
+    }
+
+    /// Current graph topology.
+    pub(crate) fn graph(&self) -> &AdjacencyGraph {
+        match self {
+            RepairEngine::Single(e) => e.detector.graph(),
+            RepairEngine::Sharded(e) => e.graph.graph(),
+        }
+    }
+
+    /// Grow the vertex id space to `n`.
+    pub(crate) fn ensure_vertices(&mut self, n: usize) {
+        match self {
+            RepairEngine::Single(e) => e.detector.ensure_vertices(n),
+            RepairEngine::Sharded(e) => {
+                e.graph.ensure_vertices(n);
+                e.boundary.ensure_vertices(n);
+                // Shard rows materialize lazily when a delta first touches
+                // an owned vertex; nothing to broadcast.
+            }
+        }
+    }
+
+    /// Batches applied since service start.
+    pub(crate) fn batches_applied(&self) -> usize {
+        match self {
+            RepairEngine::Single(e) => e.detector.batches_applied(),
+            RepairEngine::Sharded(e) => e.batches_applied,
+        }
+    }
+
+    /// Apply one net-resolved batch and repair the label state. Returns
+    /// total repaired slots (η). Per-shard and exchange counters are
+    /// recorded into `stats`.
+    pub(crate) fn apply(&mut self, batch: &EditBatch, stats: &ServeStats) -> u64 {
+        match self {
+            RepairEngine::Single(e) => {
+                let report = e
+                    .detector
+                    .apply_batch_tracked(batch, &mut e.dirty)
+                    .expect("net-resolved batch validates by construction");
+                stats.note_shard_flush(0, report.affected_vertices as u64, report.eta as u64);
+                report.eta as u64
+            }
+            RepairEngine::Sharded(e) => e.apply(batch, stats),
+        }
+    }
+
+    /// Push every dirty label sequence into the post-processor (called
+    /// once per snapshot publish — the histogram half of the boundary
+    /// sync).
+    pub(crate) fn sync_dirty(&mut self, postprocess: &mut IncrementalPostprocess) {
+        match self {
+            RepairEngine::Single(e) => {
+                let mut dirty: Vec<VertexId> = e.dirty.drain().collect();
+                dirty.sort_unstable();
+                for v in dirty {
+                    postprocess.set_sequence(v, e.detector.state().label_sequence(v));
+                }
+            }
+            RepairEngine::Sharded(e) => {
+                for worker in &e.workers {
+                    worker
+                        .send(ShardCmd::DrainDirty)
+                        .expect("shard worker alive");
+                }
+                for _ in 0..e.workers.len() {
+                    match e.recv_reply() {
+                        ShardReply::Dirty { rows, .. } => {
+                            for (v, labels) in rows {
+                                postprocess.set_sequence(v, &labels);
+                            }
+                        }
+                        _ => unreachable!("only dirty drains in flight"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-plan the ownership map around the just-published cover and
+    /// migrate rows accordingly (no-op for a single writer). Must run
+    /// between flushes, when no envelope is in flight.
+    pub(crate) fn repartition(&mut self, cover: &Cover, stats: &ServeStats) {
+        if let RepairEngine::Sharded(e) = self {
+            e.repartition(cover, stats);
+        }
+    }
+}
+
+impl ShardedEngine {
+    fn recv_reply(&self) -> ShardReply {
+        self.replies
+            .recv_timeout(WORKER_REPLY_TIMEOUT)
+            .expect("shard worker unresponsive (panicked?)")
+    }
+
+    /// One flush: route deltas, run Phase A on all shards in parallel,
+    /// then drive boundary-exchange rounds until no envelope is in flight.
+    fn apply(&mut self, batch: &EditBatch, stats: &ServeStats) -> u64 {
+        let applied = self
+            .graph
+            .apply(batch)
+            .expect("net-resolved batch validates by construction");
+        self.boundary.apply(batch, self.partitioner.as_ref());
+        stats.set_boundary_gauges(
+            self.boundary.cut_edges() as u64,
+            self.boundary.boundary_vertices() as u64,
+        );
+        let shards = self.workers.len();
+        let per_shard = split_deltas(&applied, self.partitioner.as_ref());
+        let mut routed = vec![0u64; shards];
+        for (s, deltas) in per_shard.into_iter().enumerate() {
+            routed[s] = deltas.len() as u64;
+            self.workers[s]
+                .send(ShardCmd::Apply(deltas))
+                .expect("shard worker alive");
+        }
+        let mut reports = vec![ShardFlushReport::default(); shards];
+        // Outboxes collected per source shard so the next round's inbox
+        // composition (and therefore the stats) is deterministic.
+        let mut outboxes: Vec<Vec<Envelope>> = vec![Vec::new(); shards];
+        for _ in 0..shards {
+            match self.recv_reply() {
+                ShardReply::Repaired { shard, out, report } => {
+                    reports[shard].absorb(&report);
+                    outboxes[shard] = out;
+                }
+                _ => unreachable!("only repairs in flight during flush"),
+            }
+        }
+        let mut rounds = 0u64;
+        let mut boundary_msgs = 0u64;
+        loop {
+            let mut inboxes: Vec<Vec<Envelope>> = vec![Vec::new(); shards];
+            for out in &mut outboxes {
+                for env in out.drain(..) {
+                    boundary_msgs += 1;
+                    inboxes[self.partitioner.assign(env.to)].push(env);
+                }
+            }
+            let active: Vec<usize> = (0..shards).filter(|&s| !inboxes[s].is_empty()).collect();
+            if active.is_empty() {
+                break;
+            }
+            rounds += 1;
+            for &s in &active {
+                self.workers[s]
+                    .send(ShardCmd::Exchange(std::mem::take(&mut inboxes[s])))
+                    .expect("shard worker alive");
+            }
+            for _ in 0..active.len() {
+                match self.recv_reply() {
+                    ShardReply::Repaired { shard, out, report } => {
+                        reports[shard].absorb(&report);
+                        outboxes[shard] = out;
+                    }
+                    _ => unreachable!("only repairs in flight during flush"),
+                }
+            }
+        }
+        let mut eta = 0u64;
+        for (s, report) in reports.iter().enumerate() {
+            stats.note_shard_flush(s, routed[s], report.eta as u64);
+            eta += report.eta as u64;
+        }
+        stats.note_exchange(rounds, boundary_msgs);
+        self.batches_applied += 1;
+        eta
+    }
+}
+
+impl ShardedEngine {
+    /// Re-plan ownership stickily around `cover` and migrate the rows of
+    /// every vertex whose owner changed. Runs at publish time, between
+    /// flushes, so no envelope is in flight and shard queues are empty.
+    fn repartition(&mut self, cover: &Cover, stats: &ServeStats) {
+        let shards = self.workers.len();
+        let n = self.graph.graph().num_vertices();
+        let next: Arc<dyn Partitioner> = Arc::new(PlannedPartitioner::rebalance(
+            self.partitioner.as_ref(),
+            cover,
+            n,
+            shards,
+        ));
+        // Which rows leave which shard?
+        let mut leaving: Vec<Vec<VertexId>> = vec![Vec::new(); shards];
+        let mut moved = 0u64;
+        for v in 0..n as VertexId {
+            let old = self.partitioner.assign(v);
+            if old != next.assign(v) {
+                leaving[old].push(v);
+                moved += 1;
+            }
+        }
+        // Even a zero-move re-plan installs the new map everywhere:
+        // coordinator routing and worker-local `owns()` must never
+        // disagree, or an envelope could bounce between them forever.
+        for (worker, ids) in self.workers.iter().zip(leaving) {
+            worker
+                .send(ShardCmd::Extract(ids))
+                .expect("shard worker alive");
+        }
+        let mut incoming: Vec<Vec<(VertexId, VertexRowData)>> = vec![Vec::new(); shards];
+        for _ in 0..shards {
+            match self.recv_reply() {
+                ShardReply::Extracted { rows } => {
+                    for (v, row) in rows {
+                        incoming[next.assign(v)].push((v, row));
+                    }
+                }
+                _ => unreachable!("only extracts in flight during repartition"),
+            }
+        }
+        for (worker, rows) in self.workers.iter().zip(incoming) {
+            worker
+                .send(ShardCmd::Adopt {
+                    partitioner: Arc::clone(&next),
+                    rows,
+                })
+                .expect("shard worker alive");
+        }
+        for _ in 0..shards {
+            match self.recv_reply() {
+                ShardReply::Adopted => {}
+                _ => unreachable!("only adopts in flight during repartition"),
+            }
+        }
+        self.partitioner = next;
+        self.boundary = BoundaryTracker::new(self.graph.graph(), self.partitioner.as_ref());
+        stats.note_repartition(moved);
+        stats.set_boundary_gauges(
+            self.boundary.cut_edges() as u64,
+            self.boundary.boundary_vertices() as u64,
+        );
+    }
+}
+
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        for worker in &self.workers {
+            let _ = worker.send(ShardCmd::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

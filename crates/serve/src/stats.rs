@@ -3,8 +3,9 @@
 //! Queries and flushes record into log₂-bucketed histograms of atomic
 //! counters, so recording from many reader threads is wait-free and a
 //! percentile read never stops the world. Percentiles are resolved to the
-//! upper bound of the containing bucket — at most 2× off, which is plenty
-//! for p50/p99 trend tracking across PRs.
+//! *geometric mean* of the containing bucket's bounds — the unbiased
+//! representative of a log₂ bucket (the upper bound would overstate
+//! latencies by up to 2×).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -12,6 +13,19 @@ use std::time::Duration;
 /// Number of log₂ buckets: bucket `i` holds samples in `[2^(i-1), 2^i)` ns
 /// (bucket 0 holds 0 ns). 2^63 ns ≈ 292 years — nothing saturates.
 const BUCKETS: usize = 64;
+
+/// The value a percentile resolves to when it lands in bucket `i`: the
+/// geometric mean of the bucket bounds `[2^(i-1), 2^i)`, i.e.
+/// `2^(i - 0.5)`, rounded to whole nanoseconds. Bucket 0 holds only
+/// zero-duration samples.
+fn bucket_representative(i: usize) -> u64 {
+    if i == 0 {
+        return 0;
+    }
+    let lo = (1u64 << (i - 1)) as f64;
+    let hi = (1u64 << i) as f64;
+    (lo * hi).sqrt().round() as u64
+}
 
 /// A wait-free latency histogram over nanosecond samples.
 #[derive(Debug)]
@@ -72,8 +86,7 @@ impl LatencyHistogram {
             for (i, &c) in counts.iter().enumerate() {
                 seen += c;
                 if seen >= target {
-                    // Upper bound of bucket i: 2^i - 1 ns (bucket 0 = 0 ns).
-                    return if i == 0 { 0 } else { (1u64 << i) - 1 };
+                    return bucket_representative(i);
                 }
             }
             self.max_ns.load(Ordering::Relaxed)
@@ -100,7 +113,7 @@ pub struct LatencySummary {
     pub count: u64,
     /// Arithmetic mean, nanoseconds.
     pub mean_ns: u64,
-    /// Median (bucket upper bound), nanoseconds.
+    /// Median (geometric mean of the containing bucket's bounds), ns.
     pub p50_ns: u64,
     /// 90th percentile, nanoseconds.
     pub p90_ns: u64,
@@ -124,18 +137,37 @@ impl std::fmt::Display for LatencySummary {
     }
 }
 
+/// Per-shard monotone counters (sharded maintenance only; a single-writer
+/// service has exactly one entry).
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    /// Per-vertex edit deltas routed to this shard.
+    pub edits_routed: AtomicU64,
+    /// Label slots this shard repaired (Σ per-shard η).
+    pub slots_repaired: AtomicU64,
+}
+
+/// Plain point-in-time view of one shard's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardCounts {
+    /// See [`ShardStats::edits_routed`].
+    pub edits_routed: u64,
+    /// See [`ShardStats::slots_repaired`].
+    pub slots_repaired: u64,
+}
+
 /// Shared counters for one service instance. All fields are monotone
 /// counters updated with relaxed atomics; a [`StatsReport`] is a consistent
 /// enough point-in-time read for reporting.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServeStats {
     /// Query latency (all query kinds pooled).
     pub queries: LatencyHistogram,
     /// Flush latency: net-batch resolution + incremental repair only;
     /// detection/publish cost is tracked separately in `snapshots`.
     pub flushes: LatencyHistogram,
-    /// Snapshot publish latency: post-processing (detect) + index build +
-    /// epoch swap. Its count is the number of snapshots published.
+    /// Snapshot publish latency: dirty-region post-processing + index
+    /// build + epoch swap. Its count is the number of snapshots published.
     pub snapshots: LatencyHistogram,
     /// Edit operations accepted into the queue.
     pub edits_enqueued: AtomicU64,
@@ -144,12 +176,33 @@ pub struct ServeStats {
     /// Edit operations dropped as no-ops (inserting a present edge,
     /// deleting an absent one, self-loops).
     pub edits_rejected: AtomicU64,
-    /// Micro-batches flushed into the detector.
+    /// Micro-batches flushed into the maintenance engine.
     pub batches_flushed: AtomicU64,
     /// Label slots repaired across all flushes (Σ η).
     pub slots_repaired: AtomicU64,
     /// Barriers honored.
     pub barriers: AtomicU64,
+    /// Boundary-exchange rounds driven by the coordinator (0 under a
+    /// single writer).
+    pub exchange_rounds: AtomicU64,
+    /// Envelopes that crossed a shard boundary.
+    pub boundary_msgs: AtomicU64,
+    /// Gauge: edges whose endpoints live on different shards.
+    pub cut_edges: AtomicU64,
+    /// Gauge: vertices with at least one off-shard neighbor.
+    pub boundary_vertices: AtomicU64,
+    /// Publish-time repartitions performed.
+    pub repartitions: AtomicU64,
+    /// Vertex rows migrated between shards by repartitions.
+    pub vertices_migrated: AtomicU64,
+    /// Per-shard counters (length = shard count).
+    pub shards: Vec<ShardStats>,
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        Self::with_shards(1)
+    }
 }
 
 macro_rules! bump {
@@ -162,8 +215,52 @@ macro_rules! bump {
 }
 
 impl ServeStats {
+    /// Counters for a service with `shards` maintenance shards (≥ 1).
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            queries: LatencyHistogram::new(),
+            flushes: LatencyHistogram::new(),
+            snapshots: LatencyHistogram::new(),
+            edits_enqueued: AtomicU64::new(0),
+            edits_applied: AtomicU64::new(0),
+            edits_rejected: AtomicU64::new(0),
+            batches_flushed: AtomicU64::new(0),
+            slots_repaired: AtomicU64::new(0),
+            barriers: AtomicU64::new(0),
+            exchange_rounds: AtomicU64::new(0),
+            boundary_msgs: AtomicU64::new(0),
+            cut_edges: AtomicU64::new(0),
+            boundary_vertices: AtomicU64::new(0),
+            repartitions: AtomicU64::new(0),
+            vertices_migrated: AtomicU64::new(0),
+            shards: (0..shards.max(1)).map(|_| ShardStats::default()).collect(),
+        }
+    }
+
     pub(crate) fn note_enqueued(&self) {
         bump!(self.edits_enqueued);
+    }
+
+    pub(crate) fn note_shard_flush(&self, shard: usize, edits_routed: u64, slots_repaired: u64) {
+        let s = &self.shards[shard];
+        bump!(s.edits_routed, edits_routed);
+        bump!(s.slots_repaired, slots_repaired);
+    }
+
+    pub(crate) fn note_exchange(&self, rounds: u64, boundary_msgs: u64) {
+        bump!(self.exchange_rounds, rounds);
+        bump!(self.boundary_msgs, boundary_msgs);
+    }
+
+    pub(crate) fn set_boundary_gauges(&self, cut_edges: u64, boundary_vertices: u64) {
+        self.cut_edges.store(cut_edges, Ordering::Relaxed);
+        self.boundary_vertices
+            .store(boundary_vertices, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_repartition(&self, moved: u64) {
+        bump!(self.repartitions);
+        bump!(self.vertices_migrated, moved);
     }
 
     pub(crate) fn note_flush(&self, applied: u64, rejected: u64, eta: u64, took: Duration) {
@@ -196,18 +293,33 @@ impl ServeStats {
             batches_flushed: self.batches_flushed.load(Ordering::Relaxed),
             slots_repaired: self.slots_repaired.load(Ordering::Relaxed),
             barriers: self.barriers.load(Ordering::Relaxed),
+            exchange_rounds: self.exchange_rounds.load(Ordering::Relaxed),
+            boundary_msgs: self.boundary_msgs.load(Ordering::Relaxed),
+            cut_edges: self.cut_edges.load(Ordering::Relaxed),
+            boundary_vertices: self.boundary_vertices.load(Ordering::Relaxed),
+            repartitions: self.repartitions.load(Ordering::Relaxed),
+            vertices_migrated: self.vertices_migrated.load(Ordering::Relaxed),
+            shards: self
+                .shards
+                .iter()
+                .map(|s| ShardCounts {
+                    edits_routed: s.edits_routed.load(Ordering::Relaxed),
+                    slots_repaired: s.slots_repaired.load(Ordering::Relaxed),
+                })
+                .collect(),
         }
     }
 }
 
 /// Plain point-in-time view of [`ServeStats`].
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct StatsReport {
     /// Query latency summary.
     pub queries: LatencySummary,
     /// Flush latency summary (repair only; see `snapshots` for detect).
     pub flushes: LatencySummary,
-    /// Snapshot publish latency summary (detect + build + swap).
+    /// Snapshot publish latency summary (dirty-region post-processing +
+    /// build + swap).
     pub snapshots: LatencySummary,
     /// Snapshots published (== `snapshots.count`, kept for readability).
     pub snapshots_published: u64,
@@ -223,16 +335,41 @@ pub struct StatsReport {
     pub slots_repaired: u64,
     /// See [`ServeStats::barriers`].
     pub barriers: u64,
+    /// See [`ServeStats::exchange_rounds`].
+    pub exchange_rounds: u64,
+    /// See [`ServeStats::boundary_msgs`].
+    pub boundary_msgs: u64,
+    /// See [`ServeStats::cut_edges`].
+    pub cut_edges: u64,
+    /// See [`ServeStats::boundary_vertices`].
+    pub boundary_vertices: u64,
+    /// See [`ServeStats::repartitions`].
+    pub repartitions: u64,
+    /// See [`ServeStats::vertices_migrated`].
+    pub vertices_migrated: u64,
+    /// Per-shard routed-edit and repair counts.
+    pub shards: Vec<ShardCounts>,
 }
 
 impl StatsReport {
     /// Render as a JSON object fragment (no external deps; all fields are
     /// numbers, so no escaping is needed).
     pub fn to_json(&self) -> String {
+        let join = |f: fn(&ShardCounts) -> u64| -> String {
+            self.shards
+                .iter()
+                .map(|s| f(s).to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
         format!(
             "{{\"edits_enqueued\":{},\"edits_applied\":{},\"edits_rejected\":{},\
              \"batches_flushed\":{},\"snapshots_published\":{},\"slots_repaired\":{},\
              \"barriers\":{},\
+             \"shards\":{},\"shard_edits_routed\":[{}],\"shard_slots_repaired\":[{}],\
+             \"exchange_rounds\":{},\"boundary_msgs\":{},\
+             \"cut_edges\":{},\"boundary_vertices\":{},\
+             \"repartitions\":{},\"vertices_migrated\":{},\
              \"query_count\":{},\"query_mean_ns\":{},\"query_p50_ns\":{},\
              \"query_p90_ns\":{},\"query_p99_ns\":{},\"query_max_ns\":{},\
              \"flush_count\":{},\"flush_mean_ns\":{},\"flush_p50_ns\":{},\
@@ -245,6 +382,15 @@ impl StatsReport {
             self.snapshots_published,
             self.slots_repaired,
             self.barriers,
+            self.shards.len(),
+            join(|s| s.edits_routed),
+            join(|s| s.slots_repaired),
+            self.exchange_rounds,
+            self.boundary_msgs,
+            self.cut_edges,
+            self.boundary_vertices,
+            self.repartitions,
+            self.vertices_migrated,
             self.queries.count,
             self.queries.mean_ns,
             self.queries.p50_ns,
@@ -274,6 +420,26 @@ impl std::fmt::Display for StatsReport {
             "snapshots: {} published, {} barriers, {} slots repaired",
             self.snapshots_published, self.barriers, self.slots_repaired
         )?;
+        if self.shards.len() > 1 {
+            writeln!(
+                f,
+                "shards: {} ({} exchange rounds, {} boundary msgs, {} cut edges, {} boundary vertices, {} migrated over {} repartitions)",
+                self.shards.len(),
+                self.exchange_rounds,
+                self.boundary_msgs,
+                self.cut_edges,
+                self.boundary_vertices,
+                self.vertices_migrated,
+                self.repartitions,
+            )?;
+            for (i, s) in self.shards.iter().enumerate() {
+                writeln!(
+                    f,
+                    "  shard {i}: {} edits routed, {} slots repaired",
+                    s.edits_routed, s.slots_repaired
+                )?;
+            }
+        }
         writeln!(f, "queries: {}", self.queries)?;
         writeln!(f, "flushes: {}", self.flushes)?;
         write!(f, "publishes: {}", self.snapshots)
@@ -291,18 +457,57 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_are_bucket_upper_bounds() {
+    fn percentiles_are_bucket_geometric_means() {
         let h = LatencyHistogram::new();
         for _ in 0..99 {
-            h.record(Duration::from_nanos(100)); // bucket [64, 128)
+            h.record(Duration::from_nanos(100)); // bucket 7 = [64, 128)
         }
         h.record(Duration::from_micros(100)); // ~1e5 ns
         let s = h.summarize();
         assert_eq!(s.count, 100);
-        assert_eq!(s.p50_ns, 127);
-        assert_eq!(s.p99_ns, 127);
+        // √(64 · 128) = √8192 ≈ 90.51 → 91, not the 127 upper bound.
+        assert_eq!(s.p50_ns, 91);
+        assert_eq!(s.p99_ns, 91);
         assert!(s.max_ns >= 100_000);
         assert!(s.mean_ns > 100 && s.mean_ns < 2_000);
+    }
+
+    #[test]
+    fn bucket_representatives_are_pinned() {
+        // Bucket 0 holds only zero samples; bucket i spans [2^(i-1), 2^i).
+        assert_eq!(bucket_representative(0), 0);
+        assert_eq!(bucket_representative(1), 1); // √(1·2) ≈ 1.41 → 1
+        assert_eq!(bucket_representative(7), 91); // √(64·128) ≈ 90.51
+        assert_eq!(bucket_representative(11), 1448); // √(1024·2048)
+                                                     // 2 µs sample lands in bucket 11 → 1448 ns, within √2 of truth.
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(2_000));
+        assert_eq!(h.summarize().p50_ns, 1448);
+        // The old upper-bound rule for bucket 21 reported 2²¹−1 exactly;
+        // the geometric mean is √(2²⁰·2²¹) = 2^20.5.
+        assert_eq!(bucket_representative(21), 1_482_910);
+    }
+
+    #[test]
+    fn per_shard_counters_roll_up_into_the_report() {
+        let stats = ServeStats::with_shards(3);
+        stats.note_shard_flush(0, 5, 40);
+        stats.note_shard_flush(2, 7, 11);
+        stats.note_shard_flush(2, 1, 2);
+        stats.note_exchange(4, 9);
+        stats.set_boundary_gauges(17, 6);
+        let r = stats.report();
+        assert_eq!(r.shards.len(), 3);
+        assert_eq!(r.shards[0].edits_routed, 5);
+        assert_eq!(r.shards[1], ShardCounts::default());
+        assert_eq!(r.shards[2].slots_repaired, 13);
+        assert_eq!((r.exchange_rounds, r.boundary_msgs), (4, 9));
+        assert_eq!((r.cut_edges, r.boundary_vertices), (17, 6));
+        let json = r.to_json();
+        assert!(json.contains("\"shards\":3"));
+        assert!(json.contains("\"shard_edits_routed\":[5,0,8]"));
+        assert!(json.contains("\"shard_slots_repaired\":[40,0,13]"));
+        assert!(json.contains("\"boundary_msgs\":9"));
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Cross-shard consistency: replaying the same edit log (with barriers)
+//! must yield identical epoch rosters for every shard count — and must
+//! match the pre-sharding reference (a plain [`RslpaDetector`] applying
+//! the same batches with full post-processing per epoch).
+//!
+//! This is the end-to-end guarantee the sharded maintenance path rests
+//! on: partitioning is a throughput knob, never a semantics knob. The
+//! runs are genuinely threaded — each service spawns its maintenance
+//! coordinator, and the sharded ones add one worker thread per shard.
+
+use rslpa_core::{RslpaConfig, RslpaDetector};
+use rslpa_gen::edits::uniform_batch;
+use rslpa_gen::lfr::LfrParams;
+use rslpa_graph::{AdjacencyGraph, Cover, DynamicGraph, EditBatch};
+use rslpa_serve::{BarrierOnly, CommunityService, ServeConfig};
+
+const ITERATIONS: usize = 25;
+const SEED: u64 = 2024;
+
+fn seed_graph() -> AdjacencyGraph {
+    LfrParams {
+        seed: SEED,
+        ..LfrParams::scaled(150)
+    }
+    .generate()
+    .expect("LFR generation")
+    .graph
+}
+
+/// A deterministic script of valid batches against the evolving graph.
+fn edit_script(graph: &AdjacencyGraph, batches: usize, batch_size: usize) -> Vec<EditBatch> {
+    let mut shadow = DynamicGraph::new(graph.clone());
+    (0..batches)
+        .map(|i| {
+            let batch = uniform_batch(shadow.graph(), batch_size, SEED.wrapping_add(i as u64));
+            shadow.apply(&batch).expect("uniform batch validates");
+            batch
+        })
+        .collect()
+}
+
+/// Replay the script through a service at `shards`, collecting the roster
+/// published at every barrier.
+fn replay_served(graph: AdjacencyGraph, script: &[EditBatch], shards: usize) -> Vec<Cover> {
+    let service = CommunityService::start(
+        graph,
+        ServeConfig::quick(ITERATIONS, SEED)
+            .with_policy(BarrierOnly)
+            .with_shards(shards),
+    );
+    let ingest = service.ingest();
+    let mut rosters = Vec::with_capacity(script.len());
+    for batch in script {
+        for &(u, v) in batch.deletions() {
+            ingest.delete(u, v).expect("service alive");
+        }
+        for &(u, v) in batch.insertions() {
+            ingest.insert(u, v).expect("service alive");
+        }
+        ingest.barrier().expect("service alive");
+        rosters.push(service.latest().cover.clone());
+    }
+    let report = service.shutdown();
+    assert_eq!(report.shards.len(), shards);
+    if shards > 1 {
+        // Work must actually be distributed: every shard repaired slots.
+        for (i, s) in report.shards.iter().enumerate() {
+            assert!(s.slots_repaired > 0, "shard {i} idle: {report:?}");
+        }
+    }
+    rosters
+}
+
+/// The pre-sharding reference: detector + full detect per barrier.
+fn replay_reference(graph: AdjacencyGraph, script: &[EditBatch]) -> Vec<Cover> {
+    let mut detector = RslpaDetector::new(graph, RslpaConfig::quick(ITERATIONS, SEED));
+    script
+        .iter()
+        .map(|batch| {
+            detector.apply_batch(batch).expect("valid batch");
+            detector.detect().result.cover
+        })
+        .collect()
+}
+
+#[test]
+fn rosters_identical_across_shard_counts_and_vs_reference() {
+    let graph = seed_graph();
+    let script = edit_script(&graph, 8, 40);
+    let reference = replay_reference(graph.clone(), &script);
+    for shards in [1usize, 2, 4] {
+        let served = replay_served(graph.clone(), &script, shards);
+        assert_eq!(
+            served.len(),
+            reference.len(),
+            "{shards} shards: barrier count"
+        );
+        for (epoch, (served_cover, reference_cover)) in served.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                served_cover, reference_cover,
+                "{shards} shards diverged at barrier {epoch}"
+            );
+        }
+    }
+}
+
+#[test]
+fn genesis_snapshots_agree_across_shard_counts() {
+    let graph = seed_graph();
+    let reference = RslpaDetector::new(graph.clone(), RslpaConfig::quick(ITERATIONS, SEED))
+        .detect()
+        .result;
+    for shards in [1usize, 2, 4] {
+        let service = CommunityService::start(
+            graph.clone(),
+            ServeConfig::quick(ITERATIONS, SEED).with_shards(shards),
+        );
+        let snap = service.latest();
+        assert_eq!(snap.epoch, 0);
+        assert_eq!(snap.cover, reference.cover, "{shards} shards");
+        assert_eq!(snap.tau1.to_bits(), reference.tau1.to_bits());
+        assert_eq!(snap.tau2.to_bits(), reference.tau2.to_bits());
+        service.shutdown();
+    }
+}
+
+#[test]
+fn fresh_vertices_and_churn_stay_consistent_when_sharded() {
+    // Wire brand-new vertices in mid-stream (the lazy shard-row path) and
+    // verify sharded results still match the reference.
+    let graph = seed_graph();
+    let n = graph.num_vertices() as u32;
+    let mut script = edit_script(&graph, 3, 25);
+    script.push(EditBatch::from_lists([(n, 0), (n, 1), (n + 1, n)], []));
+    let mut shadow = DynamicGraph::new(graph.clone());
+    for batch in &script[..3] {
+        shadow.apply(batch).unwrap();
+    }
+    shadow.ensure_vertices(n as usize + 2);
+    shadow.apply(&script[3]).unwrap();
+    script.push(uniform_batch(shadow.graph(), 20, SEED ^ 0xff));
+
+    // Reference needs explicit growth before the wiring batch.
+    let mut detector = RslpaDetector::new(graph.clone(), RslpaConfig::quick(ITERATIONS, SEED));
+    let mut reference = Vec::new();
+    for batch in &script {
+        let max_id = batch
+            .insertions()
+            .iter()
+            .map(|&(_, v)| v)
+            .max()
+            .unwrap_or(0);
+        if max_id as usize >= detector.graph().num_vertices() {
+            detector.ensure_vertices(max_id as usize + 1);
+        }
+        detector.apply_batch(batch).expect("valid batch");
+        reference.push(detector.detect().result.cover);
+    }
+    for shards in [1usize, 4] {
+        let served = replay_served(graph.clone(), &script, shards);
+        assert_eq!(served, reference, "{shards} shards");
+    }
+}

@@ -42,7 +42,8 @@ fn main() -> ExitCode {
                  \x20 detect   <graph> [--iterations N] [--seed S] [--out FILE]\n\
                  \x20 stream   <graph> <edits> [--iterations N] [--seed S] [--detect-every K]\n\
                  \x20 replay   <graph> <edits> [--iterations N] [--seed S] [--flush-size B]\n\
-                 \x20          [--snapshot-every K] [--queries-per-edit Q] [--stats-json FILE]\n\
+                 \x20          [--snapshot-every K] [--queries-per-edit Q] [--shards W]\n\
+                 \x20          [--stats-json FILE]\n\
                  \x20          replay an edit log through the live serve loop (blank line = barrier)\n\
                  \x20 generate <lfr|rmat|ba> <size> [--seed S] [--out FILE]"
             );
@@ -269,6 +270,7 @@ fn cmd_replay(args: &[String]) -> CliResult {
     let flush_size: usize = opt_parse(&options, "flush-size", 256)?;
     let snapshot_every: usize = opt_parse(&options, "snapshot-every", 1)?;
     let queries_per_edit: usize = opt_parse(&options, "queries-per-edit", 2)?;
+    let shards: usize = opt_parse(&options, "shards", 1)?;
     let file = std::fs::File::open(edits_path)?;
     let lines = parse_edit_lines(std::io::BufReader::new(file))?;
 
@@ -277,7 +279,8 @@ fn cmd_replay(args: &[String]) -> CliResult {
         graph,
         ServeConfig::quick(iterations, seed)
             .with_policy(BySize::new(flush_size))
-            .with_snapshot_every(snapshot_every),
+            .with_snapshot_every(snapshot_every)
+            .with_shards(shards),
     );
     let propagation_secs = started.elapsed().as_secs_f64();
     let genesis = service.latest();

@@ -168,6 +168,51 @@ fn replay_serves_edit_log_with_queries() {
 }
 
 #[test]
+fn replay_sharded_matches_single_shard_and_reports_shards() {
+    // The same edit log (with a barrier per batch) must print identical
+    // epoch lines at every shard count, and the stats JSON must be
+    // self-describing: shard count plus per-shard edit/repair counts.
+    let dir = tmp_dir("replay_sharded");
+    let graph = dir.join("graph.txt");
+    let edits = dir.join("edits.txt");
+    fs::write(&graph, TINY_GRAPH).unwrap();
+    fs::write(&edits, "+ 0 3\n+ 1 4\n\n- 2 3\n+ 0 5\n\n- 0 3\n").unwrap();
+    let run = |shards: &str, json_path: &PathBuf| -> String {
+        let out = cli()
+            .args(["replay"])
+            .arg(&graph)
+            .arg(&edits)
+            .args(["--iterations", "30", "--seed", "7", "--shards", shards])
+            .arg("--stats-json")
+            .arg(json_path)
+            .output()
+            .expect("spawn");
+        assert_success(&out, "replay --shards");
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| l.starts_with("epoch"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let json1 = dir.join("stats1.json");
+    let json3 = dir.join("stats3.json");
+    let epochs_single = run("1", &json1);
+    let epochs_sharded = run("3", &json3);
+    assert_eq!(
+        epochs_single, epochs_sharded,
+        "sharding changed the published epochs"
+    );
+    let json = fs::read_to_string(&json3).unwrap();
+    assert!(json.contains("\"shards\":3"), "{json}");
+    assert!(json.contains("\"shard_edits_routed\":["), "{json}");
+    assert!(json.contains("\"shard_slots_repaired\":["), "{json}");
+    assert!(
+        fs::read_to_string(&json1).unwrap().contains("\"shards\":1"),
+        "single-shard json is self-describing too"
+    );
+}
+
+#[test]
 fn replay_fails_on_malformed_edit_lines() {
     let dir = tmp_dir("replay_malformed");
     let graph = dir.join("graph.txt");
