@@ -18,6 +18,23 @@
 //!   guaranteed to match scratch quality (measured in `repro abl-dyn`);
 //! * [`ilcd`] — a simplified iLCD \[11\], whose insertion-only nature is
 //!   encoded in its API (no deletion method exists).
+//!
+//! # Example
+//!
+//! ```
+//! use rslpa_baselines::{run_slpa, SlpaConfig};
+//! use rslpa_graph::AdjacencyGraph;
+//!
+//! let g = AdjacencyGraph::from_edges(6, [
+//!     (0, 1), (1, 2), (0, 2),
+//!     (3, 4), (4, 5), (3, 5),
+//!     (2, 3),
+//! ]);
+//! let config = SlpaConfig { iterations: 40, ..Default::default() };
+//! let result = run_slpa(&g, &config);
+//! assert_eq!(result.memories.len(), 6);
+//! assert!(result.cover.len() >= 1);
+//! ```
 
 pub mod ilcd;
 pub mod labelrankt;

@@ -7,8 +7,9 @@
 //! ```
 
 use rslpa_bench::exp_serve::ServeWorkload;
+use rslpa_bench::exp_weights::WeightsWorkload;
 use rslpa_bench::{
-    exp_ablations, exp_dynamic, exp_serve, exp_synthetic, exp_voting, exp_web, Scale,
+    exp_ablations, exp_dynamic, exp_serve, exp_synthetic, exp_voting, exp_web, exp_weights, Scale,
 };
 
 const EXPERIMENTS: &[(&str, &str)] = &[
@@ -42,6 +43,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "serve-sharded",
         "sharded maintenance sweep: 100k-edit replay at 1/2/4/8 shards (emits BENCH_serve.json)",
     ),
+    (
+        "weights",
+        "publish-time weight pass: merge-on-publish vs streaming counters (emits BENCH_serve.json)",
+    ),
 ];
 
 fn run(id: &str, scale: &Scale) -> bool {
@@ -71,6 +76,7 @@ fn run(id: &str, scale: &Scale) -> bool {
         "serve" | "serve-smoke" | "serve-rmat" | "serve-sharded" => {
             return run_serve(id, &ServeOpts::default())
         }
+        "weights" => exp_weights::weights(&WeightsWorkload::full(), "BENCH_serve.json"),
         _ => return false,
     }
     true
@@ -134,9 +140,11 @@ fn usage() {
     for (id, desc) in EXPERIMENTS {
         eprintln!("  {id:<10} {desc}");
     }
-    eprintln!("  serve-smoke  CI-scale serve workload (not part of 'all')");
-    eprintln!("  serve-rmat   full serve workload over an R-MAT web graph (not part of 'all')");
+    eprintln!("  serve-smoke    CI-scale serve workload (not part of 'all')");
+    eprintln!("  serve-rmat     full serve workload over an R-MAT web graph (not part of 'all')");
+    eprintln!("  weights-smoke  CI-scale weight-pass comparison (not part of 'all')");
     eprintln!("serve options: --shards N, --out FILE, --roster-out FILE");
+    eprintln!("weights options: --out FILE");
 }
 
 /// Pull `--flag value` pairs out of `args`, returning the value of `flag`.
@@ -176,8 +184,8 @@ fn main() {
     };
     let serve_flags_given =
         serve_opts.shards != 1 || serve_opts.out.is_some() || serve_opts.roster_out.is_some();
-    if serve_flags_given && !target.starts_with("serve") {
-        eprintln!("--shards/--out/--roster-out only apply to serve experiments");
+    if serve_flags_given && !target.starts_with("serve") && !target.starts_with("weights") {
+        eprintln!("--shards/--out/--roster-out only apply to serve/weights experiments");
         std::process::exit(2);
     }
     let started = std::time::Instant::now();
@@ -193,6 +201,25 @@ fn main() {
             usage();
             std::process::exit(2);
         }
+    } else if target.starts_with("weights") {
+        if serve_opts.shards != 1 || serve_opts.roster_out.is_some() {
+            eprintln!("weights experiments take only --out");
+            std::process::exit(2);
+        }
+        let out = serve_opts
+            .out
+            .clone()
+            .unwrap_or_else(|| "BENCH_serve.json".to_string());
+        let workload = match target.as_str() {
+            "weights" => WeightsWorkload::full(),
+            "weights-smoke" => WeightsWorkload::smoke(),
+            _ => {
+                eprintln!("unknown experiment: {target}\n");
+                usage();
+                std::process::exit(2);
+            }
+        };
+        exp_weights::weights(&workload, &out);
     } else if !run(target, &scale) {
         eprintln!("unknown experiment: {target}\n");
         usage();

@@ -12,6 +12,7 @@ pub mod exp_serve;
 pub mod exp_synthetic;
 pub mod exp_voting;
 pub mod exp_web;
+pub mod exp_weights;
 pub mod report;
 pub mod scale;
 

@@ -22,10 +22,12 @@
 //! assert_eq!(updated.result.cover.covered_vertices().len(), 6);
 //! ```
 
-use rslpa_graph::{AdjacencyGraph, DynamicGraph, EditBatch, EditError, FxHashSet, VertexId};
+use rslpa_graph::{
+    AdjacencyGraph, DynamicGraph, EditBatch, EditError, FxHashSet, SlotDelta, VertexId,
+};
 
 use crate::config::RslpaConfig;
-use crate::incremental::{apply_correction_tracked, UpdateReport};
+use crate::incremental::{apply_correction_streaming, UpdateReport};
 use crate::postprocess::{postprocess, PostprocessResult};
 use crate::propagation::run_propagation;
 use crate::state::LabelState;
@@ -109,13 +111,29 @@ impl RslpaDetector {
         batch: &EditBatch,
         dirty: &mut FxHashSet<VertexId>,
     ) -> Result<UpdateReport, EditError> {
+        let mut deltas = Vec::new();
+        self.apply_batch_streaming(batch, dirty, &mut deltas)
+    }
+
+    /// [`apply_batch_tracked`](Self::apply_batch_tracked) that also emits
+    /// the repair's label-slot changes as [`SlotDelta`]s, in application
+    /// order — what a streaming
+    /// [`EdgeCounters`](crate::edge_counters::EdgeCounters) store consumes
+    /// to keep edge weights exact without ever re-merging histograms.
+    pub fn apply_batch_streaming(
+        &mut self,
+        batch: &EditBatch,
+        dirty: &mut FxHashSet<VertexId>,
+        slot_deltas: &mut Vec<SlotDelta>,
+    ) -> Result<UpdateReport, EditError> {
         let applied = self.graph.apply(batch)?;
-        let report = apply_correction_tracked(
+        let report = apply_correction_streaming(
             &mut self.state,
             self.graph.graph(),
             &applied,
             self.config.value_pruned_cascade,
             dirty,
+            slot_deltas,
         );
         self.batches_applied += 1;
         Ok(report)

@@ -1,0 +1,586 @@
+//! Streaming per-edge common-label counters — the weight pass without the
+//! merge.
+//!
+//! Post-processing needs one number per edge: the similarity
+//! `w_uv = P(l_u = l_v) = Σ_l f_u(l)·f_v(l) / m²` (paper §III-B), where
+//! `f_v` is the histogram of `v`'s length-`m` label sequence. Recomputing
+//! the numerator by merging two histograms costs `O(T)` per edge, and a
+//! churn-heavy stream dirties enough endpoints that the per-publish merge
+//! pass becomes the snapshot floor (ROADMAP bottleneck #2). This module
+//! keeps the numerator **as state** instead:
+//!
+//! > `common_uv = Σ_l f_u(l)·f_v(l)` — an exact `u64`, maintained
+//! > incrementally.
+//!
+//! * A label-slot change `(v, slot, a → b)` moves every incident counter
+//!   by `f_w(b) − f_w(a)`: `O(deg(v))` lookups, no merge. Slot changes
+//!   arrive as [`SlotDelta`]s from the repair engines (Correction
+//!   Propagation already knows exactly which slots it rewrote).
+//! * An edge insertion costs one histogram merge — **once**, lazily at
+//!   the next [`refresh_weights`](EdgeCounters::refresh_weights), with
+//!   whatever the endpoint histograms are then (exact by definition).
+//! * An edge deletion drops the counter.
+//!
+//! Because the counter is an exact integer and the weight is derived as
+//! `common as f64 / (m as f64 · m as f64)` — the same expression
+//! [`sequence_similarity`](crate::postprocess::sequence_similarity)
+//! evaluates — streaming weights are **bit-identical** to a fresh merge
+//! at every point where the histograms agree. The tests here and the
+//! cross-engine proptest in `tests/counter_equivalence.rs` pin that.
+//!
+//! # Worked example
+//!
+//! `m = 4`, `f_u = {x:2, y:2}`, `f_v = {x:1, y:3}`, edge `(u,v)`:
+//! `common = 2·1 + 2·3 = 8`, so `w_uv = 8/16 = 0.5`. Now a correction
+//! rewrites one slot of `u` from `y` to `x`: the streaming update is
+//! `common += f_v(x) − f_v(y) = 1 − 3`, giving `6`; the merge of the new
+//! histograms `f_u = {x:3, y:1}`, `f_v = {x:1, y:3}` is `3·1 + 1·3 = 6`.
+//! Same integer, same derived weight — no merge was run.
+
+use rslpa_graph::edits::canonical;
+use rslpa_graph::{compact_slot_deltas, AdjacencyGraph, FxHashMap, Label, SlotDelta, VertexId};
+
+/// Pack a canonical edge into one `u64` map key: hashing a single integer
+/// is measurably cheaper than a tuple on the upkeep hot path (one
+/// counter lookup per incident edge per dirty vertex per flush).
+#[inline]
+fn edge_key(u: VertexId, v: VertexId) -> u64 {
+    let (lo, hi) = canonical(u, v);
+    (u64::from(lo) << 32) | u64::from(hi)
+}
+
+use crate::postprocess::common_labels;
+use crate::state::{histogram_of, LabelState};
+
+/// Count of `l` in a sorted `(label, count)` histogram (0 if absent).
+#[inline]
+fn hist_count(hist: &[(Label, u32)], l: Label) -> u32 {
+    match hist.binary_search_by_key(&l, |e| e.0) {
+        Ok(i) => hist[i].1,
+        Err(_) => 0,
+    }
+}
+
+/// Move one unit of mass in a sorted histogram from `old` to `new`.
+fn hist_shift(hist: &mut Vec<(Label, u32)>, old: Label, new: Label) {
+    let i = hist
+        .binary_search_by_key(&old, |e| e.0)
+        .expect("slot delta's old label must be present in the histogram");
+    if hist[i].1 == 1 {
+        hist.remove(i);
+    } else {
+        hist[i].1 -= 1;
+    }
+    match hist.binary_search_by_key(&new, |e| e.0) {
+        Ok(j) => hist[j].1 += 1,
+        Err(j) => hist.insert(j, (new, 1)),
+    }
+}
+
+/// Sparse signed difference `new − old` of two sorted histograms.
+fn hist_diff(old: &[(Label, u32)], new: &[(Label, u32)]) -> Vec<(Label, i64)> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < old.len() || j < new.len() {
+        match (old.get(i), new.get(j)) {
+            (Some(&(lo, co)), Some(&(ln, cn))) if lo == ln => {
+                if co != cn {
+                    out.push((lo, i64::from(cn) - i64::from(co)));
+                }
+                i += 1;
+                j += 1;
+            }
+            (Some(&(lo, co)), Some(&(ln, _))) if lo < ln => {
+                out.push((lo, -i64::from(co)));
+                i += 1;
+            }
+            (Some(_), Some(&(ln, cn))) => {
+                out.push((ln, i64::from(cn)));
+                j += 1;
+            }
+            (Some(&(lo, co)), None) => {
+                out.push((lo, -i64::from(co)));
+                i += 1;
+            }
+            (None, Some(&(ln, cn))) => {
+                out.push((ln, i64::from(cn)));
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    out
+}
+
+/// The streaming counter store: per-vertex label histograms plus the
+/// exact common-label numerator of every live edge.
+///
+/// Maintained by a mix of **eager** updates
+/// ([`apply_slot_deltas`](Self::apply_slot_deltas) /
+/// [`delete_edge`](Self::delete_edge), the serve path) and **deferred**
+/// ones ([`set_sequence`](Self::set_sequence), applied against the final
+/// graph; stale counters of silently-deleted edges are swept at refresh).
+/// Both are exact, so they may be combined as long as each vertex's
+/// history flows through only one of them between refreshes.
+///
+/// ```
+/// use rslpa_core::postprocess::edge_weights;
+/// use rslpa_core::{run_propagation, EdgeCounters};
+/// use rslpa_graph::{AdjacencyGraph, SlotDelta};
+///
+/// let g = AdjacencyGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+/// let mut state = run_propagation(&g, 6, 42);
+/// let mut counters = EdgeCounters::new(&state);
+/// counters.refresh_weights(&g, 1); // genesis pass: one merge per edge
+///
+/// // A repair rewrites one label slot; stream the change instead of
+/// // re-merging any histogram.
+/// let (v, slot, new) = (2, 3, 0);
+/// let old = state.label(v, slot);
+/// state.set_label(v, slot, new);
+/// counters.apply_slot_deltas(&g, &[SlotDelta { v, slot, old, new }]);
+///
+/// // Bit-identical to a fresh full merge pass.
+/// let streamed = counters.refresh_weights(&g, 1);
+/// let merged = edge_weights(&g, &state);
+/// assert_eq!(streamed.len(), merged.len());
+/// for (s, m) in streamed.iter().zip(&merged) {
+///     assert_eq!(s.2.to_bits(), m.2.to_bits());
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct EdgeCounters {
+    /// Draws per sequence (`T + 1`) — the denominator's square root.
+    m: usize,
+    /// Sorted `(label, count)` histogram per vertex.
+    hists: Vec<Vec<(Label, u32)>>,
+    /// [`edge_key`]`(u, v)` → `Σ_l f_u(l)·f_v(l)` for every edge seen by
+    /// the last refresh and not deleted since.
+    common: FxHashMap<u64, u64>,
+}
+
+impl EdgeCounters {
+    /// Seed histograms from a propagated state. Counters start cold; the
+    /// first [`refresh_weights`](Self::refresh_weights) merges every edge
+    /// once (equivalent to one full weight pass), after which merges only
+    /// happen for newly inserted edges.
+    pub fn new(state: &LabelState) -> Self {
+        let hists = (0..state.num_vertices() as VertexId)
+            .map(|v| histogram_of(state.label_sequence(v)))
+            .collect();
+        Self {
+            m: state.iterations() + 1,
+            hists,
+            common: FxHashMap::default(),
+        }
+    }
+
+    /// Draws per sequence (`T + 1`).
+    pub fn draws(&self) -> usize {
+        self.m
+    }
+
+    /// Number of vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        self.hists.len()
+    }
+
+    /// Number of live counters (diagnostics).
+    pub fn num_counters(&self) -> usize {
+        self.common.len()
+    }
+
+    /// Current histogram of `v`.
+    pub fn hist(&self, v: VertexId) -> &[(Label, u32)] {
+        &self.hists[v as usize]
+    }
+
+    /// The exact numerator for edge `(u, v)`, if a counter is live.
+    pub fn common_of(&self, u: VertexId, v: VertexId) -> Option<u64> {
+        self.common.get(&edge_key(u, v)).copied()
+    }
+
+    /// Grow the vertex space to `n`; fresh vertices get the own-label
+    /// histogram their untouched sequence has (`{v: m}`).
+    pub fn ensure_vertices(&mut self, n: usize) {
+        while self.hists.len() < n {
+            let v = self.hists.len() as VertexId;
+            self.hists.push(vec![(v as Label, self.m as u32)]);
+        }
+    }
+
+    /// Drop the counter of a deleted edge (no-op if the edge never earned
+    /// one). **Eager users must call this for every deletion**: a counter
+    /// that survives a delete/re-insert cycle would miss the slot deltas
+    /// applied while the edge was absent.
+    pub fn delete_edge(&mut self, u: VertexId, v: VertexId) {
+        self.common.remove(&edge_key(u, v));
+    }
+
+    /// Apply one label-slot change in `O(deg)`: every live counter
+    /// incident to `d.v` moves by `f_w(new) − f_w(old)`, then the
+    /// histogram itself shifts one unit of mass. Deltas for one
+    /// `(v, slot)` must arrive in application order; anything else may
+    /// interleave freely (the updates commute).
+    pub fn apply_slot_delta(&mut self, graph: &AdjacencyGraph, d: SlotDelta) {
+        if d.old == d.new {
+            return;
+        }
+        self.ensure_vertices(d.v as usize + 1);
+        for &w in graph.neighbors(d.v) {
+            if let Some(c) = self.common.get_mut(&edge_key(d.v, w)) {
+                let fw = &self.hists[w as usize];
+                let delta = i64::from(hist_count(fw, d.new)) - i64::from(hist_count(fw, d.old));
+                *c = c
+                    .checked_add_signed(delta)
+                    .expect("exact maintenance keeps counters non-negative");
+            }
+        }
+        hist_shift(&mut self.hists[d.v as usize], d.old, d.new);
+    }
+
+    /// Push one vertex's aggregated histogram difference through every
+    /// live incident counter, then fold it into the histogram itself —
+    /// the shared core of [`set_sequence`](Self::set_sequence) and
+    /// [`apply_slot_deltas`](Self::apply_slot_deltas). One neighbor sweep
+    /// (one counter lookup per incident edge) covers the whole diff.
+    fn apply_vertex_diff(&mut self, graph: &AdjacencyGraph, v: VertexId, diff: &[(Label, i64)]) {
+        if diff.is_empty() {
+            return;
+        }
+        for &w in graph.neighbors(v) {
+            if let Some(c) = self.common.get_mut(&edge_key(v, w)) {
+                let fw = &self.hists[w as usize];
+                let delta: i64 = diff
+                    .iter()
+                    .map(|&(l, dl)| dl * i64::from(hist_count(fw, l)))
+                    .sum();
+                *c = c
+                    .checked_add_signed(delta)
+                    .expect("exact maintenance keeps counters non-negative");
+            }
+        }
+        let hist = &mut self.hists[v as usize];
+        for &(l, dl) in diff {
+            match hist.binary_search_by_key(&l, |e| e.0) {
+                Ok(i) => {
+                    let next = i64::from(hist[i].1) + dl;
+                    debug_assert!(next >= 0, "histogram count went negative");
+                    if next == 0 {
+                        hist.remove(i);
+                    } else {
+                        hist[i].1 = next as u32;
+                    }
+                }
+                Err(i) => {
+                    debug_assert!(dl > 0, "negative diff for absent label");
+                    hist.insert(i, (l, dl as u32));
+                }
+            }
+        }
+    }
+
+    /// Fold a repair's slot-delta stream into the counters: the stream is
+    /// [compacted](rslpa_graph::compact_slot_deltas), grouped by vertex,
+    /// and aggregated to one sparse histogram diff per vertex, so each
+    /// dirty vertex costs **one** neighbor sweep no matter how many of
+    /// its slots moved. `graph` must be the post-repair topology. Returns
+    /// the number of net slot changes folded in.
+    pub fn apply_slot_deltas(&mut self, graph: &AdjacencyGraph, deltas: &[SlotDelta]) -> usize {
+        let mut net = compact_slot_deltas(deltas);
+        let count = net.len();
+        if count == 0 {
+            return 0;
+        }
+        if let Some(max) = net.iter().map(|d| d.v).max() {
+            self.ensure_vertices(max as usize + 1);
+        }
+        net.sort_unstable_by_key(|d| d.v);
+        let mut diff: Vec<(Label, i64)> = Vec::new();
+        let bump = |diff: &mut Vec<(Label, i64)>, l: Label, dl: i64| match diff
+            .iter_mut()
+            .find(|e| e.0 == l)
+        {
+            Some(e) => e.1 += dl,
+            None => diff.push((l, dl)),
+        };
+        let mut i = 0;
+        while i < net.len() {
+            let v = net[i].v;
+            diff.clear();
+            while i < net.len() && net[i].v == v {
+                bump(&mut diff, net[i].old, -1);
+                bump(&mut diff, net[i].new, 1);
+                i += 1;
+            }
+            diff.retain(|&(_, dl)| dl != 0);
+            self.apply_vertex_diff(graph, v, &diff);
+        }
+        count
+    }
+
+    /// Replace `v`'s whole label sequence (the deferred path): the sparse
+    /// histogram difference is pushed through every live incident counter
+    /// against the **final** graph, which is exactly why deferred updates
+    /// tolerate un-notified edge deletions — a deleted edge is absent
+    /// from `graph.neighbors(v)` and its stale counter is swept at the
+    /// next refresh.
+    pub fn set_sequence(&mut self, graph: &AdjacencyGraph, v: VertexId, labels: &[Label]) {
+        debug_assert_eq!(labels.len(), self.m, "sequence length mismatch");
+        self.ensure_vertices(v as usize + 1);
+        let new_hist = histogram_of(labels);
+        let diff = hist_diff(&self.hists[v as usize], &new_hist);
+        self.apply_vertex_diff(graph, v, &diff);
+    }
+
+    /// Produce the canonical weight list for `graph`: one `O(1)` counter
+    /// read per live edge, one histogram merge per edge that has no
+    /// counter yet (new since the last refresh — or every edge, on the
+    /// first call). Merges of missing edges fan out over `threads`
+    /// workers when there are enough of them; each merge is a pure
+    /// function of two histograms, so the thread count cannot change a
+    /// bit of the output. Counters of edges no longer present are swept.
+    pub fn refresh_weights(
+        &mut self,
+        graph: &AdjacencyGraph,
+        threads: usize,
+    ) -> Vec<(VertexId, VertexId, f64)> {
+        let n = graph.num_vertices();
+        self.ensure_vertices(n);
+        let mm = self.m as f64 * self.m as f64;
+        let mut wlist: Vec<(VertexId, VertexId, f64)> = Vec::with_capacity(graph.num_edges());
+        let mut missing: Vec<usize> = Vec::new();
+        for (u, v) in graph.edges() {
+            debug_assert!(u < v, "edges() must yield canonical pairs");
+            match self.common.get(&edge_key(u, v)) {
+                Some(&c) => wlist.push((u, v, c as f64 / mm)),
+                None => {
+                    missing.push(wlist.len());
+                    wlist.push((u, v, f64::NAN));
+                }
+            }
+        }
+        let commons: Vec<u64> = if threads <= 1 || missing.len() < 256 {
+            missing
+                .iter()
+                .map(|&i| {
+                    let (u, v, _) = wlist[i];
+                    common_labels(&self.hists[u as usize], &self.hists[v as usize])
+                })
+                .collect()
+        } else {
+            let mut out = vec![0u64; missing.len()];
+            let chunk = missing.len().div_ceil(threads).max(1);
+            let hists = &self.hists;
+            let wlist_ref = &wlist;
+            std::thread::scope(|s| {
+                for (idx, slice) in missing.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                    s.spawn(move || {
+                        for (&i, o) in idx.iter().zip(slice.iter_mut()) {
+                            let (u, v, _) = wlist_ref[i];
+                            *o = common_labels(&hists[u as usize], &hists[v as usize]);
+                        }
+                    });
+                }
+            });
+            out
+        };
+        for (&i, &c) in missing.iter().zip(&commons) {
+            let (u, v, _) = wlist[i];
+            self.common.insert(edge_key(u, v), c);
+            wlist[i].2 = c as f64 / mm;
+        }
+        // Counters in excess of the edge count belong to deleted edges a
+        // deferred user never notified us about.
+        if self.common.len() > graph.num_edges() {
+            self.common
+                .retain(|&key, _| graph.has_edge((key >> 32) as VertexId, key as u32));
+        }
+        wlist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::postprocess::edge_weights;
+    use crate::propagation::run_propagation;
+
+    fn assert_weights_equal(a: &[(VertexId, VertexId, f64)], b: &[(VertexId, VertexId, f64)]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!((x.0, x.1), (y.0, y.1), "edge order drifted");
+            assert_eq!(x.2.to_bits(), y.2.to_bits(), "weight drifted at {x:?}");
+        }
+    }
+
+    fn ring_graph(n: u32) -> AdjacencyGraph {
+        let mut g = AdjacencyGraph::new(n as usize);
+        for v in 0..n {
+            g.insert_edge(v, (v + 1) % n);
+        }
+        g
+    }
+
+    #[test]
+    fn first_refresh_matches_full_merge_pass() {
+        let g = ring_graph(8);
+        let state = run_propagation(&g, 10, 3);
+        let mut counters = EdgeCounters::new(&state);
+        assert_eq!(counters.num_counters(), 0);
+        let w = counters.refresh_weights(&g, 1);
+        assert_weights_equal(&w, &edge_weights(&g, &state));
+        assert_eq!(counters.num_counters(), g.num_edges());
+        // A second refresh with no changes reads every counter (no merge)
+        // and reproduces the same bits.
+        assert_weights_equal(&counters.refresh_weights(&g, 1), &w);
+    }
+
+    #[test]
+    fn worked_example_from_module_docs() {
+        // m = 4, labels x = 0 and y = 1, edge (0, 1) with
+        // f_0 = {x:2, y:2} (sequence [0, 0, 1, 1] — slot 0 is the fixed
+        // own label 0) and f_1 = {x:1, y:3} (sequence [1, 0, 1, 1]).
+        let mut g = AdjacencyGraph::new(2);
+        g.insert_edge(0, 1);
+        let mut state = LabelState::new(2, 3, 1);
+        state.set_label(0, 1, 0);
+        state.set_label(0, 2, 1);
+        state.set_label(0, 3, 1);
+        state.set_label(1, 1, 0);
+        state.set_label(1, 2, 1);
+        state.set_label(1, 3, 1);
+        let mut counters = EdgeCounters::new(&state);
+        counters.refresh_weights(&g, 1);
+        assert_eq!(counters.common_of(0, 1), Some(2 * 1 + 2 * 3)); // = 8
+                                                                   // One correction rewrites slot 2 of vertex 0 from y to x: the
+                                                                   // streaming update is common += f_1(x) − f_1(y) = 1 − 3.
+        counters.apply_slot_delta(
+            &g,
+            SlotDelta {
+                v: 0,
+                slot: 2,
+                old: 1,
+                new: 0,
+            },
+        );
+        // Fresh merge of f_0 = {x:3, y:1}, f_1 = {x:1, y:3}: 3·1 + 1·3.
+        assert_eq!(counters.common_of(0, 1), Some(3 * 1 + 1 * 3)); // = 6
+        assert_eq!(counters.hist(0), &[(0, 3), (1, 1)]);
+        let w = counters.refresh_weights(&g, 1);
+        assert_eq!(w[0].2.to_bits(), (6.0f64 / 16.0).to_bits());
+    }
+
+    #[test]
+    fn slot_deltas_track_a_fresh_merge() {
+        let g = ring_graph(6);
+        let mut state = run_propagation(&g, 8, 5);
+        let mut counters = EdgeCounters::new(&state);
+        counters.refresh_weights(&g, 1);
+        // Hand-apply a few slot rewrites to both the state and the
+        // counters; weights must stay bit-identical to a fresh merge.
+        for (v, t, new) in [(0u32, 3u32, 4u32), (1, 1, 4), (0, 5, 1), (4, 2, 0)] {
+            let old = state.label(v, t);
+            state.set_label(v, t, new);
+            counters.apply_slot_delta(
+                &g,
+                SlotDelta {
+                    v,
+                    slot: t,
+                    old,
+                    new,
+                },
+            );
+        }
+        assert_weights_equal(&counters.refresh_weights(&g, 1), &edge_weights(&g, &state));
+    }
+
+    #[test]
+    fn noop_delta_changes_nothing() {
+        let g = ring_graph(4);
+        let state = run_propagation(&g, 6, 1);
+        let mut counters = EdgeCounters::new(&state);
+        let before = counters.refresh_weights(&g, 1);
+        counters.apply_slot_delta(
+            &g,
+            SlotDelta {
+                v: 2,
+                slot: 1,
+                old: 9,
+                new: 9,
+            },
+        );
+        assert_weights_equal(&counters.refresh_weights(&g, 1), &before);
+    }
+
+    #[test]
+    fn lazy_merge_covers_inserted_edges_and_sweep_covers_deletions() {
+        let mut g = ring_graph(6);
+        let state = run_propagation(&g, 8, 7);
+        let mut counters = EdgeCounters::new(&state);
+        counters.refresh_weights(&g, 1);
+        // Mutate topology without touching any histogram.
+        g.remove_edge(0, 1);
+        g.insert_edge(0, 3);
+        counters.delete_edge(0, 1);
+        let w = counters.refresh_weights(&g, 1);
+        assert_weights_equal(&w, &edge_weights(&g, &state));
+        assert_eq!(counters.num_counters(), g.num_edges());
+        assert_eq!(counters.common_of(0, 1), None);
+    }
+
+    #[test]
+    fn unnotified_deletion_is_swept_by_refresh() {
+        let mut g = ring_graph(5);
+        let state = run_propagation(&g, 6, 2);
+        let mut counters = EdgeCounters::new(&state);
+        counters.refresh_weights(&g, 1);
+        g.remove_edge(1, 2); // deferred user: no delete_edge call
+        counters.refresh_weights(&g, 1);
+        assert_eq!(counters.num_counters(), g.num_edges());
+        assert_eq!(counters.common_of(1, 2), None);
+    }
+
+    #[test]
+    fn set_sequence_diff_matches_fresh_merge() {
+        let g = ring_graph(7);
+        let mut state = run_propagation(&g, 9, 11);
+        let mut counters = EdgeCounters::new(&state);
+        counters.refresh_weights(&g, 1);
+        // Replace two whole sequences (the deferred path).
+        for v in [2u32, 3] {
+            for t in 1..=9u32 {
+                state.set_label(v, t, (v + t) % 5);
+            }
+            counters.set_sequence(&g, v, state.label_sequence(v));
+        }
+        assert_weights_equal(&counters.refresh_weights(&g, 1), &edge_weights(&g, &state));
+    }
+
+    #[test]
+    fn threaded_and_serial_first_refresh_agree() {
+        // > 256 missing edges so the parallel path actually runs.
+        let n = 300u32;
+        let mut g = ring_graph(n as u32);
+        for v in 0..n {
+            g.insert_edge(v, (v + 5) % n);
+        }
+        let state = run_propagation(&g, 12, 13);
+        let mut serial = EdgeCounters::new(&state);
+        let mut threaded = EdgeCounters::new(&state);
+        assert_weights_equal(
+            &serial.refresh_weights(&g, 1),
+            &threaded.refresh_weights(&g, 4),
+        );
+    }
+
+    #[test]
+    fn fresh_vertices_get_own_label_histograms() {
+        let g = ring_graph(3);
+        let state = run_propagation(&g, 4, 1);
+        let mut counters = EdgeCounters::new(&state);
+        counters.ensure_vertices(5);
+        assert_eq!(counters.hist(4), &[(4, 5)]);
+        assert_eq!(counters.num_vertices(), 5);
+    }
+}

@@ -26,7 +26,7 @@
 //! exactly once.
 
 use rslpa_graph::rng::{PickKey, Stream};
-use rslpa_graph::{AdjacencyGraph, AppliedBatch, FxHashSet, VertexId};
+use rslpa_graph::{AdjacencyGraph, AppliedBatch, FxHashSet, SlotDelta, VertexId};
 
 use crate::propagation::draw_pick;
 use crate::state::{LabelState, NO_SOURCE};
@@ -73,6 +73,33 @@ pub fn apply_correction_tracked(
     value_pruned: bool,
     dirty: &mut FxHashSet<VertexId>,
 ) -> UpdateReport {
+    let mut deltas = Vec::new();
+    apply_correction_streaming(
+        state,
+        graph_after,
+        applied,
+        value_pruned,
+        dirty,
+        &mut deltas,
+    )
+}
+
+/// [`apply_correction_tracked`] that additionally emits one [`SlotDelta`]
+/// per label-slot *value* change, in application order — the input stream
+/// for [`EdgeCounters`](crate::edge_counters::EdgeCounters). A slot
+/// rewritten several times in one repair emits one delta per rewrite
+/// (callers compact with
+/// [`compact_slot_deltas`](rslpa_graph::compact_slot_deltas) before
+/// paying `O(deg)` per delta); unchanged-value writes emit nothing, so
+/// the stream is exactly the histogram movement of this repair.
+pub fn apply_correction_streaming(
+    state: &mut LabelState,
+    graph_after: &AdjacencyGraph,
+    applied: &AppliedBatch,
+    value_pruned: bool,
+    dirty: &mut FxHashSet<VertexId>,
+    slot_deltas: &mut Vec<SlotDelta>,
+) -> UpdateReport {
     let t_max = state.iterations() as u32;
     let seed = state.seed();
     let mut report = UpdateReport {
@@ -105,12 +132,19 @@ pub fn apply_correction_tracked(
                     state.remove_record(old_src, old_pos, v, t);
                     state.set_pick(v, t, NO_SOURCE, 0);
                     let own = state.label(v, 0);
-                    let changed = state.label(v, t) != own;
+                    let old = state.label(v, t);
+                    let changed = old != own;
                     state.set_label(v, t, own);
                     report.repicks += 1;
                     touched.insert((v, t));
                     if changed {
                         dirty.insert(v);
+                        slot_deltas.push(SlotDelta {
+                            v,
+                            slot: t,
+                            old,
+                            new: own,
+                        });
                     }
                     if !value_pruned || changed {
                         schedule(v, t, &mut buckets, &mut scheduled);
@@ -135,6 +169,7 @@ pub fn apply_correction_tracked(
                     &mut report,
                     &mut touched,
                     dirty,
+                    slot_deltas,
                     |v, t| schedule(v, t, &mut buckets, &mut scheduled),
                 );
                 continue;
@@ -167,6 +202,7 @@ pub fn apply_correction_tracked(
                     &mut report,
                     &mut touched,
                     dirty,
+                    slot_deltas,
                     |v, t| schedule(v, t, &mut buckets, &mut scheduled),
                 );
             }
@@ -183,11 +219,18 @@ pub fn apply_correction_tracked(
             for (r, k) in receivers {
                 debug_assert!(k > t);
                 report.deliveries += 1;
-                let changed = state.label(r, k) != l;
+                let old = state.label(r, k);
+                let changed = old != l;
                 if changed {
                     state.set_label(r, k, l);
                     report.value_changes += 1;
                     dirty.insert(r);
+                    slot_deltas.push(SlotDelta {
+                        v: r,
+                        slot: k,
+                        old,
+                        new: l,
+                    });
                 }
                 touched.insert((r, k));
                 if !value_pruned || changed {
@@ -216,6 +259,7 @@ fn repick(
     report: &mut UpdateReport,
     touched: &mut FxHashSet<(VertexId, u32)>,
     dirty: &mut FxHashSet<VertexId>,
+    slot_deltas: &mut Vec<SlotDelta>,
     mut schedule: impl FnMut(VertexId, u32),
 ) {
     if old_src != NO_SOURCE {
@@ -226,12 +270,19 @@ fn repick(
     state.set_pick(v, t, src, pos);
     state.add_record(src, pos, v, t);
     let new_label = state.label(src, pos);
-    let changed = state.label(v, t) != new_label;
+    let old = state.label(v, t);
+    let changed = old != new_label;
     state.set_label(v, t, new_label);
     report.repicks += 1;
     touched.insert((v, t));
     if changed {
         dirty.insert(v);
+        slot_deltas.push(SlotDelta {
+            v,
+            slot: t,
+            old,
+            new: new_label,
+        });
     }
     if !value_pruned || changed {
         schedule(v, t);
@@ -542,6 +593,60 @@ mod tests {
                 for t in 1..=15u32 {
                     assert_eq!(st_f.pick(v, t), st_p.pick(v, t));
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn slot_delta_stream_replays_the_repair_exactly() {
+        // Replaying the emitted deltas over the pre-repair sequences must
+        // land on the post-repair sequences — the property the streaming
+        // counter store builds on.
+        for seed in 0..6u64 {
+            let g = star_plus_ring();
+            let mut dg = DynamicGraph::new(g);
+            let mut state = run_propagation(dg.graph(), 12, seed);
+            let before: Vec<Vec<u32>> = (0..5).map(|v| state.label_sequence(v).to_vec()).collect();
+            let applied = dg
+                .apply(&EditBatch::from_lists([(1, 3)], [(0, 1)]))
+                .unwrap();
+            let mut dirty = FxHashSet::default();
+            let mut deltas = Vec::new();
+            apply_correction_streaming(
+                &mut state,
+                dg.graph(),
+                &applied,
+                false,
+                &mut dirty,
+                &mut deltas,
+            );
+            let mut replayed = before.clone();
+            for d in &deltas {
+                let slot = d.slot as usize;
+                assert_eq!(
+                    replayed[d.v as usize][slot], d.old,
+                    "delta chain broken at {d:?}"
+                );
+                assert_ne!(d.old, d.new, "no-op delta emitted");
+                replayed[d.v as usize][slot] = d.new;
+            }
+            for v in 0..5u32 {
+                assert_eq!(replayed[v as usize], state.label_sequence(v));
+                // Dirty tracking and delta emission must agree.
+                assert_eq!(
+                    dirty.contains(&v),
+                    before[v as usize] != state.label_sequence(v),
+                    "dirty set wrong for {v}"
+                );
+            }
+            // Compaction preserves the net movement.
+            let net = rslpa_graph::compact_slot_deltas(&deltas);
+            let mut compact_replay = before.clone();
+            for d in &net {
+                compact_replay[d.v as usize][d.slot as usize] = d.new;
+            }
+            for v in 0..5usize {
+                assert_eq!(compact_replay[v], state.label_sequence(v as u32));
             }
         }
     }

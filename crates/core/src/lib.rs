@@ -31,6 +31,7 @@
 pub mod complexity;
 pub mod config;
 pub mod detector;
+pub mod edge_counters;
 pub mod incremental;
 pub mod incremental_bsp;
 pub mod postprocess;
@@ -44,7 +45,10 @@ pub mod verify;
 
 pub use config::RslpaConfig;
 pub use detector::{DetectionResult, RslpaDetector};
-pub use incremental::{apply_correction, apply_correction_tracked, UpdateReport};
+pub use edge_counters::EdgeCounters;
+pub use incremental::{
+    apply_correction, apply_correction_streaming, apply_correction_tracked, UpdateReport,
+};
 pub use postprocess::{postprocess, PostprocessResult};
 pub use postprocess_incremental::IncrementalPostprocess;
 pub use propagation::run_propagation;

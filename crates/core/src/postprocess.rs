@@ -38,9 +38,14 @@ pub struct PostprocessResult {
     pub weights: Vec<(VertexId, VertexId, f64)>,
 }
 
-/// Similarity of two label histograms: `P(l_i = l_j)` under independent
-/// uniform draws — `Σ_l f_i(l)·f_j(l) / (m_i·m_j)`.
-pub fn sequence_similarity(hist_a: &[(Label, u32)], hist_b: &[(Label, u32)], m: usize) -> f64 {
+/// The integer numerator of [`sequence_similarity`]: the common-label
+/// cross product `Σ_l f_a(l)·f_b(l)` of two sorted histograms.
+///
+/// This is the quantity the streaming
+/// [`EdgeCounters`](crate::edge_counters::EdgeCounters) maintain per edge;
+/// exposing the exact `u64` keeps the two paths bit-identical by
+/// construction — both divide the same integer by the same `m²`.
+pub fn common_labels(hist_a: &[(Label, u32)], hist_b: &[(Label, u32)]) -> u64 {
     let mut common = 0u64;
     let (mut i, mut j) = (0, 0);
     while i < hist_a.len() && j < hist_b.len() {
@@ -54,7 +59,13 @@ pub fn sequence_similarity(hist_a: &[(Label, u32)], hist_b: &[(Label, u32)], m: 
             }
         }
     }
-    common as f64 / (m as f64 * m as f64)
+    common
+}
+
+/// Similarity of two label histograms: `P(l_i = l_j)` under independent
+/// uniform draws — `Σ_l f_i(l)·f_j(l) / (m_i·m_j)`.
+pub fn sequence_similarity(hist_a: &[(Label, u32)], hist_b: &[(Label, u32)], m: usize) -> f64 {
+    common_labels(hist_a, hist_b) as f64 / (m as f64 * m as f64)
 }
 
 /// Compute `w_ij` for every edge of `graph` from the label state.
@@ -71,6 +82,18 @@ pub fn edge_weights(graph: &AdjacencyGraph, state: &LabelState) -> Vec<(VertexId
 }
 
 /// τ2 = `min_i max_j w_ij` (Eq. 2) over vertices with ≥ 1 neighbor.
+///
+/// # Degenerate inputs
+///
+/// Eq. 2 quantifies only over vertices that *have* an edge, so a graph of
+/// `n` isolated vertices contributes no terms at all — exactly like an
+/// empty weight list. Both degenerate the same way by construction: the
+/// inner fold runs over zero finite per-vertex maxima, yields `+∞`, and
+/// the final `.min(1.0)` clamps that to **τ2 = 1.0**. The contract is
+/// deliberate: with no attachment options anywhere, the weak-attachment
+/// threshold must not admit anything, and `1.0` (the maximum possible
+/// similarity) is the least-permissive finite value. Callers can rely on
+/// `select_tau2(n, &[]) == 1.0` for every `n`, including `n = 0`.
 pub fn select_tau2(n: usize, weights: &[(VertexId, VertexId, f64)]) -> f64 {
     let mut best = vec![f64::NEG_INFINITY; n];
     for &(u, v, w) in weights {
@@ -352,6 +375,25 @@ mod tests {
             .iter()
             .any(|c| c.windows(2).count() >= 2 && c.contains(&0) && c.contains(&1));
         assert!(left, "{:?}", result.cover.communities());
+    }
+
+    #[test]
+    fn tau2_of_isolated_vertex_graph_equals_empty_weight_list() {
+        // The documented degenerate contract: a graph of only isolated
+        // vertices produces an empty weight list, and both roads lead to
+        // τ2 = 1.0 via the `.min(1.0)` clamp — for any n, including 0.
+        for n in [0usize, 1, 3, 100] {
+            let g = AdjacencyGraph::new(n);
+            let state = run_propagation(&g, 4, 1);
+            let weights = edge_weights(&g, &state);
+            assert!(weights.is_empty());
+            assert_eq!(select_tau2(n, &weights).to_bits(), 1.0f64.to_bits());
+            assert_eq!(select_tau2(n, &[]).to_bits(), 1.0f64.to_bits());
+        }
+        // Sanity: one isolated vertex alongside a real edge does not drag
+        // τ2 to the degenerate value — Eq. 2 skips the isolated vertex.
+        let w = vec![(0u32, 1u32, 0.25)];
+        assert!((select_tau2(3, &w) - 0.25).abs() < 1e-12);
     }
 
     #[test]

@@ -1,81 +1,98 @@
-//! Dirty-region post-processing: re-extract communities after an edit
-//! batch without recomputing the whole pipeline.
+//! Streaming post-processing: re-extract communities after an edit batch
+//! without re-running the weight pass.
 //!
 //! Full post-processing ([`postprocess`](crate::postprocess::postprocess))
-//! rebuilds every vertex histogram and every edge weight on each call —
-//! `O(n·T + m·T)` — even when a flush touched a handful of vertices. This
-//! module keeps both as caches:
+//! rebuilds every vertex histogram and merges a pair of histograms per
+//! edge on each call — `O(n·T + m·T)` — even when a flush touched a
+//! handful of label slots. This module instead drives an
+//! [`EdgeCounters`] store, which
+//! keeps the exact integer numerator `common_uv = Σ_l f_u(l)·f_v(l)` of
+//! every live edge as state:
 //!
-//! * per-vertex label histograms, invalidated by the *dirty set* (vertices
-//!   whose label sequence changed since the last refresh, as tracked by
-//!   [`apply_correction_tracked`](crate::incremental::apply_correction_tracked)
-//!   or the shard workers);
-//! * the previous refresh's weight list (canonical edge order), merged
-//!   against the current edge set: a surviving edge with two clean
-//!   endpoints reuses its weight, everything else — dirty-incident,
-//!   inserted, or re-inserted — is recomputed. The weight pass optionally
-//!   fans out over [`set_threads`](IncrementalPostprocess::set_threads)
-//!   worker threads (the serve coordinator hands it the shard budget);
-//!   each weight is an independent pure function, so the thread count
-//!   cannot change a single bit of the output.
+//! * **eager** (the serve path): the repair engines emit [`SlotDelta`]s
+//!   as they rewrite label slots; [`apply_slot_deltas`](IncrementalPostprocess::apply_slot_deltas)
+//!   folds the compacted stream into the counters at `O(deg)` per net
+//!   slot change, and [`delete_edges`](IncrementalPostprocess::delete_edges)
+//!   retires counters of deleted edges. Publish-time weight cost drops to
+//!   one `O(1)` counter read per edge plus one merge per *newly inserted*
+//!   edge — the cost tracks the change, not the graph;
+//! * **deferred** (drop-in for the old dirty-region API):
+//!   [`set_sequence`](IncrementalPostprocess::set_sequence) queues whole
+//!   replacement sequences, and [`refresh`](IncrementalPostprocess::refresh)
+//!   pushes their sparse histogram diffs through the counters against the
+//!   final graph before reading weights.
 //!
 //! The τ2 / τ1 / extraction stages still run over the full weight list —
-//! they are `O(m log m)` and cheap next to the `O(m·T)` weight pass — so
-//! the result is **bit-identical** to a full recompute: an edge weight
-//! depends only on its endpoints' histograms, and every endpoint whose
-//! histogram changed is in the dirty set. The tests below pin that
-//! equality under random churn.
+//! they are `O(m log m)` and cheap next to the old `O(m·T)` merge pass —
+//! so the result is **bit-identical** to a full recompute: counters are
+//! exact integers, and the derived weight divides the same integer by the
+//! same `m²` the merge would. The tests below and
+//! `tests/counter_equivalence.rs` pin that equality under random churn,
+//! for both the single-writer and the sharded repair engines.
 
-use rslpa_graph::{AdjacencyGraph, FxHashSet, Label, VertexId};
+use rslpa_graph::{AdjacencyGraph, FxHashMap, Label, SlotDelta, VertexId};
 
-use crate::postprocess::{
-    extract_communities, select_tau1, select_tau2, sequence_similarity, PostprocessResult,
-};
-use crate::state::{histogram_of, LabelState};
+use crate::edge_counters::EdgeCounters;
+use crate::postprocess::{extract_communities, select_tau1, select_tau2, PostprocessResult};
+use crate::state::LabelState;
 
-/// Incremental replacement for [`postprocess`](crate::postprocess::postprocess).
+/// Incremental replacement for [`postprocess`](crate::postprocess::postprocess),
+/// built on streaming per-edge common-label counters.
+///
+/// ```
+/// use rslpa_core::{postprocess, IncrementalPostprocess, RslpaConfig, RslpaDetector};
+/// use rslpa_graph::{AdjacencyGraph, EditBatch, FxHashSet};
+///
+/// let graph = AdjacencyGraph::from_edges(6, [
+///     (0, 1), (1, 2), (0, 2),
+///     (3, 4), (4, 5), (3, 5),
+///     (2, 3),
+/// ]);
+/// let mut detector = RslpaDetector::new(graph, RslpaConfig::quick(30, 7));
+/// let mut pp = IncrementalPostprocess::new(detector.state(), None);
+///
+/// // The graph changes; the repair streams its slot changes straight
+/// // into the counter store — no histogram ever re-merges.
+/// let batch = EditBatch::from_lists([(1, 4)], []);
+/// let (mut dirty, mut deltas) = (FxHashSet::default(), Vec::new());
+/// detector.apply_batch_streaming(&batch, &mut dirty, &mut deltas).unwrap();
+/// pp.delete_edges(batch.deletions());
+/// pp.apply_slot_deltas(detector.graph(), &deltas);
+///
+/// let incremental = pp.refresh(detector.graph());
+/// let full = postprocess(detector.graph(), detector.state(), None);
+/// assert_eq!(incremental.tau1.to_bits(), full.tau1.to_bits());
+/// assert_eq!(incremental.cover, full.cover);
+/// ```
 #[derive(Clone, Debug)]
 pub struct IncrementalPostprocess {
-    /// Draws per sequence (`T + 1`).
-    m: usize,
     /// τ1 grid (must match the full pipeline's configuration).
     grid: Option<f64>,
-    /// Threads for the weight pass (1 = serial).
+    /// Threads for merging counter-less (new) edges (1 = serial).
     threads: usize,
-    /// Cached sorted `(label, count)` histogram per vertex.
-    hists: Vec<Vec<(Label, u32)>>,
-    /// The previous refresh's weight list, in canonical edge order.
-    prev_weights: Vec<(VertexId, VertexId, f64)>,
-    /// Vertices whose histogram changed since the last refresh.
-    pending: FxHashSet<VertexId>,
-}
-
-/// The histogram of an untouched fresh vertex (own label only).
-fn own_label_hist(v: VertexId, m: usize) -> Vec<(Label, u32)> {
-    vec![(v as Label, m as u32)]
+    /// Histograms + exact per-edge common-label numerators.
+    counters: EdgeCounters,
+    /// Deferred whole-sequence replacements, applied at the next refresh.
+    pending: FxHashMap<VertexId, Vec<Label>>,
 }
 
 impl IncrementalPostprocess {
-    /// Seed the caches from a propagated state. Edge weights start cold;
-    /// the first [`refresh`](Self::refresh) fills them (equivalent to one
-    /// full post-processing pass).
+    /// Seed the histograms from a propagated state. Counters start cold;
+    /// the first [`refresh`](Self::refresh) merges every edge once
+    /// (equivalent to one full weight pass), after which a merge only
+    /// ever happens for a newly inserted edge.
     pub fn new(state: &LabelState, grid: Option<f64>) -> Self {
-        let m = state.iterations() + 1;
-        let hists = (0..state.num_vertices() as VertexId)
-            .map(|v| histogram_of(state.label_sequence(v)))
-            .collect();
         Self {
-            m,
             grid,
             threads: 1,
-            hists,
-            prev_weights: Vec::new(),
-            pending: FxHashSet::default(),
+            counters: EdgeCounters::new(state),
+            pending: FxHashMap::default(),
         }
     }
 
-    /// Fan the weight pass out over `threads` workers (1 = serial; the
-    /// output is bit-identical either way).
+    /// Fan the new-edge merges out over `threads` workers (1 = serial;
+    /// the output is bit-identical either way — each merge is a pure
+    /// function of two histograms).
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
     }
@@ -83,90 +100,65 @@ impl IncrementalPostprocess {
     /// Grow the vertex space to `n`; new vertices start with their
     /// own-label histogram (the sequence a fresh isolated vertex has).
     pub fn ensure_vertices(&mut self, n: usize) {
-        while self.hists.len() < n {
-            let v = self.hists.len() as VertexId;
-            self.hists.push(own_label_hist(v, self.m));
+        self.counters.ensure_vertices(n);
+    }
+
+    /// Queue a replacement for `v`'s label sequence (the deferred path);
+    /// applied against the final graph at the next refresh.
+    pub fn set_sequence(&mut self, v: VertexId, labels: &[Label]) {
+        debug_assert_eq!(labels.len(), self.counters.draws(), "sequence length");
+        self.counters.ensure_vertices(v as usize + 1);
+        self.pending.insert(v, labels.to_vec());
+    }
+
+    /// Fold a flush's slot-change stream into the counters (the eager
+    /// path). `graph` must be the post-flush topology; deltas touching
+    /// edges inserted this flush are skipped (their counters do not exist
+    /// yet) and covered exactly by the lazy merge at the next refresh.
+    /// The stream is [compacted](rslpa_graph::compact_slot_deltas) and
+    /// aggregated per vertex, so each dirty vertex costs one neighbor
+    /// sweep per flush however many of its slots moved. Returns the
+    /// number of net deltas applied.
+    pub fn apply_slot_deltas(&mut self, graph: &AdjacencyGraph, deltas: &[SlotDelta]) -> usize {
+        self.counters.apply_slot_deltas(graph, deltas)
+    }
+
+    /// Retire the counters of deleted edges (the eager path). Required
+    /// before further slot deltas: a counter surviving a delete would
+    /// miss the updates of deltas applied while its edge was absent and
+    /// silently go stale if the edge is later re-inserted.
+    pub fn delete_edges(&mut self, deletions: &[(VertexId, VertexId)]) {
+        for &(u, v) in deletions {
+            self.counters.delete_edge(u, v);
         }
     }
 
-    /// Replace `v`'s label sequence (marks its incident edges for
-    /// recomputation at the next refresh).
-    pub fn set_sequence(&mut self, v: VertexId, labels: &[Label]) {
-        debug_assert_eq!(labels.len(), self.m, "sequence length mismatch");
-        self.ensure_vertices(v as usize + 1);
-        self.hists[v as usize] = histogram_of(labels);
-        self.pending.insert(v);
-    }
-
-    /// Vertices currently marked dirty (diagnostics).
+    /// Vertices with a queued deferred replacement (diagnostics).
     pub fn pending_dirty(&self) -> usize {
         self.pending.len()
     }
 
-    /// Recompute the dirty region and run threshold selection +
-    /// extraction over the merged weight list. Bit-identical to
+    /// Read access to the underlying counter store (diagnostics, tests).
+    pub fn counters(&self) -> &EdgeCounters {
+        &self.counters
+    }
+
+    /// Apply deferred updates, read the weight list off the counters, and
+    /// run threshold selection + extraction. Bit-identical to
     /// `postprocess(graph, state, grid)` on the state the caches mirror.
     pub fn refresh(&mut self, graph: &AdjacencyGraph) -> PostprocessResult {
         let n = graph.num_vertices();
-        self.ensure_vertices(n);
-        let mut dirty = vec![false; n];
-        for v in self.pending.drain() {
-            if let Some(flag) = dirty.get_mut(v as usize) {
-                *flag = true;
+        self.counters.ensure_vertices(n);
+        if !self.pending.is_empty() {
+            // Deterministic application order (the result is exact either
+            // way; sorting keeps traces reproducible).
+            let mut queued: Vec<(VertexId, Vec<Label>)> = self.pending.drain().collect();
+            queued.sort_unstable_by_key(|(v, _)| *v);
+            for (v, labels) in queued {
+                self.counters.set_sequence(graph, v, &labels);
             }
         }
-        // 1. Merge the current edge set (canonical, sorted) against the
-        //    previous weight list: a surviving edge with clean endpoints
-        //    keeps its weight, everything else is marked for recompute
-        //    (NaN never occurs as a real weight). An edge deleted and
-        //    later re-inserted is only reused if it survived every
-        //    intermediate refresh with clean endpoints — otherwise it is
-        //    absent from `prev_weights` and recomputed here.
-        let mut wlist: Vec<(VertexId, VertexId, f64)> = Vec::with_capacity(graph.num_edges());
-        let mut stale = 0usize;
-        let mut old = self.prev_weights.iter().peekable();
-        for (u, v) in graph.edges() {
-            debug_assert!(u < v, "edges() must yield canonical pairs");
-            while let Some(&&(ou, ov, _)) = old.peek() {
-                if (ou, ov) < (u, v) {
-                    old.next();
-                } else {
-                    break;
-                }
-            }
-            let mut w = f64::NAN;
-            if !dirty[u as usize] && !dirty[v as usize] {
-                if let Some(&&(ou, ov, ow)) = old.peek() {
-                    if (ou, ov) == (u, v) {
-                        w = ow;
-                    }
-                }
-            }
-            if w.is_nan() {
-                stale += 1;
-            }
-            wlist.push((u, v, w));
-        }
-        // 2. Fill the stale entries. Each weight is a pure function of the
-        //    two cached histograms, so the parallel split is free of
-        //    ordering effects.
-        let compute = |&mut (u, v, ref mut w): &mut (VertexId, VertexId, f64)| {
-            if w.is_nan() {
-                *w = sequence_similarity(&self.hists[u as usize], &self.hists[v as usize], self.m);
-            }
-        };
-        if self.threads <= 1 || stale < 256 {
-            wlist.iter_mut().for_each(compute);
-        } else {
-            let chunk = wlist.len().div_ceil(self.threads).max(1);
-            std::thread::scope(|s| {
-                for slice in wlist.chunks_mut(chunk) {
-                    s.spawn(|| slice.iter_mut().for_each(compute));
-                }
-            });
-        }
-        self.prev_weights.clone_from(&wlist);
-        // 3. Thresholds + extraction, identical to the full pipeline.
+        let wlist = self.counters.refresh_weights(graph, self.threads);
         let tau2 = select_tau2(n, &wlist);
         let (tau1, entropy) = select_tau1(n, &wlist, tau2, self.grid);
         let cover = extract_communities(n, &wlist, tau1, tau2);
@@ -188,7 +180,7 @@ mod tests {
     use crate::postprocess::postprocess;
     use rslpa_graph::edits::canonical;
     use rslpa_graph::rng::DetRng;
-    use rslpa_graph::EditBatch;
+    use rslpa_graph::{EditBatch, FxHashSet};
 
     fn assert_results_equal(a: &PostprocessResult, b: &PostprocessResult) {
         assert_eq!(a.tau1.to_bits(), b.tau1.to_bits(), "tau1 drifted");
@@ -249,7 +241,7 @@ mod tests {
     }
 
     #[test]
-    fn stays_bit_identical_under_random_churn() {
+    fn deferred_path_stays_bit_identical_under_random_churn() {
         for seed in [3u64, 11, 29] {
             let g = seed_graph();
             let mut det = RslpaDetector::new(g, RslpaConfig::quick(25, seed));
@@ -270,11 +262,37 @@ mod tests {
     }
 
     #[test]
+    fn eager_path_stays_bit_identical_under_random_churn() {
+        // The serve wiring: slot deltas + delete notifications, no
+        // sequence syncing at all — and multiple flushes per refresh.
+        for seed in [5u64, 13, 31] {
+            let g = seed_graph();
+            let mut det = RslpaDetector::new(g, RslpaConfig::quick(25, seed));
+            let mut pp = IncrementalPostprocess::new(det.state(), None);
+            let mut rng = DetRng::new(seed ^ 0xeade);
+            for round in 0..12 {
+                for _ in 0..1 + round % 3 {
+                    let batch = random_batch(det.graph(), &mut rng, 2 + round % 6);
+                    let mut dirty = FxHashSet::default();
+                    let mut deltas = Vec::new();
+                    det.apply_batch_streaming(&batch, &mut dirty, &mut deltas)
+                        .unwrap();
+                    pp.delete_edges(batch.deletions());
+                    pp.apply_slot_deltas(det.graph(), &deltas);
+                }
+                assert_results_equal(
+                    &pp.refresh(det.graph()),
+                    &postprocess(det.graph(), det.state(), None),
+                );
+            }
+        }
+    }
+
+    #[test]
     fn survives_edge_delete_then_reinsert() {
-        // The regression the merge rule exists for: an edge whose endpoint
-        // histograms change *while the edge is absent* must be recomputed
-        // when it re-enters the graph (it dropped out of `prev_weights`
-        // at the intermediate refresh, so reuse is impossible).
+        // The regression the eager delete notification exists for: an
+        // edge whose endpoint histograms change *while the edge is
+        // absent* must be re-merged when it re-enters the graph.
         let g = seed_graph();
         let mut det = RslpaDetector::new(g, RslpaConfig::quick(20, 9));
         let mut pp = IncrementalPostprocess::new(det.state(), None);
@@ -286,10 +304,11 @@ mod tests {
         ];
         for batch in &steps {
             let mut dirty = FxHashSet::default();
-            det.apply_batch_tracked(&batch.clone(), &mut dirty).unwrap();
-            for v in dirty {
-                pp.set_sequence(v, det.state().label_sequence(v));
-            }
+            let mut deltas = Vec::new();
+            det.apply_batch_streaming(batch, &mut dirty, &mut deltas)
+                .unwrap();
+            pp.delete_edges(batch.deletions());
+            pp.apply_slot_deltas(det.graph(), &deltas);
             assert_results_equal(
                 &pp.refresh(det.graph()),
                 &postprocess(det.graph(), det.state(), None),
@@ -307,10 +326,11 @@ mod tests {
         pp.ensure_vertices(14);
         let batch = EditBatch::from_lists([(12, 0), (12, 1), (13, 12)], []);
         let mut dirty = FxHashSet::default();
-        det.apply_batch_tracked(&batch, &mut dirty).unwrap();
-        for v in dirty {
-            pp.set_sequence(v, det.state().label_sequence(v));
-        }
+        let mut deltas = Vec::new();
+        det.apply_batch_streaming(&batch, &mut dirty, &mut deltas)
+            .unwrap();
+        pp.delete_edges(batch.deletions());
+        pp.apply_slot_deltas(det.graph(), &deltas);
         assert_results_equal(
             &pp.refresh(det.graph()),
             &postprocess(det.graph(), det.state(), None),
@@ -318,9 +338,9 @@ mod tests {
     }
 
     #[test]
-    fn threaded_weight_pass_is_bit_identical() {
-        // Ring plus chords: > 256 edges so the first refresh (everything
-        // stale) takes the parallel path.
+    fn threaded_new_edge_merges_are_bit_identical() {
+        // Ring plus chords: > 256 edges so the first refresh (every edge
+        // counter-less) takes the parallel merge path.
         let n = 400u32;
         let mut g = AdjacencyGraph::new(n as usize);
         for v in 0..n {
@@ -351,5 +371,29 @@ mod tests {
         let det = RslpaDetector::new(g.clone(), RslpaConfig::quick(30, 13));
         let mut pp = IncrementalPostprocess::new(det.state(), Some(0.001));
         assert_results_equal(&pp.refresh(&g), &postprocess(&g, det.state(), Some(0.001)));
+    }
+
+    #[test]
+    fn refresh_after_churn_merges_only_new_edges() {
+        // The point of the tentpole: steady-state refreshes never re-merge
+        // surviving edges, no matter how dirty their endpoints are.
+        let g = seed_graph();
+        let edges_before = g.num_edges();
+        let mut det = RslpaDetector::new(g, RslpaConfig::quick(25, 3));
+        let mut pp = IncrementalPostprocess::new(det.state(), None);
+        pp.refresh(det.graph());
+        assert_eq!(pp.counters().num_counters(), edges_before);
+        let batch = EditBatch::from_lists([(0, 9), (2, 6)], [(3, 4)]);
+        let mut dirty = FxHashSet::default();
+        let mut deltas = Vec::new();
+        det.apply_batch_streaming(&batch, &mut dirty, &mut deltas)
+            .unwrap();
+        pp.delete_edges(batch.deletions());
+        pp.apply_slot_deltas(det.graph(), &deltas);
+        // Before refresh: only the deleted edge's counter is gone; the
+        // two inserted edges have no counter yet.
+        assert_eq!(pp.counters().num_counters(), edges_before - 1);
+        pp.refresh(det.graph());
+        assert_eq!(pp.counters().num_counters(), det.graph().num_edges());
     }
 }

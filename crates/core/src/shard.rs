@@ -2,7 +2,7 @@
 //! shard owns, plus the boundary-exchange message protocol between shards.
 //!
 //! The serve subsystem partitions the vertex space with a
-//! [`Partitioner`](rslpa_graph::Partitioner); each shard owns the
+//! [`Partitioner`]; each shard owns the
 //! adjacency rows, label sequences, pick provenance, and receiver records
 //! of *its* vertices. After an edit batch, every shard repairs its own
 //! affected vertices (Algorithm 2 Phase A) and drains the resulting
@@ -26,7 +26,7 @@
 use std::sync::Arc;
 
 use rslpa_graph::{
-    AdjacencyGraph, FxHashMap, FxHashSet, Label, Partitioner, VertexDelta, VertexId,
+    AdjacencyGraph, FxHashMap, FxHashSet, Label, Partitioner, SlotDelta, VertexDelta, VertexId,
 };
 
 use crate::propagation::draw_pick;
@@ -163,6 +163,11 @@ pub struct ShardRepairState {
     /// Owned vertices whose label sequence changed since the last drain
     /// (the input to dirty-region post-processing).
     dirty: FxHashSet<VertexId>,
+    /// Label-slot value changes since the last
+    /// [`take_slot_deltas`](Self::take_slot_deltas), in application order
+    /// — the stream a central
+    /// [`EdgeCounters`](crate::edge_counters::EdgeCounters) consumes.
+    slot_deltas: Vec<SlotDelta>,
     /// Slots written during the current flush (distinct-η accounting).
     touched: FxHashSet<(VertexId, u32)>,
     /// Local delivery queue: envelopes addressed to this shard that have
@@ -205,6 +210,7 @@ impl ShardRepairState {
             partitioner,
             rows,
             dirty: FxHashSet::default(),
+            slot_deltas: Vec::new(),
             touched: FxHashSet::default(),
             local: Vec::new(),
         }
@@ -273,6 +279,10 @@ impl ShardRepairState {
     /// owns), with their dirty flags. Must only be called between flushes
     /// (no envelopes in flight).
     pub fn extract_rows(&mut self, ids: &[VertexId]) -> Vec<(VertexId, VertexRowData)> {
+        debug_assert!(
+            self.slot_deltas.is_empty(),
+            "slot deltas must be drained before rows migrate"
+        );
         ids.iter()
             .map(|&v| {
                 let row = self.rows.remove(&v).expect("extracting a row we own");
@@ -294,6 +304,10 @@ impl ShardRepairState {
 
     /// Install rows migrated from other shards.
     pub fn adopt_rows(&mut self, rows: Vec<(VertexId, VertexRowData)>) {
+        debug_assert!(
+            self.slot_deltas.is_empty(),
+            "slot deltas must be drained before rows migrate"
+        );
         for (v, data) in rows {
             debug_assert!(self.owns(v), "adopting a row we do not own");
             if data.dirty {
@@ -311,6 +325,19 @@ impl ShardRepairState {
             );
             debug_assert!(prev.is_none(), "adopted row collides with a live one");
         }
+    }
+
+    /// Take the label-slot changes accumulated since the last call, in
+    /// application order — the counter-maintenance stream for a central
+    /// [`EdgeCounters`](crate::edge_counters::EdgeCounters) store.
+    ///
+    /// Must be drained **once per flush, before any row migration**: a
+    /// vertex's deltas chain across drains only if the drains happen in
+    /// emission order, and migration hands the vertex (and its future
+    /// deltas) to a different shard. [`extract_rows`](Self::extract_rows)
+    /// / [`adopt_rows`](Self::adopt_rows) assert the queue is empty.
+    pub fn take_slot_deltas(&mut self) -> Vec<SlotDelta> {
+        std::mem::take(&mut self.slot_deltas)
     }
 
     /// Owned vertices whose label sequences changed since the last drain,
@@ -386,7 +413,8 @@ impl ShardRepairState {
                     });
                     row.picks[ti] = (NO_SOURCE, 0);
                     let own = row.labels[0];
-                    let changed = row.labels[t as usize] != own;
+                    let old = row.labels[t as usize];
+                    let changed = old != own;
                     row.labels[t as usize] = own;
                     report.repicks += 1;
                     if self.touched.insert((v, t)) {
@@ -394,6 +422,12 @@ impl ShardRepairState {
                     }
                     if changed {
                         self.dirty.insert(v);
+                        self.slot_deltas.push(SlotDelta {
+                            v,
+                            slot: t,
+                            old,
+                            new: own,
+                        });
                     }
                     // A reverted slot gets no incoming Value to trigger
                     // forwarding, so notify its receivers directly.
@@ -501,7 +535,8 @@ impl ShardRepairState {
                     continue; // stale: the slot was repicked meanwhile
                 }
                 report.deliveries += 1;
-                let changed = row.labels[t as usize] != label;
+                let old = row.labels[t as usize];
+                let changed = old != label;
                 row.labels[t as usize] = label;
                 if self.touched.insert((v, t)) {
                     report.eta += 1;
@@ -509,6 +544,12 @@ impl ShardRepairState {
                 if changed {
                     report.value_changes += 1;
                     self.dirty.insert(v);
+                    self.slot_deltas.push(SlotDelta {
+                        v,
+                        slot: t,
+                        old,
+                        new: label,
+                    });
                 }
                 if !self.value_pruned || changed {
                     changed_slots.push(t);
@@ -619,12 +660,22 @@ mod tests {
     use rslpa_graph::{DynamicGraph, EditBatch, HashPartitioner};
 
     /// Drive a set of shards over one applied batch until quiescence,
-    /// mirroring what the serve coordinator does.
+    /// mirroring what the serve coordinator does (including the per-flush
+    /// slot-delta drain). Returns the flush report; the drained deltas
+    /// are discarded here — `run_shards_streaming` keeps them.
     fn run_shards(
         shards: &mut [ShardRepairState],
         partitioner: &dyn Partitioner,
         applied: &rslpa_graph::AppliedBatch,
     ) -> ShardFlushReport {
+        run_shards_streaming(shards, partitioner, applied).0
+    }
+
+    fn run_shards_streaming(
+        shards: &mut [ShardRepairState],
+        partitioner: &dyn Partitioner,
+        applied: &rslpa_graph::AppliedBatch,
+    ) -> (ShardFlushReport, Vec<SlotDelta>) {
         let per_shard = rslpa_graph::sharding::split_deltas(applied, partitioner);
         let mut total = ShardFlushReport::default();
         let mut outbox = Vec::new();
@@ -642,7 +693,15 @@ mod tests {
                 }
             }
         }
-        total
+        // Drain the flush's slot-delta stream the way the serve
+        // coordinator does (before any migration can happen). Shard
+        // concatenation order is irrelevant to counter maintenance — one
+        // vertex's deltas all come from its single owner shard.
+        let mut deltas = Vec::new();
+        for shard in shards.iter_mut() {
+            deltas.extend(shard.take_slot_deltas());
+        }
+        (total, deltas)
     }
 
     fn assemble(shards: &[ShardRepairState], n: usize, t_max: usize, seed: u64) -> LabelState {
@@ -885,6 +944,62 @@ mod tests {
         // A second drain is empty.
         for shard in &mut shards {
             assert!(shard.drain_dirty().is_empty());
+        }
+    }
+
+    #[test]
+    fn sharded_slot_deltas_match_centralized_net_movement() {
+        // The coordinator feeds shard-emitted deltas to a central counter
+        // store; their compacted net effect must equal the centralized
+        // engine's, whatever the shard count or message interleaving.
+        use rslpa_graph::compact_slot_deltas;
+        for seed in 0..4u64 {
+            for parts in [1usize, 2, 4] {
+                let t_max = 10usize;
+                let mut dg = DynamicGraph::new(cube_graph());
+                let state0 = run_propagation(dg.graph(), t_max, seed);
+                let applied = dg
+                    .apply(&EditBatch::from_lists([(1, 7), (3, 5)], [(0, 1), (5, 6)]))
+                    .unwrap();
+
+                let mut central = state0.clone();
+                let mut dirty = rslpa_graph::FxHashSet::default();
+                let mut central_deltas = Vec::new();
+                crate::incremental::apply_correction_streaming(
+                    &mut central,
+                    dg.graph(),
+                    &applied,
+                    false,
+                    &mut dirty,
+                    &mut central_deltas,
+                );
+
+                let partitioner: Arc<dyn Partitioner> = Arc::new(HashPartitioner::new(parts));
+                let pre_batch = cube_graph();
+                let mut shards: Vec<ShardRepairState> = (0..parts)
+                    .map(|s| {
+                        ShardRepairState::from_state(
+                            &state0,
+                            &pre_batch,
+                            s,
+                            Arc::clone(&partitioner),
+                        )
+                    })
+                    .collect();
+                let (_, sharded_deltas) =
+                    run_shards_streaming(&mut shards, partitioner.as_ref(), &applied);
+
+                let norm = |deltas: &[SlotDelta]| {
+                    let mut net = compact_slot_deltas(deltas);
+                    net.sort_unstable_by_key(|d| (d.v, d.slot));
+                    net
+                };
+                assert_eq!(
+                    norm(&central_deltas),
+                    norm(&sharded_deltas),
+                    "net slot movement diverged at {parts} shards (seed {seed})"
+                );
+            }
         }
     }
 

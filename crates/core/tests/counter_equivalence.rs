@@ -1,0 +1,188 @@
+//! Property: streaming [`EdgeCounters`] fed by shard-emitted
+//! [`SlotDelta`]s equal a fresh `edge_weights` merge — bit for bit —
+//! after an arbitrary interleaving of slot updates (driven by random
+//! edge insertions/deletions through Correction Propagation), eager edge
+//! deletions, and mid-stream shard row migrations, at both 1 and 4
+//! shards.
+//!
+//! This is the acceptance property of the streaming-counter tentpole:
+//! the publish path reads weights off the counters without ever
+//! re-merging histograms, so any drift here would silently corrupt every
+//! published snapshot. The reference is the centralized repair engine
+//! plus the full merge pass.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rslpa_core::postprocess::edge_weights;
+use rslpa_core::shard::{Envelope, ShardRepairState};
+use rslpa_core::{apply_correction, run_propagation, EdgeCounters};
+use rslpa_graph::{
+    compact_slot_deltas, AdjacencyGraph, DynamicGraph, EditBatch, FxHashSet, HashPartitioner,
+    Partitioner, SlotDelta, VertexId,
+};
+
+/// Vertex-id space: three 4-cliques (0..12) plus two initially isolated
+/// vertices that rounds may attach (the fresh-vertex path).
+const N: u32 = 14;
+const T_MAX: usize = 8;
+
+fn seed_graph() -> AdjacencyGraph {
+    let mut g = AdjacencyGraph::new(N as usize);
+    for base in [0u32, 4, 8] {
+        for i in base..base + 4 {
+            for j in (i + 1)..base + 4 {
+                g.insert_edge(i, j);
+            }
+        }
+    }
+    g.insert_edge(3, 4);
+    g.insert_edge(7, 8);
+    g
+}
+
+/// Split arbitrary candidate pairs into a batch valid against `g`:
+/// present edges become deletions, absent ones insertions.
+fn batch_against(g: &AdjacencyGraph, pairs: &[(VertexId, VertexId)]) -> EditBatch {
+    let mut ins = Vec::new();
+    let mut del = Vec::new();
+    let mut seen = FxHashSet::default();
+    for &(u, v) in pairs {
+        if u == v || !seen.insert((u.min(v), u.max(v))) {
+            continue;
+        }
+        if g.has_edge(u, v) {
+            del.push((u, v));
+        } else {
+            ins.push((u, v));
+        }
+    }
+    EditBatch::from_lists(ins, del)
+}
+
+/// One sharded flush: route deltas, Phase A everywhere, pump exchange
+/// rounds to quiescence, drain the slot-delta stream in shard order.
+fn sharded_flush(
+    shards: &mut [ShardRepairState],
+    partitioner: &dyn Partitioner,
+    applied: &rslpa_graph::AppliedBatch,
+) -> Vec<SlotDelta> {
+    let per_shard = rslpa_graph::sharding::split_deltas(applied, partitioner);
+    let mut outbox = Vec::new();
+    for (shard, deltas) in shards.iter_mut().zip(&per_shard) {
+        shard.apply_deltas(deltas, &mut outbox);
+    }
+    while !outbox.is_empty() {
+        let mut inboxes: Vec<Vec<Envelope>> = vec![Vec::new(); shards.len()];
+        for env in outbox.drain(..) {
+            inboxes[partitioner.assign(env.to)].push(env);
+        }
+        for (shard, inbox) in shards.iter_mut().zip(inboxes) {
+            if !inbox.is_empty() {
+                shard.exchange(inbox, &mut outbox);
+            }
+        }
+    }
+    let mut deltas = Vec::new();
+    for shard in shards.iter_mut() {
+        deltas.extend(shard.take_slot_deltas());
+    }
+    deltas
+}
+
+/// Migrate every row whose owner changes under `next` (the coordinator's
+/// publish-time repartition, between flushes).
+fn migrate(
+    shards: &mut [ShardRepairState],
+    old: &Arc<dyn Partitioner>,
+    next: &Arc<dyn Partitioner>,
+) {
+    let parts = shards.len();
+    let mut in_flight: Vec<Vec<(VertexId, rslpa_core::VertexRowData)>> = vec![Vec::new(); parts];
+    for shard in shards.iter_mut() {
+        let leaving: Vec<VertexId> = (0..N)
+            .filter(|&v| old.assign(v) == shard.shard() && next.assign(v) != shard.shard())
+            .collect();
+        for (v, row) in shard.extract_rows(&leaving) {
+            in_flight[next.assign(v)].push((v, row));
+        }
+    }
+    for (shard, rows) in shards.iter_mut().zip(in_flight) {
+        shard.set_partitioner(Arc::clone(next));
+        shard.adopt_rows(rows);
+    }
+}
+
+fn assert_weights_equal(a: &[(VertexId, VertexId, f64)], b: &[(VertexId, VertexId, f64)]) {
+    assert_eq!(a.len(), b.len(), "edge counts differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!((x.0, x.1), (y.0, y.1), "edge order drifted");
+        assert_eq!(x.2.to_bits(), y.2.to_bits(), "weight drifted at {x:?}");
+    }
+}
+
+/// Run one generated script at the given shard count.
+fn exercise(seed: u64, rounds: &[(Vec<(VertexId, VertexId)>, u8)], parts: usize) {
+    let mut dg = DynamicGraph::new(seed_graph());
+    let mut central = run_propagation(dg.graph(), T_MAX, seed);
+    let mut partitioner: Arc<dyn Partitioner> = Arc::new(HashPartitioner::new(parts));
+    let mut shards: Vec<ShardRepairState> = (0..parts)
+        .map(|s| ShardRepairState::from_state(&central, dg.graph(), s, Arc::clone(&partitioner)))
+        .collect();
+    let mut counters = EdgeCounters::new(&central);
+    counters.refresh_weights(dg.graph(), 1);
+
+    for (round, (pairs, control)) in rounds.iter().enumerate() {
+        if control & 1 != 0 {
+            // Mid-stream row migration (between flushes, deltas drained).
+            let next: Arc<dyn Partitioner> =
+                Arc::new(HashPartitioner::with_seed(parts, round as u64 + 1));
+            migrate(&mut shards, &partitioner, &next);
+            partitioner = next;
+        }
+        let batch = batch_against(dg.graph(), pairs);
+        if batch.is_empty() {
+            continue;
+        }
+        let applied = dg.apply(&batch).expect("batch built to validate");
+        apply_correction(&mut central, dg.graph(), &applied, false);
+        let deltas = sharded_flush(&mut shards, partitioner.as_ref(), &applied);
+
+        // Feed the counter store the way the serve loop does: eager
+        // deletion retirement, then the compacted slot-delta stream.
+        for &(u, v) in batch.deletions() {
+            counters.delete_edge(u, v);
+        }
+        for d in compact_slot_deltas(&deltas) {
+            counters.apply_slot_delta(dg.graph(), d);
+        }
+        if control & 2 != 0 {
+            assert_weights_equal(
+                &counters.refresh_weights(dg.graph(), 1),
+                &edge_weights(dg.graph(), &central),
+            );
+        }
+    }
+    // Always compare at the end of the script.
+    assert_weights_equal(
+        &counters.refresh_weights(dg.graph(), 1),
+        &edge_weights(dg.graph(), &central),
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn streaming_counters_equal_fresh_merge_under_interleaving(
+        seed in 0u64..64,
+        rounds in proptest::collection::vec(
+            (proptest::collection::vec((0u32..N, 0u32..N), 1..8), 0u8..4),
+            1..8,
+        ),
+    ) {
+        for parts in [1usize, 4] {
+            exercise(seed, &rounds, parts);
+        }
+    }
+}

@@ -19,6 +19,23 @@
 //!   authors' wall clock.
 //! * [`cc`] — hash-to-min connected components (Chitnis et al., the
 //!   paper's reference \[18\]) with edge filtering, used by post-processing.
+//!
+//! # Example
+//!
+//! ```
+//! use rslpa_distsim::{distributed_components, Executor};
+//! use rslpa_graph::{AdjacencyGraph, CsrGraph, HashPartitioner};
+//!
+//! // Two components: {0, 1, 2} and {3, 4}.
+//! let g = CsrGraph::from_adjacency(&AdjacencyGraph::from_edges(5, [
+//!     (0, 1), (1, 2), (3, 4),
+//! ]));
+//! let p = HashPartitioner::new(2);
+//! let (labels, stats) =
+//!     distributed_components(&g, |_, _| true, &p, Executor::Sequential, 64);
+//! assert_eq!(labels, vec![0, 0, 0, 3, 3]);
+//! assert!(stats.rounds() >= 1);
+//! ```
 
 pub mod cc;
 pub mod engine;

@@ -14,6 +14,21 @@
 //!   exactly as in §V-B1, plus targeted intra/inter-community variants.
 //! * [`powerlaw`] — bounded discrete power-law sampling shared by LFR and
 //!   the web-graph generators.
+//!
+//! # Example
+//!
+//! ```
+//! use rslpa_gen::edits::uniform_batch;
+//! use rslpa_gen::gn::{gn_benchmark, GnParams};
+//!
+//! let (graph, truth) = gn_benchmark(&GnParams::default());
+//! assert_eq!(graph.num_vertices(), 128);
+//! assert_eq!(truth.len(), 4);
+//! // Dynamic workload: a valid half-insert/half-delete batch (§V-B1).
+//! let batch = uniform_batch(&graph, 20, 7);
+//! assert!(batch.validate(&graph).is_ok());
+//! assert!(!batch.is_empty() && batch.len() <= 20);
+//! ```
 
 pub mod edits;
 pub mod er;

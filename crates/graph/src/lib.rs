@@ -26,6 +26,20 @@
 //!   bookkeeping for sharded maintenance.
 //! * [`io`] — plain-text edge-list reading/writing and the paper's data
 //!   preparation pipeline (symmetrize, dedupe, drop self-loops, §V-B1).
+//!
+//! # Example
+//!
+//! ```
+//! use rslpa_graph::{AdjacencyGraph, DynamicGraph, EditBatch};
+//!
+//! let g = AdjacencyGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+//! let mut dg = DynamicGraph::new(g);
+//! let applied = dg.apply(&EditBatch::from_lists([(0, 3)], [(1, 2)])).unwrap();
+//! assert_eq!(dg.graph().num_edges(), 3);
+//! // Per-vertex neighborhood deltas drive incremental repair downstream.
+//! assert!(applied.deltas[&0].added.contains(&3));
+//! assert!(applied.deltas[&1].removed.contains(&2));
+//! ```
 
 pub mod adjacency;
 pub mod builder;
@@ -51,7 +65,7 @@ pub use edits::{EditBatch, EditError};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use partition::{BlockPartitioner, HashPartitioner, Partitioner, PlannedPartitioner};
 pub use rng::{DetRng, PickKey};
-pub use sharding::{split_deltas, BoundaryTracker};
+pub use sharding::{compact_slot_deltas, split_deltas, BoundaryTracker, SlotDelta};
 pub use stats::GraphStats;
 
 /// Vertex identifier. Graphs are addressed with dense ids `0..n`.

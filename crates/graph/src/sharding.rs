@@ -13,11 +13,70 @@
 //!   cut-edge count. Boundary vertices are exactly the ones whose label
 //!   corrections may cross shards, so their count bounds the
 //!   boundary-exchange traffic per flush.
+//! * [`SlotDelta`] / [`compact_slot_deltas`] — the unit of streaming
+//!   edge-weight maintenance: a label-slot value change emitted by a
+//!   repair engine, shipped (possibly across a shard boundary) to
+//!   whoever maintains per-edge common-label counters. Compaction
+//!   collapses a slot's intra-flush rewrite chain `a→b→c` into the net
+//!   `a→c` so counter work tracks *net* label movement, not cascade
+//!   traffic.
 
 use crate::dynamic::{AppliedBatch, VertexDelta};
 use crate::edits::EditBatch;
+use crate::fxhash::FxHashMap;
 use crate::partition::Partitioner;
-use crate::{AdjacencyGraph, VertexId};
+use crate::{AdjacencyGraph, Label, VertexId};
+
+/// One label-slot value change: vertex `v`'s slot `slot` went from `old`
+/// to `new` during a repair.
+///
+/// This is the routing unit of streaming edge-weight maintenance: every
+/// counter `common_uv = Σ_l f_u(l)·f_v(l)` incident to `v` moves by
+/// exactly `f_w(new) - f_w(old)` per neighbor `w`, so a delta stream is
+/// all a counter store needs to stay exact — no histogram re-merge.
+/// Engines must emit deltas in application order per `(v, slot)` (the
+/// chain `old → new` values must compose); interleaving across distinct
+/// slots or vertices is unconstrained because counter updates commute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlotDelta {
+    /// The vertex whose label sequence changed.
+    pub v: VertexId,
+    /// The slot (iteration index, `1..=T`) that changed.
+    pub slot: u32,
+    /// Value before the change.
+    pub old: Label,
+    /// Value after the change.
+    pub new: Label,
+}
+
+/// Collapse a flush's slot-delta stream to its net effect: per `(v, slot)`
+/// the chain `a→b`, `b→c` becomes `a→c`, and chains that return to their
+/// starting value (`a→…→a`) are dropped entirely.
+///
+/// Cascade repair can rewrite one slot several times per flush (a repick
+/// followed by corrections arriving from upstream); counter maintenance
+/// pays `O(deg)` per surviving delta, so compaction bounds that cost by
+/// *net* label movement. Output order is first-occurrence order, which
+/// preserves per-slot chaining by construction (one delta per slot
+/// remains).
+pub fn compact_slot_deltas(deltas: &[SlotDelta]) -> Vec<SlotDelta> {
+    let mut index: FxHashMap<(VertexId, u32), usize> = FxHashMap::default();
+    let mut out: Vec<SlotDelta> = Vec::new();
+    for d in deltas {
+        match index.get(&(d.v, d.slot)) {
+            Some(&i) => {
+                debug_assert_eq!(out[i].new, d.old, "slot-delta chain broken");
+                out[i].new = d.new;
+            }
+            None => {
+                index.insert((d.v, d.slot), out.len());
+                out.push(*d);
+            }
+        }
+    }
+    out.retain(|d| d.old != d.new);
+    out
+}
 
 /// Route an applied batch's per-vertex deltas to their owner shards.
 ///
@@ -211,6 +270,30 @@ mod tests {
         assert!(!t.is_boundary(4));
         assert!(t.is_boundary(1) && t.is_boundary(5) && t.is_boundary(6));
         assert_eq!(t.boundary_vertices(), 5); // {0, 1} | {5, 6, 7}
+    }
+
+    #[test]
+    fn compact_collapses_chains_and_drops_round_trips() {
+        let d = |v, slot, old, new| SlotDelta { v, slot, old, new };
+        let stream = [
+            d(3, 1, 7, 9), // chains with the next 3→…
+            d(5, 2, 1, 4), // survives untouched
+            d(3, 1, 9, 2), // 7→9→2 nets to 7→2
+            d(6, 4, 8, 3), // round-trips with the next 6→…
+            d(6, 4, 3, 8), // 8→3→8 nets to nothing
+            d(3, 3, 0, 1), // same vertex, different slot: independent
+        ];
+        let net = compact_slot_deltas(&stream);
+        assert_eq!(
+            net,
+            vec![d(3, 1, 7, 2), d(5, 2, 1, 4), d(3, 3, 0, 1)],
+            "first-occurrence order, chained values, round-trips dropped"
+        );
+    }
+
+    #[test]
+    fn compact_of_empty_stream_is_empty() {
+        assert!(compact_slot_deltas(&[]).is_empty());
     }
 
     #[test]

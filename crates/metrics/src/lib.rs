@@ -8,6 +8,18 @@
 //! in [`onmi`]. Classic partition NMI, average F1, the community-size
 //! entropy of the paper's Eq. (1), and Newman modularity round out the
 //! toolbox.
+//!
+//! # Example
+//!
+//! ```
+//! use rslpa_graph::Cover;
+//! use rslpa_metrics::{avg_f1, overlapping_nmi};
+//!
+//! let truth = Cover::new([vec![0, 1, 2], vec![3, 4, 5]]);
+//! let found = Cover::new([vec![0, 1, 2], vec![3, 4, 5]]);
+//! assert!((overlapping_nmi(&truth, &found, 6) - 1.0).abs() < 1e-12);
+//! assert!((avg_f1(&truth, &found, 6) - 1.0).abs() < 1e-12);
+//! ```
 
 pub mod entropy;
 pub mod f1;

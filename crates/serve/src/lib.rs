@@ -14,12 +14,18 @@
 //!              per policy)    + growth)     by owner)└▶ shard worker N  │ exchange
 //!                                  │                  ▲ Unrecord/Fetch/Value
 //!                                  │                  └─────rounds──────┘
-//!                                  ▼ dirty label sequences at publish
+//!                                  │ slot deltas per flush (piggybacked)
+//!                                  ▼
 //!                        IncrementalPostprocess ──▶ snapshot ──▶ SnapshotStore
-//!                        (dirty-region weights)     assembly     (epoch chain)
-//!                                                                     │
+//!                        (streaming edge-weight     assembly     (epoch chain)
+//!                         counters; publish reads                     │
+//!                         weights, never re-merges)                   │
 //!  readers ◀─────────────────── lock-free refresh ◀──────────────────┘
 //! ```
+//!
+//! See `docs/ARCHITECTURE.md` at the repository root for the full
+//! layer-by-layer book, including the counter invariant and a worked
+//! example.
 //!
 //! * [`queue`] — MPSC ingestion queue carrying [`EditOp`]s, barriers, and
 //!   shutdown, in submission order.
@@ -27,10 +33,11 @@
 //!   per-edit, or only at explicit barriers.
 //! * [`maintain`] — the maintenance coordinator; folds op soup into valid
 //!   [`EditBatch`](rslpa_graph::EditBatch)es (net-effect resolution),
-//!   repairs the label state through the engine, and publishes snapshots
-//!   via dirty-region post-processing (only vertices whose label
-//!   sequences changed since the last publish are re-weighted).
-//! * [`shards`] (internal) — the repair engine: a single-writer
+//!   repairs the label state through the engine, streams the repair's
+//!   slot changes into the edge-weight counter store, and publishes
+//!   snapshots by reading weights off exact integer counters (no
+//!   histogram is ever re-merged for a surviving edge).
+//! * `shards` (internal) — the repair engine: a single-writer
 //!   [`RslpaDetector`](rslpa_core::RslpaDetector) at `shards = 1` (the
 //!   default), or per-partition workers exchanging boundary corrections
 //!   and re-partitioned around each published cover at `shards > 1`.

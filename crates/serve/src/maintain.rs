@@ -6,15 +6,18 @@
 //! [`RslpaDetector`](rslpa_core::RslpaDetector) outright (the pre-sharding
 //! single-writer path); with `shards > 1` it routes each flush to the
 //! per-partition workers and drives their boundary exchange (see
-//! [`crate::shards`]). Either way, snapshot publishing runs dirty-region
-//! post-processing: only vertices whose label sequences changed since the
-//! last publish have their histograms and incident edge weights
-//! recomputed. Readers interact only through the epoch-swapped
-//! [`SnapshotStore`].
+//! the private `shards` module). Either way, every flush streams the
+//! repair's label-slot changes into the
+//! [`rslpa_core::IncrementalPostprocess`] counter
+//! store (`O(deg)` per net slot change), so snapshot publishing reads
+//! each edge weight off an exact integer counter instead of re-merging
+//! histograms — publish-time weight cost tracks the number of *inserted*
+//! edges, not the dirty region. Readers interact only through the
+//! epoch-swapped [`SnapshotStore`].
 //!
 //! Live streams are messier than the paper's curated batches: clients may
 //! insert an edge that already exists, delete one that does not, or emit
-//! insert/delete pairs that cancel within one batch. [`resolve_ops`]
+//! insert/delete pairs that cancel within one batch. `resolve_ops`
 //! folds the op sequence into its *net effect* against the current graph,
 //! so the strict [`EditBatch`] contract (§IV premise) always holds and
 //! no-op edits are counted as rejected instead of crashing the loop.
@@ -172,7 +175,9 @@ impl MaintenanceLoop {
         }
     }
 
-    /// Apply the pending ops as one net batch.
+    /// Apply the pending ops as one net batch, then stream the repair's
+    /// slot changes into the edge-weight counter store (so publish never
+    /// re-merges a histogram).
     fn flush(&mut self, pending: &mut Vec<EditOp>) {
         if pending.is_empty() {
             return;
@@ -189,20 +194,39 @@ impl MaintenanceLoop {
             }
         }
         let applied = batch.len() as u64;
+        let mut slot_deltas = Vec::new();
         let eta = if batch.is_empty() {
             0
         } else {
-            self.engine.apply(&batch, &self.stats)
+            self.engine.apply(&batch, &self.stats, &mut slot_deltas)
         };
         self.stats
             .note_flush(applied, rejected, eta, started.elapsed());
-        self.dirty_since_snapshot = true;
+        // Counter maintenance: retire deleted edges' counters, then fold
+        // the compacted slot-delta stream in at O(deg) per net change.
+        // Inserted edges need nothing here — they are merged lazily (and
+        // exactly) at the next publish. Timed separately so `--stats-json`
+        // shows where the former publish-time weight pass went.
+        if !batch.is_empty() {
+            let counters_started = Instant::now();
+            self.postprocess.delete_edges(batch.deletions());
+            let net = self
+                .postprocess
+                .apply_slot_deltas(self.engine.graph(), &slot_deltas);
+            self.stats
+                .note_counters(net as u64, counters_started.elapsed());
+            // Only a batch that actually changed something warrants a new
+            // epoch — a flush of fully-rejected ops must not make the next
+            // barrier publish a duplicate snapshot.
+            self.dirty_since_snapshot = true;
+        }
         pending.clear();
     }
 
-    /// Run dirty-region post-processing and publish the next epoch.
-    /// Skipped when no flush happened since the last publish (barriers on
-    /// a quiet stream must not churn out identical epochs).
+    /// Read weights off the streaming counters, re-threshold, and publish
+    /// the next epoch. Skipped when no flush happened since the last
+    /// publish (barriers on a quiet stream must not churn out identical
+    /// epochs).
     fn publish_snapshot(&mut self) {
         self.flushes_since_snapshot = 0;
         if !self.dirty_since_snapshot {
@@ -210,7 +234,6 @@ impl MaintenanceLoop {
         }
         self.dirty_since_snapshot = false;
         let started = Instant::now();
-        self.engine.sync_dirty(&mut self.postprocess);
         let detection = DetectionResult {
             result: self.postprocess.refresh(self.engine.graph()),
         };

@@ -69,6 +69,33 @@ impl ServeConfig {
     }
 
     /// Set the maintenance shard count (builder style).
+    ///
+    /// `1` (the default) keeps the single-writer repair path; `N > 1`
+    /// partitions the vertex space across `N` worker threads that repair
+    /// flushes in parallel and exchange boundary corrections. Shard count
+    /// is purely a throughput knob: for the same edit/barrier sequence,
+    /// every shard count publishes bit-identical rosters.
+    ///
+    /// ```
+    /// use rslpa_graph::AdjacencyGraph;
+    /// use rslpa_serve::{CommunityService, ServeConfig};
+    ///
+    /// let graph = AdjacencyGraph::from_edges(6, [
+    ///     (0, 1), (1, 2), (0, 2),
+    ///     (3, 4), (4, 5), (3, 5),
+    ///     (2, 3),
+    /// ]);
+    /// let run = |shards: usize| {
+    ///     let config = ServeConfig::quick(25, 7).with_shards(shards);
+    ///     let service = CommunityService::start(graph.clone(), config);
+    ///     service.ingest().insert(1, 4).unwrap();
+    ///     service.ingest().barrier().unwrap();
+    ///     let roster = service.latest().cover.clone();
+    ///     service.shutdown();
+    ///     roster
+    /// };
+    /// assert_eq!(run(1), run(4)); // sharding never changes semantics
+    /// ```
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
         self
@@ -266,6 +293,24 @@ mod tests {
 
     fn two_triangles() -> AdjacencyGraph {
         AdjacencyGraph::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+    }
+
+    #[test]
+    fn fully_rejected_flush_does_not_publish_a_duplicate_epoch() {
+        // An op stream that nets to nothing (here: inserting an edge that
+        // already exists) must not make the next barrier churn out an
+        // identical epoch.
+        let svc = CommunityService::start(
+            two_triangles(),
+            ServeConfig::quick(20, 3).with_policy(Immediate),
+        );
+        let ingest = svc.ingest();
+        ingest.insert(0, 1).unwrap(); // already present → rejected
+        let epoch = ingest.barrier().unwrap();
+        assert_eq!(epoch, 0, "no-op flush must not bump the epoch");
+        let report = svc.shutdown();
+        assert_eq!(report.edits_rejected, 1);
+        assert_eq!(report.snapshots_published, 0);
     }
 
     #[test]

@@ -27,8 +27,8 @@ use rslpa_core::{IncrementalPostprocess, RslpaConfig, RslpaDetector};
 use rslpa_graph::sharding::split_deltas;
 use rslpa_graph::Cover;
 use rslpa_graph::{
-    AdjacencyGraph, BoundaryTracker, DynamicGraph, EditBatch, FxHashSet, Label, Partitioner,
-    PlannedPartitioner, VertexId,
+    AdjacencyGraph, BoundaryTracker, DynamicGraph, EditBatch, FxHashSet, Partitioner,
+    PlannedPartitioner, SlotDelta, VertexId,
 };
 
 use crate::stats::ServeStats;
@@ -43,8 +43,6 @@ enum ShardCmd {
     Apply(Vec<(VertexId, rslpa_graph::VertexDelta)>),
     /// One boundary-exchange round of inbound envelopes.
     Exchange(Vec<Envelope>),
-    /// Report owned vertices whose label sequences changed.
-    DrainDirty,
     /// Hand over the rows of vertices this shard no longer owns.
     Extract(Vec<VertexId>),
     /// Install the new ownership map and any rows migrating in.
@@ -63,9 +61,11 @@ enum ShardReply {
         shard: usize,
         out: Vec<Envelope>,
         report: ShardFlushReport,
-    },
-    Dirty {
-        rows: Vec<(VertexId, Vec<Label>)>,
+        /// Slot changes this command produced, in application order —
+        /// piggybacked so counter maintenance needs no extra round trip.
+        /// The reply channel is FIFO per sender, so one vertex's deltas
+        /// (always from its single owner shard) arrive chained.
+        deltas: Vec<SlotDelta>,
     },
     Extracted {
         rows: Vec<(VertexId, VertexRowData)>,
@@ -85,6 +85,7 @@ fn worker_loop(mut shard: ShardRepairState, cmds: Receiver<ShardCmd>, replies: S
                         shard: idx,
                         out,
                         report,
+                        deltas: shard.take_slot_deltas(),
                     })
                     .is_err()
                 {
@@ -99,16 +100,7 @@ fn worker_loop(mut shard: ShardRepairState, cmds: Receiver<ShardCmd>, replies: S
                         shard: idx,
                         out,
                         report,
-                    })
-                    .is_err()
-                {
-                    return;
-                }
-            }
-            ShardCmd::DrainDirty => {
-                if replies
-                    .send(ShardReply::Dirty {
-                        rows: shard.drain_dirty(),
+                        deltas: shard.take_slot_deltas(),
                     })
                     .is_err()
                 {
@@ -140,7 +132,6 @@ fn worker_loop(mut shard: ShardRepairState, cmds: Receiver<ShardCmd>, replies: S
 /// Single-writer engine: the pre-sharding maintenance path.
 pub(crate) struct SingleEngine {
     detector: RslpaDetector,
-    dirty: FxHashSet<VertexId>,
 }
 
 /// Partition-sharded engine: coordinator state plus worker handles.
@@ -185,10 +176,7 @@ impl RepairEngine {
             let mut postprocess = IncrementalPostprocess::new(detector.state(), config.tau1_grid);
             let genesis = postprocess.refresh(detector.graph());
             return Bootstrap {
-                engine: RepairEngine::Single(Box::new(SingleEngine {
-                    detector,
-                    dirty: FxHashSet::default(),
-                })),
+                engine: RepairEngine::Single(Box::new(SingleEngine { detector })),
                 postprocess,
                 genesis,
             };
@@ -278,51 +266,27 @@ impl RepairEngine {
     }
 
     /// Apply one net-resolved batch and repair the label state. Returns
-    /// total repaired slots (η). Per-shard and exchange counters are
-    /// recorded into `stats`.
-    pub(crate) fn apply(&mut self, batch: &EditBatch, stats: &ServeStats) -> u64 {
+    /// total repaired slots (η); the repair's label-slot changes are
+    /// appended to `slot_deltas` in application order (the counter
+    /// maintenance stream). Per-shard and exchange counters are recorded
+    /// into `stats`.
+    pub(crate) fn apply(
+        &mut self,
+        batch: &EditBatch,
+        stats: &ServeStats,
+        slot_deltas: &mut Vec<SlotDelta>,
+    ) -> u64 {
         match self {
             RepairEngine::Single(e) => {
+                let mut dirty = FxHashSet::default();
                 let report = e
                     .detector
-                    .apply_batch_tracked(batch, &mut e.dirty)
+                    .apply_batch_streaming(batch, &mut dirty, slot_deltas)
                     .expect("net-resolved batch validates by construction");
                 stats.note_shard_flush(0, report.affected_vertices as u64, report.eta as u64);
                 report.eta as u64
             }
-            RepairEngine::Sharded(e) => e.apply(batch, stats),
-        }
-    }
-
-    /// Push every dirty label sequence into the post-processor (called
-    /// once per snapshot publish — the histogram half of the boundary
-    /// sync).
-    pub(crate) fn sync_dirty(&mut self, postprocess: &mut IncrementalPostprocess) {
-        match self {
-            RepairEngine::Single(e) => {
-                let mut dirty: Vec<VertexId> = e.dirty.drain().collect();
-                dirty.sort_unstable();
-                for v in dirty {
-                    postprocess.set_sequence(v, e.detector.state().label_sequence(v));
-                }
-            }
-            RepairEngine::Sharded(e) => {
-                for worker in &e.workers {
-                    worker
-                        .send(ShardCmd::DrainDirty)
-                        .expect("shard worker alive");
-                }
-                for _ in 0..e.workers.len() {
-                    match e.recv_reply() {
-                        ShardReply::Dirty { rows, .. } => {
-                            for (v, labels) in rows {
-                                postprocess.set_sequence(v, &labels);
-                            }
-                        }
-                        _ => unreachable!("only dirty drains in flight"),
-                    }
-                }
-            }
+            RepairEngine::Sharded(e) => e.apply(batch, stats, slot_deltas),
         }
     }
 
@@ -345,7 +309,14 @@ impl ShardedEngine {
 
     /// One flush: route deltas, run Phase A on all shards in parallel,
     /// then drive boundary-exchange rounds until no envelope is in flight.
-    fn apply(&mut self, batch: &EditBatch, stats: &ServeStats) -> u64 {
+    /// Slot changes piggyback on every worker reply and accumulate into
+    /// `slot_deltas` — counter maintenance costs no extra exchange round.
+    fn apply(
+        &mut self,
+        batch: &EditBatch,
+        stats: &ServeStats,
+        slot_deltas: &mut Vec<SlotDelta>,
+    ) -> u64 {
         let applied = self
             .graph
             .apply(batch)
@@ -370,9 +341,15 @@ impl ShardedEngine {
         let mut outboxes: Vec<Vec<Envelope>> = vec![Vec::new(); shards];
         for _ in 0..shards {
             match self.recv_reply() {
-                ShardReply::Repaired { shard, out, report } => {
+                ShardReply::Repaired {
+                    shard,
+                    out,
+                    report,
+                    deltas,
+                } => {
                     reports[shard].absorb(&report);
                     outboxes[shard] = out;
+                    slot_deltas.extend(deltas);
                 }
                 _ => unreachable!("only repairs in flight during flush"),
             }
@@ -399,9 +376,15 @@ impl ShardedEngine {
             }
             for _ in 0..active.len() {
                 match self.recv_reply() {
-                    ShardReply::Repaired { shard, out, report } => {
+                    ShardReply::Repaired {
+                        shard,
+                        out,
+                        report,
+                        deltas,
+                    } => {
                         reports[shard].absorb(&report);
                         outboxes[shard] = out;
+                        slot_deltas.extend(deltas);
                     }
                     _ => unreachable!("only repairs in flight during flush"),
                 }

@@ -166,9 +166,14 @@ pub struct ServeStats {
     /// Flush latency: net-batch resolution + incremental repair only;
     /// detection/publish cost is tracked separately in `snapshots`.
     pub flushes: LatencyHistogram,
-    /// Snapshot publish latency: dirty-region post-processing + index
-    /// build + epoch swap. Its count is the number of snapshots published.
+    /// Snapshot publish latency: counter-read weight pass + thresholding
+    /// + index build + epoch swap. Its count is the number of snapshots
+    /// published.
     pub snapshots: LatencyHistogram,
+    /// Per-flush edge-weight counter maintenance latency (retiring
+    /// deleted edges' counters + folding the compacted slot-delta stream
+    /// into the common-label counters).
+    pub counters: LatencyHistogram,
     /// Edit operations accepted into the queue.
     pub edits_enqueued: AtomicU64,
     /// Edit operations applied to the graph.
@@ -180,6 +185,9 @@ pub struct ServeStats {
     pub batches_flushed: AtomicU64,
     /// Label slots repaired across all flushes (Σ η).
     pub slots_repaired: AtomicU64,
+    /// Net slot deltas folded into the edge-weight counters (after
+    /// intra-flush compaction; ≤ `slots_repaired`).
+    pub slot_deltas_net: AtomicU64,
     /// Barriers honored.
     pub barriers: AtomicU64,
     /// Boundary-exchange rounds driven by the coordinator (0 under a
@@ -221,11 +229,13 @@ impl ServeStats {
             queries: LatencyHistogram::new(),
             flushes: LatencyHistogram::new(),
             snapshots: LatencyHistogram::new(),
+            counters: LatencyHistogram::new(),
             edits_enqueued: AtomicU64::new(0),
             edits_applied: AtomicU64::new(0),
             edits_rejected: AtomicU64::new(0),
             batches_flushed: AtomicU64::new(0),
             slots_repaired: AtomicU64::new(0),
+            slot_deltas_net: AtomicU64::new(0),
             barriers: AtomicU64::new(0),
             exchange_rounds: AtomicU64::new(0),
             boundary_msgs: AtomicU64::new(0),
@@ -275,6 +285,11 @@ impl ServeStats {
         self.snapshots.record(took);
     }
 
+    pub(crate) fn note_counters(&self, net_deltas: u64, took: Duration) {
+        bump!(self.slot_deltas_net, net_deltas);
+        self.counters.record(took);
+    }
+
     pub(crate) fn note_barrier(&self) {
         bump!(self.barriers);
     }
@@ -285,6 +300,7 @@ impl ServeStats {
         StatsReport {
             queries: self.queries.summarize(),
             flushes: self.flushes.summarize(),
+            counters: self.counters.summarize(),
             snapshots_published: snapshots.count,
             snapshots,
             edits_enqueued: self.edits_enqueued.load(Ordering::Relaxed),
@@ -292,6 +308,7 @@ impl ServeStats {
             edits_rejected: self.edits_rejected.load(Ordering::Relaxed),
             batches_flushed: self.batches_flushed.load(Ordering::Relaxed),
             slots_repaired: self.slots_repaired.load(Ordering::Relaxed),
+            slot_deltas_net: self.slot_deltas_net.load(Ordering::Relaxed),
             barriers: self.barriers.load(Ordering::Relaxed),
             exchange_rounds: self.exchange_rounds.load(Ordering::Relaxed),
             boundary_msgs: self.boundary_msgs.load(Ordering::Relaxed),
@@ -318,8 +335,10 @@ pub struct StatsReport {
     pub queries: LatencySummary,
     /// Flush latency summary (repair only; see `snapshots` for detect).
     pub flushes: LatencySummary,
-    /// Snapshot publish latency summary (dirty-region post-processing +
-    /// build + swap).
+    /// Per-flush edge-weight counter maintenance latency summary.
+    pub counters: LatencySummary,
+    /// Snapshot publish latency summary (counter-read weight pass +
+    /// thresholding + build + swap).
     pub snapshots: LatencySummary,
     /// Snapshots published (== `snapshots.count`, kept for readability).
     pub snapshots_published: u64,
@@ -333,6 +352,8 @@ pub struct StatsReport {
     pub batches_flushed: u64,
     /// See [`ServeStats::slots_repaired`].
     pub slots_repaired: u64,
+    /// See [`ServeStats::slot_deltas_net`].
+    pub slot_deltas_net: u64,
     /// See [`ServeStats::barriers`].
     pub barriers: u64,
     /// See [`ServeStats::exchange_rounds`].
@@ -365,7 +386,7 @@ impl StatsReport {
         format!(
             "{{\"edits_enqueued\":{},\"edits_applied\":{},\"edits_rejected\":{},\
              \"batches_flushed\":{},\"snapshots_published\":{},\"slots_repaired\":{},\
-             \"barriers\":{},\
+             \"slot_deltas_net\":{},\"barriers\":{},\
              \"shards\":{},\"shard_edits_routed\":[{}],\"shard_slots_repaired\":[{}],\
              \"exchange_rounds\":{},\"boundary_msgs\":{},\
              \"cut_edges\":{},\"boundary_vertices\":{},\
@@ -373,7 +394,8 @@ impl StatsReport {
              \"query_count\":{},\"query_mean_ns\":{},\"query_p50_ns\":{},\
              \"query_p90_ns\":{},\"query_p99_ns\":{},\"query_max_ns\":{},\
              \"flush_count\":{},\"flush_mean_ns\":{},\"flush_p50_ns\":{},\
-             \"flush_p99_ns\":{},\"snapshot_mean_ns\":{},\"snapshot_p50_ns\":{},\
+             \"flush_p99_ns\":{},\"counter_mean_ns\":{},\"counter_p50_ns\":{},\
+             \"counter_p99_ns\":{},\"snapshot_mean_ns\":{},\"snapshot_p50_ns\":{},\
              \"snapshot_p99_ns\":{}}}",
             self.edits_enqueued,
             self.edits_applied,
@@ -381,6 +403,7 @@ impl StatsReport {
             self.batches_flushed,
             self.snapshots_published,
             self.slots_repaired,
+            self.slot_deltas_net,
             self.barriers,
             self.shards.len(),
             join(|s| s.edits_routed),
@@ -401,6 +424,9 @@ impl StatsReport {
             self.flushes.mean_ns,
             self.flushes.p50_ns,
             self.flushes.p99_ns,
+            self.counters.mean_ns,
+            self.counters.p50_ns,
+            self.counters.p99_ns,
             self.snapshots.mean_ns,
             self.snapshots.p50_ns,
             self.snapshots.p99_ns,
@@ -417,8 +443,8 @@ impl std::fmt::Display for StatsReport {
         )?;
         writeln!(
             f,
-            "snapshots: {} published, {} barriers, {} slots repaired",
-            self.snapshots_published, self.barriers, self.slots_repaired
+            "snapshots: {} published, {} barriers, {} slots repaired ({} net counter deltas)",
+            self.snapshots_published, self.barriers, self.slots_repaired, self.slot_deltas_net
         )?;
         if self.shards.len() > 1 {
             writeln!(
@@ -442,6 +468,7 @@ impl std::fmt::Display for StatsReport {
         }
         writeln!(f, "queries: {}", self.queries)?;
         writeln!(f, "flushes: {}", self.flushes)?;
+        writeln!(f, "counter upkeep: {}", self.counters)?;
         write!(f, "publishes: {}", self.snapshots)
     }
 }

@@ -14,6 +14,49 @@
 //! (`stream`) / marks a barrier (`replay`). Malformed edit lines are hard
 //! errors — a silently skipped edit would desynchronize the replayed
 //! graph from the caller's intent.
+//!
+//! ## `--stats-json` schema (`replay`)
+//!
+//! One JSON object. Top level:
+//!
+//! | field | meaning |
+//! |-------|---------|
+//! | `edits` | edit ops submitted by the replay (excluding barriers) |
+//! | `replay_secs` | wall seconds from first submit to the final barrier |
+//! | `final_epoch` | snapshot epoch the final barrier returned |
+//! | `stats` | the service's [`StatsReport`](rslpa::serve::StatsReport), below |
+//!
+//! `stats` object, counters (all monotone totals over the service life):
+//!
+//! | field | meaning |
+//! |-------|---------|
+//! | `edits_enqueued` | ops accepted into the ingestion queue |
+//! | `edits_applied` | ops that survived net-resolution and hit the graph |
+//! | `edits_rejected` | no-op ops (duplicate insert, absent delete, self-loop) |
+//! | `batches_flushed` | micro-batches flushed into the repair engine |
+//! | `snapshots_published` | epochs published (barriers + cadence) |
+//! | `slots_repaired` | label slots rewritten by Correction Propagation (Ση) |
+//! | `slot_deltas_net` | net slot changes folded into the edge-weight counters (post-compaction; ≤ `slots_repaired`) |
+//! | `barriers` | barrier commands honored |
+//! | `shards` | maintenance shard count (1 = single writer) |
+//! | `shard_edits_routed` | per-shard array: vertex deltas routed to each shard |
+//! | `shard_slots_repaired` | per-shard array: slots each shard repaired |
+//! | `exchange_rounds` | boundary-exchange rounds driven by the coordinator |
+//! | `boundary_msgs` | envelopes that crossed a shard boundary |
+//! | `cut_edges` | gauge: edges whose endpoints live on different shards |
+//! | `boundary_vertices` | gauge: vertices with an off-shard neighbor |
+//! | `repartitions` | publish-time ownership re-plans performed |
+//! | `vertices_migrated` | vertex rows moved between shards by re-plans |
+//!
+//! `stats` object, latency summaries (nanoseconds; percentiles resolve to
+//! the geometric mean of the containing log₂ bucket):
+//!
+//! | field group | meaning |
+//! |-------------|---------|
+//! | `query_count`, `query_mean_ns`, `query_p50_ns`, `query_p90_ns`, `query_p99_ns`, `query_max_ns` | read-side query latency (all query kinds pooled) |
+//! | `flush_count`, `flush_mean_ns`, `flush_p50_ns`, `flush_p99_ns` | flush latency: net-batch resolution + incremental repair |
+//! | `counter_mean_ns`, `counter_p50_ns`, `counter_p99_ns` | per-flush edge-weight counter maintenance (delete retirement + slot-delta folding) |
+//! | `snapshot_mean_ns`, `snapshot_p50_ns`, `snapshot_p99_ns` | snapshot publish: counter-read weight pass + thresholding + build + epoch swap |
 
 use std::io::{BufRead, Write};
 use std::path::Path;
