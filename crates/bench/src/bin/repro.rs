@@ -44,6 +44,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "sharded maintenance sweep: 100k-edit replay at 1/2/4/8 shards (emits BENCH_serve.json)",
     ),
     (
+        "serve-p2p",
+        "coordinator vs mailbox-mesh exchange at 4 shards, both churn biases and publish cadences (emits BENCH_serve.json)",
+    ),
+    (
         "weights",
         "publish-time weight pass: merge-on-publish vs streaming counters (emits BENCH_serve.json)",
     ),
@@ -73,7 +77,7 @@ fn run(id: &str, scale: &Scale) -> bool {
         "abl-edits" => exp_ablations::abl_edits(scale),
         "abl-part" => exp_ablations::abl_part(scale),
         "profile" => exp_ablations::profile(scale),
-        "serve" | "serve-smoke" | "serve-rmat" | "serve-sharded" => {
+        "serve" | "serve-smoke" | "serve-rmat" | "serve-sharded" | "serve-p2p" => {
             return run_serve(id, &ServeOpts::default())
         }
         "weights" => exp_weights::weights(&WeightsWorkload::full(), "BENCH_serve.json"),
@@ -83,9 +87,11 @@ fn run(id: &str, scale: &Scale) -> bool {
 }
 
 /// Extra knobs for the serve experiments (`--shards N`, `--out FILE`,
-/// `--roster-out FILE`).
+/// `--roster-out FILE`, `--engine coordinator|mailbox`).
 struct ServeOpts {
     shards: usize,
+    engine: rslpa_serve::ExchangeMode,
+    engine_given: bool,
     out: Option<String>,
     roster_out: Option<String>,
 }
@@ -94,6 +100,8 @@ impl Default for ServeOpts {
     fn default() -> Self {
         Self {
             shards: 1,
+            engine: rslpa_serve::ExchangeMode::Mailbox,
+            engine_given: false,
             out: None,
             roster_out: None,
         }
@@ -103,32 +111,42 @@ impl Default for ServeOpts {
 fn run_serve(id: &str, opts: &ServeOpts) -> bool {
     let out = |default: &str| opts.out.clone().unwrap_or_else(|| default.to_string());
     let roster = opts.roster_out.as_deref();
-    if id == "serve-sharded" && (opts.shards != 1 || roster.is_some()) {
-        // The sweep fixes its own shard counts and checks rosters
+    if (id == "serve-sharded" || id == "serve-p2p")
+        && (opts.shards != 1 || roster.is_some() || opts.engine_given)
+    {
+        // The sweeps fix their own shard counts/engines and check rosters
         // internally; a silently-ignored flag would mislead.
-        eprintln!("serve-sharded does not take --shards or --roster-out");
+        eprintln!("{id} does not take --shards, --engine, or --roster-out");
         std::process::exit(2);
     }
     match id {
         "serve" => exp_serve::serve_to(
-            &ServeWorkload::full_sharded(opts.shards),
+            &ServeWorkload {
+                engine: opts.engine,
+                ..ServeWorkload::full_sharded(opts.shards)
+            },
             &out("BENCH_serve.json"),
             roster,
         ),
         "serve-smoke" => exp_serve::serve_to(
-            &ServeWorkload::smoke_sharded(opts.shards),
+            &ServeWorkload {
+                engine: opts.engine,
+                ..ServeWorkload::smoke_sharded(opts.shards)
+            },
             &out("BENCH_serve.json"),
             roster,
         ),
         "serve-rmat" => exp_serve::serve_to(
             &ServeWorkload {
                 shards: opts.shards,
+                engine: opts.engine,
                 ..ServeWorkload::full_rmat()
             },
             &out("BENCH_serve_rmat.json"),
             roster,
         ),
         "serve-sharded" => exp_serve::serve_sharded(&out("BENCH_serve.json")),
+        "serve-p2p" => exp_serve::serve_p2p(&out("BENCH_serve.json")),
         _ => return false,
     }
     true
@@ -143,7 +161,9 @@ fn usage() {
     eprintln!("  serve-smoke    CI-scale serve workload (not part of 'all')");
     eprintln!("  serve-rmat     full serve workload over an R-MAT web graph (not part of 'all')");
     eprintln!("  weights-smoke  CI-scale weight-pass comparison (not part of 'all')");
-    eprintln!("serve options: --shards N, --out FILE, --roster-out FILE");
+    eprintln!(
+        "serve options: --shards N, --engine coordinator|mailbox, --out FILE, --roster-out FILE"
+    );
     eprintln!("weights options: --out FILE");
 }
 
@@ -166,6 +186,7 @@ fn main() {
     } else {
         Scale::quick()
     };
+    let engine_arg = take_option(&mut args, "--engine");
     let serve_opts = ServeOpts {
         shards: take_option(&mut args, "--shards")
             .map(|v| {
@@ -175,6 +196,16 @@ fn main() {
                 })
             })
             .unwrap_or(1),
+        engine: engine_arg
+            .as_deref()
+            .map(|v| {
+                v.parse().unwrap_or_else(|e| {
+                    eprintln!("--engine: {e}");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or_default(),
+        engine_given: engine_arg.is_some(),
         out: take_option(&mut args, "--out"),
         roster_out: take_option(&mut args, "--roster-out"),
     };
@@ -182,10 +213,12 @@ fn main() {
         usage();
         std::process::exit(2);
     };
-    let serve_flags_given =
-        serve_opts.shards != 1 || serve_opts.out.is_some() || serve_opts.roster_out.is_some();
+    let serve_flags_given = serve_opts.shards != 1
+        || serve_opts.engine_given
+        || serve_opts.out.is_some()
+        || serve_opts.roster_out.is_some();
     if serve_flags_given && !target.starts_with("serve") && !target.starts_with("weights") {
-        eprintln!("--shards/--out/--roster-out only apply to serve/weights experiments");
+        eprintln!("--shards/--engine/--out/--roster-out only apply to serve/weights experiments");
         std::process::exit(2);
     }
     let started = std::time::Instant::now();
@@ -202,7 +235,7 @@ fn main() {
             std::process::exit(2);
         }
     } else if target.starts_with("weights") {
-        if serve_opts.shards != 1 || serve_opts.roster_out.is_some() {
+        if serve_opts.shards != 1 || serve_opts.engine_given || serve_opts.roster_out.is_some() {
             eprintln!("weights experiments take only --out");
             std::process::exit(2);
         }

@@ -16,7 +16,9 @@ use rslpa_gen::lfr::LfrParams;
 use rslpa_gen::webgraph::{rmat, RmatParams};
 use rslpa_graph::rng::DetRng;
 use rslpa_graph::{AdjacencyGraph, Cover, DynamicGraph, EditBatch, VertexId};
-use rslpa_serve::{BySize, CommunityService, ServeConfig};
+use rslpa_serve::{BySize, CommunityService, ExchangeMode, ServeConfig};
+
+use crate::host_cores;
 
 use crate::report::Table;
 
@@ -65,6 +67,9 @@ pub struct ServeWorkload {
     pub snapshot_every: usize,
     /// Maintenance shards (1 = the single-writer baseline).
     pub shards: usize,
+    /// Boundary-exchange transport for `shards > 1`: the peer-to-peer
+    /// mailbox mesh (default) or the coordinator-relayed baseline.
+    pub engine: ExchangeMode,
     /// Edit-stream bias: the paper's uniform rewiring, or churn that
     /// respects the planted communities (the realistic serving case,
     /// where partition locality exists to be exploited).
@@ -89,6 +94,7 @@ impl ServeWorkload {
             flush_size: 256,
             snapshot_every: 8,
             shards: 1,
+            engine: ExchangeMode::Mailbox,
             churn: EditWorkload::Uniform,
             seed: 42,
         }
@@ -125,6 +131,7 @@ impl ServeWorkload {
             flush_size: 128,
             snapshot_every: 4,
             shards: 1,
+            engine: ExchangeMode::Mailbox,
             churn: EditWorkload::Uniform,
             seed: 42,
         }
@@ -159,6 +166,9 @@ pub struct ServeBenchResult {
     /// Roster of the final epoch (canonical cover, for cross-shard
     /// divergence checks).
     pub final_cover: Cover,
+    /// Weight-list fingerprint of the final epoch (equal ⇔ bit-identical
+    /// weights; diffed alongside the roster in CI).
+    pub final_weights_fingerprint: u64,
     /// Final service stats.
     pub stats: rslpa_serve::StatsReport,
 }
@@ -215,7 +225,8 @@ pub fn run_workload(w: &ServeWorkload) -> ServeBenchResult {
         ServeConfig::quick(w.iterations, w.seed)
             .with_policy(policy)
             .with_snapshot_every(w.snapshot_every)
-            .with_shards(w.shards),
+            .with_shards(w.shards)
+            .with_exchange(w.engine),
     ));
     let startup_secs = startup.elapsed().as_secs_f64();
 
@@ -230,6 +241,7 @@ pub fn run_workload(w: &ServeWorkload) -> ServeBenchResult {
         queries_issued: 0,
         final_epoch: 0,
         final_cover: Cover::default(),
+        final_weights_fingerprint: 0,
         stats: Default::default(),
     };
 
@@ -303,7 +315,10 @@ pub fn run_workload(w: &ServeWorkload) -> ServeBenchResult {
     });
 
     let service = Arc::into_inner(service).expect("threads joined");
-    result.final_cover = service.latest().cover.clone();
+    let last = service.latest();
+    result.final_cover = last.cover.clone();
+    result.final_weights_fingerprint = last.weights_fingerprint;
+    drop(last);
     result.stats = service.shutdown();
     result.edits_per_sec = result.stats.edits_enqueued as f64 / result.ingest_secs.max(1e-9);
     result.queries_issued = result.stats.queries.count;
@@ -331,7 +346,8 @@ fn to_json_with_extra(w: &ServeWorkload, r: &ServeBenchResult, extra: &str) -> S
         "{{\n  \"experiment\": \"serve\",\n  \"mode\": \"{}\",\n  \
          \"config\": {{\"topology\": \"{}\", \"graph_n\": {}, \"iterations\": {}, \"total_edits\": {}, \
          \"queries_per_edit\": {}, \"query_threads\": {}, \"flush_size\": {}, \
-         \"snapshot_every\": {}, \"shards\": {}, \"churn\": \"{}\", \"cores\": {}, \"seed\": {}}},\n  \
+         \"snapshot_every\": {}, \"shards\": {}, \"engine\": \"{}\", \"churn\": \"{}\", \
+         \"cores\": {}, \"seed\": {}}},\n  \
          \"startup_secs\": {:.4},\n  \"ingest_secs\": {:.4},\n  \
          \"edits_per_sec\": {:.1},\n  \"query_secs\": {:.4},\n  \
          \"queries_per_sec\": {:.1},\n  \"queries_issued\": {},\n  \
@@ -348,8 +364,9 @@ fn to_json_with_extra(w: &ServeWorkload, r: &ServeBenchResult, extra: &str) -> S
         w.flush_size,
         w.snapshot_every,
         w.shards,
+        w.engine,
         churn_label(w.churn),
-        std::thread::available_parallelism().map_or(1, usize::from),
+        host_cores(),
         w.seed,
         r.startup_secs,
         r.ingest_secs,
@@ -368,14 +385,19 @@ fn to_json_with_extra(w: &ServeWorkload, r: &ServeBenchResult, extra: &str) -> S
 }
 
 /// Write the final roster as plain text: one community per line, members
-/// space-separated, canonical (sorted) order — diffable across runs.
-pub fn write_roster(cover: &Cover, path: &str) {
+/// space-separated, canonical (sorted) order, followed by the epoch's
+/// weight-list fingerprint — so one `cmp` across runs diffs rosters
+/// **and** weights.
+pub fn write_roster(cover: &Cover, weights_fingerprint: u64, path: &str) {
     let mut out = String::new();
     for c in cover.communities() {
         let line: Vec<String> = c.iter().map(u32::to_string).collect();
         out.push_str(&line.join(" "));
         out.push('\n');
     }
+    out.push_str(&format!(
+        "# weights_fingerprint {weights_fingerprint:016x}\n"
+    ));
     std::fs::write(path, out).expect("write roster file");
     eprintln!("[serve] wrote roster to {path}");
 }
@@ -448,7 +470,7 @@ pub fn serve_to(w: &ServeWorkload, out_path: &str, roster_out: Option<&str>) {
     std::fs::write(out_path, &json).expect("write BENCH_serve.json");
     eprintln!("[serve:{}] wrote {out_path}", w.mode);
     if let Some(path) = roster_out {
-        write_roster(&r.final_cover, path);
+        write_roster(&r.final_cover, r.final_weights_fingerprint, path);
     }
 }
 
@@ -566,6 +588,182 @@ pub fn serve_sharded(out_path: &str) {
     eprintln!("[serve-sharded] wrote {out_path}");
 }
 
+/// Per-engine metrics of one `serve-p2p` cell.
+struct P2pRun {
+    engine: ExchangeMode,
+    result: ServeBenchResult,
+}
+
+impl P2pRun {
+    /// Mean worker-side (or coordinator-side) counter upkeep per flush.
+    /// Both engines amortize their *total* upkeep wall time over all
+    /// flushes (`batches_flushed`), so the ratio compares like with like
+    /// — `counters.mean_ns` alone would average only over the flushes
+    /// that recorded a central sample.
+    fn upkeep_per_flush_ns(&self) -> f64 {
+        let s = &self.result.stats;
+        let flushes = s.batches_flushed.max(1) as f64;
+        match self.engine {
+            // Central upkeep: one `counters` sample per non-empty flush;
+            // mean × count recovers the total.
+            ExchangeMode::Coordinator => (s.counters.mean_ns * s.counters.count) as f64 / flushes,
+            // Shard-owned upkeep: per-shard wall time summed, then
+            // amortized per flush (the per-shard passes run in parallel
+            // on a multi-core host; the sum is the 1-core equivalent).
+            ExchangeMode::Mailbox => {
+                s.shards.iter().map(|sh| sh.upkeep_ns).sum::<u64>() as f64 / flushes
+            }
+        }
+    }
+
+    /// Mean flush (repair + exchange coordination) + upkeep wall time.
+    fn exchange_upkeep_ns(&self) -> f64 {
+        self.result.stats.flushes.mean_ns as f64 + self.upkeep_per_flush_ns()
+    }
+
+    /// Channels traversed per boundary envelope — the 1-core acceptance
+    /// metric. Exactly 2.0 through the coordinator relay (worker →
+    /// coordinator → worker), exactly 1.0 over the mesh, so the per-round
+    /// channel work of boundary delivery halves regardless of round
+    /// composition.
+    fn hops_per_envelope(&self) -> f64 {
+        let s = &self.result.stats;
+        s.envelope_hops as f64 / s.boundary_msgs.max(1) as f64
+    }
+
+    fn to_json(&self) -> String {
+        let s = &self.result.stats;
+        format!(
+            "{{\"edits_per_sec\": {:.1}, \"flush_mean_ns\": {}, \"flush_p99_ns\": {}, \
+             \"upkeep_per_flush_ns\": {:.0}, \"exchange_upkeep_per_flush_ns\": {:.0}, \
+             \"snapshot_mean_ns\": {}, \"exchange_rounds\": {}, \"boundary_msgs\": {}, \
+             \"channel_hops\": {}, \"hops_per_envelope\": {:.2}, \"envelope_hops\": {}, \
+             \"mailbox_depth_p99\": {}, \"barrier_wait_p99_ns\": {}}}",
+            self.result.edits_per_sec,
+            s.flushes.mean_ns,
+            s.flushes.p99_ns,
+            self.upkeep_per_flush_ns(),
+            self.exchange_upkeep_ns(),
+            s.snapshots.mean_ns,
+            s.exchange_rounds,
+            s.boundary_msgs,
+            s.channel_hops,
+            self.hops_per_envelope(),
+            s.envelope_hops,
+            s.mailbox_depth.p99_ns,
+            s.barrier_wait.p99_ns,
+        )
+    }
+}
+
+/// The coordinator-vs-mailbox sweep (`repro serve-p2p`): the full
+/// 100k-edit workload at 4 shards, under uniform and consolidating
+/// churn, publishing per flush and per 8 flushes — each cell run on both
+/// engines. Every cell asserts the two engines land on the same final
+/// roster *and* weight fingerprint (decentralizing the repair plane must
+/// not move a bit), then reports the per-flush exchange+upkeep wall time
+/// and the channel-hop economy (the 1-core proxy: the mesh delivers each
+/// envelope over one channel and never round-trips the coordinator per
+/// round).
+pub fn serve_p2p(out_path: &str) {
+    let cells: [(EditWorkload, usize); 4] = [
+        (EditWorkload::Uniform, 1),
+        (EditWorkload::Uniform, 8),
+        (EditWorkload::Consolidating, 1),
+        (EditWorkload::Consolidating, 8),
+    ];
+    let mut t = Table::new(
+        "serve p2p: coordinator vs mailbox mesh (4 shards, 100k edits)".to_string(),
+        &[
+            "churn/cadence",
+            "engine",
+            "edits/sec",
+            "flush+upkeep (us)",
+            "hops/envelope",
+            "envelope hops",
+            "barrier p99 (us)",
+        ],
+    );
+    let mut cell_json = Vec::new();
+    for &(churn, snapshot_every) in &cells {
+        let mut runs = Vec::new();
+        for engine in [ExchangeMode::Coordinator, ExchangeMode::Mailbox] {
+            let w = ServeWorkload {
+                mode: "p2p",
+                churn,
+                snapshot_every,
+                engine,
+                ..ServeWorkload::full_sharded(4)
+            };
+            eprintln!(
+                "[serve-p2p] engine={} churn={} snapshot_every={}",
+                engine,
+                churn_label(churn),
+                snapshot_every,
+            );
+            let result = run_workload(&w);
+            runs.push(P2pRun { engine, result });
+        }
+        for run in &runs {
+            t.row(vec![
+                format!("{} (x{})", churn_label(churn), snapshot_every),
+                run.engine.to_string(),
+                format!("{:.0}", run.result.edits_per_sec),
+                format!("{:.1}", run.exchange_upkeep_ns() / 1e3),
+                format!("{:.2}", run.hops_per_envelope()),
+                run.result.stats.envelope_hops.to_string(),
+                format!("{:.1}", run.result.stats.barrier_wait.p99_ns as f64 / 1e3),
+            ]);
+        }
+        let (coord, mesh) = (&runs[0], &runs[1]);
+        assert_eq!(
+            coord.result.final_cover,
+            mesh.result.final_cover,
+            "engines diverged on the final roster ({} x{})",
+            churn_label(churn),
+            snapshot_every,
+        );
+        assert_eq!(
+            coord.result.final_weights_fingerprint,
+            mesh.result.final_weights_fingerprint,
+            "engines diverged on final weights ({} x{})",
+            churn_label(churn),
+            snapshot_every,
+        );
+        let wall_ratio = coord.exchange_upkeep_ns() / mesh.exchange_upkeep_ns().max(1.0);
+        let hops_ratio = coord.result.stats.envelope_hops as f64
+            / (mesh.result.stats.envelope_hops as f64).max(1.0);
+        cell_json.push(format!(
+            "{{\n    \"churn\": \"{}\",\n    \"snapshot_every\": {},\n    \
+             \"coordinator\": {},\n    \"mailbox\": {},\n    \
+             \"exchange_upkeep_wall_ratio\": {:.3},\n    \
+             \"envelope_hops_ratio\": {:.3},\n    \
+             \"rosters_and_weights_match\": true\n  }}",
+            churn_label(churn),
+            snapshot_every,
+            coord.to_json(),
+            mesh.to_json(),
+            wall_ratio,
+            hops_ratio,
+        ));
+    }
+    t.print();
+    let json = format!(
+        "{{\n  \"experiment\": \"serve-p2p\",\n  \"config\": {{\"graph_n\": {}, \
+         \"iterations\": {}, \"total_edits\": {}, \"flush_size\": {}, \"shards\": 4, \
+         \"cores\": {}, \"seed\": {}}},\n  \"cells\": [{}]\n}}\n",
+        ServeWorkload::full().graph_n,
+        ServeWorkload::full().iterations,
+        ServeWorkload::full().total_edits,
+        ServeWorkload::full().flush_size,
+        host_cores(),
+        ServeWorkload::full().seed,
+        cell_json.join(", "),
+    );
+    std::fs::write(out_path, &json).expect("write BENCH_serve.json");
+    eprintln!("[serve-p2p] wrote {out_path}");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -584,6 +782,7 @@ mod tests {
             flush_size: 64,
             snapshot_every: 2,
             shards: 1,
+            engine: ExchangeMode::Mailbox,
             churn: EditWorkload::Uniform,
             seed: 7,
         };
@@ -620,6 +819,7 @@ mod tests {
             flush_size: 64,
             snapshot_every: 2,
             shards: 1,
+            engine: ExchangeMode::Mailbox,
             churn: EditWorkload::Uniform,
             seed: 9,
         };

@@ -271,7 +271,7 @@ fn json_body(w: &WeightsWorkload, r: &WeightsBenchResult, indent: &str) -> Strin
         w.flushes_per_publish,
         w.publishes,
         churn_label(w.churn),
-        std::thread::available_parallelism().map_or(1, usize::from),
+        crate::host_cores(),
         w.seed,
         json_list(&r.merge_ns),
         json_list(&r.counter_read_ns),

@@ -18,3 +18,11 @@ pub mod scale;
 
 pub use report::Table;
 pub use scale::Scale;
+
+/// Cores available to this run, as recorded in every benchmark JSON's
+/// `config.cores` field — multi-core reruns of `repro serve*` /
+/// `repro weights` are self-describing (a 1-core sweep measures
+/// coordination overhead + equivalence, not parallel speedup).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}

@@ -38,7 +38,11 @@
 //! Same integer, same derived weight — no merge was run.
 
 use rslpa_graph::edits::canonical;
-use rslpa_graph::{compact_slot_deltas, AdjacencyGraph, FxHashMap, Label, SlotDelta, VertexId};
+use rslpa_graph::{
+    compact_slot_deltas, AdjacencyGraph, FxHashMap, FxHashSet, Label, SlotDelta, VertexId,
+};
+
+use crate::shard::ShardRepairState;
 
 /// Pack a canonical edge into one `u64` map key: hashing a single integer
 /// is measurably cheaper than a tuple on the upkeep hot path (one
@@ -75,6 +79,65 @@ fn hist_shift(hist: &mut Vec<(Label, u32)>, old: Label, new: Label) {
         Ok(j) => hist[j].1 += 1,
         Err(j) => hist.insert(j, (new, 1)),
     }
+}
+
+/// Fold a sparse signed diff into a sorted `(label, count)` histogram.
+/// Shared by the central store and the shard partitions — the
+/// bit-identical-weights invariant rests on both applying exactly this.
+fn fold_diff_into_hist(hist: &mut Vec<(Label, u32)>, diff: &[(Label, i64)]) {
+    for &(l, dl) in diff {
+        match hist.binary_search_by_key(&l, |e| e.0) {
+            Ok(i) => {
+                let next = i64::from(hist[i].1) + dl;
+                debug_assert!(next >= 0, "histogram count went negative");
+                if next == 0 {
+                    hist.remove(i);
+                } else {
+                    hist[i].1 = next as u32;
+                }
+            }
+            Err(i) => {
+                debug_assert!(dl > 0, "negative diff for absent label");
+                hist.insert(i, (l, dl as u32));
+            }
+        }
+    }
+}
+
+/// Compact a slot-delta stream and aggregate it to one sparse histogram
+/// diff per vertex (`Σ` of `-1` at each net `old`, `+1` at each net
+/// `new`), so every dirty vertex costs one neighbor sweep no matter how
+/// many of its slots moved. Returns the net slot-change count alongside
+/// the per-vertex diffs. Shared by the central store and the shard
+/// partitions.
+fn aggregate_vertex_diffs(deltas: &[SlotDelta]) -> (usize, Vec<(VertexId, Vec<(Label, i64)>)>) {
+    let mut net = compact_slot_deltas(deltas);
+    if net.is_empty() {
+        return (0, Vec::new());
+    }
+    let count = net.len();
+    net.sort_unstable_by_key(|d| d.v);
+    let bump = |diff: &mut Vec<(Label, i64)>, l: Label, dl: i64| match diff
+        .iter_mut()
+        .find(|e| e.0 == l)
+    {
+        Some(e) => e.1 += dl,
+        None => diff.push((l, dl)),
+    };
+    let mut out: Vec<(VertexId, Vec<(Label, i64)>)> = Vec::new();
+    let mut i = 0;
+    while i < net.len() {
+        let v = net[i].v;
+        let mut diff: Vec<(Label, i64)> = Vec::new();
+        while i < net.len() && net[i].v == v {
+            bump(&mut diff, net[i].old, -1);
+            bump(&mut diff, net[i].new, 1);
+            i += 1;
+        }
+        diff.retain(|&(_, dl)| dl != 0);
+        out.push((v, diff));
+    }
+    (count, out)
 }
 
 /// Sparse signed difference `new − old` of two sorted histograms.
@@ -260,24 +323,7 @@ impl EdgeCounters {
                     .expect("exact maintenance keeps counters non-negative");
             }
         }
-        let hist = &mut self.hists[v as usize];
-        for &(l, dl) in diff {
-            match hist.binary_search_by_key(&l, |e| e.0) {
-                Ok(i) => {
-                    let next = i64::from(hist[i].1) + dl;
-                    debug_assert!(next >= 0, "histogram count went negative");
-                    if next == 0 {
-                        hist.remove(i);
-                    } else {
-                        hist[i].1 = next as u32;
-                    }
-                }
-                Err(i) => {
-                    debug_assert!(dl > 0, "negative diff for absent label");
-                    hist.insert(i, (l, dl as u32));
-                }
-            }
-        }
+        fold_diff_into_hist(&mut self.hists[v as usize], diff);
     }
 
     /// Fold a repair's slot-delta stream into the counters: the stream is
@@ -287,34 +333,15 @@ impl EdgeCounters {
     /// its slots moved. `graph` must be the post-repair topology. Returns
     /// the number of net slot changes folded in.
     pub fn apply_slot_deltas(&mut self, graph: &AdjacencyGraph, deltas: &[SlotDelta]) -> usize {
-        let mut net = compact_slot_deltas(deltas);
-        let count = net.len();
+        let (count, diffs) = aggregate_vertex_diffs(deltas);
         if count == 0 {
             return 0;
         }
-        if let Some(max) = net.iter().map(|d| d.v).max() {
+        if let Some(max) = diffs.iter().map(|&(v, _)| v).max() {
             self.ensure_vertices(max as usize + 1);
         }
-        net.sort_unstable_by_key(|d| d.v);
-        let mut diff: Vec<(Label, i64)> = Vec::new();
-        let bump = |diff: &mut Vec<(Label, i64)>, l: Label, dl: i64| match diff
-            .iter_mut()
-            .find(|e| e.0 == l)
-        {
-            Some(e) => e.1 += dl,
-            None => diff.push((l, dl)),
-        };
-        let mut i = 0;
-        while i < net.len() {
-            let v = net[i].v;
-            diff.clear();
-            while i < net.len() && net[i].v == v {
-                bump(&mut diff, net[i].old, -1);
-                bump(&mut diff, net[i].new, 1);
-                i += 1;
-            }
-            diff.retain(|&(_, dl)| dl != 0);
-            self.apply_vertex_diff(graph, v, &diff);
+        for (v, diff) in &diffs {
+            self.apply_vertex_diff(graph, *v, diff);
         }
         count
     }
@@ -398,6 +425,267 @@ impl EdgeCounters {
         }
         wlist
     }
+}
+
+/// The shard-owned slice of the streaming counter store: histograms of
+/// the shard's own vertices plus the exact `common_uv` counter of every
+/// **interior** edge (both endpoints owned by this shard).
+///
+/// # Cross-shard edge ownership rule
+///
+/// An edge's counter is maintained incrementally **only while both
+/// endpoints live on the same shard** — then every slot delta that can
+/// move it originates on that shard, the neighbor histogram it needs is
+/// local, and upkeep runs inside the worker with no cross-shard reads.
+/// Boundary edges (endpoints on different shards) carry no incremental
+/// counter; their numerator is **merged at publish** from the two
+/// endpoint histograms the owners ship with their
+/// [`collect_interior`](Self::collect_interior) /
+/// [`boundary_hists`](Self::boundary_hists) replies. A merge of exact
+/// histograms is exact by definition, so the assembled weight list
+/// ([`assemble_partitioned_weights`]) is bit-identical to the central
+/// [`EdgeCounters`] path — both divide the same integer by the same
+/// `(T+1)²`.
+///
+/// Migration follows the same rule: when a vertex changes owner, its
+/// histogram is recomputed from the migrated row's label sequence
+/// (a pure function, exact), and every counter incident to it is dropped
+/// — edges that end up co-owned again are re-merged lazily at the next
+/// publish, exactly like freshly inserted edges.
+#[derive(Clone, Debug)]
+pub struct CounterPartition {
+    /// Draws per sequence (`T + 1`).
+    m: usize,
+    /// Sorted `(label, count)` histogram per owned vertex.
+    hists: FxHashMap<VertexId, Vec<(Label, u32)>>,
+    /// [`edge_key`] → `Σ_l f_u(l)·f_v(l)` for interior edges only.
+    common: FxHashMap<u64, u64>,
+}
+
+impl CounterPartition {
+    /// Carve this shard's slice out of a populated central store:
+    /// histograms of owned vertices, counters of interior edges. Used at
+    /// bootstrap so the genesis weight pass is never repeated.
+    pub fn carve(central: &EdgeCounters, rows: &ShardRepairState) -> Self {
+        let hists = rows
+            .owned_sorted()
+            .into_iter()
+            .filter(|&v| (v as usize) < central.hists.len())
+            .map(|v| (v, central.hists[v as usize].clone()))
+            .collect();
+        let common = central
+            .common
+            .iter()
+            .filter(|(&key, _)| {
+                rows.owns((key >> 32) as VertexId) && rows.owns(key as u32 as VertexId)
+            })
+            .map(|(&key, &c)| (key, c))
+            .collect();
+        Self {
+            m: central.m,
+            hists,
+            common,
+        }
+    }
+
+    /// An empty partition (tests; counters and histograms fill lazily).
+    pub fn new(m: usize) -> Self {
+        Self {
+            m,
+            hists: FxHashMap::default(),
+            common: FxHashMap::default(),
+        }
+    }
+
+    /// Draws per sequence (`T + 1`).
+    pub fn draws(&self) -> usize {
+        self.m
+    }
+
+    /// Live interior-edge counters (diagnostics).
+    pub fn num_counters(&self) -> usize {
+        self.common.len()
+    }
+
+    /// Histogram of owned vertex `v`, creating the own-label histogram a
+    /// fresh untouched sequence has (`{v: m}`) on first sight.
+    fn hist_entry(&mut self, v: VertexId) -> &mut Vec<(Label, u32)> {
+        let m = self.m as u32;
+        self.hists.entry(v).or_insert_with(|| vec![(v as Label, m)])
+    }
+
+    /// Drop the counter of an interior edge that was just deleted.
+    /// **Must be called for every interior deletion** — a counter that
+    /// survives a delete/re-insert cycle would miss the slot deltas
+    /// applied while the edge was absent. (Boundary deletions have no
+    /// counter; calling this for them is a no-op.)
+    pub fn retire_edge(&mut self, u: VertexId, v: VertexId) {
+        self.common.remove(&edge_key(u, v));
+    }
+
+    /// Install the histogram of a vertex migrating in, recomputed from
+    /// its row's label sequence (exact — the histogram is a pure function
+    /// of the sequence).
+    pub fn adopt_hist(&mut self, v: VertexId, labels: &[Label]) {
+        debug_assert_eq!(labels.len(), self.m, "sequence length mismatch");
+        self.hists.insert(v, histogram_of(labels));
+    }
+
+    /// Forget everything about vertices migrating out: their histograms
+    /// and every counter incident to them (see the ownership rule above).
+    pub fn drop_vertices(&mut self, leaving: &[VertexId]) {
+        if leaving.is_empty() {
+            return;
+        }
+        let gone: FxHashSet<VertexId> = leaving.iter().copied().collect();
+        for v in leaving {
+            self.hists.remove(v);
+        }
+        self.common.retain(|&key, _| {
+            !gone.contains(&((key >> 32) as VertexId)) && !gone.contains(&(key as u32))
+        });
+    }
+
+    /// Fold this shard's flush deltas into its own partition: the stream
+    /// is compacted and aggregated per vertex exactly like the central
+    /// [`EdgeCounters::apply_slot_deltas`], but the neighbor sweep only
+    /// touches **interior** counters (the neighbor histogram is then
+    /// guaranteed local). Every delta must target an owned vertex, in
+    /// application order per `(v, slot)` — which the emitting
+    /// [`ShardRepairState`] guarantees, being the vertex's single owner.
+    /// Returns the number of net slot changes folded in.
+    pub fn apply_own_deltas(&mut self, rows: &ShardRepairState, deltas: &[SlotDelta]) -> usize {
+        let (count, diffs) = aggregate_vertex_diffs(deltas);
+        if count == 0 {
+            return 0;
+        }
+        for (v, diff) in &diffs {
+            let v = *v;
+            debug_assert!(
+                rows.owns(v),
+                "slot delta for a vertex this shard does not own"
+            );
+            if diff.is_empty() {
+                continue;
+            }
+            self.hist_entry(v);
+            for &w in rows.neighbors_of(v) {
+                if !rows.owns(w) {
+                    continue; // boundary edge: merged at publish
+                }
+                if let Some(c) = self.common.get_mut(&edge_key(v, w)) {
+                    let fw = self
+                        .hists
+                        .get(&w)
+                        .expect("interior neighbor histogram is local");
+                    let delta: i64 = diff
+                        .iter()
+                        .map(|&(l, dl)| dl * i64::from(hist_count(fw, l)))
+                        .sum();
+                    *c = c
+                        .checked_add_signed(delta)
+                        .expect("exact maintenance keeps counters non-negative");
+                }
+            }
+            fold_diff_into_hist(self.hist_entry(v), diff);
+        }
+        count
+    }
+
+    /// The publish-time contribution of this partition: one
+    /// `(u, v, common)` triple per interior edge, sorted canonically —
+    /// an `O(1)` counter read per live counter, one local histogram merge
+    /// per interior edge with no counter yet (new since the last collect,
+    /// or re-interiorized by migration). Stale counters (belt and braces;
+    /// the eager retire path should leave none) are swept.
+    pub fn collect_interior(&mut self, rows: &ShardRepairState) -> Vec<(VertexId, VertexId, u64)> {
+        let mut out: Vec<(VertexId, VertexId, u64)> = Vec::new();
+        for v in rows.owned_sorted() {
+            for &w in rows.neighbors_of(v) {
+                if w <= v || !rows.owns(w) {
+                    continue;
+                }
+                let key = edge_key(v, w);
+                let c = match self.common.get(&key) {
+                    Some(&c) => c,
+                    None => {
+                        // Histograms materialize only where a merge needs
+                        // them — not for every owned vertex per publish.
+                        self.hist_entry(v);
+                        self.hist_entry(w);
+                        let c = common_labels(&self.hists[&v], &self.hists[&w]);
+                        self.common.insert(key, c);
+                        c
+                    }
+                };
+                out.push((v, w, c));
+            }
+        }
+        if self.common.len() > out.len() {
+            let live: FxHashSet<u64> = out.iter().map(|&(u, v, _)| edge_key(u, v)).collect();
+            self.common.retain(|key, _| live.contains(key));
+        }
+        out
+    }
+
+    /// Histograms of this shard's boundary vertices (owned vertices with
+    /// at least one off-shard neighbor), sorted by vertex — what the
+    /// publish assembly needs to merge boundary edges.
+    pub fn boundary_hists(
+        &mut self,
+        rows: &ShardRepairState,
+    ) -> Vec<(VertexId, Vec<(Label, u32)>)> {
+        let mut out = Vec::new();
+        for v in rows.owned_sorted() {
+            if rows.neighbors_of(v).iter().any(|&w| !rows.owns(w)) {
+                out.push((v, self.hist_entry(v).clone()));
+            }
+        }
+        out
+    }
+}
+
+/// Stitch per-shard publish contributions into the canonical weight list
+/// for `graph`: interior edges come off the owners' sorted
+/// [`collect_interior`](CounterPartition::collect_interior) lists via one
+/// cursor per shard; boundary edges are merged from the shipped endpoint
+/// histograms. Bit-identical to the central
+/// [`EdgeCounters::refresh_weights`] — every numerator is the same exact
+/// integer, divided by the same `m²`.
+pub fn assemble_partitioned_weights(
+    graph: &AdjacencyGraph,
+    owner_of: impl Fn(VertexId) -> usize,
+    m: usize,
+    interior: &[Vec<(VertexId, VertexId, u64)>],
+    boundary_hists: &FxHashMap<VertexId, Vec<(Label, u32)>>,
+) -> Vec<(VertexId, VertexId, f64)> {
+    let mm = m as f64 * m as f64;
+    let mut cursors = vec![0usize; interior.len()];
+    let mut wlist = Vec::with_capacity(graph.num_edges());
+    for (u, v) in graph.edges() {
+        debug_assert!(u < v, "edges() must yield canonical pairs");
+        let (ou, ov) = (owner_of(u), owner_of(v));
+        let c = if ou == ov {
+            let cur = &mut cursors[ou];
+            let (iu, iv, c) = interior[ou][*cur];
+            debug_assert_eq!((iu, iv), (u, v), "interior cursor drifted");
+            *cur += 1;
+            c
+        } else {
+            let fu = &boundary_hists[&u];
+            let fv = &boundary_hists[&v];
+            common_labels(fu, fv)
+        };
+        wlist.push((u, v, c as f64 / mm));
+    }
+    debug_assert!(
+        cursors
+            .iter()
+            .zip(interior)
+            .all(|(&c, list)| c == list.len()),
+        "interior weights left unconsumed"
+    );
+    wlist
 }
 
 #[cfg(test)]
@@ -582,5 +870,189 @@ mod tests {
         counters.ensure_vertices(5);
         assert_eq!(counters.hist(4), &[(4, 5)]);
         assert_eq!(counters.num_vertices(), 5);
+    }
+
+    mod partition {
+        use super::*;
+        use crate::shard::ShardRepairState;
+        use rslpa_graph::{DynamicGraph, EditBatch, HashPartitioner, Partitioner};
+        use std::sync::Arc;
+
+        fn run_partitioned(
+            parts: usize,
+            seed: u64,
+            batches: &[EditBatch],
+        ) -> (
+            Vec<(VertexId, VertexId, f64)>,
+            Vec<(VertexId, VertexId, f64)>,
+        ) {
+            let t_max = 8usize;
+            let g0 = ring_graph(8);
+            let mut dg = DynamicGraph::new(g0.clone());
+            let mut central_state = run_propagation(dg.graph(), t_max, seed);
+            let mut central = EdgeCounters::new(&central_state);
+            central.refresh_weights(dg.graph(), 1);
+
+            let partitioner: Arc<dyn Partitioner> = Arc::new(HashPartitioner::new(parts));
+            let mut shards: Vec<ShardRepairState> = (0..parts)
+                .map(|s| {
+                    ShardRepairState::from_state(&central_state, &g0, s, Arc::clone(&partitioner))
+                })
+                .collect();
+            let mut partitions: Vec<CounterPartition> = shards
+                .iter()
+                .map(|rows| CounterPartition::carve(&central, rows))
+                .collect();
+
+            for batch in batches {
+                let applied = dg.apply(batch).unwrap();
+                let mut central_deltas = Vec::new();
+                let mut dirty = rslpa_graph::FxHashSet::default();
+                crate::incremental::apply_correction_streaming(
+                    &mut central_state,
+                    dg.graph(),
+                    &applied,
+                    false,
+                    &mut dirty,
+                    &mut central_deltas,
+                );
+                for &(u, v) in batch.deletions() {
+                    central.delete_edge(u, v);
+                }
+                central.apply_slot_deltas(dg.graph(), &central_deltas);
+
+                // Sharded side: coordinator-style exchange loop, then each
+                // shard retires its interior deletions and folds its own
+                // deltas into its own partition.
+                let per_shard = rslpa_graph::sharding::split_deltas(&applied, partitioner.as_ref());
+                for (shard, partition) in shards.iter_mut().zip(partitions.iter_mut()) {
+                    for (v, delta) in &per_shard[shard.shard()] {
+                        for &w in &delta.removed {
+                            if shard.owns(w) {
+                                partition.retire_edge(*v, w);
+                            }
+                        }
+                    }
+                }
+                let mut outbox = Vec::new();
+                for shard in shards.iter_mut() {
+                    shard.apply_deltas(&per_shard[shard.shard()], &mut outbox);
+                }
+                while !outbox.is_empty() {
+                    let mut inboxes: Vec<Vec<crate::shard::Envelope>> = vec![Vec::new(); parts];
+                    for env in outbox.drain(..) {
+                        inboxes[partitioner.assign(env.to)].push(env);
+                    }
+                    for (shard, inbox) in shards.iter_mut().zip(inboxes) {
+                        if !inbox.is_empty() {
+                            shard.exchange(inbox, &mut outbox);
+                        }
+                    }
+                }
+                // Feed the partitions the *central* engine's stream routed
+                // by owner instead of the shard-emitted one: per-vertex
+                // chains and net effect are identical (each vertex has a
+                // single owner), so the partitions must land on the same
+                // counters either way.
+                let routed = rslpa_graph::split_slot_deltas(&central_deltas, partitioner.as_ref());
+                for (shard, partition) in shards.iter_mut().zip(partitions.iter_mut()) {
+                    shard.take_slot_deltas(); // drained as the serve worker would
+                    partition.apply_own_deltas(shard, &routed[shard.shard()]);
+                }
+            }
+
+            let interior: Vec<Vec<(VertexId, VertexId, u64)>> = shards
+                .iter()
+                .zip(partitions.iter_mut())
+                .map(|(rows, p)| p.collect_interior(rows))
+                .collect();
+            let mut bh: FxHashMap<VertexId, Vec<(Label, u32)>> = FxHashMap::default();
+            for (rows, p) in shards.iter().zip(partitions.iter_mut()) {
+                for (v, hist) in p.boundary_hists(rows) {
+                    bh.insert(v, hist);
+                }
+            }
+            let assembled = assemble_partitioned_weights(
+                dg.graph(),
+                |v| partitioner.assign(v),
+                t_max + 1,
+                &interior,
+                &bh,
+            );
+            let reference = central.refresh_weights(dg.graph(), 1);
+            assert_weights_equal(&reference, &edge_weights(dg.graph(), &central_state));
+            (assembled, reference)
+        }
+
+        #[test]
+        fn partitioned_collect_matches_central_store() {
+            let batches = [
+                EditBatch::from_lists([(0, 3)], [(1, 2)]),
+                EditBatch::from_lists([(2, 6), (1, 5)], [(0, 3)]),
+                EditBatch::from_lists([(1, 2)], [(4, 5)]),
+            ];
+            for seed in 0..4u64 {
+                for parts in [1usize, 2, 3] {
+                    let (assembled, reference) = run_partitioned(parts, seed, &batches);
+                    assert_weights_equal(&assembled, &reference);
+                }
+            }
+        }
+
+        #[test]
+        fn drop_and_adopt_follow_migration() {
+            // Carve two partitions, migrate a vertex, and verify the
+            // ownership rule: dropped counters reappear via lazy merge,
+            // the adopted histogram is exact.
+            let g = ring_graph(6);
+            let state = run_propagation(&g, 6, 9);
+            let mut central = EdgeCounters::new(&state);
+            central.refresh_weights(&g, 1);
+            let p_old: Arc<dyn Partitioner> = Arc::new(HashPartitioner::with_seed(2, 1));
+            let mut shards: Vec<ShardRepairState> = (0..2)
+                .map(|s| ShardRepairState::from_state(&state, &g, s, Arc::clone(&p_old)))
+                .collect();
+            let mut partitions: Vec<CounterPartition> = shards
+                .iter()
+                .map(|rows| CounterPartition::carve(&central, rows))
+                .collect();
+            let p_new: Arc<dyn Partitioner> = Arc::new(HashPartitioner::with_seed(2, 77));
+            let mut in_flight: Vec<Vec<(VertexId, crate::shard::VertexRowData)>> =
+                vec![Vec::new(); 2];
+            for (shard, partition) in shards.iter_mut().zip(partitions.iter_mut()) {
+                let leaving: Vec<VertexId> = (0..6u32)
+                    .filter(|&v| {
+                        p_old.assign(v) == shard.shard() && p_new.assign(v) != shard.shard()
+                    })
+                    .collect();
+                partition.drop_vertices(&leaving);
+                for (v, row) in shard.extract_rows(&leaving) {
+                    in_flight[p_new.assign(v)].push((v, row));
+                }
+            }
+            for ((shard, partition), rows) in
+                shards.iter_mut().zip(partitions.iter_mut()).zip(in_flight)
+            {
+                shard.set_partitioner(Arc::clone(&p_new));
+                for (v, data) in &rows {
+                    partition.adopt_hist(*v, &data.labels);
+                }
+                shard.adopt_rows(rows);
+            }
+            let interior: Vec<Vec<(VertexId, VertexId, u64)>> = shards
+                .iter()
+                .zip(partitions.iter_mut())
+                .map(|(rows, p)| p.collect_interior(rows))
+                .collect();
+            let mut bh: FxHashMap<VertexId, Vec<(Label, u32)>> = FxHashMap::default();
+            for (rows, p) in shards.iter().zip(partitions.iter_mut()) {
+                for (v, hist) in p.boundary_hists(rows) {
+                    bh.insert(v, hist);
+                }
+            }
+            let assembled =
+                assemble_partitioned_weights(&g, |v| p_new.assign(v), 7, &interior, &bh);
+            assert_weights_equal(&assembled, &central.refresh_weights(&g, 1));
+        }
     }
 }

@@ -45,12 +45,15 @@ pub mod verify;
 
 pub use config::RslpaConfig;
 pub use detector::{DetectionResult, RslpaDetector};
-pub use edge_counters::EdgeCounters;
+pub use edge_counters::{assemble_partitioned_weights, CounterPartition, EdgeCounters};
 pub use incremental::{
     apply_correction, apply_correction_streaming, apply_correction_tracked, UpdateReport,
 };
 pub use postprocess::{postprocess, PostprocessResult};
-pub use postprocess_incremental::IncrementalPostprocess;
+pub use postprocess_incremental::{result_from_weights, IncrementalPostprocess};
 pub use propagation::run_propagation;
-pub use shard::{Envelope, ShardFlushReport, ShardMsg, ShardRepairState, VertexRowData};
+pub use shard::{
+    build_mesh, Envelope, MailboxPort, MeshExchangeReport, ShardFlushReport, ShardMsg,
+    ShardRepairState, VertexRowData,
+};
 pub use state::LabelState;

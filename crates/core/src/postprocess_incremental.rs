@@ -138,6 +138,13 @@ impl IncrementalPostprocess {
         self.pending.len()
     }
 
+    /// The configured τ1 grid (engines that assemble their own weight
+    /// lists — e.g. the partitioned mailbox path — thread it through
+    /// [`result_from_weights`]).
+    pub fn grid(&self) -> Option<f64> {
+        self.grid
+    }
+
     /// Read access to the underlying counter store (diagnostics, tests).
     pub fn counters(&self) -> &EdgeCounters {
         &self.counters
@@ -169,6 +176,30 @@ impl IncrementalPostprocess {
             entropy,
             weights: wlist,
         }
+    }
+}
+
+/// Run the threshold-selection + extraction tail of post-processing over
+/// an already-assembled weight list — the publish path of engines whose
+/// weights come from partitioned counter stores
+/// ([`assemble_partitioned_weights`](crate::edge_counters::assemble_partitioned_weights))
+/// rather than a central [`EdgeCounters`]. Bit-identical to
+/// [`refresh`](IncrementalPostprocess::refresh) on the same weights: the
+/// τ2 / τ1 / extraction stages are shared verbatim.
+pub fn result_from_weights(
+    n: usize,
+    wlist: Vec<(VertexId, VertexId, f64)>,
+    grid: Option<f64>,
+) -> PostprocessResult {
+    let tau2 = select_tau2(n, &wlist);
+    let (tau1, entropy) = select_tau1(n, &wlist, tau2, grid);
+    let cover = extract_communities(n, &wlist, tau1, tau2);
+    PostprocessResult {
+        cover,
+        tau1,
+        tau2,
+        entropy,
+        weights: wlist,
     }
 }
 

@@ -1,5 +1,6 @@
 //! Per-shard Correction Propagation: the repair state one maintenance
-//! shard owns, plus the boundary-exchange message protocol between shards.
+//! shard owns, the boundary-exchange message protocol between shards, and
+//! the peer-to-peer mailbox mesh the shards exchange over.
 //!
 //! The serve subsystem partitions the vertex space with a
 //! [`Partitioner`]; each shard owns the
@@ -8,8 +9,20 @@
 //! affected vertices (Algorithm 2 Phase A) and drains the resulting
 //! cascade as far as it runs inside the shard. Corrections that cross a
 //! partition boundary become [`ShardMsg`]s addressed to the owner of the
-//! remote vertex; a coordinator routes them and shards keep pumping until
-//! no envelope is in flight.
+//! remote vertex. Two transports deliver them:
+//!
+//! * **coordinator-mediated rounds** (the pre-mesh path, kept as the
+//!   baseline): workers hand their outboxes back to a coordinator, which
+//!   regroups them by owner and sends each shard its inbox — two channel
+//!   hops per active shard per round, and every envelope crosses two
+//!   channels;
+//! * **the peer-to-peer mailbox mesh** ([`MailboxPort`]): every worker
+//!   holds a direct channel to every peer and delivers its outbox itself
+//!   (one hop per envelope). Rounds synchronize on a shared
+//!   [`Barrier`] and terminate by a monotone sent-envelope
+//!   counter: after each round's double barrier, every port reads the
+//!   same counter snapshot, so all ports agree — without any coordinator
+//!   traffic — on whether anything was sent and when to stop.
 //!
 //! The protocol is the same three-message scheme as the BSP vertex program
 //! ([`crate::incremental_bsp`]): `Unrecord` detaches a stale receiver
@@ -18,12 +31,15 @@
 //! deliveries are dropped. Because every pick is a pure function of
 //! `(seed, vertex, iteration, epoch)` and slot dependencies point strictly
 //! backwards in iteration time (`pos < t`), the repaired fixed point is
-//! unique — independent of shard count, message ordering, and how eagerly
-//! a shard drains its local cascade. The tests below pin that claim
-//! against the centralized [`apply_correction`](crate::incremental)
-//! bit for bit.
+//! unique — independent of shard count, message ordering, transport, and
+//! how eagerly a shard drains its local cascade. The tests below pin that
+//! claim against the centralized [`apply_correction`](crate::incremental)
+//! bit for bit, for both transports.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 use rslpa_graph::{
     AdjacencyGraph, FxHashMap, FxHashSet, Label, Partitioner, SlotDelta, VertexDelta, VertexId,
@@ -232,9 +248,44 @@ impl ShardRepairState {
         self.rows.len()
     }
 
+    /// Whether this shard owns `v` under the current partitioner.
     #[inline]
-    fn owns(&self, v: VertexId) -> bool {
+    pub fn owns(&self, v: VertexId) -> bool {
         self.partitioner.assign(v) == self.shard
+    }
+
+    /// Owner shard of `v` under the current partitioner.
+    #[inline]
+    pub fn owner_of(&self, v: VertexId) -> usize {
+        self.partitioner.assign(v)
+    }
+
+    /// Owned vertices with materialized rows, ascending (the iteration
+    /// order of partition-owned counter collection).
+    pub fn owned_sorted(&self) -> Vec<VertexId> {
+        let mut owned: Vec<VertexId> = self.rows.keys().copied().collect();
+        owned.sort_unstable();
+        owned
+    }
+
+    /// The shard-owned adjacency row of `v` (empty for vertices without a
+    /// materialized row — isolated fresh ids).
+    pub fn neighbors_of(&self, v: VertexId) -> &[VertexId] {
+        self.rows
+            .get(&v)
+            .map(|r| r.neighbors.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Start a new flush: reset the distinct-slot (η) accounting.
+    /// [`apply_deltas`](Self::apply_deltas) does this implicitly; a shard
+    /// that participates in a flush **only** through exchange (no routed
+    /// deltas — possible under the mailbox engine's sub-queue admission)
+    /// must call this before its first [`exchange`](Self::exchange) of
+    /// the flush, or slots it repaired in an earlier flush would be
+    /// deduplicated out of this flush's η.
+    pub fn begin_flush(&mut self) {
+        self.touched.clear();
     }
 
     /// Apply this shard's per-vertex deltas (Phase A of Algorithm 2), then
@@ -651,6 +702,167 @@ fn stage_repick(
     report.repicks += 1;
 }
 
+/// Shared synchronization state of a peer-to-peer mailbox mesh: the round
+/// barrier plus a **monotone** count of envelopes ever sent over peer
+/// channels. The counter is never reset — each port diffs successive
+/// snapshots — so no reset has to be ordered against anyone's sends.
+struct MeshCore {
+    barrier: Barrier,
+    sent: AtomicU64,
+}
+
+/// Per-flush accounting of one port's mesh exchange (summable across
+/// flushes; the serve layer folds these into its stats histograms).
+#[derive(Clone, Debug, Default)]
+pub struct MeshExchangeReport {
+    /// Exchange rounds that delivered at least one envelope somewhere.
+    pub rounds: u64,
+    /// Peer batches this port sent (one channel hop each).
+    pub batches_sent: u64,
+    /// Envelopes this port sent.
+    pub envelopes_sent: u64,
+    /// Inbox depth (envelopes drained) per delivering round.
+    pub inbox_depths: Vec<u64>,
+    /// Wall time this port spent parked on the round barrier.
+    pub barrier_wait: Duration,
+}
+
+/// One shard's endpoint of the peer-to-peer mailbox mesh: a direct
+/// channel to every peer, the shared round barrier, and this port's last
+/// sent-counter snapshot.
+///
+/// Every exchange session must involve **every** port of the mesh (the
+/// barrier is sized to the shard count), and each session leaves all
+/// ports with the same snapshot — the invariant that lets the mesh be
+/// reused across flushes without a reset.
+pub struct MailboxPort {
+    shard: usize,
+    peers: Vec<Option<Sender<Vec<Envelope>>>>,
+    inbox: Receiver<Vec<Envelope>>,
+    core: Arc<MeshCore>,
+    last_snapshot: u64,
+}
+
+/// Build a fully-connected mailbox mesh for `shards` ports (index `i` of
+/// the returned vector belongs to shard `i`).
+pub fn build_mesh(shards: usize) -> Vec<MailboxPort> {
+    let core = Arc::new(MeshCore {
+        barrier: Barrier::new(shards),
+        sent: AtomicU64::new(0),
+    });
+    let mut senders: Vec<Sender<Vec<Envelope>>> = Vec::with_capacity(shards);
+    let mut inboxes: Vec<Receiver<Vec<Envelope>>> = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = std::sync::mpsc::channel();
+        senders.push(tx);
+        inboxes.push(rx);
+    }
+    inboxes
+        .into_iter()
+        .enumerate()
+        .map(|(shard, inbox)| MailboxPort {
+            shard,
+            peers: senders
+                .iter()
+                .enumerate()
+                .map(|(i, tx)| (i != shard).then(|| tx.clone()))
+                .collect(),
+            inbox,
+            core: Arc::clone(&core),
+            last_snapshot: 0,
+        })
+        .collect()
+}
+
+impl MailboxPort {
+    /// Shard index this port belongs to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Drive boundary exchange to quiescence, delivering envelopes
+    /// directly to peer mailboxes. `first_out` is this shard's Phase-A
+    /// outbox; corrections received along the way are applied to `state`
+    /// and their follow-up envelopes forwarded in later rounds.
+    ///
+    /// Round protocol (identical on every port, which is what keeps the
+    /// barrier deadlock-free):
+    ///
+    /// 1. **send** — group the staged outbox by owner shard, send one
+    ///    batch per peer with traffic, add the envelope count to the
+    ///    shared monotone counter;
+    /// 2. **barrier** — after it, every send of this round is visible;
+    /// 3. **snapshot** — read the shared counter (no port can be sending
+    ///    here, so every port reads the same value);
+    /// 4. **barrier** — after it, ports may send again;
+    /// 5. if the snapshot did not advance, nothing was sent by anyone and
+    ///    everything previously sent was already drained: **quiescent**.
+    ///    Otherwise drain the own mailbox, apply
+    ///    ([`ShardRepairState::exchange`]), and loop.
+    ///
+    /// A batch sent early in step 1 may be drained by a peer still in its
+    /// *previous* round's step 5 — harmless, because the repaired fixed
+    /// point is delivery-order independent and the counter tracks sends,
+    /// not receipts (the accelerated round then just drains empty).
+    pub fn exchange_to_quiescence(
+        &mut self,
+        state: &mut ShardRepairState,
+        first_out: Vec<Envelope>,
+        report: &mut ShardFlushReport,
+    ) -> MeshExchangeReport {
+        let mut mesh = MeshExchangeReport::default();
+        let mut staged = first_out;
+        loop {
+            let mut by_peer: Vec<Vec<Envelope>> = vec![Vec::new(); self.peers.len()];
+            for env in staged.drain(..) {
+                let owner = state.owner_of(env.to);
+                debug_assert_ne!(owner, self.shard, "boundary envelope addressed to self");
+                by_peer[owner].push(env);
+            }
+            let mut sent_now = 0u64;
+            for (peer, batch) in by_peer.into_iter().enumerate() {
+                if batch.is_empty() {
+                    continue;
+                }
+                sent_now += batch.len() as u64;
+                mesh.batches_sent += 1;
+                self.peers[peer]
+                    .as_ref()
+                    .expect("no channel to self")
+                    .send(batch)
+                    .expect("peer mailbox alive");
+            }
+            mesh.envelopes_sent += sent_now;
+            if sent_now > 0 {
+                self.core.sent.fetch_add(sent_now, Ordering::Release);
+            }
+            let parked = Instant::now();
+            self.core.barrier.wait();
+            let snapshot = self.core.sent.load(Ordering::Acquire);
+            self.core.barrier.wait();
+            mesh.barrier_wait += parked.elapsed();
+            let round_sent = snapshot - self.last_snapshot;
+            self.last_snapshot = snapshot;
+            if round_sent == 0 {
+                debug_assert!(
+                    self.inbox.try_recv().is_err(),
+                    "mesh quiescent with undelivered envelopes"
+                );
+                return mesh;
+            }
+            mesh.rounds += 1;
+            let mut inbound: Vec<Envelope> = Vec::new();
+            while let Ok(batch) = self.inbox.try_recv() {
+                inbound.extend(batch);
+            }
+            mesh.inbox_depths.push(inbound.len() as u64);
+            if !inbound.is_empty() {
+                report.absorb(&state.exchange(inbound, &mut staged));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1000,6 +1212,128 @@ mod tests {
                     "net slot movement diverged at {parts} shards (seed {seed})"
                 );
             }
+        }
+    }
+
+    /// Drive one applied batch through real worker threads exchanging
+    /// over a [`MailboxPort`] mesh (no coordinator in the loop).
+    fn run_shards_mesh(
+        shards: Vec<ShardRepairState>,
+        applied: &rslpa_graph::AppliedBatch,
+        partitioner: &dyn Partitioner,
+    ) -> (Vec<ShardRepairState>, ShardFlushReport, Vec<SlotDelta>) {
+        let per_shard = rslpa_graph::sharding::split_deltas(applied, partitioner);
+        let ports = build_mesh(shards.len());
+        let mut joined: Vec<(usize, ShardRepairState, ShardFlushReport, Vec<SlotDelta>)> =
+            std::thread::scope(|s| {
+                let handles: Vec<_> = shards
+                    .into_iter()
+                    .zip(ports)
+                    .zip(&per_shard)
+                    .map(|((mut shard, mut port), deltas)| {
+                        s.spawn(move || {
+                            let mut out = Vec::new();
+                            let mut report = shard.apply_deltas(deltas, &mut out);
+                            port.exchange_to_quiescence(&mut shard, out, &mut report);
+                            let deltas = shard.take_slot_deltas();
+                            (port.shard(), shard, report, deltas)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("mesh worker"))
+                    .collect()
+            });
+        joined.sort_unstable_by_key(|(idx, ..)| *idx);
+        let mut total = ShardFlushReport::default();
+        let mut all_deltas = Vec::new();
+        let shards = joined
+            .into_iter()
+            .map(|(_, shard, report, deltas)| {
+                total.absorb(&report);
+                all_deltas.extend(deltas);
+                shard
+            })
+            .collect();
+        (shards, total, all_deltas)
+    }
+
+    #[test]
+    fn mesh_exchange_matches_centralized_and_coordinator_paths() {
+        for seed in 0..5u64 {
+            for parts in [1usize, 2, 4] {
+                let t_max = 10usize;
+                let batch = EditBatch::from_lists([(1, 7), (3, 5)], [(0, 1), (5, 6)]);
+                let mut dg = DynamicGraph::new(cube_graph());
+                let state0 = run_propagation(dg.graph(), t_max, seed);
+                let applied = dg.apply(&batch).unwrap();
+
+                let mut central = state0.clone();
+                apply_correction(&mut central, dg.graph(), &applied, false);
+
+                let partitioner: Arc<dyn Partitioner> = Arc::new(HashPartitioner::new(parts));
+                let pre_batch = cube_graph();
+                let shards: Vec<ShardRepairState> = (0..parts)
+                    .map(|s| {
+                        ShardRepairState::from_state(
+                            &state0,
+                            &pre_batch,
+                            s,
+                            Arc::clone(&partitioner),
+                        )
+                    })
+                    .collect();
+                let (shards, report, _) = run_shards_mesh(shards, &applied, partitioner.as_ref());
+                let meshed = assemble(&shards, 8, t_max, seed);
+                check_consistency(&meshed, dg.graph()).unwrap();
+                compare_states(&central, &meshed, 8, t_max as u32);
+                if parts == 1 {
+                    assert_eq!(report.boundary_msgs, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_survives_consecutive_flushes_without_reset() {
+        // The monotone sent counter is never reset; a second flush over
+        // the same mesh must terminate and stay bit-identical.
+        let t_max = 8usize;
+        let seed = 3u64;
+        let parts = 3usize;
+        let batches = [
+            EditBatch::from_lists([(0, 2)], [(3, 0)]),
+            EditBatch::from_lists([(1, 3)], [(0, 2)]),
+        ];
+        let mut dg = DynamicGraph::new(cube_graph());
+        let mut central = run_propagation(dg.graph(), t_max, seed);
+        let partitioner: Arc<dyn Partitioner> = Arc::new(HashPartitioner::new(parts));
+        let mut shards: Vec<ShardRepairState> = (0..parts)
+            .map(|s| {
+                ShardRepairState::from_state(&central, dg.graph(), s, Arc::clone(&partitioner))
+            })
+            .collect();
+        // One mesh, reused across flushes the way the serve engine does.
+        let mut ports = build_mesh(parts);
+        for batch in &batches {
+            let applied = dg.apply(batch).unwrap();
+            apply_correction(&mut central, dg.graph(), &applied, false);
+            let per_shard = rslpa_graph::sharding::split_deltas(&applied, partitioner.as_ref());
+            std::thread::scope(|s| {
+                for ((shard, port), deltas) in
+                    shards.iter_mut().zip(ports.iter_mut()).zip(&per_shard)
+                {
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut report = shard.apply_deltas(deltas, &mut out);
+                        port.exchange_to_quiescence(shard, out, &mut report);
+                        shard.take_slot_deltas();
+                    });
+                }
+            });
+            let meshed = assemble(&shards, 8, t_max, seed);
+            compare_states(&central, &meshed, 8, t_max as u32);
         }
     }
 

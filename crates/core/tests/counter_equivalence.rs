@@ -5,21 +5,31 @@
 //! deletions, and mid-stream shard row migrations, at both 1 and 4
 //! shards.
 //!
-//! This is the acceptance property of the streaming-counter tentpole:
-//! the publish path reads weights off the counters without ever
-//! re-merging histograms, so any drift here would silently corrupt every
-//! published snapshot. The reference is the centralized repair engine
-//! plus the full merge pass.
+//! Two harnesses pin it:
+//!
+//! * the **central-store** harness (PR 4's acceptance property): the
+//!   coordinator-relayed exchange loop feeds one central [`EdgeCounters`];
+//! * the **mesh + partition** harness (PR 5's): real worker threads
+//!   deliver envelopes peer-to-peer over a [`build_mesh`] and each shard
+//!   folds its own deltas into its own [`CounterPartition`]; publish
+//!   barriers assemble interior counters + boundary-histogram merges via
+//!   [`assemble_partitioned_weights`].
+//!
+//! Both must equal the centralized repair engine plus the full merge
+//! pass, under random edit/migration/barrier interleavings — any drift
+//! would silently corrupt every published snapshot.
 
 use std::sync::Arc;
 
 use proptest::prelude::*;
 use rslpa_core::postprocess::edge_weights;
-use rslpa_core::shard::{Envelope, ShardRepairState};
-use rslpa_core::{apply_correction, run_propagation, EdgeCounters};
+use rslpa_core::shard::{build_mesh, Envelope, ShardRepairState};
+use rslpa_core::{
+    apply_correction, assemble_partitioned_weights, run_propagation, CounterPartition, EdgeCounters,
+};
 use rslpa_graph::{
-    compact_slot_deltas, AdjacencyGraph, DynamicGraph, EditBatch, FxHashSet, HashPartitioner,
-    Partitioner, SlotDelta, VertexId,
+    compact_slot_deltas, AdjacencyGraph, DynamicGraph, EditBatch, FxHashMap, FxHashSet,
+    HashPartitioner, Label, Partitioner, SlotDelta, VertexId,
 };
 
 /// Vertex-id space: three 4-cliques (0..12) plus two initially isolated
@@ -170,6 +180,128 @@ fn exercise(seed: u64, rounds: &[(Vec<(VertexId, VertexId)>, u8)], parts: usize)
     );
 }
 
+/// The PR 5 harness: peer-to-peer delivery over a real threaded mesh,
+/// shard-owned counter upkeep, publish-barrier assembly. One script run
+/// at `parts` shards; migrations re-partition rows *and* counter slices;
+/// every `control & 2` round is a publish barrier comparing the
+/// assembled weight list against the centralized reference bit for bit.
+fn exercise_mesh(seed: u64, rounds: &[(Vec<(VertexId, VertexId)>, u8)], parts: usize) {
+    let mut dg = DynamicGraph::new(seed_graph());
+    let mut central = run_propagation(dg.graph(), T_MAX, seed);
+    let mut partitioner: Arc<dyn Partitioner> = Arc::new(HashPartitioner::new(parts));
+    let mut shards: Vec<ShardRepairState> = (0..parts)
+        .map(|s| ShardRepairState::from_state(&central, dg.graph(), s, Arc::clone(&partitioner)))
+        .collect();
+    // Partition slices carved from a genesis-refreshed central store —
+    // the serve bootstrap path.
+    let mut genesis = EdgeCounters::new(&central);
+    genesis.refresh_weights(dg.graph(), 1);
+    let mut partitions: Vec<CounterPartition> = shards
+        .iter()
+        .map(|rows| CounterPartition::carve(&genesis, rows))
+        .collect();
+    let mut ports = build_mesh(parts);
+
+    let assemble = |shards: &[ShardRepairState],
+                    partitions: &mut [CounterPartition],
+                    graph: &AdjacencyGraph,
+                    p: &Arc<dyn Partitioner>| {
+        let interior: Vec<Vec<(VertexId, VertexId, u64)>> = shards
+            .iter()
+            .zip(partitions.iter_mut())
+            .map(|(rows, part)| part.collect_interior(rows))
+            .collect();
+        let mut boundary: FxHashMap<VertexId, Vec<(Label, u32)>> = FxHashMap::default();
+        for (rows, part) in shards.iter().zip(partitions.iter_mut()) {
+            for (v, hist) in part.boundary_hists(rows) {
+                boundary.insert(v, hist);
+            }
+        }
+        let p = Arc::clone(p);
+        assemble_partitioned_weights(graph, move |v| p.assign(v), T_MAX + 1, &interior, &boundary)
+    };
+
+    for (round, (pairs, control)) in rounds.iter().enumerate() {
+        if control & 1 != 0 {
+            // Mid-stream migration: rows move, counter slices follow the
+            // ownership rule (drop incident counters, recompute adopted
+            // histograms from the migrated rows).
+            let next: Arc<dyn Partitioner> =
+                Arc::new(HashPartitioner::with_seed(parts, round as u64 + 1));
+            let mut in_flight: Vec<Vec<(VertexId, rslpa_core::VertexRowData)>> =
+                vec![Vec::new(); parts];
+            for (shard, partition) in shards.iter_mut().zip(partitions.iter_mut()) {
+                let leaving: Vec<VertexId> = (0..N)
+                    .filter(|&v| {
+                        partitioner.assign(v) == shard.shard() && next.assign(v) != shard.shard()
+                    })
+                    .collect();
+                partition.drop_vertices(&leaving);
+                for (v, row) in shard.extract_rows(&leaving) {
+                    in_flight[next.assign(v)].push((v, row));
+                }
+            }
+            for ((shard, partition), rows) in
+                shards.iter_mut().zip(partitions.iter_mut()).zip(in_flight)
+            {
+                shard.set_partitioner(Arc::clone(&next));
+                for (v, data) in &rows {
+                    partition.adopt_hist(*v, &data.labels);
+                }
+                shard.adopt_rows(rows);
+            }
+            partitioner = next;
+        }
+        let batch = batch_against(dg.graph(), pairs);
+        if batch.is_empty() {
+            continue;
+        }
+        let applied = dg.apply(&batch).expect("batch built to validate");
+        apply_correction(&mut central, dg.graph(), &applied, false);
+
+        // Interior deleted-edge counters retire eagerly, like the serve
+        // worker does from its routed removal deltas.
+        for (shard, partition) in shards.iter().zip(partitions.iter_mut()) {
+            for &(u, v) in batch.deletions() {
+                if shard.owns(u) && shard.owns(v) {
+                    partition.retire_edge(u, v);
+                }
+            }
+        }
+        // Phase A + p2p exchange on real threads, then shard-owned
+        // upkeep inside each worker.
+        let per_shard = rslpa_graph::sharding::split_deltas(&applied, partitioner.as_ref());
+        std::thread::scope(|s| {
+            for (((shard, partition), port), deltas) in shards
+                .iter_mut()
+                .zip(partitions.iter_mut())
+                .zip(ports.iter_mut())
+                .zip(&per_shard)
+            {
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut report = shard.apply_deltas(deltas, &mut out);
+                    port.exchange_to_quiescence(shard, out, &mut report);
+                    let deltas = shard.take_slot_deltas();
+                    partition.apply_own_deltas(shard, &deltas);
+                });
+            }
+        });
+        if control & 2 != 0 {
+            // Publish barrier: assembled partitioned weights must equal a
+            // fresh merge of the centralized state.
+            assert_weights_equal(
+                &assemble(&shards, &mut partitions, dg.graph(), &partitioner),
+                &edge_weights(dg.graph(), &central),
+            );
+        }
+    }
+    assert_weights_equal(
+        &assemble(&shards, &mut partitions, dg.graph(), &partitioner),
+        &edge_weights(dg.graph(), &central),
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -183,6 +315,19 @@ proptest! {
     ) {
         for parts in [1usize, 4] {
             exercise(seed, &rounds, parts);
+        }
+    }
+
+    #[test]
+    fn mesh_delivery_and_shard_owned_upkeep_equal_centralized(
+        seed in 0u64..64,
+        rounds in proptest::collection::vec(
+            (proptest::collection::vec((0u32..N, 0u32..N), 1..8), 0u8..4),
+            1..8,
+        ),
+    ) {
+        for parts in [1usize, 4] {
+            exercise_mesh(seed, &rounds, parts);
         }
     }
 }

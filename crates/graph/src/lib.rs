@@ -65,7 +65,9 @@ pub use edits::{EditBatch, EditError};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use partition::{BlockPartitioner, HashPartitioner, Partitioner, PlannedPartitioner};
 pub use rng::{DetRng, PickKey};
-pub use sharding::{compact_slot_deltas, split_deltas, BoundaryTracker, SlotDelta};
+pub use sharding::{
+    compact_slot_deltas, split_deltas, split_slot_deltas, BoundaryTracker, SlotDelta,
+};
 pub use stats::GraphStats;
 
 /// Vertex identifier. Graphs are addressed with dense ids `0..n`.

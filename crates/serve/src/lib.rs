@@ -66,8 +66,9 @@ pub mod stats;
 pub use policy::{BarrierOnly, ByDeadline, BySize, FlushPolicy, Immediate};
 pub use query::QueryEngine;
 pub use queue::EditOp;
-pub use service::{CommunityService, IngestHandle, ServeConfig, ServiceClosed};
+pub use service::{CommunityService, ExchangeMode, IngestHandle, ServeConfig, ServiceClosed};
 pub use snapshot::{
-    membership_diff, CommunitySnapshot, MembershipDiff, SnapshotReader, SnapshotStore,
+    fingerprint_weights, membership_diff, CommunitySnapshot, MembershipDiff, SnapshotReader,
+    SnapshotStore,
 };
 pub use stats::{LatencyHistogram, LatencySummary, ServeStats, ShardCounts, StatsReport};

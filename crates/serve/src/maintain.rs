@@ -190,7 +190,12 @@ impl MaintenanceLoop {
         if let Some(m) = batch.insertions().iter().map(|&(_, v)| v).max() {
             if (m as usize) >= self.engine.graph().num_vertices() {
                 self.engine.ensure_vertices(m as usize + 1);
-                self.postprocess.ensure_vertices(m as usize + 1);
+                // The central counter store only lives (and grows) where
+                // upkeep is central; the mailbox engine's workers own all
+                // counter state.
+                if !self.engine.shard_owned_counters() {
+                    self.postprocess.ensure_vertices(m as usize + 1);
+                }
             }
         }
         let applied = batch.len() as u64;
@@ -206,15 +211,20 @@ impl MaintenanceLoop {
         // the compacted slot-delta stream in at O(deg) per net change.
         // Inserted edges need nothing here — they are merged lazily (and
         // exactly) at the next publish. Timed separately so `--stats-json`
-        // shows where the former publish-time weight pass went.
+        // shows where the former publish-time weight pass went. Under the
+        // mailbox engine the workers already folded their own streams
+        // into their own partitions (in parallel, off this thread), so
+        // there is nothing central to do.
         if !batch.is_empty() {
-            let counters_started = Instant::now();
-            self.postprocess.delete_edges(batch.deletions());
-            let net = self
-                .postprocess
-                .apply_slot_deltas(self.engine.graph(), &slot_deltas);
-            self.stats
-                .note_counters(net as u64, counters_started.elapsed());
+            if !self.engine.shard_owned_counters() {
+                let counters_started = Instant::now();
+                self.postprocess.delete_edges(batch.deletions());
+                let net = self
+                    .postprocess
+                    .apply_slot_deltas(self.engine.graph(), &slot_deltas);
+                self.stats
+                    .note_counters(net as u64, counters_started.elapsed());
+            }
             // Only a batch that actually changed something warrants a new
             // epoch — a flush of fully-rejected ops must not make the next
             // barrier publish a duplicate snapshot.
@@ -235,7 +245,7 @@ impl MaintenanceLoop {
         self.dirty_since_snapshot = false;
         let started = Instant::now();
         let detection = DetectionResult {
-            result: self.postprocess.refresh(self.engine.graph()),
+            result: self.engine.refresh(&mut self.postprocess, &self.stats),
         };
         let snapshot = CommunitySnapshot::build(
             self.store.latest_epoch() + 1,

@@ -15,6 +15,45 @@ use crate::shards::RepairEngine;
 use crate::snapshot::{CommunitySnapshot, SnapshotReader, SnapshotStore};
 use crate::stats::{ServeStats, StatsReport};
 
+/// How sharded workers deliver boundary corrections to each other.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExchangeMode {
+    /// Coordinator-relayed rounds (the pre-mesh baseline): workers hand
+    /// outboxes back to the maintenance thread, which regroups and
+    /// re-sends them — 2 channel hops per active shard per round, and
+    /// counter upkeep runs centrally on the maintenance thread.
+    Coordinator,
+    /// Peer-to-peer mailbox mesh (default): workers deliver envelopes
+    /// directly over per-peer channels, rounds synchronize on a shared
+    /// barrier, and each worker owns the edge-counter partition of its
+    /// own vertices so upkeep runs inside the workers in parallel.
+    #[default]
+    Mailbox,
+}
+
+impl std::fmt::Display for ExchangeMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ExchangeMode::Coordinator => "coordinator",
+            ExchangeMode::Mailbox => "mailbox",
+        })
+    }
+}
+
+impl std::str::FromStr for ExchangeMode {
+    type Err = String;
+
+    /// Parse the CLI spelling (`coordinator` | `mailbox`) — the shared
+    /// authority for every `--engine` flag.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "coordinator" => Ok(ExchangeMode::Coordinator),
+            "mailbox" => Ok(ExchangeMode::Mailbox),
+            other => Err(format!("{other:?} is not coordinator|mailbox")),
+        }
+    }
+}
+
 /// Service configuration.
 pub struct ServeConfig {
     /// Detector parameters (iterations, seed, cascade mode).
@@ -32,7 +71,15 @@ pub struct ServeConfig {
     /// that many worker threads with boundary exchange. Rosters are
     /// bit-identical across shard counts for the same edit/barrier
     /// sequence.
+    ///
+    /// Out-of-range values are clamped at start-up rather than panicking
+    /// downstream: `0` falls back to the single-writer path, and a count
+    /// above the seed graph's vertex count is capped at the vertex count
+    /// (shards beyond that could never own a vertex). The effective
+    /// count is what [`StatsReport::shards`](crate::StatsReport) reports.
     pub shards: usize,
+    /// Boundary-exchange transport for `shards > 1` (ignored otherwise).
+    pub exchange: ExchangeMode,
 }
 
 impl Default for ServeConfig {
@@ -43,6 +90,7 @@ impl Default for ServeConfig {
             snapshot_every: 1,
             history: 64,
             shards: 1,
+            exchange: ExchangeMode::default(),
         }
     }
 }
@@ -96,8 +144,19 @@ impl ServeConfig {
     /// };
     /// assert_eq!(run(1), run(4)); // sharding never changes semantics
     /// ```
+    ///
+    /// `0` is clamped to the single-writer path, and counts above the
+    /// seed graph's vertex count are capped at start-up (see
+    /// [`shards`](Self::shards)).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Select the boundary-exchange transport (builder style). Only
+    /// meaningful with `shards > 1`; see [`ExchangeMode`].
+    pub fn with_exchange(mut self, exchange: ExchangeMode) -> Self {
+        self.exchange = exchange;
         self
     }
 }
@@ -190,9 +249,14 @@ impl CommunityService {
     /// snapshot (epoch 0), and start the maintenance thread (plus shard
     /// workers when `config.shards > 1`).
     pub fn start(graph: AdjacencyGraph, config: ServeConfig) -> Self {
-        let stats = Arc::new(ServeStats::with_shards(config.shards.max(1)));
+        // Clamp the shard count to something every downstream layer can
+        // honor: at least 1 (0 would have no writer at all), at most the
+        // vertex count (a shard beyond that could never own a vertex, and
+        // partition planning over empty shards is not worth supporting).
+        let shards = config.shards.clamp(1, graph.num_vertices().max(1));
+        let stats = Arc::new(ServeStats::with_shards(shards));
         let bootstrap =
-            RepairEngine::bootstrap(graph, &config.detector, config.shards.max(1), &stats);
+            RepairEngine::bootstrap(graph, &config.detector, shards, config.exchange, &stats);
         let detection = DetectionResult {
             result: bootstrap.genesis,
         };

@@ -1,36 +1,57 @@
 //! The repair engine behind the maintenance loop: a single-writer
-//! detector, or N partition-sharded workers with boundary exchange.
+//! detector, coordinator-relayed shards, or the peer-to-peer mailbox
+//! mesh.
 //!
 //! * [`RepairEngine::Single`] — the pre-sharding hot path: one
 //!   [`RslpaDetector`] owned by the maintenance thread, repairing via
 //!   centralized Correction Propagation. Default (`shards = 1`).
-//! * [`RepairEngine::Sharded`] — `N` worker threads, each owning one
-//!   [`ShardRepairState`] (its partition's adjacency rows + label
-//!   provenance). The coordinator routes each flush's per-vertex deltas to
-//!   their owner shards ([`split_deltas`]), the workers repair their
-//!   regions in parallel and drain local cascades, and corrections that
-//!   cross a partition boundary travel as [`Envelope`]s through
-//!   coordinator-driven exchange rounds until the cascade is quiescent.
+//! * [`RepairEngine::Sharded`] — the coordinator-relayed baseline: `N`
+//!   worker threads, each owning one [`ShardRepairState`]; corrections
+//!   that cross a partition boundary travel as [`Envelope`]s through
+//!   coordinator-driven exchange rounds (2 channel hops per active shard
+//!   per round, every envelope relayed through 2 channels), and counter
+//!   upkeep runs centrally on the maintenance thread.
+//! * [`RepairEngine::Mailbox`] — the decentralized engine (default for
+//!   `shards > 1`): workers exchange envelopes **directly** over a
+//!   [`MailboxPort`] mesh, rounds synchronize on a shared barrier with a
+//!   monotone sent-counter for termination (no coordinator traffic per
+//!   round, 1 channel hop per envelope), and each worker owns the
+//!   [`CounterPartition`] of its own vertices so slot-delta upkeep runs
+//!   inside the workers in parallel. The coordinator posts a flush into
+//!   the sub-queues of only the shards with routed deltas; the full mesh
+//!   wakes only when some shard actually staged boundary traffic
+//!   (interior flushes never wake idle shards). At publish, workers ship
+//!   their interior-edge counters and boundary-vertex histograms, and
+//!   the coordinator assembles the canonical weight list
+//!   ([`assemble_partitioned_weights`]) — boundary edges are merged
+//!   there, per the cross-shard edge ownership rule.
 //!
-//! Both engines produce **bit-identical** label state for the same batch
-//! sequence (pinned by `rslpa_core::shard` tests and the cross-shard
-//! roster tests in this crate), so shard count is purely a throughput
-//! knob.
+//! All engines produce **bit-identical** label state, weights, and
+//! rosters for the same batch sequence (pinned by `rslpa_core::shard` /
+//! `edge_counters` tests and the cross-shard roster tests in this
+//! crate), so shard count and exchange transport are purely throughput
+//! knobs.
 
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use rslpa_core::shard::{Envelope, ShardFlushReport, ShardRepairState, VertexRowData};
-use rslpa_core::{IncrementalPostprocess, RslpaConfig, RslpaDetector};
+use rslpa_core::shard::{
+    build_mesh, Envelope, MailboxPort, ShardFlushReport, ShardRepairState, VertexRowData,
+};
+use rslpa_core::{
+    assemble_partitioned_weights, result_from_weights, CounterPartition, IncrementalPostprocess,
+    PostprocessResult, RslpaConfig, RslpaDetector,
+};
 use rslpa_graph::sharding::split_deltas;
-use rslpa_graph::Cover;
 use rslpa_graph::{
-    AdjacencyGraph, BoundaryTracker, DynamicGraph, EditBatch, FxHashSet, Partitioner,
+    AdjacencyGraph, BoundaryTracker, DynamicGraph, EditBatch, FxHashMap, FxHashSet, Partitioner,
     PlannedPartitioner, SlotDelta, VertexId,
 };
+use rslpa_graph::{Cover, Label};
 
+use crate::service::ExchangeMode;
 use crate::stats::ServeStats;
 
 /// How long the coordinator waits for a worker reply before concluding the
@@ -129,6 +150,202 @@ fn worker_loop(mut shard: ShardRepairState, cmds: Receiver<ShardCmd>, replies: S
     }
 }
 
+/// Commands the coordinator posts into a mesh worker's sub-queue.
+enum MeshCmd {
+    /// Phase A for this shard's slice of flush `epoch` (posted only to
+    /// shards with routed deltas). The worker stages boundary envelopes
+    /// locally and runs its own counter upkeep — no further coordination
+    /// unless an `Exchange` follows.
+    Flush {
+        epoch: u64,
+        deltas: Vec<(VertexId, rslpa_graph::VertexDelta)>,
+    },
+    /// Join the mesh exchange for flush `epoch` (broadcast to every shard
+    /// once any shard reported staged boundary traffic). A shard that got
+    /// no `Flush` for this epoch resets its per-flush η accounting here.
+    Exchange { epoch: u64 },
+    /// Ship this partition's publish contribution: interior-edge counters
+    /// plus boundary-vertex histograms.
+    Collect,
+    /// Hand over the rows (and forget the counters) of vertices this
+    /// shard no longer owns.
+    Extract(Vec<VertexId>),
+    /// Install the new ownership map and any rows migrating in.
+    Adopt {
+        partitioner: Arc<dyn Partitioner>,
+        rows: Vec<(VertexId, VertexRowData)>,
+    },
+    /// Exit the worker thread.
+    Shutdown,
+}
+
+/// Mesh worker replies.
+enum MeshReply {
+    /// Phase A + local cascade done; `boundary` envelopes are staged for
+    /// the mesh (0 means this shard needs no exchange).
+    Local {
+        shard: usize,
+        boundary: u64,
+        report: ShardFlushReport,
+    },
+    /// Mesh exchange ran to quiescence. `envelopes_sent` is counted by
+    /// the port at its peer channels — independent of the route-side
+    /// `report.boundary_msgs`, so the coordinator can cross-check the
+    /// two.
+    Exchanged {
+        shard: usize,
+        report: ShardFlushReport,
+        rounds: u64,
+        batches_sent: u64,
+        envelopes_sent: u64,
+    },
+    Collected {
+        shard: usize,
+        interior: Vec<(VertexId, VertexId, u64)>,
+        boundary_hists: Vec<(VertexId, Vec<(Label, u32)>)>,
+    },
+    Extracted {
+        rows: Vec<(VertexId, VertexRowData)>,
+    },
+    Adopted,
+}
+
+/// Drain this worker's slot-delta stream into its own counter partition
+/// (shard-owned upkeep — runs inside the worker, in parallel with peers,
+/// overlapped with whatever the coordinator does next).
+fn mesh_upkeep(
+    state: &mut ShardRepairState,
+    counters: &mut CounterPartition,
+    stats: &ServeStats,
+    shard: usize,
+) {
+    let deltas = state.take_slot_deltas();
+    if deltas.is_empty() {
+        return;
+    }
+    let started = Instant::now();
+    let net = counters.apply_own_deltas(state, &deltas);
+    stats.note_shard_upkeep(shard, net as u64, started.elapsed());
+}
+
+fn mesh_worker_loop(
+    mut state: ShardRepairState,
+    mut counters: CounterPartition,
+    mut port: MailboxPort,
+    cmds: Receiver<MeshCmd>,
+    replies: Sender<MeshReply>,
+    stats: Arc<ServeStats>,
+) {
+    let idx = state.shard();
+    // Boundary envelopes staged by the last Flush, awaiting the
+    // coordinator's exchange decision. Non-empty only between a Flush
+    // that staged traffic and the Exchange broadcast that must follow.
+    let mut pending_out: Vec<Envelope> = Vec::new();
+    // Flush epoch this worker last ran Phase A for; an Exchange for a
+    // different epoch means this shard had no routed deltas and must
+    // reset its per-flush η accounting itself.
+    let mut flushed_epoch: Option<u64> = None;
+    while let Ok(cmd) = cmds.recv() {
+        match cmd {
+            MeshCmd::Flush { epoch, deltas } => {
+                debug_assert!(pending_out.is_empty(), "flush while exchange pending");
+                flushed_epoch = Some(epoch);
+                // Retire interior deleted-edge counters first — the same
+                // delete-before-deltas order the central store requires.
+                for (v, delta) in &deltas {
+                    for &w in &delta.removed {
+                        if state.owns(w) {
+                            counters.retire_edge(*v, w);
+                        }
+                    }
+                }
+                let mut out = Vec::new();
+                let report = state.apply_deltas(&deltas, &mut out);
+                let boundary = out.len() as u64;
+                pending_out = out;
+                if replies
+                    .send(MeshReply::Local {
+                        shard: idx,
+                        boundary,
+                        report,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+                // Upkeep for the Phase-A wave runs now, before we even
+                // know whether an exchange follows: a later wave only
+                // appends to the per-(v, slot) chains, and both waves'
+                // vertex diffs compose exactly.
+                mesh_upkeep(&mut state, &mut counters, &stats, idx);
+            }
+            MeshCmd::Exchange { epoch } => {
+                if flushed_epoch != Some(epoch) {
+                    // No Phase A this flush: the distinct-η set still
+                    // holds the previous flush's slots.
+                    state.begin_flush();
+                }
+                let mut report = ShardFlushReport::default();
+                let mesh = port.exchange_to_quiescence(
+                    &mut state,
+                    std::mem::take(&mut pending_out),
+                    &mut report,
+                );
+                stats.note_mesh(&mesh.inbox_depths, mesh.barrier_wait);
+                if replies
+                    .send(MeshReply::Exchanged {
+                        shard: idx,
+                        report,
+                        rounds: mesh.rounds,
+                        batches_sent: mesh.batches_sent,
+                        envelopes_sent: mesh.envelopes_sent,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+                mesh_upkeep(&mut state, &mut counters, &stats, idx);
+            }
+            MeshCmd::Collect => {
+                let interior = counters.collect_interior(&state);
+                let boundary_hists = counters.boundary_hists(&state);
+                if replies
+                    .send(MeshReply::Collected {
+                        shard: idx,
+                        interior,
+                        boundary_hists,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            MeshCmd::Extract(ids) => {
+                counters.drop_vertices(&ids);
+                if replies
+                    .send(MeshReply::Extracted {
+                        rows: state.extract_rows(&ids),
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            MeshCmd::Adopt { partitioner, rows } => {
+                state.set_partitioner(partitioner);
+                for (v, data) in &rows {
+                    counters.adopt_hist(*v, &data.labels);
+                }
+                state.adopt_rows(rows);
+                if replies.send(MeshReply::Adopted).is_err() {
+                    return;
+                }
+            }
+            MeshCmd::Shutdown => return,
+        }
+    }
+}
+
 /// Single-writer engine: the pre-sharding maintenance path.
 pub(crate) struct SingleEngine {
     detector: RslpaDetector,
@@ -148,10 +365,31 @@ pub(crate) struct ShardedEngine {
     batches_applied: usize,
 }
 
+/// Decentralized engine: coordinator state for the peer-to-peer mailbox
+/// mesh. Label exchange and counter upkeep live on the workers; the
+/// coordinator only routes flush deltas, decides whether the mesh must
+/// wake, and assembles publish-time weights.
+pub(crate) struct MailboxEngine {
+    /// Topology mirror (net-op resolution, delta routing, and the edge
+    /// iteration order of publish assembly).
+    graph: DynamicGraph,
+    partitioner: Arc<dyn Partitioner>,
+    boundary: BoundaryTracker,
+    workers: Vec<Sender<MeshCmd>>,
+    replies: Receiver<MeshReply>,
+    handles: Vec<JoinHandle<()>>,
+    batches_applied: usize,
+    /// Draws per label sequence (`T + 1`), the weight denominator's root.
+    draws: usize,
+    /// τ1 grid threaded into publish-time threshold selection.
+    grid: Option<f64>,
+}
+
 /// The maintenance loop's repair backend.
 pub(crate) enum RepairEngine {
     Single(Box<SingleEngine>),
     Sharded(ShardedEngine),
+    Mailbox(MailboxEngine),
 }
 
 /// What `start` hands the service: the engine, the incremental
@@ -169,7 +407,8 @@ impl RepairEngine {
         graph: AdjacencyGraph,
         config: &RslpaConfig,
         shards: usize,
-        stats: &ServeStats,
+        mode: ExchangeMode,
+        stats: &Arc<ServeStats>,
     ) -> Bootstrap {
         if shards <= 1 {
             let detector = RslpaDetector::new(graph, *config);
@@ -183,9 +422,11 @@ impl RepairEngine {
         }
         let state = rslpa_core::run_propagation(&graph, config.iterations, config.seed);
         let mut postprocess = IncrementalPostprocess::new(&state, config.tau1_grid);
-        // The coordinator owns publishing, so it borrows the shard budget
-        // for the snapshot weight pass — capped at the machine's actual
-        // parallelism (extra threads on a small host only add switches).
+        // Under the coordinator engine the maintenance thread owns
+        // publishing, so it borrows the shard budget for the snapshot
+        // weight pass — capped at the machine's actual parallelism (extra
+        // threads on a small host only add switches). The mailbox engine
+        // reads weights off the worker partitions instead.
         let hw = std::thread::available_parallelism().map_or(1, usize::from);
         postprocess.set_threads(shards.min(hw));
         let genesis = postprocess.refresh(&graph);
@@ -204,33 +445,86 @@ impl RepairEngine {
             boundary.cut_edges() as u64,
             boundary.boundary_vertices() as u64,
         );
-        let (reply_tx, replies) = std::sync::mpsc::channel();
-        let mut workers = Vec::with_capacity(shards);
-        let mut handles = Vec::with_capacity(shards);
-        for s in 0..shards {
+        let make_shard = |s: usize| {
             let mut shard =
                 ShardRepairState::from_state(&state, &graph, s, Arc::clone(&partitioner));
             shard.set_value_pruned(config.value_pruned_cascade);
-            let (cmd_tx, cmd_rx) = std::sync::mpsc::channel();
-            let reply_tx = reply_tx.clone();
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("rslpa-serve-shard-{s}"))
-                    .spawn(move || worker_loop(shard, cmd_rx, reply_tx))
-                    .expect("spawn shard worker"),
-            );
-            workers.push(cmd_tx);
-        }
+            shard
+        };
+        let engine = match mode {
+            ExchangeMode::Coordinator => {
+                let (reply_tx, replies) = std::sync::mpsc::channel();
+                let mut workers = Vec::with_capacity(shards);
+                let mut handles = Vec::with_capacity(shards);
+                for s in 0..shards {
+                    let shard = make_shard(s);
+                    let (cmd_tx, cmd_rx) = std::sync::mpsc::channel();
+                    let reply_tx = reply_tx.clone();
+                    handles.push(
+                        std::thread::Builder::new()
+                            .name(format!("rslpa-serve-shard-{s}"))
+                            .spawn(move || worker_loop(shard, cmd_rx, reply_tx))
+                            .expect("spawn shard worker"),
+                    );
+                    workers.push(cmd_tx);
+                }
+                RepairEngine::Sharded(ShardedEngine {
+                    graph: DynamicGraph::new(graph),
+                    partitioner,
+                    boundary,
+                    workers,
+                    replies,
+                    handles,
+                    batches_applied: 0,
+                })
+            }
+            ExchangeMode::Mailbox => {
+                let (reply_tx, replies) = std::sync::mpsc::channel();
+                let mut workers = Vec::with_capacity(shards);
+                let mut handles = Vec::with_capacity(shards);
+                for (s, port) in build_mesh(shards).into_iter().enumerate() {
+                    let shard = make_shard(s);
+                    // Carve this worker's counter partition out of the
+                    // genesis-refreshed central store, so the genesis
+                    // weight pass is never repeated.
+                    let counters = CounterPartition::carve(postprocess.counters(), &shard);
+                    let (cmd_tx, cmd_rx) = std::sync::mpsc::channel();
+                    let reply_tx = reply_tx.clone();
+                    let stats = Arc::clone(stats);
+                    handles.push(
+                        std::thread::Builder::new()
+                            .name(format!("rslpa-serve-shard-{s}"))
+                            .spawn(move || {
+                                mesh_worker_loop(shard, counters, port, cmd_rx, reply_tx, stats)
+                            })
+                            .expect("spawn mesh shard worker"),
+                    );
+                    workers.push(cmd_tx);
+                }
+                // The workers now hold the only live counter state; the
+                // central store just carved from would otherwise sit in
+                // the maintenance loop as a permanently stale O(n·T + m)
+                // copy (and silently answer anyone who reads it), so
+                // replace it with an empty husk.
+                postprocess = IncrementalPostprocess::new(
+                    &rslpa_core::LabelState::new(0, config.iterations, config.seed),
+                    config.tau1_grid,
+                );
+                RepairEngine::Mailbox(MailboxEngine {
+                    graph: DynamicGraph::new(graph),
+                    partitioner,
+                    boundary,
+                    workers,
+                    replies,
+                    handles,
+                    batches_applied: 0,
+                    draws: config.iterations + 1,
+                    grid: config.tau1_grid,
+                })
+            }
+        };
         Bootstrap {
-            engine: RepairEngine::Sharded(ShardedEngine {
-                graph: DynamicGraph::new(graph),
-                partitioner,
-                boundary,
-                workers,
-                replies,
-                handles,
-                batches_applied: 0,
-            }),
+            engine,
             postprocess,
             genesis,
         }
@@ -241,6 +535,7 @@ impl RepairEngine {
         match self {
             RepairEngine::Single(e) => e.detector.graph(),
             RepairEngine::Sharded(e) => e.graph.graph(),
+            RepairEngine::Mailbox(e) => e.graph.graph(),
         }
     }
 
@@ -254,6 +549,10 @@ impl RepairEngine {
                 // Shard rows materialize lazily when a delta first touches
                 // an owned vertex; nothing to broadcast.
             }
+            RepairEngine::Mailbox(e) => {
+                e.graph.ensure_vertices(n);
+                e.boundary.ensure_vertices(n);
+            }
         }
     }
 
@@ -262,14 +561,22 @@ impl RepairEngine {
         match self {
             RepairEngine::Single(e) => e.detector.batches_applied(),
             RepairEngine::Sharded(e) => e.batches_applied,
+            RepairEngine::Mailbox(e) => e.batches_applied,
         }
     }
 
+    /// Whether counter upkeep is owned by the shard workers (the mailbox
+    /// engine) rather than run centrally by the maintenance thread.
+    pub(crate) fn shard_owned_counters(&self) -> bool {
+        matches!(self, RepairEngine::Mailbox(_))
+    }
+
     /// Apply one net-resolved batch and repair the label state. Returns
-    /// total repaired slots (η); the repair's label-slot changes are
-    /// appended to `slot_deltas` in application order (the counter
-    /// maintenance stream). Per-shard and exchange counters are recorded
-    /// into `stats`.
+    /// total repaired slots (η); for engines with central counter upkeep
+    /// the repair's label-slot changes are appended to `slot_deltas` in
+    /// application order (the mailbox engine's workers consume their own
+    /// streams instead and leave it untouched). Per-shard and exchange
+    /// counters are recorded into `stats`.
     pub(crate) fn apply(
         &mut self,
         batch: &EditBatch,
@@ -287,6 +594,28 @@ impl RepairEngine {
                 report.eta as u64
             }
             RepairEngine::Sharded(e) => e.apply(batch, stats, slot_deltas),
+            RepairEngine::Mailbox(e) => e.apply(batch, stats),
+        }
+    }
+
+    /// Produce the publish-time detection result: threshold selection and
+    /// extraction over this epoch's weight list. The single-writer and
+    /// coordinator engines read the central counter store; the mailbox
+    /// engine collects its workers' partitions and assembles the list
+    /// (bit-identical either way).
+    pub(crate) fn refresh(
+        &mut self,
+        postprocess: &mut IncrementalPostprocess,
+        stats: &ServeStats,
+    ) -> PostprocessResult {
+        match self {
+            RepairEngine::Single(_) | RepairEngine::Sharded(_) => {
+                let graph = self.graph();
+                // Split borrows: `self.graph()` borrows self immutably,
+                // postprocess is independent state.
+                postprocess.refresh(graph)
+            }
+            RepairEngine::Mailbox(e) => e.collect_and_refresh(stats),
         }
     }
 
@@ -294,8 +623,10 @@ impl RepairEngine {
     /// migrate rows accordingly (no-op for a single writer). Must run
     /// between flushes, when no envelope is in flight.
     pub(crate) fn repartition(&mut self, cover: &Cover, stats: &ServeStats) {
-        if let RepairEngine::Sharded(e) = self {
-            e.repartition(cover, stats);
+        match self {
+            RepairEngine::Single(_) => {}
+            RepairEngine::Sharded(e) => e.repartition(cover, stats),
+            RepairEngine::Mailbox(e) => e.repartition(cover, stats),
         }
     }
 }
@@ -329,8 +660,10 @@ impl ShardedEngine {
         let shards = self.workers.len();
         let per_shard = split_deltas(&applied, self.partitioner.as_ref());
         let mut routed = vec![0u64; shards];
+        let mut hops = 0u64;
         for (s, deltas) in per_shard.into_iter().enumerate() {
             routed[s] = deltas.len() as u64;
+            hops += 1;
             self.workers[s]
                 .send(ShardCmd::Apply(deltas))
                 .expect("shard worker alive");
@@ -340,6 +673,7 @@ impl ShardedEngine {
         // composition (and therefore the stats) is deterministic.
         let mut outboxes: Vec<Vec<Envelope>> = vec![Vec::new(); shards];
         for _ in 0..shards {
+            hops += 1;
             match self.recv_reply() {
                 ShardReply::Repaired {
                     shard,
@@ -369,6 +703,7 @@ impl ShardedEngine {
                 break;
             }
             rounds += 1;
+            hops += 2 * active.len() as u64;
             for &s in &active {
                 self.workers[s]
                     .send(ShardCmd::Exchange(std::mem::take(&mut inboxes[s])))
@@ -396,6 +731,10 @@ impl ShardedEngine {
             eta += report.eta as u64;
         }
         stats.note_exchange(rounds, boundary_msgs);
+        stats.note_channel_hops(hops);
+        // Every boundary envelope is relayed: worker → coordinator →
+        // worker, two channels per envelope.
+        stats.note_envelope_hops(2 * boundary_msgs);
         self.batches_applied += 1;
         eta
     }
@@ -471,6 +810,243 @@ impl Drop for ShardedEngine {
     fn drop(&mut self) {
         for worker in &self.workers {
             let _ = worker.send(ShardCmd::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl MailboxEngine {
+    fn recv_reply(&self) -> MeshReply {
+        self.replies
+            .recv_timeout(WORKER_REPLY_TIMEOUT)
+            .expect("mesh shard worker unresponsive (panicked?)")
+    }
+
+    /// One flush over the mesh: post deltas into the sub-queues of shards
+    /// that have any, collect their Phase-A replies, and wake the full
+    /// mesh for direct peer exchange only if someone staged boundary
+    /// traffic. Counter upkeep never touches this thread — each worker
+    /// folds its own slot deltas into its own partition.
+    fn apply(&mut self, batch: &EditBatch, stats: &ServeStats) -> u64 {
+        let applied = self
+            .graph
+            .apply(batch)
+            .expect("net-resolved batch validates by construction");
+        self.boundary.apply(batch, self.partitioner.as_ref());
+        stats.set_boundary_gauges(
+            self.boundary.cut_edges() as u64,
+            self.boundary.boundary_vertices() as u64,
+        );
+        let shards = self.workers.len();
+        let epoch = self.batches_applied as u64;
+        let per_shard = split_deltas(&applied, self.partitioner.as_ref());
+        let mut routed = vec![0u64; shards];
+        let mut participants = 0usize;
+        let mut hops = 0u64;
+        for (s, deltas) in per_shard.into_iter().enumerate() {
+            if deltas.is_empty() {
+                continue; // sub-queue stays empty; the shard sleeps
+            }
+            routed[s] = deltas.len() as u64;
+            participants += 1;
+            hops += 1;
+            self.workers[s]
+                .send(MeshCmd::Flush { epoch, deltas })
+                .expect("mesh worker alive");
+        }
+        let mut reports = vec![ShardFlushReport::default(); shards];
+        let mut staged = 0u64;
+        for _ in 0..participants {
+            hops += 1;
+            match self.recv_reply() {
+                MeshReply::Local {
+                    shard,
+                    boundary,
+                    report,
+                } => {
+                    reports[shard].absorb(&report);
+                    staged += boundary;
+                }
+                _ => unreachable!("only flush replies in flight"),
+            }
+        }
+        let mut rounds = 0u64;
+        let mut envelopes = 0u64;
+        let mut delivered = 0u64;
+        if staged > 0 {
+            hops += shards as u64;
+            for worker in &self.workers {
+                worker
+                    .send(MeshCmd::Exchange { epoch })
+                    .expect("mesh worker alive");
+            }
+            for _ in 0..shards {
+                hops += 1;
+                match self.recv_reply() {
+                    MeshReply::Exchanged {
+                        shard,
+                        report,
+                        rounds: r,
+                        batches_sent,
+                        envelopes_sent,
+                    } => {
+                        envelopes += report.boundary_msgs as u64;
+                        delivered += envelopes_sent;
+                        reports[shard].absorb(&report);
+                        rounds = rounds.max(r);
+                        hops += batches_sent;
+                    }
+                    _ => unreachable!("only exchange replies in flight"),
+                }
+            }
+            // Phase-A outboxes were staged before the Local reply and
+            // counted there; they travel in the exchange's first round.
+            envelopes += staged;
+            // Route-side staging and port-side delivery count the same
+            // envelopes through independent code paths.
+            debug_assert_eq!(envelopes, delivered, "mesh lost or invented envelopes");
+        }
+        let mut eta = 0u64;
+        for (s, report) in reports.iter().enumerate() {
+            stats.note_shard_flush(s, routed[s], report.eta as u64);
+            eta += report.eta as u64;
+        }
+        stats.note_exchange(rounds, envelopes);
+        stats.note_channel_hops(hops);
+        // Mesh delivery is direct: one channel hop per envelope. Counted
+        // from the ports' own send tallies — independent of the
+        // route-side `boundary_msgs` above, so the two stats cross-check
+        // each other (the shard-consistency tests assert equality).
+        stats.note_envelope_hops(delivered);
+        self.batches_applied += 1;
+        eta
+    }
+
+    /// Publish-time weight assembly: collect every worker's interior-edge
+    /// counters and boundary-vertex histograms, stitch the canonical
+    /// weight list (boundary edges merged here, per the ownership rule),
+    /// and run threshold selection + extraction.
+    fn collect_and_refresh(&mut self, stats: &ServeStats) -> PostprocessResult {
+        let shards = self.workers.len();
+        let mut hops = 0u64;
+        for worker in &self.workers {
+            hops += 1;
+            worker.send(MeshCmd::Collect).expect("mesh worker alive");
+        }
+        let mut interior: Vec<Vec<(VertexId, VertexId, u64)>> = vec![Vec::new(); shards];
+        let mut boundary_hists: FxHashMap<VertexId, Vec<(Label, u32)>> = FxHashMap::default();
+        for _ in 0..shards {
+            hops += 1;
+            match self.recv_reply() {
+                MeshReply::Collected {
+                    shard,
+                    interior: part,
+                    boundary_hists: hists,
+                } => {
+                    interior[shard] = part;
+                    for (v, hist) in hists {
+                        boundary_hists.insert(v, hist);
+                    }
+                }
+                _ => unreachable!("only collects in flight during publish"),
+            }
+        }
+        stats.note_channel_hops(hops);
+        let graph = self.graph.graph();
+        let partitioner = Arc::clone(&self.partitioner);
+        let wlist = assemble_partitioned_weights(
+            graph,
+            |v| partitioner.assign(v),
+            self.draws,
+            &interior,
+            &boundary_hists,
+        );
+        result_from_weights(graph.num_vertices(), wlist, self.grid)
+    }
+
+    /// Re-plan ownership stickily around `cover` and migrate rows *and*
+    /// counter partitions: leaving vertices take their histograms with
+    /// them (recomputed from the row on adoption) and drop every incident
+    /// counter — edges co-owned again later are re-merged lazily at the
+    /// next collect. Runs at publish time, between flushes, when no
+    /// envelope or undrained slot delta is in flight.
+    fn repartition(&mut self, cover: &Cover, stats: &ServeStats) {
+        let shards = self.workers.len();
+        let n = self.graph.graph().num_vertices();
+        let next: Arc<dyn Partitioner> = Arc::new(PlannedPartitioner::rebalance(
+            self.partitioner.as_ref(),
+            cover,
+            n,
+            shards,
+        ));
+        let mut leaving: Vec<Vec<VertexId>> = vec![Vec::new(); shards];
+        let mut moved = 0u64;
+        for v in 0..n as VertexId {
+            let old = self.partitioner.assign(v);
+            if old != next.assign(v) {
+                leaving[old].push(v);
+                moved += 1;
+            }
+        }
+        // Even a zero-move re-plan installs the new map everywhere:
+        // routing and worker-local `owns()` must never disagree.
+        for (worker, ids) in self.workers.iter().zip(leaving) {
+            worker
+                .send(MeshCmd::Extract(ids))
+                .expect("mesh worker alive");
+        }
+        let mut incoming: Vec<Vec<(VertexId, VertexRowData)>> = vec![Vec::new(); shards];
+        for _ in 0..shards {
+            match self.recv_reply() {
+                MeshReply::Extracted { rows } => {
+                    for (v, row) in rows {
+                        incoming[next.assign(v)].push((v, row));
+                    }
+                }
+                _ => unreachable!("only extracts in flight during repartition"),
+            }
+        }
+        for (worker, rows) in self.workers.iter().zip(incoming) {
+            worker
+                .send(MeshCmd::Adopt {
+                    partitioner: Arc::clone(&next),
+                    rows,
+                })
+                .expect("mesh worker alive");
+        }
+        for _ in 0..shards {
+            match self.recv_reply() {
+                MeshReply::Adopted => {}
+                _ => unreachable!("only adopts in flight during repartition"),
+            }
+        }
+        stats.note_channel_hops(4 * shards as u64);
+        self.partitioner = next;
+        self.boundary = BoundaryTracker::new(self.graph.graph(), self.partitioner.as_ref());
+        stats.note_repartition(moved);
+        stats.set_boundary_gauges(
+            self.boundary.cut_edges() as u64,
+            self.boundary.boundary_vertices() as u64,
+        );
+    }
+}
+
+impl Drop for MailboxEngine {
+    fn drop(&mut self) {
+        for worker in &self.workers {
+            let _ = worker.send(MeshCmd::Shutdown);
+        }
+        // If we are unwinding (a worker died and `recv_reply` timed out),
+        // the surviving workers may be parked forever on the mesh round
+        // barrier — `std::sync::Barrier` has no poisoning, so joining
+        // them would hang the maintenance thread's unwind and leave every
+        // client blocked instead of seeing `ServiceClosed`. Detach them:
+        // leaked parked threads are the recoverable failure mode.
+        if std::thread::panicking() {
+            self.handles.clear();
+            return;
         }
         for handle in self.handles.drain(..) {
             let _ = handle.join();

@@ -48,6 +48,12 @@ pub struct CommunitySnapshot {
     pub tau1: f64,
     /// Weak-attachment threshold.
     pub tau2: f64,
+    /// FNV-1a digest over the epoch's canonical weight list
+    /// `(u, v, bits(w))` — two runs publish the same fingerprint exactly
+    /// when their weight lists are bit-identical, so cross-shard and
+    /// cross-engine equivalence checks can diff weights without keeping
+    /// `O(m)` floats per epoch alive.
+    pub weights_fingerprint: u64,
     /// Per-vertex community ids (indices into `cover.communities()`).
     memberships: Vec<Vec<u32>>,
     /// Content hash per community, for cross-epoch identity comparison.
@@ -78,6 +84,7 @@ impl CommunitySnapshot {
             cover,
             tau1: detection.result.tau1,
             tau2: detection.result.tau2,
+            weights_fingerprint: fingerprint_weights(&detection.result.weights),
             memberships,
             community_hashes,
         }
@@ -139,6 +146,24 @@ fn hash_members(members: &[VertexId]) -> u64 {
     for &m in members {
         h ^= u64::from(m);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a over the canonical weight list, hashing each edge's endpoints
+/// and the *bit pattern* of its weight — equal fingerprints ⇔
+/// bit-identical weight lists (modulo 64-bit hash collisions). Public so
+/// equivalence harnesses can fingerprint a reference engine's weights
+/// with exactly the algorithm snapshots use.
+pub fn fingerprint_weights(weights: &[(VertexId, VertexId, f64)]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for &(u, v, w) in weights {
+        mix(u64::from(u) << 32 | u64::from(v));
+        mix(w.to_bits());
     }
     h
 }

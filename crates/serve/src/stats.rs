@@ -56,11 +56,19 @@ impl LatencyHistogram {
     /// Record one sample.
     pub fn record(&self, elapsed: Duration) {
         let ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
-        let idx = (64 - ns.leading_zeros()) as usize; // 0 for ns == 0
+        self.record_value(ns);
+    }
+
+    /// Record one dimensionless sample (the histogram is just log₂
+    /// buckets over `u64`; queue depths and message counts bucket the
+    /// same way latencies do — the `*_ns` summary fields then carry raw
+    /// values instead of nanoseconds).
+    pub fn record_value(&self, value: u64) {
+        let idx = (64 - value.leading_zeros()) as usize; // 0 for value == 0
         self.buckets[idx.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
-        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        self.sum_ns.fetch_add(value, Ordering::Relaxed);
+        self.max_ns.fetch_max(value, Ordering::Relaxed);
     }
 
     /// Number of recorded samples.
@@ -145,6 +153,11 @@ pub struct ShardStats {
     pub edits_routed: AtomicU64,
     /// Label slots this shard repaired (Σ per-shard η).
     pub slots_repaired: AtomicU64,
+    /// Net slot deltas this shard folded into its own counter partition
+    /// (shard-owned upkeep; 0 when upkeep is coordinator-central).
+    pub upkeep_deltas: AtomicU64,
+    /// Wall nanoseconds this shard spent on its own counter upkeep.
+    pub upkeep_ns: AtomicU64,
 }
 
 /// Plain point-in-time view of one shard's counters.
@@ -154,6 +167,10 @@ pub struct ShardCounts {
     pub edits_routed: u64,
     /// See [`ShardStats::slots_repaired`].
     pub slots_repaired: u64,
+    /// See [`ShardStats::upkeep_deltas`].
+    pub upkeep_deltas: u64,
+    /// See [`ShardStats::upkeep_ns`].
+    pub upkeep_ns: u64,
 }
 
 /// Shared counters for one service instance. All fields are monotone
@@ -170,9 +187,11 @@ pub struct ServeStats {
     /// + index build + epoch swap. Its count is the number of snapshots
     /// published.
     pub snapshots: LatencyHistogram,
-    /// Per-flush edge-weight counter maintenance latency (retiring
-    /// deleted edges' counters + folding the compacted slot-delta stream
-    /// into the common-label counters).
+    /// Per-flush **central** edge-weight counter maintenance latency
+    /// (retiring deleted edges' counters + folding the compacted
+    /// slot-delta stream into the common-label counters on the
+    /// maintenance thread). Empty under the mailbox engine, whose
+    /// workers own upkeep — see the per-shard `upkeep_*` counters.
     pub counters: LatencyHistogram,
     /// Edit operations accepted into the queue.
     pub edits_enqueued: AtomicU64,
@@ -190,11 +209,23 @@ pub struct ServeStats {
     pub slot_deltas_net: AtomicU64,
     /// Barriers honored.
     pub barriers: AtomicU64,
-    /// Boundary-exchange rounds driven by the coordinator (0 under a
+    /// Boundary-exchange rounds (coordinator-relayed or mesh; 0 under a
     /// single writer).
     pub exchange_rounds: AtomicU64,
     /// Envelopes that crossed a shard boundary.
     pub boundary_msgs: AtomicU64,
+    /// Channel `send`s spent on flush coordination and boundary delivery
+    /// (commands, replies, and peer batches all count 1 each).
+    pub channel_hops: AtomicU64,
+    /// Σ over boundary envelopes of the channels each traversed: 2 per
+    /// envelope through the coordinator relay, 1 over the mailbox mesh.
+    pub envelope_hops: AtomicU64,
+    /// Inbox depth per delivering mesh round (envelopes drained by one
+    /// shard in one round; empty under the coordinator engine).
+    pub mailbox_depth: LatencyHistogram,
+    /// Wall time workers spent parked on the mesh round barrier, per
+    /// shard per flush (empty under the coordinator engine).
+    pub barrier_wait: LatencyHistogram,
     /// Gauge: edges whose endpoints live on different shards.
     pub cut_edges: AtomicU64,
     /// Gauge: vertices with at least one off-shard neighbor.
@@ -239,6 +270,10 @@ impl ServeStats {
             barriers: AtomicU64::new(0),
             exchange_rounds: AtomicU64::new(0),
             boundary_msgs: AtomicU64::new(0),
+            channel_hops: AtomicU64::new(0),
+            envelope_hops: AtomicU64::new(0),
+            mailbox_depth: LatencyHistogram::new(),
+            barrier_wait: LatencyHistogram::new(),
             cut_edges: AtomicU64::new(0),
             boundary_vertices: AtomicU64::new(0),
             repartitions: AtomicU64::new(0),
@@ -260,6 +295,38 @@ impl ServeStats {
     pub(crate) fn note_exchange(&self, rounds: u64, boundary_msgs: u64) {
         bump!(self.exchange_rounds, rounds);
         bump!(self.boundary_msgs, boundary_msgs);
+    }
+
+    pub(crate) fn note_channel_hops(&self, hops: u64) {
+        bump!(self.channel_hops, hops);
+    }
+
+    pub(crate) fn note_envelope_hops(&self, hops: u64) {
+        bump!(self.envelope_hops, hops);
+    }
+
+    /// Fold one worker's per-flush mesh accounting into the histograms.
+    pub(crate) fn note_mesh(&self, depths: &[u64], barrier_wait: Duration) {
+        for &d in depths {
+            self.mailbox_depth.record_value(d);
+        }
+        self.barrier_wait.record(barrier_wait);
+    }
+
+    /// One shard's own counter upkeep for one wave of one flush.
+    /// Deliberately does **not** record into the per-flush `counters`
+    /// histogram — that histogram means "central upkeep per flush", and
+    /// mixing per-shard per-wave samples in would silently change its
+    /// denominator across engines. Shard-owned upkeep is read from the
+    /// per-shard `upkeep_deltas` / `upkeep_ns` counters instead.
+    pub(crate) fn note_shard_upkeep(&self, shard: usize, net_deltas: u64, took: Duration) {
+        let s = &self.shards[shard];
+        bump!(s.upkeep_deltas, net_deltas);
+        bump!(
+            s.upkeep_ns,
+            took.as_nanos().min(u128::from(u64::MAX)) as u64
+        );
+        bump!(self.slot_deltas_net, net_deltas);
     }
 
     pub(crate) fn set_boundary_gauges(&self, cut_edges: u64, boundary_vertices: u64) {
@@ -312,6 +379,10 @@ impl ServeStats {
             barriers: self.barriers.load(Ordering::Relaxed),
             exchange_rounds: self.exchange_rounds.load(Ordering::Relaxed),
             boundary_msgs: self.boundary_msgs.load(Ordering::Relaxed),
+            channel_hops: self.channel_hops.load(Ordering::Relaxed),
+            envelope_hops: self.envelope_hops.load(Ordering::Relaxed),
+            mailbox_depth: self.mailbox_depth.summarize(),
+            barrier_wait: self.barrier_wait.summarize(),
             cut_edges: self.cut_edges.load(Ordering::Relaxed),
             boundary_vertices: self.boundary_vertices.load(Ordering::Relaxed),
             repartitions: self.repartitions.load(Ordering::Relaxed),
@@ -322,6 +393,8 @@ impl ServeStats {
                 .map(|s| ShardCounts {
                     edits_routed: s.edits_routed.load(Ordering::Relaxed),
                     slots_repaired: s.slots_repaired.load(Ordering::Relaxed),
+                    upkeep_deltas: s.upkeep_deltas.load(Ordering::Relaxed),
+                    upkeep_ns: s.upkeep_ns.load(Ordering::Relaxed),
                 })
                 .collect(),
         }
@@ -360,6 +433,14 @@ pub struct StatsReport {
     pub exchange_rounds: u64,
     /// See [`ServeStats::boundary_msgs`].
     pub boundary_msgs: u64,
+    /// See [`ServeStats::channel_hops`].
+    pub channel_hops: u64,
+    /// See [`ServeStats::envelope_hops`].
+    pub envelope_hops: u64,
+    /// Mesh inbox depth distribution (raw counts, not nanoseconds).
+    pub mailbox_depth: LatencySummary,
+    /// Mesh round-barrier wait distribution.
+    pub barrier_wait: LatencySummary,
     /// See [`ServeStats::cut_edges`].
     pub cut_edges: u64,
     /// See [`ServeStats::boundary_vertices`].
@@ -388,7 +469,11 @@ impl StatsReport {
              \"batches_flushed\":{},\"snapshots_published\":{},\"slots_repaired\":{},\
              \"slot_deltas_net\":{},\"barriers\":{},\
              \"shards\":{},\"shard_edits_routed\":[{}],\"shard_slots_repaired\":[{}],\
+             \"upkeep_per_shard\":{{\"deltas\":[{}],\"ns\":[{}]}},\
              \"exchange_rounds\":{},\"boundary_msgs\":{},\
+             \"channel_hops\":{},\"envelope_hops\":{},\
+             \"mailbox_depth\":{{\"count\":{},\"p50\":{},\"p99\":{},\"max\":{}}},\
+             \"barrier_wait_us\":{{\"count\":{},\"mean\":{:.3},\"p50\":{:.3},\"p99\":{:.3}}},\
              \"cut_edges\":{},\"boundary_vertices\":{},\
              \"repartitions\":{},\"vertices_migrated\":{},\
              \"query_count\":{},\"query_mean_ns\":{},\"query_p50_ns\":{},\
@@ -408,8 +493,20 @@ impl StatsReport {
             self.shards.len(),
             join(|s| s.edits_routed),
             join(|s| s.slots_repaired),
+            join(|s| s.upkeep_deltas),
+            join(|s| s.upkeep_ns),
             self.exchange_rounds,
             self.boundary_msgs,
+            self.channel_hops,
+            self.envelope_hops,
+            self.mailbox_depth.count,
+            self.mailbox_depth.p50_ns,
+            self.mailbox_depth.p99_ns,
+            self.mailbox_depth.max_ns,
+            self.barrier_wait.count,
+            self.barrier_wait.mean_ns as f64 / 1e3,
+            self.barrier_wait.p50_ns as f64 / 1e3,
+            self.barrier_wait.p99_ns as f64 / 1e3,
             self.cut_edges,
             self.boundary_vertices,
             self.repartitions,
@@ -458,11 +555,23 @@ impl std::fmt::Display for StatsReport {
                 self.vertices_migrated,
                 self.repartitions,
             )?;
+            writeln!(
+                f,
+                "coordination: {} channel hops, {} envelope hops; mailbox depth p50/p99 {}/{}; barrier wait p99 {:.1}us",
+                self.channel_hops,
+                self.envelope_hops,
+                self.mailbox_depth.p50_ns,
+                self.mailbox_depth.p99_ns,
+                self.barrier_wait.p99_ns as f64 / 1e3,
+            )?;
             for (i, s) in self.shards.iter().enumerate() {
                 writeln!(
                     f,
-                    "  shard {i}: {} edits routed, {} slots repaired",
-                    s.edits_routed, s.slots_repaired
+                    "  shard {i}: {} edits routed, {} slots repaired, {} upkeep deltas in {:.2}ms",
+                    s.edits_routed,
+                    s.slots_repaired,
+                    s.upkeep_deltas,
+                    s.upkeep_ns as f64 / 1e6,
                 )?;
             }
         }

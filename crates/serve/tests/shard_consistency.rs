@@ -1,18 +1,24 @@
 //! Cross-shard consistency: replaying the same edit log (with barriers)
-//! must yield identical epoch rosters for every shard count — and must
-//! match the pre-sharding reference (a plain [`RslpaDetector`] applying
-//! the same batches with full post-processing per epoch).
+//! must yield identical epoch rosters **and bit-identical weight lists**
+//! for every shard count and every exchange transport — and must match
+//! the pre-sharding reference (a plain [`RslpaDetector`] applying the
+//! same batches with full post-processing per epoch).
 //!
 //! This is the end-to-end guarantee the sharded maintenance path rests
-//! on: partitioning is a throughput knob, never a semantics knob. The
-//! runs are genuinely threaded — each service spawns its maintenance
+//! on: partitioning is a throughput knob, never a semantics knob — and
+//! since PR 5, so is the exchange transport (coordinator-relayed rounds
+//! vs the peer-to-peer mailbox mesh with shard-owned counter upkeep).
+//! The runs are genuinely threaded — each service spawns its maintenance
 //! coordinator, and the sharded ones add one worker thread per shard.
+//! Publish-time repartitioning (with counter-partition migration) fires
+//! at every epoch, so these replays exercise mid-stream row + counter
+//! migration continuously.
 
-use rslpa_core::{RslpaConfig, RslpaDetector};
+use rslpa_core::{postprocess, RslpaConfig, RslpaDetector};
 use rslpa_gen::edits::uniform_batch;
 use rslpa_gen::lfr::LfrParams;
 use rslpa_graph::{AdjacencyGraph, Cover, DynamicGraph, EditBatch};
-use rslpa_serve::{BarrierOnly, CommunityService, ServeConfig};
+use rslpa_serve::{fingerprint_weights, BarrierOnly, CommunityService, ExchangeMode, ServeConfig};
 
 const ITERATIONS: usize = 25;
 const SEED: u64 = 2024;
@@ -39,17 +45,27 @@ fn edit_script(graph: &AdjacencyGraph, batches: usize, batch_size: usize) -> Vec
         .collect()
 }
 
+/// Per-barrier observation: the published roster plus the weight-list
+/// fingerprint of that epoch (equal fingerprints ⇔ bit-identical weights).
+type Epochs = Vec<(Cover, u64)>;
+
 /// Replay the script through a service at `shards`, collecting the roster
-/// published at every barrier.
-fn replay_served(graph: AdjacencyGraph, script: &[EditBatch], shards: usize) -> Vec<Cover> {
+/// and weights fingerprint published at every barrier.
+fn replay_served(
+    graph: AdjacencyGraph,
+    script: &[EditBatch],
+    shards: usize,
+    exchange: ExchangeMode,
+) -> Epochs {
     let service = CommunityService::start(
         graph,
         ServeConfig::quick(ITERATIONS, SEED)
             .with_policy(BarrierOnly)
-            .with_shards(shards),
+            .with_shards(shards)
+            .with_exchange(exchange),
     );
     let ingest = service.ingest();
-    let mut rosters = Vec::with_capacity(script.len());
+    let mut epochs = Vec::with_capacity(script.len());
     for batch in script {
         for &(u, v) in batch.deletions() {
             ingest.delete(u, v).expect("service alive");
@@ -58,7 +74,8 @@ fn replay_served(graph: AdjacencyGraph, script: &[EditBatch], shards: usize) -> 
             ingest.insert(u, v).expect("service alive");
         }
         ingest.barrier().expect("service alive");
-        rosters.push(service.latest().cover.clone());
+        let snap = service.latest();
+        epochs.push((snap.cover.clone(), snap.weights_fingerprint));
     }
     let report = service.shutdown();
     assert_eq!(report.shards.len(), shards);
@@ -67,41 +84,92 @@ fn replay_served(graph: AdjacencyGraph, script: &[EditBatch], shards: usize) -> 
         for (i, s) in report.shards.iter().enumerate() {
             assert!(s.slots_repaired > 0, "shard {i} idle: {report:?}");
         }
+        if exchange == ExchangeMode::Mailbox {
+            // Upkeep must actually be shard-owned: the workers, not the
+            // coordinator, folded the slot deltas.
+            assert!(
+                report.shards.iter().map(|s| s.upkeep_deltas).sum::<u64>() > 0,
+                "no shard-owned upkeep recorded: {report:?}"
+            );
+            // Single-hop delivery, cross-checked through independent
+            // counters: `boundary_msgs` is staged route-side by the
+            // repair states, `envelope_hops` is tallied port-side at the
+            // peer channels — equality means every staged envelope was
+            // sent exactly once and nothing else was.
+            assert!(report.boundary_msgs > 0, "no boundary traffic: {report:?}");
+            assert_eq!(
+                report.envelope_hops, report.boundary_msgs,
+                "mesh delivery must be single-hop: {report:?}"
+            );
+        } else {
+            // The relay touches every envelope twice by construction.
+            assert_eq!(
+                report.envelope_hops,
+                2 * report.boundary_msgs,
+                "coordinator relay is two-hop: {report:?}"
+            );
+        }
     }
-    rosters
+    epochs
 }
 
-/// The pre-sharding reference: detector + full detect per barrier.
-fn replay_reference(graph: AdjacencyGraph, script: &[EditBatch]) -> Vec<Cover> {
+/// The pre-sharding reference: detector + full detect per barrier, with
+/// the weight fingerprint computed by the same function snapshots use.
+fn replay_reference(graph: AdjacencyGraph, script: &[EditBatch]) -> Epochs {
     let mut detector = RslpaDetector::new(graph, RslpaConfig::quick(ITERATIONS, SEED));
     script
         .iter()
         .map(|batch| {
             detector.apply_batch(batch).expect("valid batch");
-            detector.detect().result.cover
+            let result = postprocess(detector.graph(), detector.state(), None);
+            let fp = fingerprint_weights(&result.weights);
+            (result.cover, fp)
         })
         .collect()
 }
 
 #[test]
-fn rosters_identical_across_shard_counts_and_vs_reference() {
+fn rosters_and_weights_identical_across_shard_counts_and_vs_reference() {
     let graph = seed_graph();
     let script = edit_script(&graph, 8, 40);
     let reference = replay_reference(graph.clone(), &script);
-    for shards in [1usize, 2, 4] {
-        let served = replay_served(graph.clone(), &script, shards);
-        assert_eq!(
-            served.len(),
-            reference.len(),
-            "{shards} shards: barrier count"
-        );
-        for (epoch, (served_cover, reference_cover)) in served.iter().zip(&reference).enumerate() {
+    for exchange in [ExchangeMode::Mailbox, ExchangeMode::Coordinator] {
+        for shards in [1usize, 2, 4] {
+            let served = replay_served(graph.clone(), &script, shards, exchange);
             assert_eq!(
-                served_cover, reference_cover,
-                "{shards} shards diverged at barrier {epoch}"
+                served.len(),
+                reference.len(),
+                "{shards} shards ({exchange:?}): barrier count"
             );
+            for (epoch, ((served_cover, served_fp), (reference_cover, reference_fp))) in
+                served.iter().zip(&reference).enumerate()
+            {
+                assert_eq!(
+                    served_cover, reference_cover,
+                    "{shards} shards ({exchange:?}) roster diverged at barrier {epoch}"
+                );
+                assert_eq!(
+                    served_fp, reference_fp,
+                    "{shards} shards ({exchange:?}) weights diverged at barrier {epoch}"
+                );
+            }
         }
     }
+}
+
+#[test]
+fn eight_shard_mesh_is_deadlock_free_on_one_core() {
+    // The deadlock-freedom smoke the mesh barrier protocol must pass: 8
+    // worker threads + the maintenance coordinator on whatever cores the
+    // host has (CI runs this single-core), barrier-only policy so every
+    // flush is as large — and as boundary-heavy — as the barrier allows.
+    // Termination of every barrier() call *is* the assertion; equality
+    // with the single-writer replay makes the run meaningful.
+    let graph = seed_graph();
+    let script = edit_script(&graph, 4, 60);
+    let single = replay_served(graph.clone(), &script, 1, ExchangeMode::Mailbox);
+    let meshed = replay_served(graph.clone(), &script, 8, ExchangeMode::Mailbox);
+    assert_eq!(single, meshed, "8-shard mesh diverged from single writer");
 }
 
 #[test]
@@ -122,6 +190,32 @@ fn genesis_snapshots_agree_across_shard_counts() {
         assert_eq!(snap.tau2.to_bits(), reference.tau2.to_bits());
         service.shutdown();
     }
+}
+
+#[test]
+fn zero_and_oversized_shard_counts_clamp_instead_of_panicking() {
+    // `with_shards(0)` clamps to the single-writer path at the builder;
+    // a raw config with `shards: 0` or more shards than vertices clamps
+    // at start-up (the effective count is what stats report).
+    let graph = AdjacencyGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+    let zero = ServeConfig::quick(10, 1).with_shards(0);
+    assert_eq!(zero.shards, 1, "builder clamps zero to single-writer");
+
+    let raw_zero = ServeConfig {
+        shards: 0,
+        ..ServeConfig::quick(10, 1)
+    };
+    let service = CommunityService::start(graph.clone(), raw_zero);
+    service.ingest().insert(0, 2).unwrap();
+    service.ingest().barrier().unwrap();
+    assert_eq!(service.shutdown().shards.len(), 1);
+
+    // 64 shards over 4 vertices: capped at the vertex count.
+    let oversized = ServeConfig::quick(10, 1).with_shards(64);
+    let service = CommunityService::start(graph, oversized);
+    service.ingest().insert(0, 2).unwrap();
+    service.ingest().barrier().unwrap();
+    assert_eq!(service.shutdown().shards.len(), 4);
 }
 
 #[test]
@@ -156,8 +250,13 @@ fn fresh_vertices_and_churn_stay_consistent_when_sharded() {
         detector.apply_batch(batch).expect("valid batch");
         reference.push(detector.detect().result.cover);
     }
-    for shards in [1usize, 4] {
-        let served = replay_served(graph.clone(), &script, shards);
-        assert_eq!(served, reference, "{shards} shards");
+    for exchange in [ExchangeMode::Mailbox, ExchangeMode::Coordinator] {
+        for shards in [1usize, 4] {
+            let served: Vec<Cover> = replay_served(graph.clone(), &script, shards, exchange)
+                .into_iter()
+                .map(|(cover, _)| cover)
+                .collect();
+            assert_eq!(served, reference, "{shards} shards ({exchange:?})");
+        }
     }
 }

@@ -41,8 +41,13 @@
 //! | `shards` | maintenance shard count (1 = single writer) |
 //! | `shard_edits_routed` | per-shard array: vertex deltas routed to each shard |
 //! | `shard_slots_repaired` | per-shard array: slots each shard repaired |
-//! | `exchange_rounds` | boundary-exchange rounds driven by the coordinator |
+//! | `upkeep_per_shard` | object: per-shard `deltas` folded / wall `ns` of shard-owned counter upkeep (zeros when upkeep is coordinator-central) |
+//! | `exchange_rounds` | boundary-exchange rounds (coordinator-relayed or mesh) |
 //! | `boundary_msgs` | envelopes that crossed a shard boundary |
+//! | `channel_hops` | channel sends spent on coordination + boundary delivery |
+//! | `envelope_hops` | Σ channels traversed by boundary envelopes (2/envelope via the coordinator relay, 1 over the mailbox mesh) |
+//! | `mailbox_depth` | object: `count`/`p50`/`p99`/`max` of envelopes one shard drained per mesh round |
+//! | `barrier_wait_us` | object: `count`/`mean`/`p50`/`p99` of per-flush mesh barrier wait, microseconds |
 //! | `cut_edges` | gauge: edges whose endpoints live on different shards |
 //! | `boundary_vertices` | gauge: vertices with an off-shard neighbor |
 //! | `repartitions` | publish-time ownership re-plans performed |
@@ -55,7 +60,7 @@
 //! |-------------|---------|
 //! | `query_count`, `query_mean_ns`, `query_p50_ns`, `query_p90_ns`, `query_p99_ns`, `query_max_ns` | read-side query latency (all query kinds pooled) |
 //! | `flush_count`, `flush_mean_ns`, `flush_p50_ns`, `flush_p99_ns` | flush latency: net-batch resolution + incremental repair |
-//! | `counter_mean_ns`, `counter_p50_ns`, `counter_p99_ns` | per-flush edge-weight counter maintenance (delete retirement + slot-delta folding) |
+//! | `counter_mean_ns`, `counter_p50_ns`, `counter_p99_ns` | per-flush **central** edge-weight counter maintenance (delete retirement + slot-delta folding on the maintenance thread); zeros under the mailbox engine, whose shard-owned upkeep is reported in `upkeep_per_shard` |
 //! | `snapshot_mean_ns`, `snapshot_p50_ns`, `snapshot_p99_ns` | snapshot publish: counter-read weight pass + thresholding + build + epoch swap |
 
 use std::io::{BufRead, Write};
@@ -86,7 +91,7 @@ fn main() -> ExitCode {
                  \x20 stream   <graph> <edits> [--iterations N] [--seed S] [--detect-every K]\n\
                  \x20 replay   <graph> <edits> [--iterations N] [--seed S] [--flush-size B]\n\
                  \x20          [--snapshot-every K] [--queries-per-edit Q] [--shards W]\n\
-                 \x20          [--stats-json FILE]\n\
+                 \x20          [--engine coordinator|mailbox] [--stats-json FILE]\n\
                  \x20          replay an edit log through the live serve loop (blank line = barrier)\n\
                  \x20 generate <lfr|rmat|ba> <size> [--seed S] [--out FILE]"
             );
@@ -314,6 +319,10 @@ fn cmd_replay(args: &[String]) -> CliResult {
     let snapshot_every: usize = opt_parse(&options, "snapshot-every", 1)?;
     let queries_per_edit: usize = opt_parse(&options, "queries-per-edit", 2)?;
     let shards: usize = opt_parse(&options, "shards", 1)?;
+    let engine: rslpa::serve::ExchangeMode = match options.get("engine") {
+        Some(v) => v.parse().map_err(|e| format!("--engine: {e}"))?,
+        None => Default::default(),
+    };
     let file = std::fs::File::open(edits_path)?;
     let lines = parse_edit_lines(std::io::BufReader::new(file))?;
 
@@ -323,7 +332,8 @@ fn cmd_replay(args: &[String]) -> CliResult {
         ServeConfig::quick(iterations, seed)
             .with_policy(BySize::new(flush_size))
             .with_snapshot_every(snapshot_every)
-            .with_shards(shards),
+            .with_shards(shards)
+            .with_exchange(engine),
     );
     let propagation_secs = started.elapsed().as_secs_f64();
     let genesis = service.latest();
