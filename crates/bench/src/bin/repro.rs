@@ -6,10 +6,12 @@
 //! cargo run -p rslpa-bench --release --bin repro -- fig7b --paper-scale
 //! ```
 
+use rslpa_bench::exp_scale::ScaleWorkload;
 use rslpa_bench::exp_serve::ServeWorkload;
 use rslpa_bench::exp_weights::WeightsWorkload;
 use rslpa_bench::{
-    exp_ablations, exp_dynamic, exp_serve, exp_synthetic, exp_voting, exp_web, exp_weights, Scale,
+    exp_ablations, exp_dynamic, exp_scale, exp_serve, exp_synthetic, exp_voting, exp_web,
+    exp_weights, Scale,
 };
 
 const EXPERIMENTS: &[(&str, &str)] = &[
@@ -51,6 +53,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "weights",
         "publish-time weight pass: merge-on-publish vs streaming counters (emits BENCH_serve.json)",
     ),
+    (
+        "scale",
+        "million-vertex storage bench: dense vs paged adjacency under R-MAT churn (emits BENCH_serve.json)",
+    ),
 ];
 
 fn run(id: &str, scale: &Scale) -> bool {
@@ -81,6 +87,7 @@ fn run(id: &str, scale: &Scale) -> bool {
             return run_serve(id, &ServeOpts::default())
         }
         "weights" => exp_weights::weights(&WeightsWorkload::full(), "BENCH_serve.json"),
+        "scale" => exp_scale::scale(&ScaleWorkload::full(), "BENCH_serve.json"),
         _ => return false,
     }
     true
@@ -92,6 +99,8 @@ struct ServeOpts {
     shards: usize,
     engine: rslpa_serve::ExchangeMode,
     engine_given: bool,
+    backend: rslpa_graph::StorageBackend,
+    backend_given: bool,
     out: Option<String>,
     roster_out: Option<String>,
 }
@@ -102,6 +111,8 @@ impl Default for ServeOpts {
             shards: 1,
             engine: rslpa_serve::ExchangeMode::Mailbox,
             engine_given: false,
+            backend: rslpa_graph::StorageBackend::Dense,
+            backend_given: false,
             out: None,
             roster_out: None,
         }
@@ -112,17 +123,18 @@ fn run_serve(id: &str, opts: &ServeOpts) -> bool {
     let out = |default: &str| opts.out.clone().unwrap_or_else(|| default.to_string());
     let roster = opts.roster_out.as_deref();
     if (id == "serve-sharded" || id == "serve-p2p")
-        && (opts.shards != 1 || roster.is_some() || opts.engine_given)
+        && (opts.shards != 1 || roster.is_some() || opts.engine_given || opts.backend_given)
     {
         // The sweeps fix their own shard counts/engines and check rosters
         // internally; a silently-ignored flag would mislead.
-        eprintln!("{id} does not take --shards, --engine, or --roster-out");
+        eprintln!("{id} does not take --shards, --engine, --backend, or --roster-out");
         std::process::exit(2);
     }
     match id {
         "serve" => exp_serve::serve_to(
             &ServeWorkload {
                 engine: opts.engine,
+                backend: opts.backend,
                 ..ServeWorkload::full_sharded(opts.shards)
             },
             &out("BENCH_serve.json"),
@@ -131,6 +143,7 @@ fn run_serve(id: &str, opts: &ServeOpts) -> bool {
         "serve-smoke" => exp_serve::serve_to(
             &ServeWorkload {
                 engine: opts.engine,
+                backend: opts.backend,
                 ..ServeWorkload::smoke_sharded(opts.shards)
             },
             &out("BENCH_serve.json"),
@@ -140,6 +153,7 @@ fn run_serve(id: &str, opts: &ServeOpts) -> bool {
             &ServeWorkload {
                 shards: opts.shards,
                 engine: opts.engine,
+                backend: opts.backend,
                 ..ServeWorkload::full_rmat()
             },
             &out("BENCH_serve_rmat.json"),
@@ -162,9 +176,11 @@ fn usage() {
     eprintln!("  serve-rmat     full serve workload over an R-MAT web graph (not part of 'all')");
     eprintln!("  weights-smoke  CI-scale weight-pass comparison (not part of 'all')");
     eprintln!(
-        "serve options: --shards N, --engine coordinator|mailbox, --out FILE, --roster-out FILE"
+        "serve options: --shards N, --engine coordinator|mailbox, --backend dense|paged, \
+         --out FILE, --roster-out FILE"
     );
     eprintln!("weights options: --out FILE");
+    eprintln!("scale options: --smoke (n=2^17 instead of 2^20), --out FILE");
 }
 
 /// Pull `--flag value` pairs out of `args`, returning the value of `flag`.
@@ -186,7 +202,14 @@ fn main() {
     } else {
         Scale::quick()
     };
+    let smoke = if let Some(i) = args.iter().position(|a| a == "--smoke") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
     let engine_arg = take_option(&mut args, "--engine");
+    let backend_arg = take_option(&mut args, "--backend");
     let serve_opts = ServeOpts {
         shards: take_option(&mut args, "--shards")
             .map(|v| {
@@ -206,6 +229,16 @@ fn main() {
             })
             .unwrap_or_default(),
         engine_given: engine_arg.is_some(),
+        backend: backend_arg
+            .as_deref()
+            .map(|v| {
+                v.parse().unwrap_or_else(|e| {
+                    eprintln!("--backend: {e}");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or_default(),
+        backend_given: backend_arg.is_some(),
         out: take_option(&mut args, "--out"),
         roster_out: take_option(&mut args, "--roster-out"),
     };
@@ -215,10 +248,21 @@ fn main() {
     };
     let serve_flags_given = serve_opts.shards != 1
         || serve_opts.engine_given
+        || serve_opts.backend_given
         || serve_opts.out.is_some()
         || serve_opts.roster_out.is_some();
-    if serve_flags_given && !target.starts_with("serve") && !target.starts_with("weights") {
-        eprintln!("--shards/--engine/--out/--roster-out only apply to serve/weights experiments");
+    if serve_flags_given
+        && !target.starts_with("serve")
+        && !target.starts_with("weights")
+        && target != "scale"
+    {
+        eprintln!(
+            "--shards/--engine/--backend/--out/--roster-out only apply to serve/weights/scale experiments"
+        );
+        std::process::exit(2);
+    }
+    if smoke && target != "scale" {
+        eprintln!("--smoke only applies to the scale experiment (use serve-smoke etc.)");
         std::process::exit(2);
     }
     let started = std::time::Instant::now();
@@ -228,6 +272,25 @@ fn main() {
             assert!(run(id, &scale), "unknown experiment {id}");
             eprintln!("[{id} done in {:.1}s]\n", t.elapsed().as_secs_f64());
         }
+    } else if target == "scale" {
+        if serve_opts.shards != 1
+            || serve_opts.engine_given
+            || serve_opts.backend_given
+            || serve_opts.roster_out.is_some()
+        {
+            eprintln!("scale takes only --smoke and --out");
+            std::process::exit(2);
+        }
+        let w = if smoke {
+            ScaleWorkload::smoke()
+        } else {
+            ScaleWorkload::full()
+        };
+        let out = serve_opts
+            .out
+            .clone()
+            .unwrap_or_else(|| "BENCH_serve.json".to_string());
+        exp_scale::scale(&w, &out);
     } else if target.starts_with("serve") {
         if !run_serve(target, &serve_opts) {
             eprintln!("unknown experiment: {target}\n");

@@ -1,0 +1,339 @@
+//! Million-vertex storage-layer scale benchmark.
+//!
+//! Not a paper experiment — this measures the thing the compact storage
+//! layer exists for: holding a web-scale dynamic graph in memory and
+//! sustaining churn against it. The driver builds the same R-MAT seed
+//! graph on the dense (`Vec<Vec>`) and paged (slab-arena) adjacency
+//! backends, replays an identical deterministic churn stream through
+//! [`rslpa_graph::DynamicGraph`] on each — including id-space growth past
+//! the seed universe — and reports sustained edits/sec *and*
+//! `bytes_per_vertex` per backend into `BENCH_serve.json`.
+//!
+//! The two replays must end bit-identical (same vertices, same neighbor
+//! lists): the backend is a layout decision, never a semantic one. The
+//! driver asserts this; CI additionally gates on `bytes_per_vertex`
+//! regressions of the paged backend (>10% vs the committed baseline),
+//! which is a stable gate because the paged footprint is a pure function
+//! of the op sequence.
+
+use std::time::Instant;
+
+use rslpa_gen::webgraph::{rmat, RmatChurn, RmatParams};
+use rslpa_graph::{AdjacencyGraph, AppliedBatch, DynamicGraph, MemAccounted, StorageBackend};
+
+use crate::host_cores;
+use crate::report::Table;
+
+/// Workload knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleWorkload {
+    /// Human label recorded in the JSON (`full` / `smoke`).
+    pub mode: &'static str,
+    /// log2 of the seed vertex count (R-MAT scale).
+    pub scale: u32,
+    /// Churn rounds replayed.
+    pub rounds: usize,
+    /// Edge insertions sampled per round.
+    pub batch_inserts: usize,
+    /// Edge deletions sampled per round.
+    pub batch_deletes: usize,
+    /// Fresh vertices appended per round (id-space growth).
+    pub grow_per_batch: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl ScaleWorkload {
+    /// The acceptance configuration: n = 2^20 = 1,048,576 vertices,
+    /// ~13.6M directed R-MAT samples, 20 churn rounds (~770k edit ops).
+    pub fn full() -> Self {
+        Self {
+            mode: "full",
+            scale: 20,
+            rounds: 20,
+            batch_inserts: 25_000,
+            batch_deletes: 12_500,
+            grow_per_batch: 1_000,
+            seed: 42,
+        }
+    }
+
+    /// CI-scale smoke: n = 2^17 = 131,072 vertices (~100k-class), one
+    /// order of magnitude lighter churn.
+    pub fn smoke() -> Self {
+        Self {
+            mode: "smoke",
+            scale: 17,
+            rounds: 8,
+            batch_inserts: 6_000,
+            batch_deletes: 3_000,
+            grow_per_batch: 500,
+            seed: 42,
+        }
+    }
+
+    /// Seed vertex count.
+    pub fn n(&self) -> usize {
+        1usize << self.scale
+    }
+}
+
+/// Per-backend measurements.
+#[derive(Clone, Copy, Debug)]
+pub struct BackendRun {
+    /// Which adjacency layout this run used.
+    pub backend: StorageBackend,
+    /// Seconds to generate (or convert to) the seed graph.
+    pub build_secs: f64,
+    /// Wall seconds replaying all churn rounds.
+    pub churn_secs: f64,
+    /// Sustained edit ops (insert+delete) per second during churn.
+    pub edits_per_sec: f64,
+    /// Final vertex count (seed + growth).
+    pub final_vertices: usize,
+    /// Final undirected edge count.
+    pub final_edges: usize,
+    /// Adjacency bytes occupied by live entries.
+    pub mem_live_bytes: usize,
+    /// Adjacency bytes reserved by the backing buffers.
+    pub mem_capacity_bytes: usize,
+}
+
+impl BackendRun {
+    /// Reserved adjacency bytes per vertex — the headline number.
+    pub fn bytes_per_vertex(&self) -> f64 {
+        self.mem_capacity_bytes as f64 / self.final_vertices.max(1) as f64
+    }
+
+    /// Fraction of reserved bytes that are live.
+    pub fn utilization(&self) -> f64 {
+        if self.mem_capacity_bytes == 0 {
+            1.0
+        } else {
+            self.mem_live_bytes as f64 / self.mem_capacity_bytes as f64
+        }
+    }
+}
+
+/// Both backends' runs plus the cross-backend identity verdict.
+#[derive(Clone, Debug)]
+pub struct ScaleBenchResult {
+    /// Dense then paged.
+    pub runs: Vec<BackendRun>,
+    /// FNV-1a fingerprint over the final sorted edge list (equal across
+    /// backends by construction; recorded so CI diffs catch drift).
+    pub edges_fingerprint: u64,
+}
+
+/// Replay the churn stream on one backend, returning the measurements
+/// and the final graph (for the cross-backend identity check).
+fn run_backend(w: &ScaleWorkload, backend: StorageBackend) -> (BackendRun, AdjacencyGraph) {
+    let build_started = Instant::now();
+    let seed_graph = rmat(&RmatParams::web(w.scale, w.seed)).into_backend(backend);
+    let build_secs = build_started.elapsed().as_secs_f64();
+    eprintln!(
+        "[scale:{}] {backend} seed built: n={}, m={}, {:.2}s",
+        w.mode,
+        seed_graph.num_vertices(),
+        seed_graph.num_edges(),
+        build_secs,
+    );
+
+    let mut graph = DynamicGraph::new(seed_graph);
+    let mut churn = RmatChurn::new(RmatParams::web(w.scale, w.seed), w.grow_per_batch, w.seed);
+    let mut applied = AppliedBatch::default();
+    let mut total_ops = 0usize;
+    let churn_started = Instant::now();
+    for _ in 0..w.rounds {
+        let batch = churn.next_batch(graph.graph(), w.batch_inserts, w.batch_deletes);
+        if let Some(max_id) = batch.insertions().iter().map(|&(_, v)| v as usize).max() {
+            if max_id >= graph.graph().num_vertices() {
+                graph.ensure_vertices(max_id + 1);
+            }
+        }
+        total_ops += batch.len();
+        graph
+            .apply_into(&batch, &mut applied)
+            .expect("churn batch validates");
+    }
+    let churn_secs = churn_started.elapsed().as_secs_f64();
+
+    let mem = graph.graph().mem_footprint();
+    let run = BackendRun {
+        backend,
+        build_secs,
+        churn_secs,
+        edits_per_sec: total_ops as f64 / churn_secs,
+        final_vertices: graph.graph().num_vertices(),
+        final_edges: graph.graph().num_edges(),
+        mem_live_bytes: mem.live_bytes,
+        mem_capacity_bytes: mem.capacity_bytes,
+    };
+    eprintln!(
+        "[scale:{}] {backend} churn done: {} ops in {:.2}s ({:.0} edits/s), {:.1} bytes/vertex",
+        w.mode,
+        total_ops,
+        churn_secs,
+        run.edits_per_sec,
+        run.bytes_per_vertex(),
+    );
+    (run, graph.graph().clone())
+}
+
+/// FNV-1a over the (u, v) edge stream in iteration order.
+fn fingerprint_edges(graph: &AdjacencyGraph) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut fold = |x: u32| {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for (u, v) in graph.edges() {
+        fold(u);
+        fold(v);
+    }
+    h
+}
+
+/// Run both backends and assert bit-identity of the final graphs.
+pub fn run_workload(w: &ScaleWorkload) -> ScaleBenchResult {
+    let (dense_run, dense_graph) = run_backend(w, StorageBackend::Dense);
+    let (paged_run, paged_graph) = run_backend(w, StorageBackend::Paged);
+    assert_eq!(
+        dense_graph, paged_graph,
+        "dense and paged replays diverged — storage backend changed semantics"
+    );
+    let edges_fingerprint = fingerprint_edges(&dense_graph);
+    assert_eq!(
+        edges_fingerprint,
+        fingerprint_edges(&paged_graph),
+        "edge fingerprints diverged"
+    );
+    ScaleBenchResult {
+        runs: vec![dense_run, paged_run],
+        edges_fingerprint,
+    }
+}
+
+/// Serialize the result (one JSON object, same envelope style as the
+/// other bench writers).
+pub fn to_json(w: &ScaleWorkload, r: &ScaleBenchResult) -> String {
+    let backends: Vec<String> = r
+        .runs
+        .iter()
+        .map(|b| {
+            format!(
+                "{{\"backend\": \"{}\", \"build_secs\": {:.4}, \"churn_secs\": {:.4}, \
+                 \"edits_per_sec\": {:.1}, \"final_vertices\": {}, \"final_edges\": {}, \
+                 \"mem_live_bytes\": {}, \"mem_capacity_bytes\": {}, \
+                 \"bytes_per_vertex\": {:.2}, \"utilization\": {:.4}}}",
+                b.backend,
+                b.build_secs,
+                b.churn_secs,
+                b.edits_per_sec,
+                b.final_vertices,
+                b.final_edges,
+                b.mem_live_bytes,
+                b.mem_capacity_bytes,
+                b.bytes_per_vertex(),
+                b.utilization(),
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"experiment\": \"scale\",\n  \"mode\": \"{}\",\n  \
+         \"config\": {{\"scale\": {}, \"seed_n\": {}, \"rounds\": {}, \"batch_inserts\": {}, \
+         \"batch_deletes\": {}, \"grow_per_batch\": {}, \"cores\": {}, \"seed\": {}}},\n  \
+         \"edges_fingerprint\": \"{:016x}\",\n  \
+         \"backends\": [\n    {}\n  ]\n}}\n",
+        w.mode,
+        w.scale,
+        w.n(),
+        w.rounds,
+        w.batch_inserts,
+        w.batch_deletes,
+        w.grow_per_batch,
+        host_cores(),
+        w.seed,
+        r.edges_fingerprint,
+        backends.join(",\n    "),
+    )
+}
+
+/// Run the workload, print the table, and write `out_path`.
+pub fn scale(w: &ScaleWorkload, out_path: &str) {
+    eprintln!(
+        "[scale:{}] n=2^{}={}, {} rounds x ({} ins + {} del + {} grown)",
+        w.mode,
+        w.scale,
+        w.n(),
+        w.rounds,
+        w.batch_inserts,
+        w.batch_deletes,
+        w.grow_per_batch,
+    );
+    let r = run_workload(w);
+    let mut t = Table::new(
+        format!("storage scale ({}, n={})", w.mode, w.n()),
+        &[
+            "backend",
+            "build (s)",
+            "churn edits/s",
+            "final edges",
+            "bytes/vertex",
+            "utilization",
+        ],
+    );
+    for b in &r.runs {
+        t.row(vec![
+            b.backend.to_string(),
+            format!("{:.2}", b.build_secs),
+            format!("{:.0}", b.edits_per_sec),
+            b.final_edges.to_string(),
+            format!("{:.1}", b.bytes_per_vertex()),
+            format!("{:.3}", b.utilization()),
+        ]);
+    }
+    t.print();
+    eprintln!(
+        "[scale:{}] backends bit-identical (edge fingerprint {:016x})",
+        w.mode, r.edges_fingerprint,
+    );
+    let json = to_json(w, &r);
+    std::fs::write(out_path, &json).expect("write scale bench JSON");
+    eprintln!("[scale:{}] wrote {out_path}", w.mode);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_scale_backends_agree_and_serialize() {
+        let w = ScaleWorkload {
+            mode: "micro",
+            scale: 10,
+            rounds: 3,
+            batch_inserts: 200,
+            batch_deletes: 100,
+            grow_per_batch: 16,
+            seed: 5,
+        };
+        let r = run_workload(&w); // asserts bit-identity internally
+        assert_eq!(r.runs.len(), 2);
+        let (dense, paged) = (&r.runs[0], &r.runs[1]);
+        assert_eq!(dense.backend, StorageBackend::Dense);
+        assert_eq!(paged.backend, StorageBackend::Paged);
+        assert_eq!(dense.final_vertices, 1024 + 3 * 16);
+        assert_eq!(dense.final_vertices, paged.final_vertices);
+        assert_eq!(dense.final_edges, paged.final_edges);
+        assert!(dense.mem_capacity_bytes > 0 && paged.mem_capacity_bytes > 0);
+        let json = to_json(&w, &r);
+        assert!(json.contains("\"experiment\": \"scale\""));
+        assert!(json.contains("\"backend\": \"dense\""));
+        assert!(json.contains("\"backend\": \"paged\""));
+        assert!(json.contains("\"bytes_per_vertex\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

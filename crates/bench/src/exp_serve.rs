@@ -15,7 +15,7 @@ use rslpa_gen::edits::{targeted_batch, uniform_batch, EditWorkload};
 use rslpa_gen::lfr::LfrParams;
 use rslpa_gen::webgraph::{rmat, RmatParams};
 use rslpa_graph::rng::DetRng;
-use rslpa_graph::{AdjacencyGraph, Cover, DynamicGraph, EditBatch, VertexId};
+use rslpa_graph::{AdjacencyGraph, Cover, DynamicGraph, EditBatch, StorageBackend, VertexId};
 use rslpa_serve::{BySize, CommunityService, ExchangeMode, ServeConfig};
 
 use crate::host_cores;
@@ -47,6 +47,10 @@ pub struct ServeWorkload {
     pub mode: &'static str,
     /// Graph family the stream runs over.
     pub topology: Topology,
+    /// Adjacency storage backend the service runs on. Rosters and weight
+    /// fingerprints are bit-identical across backends for the same
+    /// workload — asserted in tests and diffed in CI.
+    pub backend: StorageBackend,
     /// Approximate vertex count of the seed graph (R-MAT rounds up to the
     /// next power of two).
     pub graph_n: usize,
@@ -85,6 +89,7 @@ impl ServeWorkload {
         Self {
             mode: "full",
             topology: Topology::Lfr,
+            backend: StorageBackend::Dense,
             graph_n: 2_000,
             iterations: 50,
             total_edits: 100_000,
@@ -122,6 +127,7 @@ impl ServeWorkload {
         Self {
             mode: "smoke",
             topology: Topology::Lfr,
+            backend: StorageBackend::Dense,
             graph_n: 400,
             iterations: 25,
             total_edits: 4_000,
@@ -176,7 +182,7 @@ pub struct ServeBenchResult {
 /// Build the seed graph for the configured topology, plus the planted
 /// cover when one exists (it parameterizes community-respecting churn).
 fn seed_graph(w: &ServeWorkload) -> (AdjacencyGraph, Option<Cover>) {
-    match w.topology {
+    let (graph, truth) = match w.topology {
         Topology::Lfr => {
             let instance = LfrParams {
                 seed: w.seed,
@@ -190,7 +196,8 @@ fn seed_graph(w: &ServeWorkload) -> (AdjacencyGraph, Option<Cover>) {
             let scale = (w.graph_n.max(2) as f64).log2().ceil() as u32;
             (rmat(&RmatParams::web(scale, w.seed)), None)
         }
-    }
+    };
+    (graph.into_backend(w.backend), truth)
 }
 
 /// One round's edit batch under the configured churn bias.
@@ -344,7 +351,7 @@ fn churn_label(churn: EditWorkload) -> &'static str {
 fn to_json_with_extra(w: &ServeWorkload, r: &ServeBenchResult, extra: &str) -> String {
     format!(
         "{{\n  \"experiment\": \"serve\",\n  \"mode\": \"{}\",\n  \
-         \"config\": {{\"topology\": \"{}\", \"graph_n\": {}, \"iterations\": {}, \"total_edits\": {}, \
+         \"config\": {{\"topology\": \"{}\", \"backend\": \"{}\", \"graph_n\": {}, \"iterations\": {}, \"total_edits\": {}, \
          \"queries_per_edit\": {}, \"query_threads\": {}, \"flush_size\": {}, \
          \"snapshot_every\": {}, \"shards\": {}, \"engine\": \"{}\", \"churn\": \"{}\", \
          \"cores\": {}, \"seed\": {}}},\n  \
@@ -356,6 +363,7 @@ fn to_json_with_extra(w: &ServeWorkload, r: &ServeBenchResult, extra: &str) -> S
          \"final_epoch\": {},\n  \"stats\": {}{}\n}}\n",
         w.mode,
         w.topology.label(),
+        w.backend,
         w.graph_n,
         w.iterations,
         w.total_edits,
@@ -773,6 +781,7 @@ mod tests {
         let w = ServeWorkload {
             mode: "micro",
             topology: Topology::Lfr,
+            backend: StorageBackend::Dense,
             graph_n: 200,
             iterations: 15,
             total_edits: 300,
@@ -792,10 +801,17 @@ mod tests {
         assert!(r.queries_issued >= 300, "{r:?}");
         assert!(r.final_epoch >= 1);
         assert!(r.edits_per_sec > 0.0);
+        assert!(
+            r.stats.mem_capacity_bytes > 0 && r.stats.mem_vertices > 0,
+            "memory gauges not set at publish: {:?}",
+            (r.stats.mem_capacity_bytes, r.stats.mem_vertices)
+        );
         let json = to_json(&w, &r);
         assert!(json.contains("\"experiment\": \"serve\""));
         assert!(json.contains("\"query_p99_us\""));
         assert!(json.contains("\"edits_per_sec\""));
+        assert!(json.contains("\"backend\": \"dense\""));
+        assert!(json.contains("\"bytes_per_vertex\""));
         // Crude but effective: balanced braces, parseable-ish.
         assert_eq!(
             json.matches('{').count(),
@@ -810,6 +826,7 @@ mod tests {
         let base = ServeWorkload {
             mode: "micro",
             topology: Topology::Lfr,
+            backend: StorageBackend::Dense,
             graph_n: 200,
             iterations: 15,
             total_edits: 400,
@@ -832,5 +849,48 @@ mod tests {
         );
         assert_eq!(r1.final_epoch, r4.final_epoch, "snapshot cadence drifted");
         assert_eq!(r4.stats.shards.len(), 4);
+    }
+
+    #[test]
+    fn micro_workload_backends_are_bit_identical() {
+        // The storage backend is a layout decision, not a semantic one:
+        // dense and paged runs of the same workload must publish the same
+        // roster AND the same weight-list fingerprint (bit-identity), at
+        // both shard counts. CI repeats this at the full n=2000 scale.
+        let base = ServeWorkload {
+            mode: "micro",
+            topology: Topology::Lfr,
+            backend: StorageBackend::Dense,
+            graph_n: 200,
+            iterations: 15,
+            total_edits: 400,
+            round_edits: 100,
+            queries_per_edit: 1,
+            query_threads: 1,
+            flush_size: 64,
+            snapshot_every: 2,
+            shards: 1,
+            engine: ExchangeMode::Mailbox,
+            churn: EditWorkload::Uniform,
+            seed: 31,
+        };
+        for shards in [1usize, 4] {
+            let dense = run_workload(&ServeWorkload { shards, ..base });
+            let paged = run_workload(&ServeWorkload {
+                shards,
+                backend: StorageBackend::Paged,
+                ..base
+            });
+            assert!(!dense.final_cover.is_empty());
+            assert_eq!(
+                dense.final_cover, paged.final_cover,
+                "backend changed the roster at {shards} shard(s)"
+            );
+            assert_eq!(
+                dense.final_weights_fingerprint, paged.final_weights_fingerprint,
+                "backend changed the weights at {shards} shard(s)"
+            );
+            assert_eq!(dense.final_epoch, paged.final_epoch);
+        }
     }
 }

@@ -8,6 +8,7 @@
 
 pub mod exp_ablations;
 pub mod exp_dynamic;
+pub mod exp_scale;
 pub mod exp_serve;
 pub mod exp_synthetic;
 pub mod exp_voting;

@@ -39,7 +39,8 @@
 
 use rslpa_graph::edits::canonical;
 use rslpa_graph::{
-    compact_slot_deltas, AdjacencyGraph, FxHashMap, FxHashSet, Label, SlotDelta, VertexId,
+    compact_slot_deltas, AdjacencyGraph, FxHashMap, FxHashSet, Label, MemAccounted, MemFootprint,
+    SlotDelta, VertexId,
 };
 
 use crate::shard::ShardRepairState;
@@ -54,55 +55,8 @@ fn edge_key(u: VertexId, v: VertexId) -> u64 {
 }
 
 use crate::postprocess::common_labels;
+use crate::rows::{HistRow, HistRows};
 use crate::state::{histogram_of, LabelState};
-
-/// Count of `l` in a sorted `(label, count)` histogram (0 if absent).
-#[inline]
-fn hist_count(hist: &[(Label, u32)], l: Label) -> u32 {
-    match hist.binary_search_by_key(&l, |e| e.0) {
-        Ok(i) => hist[i].1,
-        Err(_) => 0,
-    }
-}
-
-/// Move one unit of mass in a sorted histogram from `old` to `new`.
-fn hist_shift(hist: &mut Vec<(Label, u32)>, old: Label, new: Label) {
-    let i = hist
-        .binary_search_by_key(&old, |e| e.0)
-        .expect("slot delta's old label must be present in the histogram");
-    if hist[i].1 == 1 {
-        hist.remove(i);
-    } else {
-        hist[i].1 -= 1;
-    }
-    match hist.binary_search_by_key(&new, |e| e.0) {
-        Ok(j) => hist[j].1 += 1,
-        Err(j) => hist.insert(j, (new, 1)),
-    }
-}
-
-/// Fold a sparse signed diff into a sorted `(label, count)` histogram.
-/// Shared by the central store and the shard partitions — the
-/// bit-identical-weights invariant rests on both applying exactly this.
-fn fold_diff_into_hist(hist: &mut Vec<(Label, u32)>, diff: &[(Label, i64)]) {
-    for &(l, dl) in diff {
-        match hist.binary_search_by_key(&l, |e| e.0) {
-            Ok(i) => {
-                let next = i64::from(hist[i].1) + dl;
-                debug_assert!(next >= 0, "histogram count went negative");
-                if next == 0 {
-                    hist.remove(i);
-                } else {
-                    hist[i].1 = next as u32;
-                }
-            }
-            Err(i) => {
-                debug_assert!(dl > 0, "negative diff for absent label");
-                hist.insert(i, (l, dl as u32));
-            }
-        }
-    }
-}
 
 /// Compact a slot-delta stream and aggregate it to one sparse histogram
 /// diff per vertex (`Σ` of `-1` at each net `old`, `+1` at each net
@@ -140,32 +94,33 @@ fn aggregate_vertex_diffs(deltas: &[SlotDelta]) -> (usize, Vec<(VertexId, Vec<(L
     (count, out)
 }
 
-/// Sparse signed difference `new − old` of two sorted histograms.
-fn hist_diff(old: &[(Label, u32)], new: &[(Label, u32)]) -> Vec<(Label, i64)> {
+/// Sparse signed difference `new − old` of a packed row vs a sorted run.
+fn hist_diff(old: HistRow<'_>, new: &[(Label, u32)]) -> Vec<(Label, i64)> {
     let mut out = Vec::new();
     let (mut i, mut j) = (0, 0);
+    let old_at = |i: usize| (old.labels[i], u32::from(old.counts[i]));
     while i < old.len() || j < new.len() {
-        match (old.get(i), new.get(j)) {
-            (Some(&(lo, co)), Some(&(ln, cn))) if lo == ln => {
+        match ((i < old.len()).then(|| old_at(i)), new.get(j).copied()) {
+            (Some((lo, co)), Some((ln, cn))) if lo == ln => {
                 if co != cn {
                     out.push((lo, i64::from(cn) - i64::from(co)));
                 }
                 i += 1;
                 j += 1;
             }
-            (Some(&(lo, co)), Some(&(ln, _))) if lo < ln => {
+            (Some((lo, co)), Some((ln, _))) if lo < ln => {
                 out.push((lo, -i64::from(co)));
                 i += 1;
             }
-            (Some(_), Some(&(ln, cn))) => {
+            (Some(_), Some((ln, cn))) => {
                 out.push((ln, i64::from(cn)));
                 j += 1;
             }
-            (Some(&(lo, co)), None) => {
+            (Some((lo, co)), None) => {
                 out.push((lo, -i64::from(co)));
                 i += 1;
             }
-            (None, Some(&(ln, cn))) => {
+            (None, Some((ln, cn))) => {
                 out.push((ln, i64::from(cn)));
                 j += 1;
             }
@@ -215,8 +170,9 @@ fn hist_diff(old: &[(Label, u32)], new: &[(Label, u32)]) -> Vec<(Label, i64)> {
 pub struct EdgeCounters {
     /// Draws per sequence (`T + 1`) — the denominator's square root.
     m: usize,
-    /// Sorted `(label, count)` histogram per vertex.
-    hists: Vec<Vec<(Label, u32)>>,
+    /// Packed sorted histogram rows, one slot per vertex (slots are
+    /// allocated in vertex order and never released, so `slot == v`).
+    hists: HistRows,
     /// [`edge_key`]`(u, v)` → `Σ_l f_u(l)·f_v(l)` for every edge seen by
     /// the last refresh and not deleted since.
     common: FxHashMap<u64, u64>,
@@ -228,11 +184,13 @@ impl EdgeCounters {
     /// once (equivalent to one full weight pass), after which merges only
     /// happen for newly inserted edges.
     pub fn new(state: &LabelState) -> Self {
-        let hists = (0..state.num_vertices() as VertexId)
-            .map(|v| histogram_of(state.label_sequence(v)))
-            .collect();
+        let m = state.iterations() + 1;
+        let mut hists = HistRows::new(m);
+        for v in 0..state.num_vertices() as VertexId {
+            hists.alloc_from(&histogram_of(state.label_sequence(v)));
+        }
         Self {
-            m: state.iterations() + 1,
+            m,
             hists,
             common: FxHashMap::default(),
         }
@@ -245,7 +203,7 @@ impl EdgeCounters {
 
     /// Number of vertices covered.
     pub fn num_vertices(&self) -> usize {
-        self.hists.len()
+        self.hists.num_slots()
     }
 
     /// Number of live counters (diagnostics).
@@ -253,9 +211,15 @@ impl EdgeCounters {
         self.common.len()
     }
 
-    /// Current histogram of `v`.
-    pub fn hist(&self, v: VertexId) -> &[(Label, u32)] {
-        &self.hists[v as usize]
+    /// Current histogram of `v` as a packed row view.
+    pub fn row(&self, v: VertexId) -> HistRow<'_> {
+        self.hists.row(v)
+    }
+
+    /// Current histogram of `v`, materialized (diagnostics / shipping;
+    /// hot paths read [`row`](Self::row) instead).
+    pub fn hist(&self, v: VertexId) -> Vec<(Label, u32)> {
+        self.hists.row(v).to_vec()
     }
 
     /// The exact numerator for edge `(u, v)`, if a counter is live.
@@ -266,9 +230,10 @@ impl EdgeCounters {
     /// Grow the vertex space to `n`; fresh vertices get the own-label
     /// histogram their untouched sequence has (`{v: m}`).
     pub fn ensure_vertices(&mut self, n: usize) {
-        while self.hists.len() < n {
-            let v = self.hists.len() as VertexId;
-            self.hists.push(vec![(v as Label, self.m as u32)]);
+        while self.hists.num_slots() < n {
+            let v = self.hists.num_slots() as VertexId;
+            let slot = self.hists.alloc_default(v as Label);
+            debug_assert_eq!(slot, v, "dense store slots track vertex ids");
         }
     }
 
@@ -292,14 +257,14 @@ impl EdgeCounters {
         self.ensure_vertices(d.v as usize + 1);
         for &w in graph.neighbors(d.v) {
             if let Some(c) = self.common.get_mut(&edge_key(d.v, w)) {
-                let fw = &self.hists[w as usize];
-                let delta = i64::from(hist_count(fw, d.new)) - i64::from(hist_count(fw, d.old));
+                let fw = self.hists.row(w);
+                let delta = i64::from(fw.count_of(d.new)) - i64::from(fw.count_of(d.old));
                 *c = c
                     .checked_add_signed(delta)
                     .expect("exact maintenance keeps counters non-negative");
             }
         }
-        hist_shift(&mut self.hists[d.v as usize], d.old, d.new);
+        self.hists.shift(d.v, d.old, d.new);
     }
 
     /// Push one vertex's aggregated histogram difference through every
@@ -313,17 +278,17 @@ impl EdgeCounters {
         }
         for &w in graph.neighbors(v) {
             if let Some(c) = self.common.get_mut(&edge_key(v, w)) {
-                let fw = &self.hists[w as usize];
+                let fw = self.hists.row(w);
                 let delta: i64 = diff
                     .iter()
-                    .map(|&(l, dl)| dl * i64::from(hist_count(fw, l)))
+                    .map(|&(l, dl)| dl * i64::from(fw.count_of(l)))
                     .sum();
                 *c = c
                     .checked_add_signed(delta)
                     .expect("exact maintenance keeps counters non-negative");
             }
         }
-        fold_diff_into_hist(&mut self.hists[v as usize], diff);
+        self.hists.fold_diff(v, diff);
     }
 
     /// Fold a repair's slot-delta stream into the counters: the stream is
@@ -356,7 +321,7 @@ impl EdgeCounters {
         debug_assert_eq!(labels.len(), self.m, "sequence length mismatch");
         self.ensure_vertices(v as usize + 1);
         let new_hist = histogram_of(labels);
-        let diff = hist_diff(&self.hists[v as usize], &new_hist);
+        let diff = hist_diff(self.hists.row(v), &new_hist);
         self.apply_vertex_diff(graph, v, &diff);
     }
 
@@ -392,7 +357,7 @@ impl EdgeCounters {
                 .iter()
                 .map(|&i| {
                     let (u, v, _) = wlist[i];
-                    common_labels(&self.hists[u as usize], &self.hists[v as usize])
+                    self.hists.common(u, v)
                 })
                 .collect()
         } else {
@@ -405,7 +370,7 @@ impl EdgeCounters {
                     s.spawn(move || {
                         for (&i, o) in idx.iter().zip(slice.iter_mut()) {
                             let (u, v, _) = wlist_ref[i];
-                            *o = common_labels(&hists[u as usize], &hists[v as usize]);
+                            *o = hists.common(u, v);
                         }
                     });
                 }
@@ -424,6 +389,16 @@ impl EdgeCounters {
                 .retain(|&key, _| graph.has_edge((key >> 32) as VertexId, key as u32));
         }
         wlist
+    }
+}
+
+impl MemAccounted for EdgeCounters {
+    fn mem_footprint(&self) -> MemFootprint {
+        let entry = std::mem::size_of::<(u64, u64)>();
+        self.hists.mem_footprint().plus(MemFootprint {
+            live_bytes: self.common.len() * entry,
+            capacity_bytes: self.common.capacity() * entry,
+        })
     }
 }
 
@@ -456,8 +431,11 @@ impl EdgeCounters {
 pub struct CounterPartition {
     /// Draws per sequence (`T + 1`).
     m: usize,
-    /// Sorted `(label, count)` histogram per owned vertex.
-    hists: FxHashMap<VertexId, Vec<(Label, u32)>>,
+    /// Packed histogram rows of owned vertices (slots released on
+    /// migration, recycled by later adoptions).
+    rows: HistRows,
+    /// Owned vertex id → row slot.
+    slots: FxHashMap<VertexId, u32>,
     /// [`edge_key`] → `Σ_l f_u(l)·f_v(l)` for interior edges only.
     common: FxHashMap<u64, u64>,
 }
@@ -467,12 +445,14 @@ impl CounterPartition {
     /// histograms of owned vertices, counters of interior edges. Used at
     /// bootstrap so the genesis weight pass is never repeated.
     pub fn carve(central: &EdgeCounters, rows: &ShardRepairState) -> Self {
-        let hists = rows
-            .owned_sorted()
-            .into_iter()
-            .filter(|&v| (v as usize) < central.hists.len())
-            .map(|v| (v, central.hists[v as usize].clone()))
-            .collect();
+        let mut packed = HistRows::new(central.m);
+        let mut slots = FxHashMap::default();
+        for v in rows.owned_sorted() {
+            if (v as usize) < central.hists.num_slots() {
+                let hist = central.hists.row(v).to_vec();
+                slots.insert(v, packed.alloc_from(&hist));
+            }
+        }
         let common = central
             .common
             .iter()
@@ -483,7 +463,8 @@ impl CounterPartition {
             .collect();
         Self {
             m: central.m,
-            hists,
+            rows: packed,
+            slots,
             common,
         }
     }
@@ -492,7 +473,8 @@ impl CounterPartition {
     pub fn new(m: usize) -> Self {
         Self {
             m,
-            hists: FxHashMap::default(),
+            rows: HistRows::new(m),
+            slots: FxHashMap::default(),
             common: FxHashMap::default(),
         }
     }
@@ -507,11 +489,15 @@ impl CounterPartition {
         self.common.len()
     }
 
-    /// Histogram of owned vertex `v`, creating the own-label histogram a
+    /// Row slot of owned vertex `v`, creating the own-label histogram a
     /// fresh untouched sequence has (`{v: m}`) on first sight.
-    fn hist_entry(&mut self, v: VertexId) -> &mut Vec<(Label, u32)> {
-        let m = self.m as u32;
-        self.hists.entry(v).or_insert_with(|| vec![(v as Label, m)])
+    fn slot_entry(&mut self, v: VertexId) -> u32 {
+        if let Some(&slot) = self.slots.get(&v) {
+            return slot;
+        }
+        let slot = self.rows.alloc_default(v as Label);
+        self.slots.insert(v, slot);
+        slot
     }
 
     /// Drop the counter of an interior edge that was just deleted.
@@ -528,7 +514,14 @@ impl CounterPartition {
     /// of the sequence).
     pub fn adopt_hist(&mut self, v: VertexId, labels: &[Label]) {
         debug_assert_eq!(labels.len(), self.m, "sequence length mismatch");
-        self.hists.insert(v, histogram_of(labels));
+        let hist = histogram_of(labels);
+        match self.slots.get(&v) {
+            Some(&slot) => self.rows.set_from(slot, &hist),
+            None => {
+                let slot = self.rows.alloc_from(&hist);
+                self.slots.insert(v, slot);
+            }
+        }
     }
 
     /// Forget everything about vertices migrating out: their histograms
@@ -539,7 +532,9 @@ impl CounterPartition {
         }
         let gone: FxHashSet<VertexId> = leaving.iter().copied().collect();
         for v in leaving {
-            self.hists.remove(v);
+            if let Some(slot) = self.slots.remove(v) {
+                self.rows.release(slot);
+            }
         }
         self.common.retain(|&key, _| {
             !gone.contains(&((key >> 32) as VertexId)) && !gone.contains(&(key as u32))
@@ -568,26 +563,27 @@ impl CounterPartition {
             if diff.is_empty() {
                 continue;
             }
-            self.hist_entry(v);
+            let slot_v = self.slot_entry(v);
             for &w in rows.neighbors_of(v) {
                 if !rows.owns(w) {
                     continue; // boundary edge: merged at publish
                 }
                 if let Some(c) = self.common.get_mut(&edge_key(v, w)) {
-                    let fw = self
-                        .hists
+                    let slot_w = *self
+                        .slots
                         .get(&w)
                         .expect("interior neighbor histogram is local");
+                    let fw = self.rows.row(slot_w);
                     let delta: i64 = diff
                         .iter()
-                        .map(|&(l, dl)| dl * i64::from(hist_count(fw, l)))
+                        .map(|&(l, dl)| dl * i64::from(fw.count_of(l)))
                         .sum();
                     *c = c
                         .checked_add_signed(delta)
                         .expect("exact maintenance keeps counters non-negative");
                 }
             }
-            fold_diff_into_hist(self.hist_entry(v), diff);
+            self.rows.fold_diff(slot_v, diff);
         }
         count
     }
@@ -611,9 +607,9 @@ impl CounterPartition {
                     None => {
                         // Histograms materialize only where a merge needs
                         // them — not for every owned vertex per publish.
-                        self.hist_entry(v);
-                        self.hist_entry(w);
-                        let c = common_labels(&self.hists[&v], &self.hists[&w]);
+                        let slot_v = self.slot_entry(v);
+                        let slot_w = self.slot_entry(w);
+                        let c = self.rows.common(slot_v, slot_w);
                         self.common.insert(key, c);
                         c
                     }
@@ -630,18 +626,39 @@ impl CounterPartition {
 
     /// Histograms of this shard's boundary vertices (owned vertices with
     /// at least one off-shard neighbor), sorted by vertex — what the
-    /// publish assembly needs to merge boundary edges.
+    /// publish assembly needs to merge boundary edges. Appends into a
+    /// caller-owned buffer so the per-publish allocation can be reused.
+    pub fn boundary_hists_into(
+        &mut self,
+        rows: &ShardRepairState,
+        out: &mut Vec<(VertexId, Vec<(Label, u32)>)>,
+    ) {
+        for v in rows.owned_sorted() {
+            if rows.neighbors_of(v).iter().any(|&w| !rows.owns(w)) {
+                let slot = self.slot_entry(v);
+                out.push((v, self.rows.row(slot).to_vec()));
+            }
+        }
+    }
+
+    /// [`boundary_hists_into`](Self::boundary_hists_into), allocating.
     pub fn boundary_hists(
         &mut self,
         rows: &ShardRepairState,
     ) -> Vec<(VertexId, Vec<(Label, u32)>)> {
         let mut out = Vec::new();
-        for v in rows.owned_sorted() {
-            if rows.neighbors_of(v).iter().any(|&w| !rows.owns(w)) {
-                out.push((v, self.hist_entry(v).clone()));
-            }
-        }
+        self.boundary_hists_into(rows, &mut out);
         out
+    }
+}
+
+impl MemAccounted for CounterPartition {
+    fn mem_footprint(&self) -> MemFootprint {
+        let entry = std::mem::size_of::<(u64, u64)>();
+        self.rows.mem_footprint().plus(MemFootprint {
+            live_bytes: self.common.len() * entry,
+            capacity_bytes: self.common.capacity() * entry,
+        })
     }
 }
 

@@ -39,6 +39,7 @@ pub mod postprocess_bsp;
 pub mod postprocess_incremental;
 pub mod propagation;
 pub mod propagation_bsp;
+pub mod rows;
 pub mod shard;
 pub mod state;
 pub mod verify;
@@ -52,6 +53,7 @@ pub use incremental::{
 pub use postprocess::{postprocess, PostprocessResult};
 pub use postprocess_incremental::{result_from_weights, IncrementalPostprocess};
 pub use propagation::run_propagation;
+pub use rows::{HistRow, HistRows};
 pub use shard::{
     build_mesh, Envelope, MailboxPort, MeshExchangeReport, ShardFlushReport, ShardMsg,
     ShardRepairState, VertexRowData,

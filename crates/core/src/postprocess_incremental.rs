@@ -150,6 +150,14 @@ impl IncrementalPostprocess {
         &self.counters
     }
 
+    /// Memory held by the counter store (histogram rows + per-edge
+    /// numerators dominate; the deferred-update map is transient and
+    /// excluded).
+    pub fn mem_footprint(&self) -> rslpa_graph::MemFootprint {
+        use rslpa_graph::MemAccounted;
+        self.counters.mem_footprint()
+    }
+
     /// Apply deferred updates, read the weight list off the counters, and
     /// run threshold selection + extraction. Bit-identical to
     /// `postprocess(graph, state, grid)` on the state the caches mirror.

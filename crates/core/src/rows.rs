@@ -1,0 +1,539 @@
+//! Packed per-vertex histogram rows for the counter stores.
+//!
+//! A label histogram is a short sorted run of `(label, count)` pairs with
+//! `count ≤ m = T+1`. The legacy stores kept one `Vec<(Label, u32)>` per
+//! vertex — 8 bytes per entry plus a 24-byte header plus allocator slack,
+//! scattered across the heap. [`HistRows`] packs every row into **two
+//! parallel arenas** (`labels: u32`, `counts: u16` — 6 bytes per entry,
+//! counts provably fit `u16` because `m ≤ 65535` is asserted) managed
+//! with the same size-class page / free-list / tombstone-compaction rules
+//! as [`rslpa_graph::slab`]. Counter upkeep — the per-flush neighbor
+//! sweep in `EdgeCounters` / `CounterPartition` — then reads
+//! cache-contiguous rows instead of chasing one pointer per vertex.
+//!
+//! Rows are addressed by a `u32` slot handle: dense stores use
+//! `slot == vertex id` (slots are allocated in vertex order and never
+//! released), sharded partitions map sparse vertex ids to slots and
+//! release them on migration. Every mutating op (`shift`, `fold_diff`,
+//! `set_from`) reproduces the exact semantics of the legacy `Vec`
+//! helpers, so counter maintenance stays bit-identical.
+
+use rslpa_graph::slab::{class_cap, class_for};
+use rslpa_graph::{Label, MemAccounted, MemFootprint};
+
+/// Arena length below which compaction never triggers.
+const COMPACT_FLOOR: usize = 4096;
+
+/// One row's page over both arenas: `labels[head..head+len]` /
+/// `counts[head..head+len]`, inside a page of `class_cap(class)` entries.
+#[derive(Clone, Copy, Debug, Default)]
+struct Span {
+    head: u32,
+    len: u16,
+    class: u8,
+    /// Slot released (page recycled, row unusable until re-allocated).
+    dead: bool,
+}
+
+/// A borrowed histogram row: sorted labels with parallel counts.
+#[derive(Clone, Copy, Debug)]
+pub struct HistRow<'a> {
+    /// Sorted distinct labels.
+    pub labels: &'a [Label],
+    /// Count per label, parallel to `labels`.
+    pub counts: &'a [u16],
+}
+
+impl HistRow<'_> {
+    /// Number of distinct labels.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the row has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Count of `l` (0 if absent).
+    #[inline]
+    pub fn count_of(&self, l: Label) -> u32 {
+        match self.labels.binary_search(&l) {
+            Ok(i) => u32::from(self.counts[i]),
+            Err(_) => 0,
+        }
+    }
+
+    /// Materialize the legacy `(label, count)` representation (shipping
+    /// rows across shard mailboxes, diagnostics).
+    pub fn to_vec(&self) -> Vec<(Label, u32)> {
+        self.labels
+            .iter()
+            .zip(self.counts)
+            .map(|(&l, &c)| (l, u32::from(c)))
+            .collect()
+    }
+
+    /// Exact common-label numerator `Σ_l f_a(l)·f_b(l)` of two rows —
+    /// the same merge-scan as `postprocess::common_labels`, over packed
+    /// rows.
+    pub fn common(&self, other: &HistRow<'_>) -> u64 {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut acc = 0u64;
+        while i < self.labels.len() && j < other.labels.len() {
+            match self.labels[i].cmp(&other.labels[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += u64::from(self.counts[i]) * u64::from(other.counts[j]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+}
+
+/// Packed histogram rows (see module docs).
+#[derive(Clone, Debug)]
+pub struct HistRows {
+    /// Draws per sequence (`T + 1`) — the default count of a fresh row.
+    m: u32,
+    labels: Vec<Label>,
+    counts: Vec<u16>,
+    spans: Vec<Span>,
+    /// Recycled page heads per size class (shared by both arenas — they
+    /// move in lockstep).
+    free_pages: Vec<Vec<u32>>,
+    /// Released slot handles, reused before new slots are appended.
+    free_slots: Vec<u32>,
+    /// Σ span.len over live rows.
+    live: usize,
+    /// Σ class_cap(span.class) over live rows.
+    reserved: usize,
+}
+
+impl HistRows {
+    /// An empty store for sequences of `m` draws.
+    pub fn new(m: usize) -> Self {
+        assert!(m <= u16::MAX as usize, "draw count must fit u16 counts");
+        Self {
+            m: m as u32,
+            labels: Vec::new(),
+            counts: Vec::new(),
+            spans: Vec::new(),
+            free_pages: Vec::new(),
+            free_slots: Vec::new(),
+            live: 0,
+            reserved: 0,
+        }
+    }
+
+    /// Draws per sequence.
+    #[inline]
+    pub fn draws(&self) -> usize {
+        self.m as usize
+    }
+
+    /// Number of slots ever allocated (dense stores: the vertex count).
+    #[inline]
+    pub fn num_slots(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Borrow row `slot`.
+    #[inline]
+    pub fn row(&self, slot: u32) -> HistRow<'_> {
+        let s = self.spans[slot as usize];
+        debug_assert!(!s.dead, "read of a released row");
+        let (a, b) = (s.head as usize, (s.head + u32::from(s.len)) as usize);
+        HistRow {
+            labels: &self.labels[a..b],
+            counts: &self.counts[a..b],
+        }
+    }
+
+    /// Count of `l` in row `slot` (0 if absent).
+    #[inline]
+    pub fn count_of(&self, slot: u32, l: Label) -> u32 {
+        self.row(slot).count_of(l)
+    }
+
+    /// Exact common-label numerator of two rows.
+    #[inline]
+    pub fn common(&self, a: u32, b: u32) -> u64 {
+        self.row(a).common(&self.row(b))
+    }
+
+    fn alloc_page(&mut self, class: u8) -> u32 {
+        debug_assert!(class > 0);
+        if let Some(head) = self
+            .free_pages
+            .get_mut(class as usize)
+            .and_then(|list| list.pop())
+        {
+            return head;
+        }
+        let head = self.labels.len() as u32;
+        let cap = class_cap(class) as usize;
+        self.labels.resize(self.labels.len() + cap, 0);
+        self.counts.resize(self.counts.len() + cap, 0);
+        head
+    }
+
+    fn recycle_page(&mut self, head: u32, class: u8) {
+        debug_assert!(class > 0);
+        if self.free_pages.len() <= class as usize {
+            self.free_pages.resize(class as usize + 1, Vec::new());
+        }
+        self.free_pages[class as usize].push(head);
+    }
+
+    /// Allocate a slot holding `hist` (sorted `(label, count)` run).
+    pub fn alloc_from(&mut self, hist: &[(Label, u32)]) -> u32 {
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                self.spans.push(Span::default());
+                (self.spans.len() - 1) as u32
+            }
+        };
+        self.spans[slot as usize] = Span::default();
+        self.write_row(slot, hist);
+        slot
+    }
+
+    /// Allocate a slot with the own-label histogram a fresh untouched
+    /// sequence has (`{v: m}`).
+    pub fn alloc_default(&mut self, v: Label) -> u32 {
+        let m = self.m;
+        self.alloc_from(&[(v, m)])
+    }
+
+    /// Release `slot`: its page is recycled and the handle reused by a
+    /// later alloc.
+    pub fn release(&mut self, slot: u32) {
+        let s = self.spans[slot as usize];
+        debug_assert!(!s.dead, "double release");
+        if s.class > 0 {
+            self.recycle_page(s.head, s.class);
+            self.reserved -= class_cap(s.class) as usize;
+        }
+        self.live -= usize::from(s.len);
+        self.spans[slot as usize] = Span {
+            dead: true,
+            ..Span::default()
+        };
+        self.free_slots.push(slot);
+        self.maybe_compact();
+    }
+
+    /// Replace row `slot` with `hist` (sorted run).
+    pub fn set_from(&mut self, slot: u32, hist: &[(Label, u32)]) {
+        let s = self.spans[slot as usize];
+        debug_assert!(!s.dead, "write to a released row");
+        if s.class > 0 {
+            self.recycle_page(s.head, s.class);
+            self.reserved -= class_cap(s.class) as usize;
+        }
+        self.live -= usize::from(s.len);
+        self.spans[slot as usize] = Span::default();
+        self.write_row(slot, hist);
+    }
+
+    /// Write `hist` into a fresh (empty-span) slot.
+    fn write_row(&mut self, slot: u32, hist: &[(Label, u32)]) {
+        debug_assert!(hist.windows(2).all(|w| w[0].0 < w[1].0), "sorted run");
+        let len = hist.len() as u32;
+        let class = class_for(len);
+        let head = if class > 0 { self.alloc_page(class) } else { 0 };
+        for (i, &(l, c)) in hist.iter().enumerate() {
+            debug_assert!(c <= u32::from(u16::MAX));
+            self.labels[head as usize + i] = l;
+            self.counts[head as usize + i] = c as u16;
+        }
+        self.reserved += class_cap(class) as usize;
+        self.live += hist.len();
+        self.spans[slot as usize] = Span {
+            head,
+            len: len as u16,
+            class,
+            dead: false,
+        };
+    }
+
+    /// Move row `slot` to a page with room for one more entry.
+    fn grow_row(&mut self, slot: u32) {
+        let s = self.spans[slot as usize];
+        let new_class = class_for(u32::from(s.len) + 1).max(s.class + 1);
+        let new_head = self.alloc_page(new_class);
+        let (from, to) = (s.head as usize, new_head as usize);
+        let len = usize::from(s.len);
+        self.labels.copy_within(from..from + len, to);
+        self.counts.copy_within(from..from + len, to);
+        if s.class > 0 {
+            self.recycle_page(s.head, s.class);
+        }
+        self.reserved += class_cap(new_class) as usize - class_cap(s.class) as usize;
+        self.spans[slot as usize] = Span {
+            head: new_head,
+            class: new_class,
+            ..s
+        };
+    }
+
+    /// Insert `(l, c)` at sorted position `idx` of row `slot`.
+    fn insert_at(&mut self, slot: u32, idx: usize, l: Label, c: u16) {
+        let s = self.spans[slot as usize];
+        if u32::from(s.len) == class_cap(s.class) {
+            self.grow_row(slot);
+        }
+        let s = self.spans[slot as usize];
+        let (head, len) = (s.head as usize, usize::from(s.len));
+        self.labels
+            .copy_within(head + idx..head + len, head + idx + 1);
+        self.counts
+            .copy_within(head + idx..head + len, head + idx + 1);
+        self.labels[head + idx] = l;
+        self.counts[head + idx] = c;
+        self.spans[slot as usize].len += 1;
+        self.live += 1;
+    }
+
+    /// Remove the entry at `idx` of row `slot` (order-preserving).
+    fn remove_at(&mut self, slot: u32, idx: usize) {
+        let s = self.spans[slot as usize];
+        let (head, len) = (s.head as usize, usize::from(s.len));
+        self.labels
+            .copy_within(head + idx + 1..head + len, head + idx);
+        self.counts
+            .copy_within(head + idx + 1..head + len, head + idx);
+        self.spans[slot as usize].len -= 1;
+        self.live -= 1;
+    }
+
+    /// Move one unit of mass in row `slot` from `old` to `new` — the
+    /// packed equivalent of the legacy `hist_shift`.
+    pub fn shift(&mut self, slot: u32, old: Label, new: Label) {
+        let row = self.row(slot);
+        let i = row
+            .labels
+            .binary_search(&old)
+            .expect("slot delta's old label must be present in the histogram");
+        if row.counts[i] == 1 {
+            self.remove_at(slot, i);
+        } else {
+            let head = self.spans[slot as usize].head as usize;
+            self.counts[head + i] -= 1;
+        }
+        match self.row(slot).labels.binary_search(&new) {
+            Ok(j) => {
+                let head = self.spans[slot as usize].head as usize;
+                self.counts[head + j] += 1;
+            }
+            Err(j) => self.insert_at(slot, j, new, 1),
+        }
+    }
+
+    /// Fold a sparse signed diff into row `slot` — the packed equivalent
+    /// of the legacy `fold_diff_into_hist`.
+    pub fn fold_diff(&mut self, slot: u32, diff: &[(Label, i64)]) {
+        for &(l, dl) in diff {
+            match self.row(slot).labels.binary_search(&l) {
+                Ok(i) => {
+                    let head = self.spans[slot as usize].head as usize;
+                    let next = i64::from(self.counts[head + i]) + dl;
+                    debug_assert!(next >= 0, "histogram count went negative");
+                    if next == 0 {
+                        self.remove_at(slot, i);
+                    } else {
+                        self.counts[head + i] = next as u16;
+                    }
+                }
+                Err(i) => {
+                    debug_assert!(dl > 0, "negative diff for absent label");
+                    self.insert_at(slot, i, l, dl as u16);
+                }
+            }
+        }
+    }
+
+    /// Tombstone compaction: re-pack every live row into the smallest
+    /// class that fits it; free pages are dropped.
+    pub fn compact(&mut self) {
+        let cap = self.live + self.live / 2;
+        let mut labels = Vec::with_capacity(cap);
+        let mut counts = Vec::with_capacity(cap);
+        let mut reserved = 0usize;
+        for s in self.spans.iter_mut() {
+            if s.dead {
+                continue;
+            }
+            let class = class_for(u32::from(s.len));
+            let head = labels.len() as u32;
+            let (a, b) = (s.head as usize, s.head as usize + usize::from(s.len));
+            labels.extend_from_slice(&self.labels[a..b]);
+            counts.extend_from_slice(&self.counts[a..b]);
+            let page_end = head as usize + class_cap(class) as usize;
+            labels.resize(page_end, 0);
+            counts.resize(page_end, 0);
+            reserved += class_cap(class) as usize;
+            s.head = head;
+            s.class = class;
+        }
+        self.labels = labels;
+        self.counts = counts;
+        self.reserved = reserved;
+        self.free_pages.clear();
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.labels.len() > COMPACT_FLOOR && self.labels.len() > 2 * self.reserved {
+            self.compact();
+        }
+    }
+}
+
+impl MemAccounted for HistRows {
+    fn mem_footprint(&self) -> MemFootprint {
+        let entry = 4 + 2; // u32 label + u16 count
+        let span = std::mem::size_of::<Span>();
+        MemFootprint {
+            live_bytes: self.live * entry + self.spans.len() * span,
+            capacity_bytes: self.labels.capacity() * 4
+                + self.counts.capacity() * 2
+                + self.spans.capacity() * span
+                + (self.free_slots.capacity()
+                    + self.free_pages.iter().map(Vec::capacity).sum::<usize>())
+                    * 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The legacy Vec-based reference ops (verbatim semantics).
+    fn model_shift(hist: &mut Vec<(Label, u32)>, old: Label, new: Label) {
+        let i = hist.binary_search_by_key(&old, |e| e.0).unwrap();
+        if hist[i].1 == 1 {
+            hist.remove(i);
+        } else {
+            hist[i].1 -= 1;
+        }
+        match hist.binary_search_by_key(&new, |e| e.0) {
+            Ok(j) => hist[j].1 += 1,
+            Err(j) => hist.insert(j, (new, 1)),
+        }
+    }
+
+    #[test]
+    fn alloc_read_round_trip() {
+        let mut rows = HistRows::new(10);
+        let a = rows.alloc_from(&[(1, 4), (7, 6)]);
+        let b = rows.alloc_default(3);
+        assert_eq!(rows.row(a).to_vec(), vec![(1, 4), (7, 6)]);
+        assert_eq!(rows.row(b).to_vec(), vec![(3, 10)]);
+        assert_eq!(rows.count_of(a, 7), 6);
+        assert_eq!(rows.count_of(a, 2), 0);
+    }
+
+    #[test]
+    fn common_matches_manual_product() {
+        let mut rows = HistRows::new(6);
+        let a = rows.alloc_from(&[(0, 2), (1, 2), (5, 2)]);
+        let b = rows.alloc_from(&[(1, 3), (5, 1), (9, 2)]);
+        assert_eq!(rows.common(a, b), 2 * 3 + 2 * 1);
+    }
+
+    #[test]
+    fn shift_and_fold_mirror_legacy_helpers() {
+        let mut rows = HistRows::new(8);
+        let mut model = vec![(2u32, 3u32), (4, 4), (9, 1)];
+        let s = rows.alloc_from(&model);
+        model_shift(&mut model, 9, 4);
+        rows.shift(s, 9, 4);
+        assert_eq!(rows.row(s).to_vec(), model);
+        rows.fold_diff(s, &[(2, -3), (7, 2), (4, 1)]);
+        assert_eq!(rows.row(s).to_vec(), vec![(4, 6), (7, 2)]);
+    }
+
+    #[test]
+    fn release_recycles_slot_and_page() {
+        let mut rows = HistRows::new(5);
+        let a = rows.alloc_from(&[(0, 1), (1, 1), (2, 1), (3, 1)]);
+        rows.release(a);
+        let b = rows.alloc_from(&[(8, 2)]);
+        assert_eq!(b, a, "slot handle reused");
+        assert_eq!(rows.row(b).to_vec(), vec![(8, 2)]);
+    }
+
+    #[test]
+    fn set_from_replaces_row() {
+        let mut rows = HistRows::new(5);
+        let s = rows.alloc_default(2);
+        rows.set_from(s, &[(1, 2), (3, 3)]);
+        assert_eq!(rows.row(s).to_vec(), vec![(1, 2), (3, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fit u16")]
+    fn oversized_draw_count_rejected() {
+        HistRows::new(70_000);
+    }
+
+    proptest! {
+        /// Packed rows stay equal to the Vec model under random shift /
+        /// fold / set / release-realloc streams (exercises page growth,
+        /// recycling, and compaction).
+        #[test]
+        fn packed_rows_match_vec_model(ops in proptest::collection::vec(
+            (0usize..6, 0u32..12, 0u32..12), 1..300))
+        {
+            let m = 40usize;
+            let mut rows = HistRows::new(m);
+            let mut model: Vec<Option<(u32, Vec<(Label, u32)>)>> = Vec::new();
+            for i in 0..6u32 {
+                let slot = rows.alloc_default(i);
+                model.push(Some((slot, vec![(i, m as u32)])));
+            }
+            for (who, a, b) in ops {
+                let Some((slot, hist)) = model[who].clone() else {
+                    // Re-allocate a released row.
+                    let slot = rows.alloc_default(who as u32);
+                    model[who] = Some((slot, vec![(who as u32, m as u32)]));
+                    continue;
+                };
+                match a % 3 {
+                    0 => {
+                        // shift mass from an existing label to label b.
+                        let mut hist = hist;
+                        let old = hist[(a as usize) % hist.len()].0;
+                        if old == b { continue; }
+                        model_shift(&mut hist, old, b);
+                        rows.shift(slot, old, b);
+                        model[who] = Some((slot, hist));
+                    }
+                    1 => {
+                        // whole-row replacement.
+                        let fresh = vec![(b, 2u32), (b + 20, 1)];
+                        rows.set_from(slot, &fresh);
+                        model[who] = Some((slot, fresh));
+                    }
+                    _ => {
+                        rows.release(slot);
+                        model[who] = None;
+                    }
+                }
+            }
+            for entry in model.iter().flatten() {
+                prop_assert_eq!(rows.row(entry.0).to_vec(), entry.1.clone());
+            }
+        }
+    }
+}

@@ -11,8 +11,13 @@
 //! Layout is struct-of-arrays over a flattened `[n × (T+1)]` (labels) /
 //! `[n × T]` (picks) index space: the propagation and cascade inner loops
 //! touch one row at a time, and flat `Vec<u32>`s keep that row contiguous.
+//! Receiver records live in one [`SlabRows`] arena with a per-vertex span
+//! (see `rslpa_graph::slab`) instead of `n` separate `Vec`s — same
+//! `&[Record]` row surface, no per-vertex heap allocation, and record
+//! mutation mirrors `Vec` push/swap-remove exactly so cascade iteration
+//! order (and with it every downstream pick) is unchanged.
 
-use rslpa_graph::{Label, VertexId};
+use rslpa_graph::{Label, MemAccounted, MemFootprint, SlabRows, VertexId};
 
 /// Sentinel `src` for slots picked while the vertex had no neighbors.
 pub const NO_SOURCE: VertexId = VertexId::MAX;
@@ -60,9 +65,16 @@ pub struct LabelState {
     pos: Vec<u32>,
     /// Repick epoch per pick slot, same indexing as `src`.
     epoch: Vec<u32>,
-    /// Receiver records per vertex.
-    records: Vec<Vec<Record>>,
+    /// Receiver records, one arena-backed span per vertex.
+    records: SlabRows<Record>,
 }
+
+/// Fill value for reserved-but-unwritten record arena space (never read).
+const RECORD_FILL: Record = Record {
+    slot: 0,
+    receiver: 0,
+    k: 0,
+};
 
 impl LabelState {
     /// Fresh state before propagation: `l_v^0 = v`, all picks unset.
@@ -79,7 +91,7 @@ impl LabelState {
             src: vec![NO_SOURCE; n * t_max],
             pos: vec![0; n * t_max],
             epoch: vec![0; n * t_max],
-            records: vec![Vec::new(); n],
+            records: SlabRows::with_rows(n, RECORD_FILL),
         }
     }
 
@@ -167,24 +179,26 @@ impl LabelState {
     #[inline]
     pub fn add_record(&mut self, owner: VertexId, slot: u32, receiver: VertexId, k: u32) {
         debug_assert!(slot < k, "receivers pick strictly earlier slots");
-        self.records[owner as usize].push(Record { slot, receiver, k });
+        self.records
+            .push(owner as usize, Record { slot, receiver, k });
     }
 
     /// Remove the record `(owner, slot) -> (receiver, k)`; panics if absent
     /// (that would mean the reverse index is corrupt).
     pub fn remove_record(&mut self, owner: VertexId, slot: u32, receiver: VertexId, k: u32) {
-        let list = &mut self.records[owner as usize];
-        let idx = list
+        let idx = self
+            .records
+            .row(owner as usize)
             .iter()
             .position(|r| r.slot == slot && r.receiver == receiver && r.k == k)
             .expect("record to remove must exist");
-        list.swap_remove(idx);
+        self.records.swap_remove(owner as usize, idx);
     }
 
     /// All records of `owner` (unordered).
     #[inline]
     pub fn records(&self, owner: VertexId) -> &[Record] {
-        &self.records[owner as usize]
+        self.records.row(owner as usize)
     }
 
     /// Receivers of `(owner, slot)`, i.e. `R_owner^slot`.
@@ -193,7 +207,8 @@ impl LabelState {
         owner: VertexId,
         slot: u32,
     ) -> impl Iterator<Item = (VertexId, u32)> + '_ {
-        self.records[owner as usize]
+        self.records
+            .row(owner as usize)
             .iter()
             .filter(move |r| r.slot == slot)
             .map(|r| (r.receiver, r.k))
@@ -202,7 +217,7 @@ impl LabelState {
     /// Total number of records (should equal the number of non-isolated
     /// picks, `≤ n·T`).
     pub fn total_records(&self) -> usize {
-        self.records.iter().map(Vec::len).sum()
+        self.records.live_entries()
     }
 
     /// Label frequency histogram of `v` as a sorted `(label, count)` list —
@@ -224,15 +239,7 @@ impl LabelState {
 
     /// Approximate resident memory of the state in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.labels.len() * 4
-            + self.src.len() * 4
-            + self.pos.len() * 4
-            + self.epoch.len() * 4
-            + self
-                .records
-                .iter()
-                .map(|r| r.len() * std::mem::size_of::<Record>() + 24)
-                .sum::<usize>()
+        self.mem_footprint().capacity_bytes
     }
 
     /// Grow the state to `n_new ≥ n` vertices (vertex insertion support);
@@ -250,8 +257,25 @@ impl LabelState {
         self.src.resize(n_new * self.t_max, NO_SOURCE);
         self.pos.resize(n_new * self.t_max, 0);
         self.epoch.resize(n_new * self.t_max, 0);
-        self.records.resize(n_new, Vec::new());
+        self.records.ensure_rows(n_new);
         self.n = n_new;
+    }
+}
+
+impl MemAccounted for LabelState {
+    fn mem_footprint(&self) -> MemFootprint {
+        let flat_live =
+            (self.labels.len() + self.src.len() + self.pos.len() + self.epoch.len()) * 4;
+        let flat_cap = (self.labels.capacity()
+            + self.src.capacity()
+            + self.pos.capacity()
+            + self.epoch.capacity())
+            * 4;
+        MemFootprint {
+            live_bytes: flat_live,
+            capacity_bytes: flat_cap,
+        }
+        .plus(self.records.mem_footprint())
     }
 }
 

@@ -14,7 +14,7 @@
 //!   model for cross-checking generator sensitivity.
 
 use rslpa_graph::rng::DetRng;
-use rslpa_graph::{AdjacencyGraph, GraphBuilder, VertexId};
+use rslpa_graph::{AdjacencyGraph, EditBatch, FxHashSet, GraphBuilder, VertexId};
 
 /// R-MAT parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -87,6 +87,148 @@ pub fn rmat(params: &RmatParams) -> AdjacencyGraph {
     builder.build_with_vertices(n)
 }
 
+/// Deterministic R-MAT churn stream for scale benchmarks.
+///
+/// Each batch mixes three kinds of traffic against the evolving graph:
+///
+/// * **insertions** sampled by the same corner-weighted recursive walk as
+///   the seed generator (over the current id space rounded up to a power
+///   of two), so new edges keep the web graph's hub bias;
+/// * **deletions** sampled endpoint-then-neighbor (degree-biased toward
+///   hubs, like real link churn), distinct within the batch;
+/// * **growth**: `grow_per_batch` brand-new vertex ids appended past the
+///   current `n`, each wired to one corner-walk-sampled anchor — the
+///   stream deliberately outgrows whatever id universe the consumer
+///   planned for.
+///
+/// The stream is a pure function of the seed and the graphs it is shown:
+/// replaying the same batches against the same seed graph reproduces the
+/// same edit log bit-for-bit (which is what lets two storage backends be
+/// diffed for bit-identity after a million edits).
+pub struct RmatChurn {
+    /// Corner probabilities (the `scale`/`edges` fields are ignored; the
+    /// walk depth tracks the evolving graph instead).
+    corners: RmatParams,
+    rng: DetRng,
+    /// Fresh vertices appended per batch.
+    pub grow_per_batch: usize,
+}
+
+impl RmatChurn {
+    /// A churn stream with the given corner weights and seed.
+    pub fn new(corners: RmatParams, grow_per_batch: usize, seed: u64) -> Self {
+        let sum = corners.a + corners.b + corners.c + corners.d;
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "corner probabilities must sum to 1, got {sum}"
+        );
+        Self {
+            corners,
+            rng: DetRng::new(seed ^ 0x9e37_79b9_7f4a_7c15),
+            grow_per_batch,
+        }
+    }
+
+    /// One corner-weighted recursive walk over `levels` bit positions.
+    fn corner_walk(&mut self, levels: u32) -> (usize, usize) {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..levels {
+            u <<= 1;
+            v <<= 1;
+            let r = self.rng.unit_f64();
+            if r < self.corners.a {
+                // top-left: no bits set
+            } else if r < self.corners.a + self.corners.b {
+                v |= 1;
+            } else if r < self.corners.a + self.corners.b + self.corners.c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        (u, v)
+    }
+
+    /// The next batch against the current `graph`: `inserts` new edges,
+    /// `deletes` removed edges, plus `grow_per_batch` fresh vertices.
+    /// Insertions may reference ids `>= graph.num_vertices()` (the growth
+    /// wires); the consumer grows the id space before applying, exactly
+    /// as a live serve stream would.
+    pub fn next_batch(
+        &mut self,
+        graph: &AdjacencyGraph,
+        inserts: usize,
+        deletes: usize,
+    ) -> EditBatch {
+        let n = graph.num_vertices();
+        assert!(n >= 2, "churn needs at least two vertices");
+        let levels = usize::BITS - (n - 1).leading_zeros(); // ceil(log2 n)
+        let nv = n as u64;
+
+        let deletes = deletes.min(graph.num_edges());
+        let mut deletions: Vec<(VertexId, VertexId)> = Vec::with_capacity(deletes);
+        let mut seen_del: FxHashSet<(VertexId, VertexId)> = Default::default();
+        let mut guard = 0usize;
+        while deletions.len() < deletes {
+            guard += 1;
+            assert!(guard < 1000 * deletes + 100_000, "deletion sampling stuck");
+            let u = self.rng.bounded(nv) as VertexId;
+            let deg = graph.degree(u);
+            if deg == 0 {
+                continue;
+            }
+            let v = graph.neighbors(u)[self.rng.bounded(deg as u64) as usize];
+            let key = (u.min(v), u.max(v));
+            if seen_del.insert(key) {
+                deletions.push(key);
+            }
+        }
+
+        let mut insertions: Vec<(VertexId, VertexId)> = Vec::with_capacity(inserts);
+        let mut seen_ins: FxHashSet<(VertexId, VertexId)> = Default::default();
+        let mut guard = 0usize;
+        while insertions.len() < inserts {
+            guard += 1;
+            assert!(
+                guard < 1000 * inserts + 100_000,
+                "insertion sampling stuck (graph too dense?)"
+            );
+            let (u, v) = self.corner_walk(levels);
+            if u >= n || v >= n || u == v {
+                continue;
+            }
+            let (u, v) = (u as VertexId, v as VertexId);
+            if graph.has_edge(u, v) {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if seen_del.contains(&key) || !seen_ins.insert(key) {
+                continue;
+            }
+            insertions.push(key);
+        }
+
+        // Growth: fresh ids past the current universe, each anchored to a
+        // corner-walk-sampled existing vertex (hubs attract newcomers).
+        for i in 0..self.grow_per_batch {
+            let fresh = (n + i) as VertexId;
+            let mut guard = 0usize;
+            let anchor = loop {
+                guard += 1;
+                assert!(guard < 100_000, "anchor sampling stuck");
+                let (u, _) = self.corner_walk(levels);
+                if u < n {
+                    break u as VertexId;
+                }
+            };
+            insertions.push((anchor, fresh));
+        }
+
+        EditBatch::from_lists(insertions, deletions)
+    }
+}
+
 /// Barabási–Albert preferential attachment: each new vertex attaches to
 /// `m` existing vertices chosen proportionally to degree.
 pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> AdjacencyGraph {
@@ -157,6 +299,52 @@ mod tests {
             a: 0.9,
             ..RmatParams::web(8, 1)
         });
+    }
+
+    #[test]
+    fn rmat_churn_batches_validate_and_grow() {
+        let mut g = rslpa_graph::DynamicGraph::new(rmat(&RmatParams::web(10, 3)));
+        let mut churn = RmatChurn::new(RmatParams::web(10, 3), 4, 17);
+        for round in 0..5 {
+            let n0 = g.graph().num_vertices();
+            let batch = churn.next_batch(g.graph(), 200, 100);
+            assert_eq!(batch.deletions().len(), 100);
+            // 200 churn inserts + 4 growth wires.
+            assert_eq!(batch.insertions().len(), 204);
+            let max_id = batch
+                .insertions()
+                .iter()
+                .map(|&(_, v)| v as usize)
+                .max()
+                .unwrap();
+            assert_eq!(max_id, n0 + 3, "round {round}: growth wires missing");
+            g.ensure_vertices(max_id + 1);
+            g.apply(&batch).expect("churn batch validates");
+        }
+        assert_eq!(g.graph().num_vertices(), 1024 + 20);
+        g.graph().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rmat_churn_is_deterministic() {
+        let seed = rmat(&RmatParams::web(9, 5));
+        let replay = |()| {
+            let mut g = rslpa_graph::DynamicGraph::new(seed.clone());
+            let mut churn = RmatChurn::new(RmatParams::web(9, 5), 2, 8);
+            for _ in 0..3 {
+                let batch = churn.next_batch(g.graph(), 50, 25);
+                let max_id = batch
+                    .insertions()
+                    .iter()
+                    .map(|&(_, v)| v as usize)
+                    .max()
+                    .unwrap();
+                g.ensure_vertices(max_id + 1);
+                g.apply(&batch).unwrap();
+            }
+            g.graph().clone()
+        };
+        assert_eq!(replay(()), replay(()));
     }
 
     #[test]

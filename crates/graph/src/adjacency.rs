@@ -5,8 +5,70 @@
 //! contiguous sorted slice — which the label-propagation inner loop indexes
 //! by a random offset, and which set-difference style delta computations can
 //! merge-scan.
+//!
+//! The graph is backed by one of two interchangeable stores (the
+//! [`AdjacencyStore`] trait surface):
+//!
+//! * [`StorageBackend::Dense`] — one `Vec<VertexId>` per vertex, the
+//!   original layout; pointer-chasing but simple.
+//! * [`StorageBackend::Paged`] — [`PagedAdjacency`], every list a
+//!   size-class page inside one arena (see [`crate::slab`]), built for
+//!   million-vertex graphs where per-`Vec` headers and allocator slack
+//!   dominate.
+//!
+//! Both hand out identical sorted `&[VertexId]` slices, so every
+//! consumer — and every random pick the detector makes off a neighbor
+//! slice — behaves bit-identically regardless of backend.
 
+use crate::mem::{MemAccounted, MemFootprint};
+use crate::paged::{AdjacencyStore, PagedAdjacency};
 use crate::VertexId;
+
+/// Which store backs an [`AdjacencyGraph`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StorageBackend {
+    /// `Vec<Vec<VertexId>>` — the legacy layout.
+    #[default]
+    Dense,
+    /// Arena-paged rows — the compact layout for large graphs.
+    Paged,
+}
+
+impl std::fmt::Display for StorageBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Dense => "dense",
+            Self::Paged => "paged",
+        })
+    }
+}
+
+impl std::str::FromStr for StorageBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "dense" => Ok(Self::Dense),
+            "paged" => Ok(Self::Paged),
+            other => Err(format!("unknown backend {other:?} (dense|paged)")),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Storage {
+    Dense(Vec<Vec<VertexId>>),
+    Paged(PagedAdjacency),
+}
+
+impl Storage {
+    fn store_mut(&mut self) -> &mut dyn AdjacencyStore {
+        match self {
+            Self::Dense(d) => d,
+            Self::Paged(p) => p,
+        }
+    }
+}
 
 /// An undirected, unweighted ("binary") graph over dense vertex ids `0..n`.
 ///
@@ -14,17 +76,49 @@ use crate::VertexId;
 /// * neighbor lists are strictly sorted (no duplicates),
 /// * no self-loops,
 /// * symmetry: `u ∈ adj[v] ⇔ v ∈ adj[u]`.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct AdjacencyGraph {
-    adj: Vec<Vec<VertexId>>,
+    storage: Storage,
     num_edges: usize,
 }
 
+impl Default for AdjacencyGraph {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl PartialEq for AdjacencyGraph {
+    /// Structural equality over the logical graph — backends compare
+    /// equal when they hold the same vertices and neighbor lists.
+    fn eq(&self, other: &Self) -> bool {
+        self.num_edges == other.num_edges
+            && self.num_vertices() == other.num_vertices()
+            && (0..self.num_vertices() as VertexId).all(|v| self.neighbors(v) == other.neighbors(v))
+    }
+}
+
+impl Eq for AdjacencyGraph {}
+
 impl AdjacencyGraph {
-    /// An empty graph with `n` isolated vertices.
+    /// An empty graph with `n` isolated vertices (dense backend).
     pub fn new(n: usize) -> Self {
+        Self::with_backend(n, StorageBackend::Dense)
+    }
+
+    /// An empty graph with `n` isolated vertices on the paged backend.
+    pub fn new_paged(n: usize) -> Self {
+        Self::with_backend(n, StorageBackend::Paged)
+    }
+
+    /// An empty graph with `n` isolated vertices on the given backend.
+    pub fn with_backend(n: usize, backend: StorageBackend) -> Self {
+        let storage = match backend {
+            StorageBackend::Dense => Storage::Dense(vec![Vec::new(); n]),
+            StorageBackend::Paged => Storage::Paged(PagedAdjacency::new(n)),
+        };
         Self {
-            adj: vec![Vec::new(); n],
+            storage,
             num_edges: 0,
         }
     }
@@ -42,10 +136,46 @@ impl AdjacencyGraph {
         g
     }
 
+    /// The backend currently holding the rows.
+    pub fn backend(&self) -> StorageBackend {
+        match &self.storage {
+            Storage::Dense(_) => StorageBackend::Dense,
+            Storage::Paged(_) => StorageBackend::Paged,
+        }
+    }
+
+    /// Rebuild this graph on `backend` (no-op if already there). Rows are
+    /// copied verbatim, so the result is [`eq`](PartialEq) to the input —
+    /// and every downstream pick sequence is unchanged.
+    #[must_use]
+    pub fn into_backend(self, backend: StorageBackend) -> Self {
+        if self.backend() == backend {
+            return self;
+        }
+        let n = self.num_vertices();
+        let storage = match backend {
+            StorageBackend::Dense => Storage::Dense(
+                (0..n as VertexId)
+                    .map(|v| self.neighbors(v).to_vec())
+                    .collect(),
+            ),
+            StorageBackend::Paged => Storage::Paged(PagedAdjacency::from_rows(
+                (0..n as VertexId).map(|v| self.neighbors(v)),
+            )),
+        };
+        Self {
+            storage,
+            num_edges: self.num_edges,
+        }
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn num_vertices(&self) -> usize {
-        self.adj.len()
+        match &self.storage {
+            Storage::Dense(d) => d.len(),
+            Storage::Paged(p) => AdjacencyStore::num_vertices(p),
+        }
     }
 
     /// Number of (undirected) edges.
@@ -57,19 +187,22 @@ impl AdjacencyGraph {
     /// True if the graph has no vertices.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.adj.is_empty()
+        self.num_vertices() == 0
     }
 
     /// Sorted neighbors of `v`.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
-        &self.adj[v as usize]
+        match &self.storage {
+            Storage::Dense(d) => &d[v as usize],
+            Storage::Paged(p) => AdjacencyStore::neighbors(p, v),
+        }
     }
 
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
-        self.adj[v as usize].len()
+        self.neighbors(v).len()
     }
 
     /// Whether the undirected edge `{u, v}` exists.
@@ -80,13 +213,12 @@ impl AdjacencyGraph {
         } else {
             (v, u)
         };
-        self.adj[a as usize].binary_search(&b).is_ok()
+        self.neighbors(a).binary_search(&b).is_ok()
     }
 
     /// Append an isolated vertex, returning its id.
     pub fn add_vertex(&mut self) -> VertexId {
-        self.adj.push(Vec::new());
-        (self.adj.len() - 1) as VertexId
+        self.storage.store_mut().add_vertex()
     }
 
     /// Insert the undirected edge `{u, v}`.
@@ -96,33 +228,26 @@ impl AdjacencyGraph {
     /// logic errors in callers, not data conditions.
     pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> bool {
         assert_ne!(u, v, "self-loop ({u}, {u})");
-        assert!(
-            (u as usize) < self.adj.len() && (v as usize) < self.adj.len(),
-            "vertex out of range"
-        );
-        let pos_v = match self.adj[u as usize].binary_search(&v) {
-            Ok(_) => return false,
-            Err(p) => p,
-        };
-        self.adj[u as usize].insert(pos_v, v);
-        let pos_u = self.adj[v as usize]
-            .binary_search(&u)
-            .expect_err("symmetry violated: edge half-present");
-        self.adj[v as usize].insert(pos_u, u);
+        let n = self.num_vertices();
+        assert!((u as usize) < n && (v as usize) < n, "vertex out of range");
+        let store = self.storage.store_mut();
+        if !store.insert_sorted(u, v) {
+            return false;
+        }
+        let other = store.insert_sorted(v, u);
+        assert!(other, "symmetry violated: edge half-present");
         self.num_edges += 1;
         true
     }
 
     /// Remove the undirected edge `{u, v}`. Returns `false` if absent.
     pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
-        let Ok(pos_v) = self.adj[u as usize].binary_search(&v) else {
+        let store = self.storage.store_mut();
+        if !store.remove_sorted(u, v) {
             return false;
-        };
-        self.adj[u as usize].remove(pos_v);
-        let pos_u = self.adj[v as usize]
-            .binary_search(&u)
-            .expect("symmetry violated: edge half-present");
-        self.adj[v as usize].remove(pos_u);
+        }
+        let other = store.remove_sorted(v, u);
+        assert!(other, "symmetry violated: edge half-present");
         self.num_edges -= 1;
         true
     }
@@ -130,12 +255,11 @@ impl AdjacencyGraph {
     /// Remove all edges incident to `v` (used by vertex deletion, which the
     /// paper reduces to edge deletions). Returns the removed neighbors.
     pub fn isolate_vertex(&mut self, v: VertexId) -> Vec<VertexId> {
-        let nbrs = std::mem::take(&mut self.adj[v as usize]);
+        let store = self.storage.store_mut();
+        let nbrs = store.take_row(v);
         for &u in &nbrs {
-            let pos = self.adj[u as usize]
-                .binary_search(&v)
-                .expect("symmetry violated");
-            self.adj[u as usize].remove(pos);
+            let removed = store.remove_sorted(u, v);
+            assert!(removed, "symmetry violated");
         }
         self.num_edges -= nbrs.len();
         nbrs
@@ -143,9 +267,9 @@ impl AdjacencyGraph {
 
     /// Iterate undirected edges with `u < v`, in vertex order.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
-        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
-            let u = u as VertexId;
-            nbrs.iter()
+        (0..self.num_vertices() as VertexId).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
                 .copied()
                 .filter(move |&v| u < v)
                 .map(move |v| (u, v))
@@ -154,32 +278,35 @@ impl AdjacencyGraph {
 
     /// Vertices with degree zero.
     pub fn isolated_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        self.adj
-            .iter()
-            .enumerate()
-            .filter(|(_, nbrs)| nbrs.is_empty())
-            .map(|(v, _)| v as VertexId)
+        (0..self.num_vertices() as VertexId).filter(move |&v| self.neighbors(v).is_empty())
     }
 
     /// Maximum degree over all vertices (0 for an empty graph).
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        (0..self.num_vertices() as VertexId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average degree `2|E| / |V|` (0 for an empty graph).
     pub fn avg_degree(&self) -> f64 {
-        if self.adj.is_empty() {
+        if self.is_empty() {
             0.0
         } else {
-            2.0 * self.num_edges as f64 / self.adj.len() as f64
+            2.0 * self.num_edges as f64 / self.num_vertices() as f64
         }
     }
 
     /// Verify all structural invariants; used by tests and debug assertions.
     pub fn check_invariants(&self) -> Result<(), String> {
+        if let Storage::Paged(p) = &self.storage {
+            p.check_invariants()?;
+        }
+        let n = self.num_vertices();
         let mut count = 0usize;
-        for (u, nbrs) in self.adj.iter().enumerate() {
-            let u = u as VertexId;
+        for u in 0..n as VertexId {
+            let nbrs = self.neighbors(u);
             if !nbrs.windows(2).all(|w| w[0] < w[1]) {
                 return Err(format!("neighbors of {u} not strictly sorted"));
             }
@@ -187,10 +314,10 @@ impl AdjacencyGraph {
                 if v == u {
                     return Err(format!("self-loop at {u}"));
                 }
-                if (v as usize) >= self.adj.len() {
+                if (v as usize) >= n {
                     return Err(format!("neighbor {v} of {u} out of range"));
                 }
-                if self.adj[v as usize].binary_search(&u).is_err() {
+                if self.neighbors(v).binary_search(&u).is_err() {
                     return Err(format!("asymmetric edge ({u}, {v})"));
                 }
                 if u < v {
@@ -202,6 +329,15 @@ impl AdjacencyGraph {
             return Err(format!("edge count {count} != cached {}", self.num_edges));
         }
         Ok(())
+    }
+}
+
+impl MemAccounted for AdjacencyGraph {
+    fn mem_footprint(&self) -> MemFootprint {
+        match &self.storage {
+            Storage::Dense(d) => d.mem_footprint(),
+            Storage::Paged(p) => p.mem_footprint(),
+        }
     }
 }
 
@@ -293,6 +429,41 @@ mod tests {
         g.check_invariants().unwrap();
     }
 
+    #[test]
+    fn backend_round_trip_preserves_graph() {
+        let g = triangle();
+        assert_eq!(g.backend(), StorageBackend::Dense);
+        let p = g.clone().into_backend(StorageBackend::Paged);
+        assert_eq!(p.backend(), StorageBackend::Paged);
+        assert_eq!(p, g, "paged copy structurally equal");
+        p.check_invariants().unwrap();
+        let back = p.into_backend(StorageBackend::Dense);
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn paged_backend_full_edit_surface() {
+        let mut g = AdjacencyGraph::new_paged(5);
+        assert!(g.insert_edge(0, 4));
+        assert!(g.insert_edge(0, 2));
+        assert!(!g.insert_edge(2, 0));
+        assert_eq!(g.neighbors(0), &[2, 4]);
+        assert!(g.remove_edge(0, 4));
+        let v = g.add_vertex();
+        assert!(g.insert_edge(v, 0));
+        assert_eq!(g.isolate_vertex(0), vec![2, 5]);
+        assert_eq!(g.num_edges(), 0);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn backend_parses_and_displays() {
+        assert_eq!("paged".parse::<StorageBackend>(), Ok(StorageBackend::Paged));
+        assert_eq!("dense".parse::<StorageBackend>(), Ok(StorageBackend::Dense));
+        assert!("mmap".parse::<StorageBackend>().is_err());
+        assert_eq!(StorageBackend::Paged.to_string(), "paged");
+    }
+
     proptest! {
         /// Random interleavings of inserts/removes preserve all invariants
         /// and agree with a reference HashSet-of-edges model.
@@ -314,6 +485,43 @@ mod tests {
             for &(u, v) in &model {
                 prop_assert!(g.has_edge(u, v));
             }
+        }
+
+        /// The two backends stay structurally identical under random
+        /// interleaved insert/remove/isolate streams — the satellite
+        /// contract for the paged store, covering page recycling
+        /// (isolate frees pages; later growth reuses them).
+        #[test]
+        fn paged_and_dense_backends_agree(ops in proptest::collection::vec(
+            (0u32..24, 0u32..24, 0u8..6), 1..300))
+        {
+            let mut dense = AdjacencyGraph::new(24);
+            let mut paged = AdjacencyGraph::new_paged(24);
+            for (a, b, op) in ops {
+                match op {
+                    0..=2 => {
+                        if a == b { continue; }
+                        prop_assert_eq!(dense.insert_edge(a, b), paged.insert_edge(a, b));
+                    }
+                    3 | 4 => {
+                        if a == b { continue; }
+                        prop_assert_eq!(dense.remove_edge(a, b), paged.remove_edge(a, b));
+                    }
+                    _ => {
+                        prop_assert_eq!(dense.isolate_vertex(a), paged.isolate_vertex(a));
+                    }
+                }
+            }
+            prop_assert_eq!(&dense, &paged);
+            prop_assert_eq!(dense.num_edges(), paged.num_edges());
+            for v in 0..24u32 {
+                prop_assert_eq!(dense.neighbors(v), paged.neighbors(v));
+                prop_assert_eq!(dense.degree(v), paged.degree(v));
+            }
+            let de: Vec<_> = dense.edges().collect();
+            let pe: Vec<_> = paged.edges().collect();
+            prop_assert_eq!(de, pe);
+            prop_assert!(paged.check_invariants().is_ok());
         }
     }
 }

@@ -106,8 +106,24 @@ impl DynamicGraph {
 
     /// Validate and apply `batch`, returning per-vertex deltas.
     pub fn apply(&mut self, batch: &EditBatch) -> Result<AppliedBatch, EditError> {
-        batch.validate(&self.graph)?;
         let mut applied = AppliedBatch::default();
+        self.apply_into(batch, &mut applied)?;
+        Ok(applied)
+    }
+
+    /// Validate and apply `batch`, writing per-vertex deltas into a
+    /// caller-owned [`AppliedBatch`] that is cleared and reused — the
+    /// steady-state entry point for flush loops, which would otherwise
+    /// reallocate the delta map (and its buckets) every batch.
+    pub fn apply_into(
+        &mut self,
+        batch: &EditBatch,
+        applied: &mut AppliedBatch,
+    ) -> Result<(), EditError> {
+        batch.validate(&self.graph)?;
+        applied.deltas.clear();
+        applied.num_inserted = 0;
+        applied.num_deleted = 0;
         for &(u, v) in batch.deletions() {
             let removed = self.graph.remove_edge(u, v);
             debug_assert!(removed, "validated deletion must exist");
@@ -127,7 +143,7 @@ impl DynamicGraph {
             delta.removed.sort_unstable();
         }
         self.batches_applied += 1;
-        Ok(applied)
+        Ok(())
     }
 
     /// Delete a vertex by removing all incident edges (paper: "vertex
@@ -214,6 +230,22 @@ mod tests {
         assert_eq!(g.graph().degree(0), 0);
         assert_eq!(applied.deltas[&1].removed, vec![0]);
         assert_eq!(applied.deltas[&3].removed, vec![0]);
+    }
+
+    #[test]
+    fn apply_into_reuses_and_clears_the_delta_map() {
+        let mut g = square();
+        let mut scratch = AppliedBatch::default();
+        g.apply_into(&EditBatch::from_lists([(0, 2)], []), &mut scratch)
+            .unwrap();
+        assert_eq!(scratch.num_inserted, 1);
+        assert_eq!(scratch.affected_vertices(), vec![0, 2]);
+        // Second batch through the same scratch: stale entries are gone.
+        g.apply_into(&EditBatch::from_lists([], [(1, 2)]), &mut scratch)
+            .unwrap();
+        assert_eq!(scratch.num_inserted, 0);
+        assert_eq!(scratch.num_deleted, 1);
+        assert_eq!(scratch.affected_vertices(), vec![1, 2]);
     }
 
     #[test]

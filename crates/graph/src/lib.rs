@@ -50,12 +50,15 @@ pub mod dynamic;
 pub mod edits;
 pub mod fxhash;
 pub mod io;
+pub mod mem;
+pub mod paged;
 pub mod partition;
 pub mod rng;
 pub mod sharding;
+pub mod slab;
 pub mod stats;
 
-pub use adjacency::AdjacencyGraph;
+pub use adjacency::{AdjacencyGraph, StorageBackend};
 pub use builder::GraphBuilder;
 pub use connectivity::{connected_components, UnionFind};
 pub use cover::Cover;
@@ -63,11 +66,14 @@ pub use csr::CsrGraph;
 pub use dynamic::{AppliedBatch, DynamicGraph, VertexDelta};
 pub use edits::{EditBatch, EditError};
 pub use fxhash::{FxHashMap, FxHashSet};
+pub use mem::{MemAccounted, MemFootprint};
+pub use paged::{AdjacencyStore, PagedAdjacency};
 pub use partition::{BlockPartitioner, HashPartitioner, Partitioner, PlannedPartitioner};
 pub use rng::{DetRng, PickKey};
 pub use sharding::{
     compact_slot_deltas, split_deltas, split_slot_deltas, BoundaryTracker, SlotDelta,
 };
+pub use slab::SlabRows;
 pub use stats::GraphStats;
 
 /// Vertex identifier. Graphs are addressed with dense ids `0..n`.

@@ -174,7 +174,12 @@ impl PlannedPartitioner {
         // Largest first; canonical cover order breaks ties deterministically.
         order.sort_by_key(|&c| std::cmp::Reverse(cover.communities()[c].len()));
         let mut load = vec![0usize; parts];
-        let mut assignment = vec![u32::MAX; n];
+        // Size the plan by the cover's actual id universe, not just `n`:
+        // live streams grow the id space, so a cover may legitimately
+        // name members ≥ the caller's vertex count — those must follow
+        // their community instead of falling through to the hash.
+        let universe = cover_universe(cover, n);
+        let mut assignment = vec![u32::MAX; universe];
         for c in order {
             let shard = (0..parts).min_by_key(|&s| load[s]).expect("parts > 0");
             let mut placed = 0usize;
@@ -208,16 +213,20 @@ impl PlannedPartitioner {
     pub fn rebalance(prev: &dyn Partitioner, cover: &crate::Cover, n: usize, parts: usize) -> Self {
         assert!(parts > 0, "need at least one partition");
         let fallback = HashPartitioner::new(parts);
-        let cap = (n.div_ceil(parts) * 5).div_ceil(4).max(1); // ~1.25× fair share
+        // As in `from_cover`, the id universe is the larger of `n` and
+        // the highest community member — grown ids stick with their
+        // community rather than falling through to `prev`'s hash.
+        let universe = cover_universe(cover, n);
+        let cap = (universe.div_ceil(parts) * 5).div_ceil(4).max(1); // ~1.25× fair share
         let mut order: Vec<usize> = (0..cover.len()).collect();
         order.sort_by_key(|&c| std::cmp::Reverse(cover.communities()[c].len()));
         let mut load = vec![0usize; parts];
-        let mut assignment = vec![u32::MAX; n];
+        let mut assignment = vec![u32::MAX; universe];
         for c in order {
             let members = &cover.communities()[c];
             let mut votes = vec![0usize; parts];
             for &v in members {
-                if (v as usize) < n && assignment[v as usize] == u32::MAX {
+                if assignment[v as usize] == u32::MAX {
                     votes[prev.assign(v)] += 1;
                 }
             }
@@ -248,6 +257,20 @@ impl PlannedPartitioner {
             fallback,
         }
     }
+}
+
+/// The id universe a cover-driven plan must span: the caller's vertex
+/// count, or one past the highest community member if the cover already
+/// names grown ids beyond it.
+fn cover_universe(cover: &crate::Cover, n: usize) -> usize {
+    cover
+        .communities()
+        .iter()
+        .flat_map(|c| c.iter())
+        .map(|&v| v as usize + 1)
+        .max()
+        .unwrap_or(0)
+        .max(n)
 }
 
 impl Partitioner for PlannedPartitioner {
@@ -394,6 +417,31 @@ mod tests {
         assert!(counts.iter().all(|&c| c == 6), "{counts:?}");
         // Vertices outside every community hash deterministically.
         assert_eq!(p.assign(500), HashPartitioner::new(2).assign(500));
+    }
+
+    #[test]
+    fn from_cover_plans_for_ids_beyond_n() {
+        use crate::Cover;
+        // A live stream grew the id space: community members 20 and 21
+        // sit past the caller's n=4. They must follow their community,
+        // not fall through to the hash fallback.
+        let cover = Cover::new(vec![vec![0, 1, 20, 21], vec![2, 3]]);
+        let p = PlannedPartitioner::from_cover(&cover, 4, 2);
+        assert_eq!(p.assign(20), p.assign(0));
+        assert_eq!(p.assign(21), p.assign(0));
+        // Ids in no community still hash.
+        assert_eq!(p.assign(10), HashPartitioner::new(2).assign(10));
+    }
+
+    #[test]
+    fn rebalance_plans_for_ids_beyond_n() {
+        use crate::Cover;
+        let genesis = Cover::new(vec![vec![0, 1], vec![2, 3]]);
+        let p0 = PlannedPartitioner::from_cover(&genesis, 4, 2);
+        // After churn, vertex 30 joined the first community.
+        let grown = Cover::new(vec![vec![0, 1, 30], vec![2, 3]]);
+        let p1 = PlannedPartitioner::rebalance(&p0, &grown, 4, 2);
+        assert_eq!(p1.assign(30), p1.assign(0), "grown id follows community");
     }
 
     #[test]

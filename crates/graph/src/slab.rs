@@ -1,0 +1,536 @@
+//! Size-class slab arena: many small growable rows in one allocation.
+//!
+//! The storage idiom every compact store in this repo shares. A
+//! [`SlabRows<T>`] keeps all rows' entries in **one** backing `Vec<T>`
+//! (the arena). Each row owns a contiguous *page* — a block whose
+//! capacity is a power-of-two size class — described by a span
+//! `(head, len, class)`. Rows stay contiguous, so readers get plain
+//! `&[T]` slices with no per-row heap allocation, no 24-byte `Vec`
+//! header, and no allocator slack beyond the class rounding.
+//!
+//! * **Growth** moves a row to a page of the next class (copy `len`
+//!   entries) and *recycles* the old page onto a per-class free list —
+//!   later growths of other rows reuse it before the arena extends.
+//! * **Clearing** a row recycles its page immediately.
+//! * **Tombstone compaction**: pages on free lists are dead space inside
+//!   the arena. When dead space exceeds the live reservation
+//!   (`arena.len() > 2 × Σ class_cap(row)` past a fixed floor), the whole
+//!   arena is rebuilt tight — every row re-packed into the smallest class
+//!   that fits its current length, free lists emptied. Compaction is a
+//!   pure function of the operation sequence, so replays stay
+//!   deterministic.
+//!
+//! Invariants (checked by [`SlabRows::check_invariants`]):
+//! * `len ≤ class_cap(class)` for every span, and `class == 0 ⇔` the row
+//!   has no page (`len == 0`);
+//! * live pages and free pages never overlap, and every page lies inside
+//!   the arena;
+//! * `live_entries` equals the sum of span lengths.
+
+use crate::mem::{MemAccounted, MemFootprint};
+
+/// Capacity of the smallest (class 1) page.
+const BASE_CAP: u32 = 4;
+
+/// Arena length below which compaction never triggers (not worth it).
+const COMPACT_FLOOR: usize = 4096;
+
+/// Page capacity of a size class (class 0 = no page).
+#[inline]
+pub fn class_cap(class: u8) -> u32 {
+    if class == 0 {
+        0
+    } else {
+        BASE_CAP << (class - 1)
+    }
+}
+
+/// Smallest class whose page fits `len` entries.
+#[inline]
+pub fn class_for(len: u32) -> u8 {
+    if len == 0 {
+        return 0;
+    }
+    let mut c = 1u8;
+    while class_cap(c) < len {
+        c += 1;
+    }
+    c
+}
+
+/// One row's page: `arena[head .. head + class_cap(class)]`, of which the
+/// first `len` entries are live.
+#[derive(Clone, Copy, Debug, Default)]
+struct Span {
+    head: u32,
+    len: u32,
+    class: u8,
+}
+
+/// A slab of growable rows sharing one arena (see module docs).
+#[derive(Clone, Debug)]
+pub struct SlabRows<T: Copy> {
+    /// Value used to pad freshly reserved pages (never read while padding).
+    fill: T,
+    arena: Vec<T>,
+    spans: Vec<Span>,
+    /// Recycled page heads per size class.
+    free: Vec<Vec<u32>>,
+    /// Σ span.len — live entry count.
+    live: usize,
+    /// Σ class_cap(span.class) — entries reserved by live pages.
+    reserved: usize,
+}
+
+impl<T: Copy> SlabRows<T> {
+    /// An empty slab; `fill` pads reserved-but-unwritten arena space.
+    pub fn new(fill: T) -> Self {
+        Self {
+            fill,
+            arena: Vec::new(),
+            spans: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            reserved: 0,
+        }
+    }
+
+    /// A slab with `rows` empty rows.
+    pub fn with_rows(rows: usize, fill: T) -> Self {
+        let mut s = Self::new(fill);
+        s.spans = vec![Span::default(); rows];
+        s
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Total live entries across all rows.
+    #[inline]
+    pub fn live_entries(&self) -> usize {
+        self.live
+    }
+
+    /// Append an empty row, returning its index.
+    pub fn push_row(&mut self) -> usize {
+        self.spans.push(Span::default());
+        self.spans.len() - 1
+    }
+
+    /// Grow to at least `rows` rows (new rows empty).
+    pub fn ensure_rows(&mut self, rows: usize) {
+        if self.spans.len() < rows {
+            self.spans.resize(rows, Span::default());
+        }
+    }
+
+    /// Live entries of row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        let s = self.spans[i];
+        &self.arena[s.head as usize..(s.head + s.len) as usize]
+    }
+
+    /// Mutable live entries of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        let s = self.spans[i];
+        &mut self.arena[s.head as usize..(s.head + s.len) as usize]
+    }
+
+    /// Length of row `i`.
+    #[inline]
+    pub fn len_of(&self, i: usize) -> usize {
+        self.spans[i].len as usize
+    }
+
+    /// Take a page of `class` off the free list or reserve one at the
+    /// arena tail.
+    fn alloc_page(&mut self, class: u8) -> u32 {
+        debug_assert!(class > 0);
+        if let Some(head) = self
+            .free
+            .get_mut(class as usize)
+            .and_then(|list| list.pop())
+        {
+            return head;
+        }
+        let head = self.arena.len() as u32;
+        let cap = class_cap(class) as usize;
+        // Grow in ~12.5% chunks instead of letting `Vec` double: the
+        // arena is the dominant allocation of a large graph, and a 2×
+        // growth step right after a tight bulk build would hold twice
+        // the graph's footprint in dead capacity. A gentler factor costs
+        // amortized O(1/f) extra copies per entry and keeps reserved
+        // bytes within ~1/8 of the live arena.
+        if self.arena.len() + cap > self.arena.capacity() {
+            let slack = (self.arena.len() / 8).max(cap).max(1024);
+            self.arena.reserve_exact(slack);
+        }
+        self.arena.resize(self.arena.len() + cap, self.fill);
+        head
+    }
+
+    /// Recycle a page onto its class free list.
+    fn recycle_page(&mut self, head: u32, class: u8) {
+        debug_assert!(class > 0);
+        if self.free.len() <= class as usize {
+            self.free.resize(class as usize + 1, Vec::new());
+        }
+        self.free[class as usize].push(head);
+    }
+
+    /// Move row `i` to a page with room for at least one more entry.
+    fn grow_row(&mut self, i: usize) {
+        let s = self.spans[i];
+        let new_class = class_for(s.len + 1).max(s.class + 1);
+        let new_head = self.alloc_page(new_class);
+        self.arena.copy_within(
+            s.head as usize..(s.head + s.len) as usize,
+            new_head as usize,
+        );
+        if s.class > 0 {
+            self.recycle_page(s.head, s.class);
+        }
+        self.reserved += class_cap(new_class) as usize - class_cap(s.class) as usize;
+        self.spans[i] = Span {
+            head: new_head,
+            len: s.len,
+            class: new_class,
+        };
+    }
+
+    /// Append `x` to row `i`.
+    pub fn push(&mut self, i: usize, x: T) {
+        if self.spans[i].len == class_cap(self.spans[i].class) {
+            self.grow_row(i);
+        }
+        let s = &mut self.spans[i];
+        self.arena[(s.head + s.len) as usize] = x;
+        s.len += 1;
+        self.live += 1;
+    }
+
+    /// Insert `x` at position `idx` of row `i`, shifting the tail right.
+    pub fn insert(&mut self, i: usize, idx: usize, x: T) {
+        if self.spans[i].len == class_cap(self.spans[i].class) {
+            self.grow_row(i);
+        }
+        let s = self.spans[i];
+        debug_assert!(idx <= s.len as usize);
+        let head = s.head as usize;
+        self.arena
+            .copy_within(head + idx..head + s.len as usize, head + idx + 1);
+        self.arena[head + idx] = x;
+        self.spans[i].len += 1;
+        self.live += 1;
+    }
+
+    /// Remove and return the entry at position `idx` of row `i`, shifting
+    /// the tail left (order-preserving).
+    pub fn remove(&mut self, i: usize, idx: usize) -> T {
+        let s = self.spans[i];
+        debug_assert!(idx < s.len as usize);
+        let head = s.head as usize;
+        let out = self.arena[head + idx];
+        self.arena
+            .copy_within(head + idx + 1..head + s.len as usize, head + idx);
+        self.spans[i].len -= 1;
+        self.live -= 1;
+        out
+    }
+
+    /// Remove and return the entry at position `idx` of row `i` by moving
+    /// the last entry into its place — exactly `Vec::swap_remove`, so
+    /// consumers that relied on `Vec` ordering see the same order here.
+    pub fn swap_remove(&mut self, i: usize, idx: usize) -> T {
+        let s = self.spans[i];
+        debug_assert!(idx < s.len as usize);
+        let head = s.head as usize;
+        let out = self.arena[head + idx];
+        self.arena[head + idx] = self.arena[head + s.len as usize - 1];
+        self.spans[i].len -= 1;
+        self.live -= 1;
+        out
+    }
+
+    /// Empty row `i`, recycling its page. Returns nothing — copy the row
+    /// out first if its contents are needed.
+    pub fn clear_row(&mut self, i: usize) {
+        let s = self.spans[i];
+        if s.class > 0 {
+            self.recycle_page(s.head, s.class);
+            self.reserved -= class_cap(s.class) as usize;
+        }
+        self.live -= s.len as usize;
+        self.spans[i] = Span::default();
+        self.maybe_compact();
+    }
+
+    /// Rebuild the arena tight if dead space (recycled pages + class
+    /// slack released by compaction) exceeds the live reservation.
+    fn maybe_compact(&mut self) {
+        if self.arena.len() > COMPACT_FLOOR && self.arena.len() > 2 * self.reserved {
+            self.compact();
+        }
+    }
+
+    /// Tombstone compaction: re-pack every row into the smallest class
+    /// that fits it, in row order, dropping all free pages.
+    pub fn compact(&mut self) {
+        let mut arena = Vec::with_capacity(self.live + self.live / 2);
+        let mut reserved = 0usize;
+        for s in self.spans.iter_mut() {
+            let class = class_for(s.len);
+            let head = arena.len() as u32;
+            arena.extend_from_slice(&self.arena[s.head as usize..(s.head + s.len) as usize]);
+            arena.resize(head as usize + class_cap(class) as usize, self.fill);
+            reserved += class_cap(class) as usize;
+            *s = Span {
+                head,
+                len: s.len,
+                class,
+            };
+        }
+        self.arena = arena;
+        self.reserved = reserved;
+        self.free.clear();
+    }
+
+    /// Build a slab from an iterator of rows, each packed into the
+    /// smallest class that fits it. The arena and span table are sized
+    /// exactly up front (two passes over the row headers), so a bulk
+    /// build carries no `Vec`-doubling slack — only the size-class
+    /// head-room itself.
+    pub fn from_rows<'a>(rows: impl IntoIterator<Item = &'a [T]>, fill: T) -> Self
+    where
+        T: 'a,
+    {
+        let rows: Vec<&'a [T]> = rows.into_iter().collect();
+        let total: usize = rows
+            .iter()
+            .map(|r| class_cap(class_for(r.len() as u32)) as usize)
+            .sum();
+        let mut s = Self::new(fill);
+        s.arena.reserve_exact(total);
+        s.spans.reserve_exact(rows.len());
+        for row in rows {
+            let i = s.push_row();
+            let class = class_for(row.len() as u32);
+            if class > 0 {
+                let head = s.alloc_page(class);
+                s.arena[head as usize..head as usize + row.len()].copy_from_slice(row);
+                s.reserved += class_cap(class) as usize;
+                s.spans[i] = Span {
+                    head,
+                    len: row.len() as u32,
+                    class,
+                };
+                s.live += row.len();
+            }
+        }
+        s
+    }
+
+    /// Verify every structural invariant (tests and debug assertions).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut live = 0usize;
+        let mut reserved = 0usize;
+        let mut pages: Vec<(u32, u32)> = Vec::new(); // (head, cap)
+        for (i, s) in self.spans.iter().enumerate() {
+            if s.class == 0 && s.len != 0 {
+                return Err(format!("row {i}: class 0 with non-empty span"));
+            }
+            let cap = class_cap(s.class);
+            if s.len > cap {
+                return Err(format!("row {i}: len {} > cap {cap}", s.len));
+            }
+            if s.class > 0 {
+                if (s.head + cap) as usize > self.arena.len() {
+                    return Err(format!("row {i}: page out of arena"));
+                }
+                pages.push((s.head, cap));
+                reserved += cap as usize;
+            }
+            live += s.len as usize;
+        }
+        for (class, list) in self.free.iter().enumerate() {
+            for &head in list {
+                let cap = class_cap(class as u8);
+                if (head + cap) as usize > self.arena.len() {
+                    return Err(format!("free page at {head} out of arena"));
+                }
+                pages.push((head, cap));
+            }
+        }
+        pages.sort_unstable();
+        for w in pages.windows(2) {
+            if w[0].0 + w[0].1 > w[1].0 {
+                return Err(format!("overlapping pages at {} and {}", w[0].0, w[1].0));
+            }
+        }
+        if live != self.live {
+            return Err(format!("live count {} != cached {}", live, self.live));
+        }
+        if reserved != self.reserved {
+            return Err(format!(
+                "reserved count {} != cached {}",
+                reserved, self.reserved
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl<T: Copy> MemAccounted for SlabRows<T> {
+    fn mem_footprint(&self) -> MemFootprint {
+        let elem = std::mem::size_of::<T>();
+        let span = std::mem::size_of::<Span>();
+        MemFootprint {
+            live_bytes: self.live * elem + self.spans.len() * span,
+            capacity_bytes: self.arena.capacity() * elem
+                + self.spans.capacity() * span
+                + self
+                    .free
+                    .iter()
+                    .map(|l| l.capacity() * std::mem::size_of::<u32>())
+                    .sum::<usize>(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn class_math() {
+        assert_eq!(class_cap(0), 0);
+        assert_eq!(class_cap(1), 4);
+        assert_eq!(class_cap(2), 8);
+        assert_eq!(class_for(0), 0);
+        assert_eq!(class_for(1), 1);
+        assert_eq!(class_for(4), 1);
+        assert_eq!(class_for(5), 2);
+        assert_eq!(class_for(9), 3);
+    }
+
+    #[test]
+    fn push_and_grow_preserve_contents() {
+        let mut s = SlabRows::with_rows(3, 0u32);
+        for x in 0..20u32 {
+            s.push(1, x);
+        }
+        assert_eq!(s.row(1), (0..20).collect::<Vec<_>>().as_slice());
+        assert_eq!(s.row(0), &[] as &[u32]);
+        assert_eq!(s.live_entries(), 20);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_remove_keep_order() {
+        let mut s = SlabRows::with_rows(1, 0u32);
+        for x in [1u32, 3, 5] {
+            s.push(0, x);
+        }
+        s.insert(0, 1, 2);
+        assert_eq!(s.row(0), &[1, 2, 3, 5]);
+        assert_eq!(s.remove(0, 2), 3);
+        assert_eq!(s.row(0), &[1, 2, 5]);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn swap_remove_mirrors_vec() {
+        let mut s = SlabRows::with_rows(1, 0u32);
+        let mut model = vec![10u32, 20, 30, 40];
+        for &x in &model {
+            s.push(0, x);
+        }
+        assert_eq!(s.swap_remove(0, 1), model.swap_remove(1));
+        assert_eq!(s.row(0), model.as_slice());
+    }
+
+    #[test]
+    fn clear_recycles_pages_for_reuse() {
+        let mut s = SlabRows::with_rows(2, 0u32);
+        for x in 0..4u32 {
+            s.push(0, x);
+        }
+        let before = s.arena.len();
+        s.clear_row(0);
+        for x in 0..4u32 {
+            s.push(1, x); // must reuse the recycled class-1 page
+        }
+        assert_eq!(s.arena.len(), before, "arena must not grow");
+        assert_eq!(s.row(1), &[0, 1, 2, 3]);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn compaction_drops_dead_space() {
+        let mut s = SlabRows::with_rows(64, 0u32);
+        // Inflate every row past several growths, then clear most.
+        for i in 0..64 {
+            for x in 0..40u32 {
+                s.push(i, x);
+            }
+        }
+        for i in 0..60 {
+            s.clear_row(i);
+        }
+        s.compact();
+        s.check_invariants().unwrap();
+        assert_eq!(s.live_entries(), 4 * 40);
+        for i in 60..64 {
+            assert_eq!(s.row(i), (0..40).collect::<Vec<_>>().as_slice());
+        }
+        // Arena is tight: reserved pages only.
+        assert_eq!(s.arena.len(), 4 * class_cap(class_for(40)) as usize);
+    }
+
+    #[test]
+    fn from_rows_round_trip() {
+        let rows: Vec<Vec<u32>> = vec![vec![], vec![7], vec![1, 2, 3, 4, 5]];
+        let s = SlabRows::from_rows(rows.iter().map(|r| r.as_slice()), 0u32);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(s.row(i), r.as_slice());
+        }
+        s.check_invariants().unwrap();
+    }
+
+    proptest! {
+        /// Random op streams agree with a Vec<Vec> model and keep
+        /// invariants, including page recycling and compaction paths.
+        #[test]
+        fn random_ops_match_vec_model(ops in proptest::collection::vec(
+            (0usize..8, 0u8..4, 0u32..1000), 1..400))
+        {
+            let mut s = SlabRows::with_rows(8, 0u32);
+            let mut model: Vec<Vec<u32>> = vec![Vec::new(); 8];
+            for (row, op, x) in ops {
+                match op {
+                    0 => { s.push(row, x); model[row].push(x); }
+                    1 => {
+                        let idx = x as usize % (model[row].len() + 1);
+                        s.insert(row, idx, x); model[row].insert(idx, x);
+                    }
+                    2 if !model[row].is_empty() => {
+                        let idx = x as usize % model[row].len();
+                        prop_assert_eq!(s.remove(row, idx), model[row].remove(idx));
+                    }
+                    3 => { s.clear_row(row); model[row].clear(); }
+                    _ => {}
+                }
+            }
+            for (i, r) in model.iter().enumerate() {
+                prop_assert_eq!(s.row(i), r.as_slice());
+            }
+            prop_assert!(s.check_invariants().is_ok());
+        }
+    }
+}

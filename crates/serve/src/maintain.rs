@@ -26,7 +26,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use rslpa_core::{DetectionResult, IncrementalPostprocess};
-use rslpa_graph::{AdjacencyGraph, EditBatch, FxHashMap, VertexId};
+use rslpa_graph::{AdjacencyGraph, EditBatch, FxHashMap, SlotDelta, VertexId};
 
 use crate::policy::FlushPolicy;
 use crate::queue::{Command, EditOp, EditQueue};
@@ -41,13 +41,26 @@ use crate::stats::ServeStats;
 /// Out-of-range endpoints on *inserts* are fine — the loop grows the
 /// vertex space before applying — but deletes of never-seen vertices are
 /// no-ops.
+#[cfg(test)]
 pub(crate) fn resolve_ops(graph: &AdjacencyGraph, ops: &[EditOp]) -> (EditBatch, u64) {
+    let mut desired = FxHashMap::default();
+    resolve_ops_into(graph, ops, &mut desired)
+}
+
+/// [`resolve_ops`] with a caller-owned scratch map, so the steady-state
+/// flush path allocates no per-flush hash table (the map's capacity is
+/// retained across batches).
+pub(crate) fn resolve_ops_into(
+    graph: &AdjacencyGraph,
+    ops: &[EditOp],
+    desired: &mut FxHashMap<(VertexId, VertexId), bool>,
+) -> (EditBatch, u64) {
     let n = graph.num_vertices();
     let in_graph = |u: VertexId, v: VertexId| -> bool {
         (u as usize) < n && (v as usize) < n && graph.has_edge(u, v)
     };
     // Edge -> desired presence after the batch, in op order.
-    let mut desired: FxHashMap<(VertexId, VertexId), bool> = FxHashMap::default();
+    desired.clear();
     let mut rejected = 0u64;
     for &op in ops {
         let (u, v) = op.endpoints();
@@ -66,7 +79,7 @@ pub(crate) fn resolve_ops(graph: &AdjacencyGraph, ops: &[EditOp]) -> (EditBatch,
     }
     let mut insertions = Vec::new();
     let mut deletions = Vec::new();
-    for (&(u, v), &present) in &desired {
+    for (&(u, v), &present) in desired.iter() {
         let was = in_graph(u, v);
         if present && !was {
             insertions.push((u, v));
@@ -91,6 +104,10 @@ pub(crate) struct MaintenanceLoop {
     pub(crate) snapshot_every: usize,
     pub(crate) flushes_since_snapshot: usize,
     pub(crate) dirty_since_snapshot: bool,
+    /// Net-resolution scratch, retained across flushes ([`resolve_ops_into`]).
+    pub(crate) resolve_scratch: FxHashMap<(VertexId, VertexId), bool>,
+    /// Slot-delta stream scratch, retained across flushes.
+    pub(crate) slot_deltas: Vec<SlotDelta>,
 }
 
 impl MaintenanceLoop {
@@ -183,7 +200,8 @@ impl MaintenanceLoop {
             return;
         }
         let started = Instant::now();
-        let (batch, rejected) = resolve_ops(self.engine.graph(), pending);
+        let (batch, rejected) =
+            resolve_ops_into(self.engine.graph(), pending, &mut self.resolve_scratch);
         // Grow the vertex space only for inserts that survived net
         // resolution — an insert/delete pair referencing a huge fresh id
         // must not permanently inflate the graph.
@@ -199,11 +217,12 @@ impl MaintenanceLoop {
             }
         }
         let applied = batch.len() as u64;
-        let mut slot_deltas = Vec::new();
+        self.slot_deltas.clear();
         let eta = if batch.is_empty() {
             0
         } else {
-            self.engine.apply(&batch, &self.stats, &mut slot_deltas)
+            self.engine
+                .apply(&batch, &self.stats, &mut self.slot_deltas)
         };
         self.stats
             .note_flush(applied, rejected, eta, started.elapsed());
@@ -221,7 +240,7 @@ impl MaintenanceLoop {
                 self.postprocess.delete_edges(batch.deletions());
                 let net = self
                     .postprocess
-                    .apply_slot_deltas(self.engine.graph(), &slot_deltas);
+                    .apply_slot_deltas(self.engine.graph(), &self.slot_deltas);
                 self.stats
                     .note_counters(net as u64, counters_started.elapsed());
             }
@@ -257,6 +276,14 @@ impl MaintenanceLoop {
         // The snapshot histogram covers post-processing + build + swap
         // only, so close it before repartitioning.
         self.stats.note_snapshot(started.elapsed());
+        // Refresh the coordinator-resident memory gauges while the state
+        // is quiescent; readers see them via the stats JSON.
+        let mem = self.engine.mem_footprint(&self.postprocess);
+        self.stats.set_mem_gauges(
+            mem.live_bytes as u64,
+            mem.capacity_bytes as u64,
+            self.engine.graph().num_vertices() as u64,
+        );
         // Re-shard around the communities just published: the ownership
         // map tracks the structure it serves, so cascade locality does
         // not decay as the graph drifts from the genesis partition.

@@ -72,10 +72,11 @@ pub struct ServeConfig {
     /// bit-identical across shard counts for the same edit/barrier
     /// sequence.
     ///
-    /// Out-of-range values are clamped at start-up rather than panicking
-    /// downstream: `0` falls back to the single-writer path, and a count
-    /// above the seed graph's vertex count is capped at the vertex count
-    /// (shards beyond that could never own a vertex). The effective
+    /// `0` is clamped to the single-writer path at start-up rather than
+    /// panicking downstream. Counts above the seed graph's vertex count
+    /// are honored as-is: live streams grow the id space, so a service
+    /// seeded small may still want many shards (a shard that owns no
+    /// vertex yet idles until a repartition hands it some). The effective
     /// count is what [`StatsReport::shards`](crate::StatsReport) reports.
     pub shards: usize,
     /// Boundary-exchange transport for `shards > 1` (ignored otherwise).
@@ -145,8 +146,8 @@ impl ServeConfig {
     /// assert_eq!(run(1), run(4)); // sharding never changes semantics
     /// ```
     ///
-    /// `0` is clamped to the single-writer path, and counts above the
-    /// seed graph's vertex count are capped at start-up (see
+    /// `0` is clamped to the single-writer path; any larger count is
+    /// honored as-is, even above the seed graph's vertex count (see
     /// [`shards`](Self::shards)).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
@@ -249,11 +250,13 @@ impl CommunityService {
     /// snapshot (epoch 0), and start the maintenance thread (plus shard
     /// workers when `config.shards > 1`).
     pub fn start(graph: AdjacencyGraph, config: ServeConfig) -> Self {
-        // Clamp the shard count to something every downstream layer can
-        // honor: at least 1 (0 would have no writer at all), at most the
-        // vertex count (a shard beyond that could never own a vertex, and
-        // partition planning over empty shards is not worth supporting).
-        let shards = config.shards.clamp(1, graph.num_vertices().max(1));
+        // Clamp the shard count below to 1 (0 would have no writer at
+        // all). There is deliberately no upper clamp at the *initial*
+        // vertex count: streams grow the id space, so a service seeded
+        // with a small genesis graph may legitimately ask for more shards
+        // than it has vertices today — a shard that owns no vertex yet
+        // just idles until repartitioning hands it some.
+        let shards = config.shards.max(1);
         let stats = Arc::new(ServeStats::with_shards(shards));
         let bootstrap =
             RepairEngine::bootstrap(graph, &config.detector, shards, config.exchange, &stats);
@@ -273,6 +276,8 @@ impl CommunityService {
             snapshot_every: config.snapshot_every.max(1),
             flushes_since_snapshot: 0,
             dirty_since_snapshot: false,
+            resolve_scratch: Default::default(),
+            slot_deltas: Vec::new(),
         };
         let handle = std::thread::Builder::new()
             .name("rslpa-serve-maintain".into())

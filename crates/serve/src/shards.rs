@@ -46,8 +46,8 @@ use rslpa_core::{
 };
 use rslpa_graph::sharding::split_deltas;
 use rslpa_graph::{
-    AdjacencyGraph, BoundaryTracker, DynamicGraph, EditBatch, FxHashMap, FxHashSet, Partitioner,
-    PlannedPartitioner, SlotDelta, VertexId,
+    AdjacencyGraph, AppliedBatch, BoundaryTracker, DynamicGraph, EditBatch, FxHashMap, FxHashSet,
+    MemAccounted, MemFootprint, Partitioner, PlannedPartitioner, SlotDelta, VertexId,
 };
 use rslpa_graph::{Cover, Label};
 
@@ -363,6 +363,8 @@ pub(crate) struct ShardedEngine {
     replies: Receiver<ShardReply>,
     handles: Vec<JoinHandle<()>>,
     batches_applied: usize,
+    /// Per-flush delta scratch, retained across batches.
+    applied: AppliedBatch,
 }
 
 /// Decentralized engine: coordinator state for the peer-to-peer mailbox
@@ -379,6 +381,8 @@ pub(crate) struct MailboxEngine {
     replies: Receiver<MeshReply>,
     handles: Vec<JoinHandle<()>>,
     batches_applied: usize,
+    /// Per-flush delta scratch, retained across batches.
+    applied: AppliedBatch,
     /// Draws per label sequence (`T + 1`), the weight denominator's root.
     draws: usize,
     /// τ1 grid threaded into publish-time threshold selection.
@@ -476,6 +480,7 @@ impl RepairEngine {
                     replies,
                     handles,
                     batches_applied: 0,
+                    applied: AppliedBatch::default(),
                 })
             }
             ExchangeMode::Mailbox => {
@@ -518,6 +523,7 @@ impl RepairEngine {
                     replies,
                     handles,
                     batches_applied: 0,
+                    applied: AppliedBatch::default(),
                     draws: config.iterations + 1,
                     grid: config.tau1_grid,
                 })
@@ -569,6 +575,25 @@ impl RepairEngine {
     /// engine) rather than run centrally by the maintenance thread.
     pub(crate) fn shard_owned_counters(&self) -> bool {
         matches!(self, RepairEngine::Mailbox(_))
+    }
+
+    /// Coordinator-resident memory footprint: the storage this thread
+    /// itself holds live. Single writer: graph + label state + central
+    /// counters. Sharded coordinator: topology mirror + central counters
+    /// (label rows live on the workers). Mailbox: topology mirror only
+    /// (label rows *and* counter partitions live on the workers;
+    /// `postprocess` is an empty husk there and contributes ~nothing).
+    pub(crate) fn mem_footprint(&self, postprocess: &IncrementalPostprocess) -> MemFootprint {
+        let own = match self {
+            RepairEngine::Single(e) => e
+                .detector
+                .graph()
+                .mem_footprint()
+                .plus(e.detector.state().mem_footprint()),
+            RepairEngine::Sharded(e) => e.graph.graph().mem_footprint(),
+            RepairEngine::Mailbox(e) => e.graph.graph().mem_footprint(),
+        };
+        own.plus(postprocess.mem_footprint())
     }
 
     /// Apply one net-resolved batch and repair the label state. Returns
@@ -648,9 +673,8 @@ impl ShardedEngine {
         stats: &ServeStats,
         slot_deltas: &mut Vec<SlotDelta>,
     ) -> u64 {
-        let applied = self
-            .graph
-            .apply(batch)
+        self.graph
+            .apply_into(batch, &mut self.applied)
             .expect("net-resolved batch validates by construction");
         self.boundary.apply(batch, self.partitioner.as_ref());
         stats.set_boundary_gauges(
@@ -658,7 +682,7 @@ impl ShardedEngine {
             self.boundary.boundary_vertices() as u64,
         );
         let shards = self.workers.len();
-        let per_shard = split_deltas(&applied, self.partitioner.as_ref());
+        let per_shard = split_deltas(&self.applied, self.partitioner.as_ref());
         let mut routed = vec![0u64; shards];
         let mut hops = 0u64;
         for (s, deltas) in per_shard.into_iter().enumerate() {
@@ -830,9 +854,8 @@ impl MailboxEngine {
     /// traffic. Counter upkeep never touches this thread — each worker
     /// folds its own slot deltas into its own partition.
     fn apply(&mut self, batch: &EditBatch, stats: &ServeStats) -> u64 {
-        let applied = self
-            .graph
-            .apply(batch)
+        self.graph
+            .apply_into(batch, &mut self.applied)
             .expect("net-resolved batch validates by construction");
         self.boundary.apply(batch, self.partitioner.as_ref());
         stats.set_boundary_gauges(
@@ -841,7 +864,7 @@ impl MailboxEngine {
         );
         let shards = self.workers.len();
         let epoch = self.batches_applied as u64;
-        let per_shard = split_deltas(&applied, self.partitioner.as_ref());
+        let per_shard = split_deltas(&self.applied, self.partitioner.as_ref());
         let mut routed = vec![0u64; shards];
         let mut participants = 0usize;
         let mut hops = 0u64;

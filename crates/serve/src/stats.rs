@@ -234,6 +234,13 @@ pub struct ServeStats {
     pub repartitions: AtomicU64,
     /// Vertex rows migrated between shards by repartitions.
     pub vertices_migrated: AtomicU64,
+    /// Gauge: coordinator-resident live bytes (graph + label rows +
+    /// counters, per the engine's ownership split) at the last publish.
+    pub mem_live_bytes: AtomicU64,
+    /// Gauge: coordinator-resident reserved bytes at the last publish.
+    pub mem_capacity_bytes: AtomicU64,
+    /// Gauge: vertex count the memory gauges were sampled at.
+    pub mem_vertices: AtomicU64,
     /// Per-shard counters (length = shard count).
     pub shards: Vec<ShardStats>,
 }
@@ -278,6 +285,9 @@ impl ServeStats {
             boundary_vertices: AtomicU64::new(0),
             repartitions: AtomicU64::new(0),
             vertices_migrated: AtomicU64::new(0),
+            mem_live_bytes: AtomicU64::new(0),
+            mem_capacity_bytes: AtomicU64::new(0),
+            mem_vertices: AtomicU64::new(0),
             shards: (0..shards.max(1)).map(|_| ShardStats::default()).collect(),
         }
     }
@@ -327,6 +337,13 @@ impl ServeStats {
             took.as_nanos().min(u128::from(u64::MAX)) as u64
         );
         bump!(self.slot_deltas_net, net_deltas);
+    }
+
+    pub(crate) fn set_mem_gauges(&self, live_bytes: u64, capacity_bytes: u64, vertices: u64) {
+        self.mem_live_bytes.store(live_bytes, Ordering::Relaxed);
+        self.mem_capacity_bytes
+            .store(capacity_bytes, Ordering::Relaxed);
+        self.mem_vertices.store(vertices, Ordering::Relaxed);
     }
 
     pub(crate) fn set_boundary_gauges(&self, cut_edges: u64, boundary_vertices: u64) {
@@ -387,6 +404,9 @@ impl ServeStats {
             boundary_vertices: self.boundary_vertices.load(Ordering::Relaxed),
             repartitions: self.repartitions.load(Ordering::Relaxed),
             vertices_migrated: self.vertices_migrated.load(Ordering::Relaxed),
+            mem_live_bytes: self.mem_live_bytes.load(Ordering::Relaxed),
+            mem_capacity_bytes: self.mem_capacity_bytes.load(Ordering::Relaxed),
+            mem_vertices: self.mem_vertices.load(Ordering::Relaxed),
             shards: self
                 .shards
                 .iter()
@@ -449,11 +469,26 @@ pub struct StatsReport {
     pub repartitions: u64,
     /// See [`ServeStats::vertices_migrated`].
     pub vertices_migrated: u64,
+    /// See [`ServeStats::mem_live_bytes`].
+    pub mem_live_bytes: u64,
+    /// See [`ServeStats::mem_capacity_bytes`].
+    pub mem_capacity_bytes: u64,
+    /// See [`ServeStats::mem_vertices`].
+    pub mem_vertices: u64,
     /// Per-shard routed-edit and repair counts.
     pub shards: Vec<ShardCounts>,
 }
 
 impl StatsReport {
+    /// Coordinator-resident reserved bytes per vertex at the last publish
+    /// (0.0 before the first publish).
+    pub fn bytes_per_vertex(&self) -> f64 {
+        if self.mem_vertices == 0 {
+            0.0
+        } else {
+            self.mem_capacity_bytes as f64 / self.mem_vertices as f64
+        }
+    }
     /// Render as a JSON object fragment (no external deps; all fields are
     /// numbers, so no escaping is needed).
     pub fn to_json(&self) -> String {
@@ -476,6 +511,8 @@ impl StatsReport {
              \"barrier_wait_us\":{{\"count\":{},\"mean\":{:.3},\"p50\":{:.3},\"p99\":{:.3}}},\
              \"cut_edges\":{},\"boundary_vertices\":{},\
              \"repartitions\":{},\"vertices_migrated\":{},\
+             \"mem_live_bytes\":{},\"mem_capacity_bytes\":{},\
+             \"mem_vertices\":{},\"bytes_per_vertex\":{:.2},\
              \"query_count\":{},\"query_mean_ns\":{},\"query_p50_ns\":{},\
              \"query_p90_ns\":{},\"query_p99_ns\":{},\"query_max_ns\":{},\
              \"flush_count\":{},\"flush_mean_ns\":{},\"flush_p50_ns\":{},\
@@ -511,6 +548,10 @@ impl StatsReport {
             self.boundary_vertices,
             self.repartitions,
             self.vertices_migrated,
+            self.mem_live_bytes,
+            self.mem_capacity_bytes,
+            self.mem_vertices,
+            self.bytes_per_vertex(),
             self.queries.count,
             self.queries.mean_ns,
             self.queries.p50_ns,
@@ -574,6 +615,16 @@ impl std::fmt::Display for StatsReport {
                     s.upkeep_ns as f64 / 1e6,
                 )?;
             }
+        }
+        if self.mem_vertices > 0 {
+            writeln!(
+                f,
+                "memory: {:.1} MiB live / {:.1} MiB reserved over {} vertices ({:.1} bytes/vertex)",
+                self.mem_live_bytes as f64 / (1024.0 * 1024.0),
+                self.mem_capacity_bytes as f64 / (1024.0 * 1024.0),
+                self.mem_vertices,
+                self.bytes_per_vertex(),
+            )?;
         }
         writeln!(f, "queries: {}", self.queries)?;
         writeln!(f, "flushes: {}", self.flushes)?;

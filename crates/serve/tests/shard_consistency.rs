@@ -193,10 +193,13 @@ fn genesis_snapshots_agree_across_shard_counts() {
 }
 
 #[test]
-fn zero_and_oversized_shard_counts_clamp_instead_of_panicking() {
+fn zero_and_oversized_shard_counts_work_instead_of_panicking() {
     // `with_shards(0)` clamps to the single-writer path at the builder;
-    // a raw config with `shards: 0` or more shards than vertices clamps
-    // at start-up (the effective count is what stats report).
+    // a raw config with `shards: 0` clamps at start-up. Counts *above*
+    // the seed vertex count are honored as-is — streams grow the id
+    // space, so a small genesis graph may legitimately want more shards
+    // than it has vertices today (empty shards idle until repartitioning
+    // hands them rows).
     let graph = AdjacencyGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
     let zero = ServeConfig::quick(10, 1).with_shards(0);
     assert_eq!(zero.shards, 1, "builder clamps zero to single-writer");
@@ -210,12 +213,16 @@ fn zero_and_oversized_shard_counts_clamp_instead_of_panicking() {
     service.ingest().barrier().unwrap();
     assert_eq!(service.shutdown().shards.len(), 1);
 
-    // 64 shards over 4 vertices: capped at the vertex count.
-    let oversized = ServeConfig::quick(10, 1).with_shards(64);
+    // 8 shards over 4 vertices: honored, half the shards start empty,
+    // and edits (including ones growing the id space) still apply.
+    let oversized = ServeConfig::quick(10, 1).with_shards(8);
     let service = CommunityService::start(graph, oversized);
     service.ingest().insert(0, 2).unwrap();
+    service.ingest().insert(7, 1).unwrap(); // grows past the seed n=4
     service.ingest().barrier().unwrap();
-    assert_eq!(service.shutdown().shards.len(), 4);
+    let snapshot = service.latest();
+    assert_eq!(snapshot.num_vertices, 8);
+    assert_eq!(service.shutdown().shards.len(), 8);
 }
 
 #[test]
