@@ -10,8 +10,8 @@ use rslpa_bench::exp_scale::ScaleWorkload;
 use rslpa_bench::exp_serve::ServeWorkload;
 use rslpa_bench::exp_weights::WeightsWorkload;
 use rslpa_bench::{
-    exp_ablations, exp_dynamic, exp_scale, exp_serve, exp_synthetic, exp_voting, exp_web,
-    exp_weights, Scale,
+    exp_ablations, exp_dynamic, exp_scale, exp_serve, exp_synthetic, exp_trace, exp_voting,
+    exp_web, exp_weights, Scale,
 };
 
 const EXPERIMENTS: &[(&str, &str)] = &[
@@ -57,6 +57,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "scale",
         "million-vertex storage bench: dense vs paged adjacency under R-MAT churn (emits BENCH_serve.json)",
     ),
+    (
+        "trace",
+        "flight-recorded serve workload at 4 shards: Chrome trace + per-shard wall-time attribution (emits BENCH_trace.json + BENCH_serve.json)",
+    ),
 ];
 
 fn run(id: &str, scale: &Scale) -> bool {
@@ -88,6 +92,7 @@ fn run(id: &str, scale: &Scale) -> bool {
         }
         "weights" => exp_weights::weights(&WeightsWorkload::full(), "BENCH_serve.json"),
         "scale" => exp_scale::scale(&ScaleWorkload::full(), "BENCH_serve.json"),
+        "trace" => exp_trace::trace(false, "BENCH_serve.json", "BENCH_trace.json"),
         _ => return false,
     }
     true
@@ -181,6 +186,7 @@ fn usage() {
     );
     eprintln!("weights options: --out FILE");
     eprintln!("scale options: --smoke (n=2^17 instead of 2^20), --out FILE");
+    eprintln!("trace options: --smoke, --out FILE, --trace-out FILE (default BENCH_trace.json)");
 }
 
 /// Pull `--flag value` pairs out of `args`, returning the value of `flag`.
@@ -242,6 +248,7 @@ fn main() {
         out: take_option(&mut args, "--out"),
         roster_out: take_option(&mut args, "--roster-out"),
     };
+    let trace_out = take_option(&mut args, "--trace-out");
     let Some(target) = args.first() else {
         usage();
         std::process::exit(2);
@@ -255,14 +262,19 @@ fn main() {
         && !target.starts_with("serve")
         && !target.starts_with("weights")
         && target != "scale"
+        && target != "trace"
     {
         eprintln!(
-            "--shards/--engine/--backend/--out/--roster-out only apply to serve/weights/scale experiments"
+            "--shards/--engine/--backend/--out/--roster-out only apply to serve/weights/scale/trace experiments"
         );
         std::process::exit(2);
     }
-    if smoke && target != "scale" {
-        eprintln!("--smoke only applies to the scale experiment (use serve-smoke etc.)");
+    if smoke && target != "scale" && target != "trace" {
+        eprintln!("--smoke only applies to the scale and trace experiments (use serve-smoke etc.)");
+        std::process::exit(2);
+    }
+    if trace_out.is_some() && target != "trace" {
+        eprintln!("--trace-out only applies to the trace experiment");
         std::process::exit(2);
     }
     let started = std::time::Instant::now();
@@ -291,6 +303,21 @@ fn main() {
             .clone()
             .unwrap_or_else(|| "BENCH_serve.json".to_string());
         exp_scale::scale(&w, &out);
+    } else if target == "trace" {
+        if serve_opts.shards != 1
+            || serve_opts.engine_given
+            || serve_opts.backend_given
+            || serve_opts.roster_out.is_some()
+        {
+            eprintln!("trace takes only --smoke, --out, and --trace-out");
+            std::process::exit(2);
+        }
+        let out = serve_opts
+            .out
+            .clone()
+            .unwrap_or_else(|| "BENCH_serve.json".to_string());
+        let trace_file = trace_out.unwrap_or_else(|| "BENCH_trace.json".to_string());
+        exp_trace::trace(smoke, &out, &trace_file);
     } else if target.starts_with("serve") {
         if !run_serve(target, &serve_opts) {
             eprintln!("unknown experiment: {target}\n");

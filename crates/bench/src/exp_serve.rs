@@ -16,7 +16,10 @@ use rslpa_gen::lfr::LfrParams;
 use rslpa_gen::webgraph::{rmat, RmatParams};
 use rslpa_graph::rng::DetRng;
 use rslpa_graph::{AdjacencyGraph, Cover, DynamicGraph, EditBatch, StorageBackend, VertexId};
-use rslpa_serve::{BySize, CommunityService, ExchangeMode, ServeConfig};
+use rslpa_serve::trace::Dump;
+use rslpa_serve::{
+    BySize, CommunityService, ExchangeMode, LatencySummary, ServeConfig, TraceOptions,
+};
 
 use crate::host_cores;
 
@@ -175,6 +178,12 @@ pub struct ServeBenchResult {
     /// Weight-list fingerprint of the final epoch (equal ⇔ bit-identical
     /// weights; diffed alongside the roster in CI).
     pub final_weights_fingerprint: u64,
+    /// Per-window query-latency summaries: one interval per barrier
+    /// checkpoint (≈10 windows per run), from
+    /// [`HistogramSnapshot::delta_since`](rslpa_serve::HistogramSnapshot::delta_since)
+    /// — so a latency regression late in the replay shows up instead of
+    /// being averaged into the cumulative percentiles.
+    pub query_windows: Vec<LatencySummary>,
     /// Final service stats.
     pub stats: rslpa_serve::StatsReport,
 }
@@ -216,6 +225,16 @@ fn next_batch(
 
 /// Run the workload and return the measurements.
 pub fn run_workload(w: &ServeWorkload) -> ServeBenchResult {
+    run_workload_traced(w, None).0
+}
+
+/// Run the workload with the flight recorder optionally attached. Returns
+/// the measurements plus the drained trace when tracing was on (`None`
+/// otherwise — the disabled recorder records nothing).
+pub fn run_workload_traced(
+    w: &ServeWorkload,
+    trace: Option<TraceOptions>,
+) -> (ServeBenchResult, Option<Dump>) {
     let (graph, truth) = seed_graph(w);
     let n = graph.num_vertices();
 
@@ -227,14 +246,15 @@ pub fn run_workload(w: &ServeWorkload) -> ServeBenchResult {
         max_edits: w.flush_size,
         max_linger: Duration::from_secs(30),
     };
-    let service = Arc::new(CommunityService::start(
-        graph.clone(),
-        ServeConfig::quick(w.iterations, w.seed)
-            .with_policy(policy)
-            .with_snapshot_every(w.snapshot_every)
-            .with_shards(w.shards)
-            .with_exchange(w.engine),
-    ));
+    let mut config = ServeConfig::quick(w.iterations, w.seed)
+        .with_policy(policy)
+        .with_snapshot_every(w.snapshot_every)
+        .with_shards(w.shards)
+        .with_exchange(w.engine);
+    if let Some(t) = trace {
+        config = config.with_trace(t);
+    }
+    let service = Arc::new(CommunityService::start(graph.clone(), config));
     let startup_secs = startup.elapsed().as_secs_f64();
 
     let total_queries = (w.total_edits * w.queries_per_edit) as u64;
@@ -249,6 +269,7 @@ pub fn run_workload(w: &ServeWorkload) -> ServeBenchResult {
         final_epoch: 0,
         final_cover: Cover::default(),
         final_weights_fingerprint: 0,
+        query_windows: Vec::new(),
         stats: Default::default(),
     };
 
@@ -292,6 +313,7 @@ pub fn run_workload(w: &ServeWorkload) -> ServeBenchResult {
         let barrier_every = (rounds / 10).max(1);
         let ingest_started = Instant::now();
         let mut submitted = 0usize;
+        let mut window_prev = service.query_latency_snapshot();
         for round in 0..rounds {
             let size = w.round_edits.min(w.total_edits - submitted);
             let batch = next_batch(
@@ -311,6 +333,13 @@ pub fn run_workload(w: &ServeWorkload) -> ServeBenchResult {
             submitted += size;
             if (round + 1) % barrier_every == 0 {
                 ingest.barrier().expect("service alive");
+                // One interval view per checkpoint: delta against the
+                // previous snapshot, not against time zero.
+                let now = service.query_latency_snapshot();
+                result
+                    .query_windows
+                    .push(now.delta_since(&window_prev).summarize());
+                window_prev = now;
             }
         }
         result.final_epoch = ingest.barrier().expect("service alive");
@@ -326,11 +355,15 @@ pub fn run_workload(w: &ServeWorkload) -> ServeBenchResult {
     result.final_cover = last.cover.clone();
     result.final_weights_fingerprint = last.weights_fingerprint;
     drop(last);
+    let tracer = service.tracer();
     result.stats = service.shutdown();
     result.edits_per_sec = result.stats.edits_enqueued as f64 / result.ingest_secs.max(1e-9);
     result.queries_issued = result.stats.queries.count;
     result.queries_per_sec = result.queries_issued as f64 / result.query_secs.max(1e-9);
-    result
+    // Drain after shutdown: every writer lane has joined, so the dump is
+    // the complete record of the run.
+    let dump = trace.map(|_| tracer.drain());
+    (result, dump)
 }
 
 /// Serialize one run as the `BENCH_serve.json` payload.
@@ -348,7 +381,14 @@ fn churn_label(churn: EditWorkload) -> &'static str {
 
 /// Serialize one run, splicing `extra` (either empty or a string starting
 /// with `,\n  `) before the closing brace.
-fn to_json_with_extra(w: &ServeWorkload, r: &ServeBenchResult, extra: &str) -> String {
+pub(crate) fn to_json_with_extra(w: &ServeWorkload, r: &ServeBenchResult, extra: &str) -> String {
+    let windows = |f: &dyn Fn(&LatencySummary) -> u64| -> String {
+        r.query_windows
+            .iter()
+            .map(|s| format!("{:.3}", f(s) as f64 / 1e3))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
     format!(
         "{{\n  \"experiment\": \"serve\",\n  \"mode\": \"{}\",\n  \
          \"config\": {{\"topology\": \"{}\", \"backend\": \"{}\", \"graph_n\": {}, \"iterations\": {}, \"total_edits\": {}, \
@@ -360,6 +400,7 @@ fn to_json_with_extra(w: &ServeWorkload, r: &ServeBenchResult, extra: &str) -> S
          \"queries_per_sec\": {:.1},\n  \"queries_issued\": {},\n  \
          \"query_p50_us\": {:.3},\n  \"query_p90_us\": {:.3},\n  \
          \"query_p99_us\": {:.3},\n  \"query_max_us\": {:.3},\n  \
+         \"query_window_p50_us\": [{}],\n  \"query_window_p99_us\": [{}],\n  \
          \"final_epoch\": {},\n  \"stats\": {}{}\n}}\n",
         w.mode,
         w.topology.label(),
@@ -386,6 +427,8 @@ fn to_json_with_extra(w: &ServeWorkload, r: &ServeBenchResult, extra: &str) -> S
         r.stats.queries.p90_ns as f64 / 1e3,
         r.stats.queries.p99_ns as f64 / 1e3,
         r.stats.queries.max_ns as f64 / 1e3,
+        windows(&|s| s.p50_ns),
+        windows(&|s| s.p99_ns),
         r.final_epoch,
         r.stats.to_json(),
         extra,
@@ -809,6 +852,20 @@ mod tests {
         let json = to_json(&w, &r);
         assert!(json.contains("\"experiment\": \"serve\""));
         assert!(json.contains("\"query_p99_us\""));
+        assert!(json.contains("\"query_window_p50_us\""));
+        assert!(
+            !r.query_windows.is_empty(),
+            "no per-window query summaries collected"
+        );
+        // Readers may still be running after the last barrier, so the
+        // windows cover at most (not exactly) the cumulative count.
+        let windowed: u64 = r.query_windows.iter().map(|s| s.count).sum();
+        assert!(
+            windowed > 0 && windowed <= r.stats.queries.count,
+            "window counts ({windowed}) must partition a prefix of the \
+             cumulative count ({})",
+            r.stats.queries.count,
+        );
         assert!(json.contains("\"edits_per_sec\""));
         assert!(json.contains("\"backend\": \"dense\""));
         assert!(json.contains("\"bytes_per_vertex\""));

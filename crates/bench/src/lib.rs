@@ -11,6 +11,7 @@ pub mod exp_dynamic;
 pub mod exp_scale;
 pub mod exp_serve;
 pub mod exp_synthetic;
+pub mod exp_trace;
 pub mod exp_voting;
 pub mod exp_web;
 pub mod exp_weights;

@@ -44,6 +44,7 @@ use std::time::{Duration, Instant};
 use rslpa_graph::{
     AdjacencyGraph, FxHashMap, FxHashSet, Label, Partitioner, SlotDelta, VertexDelta, VertexId,
 };
+use rslpa_trace::{names, TraceWriter};
 
 use crate::propagation::draw_pick;
 use crate::state::{LabelState, Record, NO_SOURCE};
@@ -741,6 +742,10 @@ pub struct MailboxPort {
     inbox: Receiver<Vec<Envelope>>,
     core: Arc<MeshCore>,
     last_snapshot: u64,
+    /// Flight-recorder handle for this port's lane (the owning worker
+    /// thread's), attached by the serve layer; `None` leaves the port
+    /// uninstrumented.
+    trace: Option<TraceWriter>,
 }
 
 /// Build a fully-connected mailbox mesh for `shards` ports (index `i` of
@@ -770,6 +775,7 @@ pub fn build_mesh(shards: usize) -> Vec<MailboxPort> {
             inbox,
             core: Arc::clone(&core),
             last_snapshot: 0,
+            trace: None,
         })
         .collect()
 }
@@ -778,6 +784,13 @@ impl MailboxPort {
     /// Shard index this port belongs to.
     pub fn shard(&self) -> usize {
         self.shard
+    }
+
+    /// Attach a flight-recorder handle. The writer must be bound to the
+    /// lane of the thread that will drive this port — the lane rings are
+    /// single-writer, and the port records from the owning worker thread.
+    pub fn set_trace(&mut self, trace: TraceWriter) {
+        self.trace = Some(trace);
     }
 
     /// Drive boundary exchange to quiescence, delivering envelopes
@@ -836,11 +849,24 @@ impl MailboxPort {
             if sent_now > 0 {
                 self.core.sent.fetch_add(sent_now, Ordering::Release);
             }
+            let bw_t0 = self
+                .trace
+                .as_ref()
+                .filter(|t| t.enabled())
+                .map(|t| t.now_ns());
             let parked = Instant::now();
             self.core.barrier.wait();
             let snapshot = self.core.sent.load(Ordering::Acquire);
             self.core.barrier.wait();
             mesh.barrier_wait += parked.elapsed();
+            if let (Some(t), Some(t0)) = (&self.trace, bw_t0) {
+                t.record_span(
+                    names::BARRIER_WAIT,
+                    t0,
+                    t.now_ns().saturating_sub(t0),
+                    mesh.rounds,
+                );
+            }
             let round_sent = snapshot - self.last_snapshot;
             self.last_snapshot = snapshot;
             if round_sent == 0 {
@@ -851,13 +877,27 @@ impl MailboxPort {
                 return mesh;
             }
             mesh.rounds += 1;
+            let round_t0 = self
+                .trace
+                .as_ref()
+                .filter(|t| t.enabled())
+                .map(|t| t.now_ns());
             let mut inbound: Vec<Envelope> = Vec::new();
             while let Ok(batch) = self.inbox.try_recv() {
                 inbound.extend(batch);
             }
             mesh.inbox_depths.push(inbound.len() as u64);
+            let drained = inbound.len() as u64;
             if !inbound.is_empty() {
                 report.absorb(&state.exchange(inbound, &mut staged));
+            }
+            if let (Some(t), Some(t0)) = (&self.trace, round_t0) {
+                t.record_span(
+                    names::EXCHANGE_ROUND,
+                    t0,
+                    t.now_ns().saturating_sub(t0),
+                    drained,
+                );
             }
         }
     }

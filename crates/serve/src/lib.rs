@@ -66,9 +66,17 @@ pub mod stats;
 pub use policy::{BarrierOnly, ByDeadline, BySize, FlushPolicy, Immediate};
 pub use query::QueryEngine;
 pub use queue::EditOp;
-pub use service::{CommunityService, ExchangeMode, IngestHandle, ServeConfig, ServiceClosed};
+pub use service::{
+    CommunityService, ExchangeMode, IngestHandle, ServeConfig, ServiceClosed, TraceOptions,
+};
 pub use snapshot::{
     fingerprint_weights, membership_diff, CommunitySnapshot, MembershipDiff, SnapshotReader,
     SnapshotStore,
 };
-pub use stats::{LatencyHistogram, LatencySummary, ServeStats, ShardCounts, StatsReport};
+pub use stats::{
+    HistogramSnapshot, LatencyHistogram, LatencySummary, ServeStats, ShardCounts, StatsReport,
+};
+
+// Re-exported so downstream crates (the CLI, the bench harness) can drive
+// the flight recorder without a direct `rslpa_trace` dependency.
+pub use rslpa_trace as trace;

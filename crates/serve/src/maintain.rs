@@ -27,6 +27,7 @@ use std::time::Instant;
 
 use rslpa_core::{DetectionResult, IncrementalPostprocess};
 use rslpa_graph::{AdjacencyGraph, EditBatch, FxHashMap, SlotDelta, VertexId};
+use rslpa_trace::{names, TraceWriter};
 
 use crate::policy::FlushPolicy;
 use crate::queue::{Command, EditOp, EditQueue};
@@ -108,6 +109,9 @@ pub(crate) struct MaintenanceLoop {
     pub(crate) resolve_scratch: FxHashMap<(VertexId, VertexId), bool>,
     /// Slot-delta stream scratch, retained across flushes.
     pub(crate) slot_deltas: Vec<SlotDelta>,
+    /// Flight-recorder handle for lane 0 (this thread). A writer against a
+    /// disabled tracer costs one relaxed load per span site.
+    pub(crate) trace: TraceWriter,
 }
 
 impl MaintenanceLoop {
@@ -132,7 +136,12 @@ impl MaintenanceLoop {
             // Drain whole chunks per lock acquisition; command semantics
             // stay per-op (the policy sees every edit individually, and
             // barriers/shutdown act exactly where they sit in the order).
-            let chunk = self.queue.pop_chunk(timeout);
+            let chunk = {
+                let mut span = self.trace.span(names::QUEUE_DRAIN);
+                let chunk = self.queue.pop_chunk(timeout);
+                span.set_aux(chunk.len() as u64);
+                chunk
+            };
             if chunk.is_empty() && self.queue.is_closed() {
                 // Closed and drained (shutdown command consumed by an
                 // earlier iteration, or queue dropped).
@@ -199,9 +208,12 @@ impl MaintenanceLoop {
         if pending.is_empty() {
             return;
         }
+        let _flush_span = self.trace.span_with(names::FLUSH, pending.len() as u64);
         let started = Instant::now();
+        let resolve_span = self.trace.span(names::RESOLVE);
         let (batch, rejected) =
             resolve_ops_into(self.engine.graph(), pending, &mut self.resolve_scratch);
+        drop(resolve_span);
         // Grow the vertex space only for inserts that survived net
         // resolution — an insert/delete pair referencing a huge fresh id
         // must not permanently inflate the graph.
@@ -221,6 +233,7 @@ impl MaintenanceLoop {
         let eta = if batch.is_empty() {
             0
         } else {
+            let _span = self.trace.span_with(names::REPAIR, applied);
             self.engine
                 .apply(&batch, &self.stats, &mut self.slot_deltas)
         };
@@ -236,6 +249,7 @@ impl MaintenanceLoop {
         // there is nothing central to do.
         if !batch.is_empty() {
             if !self.engine.shard_owned_counters() {
+                let _span = self.trace.span(names::COUNTER_UPKEEP);
                 let counters_started = Instant::now();
                 self.postprocess.delete_edges(batch.deletions());
                 let net = self
@@ -262,10 +276,14 @@ impl MaintenanceLoop {
             return;
         }
         self.dirty_since_snapshot = false;
+        let publish_span = self.trace.span(names::PUBLISH);
         let started = Instant::now();
         let detection = DetectionResult {
-            result: self.engine.refresh(&mut self.postprocess, &self.stats),
+            result: self
+                .engine
+                .refresh(&mut self.postprocess, &self.stats, &self.trace),
         };
+        let roster_span = self.trace.span(names::PUBLISH_ROSTER);
         let snapshot = CommunitySnapshot::build(
             self.store.latest_epoch() + 1,
             self.engine.graph(),
@@ -273,6 +291,7 @@ impl MaintenanceLoop {
             self.engine.batches_applied(),
         );
         self.store.publish(snapshot);
+        drop(roster_span);
         // The snapshot histogram covers post-processing + build + swap
         // only, so close it before repartitioning.
         self.stats.note_snapshot(started.elapsed());
@@ -287,8 +306,17 @@ impl MaintenanceLoop {
         // Re-shard around the communities just published: the ownership
         // map tracks the structure it serves, so cascade locality does
         // not decay as the graph drifts from the genesis partition.
-        self.engine
-            .repartition(&detection.result.cover, &self.stats);
+        {
+            let _span = self.trace.span(names::PUBLISH_MIGRATE);
+            self.engine
+                .repartition(&detection.result.cover, &self.stats);
+        }
+        drop(publish_span);
+        // Publish is the natural low-rate point to fold the recorder's
+        // overwrite loss into the stats report.
+        if self.trace.enabled() {
+            self.stats.set_trace_dropped(self.trace.dropped_records());
+        }
     }
 }
 

@@ -6,6 +6,7 @@ use std::thread::JoinHandle;
 
 use rslpa_core::{DetectionResult, RslpaConfig};
 use rslpa_graph::{AdjacencyGraph, VertexId};
+use rslpa_trace::Tracer;
 
 use crate::maintain::MaintenanceLoop;
 use crate::policy::{BySize, FlushPolicy};
@@ -54,6 +55,24 @@ impl std::str::FromStr for ExchangeMode {
     }
 }
 
+/// Flight-recorder configuration (see [`ServeConfig::with_trace`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceOptions {
+    /// Ring capacity per lane, in records (one lane for the maintenance
+    /// thread plus one per shard worker; 32 bytes per record). When a
+    /// lane's ring wraps, the oldest records are overwritten and counted
+    /// in `trace_dropped_records`.
+    pub capacity_per_lane: usize,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        Self {
+            capacity_per_lane: 1 << 16,
+        }
+    }
+}
+
 /// Service configuration.
 pub struct ServeConfig {
     /// Detector parameters (iterations, seed, cascade mode).
@@ -81,6 +100,12 @@ pub struct ServeConfig {
     pub shards: usize,
     /// Boundary-exchange transport for `shards > 1` (ignored otherwise).
     pub exchange: ExchangeMode,
+    /// Flight-recorder setup. `None` (the default) wires every span site
+    /// to a permanently-off recorder — one relaxed atomic load per site,
+    /// no storage. `Some` allocates one ring per thread and records the
+    /// full maintain path for export via
+    /// [`CommunityService::tracer`].
+    pub trace: Option<TraceOptions>,
 }
 
 impl Default for ServeConfig {
@@ -92,6 +117,7 @@ impl Default for ServeConfig {
             history: 64,
             shards: 1,
             exchange: ExchangeMode::default(),
+            trace: None,
         }
     }
 }
@@ -158,6 +184,39 @@ impl ServeConfig {
     /// meaningful with `shards > 1`; see [`ExchangeMode`].
     pub fn with_exchange(mut self, exchange: ExchangeMode) -> Self {
         self.exchange = exchange;
+        self
+    }
+
+    /// Enable the flight recorder (builder style): every maintain-path
+    /// span (queue drain, flush, repair wave, mesh exchange round, barrier
+    /// wait, counter upkeep, publish sub-phases) records into a per-thread
+    /// ring, exportable as Chrome trace JSON via
+    /// [`CommunityService::tracer`].
+    ///
+    /// ```
+    /// use rslpa_graph::AdjacencyGraph;
+    /// use rslpa_serve::{CommunityService, ServeConfig, TraceOptions};
+    ///
+    /// let graph = AdjacencyGraph::from_edges(6, [
+    ///     (0, 1), (1, 2), (0, 2),
+    ///     (3, 4), (4, 5), (3, 5),
+    ///     (2, 3),
+    /// ]);
+    /// let config = ServeConfig::quick(20, 7)
+    ///     .with_shards(2)
+    ///     .with_trace(TraceOptions::default());
+    /// let service = CommunityService::start(graph, config);
+    /// service.ingest().insert(1, 4).unwrap();
+    /// service.ingest().barrier().unwrap();
+    /// let tracer = service.tracer();
+    /// service.shutdown();
+    /// let dump = tracer.drain();
+    /// assert!(dump.records.iter().any(|r| r.lane == 0), "maintain lane recorded");
+    /// let json = dump.chrome_json(&["maintain", "shard 0", "shard 1"]);
+    /// assert!(json.starts_with("{\"traceEvents\":["));
+    /// ```
+    pub fn with_trace(mut self, trace: TraceOptions) -> Self {
+        self.trace = Some(trace);
         self
     }
 }
@@ -242,6 +301,7 @@ pub struct CommunityService {
     queue: Arc<EditQueue>,
     store: Arc<SnapshotStore>,
     stats: Arc<ServeStats>,
+    tracer: Arc<Tracer>,
     worker: Option<JoinHandle<()>>,
 }
 
@@ -258,8 +318,22 @@ impl CommunityService {
         // just idles until repartitioning hands it some.
         let shards = config.shards.max(1);
         let stats = Arc::new(ServeStats::with_shards(shards));
-        let bootstrap =
-            RepairEngine::bootstrap(graph, &config.detector, shards, config.exchange, &stats);
+        // Lane 0 is the maintenance thread; lanes 1 + s the shard workers.
+        // Without trace options the tracer is the permanently-off variant,
+        // so every span site still holds a writer and pays exactly one
+        // relaxed load.
+        let tracer = Arc::new(match config.trace {
+            Some(t) => Tracer::new(shards + 1, t.capacity_per_lane),
+            None => Tracer::disabled(),
+        });
+        let bootstrap = RepairEngine::bootstrap(
+            graph,
+            &config.detector,
+            shards,
+            config.exchange,
+            &stats,
+            &tracer,
+        );
         let detection = DetectionResult {
             result: bootstrap.genesis,
         };
@@ -278,6 +352,7 @@ impl CommunityService {
             dirty_since_snapshot: false,
             resolve_scratch: Default::default(),
             slot_deltas: Vec::new(),
+            trace: tracer.writer(0),
         };
         let handle = std::thread::Builder::new()
             .name("rslpa-serve-maintain".into())
@@ -287,8 +362,17 @@ impl CommunityService {
             queue,
             store,
             stats,
+            tracer,
             worker: Some(handle),
         }
+    }
+
+    /// The service's flight recorder. With tracing off (the default) this
+    /// is the permanently-disabled recorder — draining it yields nothing.
+    /// Grab the `Arc` before [`CommunityService::shutdown`] to export the
+    /// final trace (see [`ServeConfig::with_trace`] for an example).
+    pub fn tracer(&self) -> Arc<Tracer> {
+        Arc::clone(&self.tracer)
     }
 
     /// A clonable write handle.
@@ -331,6 +415,14 @@ impl CommunityService {
     /// Point-in-time operation counters and latency summaries.
     pub fn stats(&self) -> StatsReport {
         self.stats.report()
+    }
+
+    /// Frozen bucket counts of the query-latency histogram. Subtract an
+    /// earlier snapshot
+    /// ([`HistogramSnapshot::delta_since`](crate::HistogramSnapshot::delta_since))
+    /// to get per-window percentiles instead of cumulative-only.
+    pub fn query_latency_snapshot(&self) -> crate::HistogramSnapshot {
+        self.stats.queries.snapshot()
     }
 
     /// Flush remaining edits, publish a final snapshot, stop the

@@ -50,6 +50,7 @@ use rslpa_graph::{
     MemAccounted, MemFootprint, Partitioner, PlannedPartitioner, SlotDelta, VertexId,
 };
 use rslpa_graph::{Cover, Label};
+use rslpa_trace::{names, TraceWriter, Tracer};
 
 use crate::service::ExchangeMode;
 use crate::stats::ServeStats;
@@ -94,11 +95,32 @@ enum ShardReply {
     Adopted,
 }
 
-fn worker_loop(mut shard: ShardRepairState, cmds: Receiver<ShardCmd>, replies: Sender<ShardReply>) {
+fn worker_loop(
+    mut shard: ShardRepairState,
+    cmds: Receiver<ShardCmd>,
+    replies: Sender<ShardReply>,
+    stats: Arc<ServeStats>,
+    trace: TraceWriter,
+) {
     let idx = shard.shard();
-    while let Ok(cmd) = cmds.recv() {
+    let wall_started = Instant::now();
+    loop {
+        let wait_t0 = trace.enabled().then(|| trace.now_ns());
+        let waited = Instant::now();
+        let Ok(cmd) = cmds.recv() else { break };
+        stats.note_shard_mailbox_wait(idx, waited.elapsed());
+        if let Some(t0) = wait_t0 {
+            trace.record_span(
+                names::MAILBOX_WAIT,
+                t0,
+                trace.now_ns().saturating_sub(t0),
+                0,
+            );
+        }
+        let work_started = Instant::now();
         match cmd {
             ShardCmd::Apply(deltas) => {
+                let _span = trace.span_with(names::SHARD_FLUSH, deltas.len() as u64);
                 let mut out = Vec::new();
                 let report = shard.apply_deltas(&deltas, &mut out);
                 if replies
@@ -110,10 +132,11 @@ fn worker_loop(mut shard: ShardRepairState, cmds: Receiver<ShardCmd>, replies: S
                     })
                     .is_err()
                 {
-                    return;
+                    break;
                 }
             }
             ShardCmd::Exchange(inbox) => {
+                let _span = trace.span_with(names::EXCHANGE, inbox.len() as u64);
                 let mut out = Vec::new();
                 let report = shard.exchange(inbox, &mut out);
                 if replies
@@ -125,29 +148,33 @@ fn worker_loop(mut shard: ShardRepairState, cmds: Receiver<ShardCmd>, replies: S
                     })
                     .is_err()
                 {
-                    return;
+                    break;
                 }
             }
             ShardCmd::Extract(ids) => {
+                let _span = trace.span_with(names::MIGRATE, ids.len() as u64);
                 if replies
                     .send(ShardReply::Extracted {
                         rows: shard.extract_rows(&ids),
                     })
                     .is_err()
                 {
-                    return;
+                    break;
                 }
             }
             ShardCmd::Adopt { partitioner, rows } => {
+                let _span = trace.span_with(names::MIGRATE, rows.len() as u64);
                 shard.set_partitioner(partitioner);
                 shard.adopt_rows(rows);
                 if replies.send(ShardReply::Adopted).is_err() {
-                    return;
+                    break;
                 }
             }
-            ShardCmd::Shutdown => return,
+            ShardCmd::Shutdown => break,
         }
+        stats.note_shard_cmd(idx, work_started.elapsed(), Duration::ZERO);
     }
+    stats.set_shard_wall(idx, wall_started.elapsed());
 }
 
 /// Commands the coordinator posts into a mesh worker's sub-queue.
@@ -212,20 +239,25 @@ enum MeshReply {
 
 /// Drain this worker's slot-delta stream into its own counter partition
 /// (shard-owned upkeep — runs inside the worker, in parallel with peers,
-/// overlapped with whatever the coordinator does next).
+/// overlapped with whatever the coordinator does next). Returns the time
+/// spent so the caller can subtract it out of its work attribution.
 fn mesh_upkeep(
     state: &mut ShardRepairState,
     counters: &mut CounterPartition,
     stats: &ServeStats,
     shard: usize,
-) {
+    trace: &TraceWriter,
+) -> Duration {
     let deltas = state.take_slot_deltas();
     if deltas.is_empty() {
-        return;
+        return Duration::ZERO;
     }
+    let _span = trace.span_with(names::UPKEEP, deltas.len() as u64);
     let started = Instant::now();
     let net = counters.apply_own_deltas(state, &deltas);
-    stats.note_shard_upkeep(shard, net as u64, started.elapsed());
+    let took = started.elapsed();
+    stats.note_shard_upkeep(shard, net as u64, took);
+    took
 }
 
 fn mesh_worker_loop(
@@ -235,8 +267,10 @@ fn mesh_worker_loop(
     cmds: Receiver<MeshCmd>,
     replies: Sender<MeshReply>,
     stats: Arc<ServeStats>,
+    trace: TraceWriter,
 ) {
     let idx = state.shard();
+    let wall_started = Instant::now();
     // Boundary envelopes staged by the last Flush, awaiting the
     // coordinator's exchange decision. Non-empty only between a Flush
     // that staged traffic and the Exchange broadcast that must follow.
@@ -245,39 +279,59 @@ fn mesh_worker_loop(
     // different epoch means this shard had no routed deltas and must
     // reset its per-flush η accounting itself.
     let mut flushed_epoch: Option<u64> = None;
-    while let Ok(cmd) = cmds.recv() {
+    loop {
+        let wait_t0 = trace.enabled().then(|| trace.now_ns());
+        let waited = Instant::now();
+        let Ok(cmd) = cmds.recv() else { break };
+        stats.note_shard_mailbox_wait(idx, waited.elapsed());
+        if let Some(t0) = wait_t0 {
+            trace.record_span(
+                names::MAILBOX_WAIT,
+                t0,
+                trace.now_ns().saturating_sub(t0),
+                0,
+            );
+        }
+        let work_started = Instant::now();
+        // Barrier and upkeep time are attributed separately from work, so
+        // the per-shard stats split "repairing" from "synchronizing".
+        let mut barrier = Duration::ZERO;
+        let mut upkeep = Duration::ZERO;
         match cmd {
             MeshCmd::Flush { epoch, deltas } => {
                 debug_assert!(pending_out.is_empty(), "flush while exchange pending");
                 flushed_epoch = Some(epoch);
-                // Retire interior deleted-edge counters first — the same
-                // delete-before-deltas order the central store requires.
-                for (v, delta) in &deltas {
-                    for &w in &delta.removed {
-                        if state.owns(w) {
-                            counters.retire_edge(*v, w);
+                {
+                    let _span = trace.span_with(names::SHARD_FLUSH, deltas.len() as u64);
+                    // Retire interior deleted-edge counters first — the same
+                    // delete-before-deltas order the central store requires.
+                    for (v, delta) in &deltas {
+                        for &w in &delta.removed {
+                            if state.owns(w) {
+                                counters.retire_edge(*v, w);
+                            }
                         }
                     }
-                }
-                let mut out = Vec::new();
-                let report = state.apply_deltas(&deltas, &mut out);
-                let boundary = out.len() as u64;
-                pending_out = out;
-                if replies
-                    .send(MeshReply::Local {
-                        shard: idx,
-                        boundary,
-                        report,
-                    })
-                    .is_err()
-                {
-                    return;
+                    let mut out = Vec::new();
+                    let report = state.apply_deltas(&deltas, &mut out);
+                    let boundary = out.len() as u64;
+                    pending_out = out;
+                    if replies
+                        .send(MeshReply::Local {
+                            shard: idx,
+                            boundary,
+                            report,
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
                 }
                 // Upkeep for the Phase-A wave runs now, before we even
                 // know whether an exchange follows: a later wave only
                 // appends to the per-(v, slot) chains, and both waves'
                 // vertex diffs compose exactly.
-                mesh_upkeep(&mut state, &mut counters, &stats, idx);
+                upkeep = mesh_upkeep(&mut state, &mut counters, &stats, idx, &trace);
             }
             MeshCmd::Exchange { epoch } => {
                 if flushed_epoch != Some(epoch) {
@@ -285,28 +339,33 @@ fn mesh_worker_loop(
                     // holds the previous flush's slots.
                     state.begin_flush();
                 }
-                let mut report = ShardFlushReport::default();
-                let mesh = port.exchange_to_quiescence(
-                    &mut state,
-                    std::mem::take(&mut pending_out),
-                    &mut report,
-                );
-                stats.note_mesh(&mesh.inbox_depths, mesh.barrier_wait);
-                if replies
-                    .send(MeshReply::Exchanged {
-                        shard: idx,
-                        report,
-                        rounds: mesh.rounds,
-                        batches_sent: mesh.batches_sent,
-                        envelopes_sent: mesh.envelopes_sent,
-                    })
-                    .is_err()
                 {
-                    return;
+                    let _span = trace.span(names::EXCHANGE);
+                    let mut report = ShardFlushReport::default();
+                    let mesh = port.exchange_to_quiescence(
+                        &mut state,
+                        std::mem::take(&mut pending_out),
+                        &mut report,
+                    );
+                    stats.note_mesh(&mesh.inbox_depths, mesh.barrier_wait);
+                    barrier = mesh.barrier_wait;
+                    if replies
+                        .send(MeshReply::Exchanged {
+                            shard: idx,
+                            report,
+                            rounds: mesh.rounds,
+                            batches_sent: mesh.batches_sent,
+                            envelopes_sent: mesh.envelopes_sent,
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
                 }
-                mesh_upkeep(&mut state, &mut counters, &stats, idx);
+                upkeep = mesh_upkeep(&mut state, &mut counters, &stats, idx, &trace);
             }
             MeshCmd::Collect => {
+                let _span = trace.span(names::COLLECT);
                 let interior = counters.collect_interior(&state);
                 let boundary_hists = counters.boundary_hists(&state);
                 if replies
@@ -317,10 +376,11 @@ fn mesh_worker_loop(
                     })
                     .is_err()
                 {
-                    return;
+                    break;
                 }
             }
             MeshCmd::Extract(ids) => {
+                let _span = trace.span_with(names::MIGRATE, ids.len() as u64);
                 counters.drop_vertices(&ids);
                 if replies
                     .send(MeshReply::Extracted {
@@ -328,22 +388,29 @@ fn mesh_worker_loop(
                     })
                     .is_err()
                 {
-                    return;
+                    break;
                 }
             }
             MeshCmd::Adopt { partitioner, rows } => {
+                let _span = trace.span_with(names::MIGRATE, rows.len() as u64);
                 state.set_partitioner(partitioner);
                 for (v, data) in &rows {
                     counters.adopt_hist(*v, &data.labels);
                 }
                 state.adopt_rows(rows);
                 if replies.send(MeshReply::Adopted).is_err() {
-                    return;
+                    break;
                 }
             }
-            MeshCmd::Shutdown => return,
+            MeshCmd::Shutdown => break,
         }
+        stats.note_shard_cmd(
+            idx,
+            work_started.elapsed().saturating_sub(barrier + upkeep),
+            barrier,
+        );
     }
+    stats.set_shard_wall(idx, wall_started.elapsed());
 }
 
 /// Single-writer engine: the pre-sharding maintenance path.
@@ -406,13 +473,16 @@ pub(crate) struct Bootstrap {
 }
 
 impl RepairEngine {
-    /// Run initial propagation on `graph` and stand up the engine.
+    /// Run initial propagation on `graph` and stand up the engine. Shard
+    /// worker `s` records into flight-recorder lane `1 + s` (lane 0 is the
+    /// maintenance thread's).
     pub(crate) fn bootstrap(
         graph: AdjacencyGraph,
         config: &RslpaConfig,
         shards: usize,
         mode: ExchangeMode,
         stats: &Arc<ServeStats>,
+        tracer: &Arc<Tracer>,
     ) -> Bootstrap {
         if shards <= 1 {
             let detector = RslpaDetector::new(graph, *config);
@@ -464,10 +534,12 @@ impl RepairEngine {
                     let shard = make_shard(s);
                     let (cmd_tx, cmd_rx) = std::sync::mpsc::channel();
                     let reply_tx = reply_tx.clone();
+                    let stats = Arc::clone(stats);
+                    let trace = tracer.writer(1 + s);
                     handles.push(
                         std::thread::Builder::new()
                             .name(format!("rslpa-serve-shard-{s}"))
-                            .spawn(move || worker_loop(shard, cmd_rx, reply_tx))
+                            .spawn(move || worker_loop(shard, cmd_rx, reply_tx, stats, trace))
                             .expect("spawn shard worker"),
                     );
                     workers.push(cmd_tx);
@@ -487,7 +559,7 @@ impl RepairEngine {
                 let (reply_tx, replies) = std::sync::mpsc::channel();
                 let mut workers = Vec::with_capacity(shards);
                 let mut handles = Vec::with_capacity(shards);
-                for (s, port) in build_mesh(shards).into_iter().enumerate() {
+                for (s, mut port) in build_mesh(shards).into_iter().enumerate() {
                     let shard = make_shard(s);
                     // Carve this worker's counter partition out of the
                     // genesis-refreshed central store, so the genesis
@@ -496,11 +568,18 @@ impl RepairEngine {
                     let (cmd_tx, cmd_rx) = std::sync::mpsc::channel();
                     let reply_tx = reply_tx.clone();
                     let stats = Arc::clone(stats);
+                    // Port and loop share the worker's lane: both record
+                    // only from the worker thread, so the single-writer
+                    // ring contract holds.
+                    let trace = tracer.writer(1 + s);
+                    port.set_trace(trace.clone());
                     handles.push(
                         std::thread::Builder::new()
                             .name(format!("rslpa-serve-shard-{s}"))
                             .spawn(move || {
-                                mesh_worker_loop(shard, counters, port, cmd_rx, reply_tx, stats)
+                                mesh_worker_loop(
+                                    shard, counters, port, cmd_rx, reply_tx, stats, trace,
+                                )
                             })
                             .expect("spawn mesh shard worker"),
                     );
@@ -632,15 +711,17 @@ impl RepairEngine {
         &mut self,
         postprocess: &mut IncrementalPostprocess,
         stats: &ServeStats,
+        trace: &TraceWriter,
     ) -> PostprocessResult {
         match self {
             RepairEngine::Single(_) | RepairEngine::Sharded(_) => {
+                let _span = trace.span(names::PUBLISH_WEIGHTS);
                 let graph = self.graph();
                 // Split borrows: `self.graph()` borrows self immutably,
                 // postprocess is independent state.
                 postprocess.refresh(graph)
             }
-            RepairEngine::Mailbox(e) => e.collect_and_refresh(stats),
+            RepairEngine::Mailbox(e) => e.collect_and_refresh(stats, trace),
         }
     }
 
@@ -951,32 +1032,40 @@ impl MailboxEngine {
     /// counters and boundary-vertex histograms, stitch the canonical
     /// weight list (boundary edges merged here, per the ownership rule),
     /// and run threshold selection + extraction.
-    fn collect_and_refresh(&mut self, stats: &ServeStats) -> PostprocessResult {
+    fn collect_and_refresh(
+        &mut self,
+        stats: &ServeStats,
+        trace: &TraceWriter,
+    ) -> PostprocessResult {
         let shards = self.workers.len();
         let mut hops = 0u64;
-        for worker in &self.workers {
-            hops += 1;
-            worker.send(MeshCmd::Collect).expect("mesh worker alive");
-        }
         let mut interior: Vec<Vec<(VertexId, VertexId, u64)>> = vec![Vec::new(); shards];
         let mut boundary_hists: FxHashMap<VertexId, Vec<(Label, u32)>> = FxHashMap::default();
-        for _ in 0..shards {
-            hops += 1;
-            match self.recv_reply() {
-                MeshReply::Collected {
-                    shard,
-                    interior: part,
-                    boundary_hists: hists,
-                } => {
-                    interior[shard] = part;
-                    for (v, hist) in hists {
-                        boundary_hists.insert(v, hist);
+        {
+            let _span = trace.span_with(names::PUBLISH_COLLECT, shards as u64);
+            for worker in &self.workers {
+                hops += 1;
+                worker.send(MeshCmd::Collect).expect("mesh worker alive");
+            }
+            for _ in 0..shards {
+                hops += 1;
+                match self.recv_reply() {
+                    MeshReply::Collected {
+                        shard,
+                        interior: part,
+                        boundary_hists: hists,
+                    } => {
+                        interior[shard] = part;
+                        for (v, hist) in hists {
+                            boundary_hists.insert(v, hist);
+                        }
                     }
+                    _ => unreachable!("only collects in flight during publish"),
                 }
-                _ => unreachable!("only collects in flight during publish"),
             }
         }
         stats.note_channel_hops(hops);
+        let _span = trace.span(names::PUBLISH_WEIGHTS);
         let graph = self.graph.graph();
         let partitioner = Arc::clone(&self.partitioner);
         let wlist = assemble_partitioned_weights(

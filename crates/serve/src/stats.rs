@@ -34,6 +34,7 @@ pub struct LatencyHistogram {
     count: AtomicU64,
     sum_ns: AtomicU64,
     max_ns: AtomicU64,
+    saturated: AtomicU64,
 }
 
 impl Default for LatencyHistogram {
@@ -43,6 +44,7 @@ impl Default for LatencyHistogram {
             count: AtomicU64::new(0),
             sum_ns: AtomicU64::new(0),
             max_ns: AtomicU64::new(0),
+            saturated: AtomicU64::new(0),
         }
     }
 }
@@ -65,6 +67,11 @@ impl LatencyHistogram {
     /// values instead of nanoseconds).
     pub fn record_value(&self, value: u64) {
         let idx = (64 - value.leading_zeros()) as usize; // 0 for value == 0
+        if idx >= BUCKETS {
+            // The sample clamps into the top bucket: count it so saturated
+            // data never silently reads as clean.
+            self.saturated.fetch_add(1, Ordering::Relaxed);
+        }
         self.buckets[idx.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(value, Ordering::Relaxed);
@@ -76,40 +83,108 @@ impl LatencyHistogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Samples that clamped into the top bucket (value ≥ 2^63).
+    pub fn saturated_samples(&self) -> u64 {
+        self.saturated.load(Ordering::Relaxed)
+    }
+
+    /// Freeze the raw bucket counts. Two snapshots of the same histogram
+    /// subtract ([`HistogramSnapshot::delta_since`]) into an *interval*
+    /// view, so callers can report per-window percentiles instead of
+    /// cumulative-only.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+            saturated: self.saturated.load(Ordering::Relaxed),
+        }
+    }
+
     /// Freeze into a plain summary (counts read once; concurrent recording
     /// keeps the summary internally consistent enough for reporting).
     pub fn summarize(&self) -> LatencySummary {
-        let counts: Vec<u64> = self
-            .buckets
+        self.snapshot().summarize()
+    }
+}
+
+/// Frozen bucket counts of a [`LatencyHistogram`]: summarize directly for
+/// the cumulative view, or subtract an earlier snapshot for a per-window
+/// (interval) view.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: [u64; BUCKETS],
+    sum_ns: u64,
+    max_ns: u64,
+    saturated: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            sum_ns: 0,
+            max_ns: 0,
+            saturated: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Samples in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Samples that clamped into the top bucket.
+    pub fn saturated_samples(&self) -> u64 {
+        self.saturated
+    }
+
+    /// The interval `prev .. self`: bucket-wise difference of two
+    /// snapshots of the same (monotone) histogram. The interval's `max_ns`
+    /// is approximated by the representative of its highest occupied
+    /// bucket — the true max of just this window is not recoverable from
+    /// cumulative counters.
+    pub fn delta_since(&self, prev: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets: [u64; BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].saturating_sub(prev.buckets[i]));
+        let max_ns = buckets
             .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
+            .rposition(|&c| c > 0)
+            .map_or(0, bucket_representative);
+        HistogramSnapshot {
+            buckets,
+            sum_ns: self.sum_ns.saturating_sub(prev.sum_ns),
+            max_ns,
+            saturated: self.saturated.saturating_sub(prev.saturated),
+        }
+    }
+
+    /// Resolve percentiles over the snapshot's buckets.
+    pub fn summarize(&self) -> LatencySummary {
+        let total = self.count();
         let percentile = |q: f64| -> u64 {
             if total == 0 {
                 return 0;
             }
             let target = (q * total as f64).ceil().max(1.0) as u64;
             let mut seen = 0u64;
-            for (i, &c) in counts.iter().enumerate() {
+            for (i, &c) in self.buckets.iter().enumerate() {
                 seen += c;
                 if seen >= target {
                     return bucket_representative(i);
                 }
             }
-            self.max_ns.load(Ordering::Relaxed)
+            self.max_ns
         };
         LatencySummary {
             count: total,
-            mean_ns: if total == 0 {
-                0
-            } else {
-                self.sum_ns.load(Ordering::Relaxed) / total
-            },
+            mean_ns: if total == 0 { 0 } else { self.sum_ns / total },
             p50_ns: percentile(0.50),
             p90_ns: percentile(0.90),
             p99_ns: percentile(0.99),
-            max_ns: self.max_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns,
         }
     }
 }
@@ -158,6 +233,19 @@ pub struct ShardStats {
     pub upkeep_deltas: AtomicU64,
     /// Wall nanoseconds this shard spent on its own counter upkeep.
     pub upkeep_ns: AtomicU64,
+    /// Wall nanoseconds this shard's worker spent actively processing
+    /// commands (flush waves, exchange stepping, collects, migration),
+    /// *excluding* barrier parks and counter upkeep.
+    pub work_ns: AtomicU64,
+    /// Wall nanoseconds the worker spent blocked on its command sub-queue
+    /// waiting for the coordinator (the "mailbox wait").
+    pub mailbox_wait_ns: AtomicU64,
+    /// Wall nanoseconds the worker spent parked at mesh round barriers.
+    pub barrier_wait_ns: AtomicU64,
+    /// Gauge: total wall nanoseconds of the worker's command loop, set
+    /// once at shutdown. `work + mailbox_wait + barrier_wait + upkeep`
+    /// should account for ≥ 90% of it — the rest is loop bookkeeping.
+    pub wall_ns: AtomicU64,
 }
 
 /// Plain point-in-time view of one shard's counters.
@@ -171,6 +259,27 @@ pub struct ShardCounts {
     pub upkeep_deltas: u64,
     /// See [`ShardStats::upkeep_ns`].
     pub upkeep_ns: u64,
+    /// See [`ShardStats::work_ns`].
+    pub work_ns: u64,
+    /// See [`ShardStats::mailbox_wait_ns`].
+    pub mailbox_wait_ns: u64,
+    /// See [`ShardStats::barrier_wait_ns`].
+    pub barrier_wait_ns: u64,
+    /// See [`ShardStats::wall_ns`].
+    pub wall_ns: u64,
+}
+
+impl ShardCounts {
+    /// Fraction of the worker's wall time attributed to work, mailbox
+    /// wait, barrier wait, or upkeep (0.0 before shutdown sets the wall
+    /// gauge).
+    pub fn attribution_coverage(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        let accounted = self.work_ns + self.mailbox_wait_ns + self.barrier_wait_ns + self.upkeep_ns;
+        accounted as f64 / self.wall_ns as f64
+    }
 }
 
 /// Shared counters for one service instance. All fields are monotone
@@ -241,6 +350,9 @@ pub struct ServeStats {
     pub mem_capacity_bytes: AtomicU64,
     /// Gauge: vertex count the memory gauges were sampled at.
     pub mem_vertices: AtomicU64,
+    /// Gauge: flight-recorder records lost to ring overwrite (refreshed at
+    /// each publish while tracing is enabled; 0 when tracing is off).
+    pub trace_dropped_records: AtomicU64,
     /// Per-shard counters (length = shard count).
     pub shards: Vec<ShardStats>,
 }
@@ -288,6 +400,7 @@ impl ServeStats {
             mem_live_bytes: AtomicU64::new(0),
             mem_capacity_bytes: AtomicU64::new(0),
             mem_vertices: AtomicU64::new(0),
+            trace_dropped_records: AtomicU64::new(0),
             shards: (0..shards.max(1)).map(|_| ShardStats::default()).collect(),
         }
     }
@@ -337,6 +450,36 @@ impl ServeStats {
             took.as_nanos().min(u128::from(u64::MAX)) as u64
         );
         bump!(self.slot_deltas_net, net_deltas);
+    }
+
+    /// One worker command's active-processing and barrier-park time.
+    pub(crate) fn note_shard_cmd(&self, shard: usize, work: Duration, barrier: Duration) {
+        let s = &self.shards[shard];
+        bump!(s.work_ns, work.as_nanos().min(u128::from(u64::MAX)) as u64);
+        bump!(
+            s.barrier_wait_ns,
+            barrier.as_nanos().min(u128::from(u64::MAX)) as u64
+        );
+    }
+
+    /// Time one worker spent blocked on its command sub-queue.
+    pub(crate) fn note_shard_mailbox_wait(&self, shard: usize, wait: Duration) {
+        bump!(
+            self.shards[shard].mailbox_wait_ns,
+            wait.as_nanos().min(u128::from(u64::MAX)) as u64
+        );
+    }
+
+    /// Total wall time of a worker's command loop, set once at shutdown.
+    pub(crate) fn set_shard_wall(&self, shard: usize, wall: Duration) {
+        self.shards[shard].wall_ns.store(
+            wall.as_nanos().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    pub(crate) fn set_trace_dropped(&self, dropped: u64) {
+        self.trace_dropped_records.store(dropped, Ordering::Relaxed);
     }
 
     pub(crate) fn set_mem_gauges(&self, live_bytes: u64, capacity_bytes: u64, vertices: u64) {
@@ -407,6 +550,18 @@ impl ServeStats {
             mem_live_bytes: self.mem_live_bytes.load(Ordering::Relaxed),
             mem_capacity_bytes: self.mem_capacity_bytes.load(Ordering::Relaxed),
             mem_vertices: self.mem_vertices.load(Ordering::Relaxed),
+            trace_dropped_records: self.trace_dropped_records.load(Ordering::Relaxed),
+            saturated_samples: [
+                &self.queries,
+                &self.flushes,
+                &self.snapshots,
+                &self.counters,
+                &self.mailbox_depth,
+                &self.barrier_wait,
+            ]
+            .iter()
+            .map(|h| h.saturated_samples())
+            .sum(),
             shards: self
                 .shards
                 .iter()
@@ -415,6 +570,10 @@ impl ServeStats {
                     slots_repaired: s.slots_repaired.load(Ordering::Relaxed),
                     upkeep_deltas: s.upkeep_deltas.load(Ordering::Relaxed),
                     upkeep_ns: s.upkeep_ns.load(Ordering::Relaxed),
+                    work_ns: s.work_ns.load(Ordering::Relaxed),
+                    mailbox_wait_ns: s.mailbox_wait_ns.load(Ordering::Relaxed),
+                    barrier_wait_ns: s.barrier_wait_ns.load(Ordering::Relaxed),
+                    wall_ns: s.wall_ns.load(Ordering::Relaxed),
                 })
                 .collect(),
         }
@@ -475,7 +634,12 @@ pub struct StatsReport {
     pub mem_capacity_bytes: u64,
     /// See [`ServeStats::mem_vertices`].
     pub mem_vertices: u64,
-    /// Per-shard routed-edit and repair counts.
+    /// See [`ServeStats::trace_dropped_records`].
+    pub trace_dropped_records: u64,
+    /// Histogram samples (summed over every histogram in the report) that
+    /// clamped into the top bucket instead of landing in a real one.
+    pub saturated_samples: u64,
+    /// Per-shard routed-edit, repair, and work/wait attribution counts.
     pub shards: Vec<ShardCounts>,
 }
 
@@ -490,7 +654,9 @@ impl StatsReport {
         }
     }
     /// Render as a JSON object fragment (no external deps; all fields are
-    /// numbers, so no escaping is needed).
+    /// numbers, so no escaping is needed). The shape is versioned via
+    /// `schema_version`; version 2 added the `attribution_per_shard`
+    /// block, `trace_dropped_records`, and `saturated_samples`.
     pub fn to_json(&self) -> String {
         let join = |f: fn(&ShardCounts) -> u64| -> String {
             self.shards
@@ -499,12 +665,31 @@ impl StatsReport {
                 .collect::<Vec<_>>()
                 .join(",")
         };
+        // Nanosecond counters exported as microseconds, one decimal.
+        let join_us = |f: fn(&ShardCounts) -> u64| -> String {
+            self.shards
+                .iter()
+                .map(|s| format!("{:.1}", f(s) as f64 / 1e3))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let coverage = self
+            .shards
+            .iter()
+            .map(|s| format!("{:.3}", s.attribution_coverage()))
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
-            "{{\"edits_enqueued\":{},\"edits_applied\":{},\"edits_rejected\":{},\
+            "{{\"schema_version\":2,\
+             \"edits_enqueued\":{},\"edits_applied\":{},\"edits_rejected\":{},\
              \"batches_flushed\":{},\"snapshots_published\":{},\"slots_repaired\":{},\
              \"slot_deltas_net\":{},\"barriers\":{},\
              \"shards\":{},\"shard_edits_routed\":[{}],\"shard_slots_repaired\":[{}],\
              \"upkeep_per_shard\":{{\"deltas\":[{}],\"ns\":[{}]}},\
+             \"attribution_per_shard\":{{\"work_us\":[{}],\"barrier_wait_us\":[{}],\
+             \"mailbox_wait_us\":[{}],\"upkeep_us\":[{}],\"wall_us\":[{}],\
+             \"coverage\":[{}]}},\
+             \"trace_dropped_records\":{},\"saturated_samples\":{},\
              \"exchange_rounds\":{},\"boundary_msgs\":{},\
              \"channel_hops\":{},\"envelope_hops\":{},\
              \"mailbox_depth\":{{\"count\":{},\"p50\":{},\"p99\":{},\"max\":{}}},\
@@ -532,6 +717,14 @@ impl StatsReport {
             join(|s| s.slots_repaired),
             join(|s| s.upkeep_deltas),
             join(|s| s.upkeep_ns),
+            join_us(|s| s.work_ns),
+            join_us(|s| s.barrier_wait_ns),
+            join_us(|s| s.mailbox_wait_ns),
+            join_us(|s| s.upkeep_ns),
+            join_us(|s| s.wall_ns),
+            coverage,
+            self.trace_dropped_records,
+            self.saturated_samples,
             self.exchange_rounds,
             self.boundary_msgs,
             self.channel_hops,
@@ -614,6 +807,19 @@ impl std::fmt::Display for StatsReport {
                     s.upkeep_deltas,
                     s.upkeep_ns as f64 / 1e6,
                 )?;
+                if s.wall_ns > 0 {
+                    writeln!(
+                        f,
+                        "    attribution: work {:.2}ms, barrier {:.2}ms, mailbox {:.2}ms, \
+                         upkeep {:.2}ms of {:.2}ms wall ({:.1}% accounted)",
+                        s.work_ns as f64 / 1e6,
+                        s.barrier_wait_ns as f64 / 1e6,
+                        s.mailbox_wait_ns as f64 / 1e6,
+                        s.upkeep_ns as f64 / 1e6,
+                        s.wall_ns as f64 / 1e6,
+                        s.attribution_coverage() * 100.0,
+                    )?;
+                }
             }
         }
         if self.mem_vertices > 0 {
@@ -715,6 +921,97 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"edits_applied\":1"));
         assert!(json.contains("\"slots_repaired\":5"));
+    }
+
+    #[test]
+    fn two_intervals_sum_to_the_cumulative_counts() {
+        let h = LatencyHistogram::new();
+        let t0 = h.snapshot();
+        for i in 0..100u64 {
+            h.record(Duration::from_nanos(50 + i));
+        }
+        let t1 = h.snapshot();
+        for _ in 0..40 {
+            h.record(Duration::from_micros(10));
+        }
+        let t2 = h.snapshot();
+
+        let w1 = t1.delta_since(&t0);
+        let w2 = t2.delta_since(&t1);
+        assert_eq!(w1.count(), 100);
+        assert_eq!(w2.count(), 40);
+        assert_eq!(w1.count() + w2.count(), t2.count());
+        // Bucket-wise, the two windows reassemble the cumulative snapshot.
+        assert_eq!(
+            w2.delta_since(&HistogramSnapshot::default()).count() + w1.count(),
+            h.count()
+        );
+        // The windows have distinct percentile profiles: window 1 is all
+        // ~100ns samples, window 2 all ~10µs samples; cumulative p50 sits
+        // in window 1's range.
+        let s1 = w1.summarize();
+        let s2 = w2.summarize();
+        assert!(s1.p50_ns < 200, "window 1 p50 = {}", s1.p50_ns);
+        assert!(s2.p50_ns > 5_000, "window 2 p50 = {}", s2.p50_ns);
+        assert_eq!(s2.p50_ns, s2.max_ns, "interval max is bucket-resolved");
+        let cum = t2.summarize();
+        assert_eq!(cum.count, 140);
+        assert!(cum.p50_ns < 200);
+    }
+
+    #[test]
+    fn empty_interval_summarizes_to_zeros() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(100));
+        let snap = h.snapshot();
+        let w = snap.delta_since(&snap);
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.summarize(), LatencySummary::default());
+    }
+
+    #[test]
+    fn top_bucket_clamps_are_counted_as_saturated() {
+        let h = LatencyHistogram::new();
+        h.record_value(100);
+        assert_eq!(h.saturated_samples(), 0);
+        // Values ≥ 2^63 overflow the last real bucket and clamp.
+        h.record_value(u64::MAX);
+        h.record_value(1u64 << 63);
+        assert_eq!(h.saturated_samples(), 2);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.snapshot().saturated_samples(), 2);
+
+        let stats = ServeStats::default();
+        stats.queries.record_value(u64::MAX);
+        stats.flushes.record_value(u64::MAX);
+        let r = stats.report();
+        assert_eq!(r.saturated_samples, 2);
+        assert!(r.to_json().contains("\"saturated_samples\":2"));
+    }
+
+    #[test]
+    fn attribution_rolls_into_json_and_coverage() {
+        let stats = ServeStats::with_shards(2);
+        stats.note_shard_cmd(0, Duration::from_micros(600), Duration::from_micros(150));
+        stats.note_shard_mailbox_wait(0, Duration::from_micros(200));
+        stats.note_shard_upkeep(0, 3, Duration::from_micros(40));
+        stats.set_shard_wall(0, Duration::from_micros(1_000));
+        let r = stats.report();
+        let s0 = &r.shards[0];
+        assert_eq!(s0.work_ns, 600_000);
+        assert_eq!(s0.barrier_wait_ns, 150_000);
+        assert_eq!(s0.mailbox_wait_ns, 200_000);
+        assert_eq!(s0.wall_ns, 1_000_000);
+        assert!((s0.attribution_coverage() - 0.99).abs() < 1e-9);
+        assert_eq!(r.shards[1].attribution_coverage(), 0.0);
+        let json = r.to_json();
+        assert!(json.starts_with("{\"schema_version\":2,"));
+        assert!(json.contains("\"attribution_per_shard\":{\"work_us\":[600.0,0.0]"));
+        assert!(json.contains("\"barrier_wait_us\":[150.0,0.0]"));
+        assert!(json.contains("\"mailbox_wait_us\":[200.0,0.0]"));
+        assert!(json.contains("\"wall_us\":[1000.0,0.0]"));
+        assert!(json.contains("\"coverage\":[0.990,0.000]"));
+        assert!(json.contains("\"trace_dropped_records\":0"));
     }
 
     #[test]

@@ -1,0 +1,344 @@
+//! Exporters: Chrome trace-event JSON and JSONL structured events.
+//!
+//! The Chrome exporter emits explicit `B`/`E` (begin/end) pairs rebuilt
+//! from the completed span records, one `pid` per lane, so the file loads
+//! in `chrome://tracing` and Perfetto with the maintenance thread and each
+//! shard worker as separate processes. Emission runs a per-lane stack over
+//! the spans sorted by start time, which guarantees the output is
+//! well-nested even if a lapped ring dropped some enclosing spans.
+
+use crate::names;
+use crate::recorder::{Dump, Record, RecordKind};
+
+/// One event of the Chrome trace-event stream, pre-serialization. Exposed
+/// so tests (and the CI trace gate) can assert on structure without
+/// parsing JSON.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChromeEvent {
+    /// Phase: `'B'` (span begin), `'E'` (span end), or `'i'` (instant).
+    pub ph: char,
+    /// Lane the event belongs to (exported as both pid and tid).
+    pub lane: u16,
+    /// Interned span name.
+    pub name: &'static str,
+    /// Event timestamp in nanoseconds since the tracer epoch.
+    pub ts_ns: u64,
+    /// Aux payload carried on `'B'` and `'i'` events.
+    pub aux: u64,
+}
+
+impl Dump {
+    /// Rebuild a well-nested `B`/`E` event stream (plus instants) from the
+    /// retained records, ordered per lane by timestamp with ends emitted
+    /// before begins on ties.
+    pub fn chrome_events(&self) -> Vec<ChromeEvent> {
+        let mut out = Vec::with_capacity(self.records.len() * 2);
+        let max_lane = self.records.iter().map(|r| r.lane).max().unwrap_or(0);
+        for lane in 0..=max_lane {
+            let mut spans: Vec<&Record> = self
+                .records
+                .iter()
+                .filter(|r| r.lane == lane && r.kind == RecordKind::Span)
+                .collect();
+            // Parents first: earlier start wins, longer span wins a tie so
+            // the enclosing guard opens before the enclosed one.
+            spans.sort_by(|a, b| {
+                a.start_ns
+                    .cmp(&b.start_ns)
+                    .then(b.dur_ns.cmp(&a.dur_ns))
+                    .then(a.seq.cmp(&b.seq))
+            });
+            let mut stack: Vec<(&'static str, u64)> = Vec::new();
+            for s in spans {
+                while let Some(&(name, end)) = stack.last() {
+                    if s.start_ns >= end {
+                        out.push(ChromeEvent {
+                            ph: 'E',
+                            lane,
+                            name,
+                            ts_ns: end,
+                            aux: 0,
+                        });
+                        stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+                let name = names::name_of(s.name);
+                // A child that outlives its parent can only come from
+                // records lost to overwrite; clamp so nesting holds.
+                let mut end = s.start_ns.saturating_add(s.dur_ns);
+                if let Some(&(_, parent_end)) = stack.last() {
+                    end = end.min(parent_end);
+                }
+                out.push(ChromeEvent {
+                    ph: 'B',
+                    lane,
+                    name,
+                    ts_ns: s.start_ns,
+                    aux: s.aux,
+                });
+                stack.push((name, end));
+            }
+            while let Some((name, end)) = stack.pop() {
+                out.push(ChromeEvent {
+                    ph: 'E',
+                    lane,
+                    name,
+                    ts_ns: end,
+                    aux: 0,
+                });
+            }
+            for r in self
+                .records
+                .iter()
+                .filter(|r| r.lane == lane && r.kind == RecordKind::Instant)
+            {
+                out.push(ChromeEvent {
+                    ph: 'i',
+                    lane,
+                    name: names::name_of(r.name),
+                    ts_ns: r.start_ns,
+                    aux: r.aux,
+                });
+            }
+        }
+        out
+    }
+
+    /// Serialize to Chrome trace-event JSON (`chrome://tracing` /
+    /// Perfetto). `lane_labels[i]` names lane `i`'s process; missing
+    /// labels fall back to `lane N`.
+    pub fn chrome_json(&self, lane_labels: &[&str]) -> String {
+        let events = self.chrome_events();
+        let mut out = String::with_capacity(events.len() * 96 + 256);
+        out.push_str("{\"traceEvents\":[");
+        let max_lane = self.records.iter().map(|r| r.lane).max().unwrap_or(0);
+        let mut first = true;
+        for lane in 0..=max_lane {
+            let label = lane_labels
+                .get(lane as usize)
+                .map_or_else(|| format!("lane {lane}"), |l| escape_json(l));
+            push_sep(&mut out, &mut first);
+            out.push_str(&format!(
+                "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{lane},\"tid\":{lane},\
+                 \"args\":{{\"name\":\"{label}\"}}}}"
+            ));
+        }
+        for e in &events {
+            push_sep(&mut out, &mut first);
+            let ts = micros(e.ts_ns);
+            match e.ph {
+                'B' => out.push_str(&format!(
+                    "{{\"ph\":\"B\",\"name\":\"{}\",\"cat\":\"rslpa\",\"ts\":{ts},\
+                     \"pid\":{lane},\"tid\":{lane},\"args\":{{\"aux\":{aux}}}}}",
+                    e.name,
+                    lane = e.lane,
+                    aux = e.aux,
+                )),
+                'E' => out.push_str(&format!(
+                    "{{\"ph\":\"E\",\"name\":\"{}\",\"cat\":\"rslpa\",\"ts\":{ts},\
+                     \"pid\":{lane},\"tid\":{lane}}}",
+                    e.name,
+                    lane = e.lane,
+                )),
+                _ => out.push_str(&format!(
+                    "{{\"ph\":\"i\",\"name\":\"{}\",\"cat\":\"rslpa\",\"ts\":{ts},\
+                     \"pid\":{lane},\"tid\":{lane},\"s\":\"t\",\"args\":{{\"aux\":{aux}}}}}",
+                    e.name,
+                    lane = e.lane,
+                    aux = e.aux,
+                )),
+            }
+        }
+        out.push_str(&format!(
+            "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\
+             \"dropped_records\":{},\"torn_reads\":{}}}}}",
+            self.dropped, self.torn_reads
+        ));
+        out
+    }
+
+    /// Serialize every record as one JSON object per line — the scripting-
+    /// friendly structured dump.
+    pub fn jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.records.len() * 96);
+        for r in &self.records {
+            let kind = match r.kind {
+                RecordKind::Span => "span",
+                RecordKind::Instant => "event",
+            };
+            out.push_str(&format!(
+                "{{\"lane\":{},\"seq\":{},\"kind\":\"{kind}\",\"name\":\"{}\",\
+                 \"start_ns\":{},\"dur_ns\":{},\"aux\":{}}}\n",
+                r.lane,
+                r.seq,
+                names::name_of(r.name),
+                r.start_ns,
+                r.dur_ns,
+                r.aux
+            ));
+        }
+        out
+    }
+}
+
+fn push_sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+}
+
+/// Nanoseconds → Chrome's microsecond timestamps, keeping ns precision.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names;
+    use crate::recorder::Tracer;
+    use std::sync::Arc;
+
+    /// Replay a `B`/`E` stream through a stack, asserting well-formedness:
+    /// every end matches the innermost open begin and nothing stays open.
+    fn assert_well_nested(events: &[ChromeEvent]) {
+        let max_lane = events.iter().map(|e| e.lane).max().unwrap_or(0);
+        for lane in 0..=max_lane {
+            let mut stack: Vec<&str> = Vec::new();
+            let mut last_ts = 0u64;
+            for e in events.iter().filter(|e| e.lane == lane) {
+                assert!(e.ts_ns >= last_ts, "per-lane event stream is ts-ordered");
+                last_ts = e.ts_ns;
+                match e.ph {
+                    'B' => stack.push(e.name),
+                    'E' => {
+                        let open = stack.pop().expect("end without begin");
+                        assert_eq!(open, e.name, "end matches innermost begin");
+                    }
+                    _ => {}
+                }
+            }
+            assert!(stack.is_empty(), "every begin has a matching end");
+        }
+    }
+
+    #[test]
+    fn guard_drop_order_exports_well_nested_pairs() {
+        let t = Arc::new(Tracer::new(2, 64));
+        let w = t.writer(0);
+        {
+            let _outer = w.span(names::FLUSH);
+            {
+                let _inner = w.span(names::RESOLVE);
+            }
+            {
+                let mut inner = w.span(names::REPAIR);
+                inner.set_aux(42);
+                let _innermost = w.span(names::COUNTER_UPKEEP);
+            }
+        }
+        // Second lane gets its own independent tree.
+        let w1 = t.writer(1);
+        {
+            let _x = w1.span(names::EXCHANGE);
+            let _r = w1.span(names::EXCHANGE_ROUND);
+        }
+        let dump = t.drain();
+        let events = dump.chrome_events();
+        assert_well_nested(&events);
+        let begins: Vec<&str> = events
+            .iter()
+            .filter(|e| e.ph == 'B' && e.lane == 0)
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(begins, vec!["flush", "resolve", "repair", "counter_upkeep"]);
+        let repair = events
+            .iter()
+            .find(|e| e.ph == 'B' && e.name == "repair")
+            .unwrap();
+        assert_eq!(repair.aux, 42);
+    }
+
+    #[test]
+    fn hand_timed_spans_nest_by_timestamp() {
+        let t = Arc::new(Tracer::new(1, 64));
+        let w = t.writer(0);
+        // Drop order here is outer-first (record_span is immediate), so
+        // nesting must come from the timestamps alone.
+        w.record_span(names::PUBLISH, 100, 900, 0);
+        w.record_span(names::PUBLISH_COLLECT, 150, 200, 0);
+        w.record_span(names::PUBLISH_WEIGHTS, 400, 100, 0);
+        w.record_span(names::PUBLISH_ROSTER, 1_500, 50, 0);
+        w.event(names::QUEUE_DRAIN, 7);
+        let dump = t.drain();
+        let events = dump.chrome_events();
+        assert_well_nested(&events);
+        let seq: Vec<(char, &str)> = events
+            .iter()
+            .filter(|e| e.ph != 'i')
+            .map(|e| (e.ph, e.name))
+            .collect();
+        assert_eq!(
+            seq,
+            vec![
+                ('B', "publish"),
+                ('B', "publish_collect"),
+                ('E', "publish_collect"),
+                ('B', "publish_weights"),
+                ('E', "publish_weights"),
+                ('E', "publish"),
+                ('B', "publish_roster"),
+                ('E', "publish_roster"),
+            ]
+        );
+        assert_eq!(events.iter().filter(|e| e.ph == 'i').count(), 1);
+    }
+
+    #[test]
+    fn chrome_json_and_jsonl_are_emitted() {
+        let t = Arc::new(Tracer::new(1, 16));
+        let w = t.writer(0);
+        w.record_span(names::FLUSH, 1_000, 2_500, 3);
+        let dump = t.drain();
+        let json = dump.chrome_json(&["maintain"]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with('}'));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"name\":\"flush\""));
+        assert!(json.contains("\"ts\":1.000"));
+        assert!(json.contains("\"dropped_records\":0"));
+        let jsonl = dump.jsonl();
+        assert_eq!(jsonl.lines().count(), 1);
+        assert!(jsonl.contains("\"name\":\"flush\""));
+        assert!(jsonl.contains("\"dur_ns\":2500"));
+    }
+
+    #[test]
+    fn micros_formats_with_ns_precision() {
+        assert_eq!(micros(0), "0.000");
+        assert_eq!(micros(999), "0.999");
+        assert_eq!(micros(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn escape_json_handles_specials() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+}

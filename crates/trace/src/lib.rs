@@ -1,0 +1,44 @@
+//! # rslpa-trace — flight recorder and span tracing for the serving stack
+//!
+//! A std-only telemetry layer answering "where does every microsecond of
+//! the repair plane go?". Three pieces:
+//!
+//! * **Flight recorder** ([`Tracer`]): a bounded in-memory ring buffer of
+//!   fixed-size binary records, one single-writer *lane* per instrumented
+//!   thread (maintenance loop + shard workers). Writers never block and
+//!   never allocate; when a lane wraps, the oldest records are overwritten
+//!   and a drop counter advances. Each slot is guarded by a seqlock so a
+//!   concurrent drain can never observe a torn record.
+//! * **Spans** ([`TraceWriter::span`]): RAII guards with statically
+//!   interned names (see [`names`]) covering the full maintain path —
+//!   queue drain, flush, per-shard repair wave, mailbox exchange rounds,
+//!   barrier waits, counter upkeep, and the publish sub-phases. When
+//!   tracing is disabled the guard is a no-op costing one relaxed atomic
+//!   load at the span site.
+//! * **Exporters** ([`Dump`]): a Chrome trace-event JSON serializer
+//!   (loadable in `chrome://tracing` / Perfetto, one pid per lane) and a
+//!   JSONL structured-event dump for ad-hoc scripting.
+//!
+//! ```
+//! use rslpa_trace::{names, Tracer};
+//! use std::sync::Arc;
+//!
+//! let tracer = Arc::new(Tracer::new(1, 1024));
+//! let writer = tracer.writer(0);
+//! {
+//!     let _flush = writer.span(names::FLUSH);
+//!     let _repair = writer.span(names::REPAIR);
+//! } // guards drop innermost-first: the export nests repair inside flush
+//! let dump = tracer.drain();
+//! assert_eq!(dump.records.len(), 2);
+//! assert!(dump.chrome_json(&["maintain"]).starts_with("{\"traceEvents\":["));
+//! ```
+
+pub mod export;
+pub mod names;
+pub mod recorder;
+pub mod span;
+
+pub use export::ChromeEvent;
+pub use recorder::{Dump, Record, RecordKind, Tracer};
+pub use span::{SpanGuard, TraceWriter};

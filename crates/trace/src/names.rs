@@ -1,0 +1,95 @@
+//! Statically interned span names: the serve-path taxonomy.
+//!
+//! Records store a `u16` name id instead of a string so a span record stays
+//! four words; the table below maps ids back to names at export time. The
+//! ids are shared across crates (`rslpa_core` emits mesh-level spans,
+//! `rslpa_serve` everything else), which is why the taxonomy lives here in
+//! the leaf crate rather than in the serving layer.
+//!
+//! | id | name              | lane        | covers                                        |
+//! |----|-------------------|-------------|-----------------------------------------------|
+//! | 0  | `queue_drain`     | maintenance | blocked on [`pop`]ping the edit queue          |
+//! | 1  | `flush`           | maintenance | one micro-batch: resolve → repair → counters  |
+//! | 2  | `resolve`         | maintenance | net-resolving queued ops against the graph    |
+//! | 3  | `repair`          | maintenance | Correction Propagation over the dirty region  |
+//! | 4  | `counter_upkeep`  | maintenance | central per-edge counter maintenance          |
+//! | 5  | `publish`         | maintenance | snapshot publication, all sub-phases          |
+//! | 6  | `publish_collect` | maintenance | collecting worker rows/histograms/weights     |
+//! | 7  | `publish_weights` | maintenance | assembling + thresholding edge weights        |
+//! | 8  | `publish_roster`  | maintenance | building + swapping the community snapshot    |
+//! | 9  | `publish_migrate` | maintenance | repartitioning row migration                  |
+//! | 10 | `mailbox_wait`    | worker      | blocked on the command sub-queue              |
+//! | 11 | `shard_flush`     | worker      | applying a routed delta batch (phase A)       |
+//! | 12 | `exchange`        | worker      | one exchange session (all rounds)             |
+//! | 13 | `exchange_round`  | worker      | one mesh round: drain inbox, step, send       |
+//! | 14 | `barrier_wait`    | worker      | parked at the two round barriers              |
+//! | 15 | `upkeep`          | worker      | shard-owned counter-partition upkeep          |
+//! | 16 | `collect`         | worker      | packaging state for a publish collect         |
+//! | 17 | `migrate`         | worker      | extract/adopt row migration                   |
+//!
+//! [`pop`]: https://doc.rust-lang.org/std/sync/mpsc/
+
+/// Maintenance lane: blocked waiting for edits on the queue.
+pub const QUEUE_DRAIN: u16 = 0;
+/// Maintenance lane: one full flush (resolve + repair + counter upkeep).
+pub const FLUSH: u16 = 1;
+/// Maintenance lane: net-resolving queued ops into an applicable batch.
+pub const RESOLVE: u16 = 2;
+/// Maintenance lane: the repair-engine apply (Correction Propagation).
+pub const REPAIR: u16 = 3;
+/// Maintenance lane: central per-edge common-label counter upkeep.
+pub const COUNTER_UPKEEP: u16 = 4;
+/// Maintenance lane: snapshot publication (parent of the sub-phases).
+pub const PUBLISH: u16 = 5;
+/// Maintenance lane: collecting worker contributions at publish time.
+pub const PUBLISH_COLLECT: u16 = 6;
+/// Maintenance lane: assembling and thresholding edge weights.
+pub const PUBLISH_WEIGHTS: u16 = 7;
+/// Maintenance lane: building and swapping the community snapshot.
+pub const PUBLISH_ROSTER: u16 = 8;
+/// Maintenance lane: publish-time repartitioning and row migration.
+pub const PUBLISH_MIGRATE: u16 = 9;
+/// Worker lane: blocked on the coordinator's command sub-queue.
+pub const MAILBOX_WAIT: u16 = 10;
+/// Worker lane: applying a routed delta batch (repair-wave phase A).
+pub const SHARD_FLUSH: u16 = 11;
+/// Worker lane: a whole exchange-to-quiescence session.
+pub const EXCHANGE: u16 = 12;
+/// Worker lane: one mesh round (drain inbox, step vertices, send).
+pub const EXCHANGE_ROUND: u16 = 13;
+/// Worker lane: parked at the mesh round barriers.
+pub const BARRIER_WAIT: u16 = 14;
+/// Worker lane: shard-owned counter-partition upkeep.
+pub const UPKEEP: u16 = 15;
+/// Worker lane: packaging rows/weights for a publish collect.
+pub const COLLECT: u16 = 16;
+/// Worker lane: extract/adopt row migration during repartitioning.
+pub const MIGRATE: u16 = 17;
+
+/// The interned name table, indexed by span id.
+pub const NAMES: &[&str] = &[
+    "queue_drain",
+    "flush",
+    "resolve",
+    "repair",
+    "counter_upkeep",
+    "publish",
+    "publish_collect",
+    "publish_weights",
+    "publish_roster",
+    "publish_migrate",
+    "mailbox_wait",
+    "shard_flush",
+    "exchange",
+    "exchange_round",
+    "barrier_wait",
+    "upkeep",
+    "collect",
+    "migrate",
+];
+
+/// Resolve a span id to its interned name (`"?"` for out-of-table ids,
+/// which only appear if a foreign producer wrote records).
+pub fn name_of(id: u16) -> &'static str {
+    NAMES.get(id as usize).copied().unwrap_or("?")
+}

@@ -1,0 +1,357 @@
+//! The flight recorder: per-lane bounded rings of fixed-size records.
+//!
+//! Layout per lane (one lane per instrumented thread):
+//!
+//! ```text
+//! head ───────────────┐  (total records ever written; slot = head % cap)
+//!                     ▼
+//! versions: [v0][v1][v2][v3] ...   seqlock per slot (odd = write in flight)
+//! words:    [meta|start|dur|aux]   4 × u64 per slot, all atomics
+//! ```
+//!
+//! The writer side is wait-free and single-writer per lane: it bumps the
+//! slot's version to odd, stores the four payload words, bumps the version
+//! to even, then advances `head`. A drain validates each slot's version
+//! before and after reading the payload and skips (counting) slots caught
+//! mid-write, so concurrent readers never see a torn record. When `head`
+//! outruns the capacity the oldest records are overwritten; the per-lane
+//! drop counter is exactly `head - capacity` once the ring has wrapped.
+
+use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::span::TraceWriter;
+
+/// Words per record slot: packed meta, start ns, duration ns, aux payload.
+const RECORD_WORDS: usize = 4;
+/// Seqlock validation attempts per slot before the slot counts as torn.
+const READ_RETRIES: usize = 8;
+
+/// What a record describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A duration: `start_ns .. start_ns + dur_ns`.
+    Span,
+    /// A point event; `dur_ns` is zero.
+    Instant,
+}
+
+/// One decoded flight-recorder record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Record {
+    /// Which lane (thread) wrote the record: 0 = maintenance, 1+s = shard s.
+    pub lane: u16,
+    /// Interned span name id (see [`crate::names`]).
+    pub name: u16,
+    /// Span or instant event.
+    pub kind: RecordKind,
+    /// Per-lane write sequence number (monotone, wraps at `u32::MAX`).
+    pub seq: u32,
+    /// Start time in nanoseconds since the tracer's epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (zero for instants).
+    pub dur_ns: u64,
+    /// Free-form payload (batch sizes, round indices, ...).
+    pub aux: u64,
+}
+
+fn pack_meta(name: u16, kind: RecordKind, seq: u32) -> u64 {
+    let k = match kind {
+        RecordKind::Span => 0u64,
+        RecordKind::Instant => 1u64,
+    };
+    (u64::from(name) << 48) | (k << 40) | u64::from(seq)
+}
+
+fn unpack_meta(meta: u64) -> (u16, RecordKind, u32) {
+    let name = (meta >> 48) as u16;
+    let kind = if (meta >> 40) & 0xff == 0 {
+        RecordKind::Span
+    } else {
+        RecordKind::Instant
+    };
+    (name, kind, meta as u32)
+}
+
+/// One single-writer ring. All state is atomic so drains may run
+/// concurrently with the owning writer thread.
+struct Lane {
+    head: AtomicU64,
+    versions: Box<[AtomicU32]>,
+    words: Box<[AtomicU64]>,
+}
+
+impl Lane {
+    fn new(capacity: usize) -> Self {
+        Self {
+            head: AtomicU64::new(0),
+            versions: (0..capacity).map(|_| AtomicU32::new(0)).collect(),
+            words: (0..capacity * RECORD_WORDS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Wait-free write; must only be called from the lane's owner thread.
+    fn write(&self, name: u16, kind: RecordKind, start_ns: u64, dur_ns: u64, aux: u64) {
+        let cap = self.capacity();
+        if cap == 0 {
+            return;
+        }
+        let head = self.head.load(Ordering::Relaxed);
+        let slot = (head % cap as u64) as usize;
+        let v = self.versions[slot].load(Ordering::Relaxed);
+        // Seqlock write protocol (Boehm): odd version, release fence,
+        // relaxed payload stores, even version with release.
+        self.versions[slot].store(v.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+        let base = slot * RECORD_WORDS;
+        self.words[base].store(pack_meta(name, kind, head as u32), Ordering::Relaxed);
+        self.words[base + 1].store(start_ns, Ordering::Relaxed);
+        self.words[base + 2].store(dur_ns, Ordering::Relaxed);
+        self.words[base + 3].store(aux, Ordering::Relaxed);
+        self.versions[slot].store(v.wrapping_add(2), Ordering::Release);
+        self.head.store(head + 1, Ordering::Release);
+    }
+
+    /// Seqlock-validated slot read; `None` when the writer kept racing us.
+    fn read_slot(&self, slot: usize) -> Option<(u64, u64, u64, u64)> {
+        for _ in 0..READ_RETRIES {
+            let v1 = self.versions[slot].load(Ordering::Acquire);
+            if v1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let base = slot * RECORD_WORDS;
+            let meta = self.words[base].load(Ordering::Relaxed);
+            let start = self.words[base + 1].load(Ordering::Relaxed);
+            let dur = self.words[base + 2].load(Ordering::Relaxed);
+            let aux = self.words[base + 3].load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            let v2 = self.versions[slot].load(Ordering::Relaxed);
+            if v1 == v2 {
+                return Some((meta, start, dur, aux));
+            }
+        }
+        None
+    }
+
+    fn dropped(&self) -> u64 {
+        self.head
+            .load(Ordering::Acquire)
+            .saturating_sub(self.capacity() as u64)
+    }
+}
+
+/// The flight recorder: an epoch clock, an enabled flag, and one ring per
+/// instrumented thread. Cheap to share via `Arc`; see the crate docs for
+/// the write/drain contract.
+pub struct Tracer {
+    enabled: AtomicBool,
+    epoch: Instant,
+    lanes: Vec<Lane>,
+}
+
+impl Tracer {
+    /// A recorder with `lanes` rings of `capacity_per_lane` records each,
+    /// enabled from the start. Lane 0 is the maintenance thread by
+    /// convention; lanes `1 + s` belong to shard worker `s`.
+    pub fn new(lanes: usize, capacity_per_lane: usize) -> Self {
+        Self {
+            enabled: AtomicBool::new(true),
+            epoch: Instant::now(),
+            lanes: (0..lanes).map(|_| Lane::new(capacity_per_lane)).collect(),
+        }
+    }
+
+    /// A permanently-off recorder (no lanes, no storage). Span sites pay
+    /// exactly one relaxed load against it; [`Tracer::set_enabled`] is a
+    /// no-op so it can never start recording into missing lanes.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: AtomicBool::new(false),
+            epoch: Instant::now(),
+            lanes: Vec::new(),
+        }
+    }
+
+    /// Whether span sites currently record.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn recording on or off at runtime (ignored on a
+    /// [`Tracer::disabled`] recorder, which has no storage).
+    pub fn set_enabled(&self, on: bool) {
+        if !self.lanes.is_empty() {
+            self.enabled.store(on, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Nanoseconds since the recorder was constructed.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// A writer handle for `lane`. The ring is single-writer: at most one
+    /// thread may push through handles to a given lane at a time (clones
+    /// are for handing the lane to its next owner, e.g. a mesh port living
+    /// on the worker thread).
+    pub fn writer(self: &Arc<Self>, lane: usize) -> TraceWriter {
+        TraceWriter::new(Arc::clone(self), lane as u16)
+    }
+
+    pub(crate) fn push(
+        &self,
+        lane: u16,
+        name: u16,
+        kind: RecordKind,
+        start_ns: u64,
+        dur_ns: u64,
+        aux: u64,
+    ) {
+        if let Some(l) = self.lanes.get(lane as usize) {
+            l.write(name, kind, start_ns, dur_ns, aux);
+        }
+    }
+
+    /// Total records lost to ring overwrite across all lanes.
+    pub fn dropped_records(&self) -> u64 {
+        self.lanes.iter().map(Lane::dropped).sum()
+    }
+
+    /// Snapshot every retained record. Safe to call while writers are
+    /// active: slots caught mid-write are skipped and counted in
+    /// [`Dump::torn_reads`] instead of surfacing garbage.
+    pub fn drain(&self) -> Dump {
+        let mut records = Vec::new();
+        let mut torn = 0u64;
+        for (lane_idx, lane) in self.lanes.iter().enumerate() {
+            let cap = lane.capacity() as u64;
+            let head = lane.head.load(Ordering::Acquire);
+            let start = head.saturating_sub(cap);
+            for i in start..head {
+                let slot = (i % cap) as usize;
+                match lane.read_slot(slot) {
+                    Some((meta, start_ns, dur_ns, aux)) => {
+                        let (name, kind, seq) = unpack_meta(meta);
+                        // The writer may have lapped us between loading
+                        // `head` and reading the slot; the embedded seq
+                        // exposes that, so stale reads are dropped rather
+                        // than misordered.
+                        if seq != i as u32 {
+                            torn += 1;
+                            continue;
+                        }
+                        records.push(Record {
+                            lane: lane_idx as u16,
+                            name,
+                            kind,
+                            seq,
+                            start_ns,
+                            dur_ns,
+                            aux,
+                        });
+                    }
+                    None => torn += 1,
+                }
+            }
+        }
+        Dump {
+            records,
+            torn_reads: torn,
+            dropped: self.dropped_records(),
+        }
+    }
+}
+
+/// A drained snapshot of the recorder, ready for export.
+#[derive(Clone, Debug)]
+pub struct Dump {
+    /// Retained records, ordered by lane then per-lane sequence.
+    pub records: Vec<Record>,
+    /// Slots skipped because a writer was mid-store during the drain.
+    pub torn_reads: u64,
+    /// Records lost to ring overwrite before the drain.
+    pub dropped: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names;
+
+    #[test]
+    fn meta_roundtrip() {
+        for (name, kind, seq) in [
+            (0u16, RecordKind::Span, 0u32),
+            (17, RecordKind::Instant, u32::MAX),
+            (u16::MAX, RecordKind::Span, 123_456_789),
+        ] {
+            assert_eq!(unpack_meta(pack_meta(name, kind, seq)), (name, kind, seq));
+        }
+    }
+
+    #[test]
+    fn overwrite_keeps_newest_and_counts_drops() {
+        let t = Arc::new(Tracer::new(1, 4));
+        let w = t.writer(0);
+        for i in 0..10u64 {
+            w.event(names::FLUSH, i);
+        }
+        let dump = t.drain();
+        assert_eq!(dump.records.len(), 4, "ring retains exactly its capacity");
+        assert_eq!(dump.dropped, 6, "drop counter == writes - retained");
+        assert_eq!(dump.torn_reads, 0);
+        let seqs: Vec<u32> = dump.records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "oldest records were overwritten");
+        let auxes: Vec<u64> = dump.records.iter().map(|r| r.aux).collect();
+        assert_eq!(auxes, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing_and_stays_off() {
+        let t = Arc::new(Tracer::disabled());
+        let w = t.writer(0);
+        {
+            let _g = w.span(names::FLUSH);
+            w.event(names::REPAIR, 1);
+        }
+        t.set_enabled(true); // must be a no-op: there is no storage
+        assert!(!t.is_enabled());
+        {
+            let _g = w.span(names::FLUSH);
+        }
+        let dump = t.drain();
+        assert!(dump.records.is_empty());
+        assert_eq!(dump.dropped, 0);
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let t = Arc::new(Tracer::new(3, 8));
+        for lane in 0..3usize {
+            let w = t.writer(lane);
+            for i in 0..(lane as u64 + 1) {
+                w.event(names::UPKEEP, i);
+            }
+        }
+        let dump = t.drain();
+        for lane in 0..3u16 {
+            let n = dump.records.iter().filter(|r| r.lane == lane).count();
+            assert_eq!(n, lane as usize + 1);
+        }
+    }
+}

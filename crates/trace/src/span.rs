@@ -1,0 +1,129 @@
+//! Span guards: the instrumentation-facing API.
+//!
+//! A [`TraceWriter`] is a lane-bound handle cloned into each instrumented
+//! thread. [`TraceWriter::span`] returns a RAII guard that records one
+//! fixed-size span record when dropped; when tracing is disabled the call
+//! is a single relaxed atomic load and the guard holds nothing.
+
+use std::sync::Arc;
+
+use crate::recorder::{RecordKind, Tracer};
+
+/// A lane-bound handle for emitting spans and events.
+///
+/// Cloning is allowed so a helper object living on the same thread (e.g. a
+/// mesh port) can carry its own handle, but a lane must only ever be
+/// written from one thread at a time — concurrent writers to one lane
+/// would race the ring's single-writer cursor.
+#[derive(Clone)]
+pub struct TraceWriter {
+    tracer: Arc<Tracer>,
+    lane: u16,
+}
+
+impl TraceWriter {
+    pub(crate) fn new(tracer: Arc<Tracer>, lane: u16) -> Self {
+        Self { tracer, lane }
+    }
+
+    /// Whether spans currently record (one relaxed load).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    /// Nanoseconds since the tracer's epoch (for externally-timed spans).
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.tracer.now_ns()
+    }
+
+    /// Total records lost to ring overwrite, across every lane of the
+    /// underlying recorder (for folding into service stats).
+    pub fn dropped_records(&self) -> u64 {
+        self.tracer.dropped_records()
+    }
+
+    /// Open a span named by the interned id `name`; the span closes (and
+    /// the record is written) when the returned guard drops.
+    #[inline]
+    pub fn span(&self, name: u16) -> SpanGuard<'_> {
+        self.span_with(name, 0)
+    }
+
+    /// [`TraceWriter::span`] with an aux payload (batch size, round
+    /// index, ...) stored in the record.
+    #[inline]
+    pub fn span_with(&self, name: u16, aux: u64) -> SpanGuard<'_> {
+        if !self.tracer.is_enabled() {
+            return SpanGuard {
+                writer: None,
+                name: 0,
+                aux: 0,
+                start_ns: 0,
+            };
+        }
+        SpanGuard {
+            writer: Some(self),
+            name,
+            aux,
+            start_ns: self.tracer.now_ns(),
+        }
+    }
+
+    /// Record a point event (zero-duration record) with an aux payload.
+    #[inline]
+    pub fn event(&self, name: u16, aux: u64) {
+        if self.tracer.is_enabled() {
+            let now = self.tracer.now_ns();
+            self.tracer
+                .push(self.lane, name, RecordKind::Instant, now, 0, aux);
+        }
+    }
+
+    /// Record an externally-timed span (timestamps from
+    /// [`TraceWriter::now_ns`]). Useful when the measurement already
+    /// exists for stats purposes and re-timing it would skew it.
+    #[inline]
+    pub fn record_span(&self, name: u16, start_ns: u64, dur_ns: u64, aux: u64) {
+        if self.tracer.is_enabled() {
+            self.tracer
+                .push(self.lane, name, RecordKind::Span, start_ns, dur_ns, aux);
+        }
+    }
+}
+
+/// RAII guard returned by [`TraceWriter::span`]; writes one span record on
+/// drop. Guards on one thread drop innermost-first, which is exactly the
+/// well-nesting the exporter relies on.
+#[must_use = "a span records when the guard drops; binding it to _ discards it immediately"]
+pub struct SpanGuard<'a> {
+    writer: Option<&'a TraceWriter>,
+    name: u16,
+    aux: u64,
+    start_ns: u64,
+}
+
+impl SpanGuard<'_> {
+    /// Replace the aux payload before the span closes (e.g. once a batch
+    /// size is known).
+    pub fn set_aux(&mut self, aux: u64) {
+        self.aux = aux;
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(w) = self.writer {
+            let end = w.tracer.now_ns();
+            w.tracer.push(
+                w.lane,
+                self.name,
+                RecordKind::Span,
+                self.start_ns,
+                end.saturating_sub(self.start_ns),
+                self.aux,
+            );
+        }
+    }
+}

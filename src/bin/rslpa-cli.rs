@@ -15,6 +15,17 @@
 //! errors — a silently skipped edit would desynchronize the replayed
 //! graph from the caller's intent.
 //!
+//! ## Tracing (`replay --trace-out FILE`)
+//!
+//! `--trace-out` attaches the flight recorder
+//! ([`rslpa::serve::trace`]) to the replayed service and writes the
+//! drained trace on shutdown: Chrome trace-event JSON by default (load in
+//! `chrome://tracing` or Perfetto; one "process" per lane — the
+//! maintenance thread plus one per shard worker), or one-record-per-line
+//! JSONL when the path ends in `.jsonl`. Without the flag the recorder is
+//! compiled in but permanently disabled (one relaxed atomic load per
+//! span site).
+//!
 //! ## `--stats-json` schema (`replay`)
 //!
 //! One JSON object. Top level:
@@ -30,6 +41,7 @@
 //!
 //! | field | meaning |
 //! |-------|---------|
+//! | `schema_version` | shape version of this object; 2 added `attribution_per_shard`, `trace_dropped_records`, and `saturated_samples` |
 //! | `edits_enqueued` | ops accepted into the ingestion queue |
 //! | `edits_applied` | ops that survived net-resolution and hit the graph |
 //! | `edits_rejected` | no-op ops (duplicate insert, absent delete, self-loop) |
@@ -52,6 +64,9 @@
 //! | `boundary_vertices` | gauge: vertices with an off-shard neighbor |
 //! | `repartitions` | publish-time ownership re-plans performed |
 //! | `vertices_migrated` | vertex rows moved between shards by re-plans |
+//! | `attribution_per_shard` | object of per-shard arrays — `work_us`, `barrier_wait_us`, `mailbox_wait_us`, `upkeep_us`, `wall_us`, `coverage` — attributing each worker's wall time; `coverage` is the accounted fraction (work + waits + upkeep over wall) |
+//! | `trace_dropped_records` | flight-recorder records overwritten before the final drain (always 0 with tracing off) |
+//! | `saturated_samples` | histogram samples that clamped into the top log₂ bucket (≥ 2⁶³), across all histograms |
 //!
 //! `stats` object, latency summaries (nanoseconds; percentiles resolve to
 //! the geometric mean of the containing log₂ bucket):
@@ -91,7 +106,7 @@ fn main() -> ExitCode {
                  \x20 stream   <graph> <edits> [--iterations N] [--seed S] [--detect-every K]\n\
                  \x20 replay   <graph> <edits> [--iterations N] [--seed S] [--flush-size B]\n\
                  \x20          [--snapshot-every K] [--queries-per-edit Q] [--shards W]\n\
-                 \x20          [--engine coordinator|mailbox] [--stats-json FILE]\n\
+                 \x20          [--engine coordinator|mailbox] [--stats-json FILE] [--trace-out FILE]\n\
                  \x20          replay an edit log through the live serve loop (blank line = barrier)\n\
                  \x20 generate <lfr|rmat|ba> <size> [--seed S] [--out FILE]"
             );
@@ -323,18 +338,20 @@ fn cmd_replay(args: &[String]) -> CliResult {
         Some(v) => v.parse().map_err(|e| format!("--engine: {e}"))?,
         None => Default::default(),
     };
+    let trace_out = options.get("trace-out").copied();
     let file = std::fs::File::open(edits_path)?;
     let lines = parse_edit_lines(std::io::BufReader::new(file))?;
 
     let started = std::time::Instant::now();
-    let service = CommunityService::start(
-        graph,
-        ServeConfig::quick(iterations, seed)
-            .with_policy(BySize::new(flush_size))
-            .with_snapshot_every(snapshot_every)
-            .with_shards(shards)
-            .with_exchange(engine),
-    );
+    let mut config = ServeConfig::quick(iterations, seed)
+        .with_policy(BySize::new(flush_size))
+        .with_snapshot_every(snapshot_every)
+        .with_shards(shards)
+        .with_exchange(engine);
+    if trace_out.is_some() {
+        config = config.with_trace(rslpa::serve::TraceOptions::default());
+    }
+    let service = CommunityService::start(graph, config);
     let propagation_secs = started.elapsed().as_secs_f64();
     let genesis = service.latest();
     println!(
@@ -383,7 +400,27 @@ fn cmd_replay(args: &[String]) -> CliResult {
     }
     let final_epoch = ingest.barrier()?;
     let replay_secs = replay_started.elapsed().as_secs_f64();
+    let tracer = service.tracer();
     let report = service.shutdown();
+    if let Some(path) = trace_out {
+        // Drained after shutdown, so every lane's writer has joined.
+        let dump = tracer.drain();
+        let out = if path.ends_with(".jsonl") {
+            dump.jsonl()
+        } else {
+            let labels: Vec<String> = std::iter::once("maintenance".to_string())
+                .chain((0..shards).map(|s| format!("shard-{s}")))
+                .collect();
+            let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+            dump.chrome_json(&refs)
+        };
+        std::fs::write(path, out)?;
+        eprintln!(
+            "wrote trace to {path} ({} records, {} dropped)",
+            dump.records.len(),
+            dump.dropped
+        );
+    }
     let snap_line = format!(
         "replayed {edits} edits in {replay_secs:.2}s ({:.0} edits/s), final epoch {final_epoch}",
         edits as f64 / replay_secs.max(1e-9),
