@@ -10,8 +10,8 @@ use rslpa_bench::exp_scale::ScaleWorkload;
 use rslpa_bench::exp_serve::ServeWorkload;
 use rslpa_bench::exp_weights::WeightsWorkload;
 use rslpa_bench::{
-    exp_ablations, exp_dynamic, exp_scale, exp_serve, exp_synthetic, exp_trace, exp_voting,
-    exp_web, exp_weights, Scale,
+    exp_ablations, exp_barrier, exp_dynamic, exp_scale, exp_serve, exp_synthetic, exp_trace,
+    exp_voting, exp_web, exp_weights, Scale,
 };
 
 const EXPERIMENTS: &[(&str, &str)] = &[
@@ -61,6 +61,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "trace",
         "flight-recorded serve workload at 4 shards: Chrome trace + per-shard wall-time attribution (emits BENCH_trace.json + BENCH_serve.json)",
     ),
+    (
+        "barrier",
+        "mesh round-barrier micro-bench: 2x std::Barrier vs 1x SenseBarrier per round (folds into BENCH_serve.json)",
+    ),
 ];
 
 fn run(id: &str, scale: &Scale) -> bool {
@@ -88,11 +92,12 @@ fn run(id: &str, scale: &Scale) -> bool {
         "abl-part" => exp_ablations::abl_part(scale),
         "profile" => exp_ablations::profile(scale),
         "serve" | "serve-smoke" | "serve-rmat" | "serve-sharded" | "serve-p2p" => {
-            return run_serve(id, &ServeOpts::default())
+            return run_serve(id, &ServeOpts::default(), false)
         }
         "weights" => exp_weights::weights(&WeightsWorkload::full(), "BENCH_serve.json"),
         "scale" => exp_scale::scale(&ScaleWorkload::full(), "BENCH_serve.json"),
         "trace" => exp_trace::trace(false, "BENCH_serve.json", "BENCH_trace.json"),
+        "barrier" => exp_barrier::barrier("BENCH_serve.json"),
         _ => return false,
     }
     true
@@ -124,7 +129,7 @@ impl Default for ServeOpts {
     }
 }
 
-fn run_serve(id: &str, opts: &ServeOpts) -> bool {
+fn run_serve(id: &str, opts: &ServeOpts, smoke: bool) -> bool {
     let out = |default: &str| opts.out.clone().unwrap_or_else(|| default.to_string());
     let roster = opts.roster_out.as_deref();
     if (id == "serve-sharded" || id == "serve-p2p")
@@ -165,7 +170,7 @@ fn run_serve(id: &str, opts: &ServeOpts) -> bool {
             roster,
         ),
         "serve-sharded" => exp_serve::serve_sharded(&out("BENCH_serve.json")),
-        "serve-p2p" => exp_serve::serve_p2p(&out("BENCH_serve.json")),
+        "serve-p2p" => exp_serve::serve_p2p(smoke, &out("BENCH_serve.json")),
         _ => return false,
     }
     true
@@ -186,6 +191,8 @@ fn usage() {
     );
     eprintln!("weights options: --out FILE");
     eprintln!("scale options: --smoke (n=2^17 instead of 2^20), --out FILE");
+    eprintln!("serve-p2p options: --smoke (CI-scale localized-churn sweep at 1/4/8 shards)");
+    eprintln!("barrier options: --out FILE (appends to an existing serve payload)");
     eprintln!("trace options: --smoke, --out FILE, --trace-out FILE (default BENCH_trace.json)");
 }
 
@@ -263,14 +270,18 @@ fn main() {
         && !target.starts_with("weights")
         && target != "scale"
         && target != "trace"
+        && target != "barrier"
     {
         eprintln!(
             "--shards/--engine/--backend/--out/--roster-out only apply to serve/weights/scale/trace experiments"
         );
         std::process::exit(2);
     }
-    if smoke && target != "scale" && target != "trace" {
-        eprintln!("--smoke only applies to the scale and trace experiments (use serve-smoke etc.)");
+    if smoke && target != "scale" && target != "trace" && target != "serve-p2p" {
+        eprintln!(
+            "--smoke only applies to the scale, trace, and serve-p2p experiments \
+             (use serve-smoke etc.)"
+        );
         std::process::exit(2);
     }
     if trace_out.is_some() && target != "trace" {
@@ -318,8 +329,22 @@ fn main() {
             .unwrap_or_else(|| "BENCH_serve.json".to_string());
         let trace_file = trace_out.unwrap_or_else(|| "BENCH_trace.json".to_string());
         exp_trace::trace(smoke, &out, &trace_file);
+    } else if target == "barrier" {
+        if serve_opts.shards != 1
+            || serve_opts.engine_given
+            || serve_opts.backend_given
+            || serve_opts.roster_out.is_some()
+        {
+            eprintln!("barrier takes only --out");
+            std::process::exit(2);
+        }
+        let out = serve_opts
+            .out
+            .clone()
+            .unwrap_or_else(|| "BENCH_serve.json".to_string());
+        exp_barrier::barrier(&out);
     } else if target.starts_with("serve") {
-        if !run_serve(target, &serve_opts) {
+        if !run_serve(target, &serve_opts, smoke) {
             eprintln!("unknown experiment: {target}\n");
             usage();
             std::process::exit(2);

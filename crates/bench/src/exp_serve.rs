@@ -11,7 +11,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use rslpa_gen::edits::{targeted_batch, uniform_batch, EditWorkload};
+use rslpa_gen::edits::{localized_batch, targeted_batch, uniform_batch, EditWorkload};
 use rslpa_gen::lfr::LfrParams;
 use rslpa_gen::webgraph::{rmat, RmatParams};
 use rslpa_graph::rng::DetRng;
@@ -218,6 +218,8 @@ fn next_batch(
     seed: u64,
 ) -> EditBatch {
     match (w.churn, truth) {
+        // Hot-spot churn needs no planted cover — it works on any topology.
+        (EditWorkload::Localized, _) => localized_batch(graph, size, seed),
         (EditWorkload::Uniform, _) | (_, None) => uniform_batch(graph, size, seed),
         (bias, Some(cover)) => targeted_batch(graph, cover, bias, size, seed),
     }
@@ -376,6 +378,7 @@ fn churn_label(churn: EditWorkload) -> &'static str {
         EditWorkload::Uniform => "uniform",
         EditWorkload::Consolidating => "consolidating",
         EditWorkload::Eroding => "eroding",
+        EditWorkload::Localized => "localized",
     }
 }
 
@@ -689,7 +692,9 @@ impl P2pRun {
              \"upkeep_per_flush_ns\": {:.0}, \"exchange_upkeep_per_flush_ns\": {:.0}, \
              \"snapshot_mean_ns\": {}, \"exchange_rounds\": {}, \"boundary_msgs\": {}, \
              \"channel_hops\": {}, \"hops_per_envelope\": {:.2}, \"envelope_hops\": {}, \
-             \"mailbox_depth_p99\": {}, \"barrier_wait_p99_ns\": {}}}",
+             \"mailbox_depth_p99\": {}, \"barrier_wait_p99_ns\": {}, \
+             \"boundary_hists_shipped\": {}, \"boundary_hists_total\": {}, \
+             \"boundary_dirty_marked\": {}}}",
             self.result.edits_per_sec,
             s.flushes.mean_ns,
             s.flushes.p99_ns,
@@ -703,25 +708,71 @@ impl P2pRun {
             s.envelope_hops,
             s.mailbox_depth.p99_ns,
             s.barrier_wait.p99_ns,
+            s.boundary_hists_shipped,
+            s.boundary_hists_total,
+            s.boundary_dirty_marked,
         )
     }
 }
 
 /// The coordinator-vs-mailbox sweep (`repro serve-p2p`): the full
-/// 100k-edit workload at 4 shards, under uniform and consolidating
-/// churn, publishing per flush and per 8 flushes — each cell run on both
-/// engines. Every cell asserts the two engines land on the same final
-/// roster *and* weight fingerprint (decentralizing the repair plane must
-/// not move a bit), then reports the per-flush exchange+upkeep wall time
-/// and the channel-hop economy (the 1-core proxy: the mesh delivers each
-/// envelope over one channel and never round-trips the coordinator per
-/// round).
-pub fn serve_p2p(out_path: &str) {
-    let cells: [(EditWorkload, usize); 4] = [
-        (EditWorkload::Uniform, 1),
-        (EditWorkload::Uniform, 8),
-        (EditWorkload::Consolidating, 1),
-        (EditWorkload::Consolidating, 8),
+/// 100k-edit workload at 4 shards, under uniform, consolidating, and
+/// localized churn, publishing per flush and per 8 flushes — each cell
+/// run on both engines. Every cell asserts the two engines land on the
+/// same final roster *and* weight fingerprint (decentralizing the repair
+/// plane must not move a bit), then reports the per-flush
+/// exchange+upkeep wall time and the channel-hop economy (the 1-core
+/// proxy: the mesh delivers each envelope over one channel and never
+/// round-trips the coordinator per round). The localized cell
+/// additionally pins the dirty-diff collect payoff: hot-spot churn
+/// published per flush at a small flush quantum must ship at least 10x
+/// fewer boundary histograms than the full collect
+/// (`boundary_hists_total`) it replaces. `smoke` runs the CI-scale
+/// localized sweep across shard counts instead (`serve_p2p_smoke`).
+pub fn serve_p2p(smoke: bool, out_path: &str) {
+    if smoke {
+        serve_p2p_smoke(out_path);
+        return;
+    }
+    let full = ServeWorkload {
+        mode: "p2p",
+        ..ServeWorkload::full_sharded(4)
+    };
+    let cells: [ServeWorkload; 5] = [
+        ServeWorkload {
+            snapshot_every: 1,
+            ..full
+        },
+        ServeWorkload {
+            snapshot_every: 8,
+            ..full
+        },
+        ServeWorkload {
+            churn: EditWorkload::Consolidating,
+            snapshot_every: 1,
+            ..full
+        },
+        ServeWorkload {
+            churn: EditWorkload::Consolidating,
+            snapshot_every: 8,
+            ..full
+        },
+        // The read-heavy hot-spot cell: a few edits per publish, confined
+        // to a window of ~n/20 vertices. This is the regime the dirty-diff
+        // collect exists for — the repair cascade's per-publish footprint
+        // stays far below the boundary set, so the incremental ship beats
+        // re-collecting every boundary histogram by >=10x. (At 2048
+        // edits/publish the cascade union covers most of the graph and the
+        // diff degenerates toward a full ship — the uniform cells above
+        // record that regime.)
+        ServeWorkload {
+            churn: EditWorkload::Localized,
+            total_edits: 10_000,
+            round_edits: 200,
+            flush_size: 8,
+            snapshot_every: 1,
+            ..full
+        },
     ];
     let mut t = Table::new(
         "serve p2p: coordinator vs mailbox mesh (4 shards, 100k edits)".to_string(),
@@ -736,21 +787,18 @@ pub fn serve_p2p(out_path: &str) {
         ],
     );
     let mut cell_json = Vec::new();
-    for &(churn, snapshot_every) in &cells {
+    for cell in &cells {
+        let (churn, snapshot_every) = (cell.churn, cell.snapshot_every);
         let mut runs = Vec::new();
         for engine in [ExchangeMode::Coordinator, ExchangeMode::Mailbox] {
-            let w = ServeWorkload {
-                mode: "p2p",
-                churn,
-                snapshot_every,
-                engine,
-                ..ServeWorkload::full_sharded(4)
-            };
+            let w = ServeWorkload { engine, ..*cell };
             eprintln!(
-                "[serve-p2p] engine={} churn={} snapshot_every={}",
+                "[serve-p2p] engine={} churn={} snapshot_every={} ({} edits, flush {})",
                 engine,
                 churn_label(churn),
                 snapshot_every,
+                w.total_edits,
+                w.flush_size,
             );
             let result = run_workload(&w);
             runs.push(P2pRun { engine, result });
@@ -781,17 +829,37 @@ pub fn serve_p2p(out_path: &str) {
             churn_label(churn),
             snapshot_every,
         );
+        let s = &mesh.result.stats;
+        assert!(
+            s.boundary_hists_shipped <= s.boundary_dirty_marked,
+            "dirty-diff collect shipped more boundary hists ({}) than vertices \
+             were dirty-marked ({}) — the ship rule is broken",
+            s.boundary_hists_shipped,
+            s.boundary_dirty_marked,
+        );
+        if churn == EditWorkload::Localized {
+            assert!(
+                s.boundary_hists_shipped * 10 <= s.boundary_hists_total,
+                "localized churn should ship >=10x fewer boundary hists than a \
+                 full collect would ({} shipped of {} boundary slots)",
+                s.boundary_hists_shipped,
+                s.boundary_hists_total,
+            );
+        }
         let wall_ratio = coord.exchange_upkeep_ns() / mesh.exchange_upkeep_ns().max(1.0);
         let hops_ratio = coord.result.stats.envelope_hops as f64
             / (mesh.result.stats.envelope_hops as f64).max(1.0);
         cell_json.push(format!(
             "{{\n    \"churn\": \"{}\",\n    \"snapshot_every\": {},\n    \
+             \"total_edits\": {},\n    \"flush_size\": {},\n    \
              \"coordinator\": {},\n    \"mailbox\": {},\n    \
              \"exchange_upkeep_wall_ratio\": {:.3},\n    \
              \"envelope_hops_ratio\": {:.3},\n    \
              \"rosters_and_weights_match\": true\n  }}",
             churn_label(churn),
             snapshot_every,
+            cell.total_edits,
+            cell.flush_size,
             coord.to_json(),
             mesh.to_json(),
             wall_ratio,
@@ -813,6 +881,123 @@ pub fn serve_p2p(out_path: &str) {
     );
     std::fs::write(out_path, &json).expect("write BENCH_serve.json");
     eprintln!("[serve-p2p] wrote {out_path}");
+}
+
+/// CI-scale `serve-p2p --smoke`: localized hot-spot churn at 1/4/8
+/// shards, each cell run on both engines. Gates three invariants cheaply
+/// enough for every CI run:
+///
+/// 1. per-cell bit-identity — both engines land on the same final roster
+///    *and* weight fingerprint;
+/// 2. cross-shard bit-identity — every shard count lands on the roster
+///    and fingerprint of the 1-shard run;
+/// 3. the dirty-diff collect ship rule — a publish never ships more
+///    boundary histograms than vertices were dirty-marked
+///    (`boundary_hists_shipped <= boundary_dirty_marked`), so the
+///    incremental collect cannot silently degrade to full reshipping.
+fn serve_p2p_smoke(out_path: &str) {
+    let mut t = Table::new(
+        "serve p2p smoke: localized churn, coordinator vs mailbox".to_string(),
+        &[
+            "shards",
+            "engine",
+            "edits/sec",
+            "hists shipped",
+            "dirty marked",
+            "boundary total",
+        ],
+    );
+    let mut cell_json = Vec::new();
+    let mut reference: Option<(Cover, u64)> = None;
+    for shards in [1usize, 4, 8] {
+        let mut runs = Vec::new();
+        for engine in [ExchangeMode::Coordinator, ExchangeMode::Mailbox] {
+            let w = ServeWorkload {
+                mode: "p2p-smoke",
+                churn: EditWorkload::Localized,
+                engine,
+                ..ServeWorkload::smoke_sharded(shards)
+            };
+            eprintln!("[serve-p2p:smoke] shards={shards} engine={engine}");
+            let result = run_workload(&w);
+            runs.push(P2pRun { engine, result });
+        }
+        for run in &runs {
+            let s = &run.result.stats;
+            t.row(vec![
+                shards.to_string(),
+                run.engine.to_string(),
+                format!("{:.0}", run.result.edits_per_sec),
+                s.boundary_hists_shipped.to_string(),
+                s.boundary_dirty_marked.to_string(),
+                s.boundary_hists_total.to_string(),
+            ]);
+        }
+        let (coord, mesh) = (&runs[0], &runs[1]);
+        assert_eq!(
+            coord.result.final_cover, mesh.result.final_cover,
+            "engines diverged on the final roster at {shards} shard(s)"
+        );
+        assert_eq!(
+            coord.result.final_weights_fingerprint, mesh.result.final_weights_fingerprint,
+            "engines diverged on final weights at {shards} shard(s)"
+        );
+        match &reference {
+            None => {
+                reference = Some((
+                    coord.result.final_cover.clone(),
+                    coord.result.final_weights_fingerprint,
+                ))
+            }
+            Some((cover, fingerprint)) => {
+                assert_eq!(
+                    cover, &coord.result.final_cover,
+                    "shard count changed the final roster at {shards} shard(s)"
+                );
+                assert_eq!(
+                    *fingerprint, coord.result.final_weights_fingerprint,
+                    "shard count changed the final weights at {shards} shard(s)"
+                );
+            }
+        }
+        let s = &mesh.result.stats;
+        if shards > 1 {
+            assert!(
+                s.boundary_hists_shipped <= s.boundary_dirty_marked,
+                "dirty-diff collect shipped more boundary hists ({}) than vertices \
+                 were dirty-marked ({}) — the ship rule is broken",
+                s.boundary_hists_shipped,
+                s.boundary_dirty_marked,
+            );
+            assert!(
+                s.boundary_hists_shipped > 0,
+                "mesh publishes never shipped a boundary histogram — collect path broken?"
+            );
+        }
+        cell_json.push(format!(
+            "{{\n    \"shards\": {shards},\n    \"coordinator\": {},\n    \
+             \"mailbox\": {},\n    \"rosters_and_weights_match\": true\n  }}",
+            coord.to_json(),
+            mesh.to_json(),
+        ));
+    }
+    t.print();
+    let smoke = ServeWorkload::smoke();
+    let json = format!(
+        "{{\n  \"experiment\": \"serve-p2p\",\n  \"mode\": \"smoke\",\n  \
+         \"config\": {{\"graph_n\": {}, \"iterations\": {}, \"total_edits\": {}, \
+         \"flush_size\": {}, \"churn\": \"localized\", \"cores\": {}, \"seed\": {}}},\n  \
+         \"cells\": [{}]\n}}\n",
+        smoke.graph_n,
+        smoke.iterations,
+        smoke.total_edits,
+        smoke.flush_size,
+        host_cores(),
+        smoke.seed,
+        cell_json.join(", "),
+    );
+    std::fs::write(out_path, &json).expect("write BENCH_serve.json");
+    eprintln!("[serve-p2p:smoke] wrote {out_path}");
 }
 
 #[cfg(test)]

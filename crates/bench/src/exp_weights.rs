@@ -88,6 +88,7 @@ fn churn_label(churn: EditWorkload) -> &'static str {
         EditWorkload::Uniform => "uniform",
         EditWorkload::Consolidating => "consolidating",
         EditWorkload::Eroding => "eroding",
+        EditWorkload::Localized => "localized",
     }
 }
 

@@ -7,6 +7,7 @@
 //! bend); `--paper-scale` restores the original sizes where feasible.
 
 pub mod exp_ablations;
+pub mod exp_barrier;
 pub mod exp_dynamic;
 pub mod exp_scale;
 pub mod exp_serve;

@@ -438,6 +438,42 @@ pub struct CounterPartition {
     slots: FxHashMap<VertexId, u32>,
     /// [`edge_key`] → `Σ_l f_u(l)·f_v(l)` for interior edges only.
     common: FxHashMap<u64, u64>,
+    /// Owned vertices whose histogram changed since their last
+    /// dirty-diff ship (fed by the same slot-delta stream as counter
+    /// upkeep, plus migration adoptions). Interior dirty vertices stay in
+    /// the set — they must ship if they ever become boundary.
+    dirty: FxHashSet<VertexId>,
+    /// Owned vertices whose **current** histogram the publish coordinator
+    /// already holds in its boundary cache (shipped at some collect and
+    /// unchanged since). The ship rule is: ship `v` iff `v` is boundary
+    /// and (`v ∈ dirty` or `v ∉ shipped`).
+    shipped: FxHashSet<VertexId>,
+}
+
+/// Accounting of one dirty-diff boundary ship
+/// ([`CounterPartition::dirty_boundary_hists_into`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BoundaryShipReport {
+    /// Histograms actually shipped (changed since the last ship, or never
+    /// shipped before).
+    pub shipped: u64,
+    /// Boundary vertices in total — what the pre-diff protocol shipped
+    /// every publish.
+    pub boundary: u64,
+    /// Dirty-vertex count at ship time: vertices whose histogram changed
+    /// since their last ship (interior or boundary), plus never-shipped
+    /// boundary vertices. `shipped <= dirty` always holds — the CI gate
+    /// that proves diffs ship no more than the churn touched.
+    pub dirty: u64,
+}
+
+impl BoundaryShipReport {
+    /// Accumulate another shard's report into this one.
+    pub fn absorb(&mut self, other: &BoundaryShipReport) {
+        self.shipped += other.shipped;
+        self.boundary += other.boundary;
+        self.dirty += other.dirty;
+    }
 }
 
 impl CounterPartition {
@@ -466,6 +502,8 @@ impl CounterPartition {
             rows: packed,
             slots,
             common,
+            dirty: FxHashSet::default(),
+            shipped: FxHashSet::default(),
         }
     }
 
@@ -476,6 +514,8 @@ impl CounterPartition {
             rows: HistRows::new(m),
             slots: FxHashMap::default(),
             common: FxHashMap::default(),
+            dirty: FxHashSet::default(),
+            shipped: FxHashSet::default(),
         }
     }
 
@@ -522,6 +562,11 @@ impl CounterPartition {
                 self.slots.insert(v, slot);
             }
         }
+        // A migrated-in vertex must re-ship: whatever the coordinator's
+        // cache holds for it was shipped by the previous owner and may be
+        // stale (and the repartition evicted it anyway).
+        self.shipped.remove(&v);
+        self.dirty.insert(v);
     }
 
     /// Forget everything about vertices migrating out: their histograms
@@ -535,6 +580,11 @@ impl CounterPartition {
             if let Some(slot) = self.slots.remove(v) {
                 self.rows.release(slot);
             }
+            // Dirtiness travels with the row: the adopter marks the vertex
+            // dirty unconditionally (`adopt_hist`), so dropping it here
+            // loses nothing.
+            self.dirty.remove(v);
+            self.shipped.remove(v);
         }
         self.common.retain(|&key, _| {
             !gone.contains(&((key >> 32) as VertexId)) && !gone.contains(&(key as u32))
@@ -584,6 +634,9 @@ impl CounterPartition {
                 }
             }
             self.rows.fold_diff(slot_v, diff);
+            // Same stream feeds the ship bookkeeping: the histogram just
+            // moved, so the coordinator's cached copy (if any) is stale.
+            self.dirty.insert(v);
         }
         count
     }
@@ -649,6 +702,63 @@ impl CounterPartition {
         let mut out = Vec::new();
         self.boundary_hists_into(rows, &mut out);
         out
+    }
+
+    /// Dirty-diff variant of [`boundary_hists_into`](Self::boundary_hists_into):
+    /// ship only the boundary vertices the publish coordinator's cache
+    /// does not already hold current histograms for — those whose
+    /// histogram changed since their last ship (`dirty`, maintained from
+    /// the same slot-delta stream that feeds counter upkeep, plus
+    /// migration adoptions) and those never shipped before (fresh
+    /// boundary, carve-time rows, post-migration adoptions).
+    ///
+    /// # Cache-coherence argument
+    ///
+    /// The coordinator overlays every shipped `(v, hist)` into a
+    /// vertex-keyed cache and hands the whole cache to
+    /// [`assemble_partitioned_weights`], which reads it **only for
+    /// endpoints of cross-shard edges** — i.e. current boundary vertices.
+    /// For any such `v` (owned by exactly one shard), after this call:
+    ///
+    /// * `v ∉ shipped` → shipped now, cache holds the current histogram;
+    /// * `v ∈ shipped` and the histogram changed since the last ship →
+    ///   the change passed through [`apply_own_deltas`](Self::apply_own_deltas)
+    ///   or [`adopt_hist`](Self::adopt_hist), both of which marked `v`
+    ///   dirty → shipped now;
+    /// * `v ∈ shipped` and unchanged → the cached copy **is** the current
+    ///   histogram (this covers interior vertices that became boundary
+    ///   through pure topology churn with no label movement).
+    ///
+    /// Stale cache entries can only exist for vertices that are not
+    /// boundary any more — never read. So the assembled map is identical
+    /// to a full [`boundary_hists`](Self::boundary_hists) ship, which the
+    /// equivalence proptest pins bit-for-bit.
+    pub fn dirty_boundary_hists_into(
+        &mut self,
+        rows: &ShardRepairState,
+        out: &mut Vec<(VertexId, Vec<(Label, u32)>)>,
+    ) -> BoundaryShipReport {
+        let mut report = BoundaryShipReport {
+            dirty: self.dirty.len() as u64,
+            ..BoundaryShipReport::default()
+        };
+        for v in rows.owned_sorted() {
+            if !rows.neighbors_of(v).iter().any(|&w| !rows.owns(w)) {
+                continue;
+            }
+            report.boundary += 1;
+            let is_dirty = self.dirty.remove(&v);
+            if !self.shipped.insert(v) && !is_dirty {
+                continue; // already shipped, unchanged since
+            }
+            if !is_dirty {
+                report.dirty += 1; // first ship counts as a dirty vertex
+            }
+            let slot = self.slot_entry(v);
+            out.push((v, self.rows.row(slot).to_vec()));
+            report.shipped += 1;
+        }
+        report
     }
 }
 

@@ -28,6 +28,7 @@
 //!
 //! The high-level entry point is [`RslpaDetector`].
 
+pub mod barrier;
 pub mod complexity;
 pub mod config;
 pub mod detector;
@@ -44,9 +45,12 @@ pub mod shard;
 pub mod state;
 pub mod verify;
 
+pub use barrier::{SenseBarrier, WaitReport};
 pub use config::RslpaConfig;
 pub use detector::{DetectionResult, RslpaDetector};
-pub use edge_counters::{assemble_partitioned_weights, CounterPartition, EdgeCounters};
+pub use edge_counters::{
+    assemble_partitioned_weights, BoundaryShipReport, CounterPartition, EdgeCounters,
+};
 pub use incremental::{
     apply_correction, apply_correction_streaming, apply_correction_tracked, UpdateReport,
 };
@@ -55,7 +59,7 @@ pub use postprocess_incremental::{result_from_weights, IncrementalPostprocess};
 pub use propagation::run_propagation;
 pub use rows::{HistRow, HistRows};
 pub use shard::{
-    build_mesh, Envelope, MailboxPort, MeshExchangeReport, ShardFlushReport, ShardMsg,
-    ShardRepairState, VertexRowData,
+    build_mesh, Envelope, MailboxPort, MeshExchangeReport, MeshPoisoner, ShardFlushReport,
+    ShardMsg, ShardRepairState, VertexRowData,
 };
 pub use state::LabelState;

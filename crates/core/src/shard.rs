@@ -19,10 +19,14 @@
 //! * **the peer-to-peer mailbox mesh** ([`MailboxPort`]): every worker
 //!   holds a direct channel to every peer and delivers its outbox itself
 //!   (one hop per envelope). Rounds synchronize on a shared
-//!   [`Barrier`] and terminate by a monotone sent-envelope
-//!   counter: after each round's double barrier, every port reads the
-//!   same counter snapshot, so all ports agree — without any coordinator
-//!   traffic — on whether anything was sent and when to stop.
+//!   sense-reversing barrier ([`SenseBarrier`]) and terminate by a
+//!   monotone sent-envelope counter: **one** barrier wait per round, with
+//!   the last arriver (the leader) publishing the counter snapshot from
+//!   inside the barrier's pre-release closure. Nobody can be sending while
+//!   the leader reads (all ports have arrived), and nobody can read a
+//!   stale snapshot (the release publishes it), so all ports agree —
+//!   without any coordinator traffic or second barrier — on whether
+//!   anything was sent and when to stop.
 //!
 //! The protocol is the same three-message scheme as the BSP vertex program
 //! ([`crate::incremental_bsp`]): `Unrecord` detaches a stale receiver
@@ -38,14 +42,15 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, Barrier};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 use rslpa_graph::{
     AdjacencyGraph, FxHashMap, FxHashSet, Label, Partitioner, SlotDelta, VertexDelta, VertexId,
 };
 use rslpa_trace::{names, TraceWriter};
 
+use crate::barrier::SenseBarrier;
 use crate::propagation::draw_pick;
 use crate::state::{LabelState, Record, NO_SOURCE};
 
@@ -708,8 +713,14 @@ fn stage_repick(
 /// channels. The counter is never reset — each port diffs successive
 /// snapshots — so no reset has to be ordered against anyone's sends.
 struct MeshCore {
-    barrier: Barrier,
+    barrier: SenseBarrier,
     sent: AtomicU64,
+    /// The round's agreed snapshot of `sent`, stored by the barrier leader
+    /// inside the pre-release closure (so it is taken after every arrival,
+    /// i.e. after every send of the round) and published to all ports by
+    /// the barrier's release. Relaxed accesses suffice: the sense flip's
+    /// release/acquire edge orders them.
+    snapshot: AtomicU64,
 }
 
 /// Per-flush accounting of one port's mesh exchange (summable across
@@ -724,8 +735,32 @@ pub struct MeshExchangeReport {
     pub envelopes_sent: u64,
     /// Inbox depth (envelopes drained) per delivering round.
     pub inbox_depths: Vec<u64>,
-    /// Wall time this port spent parked on the round barrier.
+    /// Wall time this port spent parked on the round barrier
+    /// (`barrier_arrive + barrier_depart`).
     pub barrier_wait: Duration,
+    /// Barrier time spent waiting for stragglers to arrive (protocol /
+    /// imbalance cost).
+    pub barrier_arrive: Duration,
+    /// Barrier time between the leader's release and this port actually
+    /// resuming (wakeup/scheduling latency).
+    pub barrier_depart: Duration,
+    /// The mesh barrier was poisoned mid-exchange (a peer worker died);
+    /// the session bailed out without reaching quiescence.
+    pub poisoned: bool,
+}
+
+/// A cloneable handle that poisons a mesh's round barrier from any
+/// thread. A dying worker (or the coordinator that noticed it die) uses
+/// this to make sure no surviving peer stays parked on the barrier
+/// waiting for an arrival that will never come.
+#[derive(Clone)]
+pub struct MeshPoisoner(Arc<MeshCore>);
+
+impl MeshPoisoner {
+    /// Poison the mesh barrier (idempotent, one-way).
+    pub fn poison(&self) {
+        self.0.barrier.poison();
+    }
 }
 
 /// One shard's endpoint of the peer-to-peer mailbox mesh: a direct
@@ -742,6 +777,9 @@ pub struct MailboxPort {
     inbox: Receiver<Vec<Envelope>>,
     core: Arc<MeshCore>,
     last_snapshot: u64,
+    /// This port's private sense flag for the mesh barrier (flipped every
+    /// round; see [`SenseBarrier`]).
+    sense: bool,
     /// Flight-recorder handle for this port's lane (the owning worker
     /// thread's), attached by the serve layer; `None` leaves the port
     /// uninstrumented.
@@ -752,8 +790,9 @@ pub struct MailboxPort {
 /// the returned vector belongs to shard `i`).
 pub fn build_mesh(shards: usize) -> Vec<MailboxPort> {
     let core = Arc::new(MeshCore {
-        barrier: Barrier::new(shards),
+        barrier: SenseBarrier::new(shards),
         sent: AtomicU64::new(0),
+        snapshot: AtomicU64::new(0),
     });
     let mut senders: Vec<Sender<Vec<Envelope>>> = Vec::with_capacity(shards);
     let mut inboxes: Vec<Receiver<Vec<Envelope>>> = Vec::with_capacity(shards);
@@ -775,6 +814,7 @@ pub fn build_mesh(shards: usize) -> Vec<MailboxPort> {
             inbox,
             core: Arc::clone(&core),
             last_snapshot: 0,
+            sense: false,
             trace: None,
         })
         .collect()
@@ -793,6 +833,25 @@ impl MailboxPort {
         self.trace = Some(trace);
     }
 
+    /// Poison the mesh barrier: every port currently parked (or arriving
+    /// later) bails out of its exchange with `poisoned` set. Called by a
+    /// dying worker so its peers do not wait forever for its arrival.
+    pub fn poison_mesh(&self) {
+        self.core.barrier.poison();
+    }
+
+    /// Whether the mesh barrier has been poisoned (some worker died).
+    pub fn mesh_poisoned(&self) -> bool {
+        self.core.barrier.is_poisoned()
+    }
+
+    /// Detachable poison handle for this port's mesh: poisons the round
+    /// barrier without borrowing the port, so a coordinator (or a worker's
+    /// panic guard) can unblock parked peers from another thread.
+    pub fn poisoner(&self) -> MeshPoisoner {
+        MeshPoisoner(Arc::clone(&self.core))
+    }
+
     /// Drive boundary exchange to quiescence, delivering envelopes
     /// directly to peer mailboxes. `first_out` is this shard's Phase-A
     /// outbox; corrections received along the way are applied to `state`
@@ -804,19 +863,26 @@ impl MailboxPort {
     /// 1. **send** — group the staged outbox by owner shard, send one
     ///    batch per peer with traffic, add the envelope count to the
     ///    shared monotone counter;
-    /// 2. **barrier** — after it, every send of this round is visible;
-    /// 3. **snapshot** — read the shared counter (no port can be sending
-    ///    here, so every port reads the same value);
-    /// 4. **barrier** — after it, ports may send again;
-    /// 5. if the snapshot did not advance, nothing was sent by anyone and
+    /// 2. **one barrier wait** — the last arriver (leader) copies the
+    ///    shared counter into the round-snapshot slot *inside the
+    ///    pre-release closure*: every send of the round is already counted
+    ///    (its port has arrived), no port can be sending (none released),
+    ///    and the release publishes the snapshot to every port. This is
+    ///    the single-barrier quiescence rule that replaced the old
+    ///    barrier/read/barrier sandwich;
+    /// 3. if the snapshot did not advance, nothing was sent by anyone and
     ///    everything previously sent was already drained: **quiescent**.
     ///    Otherwise drain the own mailbox, apply
     ///    ([`ShardRepairState::exchange`]), and loop.
     ///
     /// A batch sent early in step 1 may be drained by a peer still in its
-    /// *previous* round's step 5 — harmless, because the repaired fixed
+    /// *previous* round's step 3 — harmless, because the repaired fixed
     /// point is delivery-order independent and the counter tracks sends,
     /// not receipts (the accelerated round then just drains empty).
+    ///
+    /// If the mesh barrier is poisoned (a peer worker panicked), the
+    /// session bails out with `poisoned` set instead of waiting for an
+    /// arrival that will never come.
     pub fn exchange_to_quiescence(
         &mut self,
         state: &mut ShardRepairState,
@@ -826,6 +892,10 @@ impl MailboxPort {
         let mut mesh = MeshExchangeReport::default();
         let mut staged = first_out;
         loop {
+            if self.core.barrier.is_poisoned() {
+                mesh.poisoned = true;
+                return mesh;
+            }
             let mut by_peer: Vec<Vec<Envelope>> = vec![Vec::new(); self.peers.len()];
             for env in staged.drain(..) {
                 let owner = state.owner_of(env.to);
@@ -839,11 +909,18 @@ impl MailboxPort {
                 }
                 sent_now += batch.len() as u64;
                 mesh.batches_sent += 1;
-                self.peers[peer]
+                let delivered = self.peers[peer]
                     .as_ref()
                     .expect("no channel to self")
-                    .send(batch)
-                    .expect("peer mailbox alive");
+                    .send(batch);
+                if delivered.is_err() {
+                    // The peer's inbox is gone: its worker died. Poison the
+                    // mesh so every surviving port bails out too, instead
+                    // of deadlocking on an arrival that will never come.
+                    self.core.barrier.poison();
+                    mesh.poisoned = true;
+                    return mesh;
+                }
             }
             mesh.envelopes_sent += sent_now;
             if sent_now > 0 {
@@ -854,16 +931,40 @@ impl MailboxPort {
                 .as_ref()
                 .filter(|t| t.enabled())
                 .map(|t| t.now_ns());
-            let parked = Instant::now();
-            self.core.barrier.wait();
-            let snapshot = self.core.sent.load(Ordering::Acquire);
-            self.core.barrier.wait();
-            mesh.barrier_wait += parked.elapsed();
+            // Single barrier: the leader snapshots the sent counter in the
+            // pre-release slot (all arrived, none released), and the
+            // release's happens-before edge makes both the snapshot and
+            // every round send (mpsc batch + counter add sequenced before
+            // the sender's arrival) visible to every port.
+            let core = &*self.core;
+            let wait = core.barrier.wait_then(&mut self.sense, || {
+                core.snapshot
+                    .store(core.sent.load(Ordering::Acquire), Ordering::Relaxed);
+            });
+            if wait.poisoned {
+                mesh.poisoned = true;
+                return mesh;
+            }
+            let snapshot = core.snapshot.load(Ordering::Relaxed);
+            mesh.barrier_wait += wait.total();
+            mesh.barrier_arrive += wait.arrive;
+            mesh.barrier_depart += wait.depart;
             if let (Some(t), Some(t0)) = (&self.trace, bw_t0) {
+                let arrive_ns = wait.arrive.as_nanos() as u64;
+                let depart_ns = wait.depart.as_nanos() as u64;
+                // The total barrier_wait span, plus its two phases as
+                // adjacent sub-spans (arrive then depart).
                 t.record_span(
                     names::BARRIER_WAIT,
                     t0,
                     t.now_ns().saturating_sub(t0),
+                    mesh.rounds,
+                );
+                t.record_span(names::BARRIER_ARRIVE, t0, arrive_ns, mesh.rounds);
+                t.record_span(
+                    names::BARRIER_DEPART,
+                    t0 + arrive_ns,
+                    depart_ns,
                     mesh.rounds,
                 );
             }

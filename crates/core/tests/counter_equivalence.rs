@@ -13,7 +13,10 @@
 //!   deliver envelopes peer-to-peer over a [`build_mesh`] and each shard
 //!   folds its own deltas into its own [`CounterPartition`]; publish
 //!   barriers assemble interior counters + boundary-histogram merges via
-//!   [`assemble_partitioned_weights`].
+//!   [`assemble_partitioned_weights`]. Each publish also runs the
+//!   **dirty-diff** collect (ship only changed boundary histograms onto
+//!   a persistent coordinator cache, evicted on migration) and asserts
+//!   it assembles the identical weight list.
 //!
 //! Both must equal the centralized repair engine plus the full merge
 //! pass, under random edit/migration/barrier interleavings — any drift
@@ -180,6 +183,47 @@ fn exercise(seed: u64, rounds: &[(Vec<(VertexId, VertexId)>, u8)], parts: usize)
     );
 }
 
+/// The dirty-diff collect the mailbox engine runs at publish: every shard
+/// ships only boundary histograms changed since its last ship (plus
+/// first-time boundary entrants) and the coordinator overlays them onto a
+/// persistent `cache`. The assembled weight list must be bit-identical to
+/// the full-ship path's — that is the coherence contract between the
+/// worker-side `shipped`/`dirty` sets and the coordinator cache.
+fn assemble_dirty(
+    shards: &[ShardRepairState],
+    partitions: &mut [CounterPartition],
+    cache: &mut FxHashMap<VertexId, Vec<(Label, u32)>>,
+    graph: &AdjacencyGraph,
+    p: &Arc<dyn Partitioner>,
+) -> Vec<(VertexId, VertexId, f64)> {
+    let interior: Vec<Vec<(VertexId, VertexId, u64)>> = shards
+        .iter()
+        .zip(partitions.iter_mut())
+        .map(|(rows, part)| part.collect_interior(rows))
+        .collect();
+    for (rows, part) in shards.iter().zip(partitions.iter_mut()) {
+        let mut out = Vec::new();
+        let report = part.dirty_boundary_hists_into(rows, &mut out);
+        assert!(
+            report.shipped <= report.dirty,
+            "shipped {} histograms but only {} were dirty-marked",
+            report.shipped,
+            report.dirty
+        );
+        assert!(
+            report.shipped <= report.boundary,
+            "shipped {} histograms off a {}-vertex boundary",
+            report.shipped,
+            report.boundary
+        );
+        for (v, hist) in out {
+            cache.insert(v, hist);
+        }
+    }
+    let p = Arc::clone(p);
+    assemble_partitioned_weights(graph, move |v| p.assign(v), T_MAX + 1, &interior, cache)
+}
+
 /// The PR 5 harness: peer-to-peer delivery over a real threaded mesh,
 /// shard-owned counter upkeep, publish-barrier assembly. One script run
 /// at `parts` shards; migrations re-partition rows *and* counter slices;
@@ -201,6 +245,9 @@ fn exercise_mesh(seed: u64, rounds: &[(Vec<(VertexId, VertexId)>, u8)], parts: u
         .map(|rows| CounterPartition::carve(&genesis, rows))
         .collect();
     let mut ports = build_mesh(parts);
+    // Coordinator-side boundary-histogram cache for the dirty-diff
+    // collect, persistent across publishes, evicted on migration.
+    let mut cache: FxHashMap<VertexId, Vec<(Label, u32)>> = FxHashMap::default();
 
     let assemble = |shards: &[ShardRepairState],
                     partitions: &mut [CounterPartition],
@@ -237,6 +284,11 @@ fn exercise_mesh(seed: u64, rounds: &[(Vec<(VertexId, VertexId)>, u8)], parts: u
                     })
                     .collect();
                 partition.drop_vertices(&leaving);
+                // The coordinator invalidates its cache for migrating
+                // vertices; the adopter marks them dirty and re-ships.
+                for v in &leaving {
+                    cache.remove(v);
+                }
                 for (v, row) in shard.extract_rows(&leaving) {
                     in_flight[next.assign(v)].push((v, row));
                 }
@@ -289,16 +341,39 @@ fn exercise_mesh(seed: u64, rounds: &[(Vec<(VertexId, VertexId)>, u8)], parts: u
         });
         if control & 2 != 0 {
             // Publish barrier: assembled partitioned weights must equal a
-            // fresh merge of the centralized state.
+            // fresh merge of the centralized state — via the full-ship
+            // path and via the dirty-diff + cache path.
+            let reference = edge_weights(dg.graph(), &central);
             assert_weights_equal(
                 &assemble(&shards, &mut partitions, dg.graph(), &partitioner),
-                &edge_weights(dg.graph(), &central),
+                &reference,
+            );
+            assert_weights_equal(
+                &assemble_dirty(
+                    &shards,
+                    &mut partitions,
+                    &mut cache,
+                    dg.graph(),
+                    &partitioner,
+                ),
+                &reference,
             );
         }
     }
+    let reference = edge_weights(dg.graph(), &central);
     assert_weights_equal(
         &assemble(&shards, &mut partitions, dg.graph(), &partitioner),
-        &edge_weights(dg.graph(), &central),
+        &reference,
+    );
+    assert_weights_equal(
+        &assemble_dirty(
+            &shards,
+            &mut partitions,
+            &mut cache,
+            dg.graph(),
+            &partitioner,
+        ),
+        &reference,
     );
 }
 

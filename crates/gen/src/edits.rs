@@ -21,6 +21,81 @@ pub enum EditWorkload {
     Consolidating,
     /// Insertions across communities, deletions inside (erodes communities).
     Eroding,
+    /// All edits confined to a small contiguous vertex window (hot-spot
+    /// churn): most of the graph — and most shard boundaries — stays
+    /// untouched between publishes, which is the workload where
+    /// dirty-diff publish collects pay off.
+    Localized,
+}
+
+/// Localized hot-spot batch: every endpoint drawn from the window
+/// `[0, max(32, n/20))`. Deletions pick existing edges inside the window,
+/// insertions non-edges inside it; both fall back to slightly relaxed
+/// sampling (one endpoint in the window) if the dense little window runs
+/// out of candidates.
+pub fn localized_batch(graph: &AdjacencyGraph, size: usize, seed: u64) -> EditBatch {
+    let n = graph.num_vertices();
+    let window = (n / 20).max(32).min(n) as VertexId;
+    let mut rng = DetRng::new(seed);
+    let del_target = size / 2;
+    let ins_target = size - del_target;
+
+    // Deletions: shuffled scan of window-internal edges, relaxing to
+    // window-incident ones if the hot spot is too sparse.
+    let mut edges: Vec<(VertexId, VertexId)> = graph.edges().collect();
+    rng.shuffle(&mut edges);
+    let mut deletions = Vec::with_capacity(del_target);
+    for &(u, v) in &edges {
+        if deletions.len() == del_target {
+            break;
+        }
+        if u < window && v < window {
+            deletions.push((u, v));
+        }
+    }
+    for &(u, v) in &edges {
+        if deletions.len() == del_target {
+            break;
+        }
+        if (u < window || v < window) && !deletions.contains(&(u, v)) {
+            deletions.push((u, v));
+        }
+    }
+    assert!(
+        deletions.len() == del_target,
+        "graph too sparse around the hot-spot window for {del_target} deletions"
+    );
+
+    // Insertions: rejection-sample non-edges inside the window, relaxing
+    // one endpoint once the window saturates.
+    let excluded: rslpa_graph::FxHashSet<(VertexId, VertexId)> =
+        deletions.iter().copied().collect();
+    let mut insertions = Vec::with_capacity(ins_target);
+    let mut seen: rslpa_graph::FxHashSet<(VertexId, VertexId)> = Default::default();
+    let mut guard = 0usize;
+    while insertions.len() < ins_target {
+        guard += 1;
+        assert!(
+            guard < 1000 * ins_target + 100_000,
+            "localized insertion sampling stuck"
+        );
+        let relaxed = guard >= 100 * ins_target;
+        let u = rng.bounded(u64::from(window)) as VertexId;
+        let v = if relaxed {
+            rng.bounded(n as u64) as VertexId
+        } else {
+            rng.bounded(u64::from(window)) as VertexId
+        };
+        if u == v || graph.has_edge(u, v) {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if excluded.contains(&key) || !seen.insert(key) {
+            continue;
+        }
+        insertions.push(key);
+    }
+    EditBatch::from_lists(insertions, deletions)
 }
 
 /// The paper's uniform workload: `size/2` insertions + `size/2` deletions.
@@ -58,6 +133,9 @@ pub fn targeted_batch(
 ) -> EditBatch {
     if workload == EditWorkload::Uniform {
         return uniform_batch(graph, size, seed);
+    }
+    if workload == EditWorkload::Localized {
+        return localized_batch(graph, size, seed);
     }
     let n = graph.num_vertices();
     let memberships = cover.memberships(n);
@@ -273,6 +351,30 @@ mod tests {
             intra_del * 2 > erode.deletions().len(),
             "eroding batch should delete mostly intra"
         );
+    }
+
+    #[test]
+    fn localized_batch_confines_edits_to_the_window() {
+        let g = erdos_renyi(1000, 6000, 13);
+        let window = (1000 / 20).max(32) as VertexId; // 50
+        let b = localized_batch(&g, 60, 9);
+        assert!(b.validate(&g).is_ok());
+        assert_eq!(b.insertions().len() + b.deletions().len(), 60);
+        let touches_window = |&(u, v): &(VertexId, VertexId)| u < window || v < window;
+        assert!(b.insertions().iter().all(touches_window));
+        assert!(b.deletions().iter().all(touches_window));
+        // The unrelaxed path keeps *both* endpoints inside for most edits.
+        let fully_inside = b
+            .insertions()
+            .iter()
+            .chain(b.deletions())
+            .filter(|&&(u, v)| u < window && v < window)
+            .count();
+        assert!(fully_inside * 2 > 60, "only {fully_inside}/60 fully inside");
+        // Deterministic, and dispatched through targeted_batch.
+        assert_eq!(localized_batch(&g, 60, 9), localized_batch(&g, 60, 9));
+        let via_targeted = targeted_batch(&g, &Cover::default(), EditWorkload::Localized, 60, 9);
+        assert_eq!(via_targeted, b);
     }
 
     #[test]

@@ -278,11 +278,24 @@ impl MaintenanceLoop {
         self.dirty_since_snapshot = false;
         let publish_span = self.trace.span(names::PUBLISH);
         let started = Instant::now();
-        let detection = DetectionResult {
-            result: self
-                .engine
-                .refresh(&mut self.postprocess, &self.stats, &self.trace),
+        let result = match self
+            .engine
+            .refresh(&mut self.postprocess, &self.stats, &self.trace)
+        {
+            Ok(result) => result,
+            Err(err) => {
+                // A shard worker died. Skip this snapshot — readers keep
+                // the previous epoch — and leave the epoch dirty so the
+                // failure stays visible (and is retried, surfacing the
+                // same sticky error) instead of silently publishing a
+                // partial roster.
+                eprintln!("rslpa-serve: publish failed, keeping previous snapshot: {err}");
+                self.stats.note_publish_failure();
+                self.dirty_since_snapshot = true;
+                return;
+            }
         };
+        let detection = DetectionResult { result };
         let roster_span = self.trace.span(names::PUBLISH_ROSTER);
         let snapshot = CommunitySnapshot::build(
             self.store.latest_epoch() + 1,

@@ -38,7 +38,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use rslpa_core::shard::{
-    build_mesh, Envelope, MailboxPort, ShardFlushReport, ShardRepairState, VertexRowData,
+    build_mesh, Envelope, MailboxPort, MeshPoisoner, ShardFlushReport, ShardRepairState,
+    VertexRowData,
 };
 use rslpa_core::{
     assemble_partitioned_weights, result_from_weights, CounterPartition, IncrementalPostprocess,
@@ -172,7 +173,7 @@ fn worker_loop(
             }
             ShardCmd::Shutdown => break,
         }
-        stats.note_shard_cmd(idx, work_started.elapsed(), Duration::ZERO);
+        stats.note_shard_cmd(idx, work_started.elapsed(), Duration::ZERO, Duration::ZERO);
     }
     stats.set_shard_wall(idx, wall_started.elapsed());
 }
@@ -271,6 +272,20 @@ fn mesh_worker_loop(
 ) {
     let idx = state.shard();
     let wall_started = Instant::now();
+    // If this worker panics mid-command its peers could park on the mesh
+    // round barrier forever waiting for an arrival that will never come.
+    // Poison the barrier on the way out of an unwind so they bail with
+    // `poisoned` set instead (the coordinator then surfaces the failure
+    // as a publish error rather than a deadlock).
+    struct PoisonOnPanic(MeshPoisoner);
+    impl Drop for PoisonOnPanic {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                self.0.poison();
+            }
+        }
+    }
+    let _poison_guard = PoisonOnPanic(port.poisoner());
     // Boundary envelopes staged by the last Flush, awaiting the
     // coordinator's exchange decision. Non-empty only between a Flush
     // that staged traffic and the Exchange broadcast that must follow.
@@ -294,8 +309,11 @@ fn mesh_worker_loop(
         }
         let work_started = Instant::now();
         // Barrier and upkeep time are attributed separately from work, so
-        // the per-shard stats split "repairing" from "synchronizing".
-        let mut barrier = Duration::ZERO;
+        // the per-shard stats split "repairing" from "synchronizing" —
+        // and the barrier park further splits into arrive (stragglers)
+        // vs depart (wakeup latency).
+        let mut barrier_arrive = Duration::ZERO;
+        let mut barrier_depart = Duration::ZERO;
         let mut upkeep = Duration::ZERO;
         match cmd {
             MeshCmd::Flush { epoch, deltas } => {
@@ -348,7 +366,8 @@ fn mesh_worker_loop(
                         &mut report,
                     );
                     stats.note_mesh(&mesh.inbox_depths, mesh.barrier_wait);
-                    barrier = mesh.barrier_wait;
+                    barrier_arrive = mesh.barrier_arrive;
+                    barrier_depart = mesh.barrier_depart;
                     if replies
                         .send(MeshReply::Exchanged {
                             shard: idx,
@@ -367,7 +386,22 @@ fn mesh_worker_loop(
             MeshCmd::Collect => {
                 let _span = trace.span(names::COLLECT);
                 let interior = counters.collect_interior(&state);
-                let boundary_hists = counters.boundary_hists(&state);
+                // Ship only the boundary histograms that changed since the
+                // last collect (plus first-time boundary entrants); the
+                // coordinator overlays them onto its cache.
+                let mut boundary_hists = Vec::new();
+                let ship = counters.dirty_boundary_hists_into(&state, &mut boundary_hists);
+                let bytes = interior.len() as u64
+                    * std::mem::size_of::<(VertexId, VertexId, u64)>() as u64
+                    + boundary_hists
+                        .iter()
+                        .map(|(_, h)| {
+                            (std::mem::size_of::<VertexId>()
+                                + h.len() * std::mem::size_of::<(Label, u32)>())
+                                as u64
+                        })
+                        .sum::<u64>();
+                stats.note_collect(ship.shipped, ship.boundary, ship.dirty, bytes);
                 if replies
                     .send(MeshReply::Collected {
                         shard: idx,
@@ -406,12 +440,31 @@ fn mesh_worker_loop(
         }
         stats.note_shard_cmd(
             idx,
-            work_started.elapsed().saturating_sub(barrier + upkeep),
-            barrier,
+            work_started
+                .elapsed()
+                .saturating_sub(barrier_arrive + barrier_depart + upkeep),
+            barrier_arrive,
+            barrier_depart,
         );
     }
     stats.set_shard_wall(idx, wall_started.elapsed());
 }
+
+/// Why a publish failed: a shard worker died (its command channel closed,
+/// its reply never came, or an earlier failure already left the engine's
+/// collect bookkeeping unrecoverable). Surfaced to the maintenance loop,
+/// which logs it, skips the snapshot, and keeps the epoch dirty — instead
+/// of the panic-and-deadlock the old `expect` path produced.
+#[derive(Clone, Debug)]
+pub(crate) struct PublishError(pub(crate) String);
+
+impl std::fmt::Display for PublishError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for PublishError {}
 
 /// Single-writer engine: the pre-sharding maintenance path.
 pub(crate) struct SingleEngine {
@@ -454,6 +507,21 @@ pub(crate) struct MailboxEngine {
     draws: usize,
     /// τ1 grid threaded into publish-time threshold selection.
     grid: Option<f64>,
+    /// Publish-time boundary-histogram cache: vertex → the histogram its
+    /// owner last shipped. Workers ship only dirty diffs at collect; this
+    /// overlay reconstructs the full map `assemble_partitioned_weights`
+    /// needs. Entries are evicted when their vertex migrates — the
+    /// adopter marks it dirty and re-ships at the next collect.
+    hist_cache: FxHashMap<VertexId, Vec<(Label, u32)>>,
+    /// Sticky publish failure: once a worker dies mid-collect, the
+    /// shipped/dirty bookkeeping on the surviving workers no longer
+    /// matches `hist_cache` (their diffs were consumed but never cached),
+    /// so every later publish must fail too rather than assemble from a
+    /// stale overlay.
+    failed: Option<String>,
+    /// Poison handle for the workers' round barrier: unblocks peers
+    /// parked mid-exchange when a worker dies or the engine unwinds.
+    poisoner: MeshPoisoner,
 }
 
 /// The maintenance loop's repair backend.
@@ -559,7 +627,9 @@ impl RepairEngine {
                 let (reply_tx, replies) = std::sync::mpsc::channel();
                 let mut workers = Vec::with_capacity(shards);
                 let mut handles = Vec::with_capacity(shards);
-                for (s, mut port) in build_mesh(shards).into_iter().enumerate() {
+                let ports = build_mesh(shards);
+                let poisoner = ports[0].poisoner();
+                for (s, mut port) in ports.into_iter().enumerate() {
                     let shard = make_shard(s);
                     // Carve this worker's counter partition out of the
                     // genesis-refreshed central store, so the genesis
@@ -605,6 +675,9 @@ impl RepairEngine {
                     applied: AppliedBatch::default(),
                     draws: config.iterations + 1,
                     grid: config.tau1_grid,
+                    hist_cache: FxHashMap::default(),
+                    failed: None,
+                    poisoner,
                 })
             }
         };
@@ -706,20 +779,22 @@ impl RepairEngine {
     /// extraction over this epoch's weight list. The single-writer and
     /// coordinator engines read the central counter store; the mailbox
     /// engine collects its workers' partitions and assembles the list
-    /// (bit-identical either way).
+    /// (bit-identical either way). Fails — instead of panicking — when a
+    /// mailbox worker died; the caller skips the publish and keeps the
+    /// epoch dirty.
     pub(crate) fn refresh(
         &mut self,
         postprocess: &mut IncrementalPostprocess,
         stats: &ServeStats,
         trace: &TraceWriter,
-    ) -> PostprocessResult {
+    ) -> Result<PostprocessResult, PublishError> {
         match self {
             RepairEngine::Single(_) | RepairEngine::Sharded(_) => {
                 let _span = trace.span(names::PUBLISH_WEIGHTS);
                 let graph = self.graph();
                 // Split borrows: `self.graph()` borrows self immutably,
                 // postprocess is independent state.
-                postprocess.refresh(graph)
+                Ok(postprocess.refresh(graph))
             }
             RepairEngine::Mailbox(e) => e.collect_and_refresh(stats, trace),
         }
@@ -929,6 +1004,30 @@ impl MailboxEngine {
             .expect("mesh shard worker unresponsive (panicked?)")
     }
 
+    /// Fallible reply wait for the publish path: a timeout or closed
+    /// channel becomes an error value with phase context instead of a
+    /// panic.
+    fn try_recv_reply(&self, phase: &str) -> Result<MeshReply, String> {
+        self.replies
+            .recv_timeout(WORKER_REPLY_TIMEOUT)
+            .map_err(|e| {
+                format!(
+                    "mesh shard worker unresponsive during {phase}: {e} (worker died or panicked?)"
+                )
+            })
+    }
+
+    /// Record a publish failure: poison the mesh so no surviving worker
+    /// stays parked waiting for the dead one, and make the failure sticky
+    /// — the collect bookkeeping (worker-side shipped sets vs the
+    /// coordinator cache) is no longer coherent after a half-consumed
+    /// collect, so later publishes must not assemble from it.
+    fn fail(&mut self, why: String) -> PublishError {
+        self.poisoner.poison();
+        self.failed = Some(why.clone());
+        PublishError(why)
+    }
+
     /// One flush over the mesh: post deltas into the sub-queues of shards
     /// that have any, collect their Phase-A replies, and wake the full
     /// mesh for direct peer exchange only if someone staged boundary
@@ -1029,27 +1128,48 @@ impl MailboxEngine {
     }
 
     /// Publish-time weight assembly: collect every worker's interior-edge
-    /// counters and boundary-vertex histograms, stitch the canonical
+    /// counters and **dirty** boundary-vertex histograms, overlay the
+    /// diffs onto the persistent `hist_cache`, stitch the canonical
     /// weight list (boundary edges merged here, per the ownership rule),
-    /// and run threshold selection + extraction.
+    /// and run threshold selection + extraction. The cache makes the map
+    /// handed to [`assemble_partitioned_weights`] identical to what a
+    /// ship-everything collect would build: an entry is only *absent*
+    /// from a worker's diff when that worker already shipped the current
+    /// histogram (its `shipped` set mirrors this cache), and migration
+    /// evicts here while marking dirty on the adopter.
+    ///
+    /// Fails with context — instead of panicking — when a worker died;
+    /// the failure is sticky (see [`MailboxEngine::fail`]).
     fn collect_and_refresh(
         &mut self,
         stats: &ServeStats,
         trace: &TraceWriter,
-    ) -> PostprocessResult {
+    ) -> Result<PostprocessResult, PublishError> {
+        if let Some(why) = &self.failed {
+            return Err(PublishError(format!(
+                "publish disabled after earlier failure: {why}"
+            )));
+        }
         let shards = self.workers.len();
         let mut hops = 0u64;
         let mut interior: Vec<Vec<(VertexId, VertexId, u64)>> = vec![Vec::new(); shards];
-        let mut boundary_hists: FxHashMap<VertexId, Vec<(Label, u32)>> = FxHashMap::default();
         {
             let _span = trace.span_with(names::PUBLISH_COLLECT, shards as u64);
-            for worker in &self.workers {
+            for s in 0..shards {
                 hops += 1;
-                worker.send(MeshCmd::Collect).expect("mesh worker alive");
+                if self.workers[s].send(MeshCmd::Collect).is_err() {
+                    return Err(self.fail(format!(
+                        "mesh worker {s} dead at publish collect (command channel closed)"
+                    )));
+                }
             }
             for _ in 0..shards {
                 hops += 1;
-                match self.recv_reply() {
+                let reply = match self.try_recv_reply("publish collect") {
+                    Ok(reply) => reply,
+                    Err(why) => return Err(self.fail(why)),
+                };
+                match reply {
                     MeshReply::Collected {
                         shard,
                         interior: part,
@@ -1057,10 +1177,14 @@ impl MailboxEngine {
                     } => {
                         interior[shard] = part;
                         for (v, hist) in hists {
-                            boundary_hists.insert(v, hist);
+                            self.hist_cache.insert(v, hist);
                         }
                     }
-                    _ => unreachable!("only collects in flight during publish"),
+                    _ => {
+                        return Err(
+                            self.fail("unexpected reply kind during publish collect".to_string())
+                        )
+                    }
                 }
             }
         }
@@ -1073,9 +1197,9 @@ impl MailboxEngine {
             |v| partitioner.assign(v),
             self.draws,
             &interior,
-            &boundary_hists,
+            &self.hist_cache,
         );
-        result_from_weights(graph.num_vertices(), wlist, self.grid)
+        Ok(result_from_weights(graph.num_vertices(), wlist, self.grid))
     }
 
     /// Re-plan ownership stickily around `cover` and migrate rows *and*
@@ -1100,6 +1224,11 @@ impl MailboxEngine {
             if old != next.assign(v) {
                 leaving[old].push(v);
                 moved += 1;
+                // Invalidate the publish cache for migrating vertices: the
+                // old owner forgets them (`drop_vertices`) and the adopter
+                // marks them dirty, so the next collect re-ships a fresh
+                // histogram to fill this slot back in.
+                self.hist_cache.remove(&v);
             }
         }
         // Even a zero-move re-plan installs the new map everywhere:
@@ -1145,20 +1274,119 @@ impl MailboxEngine {
     }
 }
 
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    fn mesh_engine(shards: usize) -> (RepairEngine, IncrementalPostprocess, Arc<ServeStats>) {
+        let graph = AdjacencyGraph::from_edges(
+            12,
+            [
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+                (2, 3),
+                (6, 7),
+                (7, 8),
+                (6, 8),
+                (9, 10),
+                (10, 11),
+                (9, 11),
+                (8, 9),
+                (5, 6),
+            ],
+        );
+        let config = RslpaConfig::quick(20, 7);
+        let stats = Arc::new(ServeStats::with_shards(shards));
+        let tracer = Arc::new(Tracer::disabled());
+        let boot = RepairEngine::bootstrap(
+            graph,
+            &config,
+            shards,
+            ExchangeMode::Mailbox,
+            &stats,
+            &tracer,
+        );
+        (boot.engine, boot.postprocess, stats)
+    }
+
+    /// Satellite: a dead mesh worker fails the publish with context (and
+    /// stays failed) instead of panicking the maintenance thread.
+    #[test]
+    fn dead_mesh_worker_fails_publish_instead_of_panicking() {
+        let (mut engine, mut postprocess, stats) = mesh_engine(2);
+        let trace = Arc::new(Tracer::disabled()).writer(0);
+        // A healthy publish first: the error path must not fire spuriously.
+        assert!(engine.refresh(&mut postprocess, &stats, &trace).is_ok());
+        let RepairEngine::Mailbox(e) = &mut engine else {
+            unreachable!("shards > 1 bootstraps the mailbox engine")
+        };
+        // Kill worker 0 and wait for its channel to actually close, as if
+        // it had died of a panic.
+        e.workers[0].send(MeshCmd::Shutdown).unwrap();
+        e.handles.remove(0).join().unwrap();
+        let err = engine
+            .refresh(&mut postprocess, &stats, &trace)
+            .expect_err("publish with a dead worker must fail");
+        assert!(err.0.contains("mesh worker 0 dead"), "got: {}", err.0);
+        // The failure is sticky: the collect bookkeeping is torn, so a
+        // retry reports the original cause rather than assembling stale
+        // weights.
+        let err = engine
+            .refresh(&mut postprocess, &stats, &trace)
+            .expect_err("publish must stay failed");
+        assert!(err.0.contains("earlier failure"), "got: {}", err.0);
+        // Dropping the engine (with one worker gone and the mesh poisoned)
+        // must not hang the test.
+    }
+
+    /// The dirty-diff collect ships every boundary histogram once, then
+    /// nothing while the label state is quiescent — and the detection
+    /// output stays bit-identical to the first (full) collect's.
+    #[test]
+    fn quiescent_collect_ships_no_histograms() {
+        let (mut engine, mut postprocess, stats) = mesh_engine(2);
+        let trace = Arc::new(Tracer::disabled()).writer(0);
+        let first = engine.refresh(&mut postprocess, &stats, &trace).unwrap();
+        let shipped = stats.boundary_hists_shipped.load(Ordering::Relaxed);
+        let total = stats.boundary_hists_total.load(Ordering::Relaxed);
+        assert!(shipped > 0, "first collect ships the full boundary");
+        assert_eq!(
+            shipped, total,
+            "nothing was cached before the first collect"
+        );
+        let second = engine.refresh(&mut postprocess, &stats, &trace).unwrap();
+        assert_eq!(
+            stats.boundary_hists_shipped.load(Ordering::Relaxed),
+            shipped,
+            "no label changed, so no histogram re-ships"
+        );
+        assert_eq!(
+            stats.boundary_hists_total.load(Ordering::Relaxed),
+            2 * total,
+            "the ship-everything baseline doubles"
+        );
+        assert_eq!(first.cover, second.cover, "cache-assembled cover drifted");
+    }
+}
+
 impl Drop for MailboxEngine {
     fn drop(&mut self) {
         for worker in &self.workers {
             let _ = worker.send(MeshCmd::Shutdown);
         }
-        // If we are unwinding (a worker died and `recv_reply` timed out),
-        // the surviving workers may be parked forever on the mesh round
-        // barrier — `std::sync::Barrier` has no poisoning, so joining
-        // them would hang the maintenance thread's unwind and leave every
-        // client blocked instead of seeing `ServiceClosed`. Detach them:
-        // leaked parked threads are the recoverable failure mode.
-        if std::thread::panicking() {
-            self.handles.clear();
-            return;
+        // If a worker died or we are unwinding, survivors may be parked
+        // on the mesh round barrier waiting for an arrival that will
+        // never come. The sense barrier poisons: wake them so they bail
+        // out of the exchange, observe the Shutdown above, and exit —
+        // joining can no longer hang, even mid-panic (a dead worker's
+        // handle joins immediately with its panic payload).
+        if std::thread::panicking() || self.failed.is_some() {
+            self.poisoner.poison();
         }
         for handle in self.handles.drain(..) {
             let _ = handle.join();

@@ -242,6 +242,13 @@ pub struct ShardStats {
     pub mailbox_wait_ns: AtomicU64,
     /// Wall nanoseconds the worker spent parked at mesh round barriers.
     pub barrier_wait_ns: AtomicU64,
+    /// Of `barrier_wait_ns`, the arrive phase: parked until the round's
+    /// last participant arrived (straggler / load-imbalance cost).
+    pub barrier_arrive_ns: AtomicU64,
+    /// Of `barrier_wait_ns`, the depart phase: between the leader's
+    /// release and this worker resuming (wakeup/scheduling latency —
+    /// dominates when workers outnumber cores).
+    pub barrier_depart_ns: AtomicU64,
     /// Gauge: total wall nanoseconds of the worker's command loop, set
     /// once at shutdown. `work + mailbox_wait + barrier_wait + upkeep`
     /// should account for ≥ 90% of it — the rest is loop bookkeeping.
@@ -265,6 +272,10 @@ pub struct ShardCounts {
     pub mailbox_wait_ns: u64,
     /// See [`ShardStats::barrier_wait_ns`].
     pub barrier_wait_ns: u64,
+    /// See [`ShardStats::barrier_arrive_ns`].
+    pub barrier_arrive_ns: u64,
+    /// See [`ShardStats::barrier_depart_ns`].
+    pub barrier_depart_ns: u64,
     /// See [`ShardStats::wall_ns`].
     pub wall_ns: u64,
 }
@@ -323,6 +334,23 @@ pub struct ServeStats {
     pub exchange_rounds: AtomicU64,
     /// Envelopes that crossed a shard boundary.
     pub boundary_msgs: AtomicU64,
+    /// Boundary-vertex histograms actually shipped by publish collects
+    /// (dirty diffs only; ≤ `boundary_hists_total`).
+    pub boundary_hists_shipped: AtomicU64,
+    /// Boundary-vertex histograms a ship-everything collect would have
+    /// sent (Σ boundary vertices over all collects — the dirty-diff
+    /// savings denominator).
+    pub boundary_hists_total: AtomicU64,
+    /// Boundary vertices whose histogram was dirty (changed since last
+    /// ship, or never shipped) at collect time. `boundary_hists_shipped`
+    /// never exceeds this — the coherence invariant the CI smoke gates.
+    pub boundary_dirty_marked: AtomicU64,
+    /// Approximate payload bytes of publish-collect replies (interior
+    /// counter triples + shipped histograms).
+    pub collect_bytes: AtomicU64,
+    /// Publishes abandoned because a shard worker died; the snapshot is
+    /// skipped and the epoch stays dirty.
+    pub publish_failures: AtomicU64,
     /// Channel `send`s spent on flush coordination and boundary delivery
     /// (commands, replies, and peer batches all count 1 each).
     pub channel_hops: AtomicU64,
@@ -389,6 +417,11 @@ impl ServeStats {
             barriers: AtomicU64::new(0),
             exchange_rounds: AtomicU64::new(0),
             boundary_msgs: AtomicU64::new(0),
+            boundary_hists_shipped: AtomicU64::new(0),
+            boundary_hists_total: AtomicU64::new(0),
+            boundary_dirty_marked: AtomicU64::new(0),
+            collect_bytes: AtomicU64::new(0),
+            publish_failures: AtomicU64::new(0),
             channel_hops: AtomicU64::new(0),
             envelope_hops: AtomicU64::new(0),
             mailbox_depth: LatencyHistogram::new(),
@@ -452,14 +485,38 @@ impl ServeStats {
         bump!(self.slot_deltas_net, net_deltas);
     }
 
-    /// One worker command's active-processing and barrier-park time.
-    pub(crate) fn note_shard_cmd(&self, shard: usize, work: Duration, barrier: Duration) {
+    /// One worker command's active-processing and barrier-park time, the
+    /// park split into its arrive (waiting for stragglers) and depart
+    /// (release-to-resume wakeup latency) phases. The `barrier_wait_ns`
+    /// total stays their sum so attribution coverage is unchanged.
+    pub(crate) fn note_shard_cmd(
+        &self,
+        shard: usize,
+        work: Duration,
+        barrier_arrive: Duration,
+        barrier_depart: Duration,
+    ) {
+        let ns = |d: Duration| d.as_nanos().min(u128::from(u64::MAX)) as u64;
         let s = &self.shards[shard];
-        bump!(s.work_ns, work.as_nanos().min(u128::from(u64::MAX)) as u64);
-        bump!(
-            s.barrier_wait_ns,
-            barrier.as_nanos().min(u128::from(u64::MAX)) as u64
-        );
+        bump!(s.work_ns, ns(work));
+        bump!(s.barrier_wait_ns, ns(barrier_arrive) + ns(barrier_depart));
+        bump!(s.barrier_arrive_ns, ns(barrier_arrive));
+        bump!(s.barrier_depart_ns, ns(barrier_depart));
+    }
+
+    /// One worker's publish-collect ship accounting: histograms shipped
+    /// (dirty diff), boundary total (ship-everything baseline), dirty
+    /// marks consumed, and approximate reply payload bytes.
+    pub(crate) fn note_collect(&self, shipped: u64, boundary_total: u64, dirty: u64, bytes: u64) {
+        bump!(self.boundary_hists_shipped, shipped);
+        bump!(self.boundary_hists_total, boundary_total);
+        bump!(self.boundary_dirty_marked, dirty);
+        bump!(self.collect_bytes, bytes);
+    }
+
+    /// A publish was abandoned because a shard worker died.
+    pub(crate) fn note_publish_failure(&self) {
+        bump!(self.publish_failures);
     }
 
     /// Time one worker spent blocked on its command sub-queue.
@@ -539,6 +596,11 @@ impl ServeStats {
             barriers: self.barriers.load(Ordering::Relaxed),
             exchange_rounds: self.exchange_rounds.load(Ordering::Relaxed),
             boundary_msgs: self.boundary_msgs.load(Ordering::Relaxed),
+            boundary_hists_shipped: self.boundary_hists_shipped.load(Ordering::Relaxed),
+            boundary_hists_total: self.boundary_hists_total.load(Ordering::Relaxed),
+            boundary_dirty_marked: self.boundary_dirty_marked.load(Ordering::Relaxed),
+            collect_bytes: self.collect_bytes.load(Ordering::Relaxed),
+            publish_failures: self.publish_failures.load(Ordering::Relaxed),
             channel_hops: self.channel_hops.load(Ordering::Relaxed),
             envelope_hops: self.envelope_hops.load(Ordering::Relaxed),
             mailbox_depth: self.mailbox_depth.summarize(),
@@ -573,6 +635,8 @@ impl ServeStats {
                     work_ns: s.work_ns.load(Ordering::Relaxed),
                     mailbox_wait_ns: s.mailbox_wait_ns.load(Ordering::Relaxed),
                     barrier_wait_ns: s.barrier_wait_ns.load(Ordering::Relaxed),
+                    barrier_arrive_ns: s.barrier_arrive_ns.load(Ordering::Relaxed),
+                    barrier_depart_ns: s.barrier_depart_ns.load(Ordering::Relaxed),
                     wall_ns: s.wall_ns.load(Ordering::Relaxed),
                 })
                 .collect(),
@@ -612,6 +676,16 @@ pub struct StatsReport {
     pub exchange_rounds: u64,
     /// See [`ServeStats::boundary_msgs`].
     pub boundary_msgs: u64,
+    /// See [`ServeStats::boundary_hists_shipped`].
+    pub boundary_hists_shipped: u64,
+    /// See [`ServeStats::boundary_hists_total`].
+    pub boundary_hists_total: u64,
+    /// See [`ServeStats::boundary_dirty_marked`].
+    pub boundary_dirty_marked: u64,
+    /// See [`ServeStats::collect_bytes`].
+    pub collect_bytes: u64,
+    /// See [`ServeStats::publish_failures`].
+    pub publish_failures: u64,
     /// See [`ServeStats::channel_hops`].
     pub channel_hops: u64,
     /// See [`ServeStats::envelope_hops`].
@@ -656,7 +730,12 @@ impl StatsReport {
     /// Render as a JSON object fragment (no external deps; all fields are
     /// numbers, so no escaping is needed). The shape is versioned via
     /// `schema_version`; version 2 added the `attribution_per_shard`
-    /// block, `trace_dropped_records`, and `saturated_samples`.
+    /// block, `trace_dropped_records`, and `saturated_samples`; version 3
+    /// split the per-shard barrier wait into `barrier_arrive_us` /
+    /// `barrier_depart_us` (their sum is `barrier_wait_us`) and added the
+    /// publish-collect counters `boundary_hists_shipped`,
+    /// `boundary_hists_total`, `boundary_dirty_marked`, `collect_bytes`,
+    /// and `publish_failures`.
     pub fn to_json(&self) -> String {
         let join = |f: fn(&ShardCounts) -> u64| -> String {
             self.shards
@@ -680,17 +759,21 @@ impl StatsReport {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "{{\"schema_version\":2,\
+            "{{\"schema_version\":3,\
              \"edits_enqueued\":{},\"edits_applied\":{},\"edits_rejected\":{},\
              \"batches_flushed\":{},\"snapshots_published\":{},\"slots_repaired\":{},\
              \"slot_deltas_net\":{},\"barriers\":{},\
              \"shards\":{},\"shard_edits_routed\":[{}],\"shard_slots_repaired\":[{}],\
              \"upkeep_per_shard\":{{\"deltas\":[{}],\"ns\":[{}]}},\
              \"attribution_per_shard\":{{\"work_us\":[{}],\"barrier_wait_us\":[{}],\
+             \"barrier_arrive_us\":[{}],\"barrier_depart_us\":[{}],\
              \"mailbox_wait_us\":[{}],\"upkeep_us\":[{}],\"wall_us\":[{}],\
              \"coverage\":[{}]}},\
              \"trace_dropped_records\":{},\"saturated_samples\":{},\
              \"exchange_rounds\":{},\"boundary_msgs\":{},\
+             \"boundary_hists_shipped\":{},\"boundary_hists_total\":{},\
+             \"boundary_dirty_marked\":{},\"collect_bytes\":{},\
+             \"publish_failures\":{},\
              \"channel_hops\":{},\"envelope_hops\":{},\
              \"mailbox_depth\":{{\"count\":{},\"p50\":{},\"p99\":{},\"max\":{}}},\
              \"barrier_wait_us\":{{\"count\":{},\"mean\":{:.3},\"p50\":{:.3},\"p99\":{:.3}}},\
@@ -719,6 +802,8 @@ impl StatsReport {
             join(|s| s.upkeep_ns),
             join_us(|s| s.work_ns),
             join_us(|s| s.barrier_wait_ns),
+            join_us(|s| s.barrier_arrive_ns),
+            join_us(|s| s.barrier_depart_ns),
             join_us(|s| s.mailbox_wait_ns),
             join_us(|s| s.upkeep_ns),
             join_us(|s| s.wall_ns),
@@ -727,6 +812,11 @@ impl StatsReport {
             self.saturated_samples,
             self.exchange_rounds,
             self.boundary_msgs,
+            self.boundary_hists_shipped,
+            self.boundary_hists_total,
+            self.boundary_dirty_marked,
+            self.collect_bytes,
+            self.publish_failures,
             self.channel_hops,
             self.envelope_hops,
             self.mailbox_depth.count,
@@ -798,6 +888,17 @@ impl std::fmt::Display for StatsReport {
                 self.mailbox_depth.p99_ns,
                 self.barrier_wait.p99_ns as f64 / 1e3,
             )?;
+            if self.boundary_hists_total > 0 {
+                writeln!(
+                    f,
+                    "publish collect: {} of {} boundary hists shipped ({} dirty-marked), ~{:.1} KiB; {} publish failures",
+                    self.boundary_hists_shipped,
+                    self.boundary_hists_total,
+                    self.boundary_dirty_marked,
+                    self.collect_bytes as f64 / 1024.0,
+                    self.publish_failures,
+                )?;
+            }
             for (i, s) in self.shards.iter().enumerate() {
                 writeln!(
                     f,
@@ -810,10 +911,13 @@ impl std::fmt::Display for StatsReport {
                 if s.wall_ns > 0 {
                     writeln!(
                         f,
-                        "    attribution: work {:.2}ms, barrier {:.2}ms, mailbox {:.2}ms, \
+                        "    attribution: work {:.2}ms, barrier {:.2}ms \
+                         (arrive {:.2} / depart {:.2}), mailbox {:.2}ms, \
                          upkeep {:.2}ms of {:.2}ms wall ({:.1}% accounted)",
                         s.work_ns as f64 / 1e6,
                         s.barrier_wait_ns as f64 / 1e6,
+                        s.barrier_arrive_ns as f64 / 1e6,
+                        s.barrier_depart_ns as f64 / 1e6,
                         s.mailbox_wait_ns as f64 / 1e6,
                         s.upkeep_ns as f64 / 1e6,
                         s.wall_ns as f64 / 1e6,
@@ -992,7 +1096,12 @@ mod tests {
     #[test]
     fn attribution_rolls_into_json_and_coverage() {
         let stats = ServeStats::with_shards(2);
-        stats.note_shard_cmd(0, Duration::from_micros(600), Duration::from_micros(150));
+        stats.note_shard_cmd(
+            0,
+            Duration::from_micros(600),
+            Duration::from_micros(100),
+            Duration::from_micros(50),
+        );
         stats.note_shard_mailbox_wait(0, Duration::from_micros(200));
         stats.note_shard_upkeep(0, 3, Duration::from_micros(40));
         stats.set_shard_wall(0, Duration::from_micros(1_000));
@@ -1000,18 +1109,42 @@ mod tests {
         let s0 = &r.shards[0];
         assert_eq!(s0.work_ns, 600_000);
         assert_eq!(s0.barrier_wait_ns, 150_000);
+        assert_eq!(s0.barrier_arrive_ns, 100_000);
+        assert_eq!(s0.barrier_depart_ns, 50_000);
         assert_eq!(s0.mailbox_wait_ns, 200_000);
         assert_eq!(s0.wall_ns, 1_000_000);
         assert!((s0.attribution_coverage() - 0.99).abs() < 1e-9);
         assert_eq!(r.shards[1].attribution_coverage(), 0.0);
         let json = r.to_json();
-        assert!(json.starts_with("{\"schema_version\":2,"));
+        assert!(json.starts_with("{\"schema_version\":3,"));
         assert!(json.contains("\"attribution_per_shard\":{\"work_us\":[600.0,0.0]"));
         assert!(json.contains("\"barrier_wait_us\":[150.0,0.0]"));
+        assert!(json.contains("\"barrier_arrive_us\":[100.0,0.0]"));
+        assert!(json.contains("\"barrier_depart_us\":[50.0,0.0]"));
         assert!(json.contains("\"mailbox_wait_us\":[200.0,0.0]"));
         assert!(json.contains("\"wall_us\":[1000.0,0.0]"));
         assert!(json.contains("\"coverage\":[0.990,0.000]"));
         assert!(json.contains("\"trace_dropped_records\":0"));
+    }
+
+    #[test]
+    fn collect_counters_roll_into_json() {
+        let stats = ServeStats::with_shards(2);
+        stats.note_collect(3, 40, 5, 2_048);
+        stats.note_collect(1, 40, 1, 512);
+        stats.note_publish_failure();
+        let r = stats.report();
+        assert_eq!(r.boundary_hists_shipped, 4);
+        assert_eq!(r.boundary_hists_total, 80);
+        assert_eq!(r.boundary_dirty_marked, 6);
+        assert_eq!(r.collect_bytes, 2_560);
+        assert_eq!(r.publish_failures, 1);
+        let json = r.to_json();
+        assert!(json.contains("\"boundary_hists_shipped\":4"));
+        assert!(json.contains("\"boundary_hists_total\":80"));
+        assert!(json.contains("\"boundary_dirty_marked\":6"));
+        assert!(json.contains("\"collect_bytes\":2560"));
+        assert!(json.contains("\"publish_failures\":1"));
     }
 
     #[test]

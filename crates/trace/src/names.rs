@@ -22,10 +22,12 @@
 //! | 11 | `shard_flush`     | worker      | applying a routed delta batch (phase A)       |
 //! | 12 | `exchange`        | worker      | one exchange session (all rounds)             |
 //! | 13 | `exchange_round`  | worker      | one mesh round: drain inbox, step, send       |
-//! | 14 | `barrier_wait`    | worker      | parked at the two round barriers              |
+//! | 14 | `barrier_wait`    | worker      | parked at the mesh round barrier (total)      |
 //! | 15 | `upkeep`          | worker      | shard-owned counter-partition upkeep          |
 //! | 16 | `collect`         | worker      | packaging state for a publish collect         |
 //! | 17 | `migrate`         | worker      | extract/adopt row migration                   |
+//! | 18 | `barrier_arrive`  | worker      | barrier phase: waiting for stragglers         |
+//! | 19 | `barrier_depart`  | worker      | barrier phase: release-to-resume latency      |
 //!
 //! [`pop`]: https://doc.rust-lang.org/std/sync/mpsc/
 
@@ -57,7 +59,7 @@ pub const SHARD_FLUSH: u16 = 11;
 pub const EXCHANGE: u16 = 12;
 /// Worker lane: one mesh round (drain inbox, step vertices, send).
 pub const EXCHANGE_ROUND: u16 = 13;
-/// Worker lane: parked at the mesh round barriers.
+/// Worker lane: parked at the mesh round barrier (arrive + depart).
 pub const BARRIER_WAIT: u16 = 14;
 /// Worker lane: shard-owned counter-partition upkeep.
 pub const UPKEEP: u16 = 15;
@@ -65,6 +67,12 @@ pub const UPKEEP: u16 = 15;
 pub const COLLECT: u16 = 16;
 /// Worker lane: extract/adopt row migration during repartitioning.
 pub const MIGRATE: u16 = 17;
+/// Worker lane: barrier arrive phase — blocked until the round's leader
+/// released (waiting for stragglers; protocol/imbalance cost).
+pub const BARRIER_ARRIVE: u16 = 18;
+/// Worker lane: barrier depart phase — between the leader's release and
+/// this thread resuming (wakeup/scheduling latency).
+pub const BARRIER_DEPART: u16 = 19;
 
 /// The interned name table, indexed by span id.
 pub const NAMES: &[&str] = &[
@@ -86,6 +94,8 @@ pub const NAMES: &[&str] = &[
     "upkeep",
     "collect",
     "migrate",
+    "barrier_arrive",
+    "barrier_depart",
 ];
 
 /// Resolve a span id to its interned name (`"?"` for out-of-table ids,

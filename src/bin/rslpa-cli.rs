@@ -41,7 +41,7 @@
 //!
 //! | field | meaning |
 //! |-------|---------|
-//! | `schema_version` | shape version of this object; 2 added `attribution_per_shard`, `trace_dropped_records`, and `saturated_samples` |
+//! | `schema_version` | shape version of this object; 2 added `attribution_per_shard`, `trace_dropped_records`, and `saturated_samples`; 3 split barrier attribution into arrive/depart and added the publish-collect counters (`boundary_hists_*`, `collect_bytes`, `publish_failures`) |
 //! | `edits_enqueued` | ops accepted into the ingestion queue |
 //! | `edits_applied` | ops that survived net-resolution and hit the graph |
 //! | `edits_rejected` | no-op ops (duplicate insert, absent delete, self-loop) |
@@ -56,6 +56,11 @@
 //! | `upkeep_per_shard` | object: per-shard `deltas` folded / wall `ns` of shard-owned counter upkeep (zeros when upkeep is coordinator-central) |
 //! | `exchange_rounds` | boundary-exchange rounds (coordinator-relayed or mesh) |
 //! | `boundary_msgs` | envelopes that crossed a shard boundary |
+//! | `boundary_hists_shipped` | boundary histograms actually shipped to the coordinator at publish (the dirty diff) |
+//! | `boundary_hists_total` | boundary histogram slots a full (non-incremental) collect would have shipped |
+//! | `boundary_dirty_marked` | boundary vertices dirty at ship time plus first-time ships; `boundary_hists_shipped` ≤ this always holds (the CI gate) |
+//! | `collect_bytes` | approximate bytes of interior-counter + boundary-histogram payload shipped at publish |
+//! | `publish_failures` | publishes abandoned because a mesh worker died or stopped responding (the previous snapshot stays served) |
 //! | `channel_hops` | channel sends spent on coordination + boundary delivery |
 //! | `envelope_hops` | Σ channels traversed by boundary envelopes (2/envelope via the coordinator relay, 1 over the mailbox mesh) |
 //! | `mailbox_depth` | object: `count`/`p50`/`p99`/`max` of envelopes one shard drained per mesh round |
@@ -64,7 +69,7 @@
 //! | `boundary_vertices` | gauge: vertices with an off-shard neighbor |
 //! | `repartitions` | publish-time ownership re-plans performed |
 //! | `vertices_migrated` | vertex rows moved between shards by re-plans |
-//! | `attribution_per_shard` | object of per-shard arrays — `work_us`, `barrier_wait_us`, `mailbox_wait_us`, `upkeep_us`, `wall_us`, `coverage` — attributing each worker's wall time; `coverage` is the accounted fraction (work + waits + upkeep over wall) |
+//! | `attribution_per_shard` | object of per-shard arrays — `work_us`, `barrier_wait_us`, `barrier_arrive_us`, `barrier_depart_us`, `mailbox_wait_us`, `upkeep_us`, `wall_us`, `coverage` — attributing each worker's wall time; `barrier_wait_us` = arrive (waiting for stragglers) + depart (release-to-resume latency); `coverage` is the accounted fraction (work + waits + upkeep over wall) |
 //! | `trace_dropped_records` | flight-recorder records overwritten before the final drain (always 0 with tracing off) |
 //! | `saturated_samples` | histogram samples that clamped into the top log₂ bucket (≥ 2⁶³), across all histograms |
 //!
