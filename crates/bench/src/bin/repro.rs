@@ -6,12 +6,13 @@
 //! cargo run -p rslpa-bench --release --bin repro -- fig7b --paper-scale
 //! ```
 
+use rslpa_bench::exp_churn::ChurnWorkload;
 use rslpa_bench::exp_scale::ScaleWorkload;
 use rslpa_bench::exp_serve::ServeWorkload;
 use rslpa_bench::exp_weights::WeightsWorkload;
 use rslpa_bench::{
-    exp_ablations, exp_barrier, exp_dynamic, exp_scale, exp_serve, exp_synthetic, exp_trace,
-    exp_voting, exp_web, exp_weights, Scale,
+    exp_ablations, exp_barrier, exp_churn, exp_dynamic, exp_scale, exp_serve, exp_synthetic,
+    exp_trace, exp_voting, exp_web, exp_weights, Scale,
 };
 
 const EXPERIMENTS: &[(&str, &str)] = &[
@@ -65,6 +66,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "barrier",
         "mesh round-barrier micro-bench: 2x std::Barrier vs 1x SenseBarrier per round (folds into BENCH_serve.json)",
     ),
+    (
+        "churn",
+        "adversarial churn suite: named break-it scenarios x shards {1,4} x both engines, roster quality scored per window (emits BENCH_churn.json)",
+    ),
 ];
 
 fn run(id: &str, scale: &Scale) -> bool {
@@ -98,6 +103,7 @@ fn run(id: &str, scale: &Scale) -> bool {
         "scale" => exp_scale::scale(&ScaleWorkload::full(), "BENCH_serve.json"),
         "trace" => exp_trace::trace(false, "BENCH_serve.json", "BENCH_trace.json"),
         "barrier" => exp_barrier::barrier("BENCH_serve.json"),
+        "churn" => exp_churn::churn(&ChurnWorkload::full(), "BENCH_churn.json"),
         _ => return false,
     }
     true
@@ -192,6 +198,9 @@ fn usage() {
     eprintln!("weights options: --out FILE");
     eprintln!("scale options: --smoke (n=2^17 instead of 2^20), --out FILE");
     eprintln!("serve-p2p options: --smoke (CI-scale localized-churn sweep at 1/4/8 shards)");
+    eprintln!(
+        "churn options: --smoke (CI-scale scenario sweep), --out FILE (default BENCH_churn.json)"
+    );
     eprintln!("barrier options: --out FILE (appends to an existing serve payload)");
     eprintln!("trace options: --smoke, --out FILE, --trace-out FILE (default BENCH_trace.json)");
 }
@@ -271,15 +280,17 @@ fn main() {
         && target != "scale"
         && target != "trace"
         && target != "barrier"
+        && target != "churn"
     {
         eprintln!(
             "--shards/--engine/--backend/--out/--roster-out only apply to serve/weights/scale/trace experiments"
         );
         std::process::exit(2);
     }
-    if smoke && target != "scale" && target != "trace" && target != "serve-p2p" {
+    if smoke && target != "scale" && target != "trace" && target != "serve-p2p" && target != "churn"
+    {
         eprintln!(
-            "--smoke only applies to the scale, trace, and serve-p2p experiments \
+            "--smoke only applies to the scale, trace, serve-p2p, and churn experiments \
              (use serve-smoke etc.)"
         );
         std::process::exit(2);
@@ -329,6 +340,25 @@ fn main() {
             .unwrap_or_else(|| "BENCH_serve.json".to_string());
         let trace_file = trace_out.unwrap_or_else(|| "BENCH_trace.json".to_string());
         exp_trace::trace(smoke, &out, &trace_file);
+    } else if target == "churn" {
+        if serve_opts.shards != 1
+            || serve_opts.engine_given
+            || serve_opts.backend_given
+            || serve_opts.roster_out.is_some()
+        {
+            eprintln!("churn takes only --smoke and --out");
+            std::process::exit(2);
+        }
+        let w = if smoke {
+            ChurnWorkload::smoke()
+        } else {
+            ChurnWorkload::full()
+        };
+        let out = serve_opts
+            .out
+            .clone()
+            .unwrap_or_else(|| "BENCH_churn.json".to_string());
+        exp_churn::churn(&w, &out);
     } else if target == "barrier" {
         if serve_opts.shards != 1
             || serve_opts.engine_given

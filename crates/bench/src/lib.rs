@@ -8,6 +8,7 @@
 
 pub mod exp_ablations;
 pub mod exp_barrier;
+pub mod exp_churn;
 pub mod exp_dynamic;
 pub mod exp_scale;
 pub mod exp_serve;

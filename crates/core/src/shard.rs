@@ -113,6 +113,10 @@ pub struct ShardFlushReport {
     pub eta: usize,
     /// Envelopes that crossed a shard boundary.
     pub boundary_msgs: usize,
+    /// Distinct vertices whose stored labels changed this flush (the
+    /// dirty region; vertex ownership is disjoint so per-shard counts
+    /// sum exactly).
+    pub dirty_vertices: usize,
 }
 
 impl ShardFlushReport {
@@ -124,6 +128,7 @@ impl ShardFlushReport {
         self.value_changes += other.value_changes;
         self.eta += other.eta;
         self.boundary_msgs += other.boundary_msgs;
+        self.dirty_vertices += other.dirty_vertices;
     }
 }
 
@@ -192,6 +197,9 @@ pub struct ShardRepairState {
     slot_deltas: Vec<SlotDelta>,
     /// Slots written during the current flush (distinct-η accounting).
     touched: FxHashSet<(VertexId, u32)>,
+    /// Vertices whose stored labels changed during the current flush
+    /// (distinct dirty-region accounting).
+    flush_dirty: FxHashSet<VertexId>,
     /// Local delivery queue: envelopes addressed to this shard that have
     /// not been applied yet.
     local: Vec<Envelope>,
@@ -234,6 +242,7 @@ impl ShardRepairState {
             dirty: FxHashSet::default(),
             slot_deltas: Vec::new(),
             touched: FxHashSet::default(),
+            flush_dirty: FxHashSet::default(),
             local: Vec::new(),
         }
     }
@@ -292,6 +301,7 @@ impl ShardRepairState {
     /// deduplicated out of this flush's η.
     pub fn begin_flush(&mut self) {
         self.touched.clear();
+        self.flush_dirty.clear();
     }
 
     /// Apply this shard's per-vertex deltas (Phase A of Algorithm 2), then
@@ -302,7 +312,7 @@ impl ShardRepairState {
         deltas: &[(VertexId, VertexDelta)],
         out: &mut Vec<Envelope>,
     ) -> ShardFlushReport {
-        self.touched.clear();
+        self.begin_flush();
         let mut report = ShardFlushReport::default();
         let mut staged = Vec::new();
         for (v, delta) in deltas {
@@ -478,6 +488,9 @@ impl ShardRepairState {
                         report.eta += 1;
                     }
                     if changed {
+                        if self.flush_dirty.insert(v) {
+                            report.dirty_vertices += 1;
+                        }
                         self.dirty.insert(v);
                         self.slot_deltas.push(SlotDelta {
                             v,
@@ -600,6 +613,9 @@ impl ShardRepairState {
                 }
                 if changed {
                     report.value_changes += 1;
+                    if self.flush_dirty.insert(v) {
+                        report.dirty_vertices += 1;
+                    }
                     self.dirty.insert(v);
                     self.slot_deltas.push(SlotDelta {
                         v,

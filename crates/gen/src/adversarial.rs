@@ -1,0 +1,807 @@
+//! Adversarial churn scenarios: named break-it workloads with tracked
+//! ground truth.
+//!
+//! The sweeps in `rslpa_bench` historically ran uniform or gently
+//! consolidating churn — exactly the shapes dirty-region incrementality
+//! handles best. The generators here are built to *stress* the
+//! incremental path instead, each attacking a different assumption:
+//!
+//! * [`FlashCrowd`] — sudden hub formation: every insert lands on one of
+//!   `k` anchor vertices, so a handful of histograms (and whichever shard
+//!   owns them) absorb the whole batch while their `O(deg)` counter
+//!   upkeep grows without bound.
+//! * [`SplitMergeStorm`] — planted communities repeatedly bisected and
+//!   re-fused. The only scenario whose ground truth *evolves*: every
+//!   window emits the currently-planted cover, so roster quality is
+//!   measurable mid-run, not just at the end.
+//! * [`CascadeDelete`] — BFS-ordered deletion waves hollow out one
+//!   planted community at a time (community death, per OLCPM's dynamic
+//!   evaluation). Delete-heavy windows also exercise the quiet-window
+//!   stats paths that insert-driven sweeps never hit.
+//! * [`SkewBurst`] — degree-biased insert bursts over the
+//!   [`RmatChurn`] id-space growth stream:
+//!   calm/burst cycles against a heavy-tailed web graph, no planted
+//!   truth.
+//!
+//! Every scenario is a pure function of its construction seed: replaying
+//! the same scenario against the same seed graph reproduces the same edit
+//! stream bit-for-bit (pinned by `tests/adversarial_streams.rs`). Batches
+//! are valid by construction against the graph they were generated from —
+//! insertions are non-edges, deletions live edges, no intra-batch
+//! duplicates or insert/delete collisions.
+//!
+//! The ground-truth tracking rule: a window's [`ScenarioWindow::truth`]
+//! is `Some` when the scenario (re)planted a cover this window, `None`
+//! when the previous planted cover still stands. [`GroundTruthTrack`]
+//! folds a stream of those into "the cover in force at window *i*".
+
+use rslpa_graph::rng::DetRng;
+use rslpa_graph::{AdjacencyGraph, Cover, EditBatch, FxHashSet, VertexId};
+
+use crate::gn::{gn_benchmark, GnParams};
+use crate::webgraph::{rmat, RmatChurn, RmatParams};
+
+/// One scenario window: the edit batch to apply, plus the planted cover
+/// in force *after* the batch (if the scenario defines/changed one).
+#[derive(Clone, Debug)]
+pub struct ScenarioWindow {
+    /// Edits for this window, valid against the graph they were generated
+    /// from.
+    pub batch: EditBatch,
+    /// The planted cover after this window: `Some` when the scenario
+    /// planted or re-planted ground truth this window, `None` when the
+    /// last planted cover (if any) still stands.
+    pub truth: Option<Cover>,
+}
+
+/// Per-window planted covers carried alongside an edit stream.
+///
+/// Push one entry per window (the [`ScenarioWindow::truth`] field);
+/// [`cover_at`](Self::cover_at) then answers "what ground truth was in
+/// force at window `i`" under the tracking rule that a window without a
+/// fresh cover inherits the most recent one.
+#[derive(Clone, Debug, Default)]
+pub struct GroundTruthTrack {
+    /// The cover planted by the seed graph, before any window.
+    initial: Option<Cover>,
+    windows: Vec<Option<Cover>>,
+}
+
+impl GroundTruthTrack {
+    /// A track whose pre-window baseline is the seed graph's planted cover
+    /// (the second return of [`ChurnScenario::seed_graph`]).
+    pub fn seeded(initial: Option<Cover>) -> Self {
+        Self {
+            initial,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Record window `self.len()`'s planted cover (or `None` to inherit).
+    pub fn push(&mut self, truth: Option<Cover>) {
+        self.windows.push(truth);
+    }
+
+    /// Number of windows recorded.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// True if no windows were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The cover in force at window `w`: the most recent planted cover at
+    /// or before `w`, falling back to the seed baseline (`None` if the
+    /// scenario never planted one).
+    pub fn cover_at(&self, w: usize) -> Option<&Cover> {
+        if self.windows.is_empty() {
+            return self.initial.as_ref();
+        }
+        self.windows[..=w.min(self.windows.len() - 1)]
+            .iter()
+            .rev()
+            .find_map(|t| t.as_ref())
+            .or(self.initial.as_ref())
+    }
+
+    /// The cover in force after the final recorded window.
+    pub fn latest(&self) -> Option<&Cover> {
+        self.windows
+            .iter()
+            .rev()
+            .find_map(|t| t.as_ref())
+            .or(self.initial.as_ref())
+    }
+}
+
+/// A named adversarial churn scenario: a seed graph plus a deterministic
+/// stream of edit windows with tracked ground truth.
+pub trait ChurnScenario {
+    /// Stable scenario name (report/BENCH key).
+    fn name(&self) -> &'static str;
+
+    /// Build the scenario's seed graph and its initial planted cover
+    /// (`None` for scenarios without ground truth). Call once, before the
+    /// first [`next_window`](Self::next_window).
+    fn seed_graph(&mut self) -> (AdjacencyGraph, Option<Cover>);
+
+    /// Generate the next window against the current graph. Insertions may
+    /// reference ids `>= graph.num_vertices()` (id-space growth); the
+    /// consumer grows the vertex space before applying, exactly as a live
+    /// serve stream would.
+    fn next_window(&mut self, graph: &AdjacencyGraph) -> ScenarioWindow;
+}
+
+/// The four named scenarios at bench scale (`smoke = false`) or CI scale
+/// (`smoke = true`), each seeded from `seed` so whole suites replay
+/// deterministically.
+pub fn named_scenarios(smoke: bool, seed: u64) -> Vec<Box<dyn ChurnScenario>> {
+    vec![
+        Box::new(FlashCrowd::scaled(smoke, seed)),
+        Box::new(SplitMergeStorm::scaled(smoke, seed ^ 0x5eed_0001)),
+        Box::new(CascadeDelete::scaled(smoke, seed ^ 0x5eed_0002)),
+        Box::new(SkewBurst::scaled(smoke, seed ^ 0x5eed_0003)),
+    ]
+}
+
+/// Planted-partition backbone shared by the truth-bearing scenarios: a GN
+/// graph whose block count/size scale with the suite mode.
+fn backbone(smoke: bool, seed: u64) -> GnParams {
+    if smoke {
+        GnParams {
+            groups: 4,
+            group_size: 32,
+            z_in: 14.0,
+            z_out: 2.0,
+            seed,
+        }
+    } else {
+        GnParams {
+            groups: 12,
+            group_size: 64,
+            z_in: 20.0,
+            z_out: 2.0,
+            seed,
+        }
+    }
+}
+
+/// Sudden hub formation: every insert of every window lands on one of `k`
+/// anchor vertices, drawn once from the planted backbone. The planted
+/// cover never changes — quality decay over the run measures how badly
+/// hub formation blurs the planted boundaries — but the *dirty region*
+/// concentrates pathologically: each anchor's histogram changes every
+/// flush, and counter upkeep pays `O(deg)` on an ever-growing degree.
+pub struct FlashCrowd {
+    params: GnParams,
+    /// Number of anchor (hub) vertices.
+    pub anchors: usize,
+    /// Insertions per window (all anchor-incident).
+    pub wires_per_window: usize,
+    rng: DetRng,
+    chosen: Vec<VertexId>,
+    first_window: bool,
+}
+
+impl FlashCrowd {
+    /// A flash-crowd scenario over a planted backbone.
+    pub fn new(params: GnParams, anchors: usize, wires_per_window: usize, seed: u64) -> Self {
+        assert!(anchors >= 1, "need at least one anchor");
+        Self {
+            params,
+            anchors,
+            wires_per_window,
+            rng: DetRng::new(seed ^ 0xf1a5_c0de_9e37_79b9),
+            chosen: Vec::new(),
+            first_window: true,
+        }
+    }
+
+    /// Standard bench/CI sizing.
+    pub fn scaled(smoke: bool, seed: u64) -> Self {
+        let params = backbone(smoke, seed);
+        if smoke {
+            Self::new(params, 3, 120, seed)
+        } else {
+            Self::new(params, 8, 600, seed)
+        }
+    }
+}
+
+impl ChurnScenario for FlashCrowd {
+    fn name(&self) -> &'static str {
+        "flash_crowd"
+    }
+
+    fn seed_graph(&mut self) -> (AdjacencyGraph, Option<Cover>) {
+        let (g, cover) = gn_benchmark(&self.params);
+        (g, Some(cover))
+    }
+
+    fn next_window(&mut self, graph: &AdjacencyGraph) -> ScenarioWindow {
+        let n = graph.num_vertices();
+        if self.first_window {
+            // Draw k distinct anchors, one per draw, rejecting repeats.
+            let mut seen = FxHashSet::default();
+            while self.chosen.len() < self.anchors.min(n) {
+                let a = self.rng.bounded(n as u64) as VertexId;
+                if seen.insert(a) {
+                    self.chosen.push(a);
+                }
+            }
+            self.first_window = false;
+        }
+        let mut insertions = Vec::with_capacity(self.wires_per_window);
+        let mut seen: FxHashSet<(VertexId, VertexId)> = Default::default();
+        let mut guard = 0usize;
+        while insertions.len() < self.wires_per_window {
+            guard += 1;
+            assert!(
+                guard < 1000 * self.wires_per_window + 100_000,
+                "flash-crowd sampling stuck (anchors saturated?)"
+            );
+            // Round-robin over anchors so each hub grows at the same rate;
+            // fall back to uniform pairs only if an anchor saturates.
+            let a = self.chosen[insertions.len() % self.chosen.len()];
+            let relaxed = guard >= 100 * self.wires_per_window;
+            let u = if relaxed {
+                self.rng.bounded(n as u64) as VertexId
+            } else {
+                a
+            };
+            let v = self.rng.bounded(n as u64) as VertexId;
+            if u == v || graph.has_edge(u, v) {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if seen.insert(key) {
+                insertions.push(key);
+            }
+        }
+        ScenarioWindow {
+            batch: EditBatch::from_lists(insertions, []),
+            // The planted cover never changes: windows inherit the seed
+            // baseline under the tracking rule.
+            truth: None,
+        }
+    }
+}
+
+/// Planted communities repeatedly bisected and re-fused. Each window
+/// toggles `storms_per_window` blocks (round-robin): a whole block splits
+/// — every cross-half edge is deleted and both halves are densified — and
+/// a split block merges — cross-half edges are re-planted at the
+/// backbone's intra density. The emitted ground truth evolves with the
+/// storm: a split block contributes two communities, a whole block one.
+pub struct SplitMergeStorm {
+    params: GnParams,
+    /// Blocks toggled per window.
+    pub storms_per_window: usize,
+    rng: DetRng,
+    /// Per-block split state (false = whole).
+    split: Vec<bool>,
+    cursor: usize,
+}
+
+impl SplitMergeStorm {
+    /// A split/merge storm over a planted backbone.
+    pub fn new(params: GnParams, storms_per_window: usize, seed: u64) -> Self {
+        assert!(params.group_size >= 4, "blocks too small to bisect");
+        assert!(storms_per_window >= 1, "need at least one storm per window");
+        Self {
+            split: vec![false; params.groups],
+            params,
+            storms_per_window,
+            rng: DetRng::new(seed ^ 0x5011_7513_7f4a_7c15),
+            cursor: 0,
+        }
+    }
+
+    /// Standard bench/CI sizing.
+    pub fn scaled(smoke: bool, seed: u64) -> Self {
+        let params = backbone(smoke, seed);
+        Self::new(params, if smoke { 1 } else { 2 }, seed)
+    }
+
+    fn block_range(&self, b: usize) -> (VertexId, VertexId) {
+        let s = self.params.group_size;
+        ((b * s) as VertexId, ((b + 1) * s) as VertexId)
+    }
+
+    /// The cover implied by the current split states.
+    fn planted_cover(&self) -> Cover {
+        let mut communities = Vec::new();
+        for b in 0..self.params.groups {
+            let (lo, hi) = self.block_range(b);
+            let mid = lo + (hi - lo) / 2;
+            if self.split[b] {
+                communities.push((lo..mid).collect());
+                communities.push((mid..hi).collect());
+            } else {
+                communities.push((lo..hi).collect());
+            }
+        }
+        Cover::new(communities)
+    }
+}
+
+impl ChurnScenario for SplitMergeStorm {
+    fn name(&self) -> &'static str {
+        "split_merge_storm"
+    }
+
+    fn seed_graph(&mut self) -> (AdjacencyGraph, Option<Cover>) {
+        let (g, cover) = gn_benchmark(&self.params);
+        (g, Some(cover))
+    }
+
+    fn next_window(&mut self, graph: &AdjacencyGraph) -> ScenarioWindow {
+        let mut deletions: Vec<(VertexId, VertexId)> = Vec::new();
+        let mut insertions: Vec<(VertexId, VertexId)> = Vec::new();
+        let mut claimed: FxHashSet<(VertexId, VertexId)> = Default::default();
+        let p_in = (self.params.z_in / (self.params.group_size as f64 - 1.0)).min(1.0);
+        for _ in 0..self.storms_per_window {
+            let b = self.cursor % self.params.groups;
+            self.cursor += 1;
+            let (lo, hi) = self.block_range(b);
+            let mid = lo + (hi - lo) / 2;
+            let half = (mid - lo) as u64;
+            if !self.split[b] {
+                // Split: sever the halves, then densify each half so the
+                // two daughter communities stay detectable.
+                for u in lo..mid {
+                    for &v in graph.neighbors(u) {
+                        if v >= mid && v < hi {
+                            let key = (u.min(v), u.max(v));
+                            if claimed.insert(key) {
+                                deletions.push(key);
+                            }
+                        }
+                    }
+                }
+                let per_half = (p_in * half as f64 * half as f64 / 2.0) as usize / 4;
+                for (half_lo, half_hi) in [(lo, mid), (mid, hi)] {
+                    sample_block_non_edges(
+                        graph,
+                        &mut self.rng,
+                        half_lo,
+                        half_hi,
+                        per_half,
+                        &mut claimed,
+                        &mut insertions,
+                    );
+                }
+                self.split[b] = true;
+            } else {
+                // Merge: re-plant cross-half edges at the backbone's
+                // intra density.
+                let target = (p_in * half as f64 * half as f64) as usize;
+                let mut guard = 0usize;
+                let mut found = 0usize;
+                while found < target && guard < 50 * target + 1000 {
+                    guard += 1;
+                    let u = lo + self.rng.bounded(half) as VertexId;
+                    let v = mid + self.rng.bounded(half) as VertexId;
+                    if graph.has_edge(u, v) {
+                        continue;
+                    }
+                    let key = (u.min(v), u.max(v));
+                    if claimed.insert(key) {
+                        insertions.push(key);
+                        found += 1;
+                    }
+                }
+                self.split[b] = false;
+            }
+        }
+        ScenarioWindow {
+            batch: EditBatch::from_lists(insertions, deletions),
+            truth: Some(self.planted_cover()),
+        }
+    }
+}
+
+/// Best-effort sampling of `target` distinct non-edges with both endpoints
+/// in `[lo, hi)`, appended to `out` (and claimed in `claimed` so callers
+/// never collide insertions with deletions).
+fn sample_block_non_edges(
+    graph: &AdjacencyGraph,
+    rng: &mut DetRng,
+    lo: VertexId,
+    hi: VertexId,
+    target: usize,
+    claimed: &mut FxHashSet<(VertexId, VertexId)>,
+    out: &mut Vec<(VertexId, VertexId)>,
+) {
+    let span = u64::from(hi - lo);
+    let mut guard = 0usize;
+    let mut found = 0usize;
+    // Best effort: a near-complete block simply yields fewer insertions.
+    while found < target && guard < 50 * target + 1000 {
+        guard += 1;
+        let u = lo + rng.bounded(span) as VertexId;
+        let v = lo + rng.bounded(span) as VertexId;
+        if u == v || graph.has_edge(u, v) {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if claimed.insert(key) {
+            out.push(key);
+            found += 1;
+        }
+    }
+}
+
+/// BFS-ordered deletion waves that hollow out one planted community at a
+/// time. Each window deletes the next `per_window` intra-block edges in
+/// BFS discovery order from the block's lowest live vertex; when a block
+/// runs out of intra edges its community is removed from the emitted
+/// ground truth (community death) and the wave moves to the next block.
+pub struct CascadeDelete {
+    params: GnParams,
+    /// Intra-block edges deleted per window.
+    pub per_window: usize,
+    /// First block not yet fully hollowed.
+    target: usize,
+}
+
+impl CascadeDelete {
+    /// A cascading-deletion scenario over a planted backbone.
+    pub fn new(params: GnParams, per_window: usize) -> Self {
+        Self {
+            params,
+            per_window,
+            target: 0,
+        }
+    }
+
+    /// Standard bench/CI sizing.
+    pub fn scaled(smoke: bool, seed: u64) -> Self {
+        let params = backbone(smoke, seed);
+        Self::new(params, if smoke { 60 } else { 300 })
+    }
+
+    /// All remaining intra-block edges of block `b`, in BFS discovery
+    /// order from the lowest id with an intra-block neighbor (restarting
+    /// at the next unvisited such id if the block fell apart).
+    fn block_edges_bfs(&self, graph: &AdjacencyGraph, b: usize) -> Vec<(VertexId, VertexId)> {
+        let s = self.params.group_size;
+        let (lo, hi) = ((b * s) as VertexId, ((b + 1) * s) as VertexId);
+        let inside = |v: VertexId| v >= lo && v < hi;
+        let mut order = Vec::new();
+        let mut seen_edge: FxHashSet<(VertexId, VertexId)> = Default::default();
+        let mut visited = vec![false; s];
+        let mut queue = std::collections::VecDeque::new();
+        for start in lo..hi {
+            if visited[(start - lo) as usize] {
+                continue;
+            }
+            visited[(start - lo) as usize] = true;
+            queue.push_back(start);
+            while let Some(u) = queue.pop_front() {
+                let mut nbrs: Vec<VertexId> = graph
+                    .neighbors(u)
+                    .iter()
+                    .copied()
+                    .filter(|&v| inside(v))
+                    .collect();
+                nbrs.sort_unstable();
+                for v in nbrs {
+                    let key = (u.min(v), u.max(v));
+                    if seen_edge.insert(key) {
+                        order.push(key);
+                    }
+                    if !visited[(v - lo) as usize] {
+                        visited[(v - lo) as usize] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        order
+    }
+
+    /// The cover of blocks that still have intra edges, given how many
+    /// blocks are fully hollow.
+    fn surviving_cover(&self) -> Cover {
+        let s = self.params.group_size;
+        Cover::new(
+            (self.target..self.params.groups)
+                .map(|b| ((b * s) as VertexId..((b + 1) * s) as VertexId).collect::<Vec<_>>()),
+        )
+    }
+}
+
+impl ChurnScenario for CascadeDelete {
+    fn name(&self) -> &'static str {
+        "cascade_delete"
+    }
+
+    fn seed_graph(&mut self) -> (AdjacencyGraph, Option<Cover>) {
+        let (g, cover) = gn_benchmark(&self.params);
+        (g, Some(cover))
+    }
+
+    fn next_window(&mut self, graph: &AdjacencyGraph) -> ScenarioWindow {
+        let mut deletions = Vec::with_capacity(self.per_window);
+        let mut truth_changed = false;
+        while deletions.len() < self.per_window && self.target < self.params.groups {
+            let remaining = self.block_edges_bfs(graph, self.target);
+            let quota = self.per_window - deletions.len();
+            if remaining.len() <= quota {
+                // The wave consumes the block: its community dies.
+                deletions.extend(remaining);
+                self.target += 1;
+                truth_changed = true;
+            } else {
+                deletions.extend(remaining.into_iter().take(quota));
+            }
+        }
+        ScenarioWindow {
+            batch: EditBatch::from_lists([], deletions),
+            truth: truth_changed.then(|| self.surviving_cover()),
+        }
+    }
+}
+
+/// Degree-biased insert bursts over the [`RmatChurn`] id-space growth
+/// stream: `burst_len` windows of every `period` are bursts
+/// (`burst_inserts` corner-walk insertions), the rest calm
+/// (`calm_inserts`); every window also deletes `deletes` degree-biased
+/// edges and appends fresh vertices. No planted truth — this scenario
+/// measures throughput and dirty-region behavior under heavy-tailed
+/// growth, not roster quality.
+pub struct SkewBurst {
+    churn: RmatChurn,
+    rmat: RmatParams,
+    /// Insertions in a burst window.
+    pub burst_inserts: usize,
+    /// Insertions in a calm window.
+    pub calm_inserts: usize,
+    /// Degree-biased deletions per window.
+    pub deletes: usize,
+    /// Burst cycle length in windows.
+    pub period: usize,
+    /// Leading windows of each cycle that burst.
+    pub burst_len: usize,
+    window: usize,
+}
+
+impl SkewBurst {
+    /// A calm/burst cycle over an R-MAT web graph.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        rmat: RmatParams,
+        grow_per_batch: usize,
+        burst_inserts: usize,
+        calm_inserts: usize,
+        deletes: usize,
+        period: usize,
+        burst_len: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(burst_len <= period && period >= 1, "bad burst cycle");
+        Self {
+            churn: RmatChurn::new(rmat, grow_per_batch, seed),
+            rmat,
+            burst_inserts,
+            calm_inserts,
+            deletes,
+            period,
+            burst_len,
+            window: 0,
+        }
+    }
+
+    /// Standard bench/CI sizing.
+    pub fn scaled(smoke: bool, seed: u64) -> Self {
+        if smoke {
+            Self::new(RmatParams::web(8, seed), 2, 150, 30, 20, 4, 1, seed)
+        } else {
+            Self::new(RmatParams::web(10, seed), 4, 700, 80, 60, 4, 1, seed)
+        }
+    }
+}
+
+impl ChurnScenario for SkewBurst {
+    fn name(&self) -> &'static str {
+        "skew_burst"
+    }
+
+    fn seed_graph(&mut self) -> (AdjacencyGraph, Option<Cover>) {
+        (rmat(&self.rmat), None)
+    }
+
+    fn next_window(&mut self, graph: &AdjacencyGraph) -> ScenarioWindow {
+        let bursting = self.window % self.period < self.burst_len;
+        self.window += 1;
+        let inserts = if bursting {
+            self.burst_inserts
+        } else {
+            self.calm_inserts
+        };
+        ScenarioWindow {
+            batch: self.churn.next_batch(graph, inserts, self.deletes),
+            truth: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rslpa_graph::DynamicGraph;
+
+    /// Fold `windows` windows of a scenario into a dynamic graph,
+    /// asserting batch validity along the way; returns the final graph
+    /// and the truth track.
+    fn fold(scenario: &mut dyn ChurnScenario, windows: usize) -> (DynamicGraph, GroundTruthTrack) {
+        let (seed, truth0) = scenario.seed_graph();
+        let mut g = DynamicGraph::new(seed);
+        let mut track = GroundTruthTrack::seeded(truth0);
+        for w in 0..windows {
+            let window = scenario.next_window(g.graph());
+            if let Some(m) = window
+                .batch
+                .insertions()
+                .iter()
+                .map(|&(u, v)| u.max(v))
+                .max()
+            {
+                g.ensure_vertices((m as usize + 1).max(g.graph().num_vertices()));
+            }
+            window
+                .batch
+                .validate(g.graph())
+                .unwrap_or_else(|e| panic!("{} window {w}: {e:?}", scenario.name()));
+            g.apply(&window.batch).unwrap();
+            track.push(window.truth);
+        }
+        (g, track)
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_on_anchors() {
+        let mut s = FlashCrowd::scaled(true, 7);
+        let (seed, truth0) = s.seed_graph();
+        assert!(truth0.is_some());
+        let mut g = DynamicGraph::new(seed);
+        let w = s.next_window(g.graph());
+        assert!(w.batch.deletions().is_empty());
+        g.apply(&w.batch).unwrap();
+        // The top-3 degree vertices should hold most new wires.
+        let mut degs: Vec<usize> = (0..g.graph().num_vertices())
+            .map(|v| g.graph().degree(v as VertexId))
+            .collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(
+            degs[2] > 40,
+            "anchors should spike in degree, top-3: {:?}",
+            &degs[..3]
+        );
+    }
+
+    #[test]
+    fn split_merge_storm_truth_follows_the_toggles() {
+        let mut s = SplitMergeStorm::scaled(true, 9);
+        let blocks = 4usize;
+        let (seed, truth0) = s.seed_graph();
+        assert_eq!(truth0.as_ref().unwrap().len(), blocks);
+        let mut g = DynamicGraph::new(seed);
+        // Window 1 splits block 0: cover grows by one community.
+        let w = s.next_window(g.graph());
+        w.batch.validate(g.graph()).unwrap();
+        g.apply(&w.batch).unwrap();
+        assert_eq!(w.truth.as_ref().unwrap().len(), blocks + 1);
+        // No cross-half edge survives in the split block.
+        let half = 16 as VertexId;
+        for u in 0..half {
+            for &v in g.graph().neighbors(u) {
+                assert!(
+                    !(half..2 * half).contains(&v),
+                    "cross-half edge ({u},{v}) survived the split"
+                );
+            }
+        }
+        // `blocks` more windows: blocks 1..3 split, then block 0 merges
+        // back — 3 split blocks (2 communities each) + 1 whole.
+        let mut last = None;
+        for _ in 0..blocks {
+            let w = s.next_window(g.graph());
+            w.batch.validate(g.graph()).unwrap();
+            g.apply(&w.batch).unwrap();
+            last = w.truth;
+        }
+        assert_eq!(
+            last.unwrap().len(),
+            1 + 2 * (blocks - 1),
+            "block 0 merged back, the rest split"
+        );
+    }
+
+    #[test]
+    fn cascade_delete_kills_communities_in_order() {
+        let mut s = CascadeDelete::scaled(true, 3);
+        let (_, track) = fold(&mut s, 40);
+        let survivors = track.latest().unwrap().len();
+        assert!(
+            survivors < 4,
+            "40 windows × 60 deletions must hollow at least one block"
+        );
+        // Deletion-only scenario: the final cover shrank monotonically.
+        let mut prev = 4;
+        for w in 0..track.len() {
+            let now = track.cover_at(w).unwrap().len();
+            assert!(now <= prev, "community count grew at window {w}");
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn skew_burst_bursts_and_grows() {
+        let mut s = SkewBurst::scaled(true, 5);
+        let (seed, truth0) = s.seed_graph();
+        assert!(truth0.is_none());
+        let n0 = seed.num_vertices();
+        let mut g = DynamicGraph::new(seed);
+        let mut sizes = Vec::new();
+        for _ in 0..4 {
+            let w = s.next_window(g.graph());
+            if let Some(m) = w.batch.insertions().iter().map(|&(u, v)| u.max(v)).max() {
+                g.ensure_vertices((m as usize + 1).max(g.graph().num_vertices()));
+            }
+            w.batch.validate(g.graph()).unwrap();
+            sizes.push(w.batch.len());
+            g.apply(&w.batch).unwrap();
+        }
+        assert!(sizes[0] > 2 * sizes[1], "window 0 must burst: {sizes:?}");
+        assert_eq!(g.graph().num_vertices(), n0 + 4 * 2, "id-space growth");
+    }
+
+    #[test]
+    fn scenarios_replay_bit_identically() {
+        for make in [
+            (|| Box::new(FlashCrowd::scaled(true, 3)) as Box<dyn ChurnScenario>) as fn() -> _,
+            || Box::new(SplitMergeStorm::scaled(true, 3)),
+            || Box::new(CascadeDelete::scaled(true, 3)),
+            || Box::new(SkewBurst::scaled(true, 3)),
+        ] {
+            let (a, _) = fold(&mut *make(), 6);
+            let (b, _) = fold(&mut *make(), 6);
+            assert_eq!(a.graph(), b.graph());
+        }
+    }
+
+    #[test]
+    fn ground_truth_track_inherits_under_the_rule() {
+        let c1 = Cover::new(vec![vec![0, 1]]);
+        let c2 = Cover::new(vec![vec![0, 1], vec![2, 3]]);
+        let mut track = GroundTruthTrack::seeded(Some(c1.clone()));
+        track.push(None);
+        track.push(Some(c2.clone()));
+        track.push(None);
+        assert_eq!(track.cover_at(0), Some(&c1));
+        assert_eq!(track.cover_at(1), Some(&c2));
+        assert_eq!(track.cover_at(2), Some(&c2));
+        assert_eq!(track.latest(), Some(&c2));
+        let empty = GroundTruthTrack::seeded(None);
+        assert!(empty.latest().is_none());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn named_scenarios_cover_all_four() {
+        let names: Vec<&str> = named_scenarios(true, 1).iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "flash_crowd",
+                "split_merge_storm",
+                "cascade_delete",
+                "skew_burst"
+            ]
+        );
+    }
+}

@@ -10,6 +10,14 @@
 use rslpa_graph::rng::DetRng;
 use rslpa_graph::{AdjacencyGraph, Cover, EditBatch, VertexId};
 
+// The adversarial scenario family lives in its own module but is part of
+// this crate's edit-workload vocabulary; re-export it here so callers can
+// keep importing every churn generator from `rslpa_gen::edits`.
+pub use crate::adversarial::{
+    named_scenarios, CascadeDelete, ChurnScenario, FlashCrowd, GroundTruthTrack, ScenarioWindow,
+    SkewBurst, SplitMergeStorm,
+};
+
 /// Convenience wrapper naming the workload kind (for experiment reports).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EditWorkload {

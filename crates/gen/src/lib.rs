@@ -12,6 +12,9 @@
 //!   complexity experiments.
 //! * [`edits`] — dynamic workloads: uniform half-insert/half-delete batches
 //!   exactly as in §V-B1, plus targeted intra/inter-community variants.
+//! * [`adversarial`] — named break-it churn scenarios (flash crowds,
+//!   split/merge storms, cascading deletions, degree-skewed bursts) with
+//!   per-window ground-truth tracking.
 //! * [`powerlaw`] — bounded discrete power-law sampling shared by LFR and
 //!   the web-graph generators.
 //!
@@ -30,6 +33,7 @@
 //! assert!(!batch.is_empty() && batch.len() <= 20);
 //! ```
 
+pub mod adversarial;
 pub mod edits;
 pub mod er;
 pub mod gn;
@@ -37,6 +41,10 @@ pub mod lfr;
 pub mod powerlaw;
 pub mod webgraph;
 
+pub use adversarial::{
+    named_scenarios, CascadeDelete, ChurnScenario, FlashCrowd, GroundTruthTrack, ScenarioWindow,
+    SkewBurst, SplitMergeStorm,
+};
 pub use edits::{uniform_batch, EditWorkload};
 pub use er::erdos_renyi;
 pub use gn::{gn_benchmark, GnParams};

@@ -1,0 +1,169 @@
+//! Golden-value pins for the three roster-quality metrics the churn
+//! harness gates on (ONMI, average F1, omega), plus a randomized symmetry
+//! sweep. The hand-computed cases document what each score *means* so a
+//! CI floor like "final-window ONMI ≥ 0.8" is interpretable: a regression
+//! in any metric's arithmetic shows up here before it silently moves a
+//! BENCH gate.
+
+use rslpa_graph::rng::DetRng;
+use rslpa_graph::Cover;
+use rslpa_metrics::{avg_f1, omega_index, overlapping_nmi};
+
+fn cover(cs: &[&[u32]]) -> Cover {
+    Cover::new(cs.iter().map(|c| c.to_vec()))
+}
+
+const EPS: f64 = 1e-12;
+
+#[test]
+fn perfect_match_scores_one_on_all_metrics() {
+    // Overlapping cover (vertex 4 in two communities) — identity must be
+    // exactly 1.0 for every metric, including the chance-corrected one.
+    let a = cover(&[&[0, 1, 2, 3, 4], &[4, 5, 6, 7], &[8, 9]]);
+    let n = 10;
+    assert!((overlapping_nmi(&a, &a, n) - 1.0).abs() < EPS);
+    assert!((avg_f1(&a, &a, n) - 1.0).abs() < EPS);
+    assert!((omega_index(&a, &a, n) - 1.0).abs() < EPS);
+    // Community order must not matter: Cover canonicalizes.
+    let b = cover(&[&[8, 9], &[4, 5, 6, 7], &[0, 1, 2, 3, 4]]);
+    assert!((overlapping_nmi(&a, &b, n) - 1.0).abs() < EPS);
+    assert!((avg_f1(&a, &b, n) - 1.0).abs() < EPS);
+    assert!((omega_index(&a, &b, n) - 1.0).abs() < EPS);
+}
+
+#[test]
+fn vertex_disjoint_covers_score_zero_f1_and_low_everything() {
+    // No community of `a` shares a single vertex with any of `b`.
+    let a = cover(&[&[0, 1], &[2, 3]]);
+    let b = cover(&[&[4, 5], &[6, 7]]);
+    let n = 8;
+    // F1 is exactly 0: no intersection anywhere.
+    assert_eq!(avg_f1(&a, &b, n), 0.0);
+    // ONMI's complementarity guard keeps anti-correlated "matches" from
+    // scoring; disjoint structure lands near 0.
+    let s = overlapping_nmi(&a, &b, n);
+    assert!(s < 0.2, "disjoint covers must score near zero, got {s}");
+    // Omega: the covers agree only on pairs co-clustered in neither, which
+    // chance correction discounts — at or below chance level.
+    let o = omega_index(&a, &b, n);
+    assert!(o <= 0.0 + EPS, "disjoint covers at/below chance, got {o}");
+}
+
+#[test]
+fn golden_f1_half_overlap() {
+    // |A|=|B|=4, |A∩B|=2 → precision = recall = 1/2 → F1 = 1/2. One
+    // community per cover, so the symmetric average is exactly 0.5.
+    let a = cover(&[&[0, 1, 2, 3]]);
+    let b = cover(&[&[2, 3, 4, 5]]);
+    assert!((avg_f1(&a, &b, 6) - 0.5).abs() < EPS);
+}
+
+#[test]
+fn golden_f1_asymmetric_sizes() {
+    // A = {0..5} (6 vertices), B = {0,1,2} (3): precision (of B vs A) = 1,
+    // recall = 1/2 → F1 = 2·(1·½)/(1+½) = 2/3. Both one-sided means equal
+    // 2/3, so the symmetric average is exactly 2/3.
+    let a = cover(&[&[0, 1, 2, 3, 4, 5]]);
+    let b = cover(&[&[0, 1, 2]]);
+    assert!((avg_f1(&a, &b, 6) - 2.0 / 3.0).abs() < EPS);
+}
+
+#[test]
+fn golden_omega_single_pair_disagreement() {
+    // n = 4, 6 pairs. A co-clusters {0,1} and {2,3}; B co-clusters {0,1}
+    // only, leaving 2 and 3 singletons.
+    //   observed agreement: pairs (0,1) [1=1] and the three cross pairs
+    //   (0,2),(0,3),(1,2),(1,3) [0=0] — wait: (2,3) disagrees (1 vs 0) —
+    //   so observed = 5/6.
+    //   P_A(0) = 4/6, P_A(1) = 2/6; P_B(0) = 5/6, P_B(1) = 1/6;
+    //   expected = (4·5 + 2·1)/36 = 22/36 = 11/18.
+    //   omega = (5/6 − 11/18) / (1 − 11/18) = (4/18)/(7/18) = 4/7.
+    let a = cover(&[&[0, 1], &[2, 3]]);
+    let b = cover(&[&[0, 1], &[2], &[3]]);
+    assert!((omega_index(&a, &b, 4) - 4.0 / 7.0).abs() < EPS);
+}
+
+#[test]
+fn golden_onmi_independent_halving() {
+    // Two orthogonal bisections of 4 vertices: each community of one cover
+    // splits every community of the other exactly in half, so knowing one
+    // cover tells you nothing about the other.
+    // For X_k = {0,1} vs best Y_l: joint (a,b,c,d) = (¼,¼,¼,¼) →
+    // H(X_k|Y_l) = 2 − 1 = 1 bit = H(X_k), i.e. zero information gained;
+    // the normalized conditional entropy is 1 on both sides and
+    // NMI = 1 − ½(1 + 1) = 0 exactly.
+    let a = cover(&[&[0, 1], &[2, 3]]);
+    let b = cover(&[&[0, 2], &[1, 3]]);
+    assert!(overlapping_nmi(&a, &b, 4).abs() < EPS);
+}
+
+#[test]
+fn golden_onmi_one_community_split_in_half() {
+    // Truth is one 4-vertex community over n=8; detection splits it into
+    // two halves. Hand computation (LFK, base-2 entropies):
+    //   H(X|Y)_norm: X = {0,1,2,3}, best Y = either half,
+    //     joint (a,b,c,d) = (½, 0, ¼, ¼) → joint H = 1.5,
+    //     H(Y_l) = h(¼)+h(¾) ≈ 0.811278, H(X|Y_l) ≈ 0.688722,
+    //     normalized by H(X) = 1 → ≈ 0.688722.
+    //   H(Y|X)_norm: each half {0,1} vs X: joint (½, ¼, 0, ¼) → joint H
+    //     = 1.5, H(X) = 1 → H(Y_k|X) = 0.5, normalized by H(Y_k) ≈
+    //     0.811278 → ≈ 0.616310.
+    //   NMI = 1 − ½(0.688722 + 0.616310) ≈ 0.347484.
+    let truth = cover(&[&[0, 1, 2, 3]]);
+    let split = cover(&[&[0, 1], &[2, 3]]);
+    let expected = {
+        let h = |p: f64| if p <= 0.0 { 0.0 } else { -p * p.log2() };
+        let hx = 1.0f64; // |X| = 4 of n = 8 → p = ½ → h(½)+h(½) = 1 bit.
+        let hy = h(0.25) + h(0.75);
+        let hxy = (h(0.5) + h(0.25) + h(0.25)) - hy; // joint 1.5 − H(Y)
+        let hyx = (h(0.5) + h(0.25) + h(0.25)) - hx; // joint 1.5 − H(X)
+        1.0 - 0.5 * (hxy / hx + hyx / hy)
+    };
+    let got = overlapping_nmi(&truth, &split, 8);
+    assert!(
+        (got - expected).abs() < EPS,
+        "got {got}, expected {expected}"
+    );
+    // Sanity on the magnitude so the pin itself is human-checkable.
+    assert!((expected - 0.347_484).abs() < 1e-6);
+}
+
+#[test]
+fn empty_cover_conventions_agree_across_metrics() {
+    let a = cover(&[&[0, 1, 2]]);
+    let e = Cover::default();
+    // Two empties: vacuous perfect agreement.
+    assert_eq!(overlapping_nmi(&e, &e, 4), 1.0);
+    assert_eq!(avg_f1(&e, &e, 4), 1.0);
+    // One empty: no credit.
+    assert_eq!(overlapping_nmi(&a, &e, 4), 0.0);
+    assert_eq!(avg_f1(&a, &e, 4), 0.0);
+}
+
+#[test]
+fn metrics_are_symmetric_on_random_covers() {
+    // metric(a, b) == metric(b, a) over seeded random overlapping covers,
+    // including degenerate shapes (empty communities filtered by Cover,
+    // whole-set communities, heavy overlap).
+    let mut rng = DetRng::new(0x90_1d_e2);
+    for trial in 0..50 {
+        let n = 24usize;
+        let mk = |rng: &mut DetRng| {
+            let k = 1 + rng.bounded(4) as usize;
+            Cover::new((0..k).map(|_| {
+                let p = 0.1 + 0.8 * rng.unit_f64();
+                (0..n as u32)
+                    .filter(|_| rng.unit_f64() < p)
+                    .collect::<Vec<_>>()
+            }))
+        };
+        let a = mk(&mut rng);
+        let b = mk(&mut rng);
+        let (s1, s2) = (overlapping_nmi(&a, &b, n), overlapping_nmi(&b, &a, n));
+        assert!((s1 - s2).abs() < EPS, "trial {trial}: onmi {s1} vs {s2}");
+        let (f1a, f1b) = (avg_f1(&a, &b, n), avg_f1(&b, &a, n));
+        assert!((f1a - f1b).abs() < EPS, "trial {trial}: f1 {f1a} vs {f1b}");
+        let (o1, o2) = (omega_index(&a, &b, n), omega_index(&b, &a, n));
+        assert!((o1 - o2).abs() < EPS, "trial {trial}: omega {o1} vs {o2}");
+    }
+}

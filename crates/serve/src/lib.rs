@@ -74,7 +74,8 @@ pub use snapshot::{
     SnapshotStore,
 };
 pub use stats::{
-    HistogramSnapshot, LatencyHistogram, LatencySummary, ServeStats, ShardCounts, StatsReport,
+    HistogramSnapshot, LatencyHistogram, LatencySummary, QualityWindow, ServeStats, ShardCounts,
+    StatsReport,
 };
 
 // Re-exported so downstream crates (the CLI, the bench harness) can drive

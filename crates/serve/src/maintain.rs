@@ -230,8 +230,8 @@ impl MaintenanceLoop {
         }
         let applied = batch.len() as u64;
         self.slot_deltas.clear();
-        let eta = if batch.is_empty() {
-            0
+        let (eta, dirty) = if batch.is_empty() {
+            (0, 0)
         } else {
             let _span = self.trace.span_with(names::REPAIR, applied);
             self.engine
@@ -239,6 +239,10 @@ impl MaintenanceLoop {
         };
         self.stats
             .note_flush(applied, rejected, eta, started.elapsed());
+        if !batch.is_empty() {
+            self.stats
+                .note_dirty_region(dirty, self.engine.graph().num_vertices() as u64);
+        }
         // Counter maintenance: retire deleted edges' counters, then fold
         // the compacted slot-delta stream in at O(deg) per net change.
         // Inserted edges need nothing here — they are merged lazily (and

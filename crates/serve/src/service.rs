@@ -417,6 +417,16 @@ impl CommunityService {
         self.stats.report()
     }
 
+    /// Record one externally-scored publish window (the published roster
+    /// compared against a tracked ground-truth cover). The serve loop
+    /// never scores itself — quality harnesses (`repro churn`) compute
+    /// ONMI/F1/omega with `rslpa_metrics` and deposit the scores here so
+    /// they travel with the stats report (`quality_per_window`, schema
+    /// v4).
+    pub fn note_quality_window(&self, window: crate::stats::QualityWindow) {
+        self.stats.note_quality_window(window);
+    }
+
     /// Frozen bucket counts of the query-latency histogram. Subtract an
     /// earlier snapshot
     /// ([`HistogramSnapshot::delta_since`](crate::HistogramSnapshot::delta_since))

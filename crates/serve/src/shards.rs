@@ -749,8 +749,11 @@ impl RepairEngine {
     }
 
     /// Apply one net-resolved batch and repair the label state. Returns
-    /// total repaired slots (η); for engines with central counter upkeep
-    /// the repair's label-slot changes are appended to `slot_deltas` in
+    /// `(eta, dirty_vertices)`: total repaired slots (η) and the number
+    /// of distinct vertices whose stored labels changed (the flush's
+    /// dirty region — vertex ownership is disjoint, so per-shard counts
+    /// sum exactly). For engines with central counter upkeep the
+    /// repair's label-slot changes are appended to `slot_deltas` in
     /// application order (the mailbox engine's workers consume their own
     /// streams instead and leave it untouched). Per-shard and exchange
     /// counters are recorded into `stats`.
@@ -759,7 +762,7 @@ impl RepairEngine {
         batch: &EditBatch,
         stats: &ServeStats,
         slot_deltas: &mut Vec<SlotDelta>,
-    ) -> u64 {
+    ) -> (u64, u64) {
         match self {
             RepairEngine::Single(e) => {
                 let mut dirty = FxHashSet::default();
@@ -768,7 +771,7 @@ impl RepairEngine {
                     .apply_batch_streaming(batch, &mut dirty, slot_deltas)
                     .expect("net-resolved batch validates by construction");
                 stats.note_shard_flush(0, report.affected_vertices as u64, report.eta as u64);
-                report.eta as u64
+                (report.eta as u64, dirty.len() as u64)
             }
             RepairEngine::Sharded(e) => e.apply(batch, stats, slot_deltas),
             RepairEngine::Mailbox(e) => e.apply(batch, stats),
@@ -828,7 +831,7 @@ impl ShardedEngine {
         batch: &EditBatch,
         stats: &ServeStats,
         slot_deltas: &mut Vec<SlotDelta>,
-    ) -> u64 {
+    ) -> (u64, u64) {
         self.graph
             .apply_into(batch, &mut self.applied)
             .expect("net-resolved batch validates by construction");
@@ -906,9 +909,11 @@ impl ShardedEngine {
             }
         }
         let mut eta = 0u64;
+        let mut dirty = 0u64;
         for (s, report) in reports.iter().enumerate() {
             stats.note_shard_flush(s, routed[s], report.eta as u64);
             eta += report.eta as u64;
+            dirty += report.dirty_vertices as u64;
         }
         stats.note_exchange(rounds, boundary_msgs);
         stats.note_channel_hops(hops);
@@ -916,7 +921,7 @@ impl ShardedEngine {
         // worker, two channels per envelope.
         stats.note_envelope_hops(2 * boundary_msgs);
         self.batches_applied += 1;
-        eta
+        (eta, dirty)
     }
 }
 
@@ -1033,7 +1038,7 @@ impl MailboxEngine {
     /// mesh for direct peer exchange only if someone staged boundary
     /// traffic. Counter upkeep never touches this thread — each worker
     /// folds its own slot deltas into its own partition.
-    fn apply(&mut self, batch: &EditBatch, stats: &ServeStats) -> u64 {
+    fn apply(&mut self, batch: &EditBatch, stats: &ServeStats) -> (u64, u64) {
         self.graph
             .apply_into(batch, &mut self.applied)
             .expect("net-resolved batch validates by construction");
@@ -1112,9 +1117,11 @@ impl MailboxEngine {
             debug_assert_eq!(envelopes, delivered, "mesh lost or invented envelopes");
         }
         let mut eta = 0u64;
+        let mut dirty = 0u64;
         for (s, report) in reports.iter().enumerate() {
             stats.note_shard_flush(s, routed[s], report.eta as u64);
             eta += report.eta as u64;
+            dirty += report.dirty_vertices as u64;
         }
         stats.note_exchange(rounds, envelopes);
         stats.note_channel_hops(hops);
@@ -1124,7 +1131,7 @@ impl MailboxEngine {
         // each other (the shard-consistency tests assert equality).
         stats.note_envelope_hops(delivered);
         self.batches_applied += 1;
-        eta
+        (eta, dirty)
     }
 
     /// Publish-time weight assembly: collect every worker's interior-edge

@@ -8,6 +8,7 @@
 //! latencies by up to 2×).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Number of log₂ buckets: bucket `i` holds samples in `[2^(i-1), 2^i)` ns
@@ -162,12 +163,17 @@ impl HistogramSnapshot {
     }
 
     /// Resolve percentiles over the snapshot's buckets.
+    ///
+    /// An empty snapshot (a window that recorded no samples — e.g. a
+    /// query-less barrier window under a delete-heavy scenario) summarizes
+    /// to all-zero fields, never to a bucket bound or the saturated top
+    /// bucket's representative.
     pub fn summarize(&self) -> LatencySummary {
         let total = self.count();
+        if total == 0 {
+            return LatencySummary::default();
+        }
         let percentile = |q: f64| -> u64 {
-            if total == 0 {
-                return 0;
-            }
             let target = (q * total as f64).ceil().max(1.0) as u64;
             let mut seen = 0u64;
             for (i, &c) in self.buckets.iter().enumerate() {
@@ -180,7 +186,7 @@ impl HistogramSnapshot {
         };
         LatencySummary {
             count: total,
-            mean_ns: if total == 0 { 0 } else { self.sum_ns / total },
+            mean_ns: self.sum_ns / total,
             p50_ns: percentile(0.50),
             p90_ns: percentile(0.90),
             p99_ns: percentile(0.99),
@@ -381,8 +387,34 @@ pub struct ServeStats {
     /// Gauge: flight-recorder records lost to ring overwrite (refreshed at
     /// each publish while tracing is enabled; 0 when tracing is off).
     pub trace_dropped_records: AtomicU64,
+    /// Distinct vertices whose stored labels changed, summed over all
+    /// non-empty flushes (the dirty-region numerator).
+    pub dirty_vertices: AtomicU64,
+    /// Σ over the same flushes of the vertex count at flush time (the
+    /// dirty-region denominator; `dirty_vertices / dirty_span` is the
+    /// mean per-flush dirty fraction).
+    pub dirty_span: AtomicU64,
+    /// Roster-quality scores recorded by an external harness (one entry
+    /// per scored publish window; empty unless a driver scores the run).
+    pub quality_windows: Mutex<Vec<QualityWindow>>,
     /// Per-shard counters (length = shard count).
     pub shards: Vec<ShardStats>,
+}
+
+/// One externally-scored publish window: the published roster compared
+/// against a tracked ground-truth cover. Recorded by bench drivers via
+/// [`ServeStats::note_quality_window`]; the serve crate itself never
+/// computes metric values (it has no dependency on `rslpa_metrics`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QualityWindow {
+    /// Epoch of the snapshot that was scored.
+    pub epoch: u64,
+    /// Overlapping NMI of roster vs tracked cover, in `[0, 1]`.
+    pub onmi: f64,
+    /// Best-match average F1 (symmetrized), in `[0, 1]`.
+    pub f1: f64,
+    /// Omega index (chance-corrected pair agreement), ≤ 1.
+    pub omega: f64,
 }
 
 impl Default for ServeStats {
@@ -434,6 +466,9 @@ impl ServeStats {
             mem_capacity_bytes: AtomicU64::new(0),
             mem_vertices: AtomicU64::new(0),
             trace_dropped_records: AtomicU64::new(0),
+            dirty_vertices: AtomicU64::new(0),
+            dirty_span: AtomicU64::new(0),
+            quality_windows: Mutex::new(Vec::new()),
             shards: (0..shards.max(1)).map(|_| ShardStats::default()).collect(),
         }
     }
@@ -578,6 +613,23 @@ impl ServeStats {
         bump!(self.barriers);
     }
 
+    /// One non-empty flush's dirty region: `dirty` distinct value-changed
+    /// vertices out of `span` vertices present at flush time.
+    pub(crate) fn note_dirty_region(&self, dirty: u64, span: u64) {
+        bump!(self.dirty_vertices, dirty);
+        bump!(self.dirty_span, span);
+    }
+
+    /// Record one externally-scored publish window (roster vs tracked
+    /// ground-truth cover). Called by bench/CLI harnesses, not by the
+    /// serve loop itself.
+    pub fn note_quality_window(&self, window: QualityWindow) {
+        self.quality_windows
+            .lock()
+            .expect("quality window lock poisoned")
+            .push(window);
+    }
+
     /// Point-in-time report.
     pub fn report(&self) -> StatsReport {
         let snapshots = self.snapshots.summarize();
@@ -613,6 +665,13 @@ impl ServeStats {
             mem_capacity_bytes: self.mem_capacity_bytes.load(Ordering::Relaxed),
             mem_vertices: self.mem_vertices.load(Ordering::Relaxed),
             trace_dropped_records: self.trace_dropped_records.load(Ordering::Relaxed),
+            dirty_vertices: self.dirty_vertices.load(Ordering::Relaxed),
+            dirty_span: self.dirty_span.load(Ordering::Relaxed),
+            quality_per_window: self
+                .quality_windows
+                .lock()
+                .expect("quality window lock poisoned")
+                .clone(),
             saturated_samples: [
                 &self.queries,
                 &self.flushes,
@@ -710,6 +769,13 @@ pub struct StatsReport {
     pub mem_vertices: u64,
     /// See [`ServeStats::trace_dropped_records`].
     pub trace_dropped_records: u64,
+    /// See [`ServeStats::dirty_vertices`].
+    pub dirty_vertices: u64,
+    /// See [`ServeStats::dirty_span`].
+    pub dirty_span: u64,
+    /// Externally-scored publish windows, in recording order (empty
+    /// unless a quality harness scored the run).
+    pub quality_per_window: Vec<QualityWindow>,
     /// Histogram samples (summed over every histogram in the report) that
     /// clamped into the top bucket instead of landing in a real one.
     pub saturated_samples: u64,
@@ -727,6 +793,30 @@ impl StatsReport {
             self.mem_capacity_bytes as f64 / self.mem_vertices as f64
         }
     }
+
+    /// Mean per-flush dirty fraction: distinct value-changed vertices
+    /// over the vertex span of all non-empty flushes (0.0 before the
+    /// first flush). This is the incrementality signal — a fraction
+    /// approaching 1.0 means repair is touching the whole graph and a
+    /// full recompute would cost the same.
+    pub fn dirty_fraction(&self) -> f64 {
+        if self.dirty_span == 0 {
+            0.0
+        } else {
+            self.dirty_vertices as f64 / self.dirty_span as f64
+        }
+    }
+
+    /// Publish-collect ship ratio: boundary histograms actually shipped
+    /// over the ship-everything baseline (0.0 when no collect ran —
+    /// single-writer and coordinator engines).
+    pub fn ship_ratio(&self) -> f64 {
+        if self.boundary_hists_total == 0 {
+            0.0
+        } else {
+            self.boundary_hists_shipped as f64 / self.boundary_hists_total as f64
+        }
+    }
     /// Render as a JSON object fragment (no external deps; all fields are
     /// numbers, so no escaping is needed). The shape is versioned via
     /// `schema_version`; version 2 added the `attribution_per_shard`
@@ -735,8 +825,21 @@ impl StatsReport {
     /// `barrier_depart_us` (their sum is `barrier_wait_us`) and added the
     /// publish-collect counters `boundary_hists_shipped`,
     /// `boundary_hists_total`, `boundary_dirty_marked`, `collect_bytes`,
-    /// and `publish_failures`.
+    /// and `publish_failures`; version 4 added the dirty-region counters
+    /// `dirty_vertices` / `dirty_span` / `dirty_fraction` and the
+    /// `quality_per_window` array of externally-scored publish windows.
     pub fn to_json(&self) -> String {
+        let quality = self
+            .quality_per_window
+            .iter()
+            .map(|q| {
+                format!(
+                    "{{\"epoch\":{},\"onmi\":{:.6},\"f1\":{:.6},\"omega\":{:.6}}}",
+                    q.epoch, q.onmi, q.f1, q.omega
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         let join = |f: fn(&ShardCounts) -> u64| -> String {
             self.shards
                 .iter()
@@ -759,7 +862,7 @@ impl StatsReport {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "{{\"schema_version\":3,\
+            "{{\"schema_version\":4,\
              \"edits_enqueued\":{},\"edits_applied\":{},\"edits_rejected\":{},\
              \"batches_flushed\":{},\"snapshots_published\":{},\"slots_repaired\":{},\
              \"slot_deltas_net\":{},\"barriers\":{},\
@@ -774,6 +877,8 @@ impl StatsReport {
              \"boundary_hists_shipped\":{},\"boundary_hists_total\":{},\
              \"boundary_dirty_marked\":{},\"collect_bytes\":{},\
              \"publish_failures\":{},\
+             \"dirty_vertices\":{},\"dirty_span\":{},\"dirty_fraction\":{:.6},\
+             \"quality_per_window\":[{}],\
              \"channel_hops\":{},\"envelope_hops\":{},\
              \"mailbox_depth\":{{\"count\":{},\"p50\":{},\"p99\":{},\"max\":{}}},\
              \"barrier_wait_us\":{{\"count\":{},\"mean\":{:.3},\"p50\":{:.3},\"p99\":{:.3}}},\
@@ -817,6 +922,10 @@ impl StatsReport {
             self.boundary_dirty_marked,
             self.collect_bytes,
             self.publish_failures,
+            self.dirty_vertices,
+            self.dirty_span,
+            self.dirty_fraction(),
+            quality,
             self.channel_hops,
             self.envelope_hops,
             self.mailbox_depth.count,
@@ -1116,7 +1225,7 @@ mod tests {
         assert!((s0.attribution_coverage() - 0.99).abs() < 1e-9);
         assert_eq!(r.shards[1].attribution_coverage(), 0.0);
         let json = r.to_json();
-        assert!(json.starts_with("{\"schema_version\":3,"));
+        assert!(json.starts_with("{\"schema_version\":4,"));
         assert!(json.contains("\"attribution_per_shard\":{\"work_us\":[600.0,0.0]"));
         assert!(json.contains("\"barrier_wait_us\":[150.0,0.0]"));
         assert!(json.contains("\"barrier_arrive_us\":[100.0,0.0]"));
@@ -1145,6 +1254,79 @@ mod tests {
         assert!(json.contains("\"boundary_dirty_marked\":6"));
         assert!(json.contains("\"collect_bytes\":2560"));
         assert!(json.contains("\"publish_failures\":1"));
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_zero_not_bucket_bounds() {
+        // A window that records no samples at all — e.g. a query-less
+        // barrier window under a delete-heavy adversarial scenario —
+        // must summarize to zeros, never to a bucket representative or
+        // the saturated top-bucket bound.
+        let h = LatencyHistogram::new();
+        let s = h.summarize();
+        assert_eq!(s, LatencySummary::default());
+        assert_eq!((s.p50_ns, s.p90_ns, s.p99_ns, s.max_ns), (0, 0, 0, 0));
+
+        // Same guarantee through the full report path: untouched query
+        // and snapshot histograms on an otherwise-active service.
+        let stats = ServeStats::default();
+        stats.note_flush(4, 0, 9, Duration::from_micros(2));
+        let r = stats.report();
+        assert_eq!(r.queries, LatencySummary::default());
+        assert_eq!(r.snapshots, LatencySummary::default());
+        assert_eq!(r.flushes.count, 1);
+        let json = r.to_json();
+        assert!(json.contains("\"query_count\":0"));
+        assert!(json.contains("\"query_p99_ns\":0"));
+        assert!(json.contains("\"query_max_ns\":0"));
+    }
+
+    #[test]
+    fn dirty_region_counters_roll_into_json() {
+        let stats = ServeStats::default();
+        stats.note_dirty_region(25, 1_000);
+        stats.note_dirty_region(75, 1_000);
+        let r = stats.report();
+        assert_eq!(r.dirty_vertices, 100);
+        assert_eq!(r.dirty_span, 2_000);
+        assert!((r.dirty_fraction() - 0.05).abs() < 1e-12);
+        let json = r.to_json();
+        assert!(json.contains("\"dirty_vertices\":100"));
+        assert!(json.contains("\"dirty_span\":2000"));
+        assert!(json.contains("\"dirty_fraction\":0.050000"));
+        // No flush yet → fraction is defined as 0, not NaN.
+        assert_eq!(ServeStats::default().report().dirty_fraction(), 0.0);
+    }
+
+    #[test]
+    fn quality_windows_roll_into_json_in_order() {
+        let stats = ServeStats::default();
+        stats.note_quality_window(QualityWindow {
+            epoch: 1,
+            onmi: 0.97,
+            f1: 0.99,
+            omega: 0.9,
+        });
+        stats.note_quality_window(QualityWindow {
+            epoch: 2,
+            onmi: 0.5,
+            f1: 0.625,
+            omega: 0.25,
+        });
+        let r = stats.report();
+        assert_eq!(r.quality_per_window.len(), 2);
+        assert_eq!(r.quality_per_window[0].epoch, 1);
+        let json = r.to_json();
+        assert!(json.contains(
+            "\"quality_per_window\":[\
+             {\"epoch\":1,\"onmi\":0.970000,\"f1\":0.990000,\"omega\":0.900000},\
+             {\"epoch\":2,\"onmi\":0.500000,\"f1\":0.625000,\"omega\":0.250000}]"
+        ));
+        // An unscored run emits an empty array, keeping the shape stable.
+        assert!(ServeStats::default()
+            .report()
+            .to_json()
+            .contains("\"quality_per_window\":[]"));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use rslpa_core::{postprocess, RslpaConfig, RslpaDetector};
 use rslpa_gen::edits::uniform_batch;
 use rslpa_gen::lfr::LfrParams;
+use rslpa_gen::{named_scenarios, ChurnScenario};
 use rslpa_graph::{AdjacencyGraph, Cover, DynamicGraph, EditBatch};
 use rslpa_serve::{fingerprint_weights, BarrierOnly, CommunityService, ExchangeMode, ServeConfig};
 
@@ -223,6 +224,107 @@ fn zero_and_oversized_shard_counts_work_instead_of_panicking() {
     let snapshot = service.latest();
     assert_eq!(snapshot.num_vertices, 8);
     assert_eq!(service.shutdown().shards.len(), 8);
+}
+
+/// Unroll an adversarial scenario into its seed graph and a replayable
+/// window script (one barrier per window when replayed).
+fn scenario_script(
+    scenario: &mut dyn ChurnScenario,
+    windows: usize,
+) -> (AdjacencyGraph, Vec<EditBatch>) {
+    let (graph, _truth) = scenario.seed_graph();
+    let mut shadow = DynamicGraph::new(graph.clone());
+    let script = (0..windows)
+        .map(|_| {
+            let window = scenario.next_window(shadow.graph());
+            if let Some(m) = window
+                .batch
+                .insertions()
+                .iter()
+                .map(|&(u, v)| u.max(v))
+                .max()
+            {
+                shadow.ensure_vertices((m as usize + 1).max(shadow.graph().num_vertices()));
+            }
+            shadow
+                .apply(&window.batch)
+                .expect("scenario batch validates");
+            window.batch
+        })
+        .collect();
+    (graph, script)
+}
+
+/// Replay without the per-shard activity asserts of [`replay_served`]:
+/// adversarial windows can legitimately leave a shard idle (a cascade
+/// confined to one block, a delete-only window), and idleness is not the
+/// property under test here — bit-identity is.
+fn replay_scenario(
+    graph: AdjacencyGraph,
+    script: &[EditBatch],
+    shards: usize,
+    exchange: ExchangeMode,
+) -> Epochs {
+    let service = CommunityService::start(
+        graph,
+        ServeConfig::quick(ITERATIONS, SEED)
+            .with_policy(BarrierOnly)
+            .with_shards(shards)
+            .with_exchange(exchange),
+    );
+    let ingest = service.ingest();
+    let mut epochs = Vec::with_capacity(script.len());
+    for batch in script {
+        for &(u, v) in batch.deletions() {
+            ingest.delete(u, v).expect("service alive");
+        }
+        for &(u, v) in batch.insertions() {
+            ingest.insert(u, v).expect("service alive");
+        }
+        ingest.barrier().expect("service alive");
+        let snap = service.latest();
+        epochs.push((snap.cover.clone(), snap.weights_fingerprint));
+    }
+    service.shutdown();
+    epochs
+}
+
+#[test]
+fn adversarial_scenarios_bit_identical_across_shards_and_engines() {
+    // The break-it streams must not break determinism: every named
+    // adversarial scenario, replayed at shards {1, 2, 4, 8} under both
+    // exchange transports, publishes bit-identical rosters AND
+    // bit-identical weight lists at every barrier window. Hub pile-ups
+    // (FlashCrowd), truth-churning splits (SplitMergeStorm), delete-only
+    // windows (CascadeDelete), and id-space growth under skew (SkewBurst)
+    // all ride through the same engines the uniform pins cover.
+    for scenario in &mut named_scenarios(true, 0xC0FFEE) {
+        let (graph, script) = scenario_script(scenario.as_mut(), 4);
+        let baseline = replay_scenario(graph.clone(), &script, 1, ExchangeMode::Coordinator);
+        assert_eq!(baseline.len(), script.len());
+        for exchange in [ExchangeMode::Coordinator, ExchangeMode::Mailbox] {
+            for shards in [1usize, 2, 4, 8] {
+                if shards == 1 && exchange == ExchangeMode::Coordinator {
+                    continue; // that's the baseline
+                }
+                let served = replay_scenario(graph.clone(), &script, shards, exchange);
+                for (epoch, (got, want)) in served.iter().zip(&baseline).enumerate() {
+                    assert_eq!(
+                        got.0,
+                        want.0,
+                        "{}: {shards} shards ({exchange:?}) roster diverged at window {epoch}",
+                        scenario.name()
+                    );
+                    assert_eq!(
+                        got.1,
+                        want.1,
+                        "{}: {shards} shards ({exchange:?}) weights diverged at window {epoch}",
+                        scenario.name()
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[test]

@@ -41,7 +41,7 @@
 //!
 //! | field | meaning |
 //! |-------|---------|
-//! | `schema_version` | shape version of this object; 2 added `attribution_per_shard`, `trace_dropped_records`, and `saturated_samples`; 3 split barrier attribution into arrive/depart and added the publish-collect counters (`boundary_hists_*`, `collect_bytes`, `publish_failures`) |
+//! | `schema_version` | shape version of this object; 2 added `attribution_per_shard`, `trace_dropped_records`, and `saturated_samples`; 3 split barrier attribution into arrive/depart and added the publish-collect counters (`boundary_hists_*`, `collect_bytes`, `publish_failures`); 4 added the dirty-region counters (`dirty_vertices`, `dirty_span`, `dirty_fraction`) and `quality_per_window` |
 //! | `edits_enqueued` | ops accepted into the ingestion queue |
 //! | `edits_applied` | ops that survived net-resolution and hit the graph |
 //! | `edits_rejected` | no-op ops (duplicate insert, absent delete, self-loop) |
@@ -61,6 +61,9 @@
 //! | `boundary_dirty_marked` | boundary vertices dirty at ship time plus first-time ships; `boundary_hists_shipped` ≤ this always holds (the CI gate) |
 //! | `collect_bytes` | approximate bytes of interior-counter + boundary-histogram payload shipped at publish |
 //! | `publish_failures` | publishes abandoned because a mesh worker died or stopped responding (the previous snapshot stays served) |
+//! | `dirty_vertices` | Σ over non-empty flushes of distinct vertices whose stored labels changed (the dirty region) |
+//! | `dirty_span` | Σ over the same flushes of the vertex count at flush time; `dirty_fraction` = `dirty_vertices`/`dirty_span` (mean per-flush dirty fraction — near 1.0 means incremental repair costs as much as full recompute) |
+//! | `quality_per_window` | array of `{epoch, onmi, f1, omega}` objects recorded by a quality harness (`repro churn`) scoring each published roster against a tracked ground-truth cover; empty when the run is unscored |
 //! | `channel_hops` | channel sends spent on coordination + boundary delivery |
 //! | `envelope_hops` | Σ channels traversed by boundary envelopes (2/envelope via the coordinator relay, 1 over the mailbox mesh) |
 //! | `mailbox_depth` | object: `count`/`p50`/`p99`/`max` of envelopes one shard drained per mesh round |
