@@ -199,7 +199,8 @@ fn usage() {
     eprintln!("scale options: --smoke (n=2^17 instead of 2^20), --out FILE");
     eprintln!("serve-p2p options: --smoke (CI-scale localized-churn sweep at 1/4/8 shards)");
     eprintln!(
-        "churn options: --smoke (CI-scale scenario sweep), --out FILE (default BENCH_churn.json)"
+        "churn options: --smoke (CI-scale scenario sweep), --scenario NAME (single-scenario \
+         replay), --out FILE (default BENCH_churn.json)"
     );
     eprintln!("barrier options: --out FILE (appends to an existing serve payload)");
     eprintln!("trace options: --smoke, --out FILE, --trace-out FILE (default BENCH_trace.json)");
@@ -265,6 +266,7 @@ fn main() {
         roster_out: take_option(&mut args, "--roster-out"),
     };
     let trace_out = take_option(&mut args, "--trace-out");
+    let scenario_arg = take_option(&mut args, "--scenario");
     let Some(target) = args.first() else {
         usage();
         std::process::exit(2);
@@ -297,6 +299,10 @@ fn main() {
     }
     if trace_out.is_some() && target != "trace" {
         eprintln!("--trace-out only applies to the trace experiment");
+        std::process::exit(2);
+    }
+    if scenario_arg.is_some() && target != "churn" {
+        eprintln!("--scenario only applies to the churn experiment");
         std::process::exit(2);
     }
     let started = std::time::Instant::now();
@@ -346,14 +352,15 @@ fn main() {
             || serve_opts.backend_given
             || serve_opts.roster_out.is_some()
         {
-            eprintln!("churn takes only --smoke and --out");
+            eprintln!("churn takes only --smoke, --scenario, and --out");
             std::process::exit(2);
         }
-        let w = if smoke {
+        let mut w = if smoke {
             ChurnWorkload::smoke()
         } else {
             ChurnWorkload::full()
         };
+        w.scenario = scenario_arg;
         let out = serve_opts
             .out
             .clone()

@@ -30,7 +30,7 @@ use crate::host_cores;
 use crate::report::{f3, Table};
 
 /// Workload knobs for the suite.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ChurnWorkload {
     /// Human label recorded in the JSON (`full` / `smoke`).
     pub mode: &'static str,
@@ -44,6 +44,10 @@ pub struct ChurnWorkload {
     pub shards: [usize; 2],
     /// Base seed for generators and the service.
     pub seed: u64,
+    /// Optional scenario-name filter (`--scenario NAME`): replay only the
+    /// named scenario across the full shards × engine sweep. Break-it
+    /// ratios need the uniform control and are skipped unless it runs.
+    pub scenario: Option<String>,
 }
 
 impl ChurnWorkload {
@@ -57,6 +61,7 @@ impl ChurnWorkload {
             iterations: 50,
             shards: [1, 4],
             seed: 0xC0FFEE,
+            scenario: None,
         }
     }
 
@@ -69,6 +74,7 @@ impl ChurnWorkload {
             iterations: 25,
             shards: [1, 4],
             seed: 0xC0FFEE,
+            scenario: None,
         }
     }
 }
@@ -273,6 +279,18 @@ fn quality_json(stats: &StatsReport) -> String {
 /// Run the sweep, print per-scenario tables, verify cross-config
 /// bit-identity, and write `out_path` (`BENCH_churn.json`).
 pub fn churn(w: &ChurnWorkload, out_path: &str) {
+    let all_names: Vec<&'static str> = scenario_suite(w.smoke, w.seed)
+        .iter()
+        .map(|s| s.name())
+        .collect();
+    if let Some(filter) = &w.scenario {
+        assert!(
+            all_names.iter().any(|n| n == filter),
+            "--scenario {filter:?} is not in the suite; known scenarios: {all_names:?}"
+        );
+        eprintln!("[churn:{}] filtered to scenario {filter}", w.mode);
+    }
+    let selected = |name: &str| w.scenario.as_deref().is_none_or(|f| f == name);
     eprintln!(
         "[churn:{}] {} windows x shards {:?} x both engines, T={}",
         w.mode, w.windows, w.shards, w.iterations
@@ -281,6 +299,9 @@ pub fn churn(w: &ChurnWorkload, out_path: &str) {
     for &shards in &w.shards {
         for engine in [ExchangeMode::Coordinator, ExchangeMode::Mailbox] {
             for scenario in &mut scenario_suite(w.smoke, w.seed) {
+                if !selected(scenario.name()) {
+                    continue;
+                }
                 let t = Instant::now();
                 let run = run_one(scenario.as_mut(), w, shards, engine);
                 eprintln!(
@@ -295,10 +316,8 @@ pub fn churn(w: &ChurnWorkload, out_path: &str) {
         }
     }
 
-    let scenario_names: Vec<&'static str> = scenario_suite(w.smoke, w.seed)
-        .iter()
-        .map(|s| s.name())
-        .collect();
+    let scenario_names: Vec<&'static str> =
+        all_names.iter().copied().filter(|n| selected(n)).collect();
 
     // Bit-identity: every config of a scenario must publish the same
     // final roster bytes (fingerprint) — partitioning and transport are
@@ -398,6 +417,8 @@ pub fn churn(w: &ChurnWorkload, out_path: &str) {
                  \"final_communities\": {}, \"dirty_vertices\": {}, \"dirty_span\": {}, \
                  \"dirty_fraction\": {:.6}, \"ship_ratio\": {:.6}, \
                  \"boundary_hists_shipped\": {}, \"boundary_hists_total\": {}, \
+                 \"hub_pulls\": {}, \"damped_deferrals\": {}, \
+                 \"repartition_vertices_moved\": {}, \"max_degree_delta\": {}, \
                  \"publish_p99_us\": {:.3}, \"final_onmi\": {}, \
                  \"quality_per_window\": [{}]}}",
                 r.scenario,
@@ -415,6 +436,10 @@ pub fn churn(w: &ChurnWorkload, out_path: &str) {
                 r.stats.ship_ratio(),
                 r.stats.boundary_hists_shipped,
                 r.stats.boundary_hists_total,
+                r.stats.hub_pulls,
+                r.stats.damped_deferrals,
+                r.stats.vertices_migrated,
+                r.stats.max_degree_delta,
                 r.stats.snapshots.p99_ns as f64 / 1e3,
                 final_onmi(r).map_or("null".into(), |v| format!("{v:.6}")),
                 quality_json(&r.stats),

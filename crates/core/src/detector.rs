@@ -27,7 +27,7 @@ use rslpa_graph::{
 };
 
 use crate::config::RslpaConfig;
-use crate::incremental::{apply_correction_streaming, UpdateReport};
+use crate::incremental::{apply_correction_damped, CascadeDamper, UpdateReport};
 use crate::postprocess::{postprocess, PostprocessResult};
 use crate::propagation::run_propagation;
 use crate::state::LabelState;
@@ -52,6 +52,8 @@ pub struct RslpaDetector {
     state: LabelState,
     config: RslpaConfig,
     batches_applied: usize,
+    /// Deferred-cascade state when `config.damping` is set.
+    damper: Option<CascadeDamper>,
 }
 
 impl RslpaDetector {
@@ -63,6 +65,7 @@ impl RslpaDetector {
             state,
             config,
             batches_applied: 0,
+            damper: config.damping.map(CascadeDamper::new),
         }
     }
 
@@ -127,11 +130,12 @@ impl RslpaDetector {
         slot_deltas: &mut Vec<SlotDelta>,
     ) -> Result<UpdateReport, EditError> {
         let applied = self.graph.apply(batch)?;
-        let report = apply_correction_streaming(
+        let report = apply_correction_damped(
             &mut self.state,
             self.graph.graph(),
             &applied,
             self.config.value_pruned_cascade,
+            self.damper.as_mut(),
             dirty,
             slot_deltas,
         );
@@ -150,6 +154,8 @@ impl RslpaDetector {
     /// baseline the incremental path is measured against).
     pub fn recompute_from_scratch(&mut self) {
         self.state = run_propagation(self.graph.graph(), self.config.iterations, self.config.seed);
+        // A from-scratch state is fully consistent; nothing is pending.
+        self.damper = self.config.damping.map(CascadeDamper::new);
     }
 }
 

@@ -24,12 +24,113 @@
 //! Because every slot's receivers sit at strictly later iterations, one
 //! ascending sweep over iteration buckets delivers every correction
 //! exactly once.
+//!
+//! ## Degree-capped cascade damping
+//!
+//! A forming hub turns every edit into an `O(hub-degree)` re-spray: each
+//! delivery at the hub forwards through *all* of its recorded receivers,
+//! which is exactly the flash-crowd blowup the churn suite measured.
+//! With a [`DampingConfig`], a vertex whose degree exceeds the cap is
+//! **muted as a label source**:
+//!
+//! * forwarding out of it is suppressed for the rest of the flush, and
+//!   the changed slot is parked in the [`CascadeDamper`];
+//! * a re-pick that lands on one of its slots keeps the listener's own
+//!   previous value (the classic hub-resistance move — a thousand fresh
+//!   spokes must not all echo the hub), and the slot is parked so the
+//!   new record is re-delivered once the hub calms down;
+//! * fetch replies in the sharded engines are suppressed the same way,
+//!   so the requester keeps its value by silence.
+//!
+//! Parked slots are released only once the vertex's degree is back at or
+//! under the cap, under a per-hub delivery budget in ascending (vertex,
+//! slot) order — a canonical schedule every engine reproduces — and the
+//! release cascades normally from there. The damped fixed point after
+//! each flush is therefore the same pure function of the batch sequence
+//! regardless of shard count or exchange transport, and once every
+//! parked vertex has dropped under the cap and drained, the state
+//! converges to the undamped fixed point (picks are label-independent,
+//! so only label values ever lag).
 
 use rslpa_graph::rng::{PickKey, Stream};
-use rslpa_graph::{AdjacencyGraph, AppliedBatch, FxHashSet, SlotDelta, VertexId};
+use rslpa_graph::{AdjacencyGraph, AppliedBatch, FxHashSet, Label, SlotDelta, VertexId};
 
+use crate::config::DampingConfig;
 use crate::propagation::draw_pick;
 use crate::state::{LabelState, NO_SOURCE};
+
+/// Deferred-cascade state for the centralized engine: per muted hub
+/// vertex, the slots whose receivers may be out of date — because the
+/// slot changed while the hub was over the cap, or because a listener
+/// re-picked onto it and kept its own value instead. Owned by
+/// [`RslpaDetector`](crate::RslpaDetector) and threaded through
+/// [`apply_correction_damped`].
+#[derive(Clone, Debug, Default)]
+pub struct CascadeDamper {
+    config: DampingConfig,
+    /// vertex → sorted slots needing re-delivery once the vertex drops
+    /// back under the cap.
+    pending: rslpa_graph::FxHashMap<VertexId, Vec<u32>>,
+}
+
+impl CascadeDamper {
+    /// A damper enforcing `config`.
+    pub fn new(config: DampingConfig) -> Self {
+        Self {
+            config,
+            pending: Default::default(),
+        }
+    }
+
+    /// The cap/budget this damper enforces.
+    pub fn config(&self) -> DampingConfig {
+        self.config
+    }
+
+    /// Is a vertex of this degree past the cap?
+    #[inline]
+    pub fn over_cap(&self, deg: usize) -> bool {
+        deg > self.config.degree_cap
+    }
+
+    /// Vertices with at least one parked slot.
+    pub fn pending_vertices(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Mark `(v, t)` as needing re-delivery on unmute: either its value
+    /// changed while `v` was over the cap, or a listener re-picked onto
+    /// it and kept its own value.
+    fn park(&mut self, v: VertexId, t: u32) {
+        let slots = self.pending.entry(v).or_default();
+        if let Err(i) = slots.binary_search(&t) {
+            slots.insert(i, t);
+        }
+    }
+
+    /// Forget a parked slot (its receivers are up to date again — the
+    /// slot was forwarded normally after the vertex dropped below the
+    /// cap, or a release just delivered it).
+    fn clear(&mut self, v: VertexId, t: u32) {
+        if let Some(slots) = self.pending.get_mut(&v) {
+            if let Ok(i) = slots.binary_search(&t) {
+                slots.remove(i);
+                if slots.is_empty() {
+                    self.pending.remove(&v);
+                }
+            }
+        }
+    }
+
+    /// Might a parked slot still hide a value from its receivers?
+    /// (While true, the state may be inconsistent in the
+    /// `check_consistency` sense; parked slots don't record the
+    /// receiver-held values, so this is conservatively any pending
+    /// work at all.)
+    pub fn masks_inconsistency(&self, _state: &LabelState) -> bool {
+        !self.pending.is_empty()
+    }
+}
 
 /// Work accounting for one incremental repair — the measured counterpart
 /// of §IV-D's η.
@@ -47,6 +148,10 @@ pub struct UpdateReport {
     pub eta: usize,
     /// Deliveries whose value actually differed (≤ `deliveries`).
     pub value_changes: usize,
+    /// Suppressions at over-cap vertices: receiver re-sprays deferred
+    /// plus re-pick reads that kept the listener's own value (damping
+    /// only; always 0 without a [`CascadeDamper`]).
+    pub damped_deferrals: usize,
 }
 
 /// Apply Correction Propagation to `state` for a batch already applied to
@@ -100,6 +205,49 @@ pub fn apply_correction_streaming(
     dirty: &mut FxHashSet<VertexId>,
     slot_deltas: &mut Vec<SlotDelta>,
 ) -> UpdateReport {
+    apply_correction_damped(
+        state,
+        graph_after,
+        applied,
+        value_pruned,
+        None,
+        dirty,
+        slot_deltas,
+    )
+}
+
+/// [`apply_correction_streaming`] with degree-capped cascade damping.
+///
+/// With `damper = None` this is bit-for-bit the undamped repair. With a
+/// damper, the flush runs in four steps:
+///
+/// 1. **Release**: pending slots of vertices whose degree dropped back
+///    to the cap or under are delivered to their receivers in ascending
+///    (vertex, slot) order, at most `flush_budget` deliveries per hub
+///    (always at least one slot, so pending work cannot starve).
+///    Vertices still over the cap stay parked untouched. Deliveries are
+///    staged here (pre-Phase-A receiver records) but applied after Phase
+///    A under a pick-staleness guard, mirroring the envelope timing of
+///    the sharded engines.
+/// 2. **Phase A** as usual, except a re-pick that lands on an over-cap
+///    source keeps the listener's previous value (the source slot is
+///    parked so the unmute release catches the new record up), and any
+///    value change on an over-cap vertex parks the slot.
+/// 3. The staged release deliveries apply, scheduling cascades.
+/// 4. **Phase B** as usual, except forwarding out of an over-cap vertex
+///    is suppressed (counted in `damped_deferrals`); a formerly-capped
+///    vertex that dropped back under the cap forwards normally and its
+///    parked entry is cleared.
+#[allow(clippy::too_many_arguments)]
+pub fn apply_correction_damped(
+    state: &mut LabelState,
+    graph_after: &AdjacencyGraph,
+    applied: &AppliedBatch,
+    value_pruned: bool,
+    mut damper: Option<&mut CascadeDamper>,
+    dirty: &mut FxHashSet<VertexId>,
+    slot_deltas: &mut Vec<SlotDelta>,
+) -> UpdateReport {
     let t_max = state.iterations() as u32;
     let seed = state.seed();
     let mut report = UpdateReport {
@@ -119,6 +267,52 @@ pub fn apply_correction_streaming(
             buckets[t as usize].push(v);
         }
     };
+
+    // --- Release: drain parked slots of unmuted vertices under the
+    // per-hub budget --- Canonical ascending (vertex, slot) order keeps
+    // this identical in every engine. A vertex still over the cap stays
+    // parked; deliveries are staged against the *pre-Phase-A* receiver
+    // records and applied after Phase A with a staleness guard, exactly
+    // like a routed envelope in the sharded engines.
+    let mut released: Vec<(VertexId, u32, VertexId, u32, Label)> = Vec::new();
+    if let Some(d) = damper.as_deref_mut() {
+        if !d.pending.is_empty() {
+            let budget = d.config.flush_budget.max(1);
+            let mut vids: Vec<VertexId> = d.pending.keys().copied().collect();
+            vids.sort_unstable();
+            for v in vids {
+                if d.over_cap(graph_after.neighbors(v).len()) {
+                    continue; // still muted: receivers keep waiting
+                }
+                let slots = d.pending.remove(&v).unwrap_or_default();
+                let mut kept: Vec<u32> = Vec::new();
+                let mut used = 0usize;
+                let mut released_any = false;
+                let mut stopped = false;
+                for t in slots {
+                    if stopped {
+                        kept.push(t);
+                        continue;
+                    }
+                    let receivers: Vec<(VertexId, u32)> = state.receivers_of(v, t).collect();
+                    if released_any && used + receivers.len() > budget {
+                        stopped = true;
+                        kept.push(t);
+                        continue;
+                    }
+                    used += receivers.len();
+                    released_any = true;
+                    let current = state.label(v, t);
+                    for (r, k) in receivers {
+                        released.push((v, t, r, k, current));
+                    }
+                }
+                if !kept.is_empty() {
+                    d.pending.insert(v, kept);
+                }
+            }
+        }
+    }
 
     // --- Phase A: adjacent edge changes (Algorithm 2 lines 1–12) ---
     for v in applied.affected_vertices() {
@@ -160,12 +354,14 @@ pub fn apply_correction_streaming(
             if needs_full_repick {
                 repick(
                     state,
+                    graph_after,
                     v,
                     t,
                     old_src,
                     old_pos,
                     nbrs,
                     value_pruned,
+                    &mut damper,
                     &mut report,
                     &mut touched,
                     dirty,
@@ -193,12 +389,14 @@ pub fn apply_correction_streaming(
                 // Redraw from the *new* neighbors only (Theorem 5).
                 repick(
                     state,
+                    graph_after,
                     v,
                     t,
                     old_src,
                     old_pos,
                     &delta.added,
                     value_pruned,
+                    &mut damper,
                     &mut report,
                     &mut touched,
                     dirty,
@@ -209,10 +407,53 @@ pub fn apply_correction_streaming(
         }
     }
 
+    // --- Apply staged release deliveries (post-Phase-A, like routed
+    // envelopes). A pick that Phase A re-drew discards the delivery.
+    for (src, t, r, k, l) in released {
+        if state.pick(r, k) != (src, t) {
+            continue; // receiver re-picked away during Phase A
+        }
+        report.deliveries += 1;
+        let old = state.label(r, k);
+        let changed = old != l;
+        if changed {
+            state.set_label(r, k, l);
+            report.value_changes += 1;
+            dirty.insert(r);
+            slot_deltas.push(SlotDelta {
+                v: r,
+                slot: k,
+                old,
+                new: l,
+            });
+            if let Some(d) = damper.as_deref_mut() {
+                if d.over_cap(graph_after.neighbors(r).len()) {
+                    d.park(r, k);
+                }
+            }
+        }
+        touched.insert((r, k));
+        if !value_pruned || changed {
+            schedule(r, k, &mut buckets, &mut scheduled);
+        }
+    }
+
     // --- Phase B: cascade through receiver records (lines 13–24) ---
     for t in 1..=t_max {
         let bucket = std::mem::take(&mut buckets[t as usize]);
         for v in bucket {
+            if let Some(d) = damper.as_deref_mut() {
+                if d.over_cap(graph_after.neighbors(v).len()) {
+                    // Over the cap: the re-spray is deferred. Any value
+                    // change was already parked at its change site.
+                    report.damped_deferrals += 1;
+                    continue;
+                }
+                // Back under the cap: forward the current value normally
+                // — its receivers are up to date after this, so drop any
+                // parked entry.
+                d.clear(v, t);
+            }
             let l = state.label(v, t);
             // Collect receivers first: delivering mutates the state.
             let receivers: Vec<(VertexId, u32)> = state.receivers_of(v, t).collect();
@@ -231,6 +472,11 @@ pub fn apply_correction_streaming(
                         old,
                         new: l,
                     });
+                    if let Some(d) = damper.as_deref_mut() {
+                        if d.over_cap(graph_after.neighbors(r).len()) {
+                            d.park(r, k);
+                        }
+                    }
                 }
                 touched.insert((r, k));
                 if !value_pruned || changed {
@@ -241,7 +487,12 @@ pub fn apply_correction_streaming(
     }
 
     report.eta = touched.len();
-    debug_assert!(crate::verify::check_consistency(state, graph_after).is_ok());
+    debug_assert!(
+        damper
+            .as_deref()
+            .is_some_and(|d| d.masks_inconsistency(state))
+            || crate::verify::check_consistency(state, graph_after).is_ok()
+    );
     report
 }
 
@@ -250,12 +501,14 @@ pub fn apply_correction_streaming(
 #[allow(clippy::too_many_arguments)]
 fn repick(
     state: &mut LabelState,
+    graph_after: &AdjacencyGraph,
     v: VertexId,
     t: u32,
     old_src: VertexId,
     old_pos: u32,
     candidates: &[VertexId],
     value_pruned: bool,
+    damper: &mut Option<&mut CascadeDamper>,
     report: &mut UpdateReport,
     touched: &mut FxHashSet<(VertexId, u32)>,
     dirty: &mut FxHashSet<VertexId>,
@@ -269,11 +522,22 @@ fn repick(
     let (src, pos) = draw_pick(state.seed(), v, t, epoch, candidates);
     state.set_pick(v, t, src, pos);
     state.add_record(src, pos, v, t);
+    report.repicks += 1;
+    // A muted source (over the degree cap) serves nothing: the listener
+    // keeps its previous value, and the source slot is parked so the
+    // unmute release catches this record up. The sharded engines do the
+    // same by suppressing the fetch reply.
+    if let Some(d) = damper.as_deref_mut() {
+        if d.over_cap(graph_after.neighbors(src).len()) {
+            d.park(src, pos);
+            report.damped_deferrals += 1;
+            return;
+        }
+    }
     let new_label = state.label(src, pos);
     let old = state.label(v, t);
     let changed = old != new_label;
     state.set_label(v, t, new_label);
-    report.repicks += 1;
     touched.insert((v, t));
     if changed {
         dirty.insert(v);
@@ -283,6 +547,11 @@ fn repick(
             old,
             new: new_label,
         });
+        if let Some(d) = damper.as_deref_mut() {
+            if d.over_cap(graph_after.neighbors(v).len()) {
+                d.park(v, t);
+            }
+        }
     }
     if !value_pruned || changed {
         schedule(v, t);
@@ -649,6 +918,118 @@ mod tests {
                 assert_eq!(compact_replay[v], state.label_sequence(v as u32));
             }
         }
+    }
+
+    /// Apply one batch with an optional damper, mirroring the detector's
+    /// streaming call.
+    fn step_damped(
+        dg: &mut DynamicGraph,
+        state: &mut LabelState,
+        batch: EditBatch,
+        damper: Option<&mut CascadeDamper>,
+    ) -> UpdateReport {
+        let applied = dg.apply(&batch).expect("valid batch");
+        let mut dirty = FxHashSet::default();
+        let mut deltas = Vec::new();
+        apply_correction_damped(
+            state,
+            dg.graph(),
+            &applied,
+            false,
+            damper,
+            &mut dirty,
+            &mut deltas,
+        )
+    }
+
+    #[test]
+    fn damping_with_a_huge_cap_is_bit_identical_to_no_damping() {
+        // A cap no degree reaches must not change a single bit — the
+        // damped path degenerates to the plain repair.
+        for seed in 0..6u64 {
+            let batches = [
+                EditBatch::from_lists([(1, 3)], [(0, 1)]),
+                EditBatch::from_lists([(0, 1)], [(2, 3)]),
+                EditBatch::from_lists([], [(0, 4)]),
+            ];
+            let mut dg_a = DynamicGraph::new(star_plus_ring());
+            let mut plain = run_propagation(dg_a.graph(), 12, seed);
+            let mut dg_b = DynamicGraph::new(star_plus_ring());
+            let mut damped = run_propagation(dg_b.graph(), 12, seed);
+            let mut damper = CascadeDamper::new(DampingConfig {
+                degree_cap: 1_000,
+                flush_budget: 1,
+            });
+            for batch in &batches {
+                let rep_plain = step_damped(&mut dg_a, &mut plain, batch.clone(), None);
+                let rep_damped =
+                    step_damped(&mut dg_b, &mut damped, batch.clone(), Some(&mut damper));
+                assert_eq!(rep_plain, rep_damped, "reports diverged");
+                assert_eq!(rep_damped.damped_deferrals, 0);
+            }
+            assert_eq!(damper.pending_vertices(), 0);
+            for v in 0..5u32 {
+                assert_eq!(plain.label_sequence(v), damped.label_sequence(v));
+                for t in 1..=12u32 {
+                    assert_eq!(plain.pick(v, t), damped.pick(v, t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn damped_state_converges_to_the_undamped_fixed_point() {
+        // Picks are label-independent, so damping only lets label values
+        // lag: listeners on a muted source keep their own value until
+        // the unmute release. Once every parked vertex drops back under
+        // the cap (the relief batch) and the pending work drains (empty
+        // batches trigger pure release flushes), the damped state must
+        // equal the undamped one bit for bit.
+        let mut deferred_any = 0usize;
+        for seed in 0..6u64 {
+            let batches = [
+                EditBatch::from_lists([(1, 3)], [(0, 1)]),
+                EditBatch::from_lists([(0, 1), (2, 4)], [(2, 3)]),
+                // Relief: every degree ends at or below the cap.
+                EditBatch::from_lists([], [(0, 3), (0, 4), (1, 3)]),
+            ];
+            let mut dg_a = DynamicGraph::new(star_plus_ring());
+            let mut plain = run_propagation(dg_a.graph(), 12, seed);
+            let mut dg_b = DynamicGraph::new(star_plus_ring());
+            let mut damped = run_propagation(dg_b.graph(), 12, seed);
+            // Cap 3: the hub (degree 4) and whichever ring vertex the
+            // insertions push to degree 4 mute; budget 1 stretches the
+            // drain over many flushes.
+            let mut damper = CascadeDamper::new(DampingConfig {
+                degree_cap: 3,
+                flush_budget: 1,
+            });
+            for batch in &batches {
+                step_damped(&mut dg_a, &mut plain, batch.clone(), None);
+                let rep = step_damped(&mut dg_b, &mut damped, batch.clone(), Some(&mut damper));
+                deferred_any += rep.damped_deferrals;
+            }
+            // Drain: empty batches release pending work budget by budget.
+            let mut rounds = 0;
+            while damper.masks_inconsistency(&damped) {
+                step_damped(&mut dg_b, &mut damped, EditBatch::new(), Some(&mut damper));
+                rounds += 1;
+                assert!(rounds < 200, "pending work failed to drain");
+            }
+            crate::verify::check_consistency(&damped, dg_b.graph()).unwrap();
+            for v in 0..5u32 {
+                assert_eq!(
+                    plain.label_sequence(v),
+                    damped.label_sequence(v),
+                    "drained damped state diverged at {v} (seed {seed})"
+                );
+                for t in 1..=12u32 {
+                    assert_eq!(plain.pick(v, t), damped.pick(v, t));
+                    assert_eq!(plain.epoch(v, t), damped.epoch(v, t));
+                }
+            }
+        }
+        assert!(deferred_any > 0, "cap 3 must actually defer somewhere");
     }
 
     #[test]

@@ -46,13 +46,14 @@ pub mod state;
 pub mod verify;
 
 pub use barrier::{SenseBarrier, WaitReport};
-pub use config::RslpaConfig;
+pub use config::{DampingConfig, RslpaConfig};
 pub use detector::{DetectionResult, RslpaDetector};
 pub use edge_counters::{
     assemble_partitioned_weights, BoundaryShipReport, CounterPartition, EdgeCounters,
 };
 pub use incremental::{
-    apply_correction, apply_correction_streaming, apply_correction_tracked, UpdateReport,
+    apply_correction, apply_correction_damped, apply_correction_streaming,
+    apply_correction_tracked, CascadeDamper, UpdateReport,
 };
 pub use postprocess::{postprocess, PostprocessResult};
 pub use postprocess_incremental::{result_from_weights, IncrementalPostprocess};

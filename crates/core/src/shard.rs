@@ -51,6 +51,7 @@ use rslpa_graph::{
 use rslpa_trace::{names, TraceWriter};
 
 use crate::barrier::SenseBarrier;
+use crate::config::DampingConfig;
 use crate::propagation::draw_pick;
 use crate::state::{LabelState, Record, NO_SOURCE};
 
@@ -117,6 +118,9 @@ pub struct ShardFlushReport {
     /// dirty region; vertex ownership is disjoint so per-shard counts
     /// sum exactly).
     pub dirty_vertices: usize,
+    /// Re-sprays suppressed at over-cap vertices (damping only; always 0
+    /// without a [`DampingConfig`]).
+    pub damped_deferrals: usize,
 }
 
 impl ShardFlushReport {
@@ -129,6 +133,7 @@ impl ShardFlushReport {
         self.eta += other.eta;
         self.boundary_msgs += other.boundary_msgs;
         self.dirty_vertices += other.dirty_vertices;
+        self.damped_deferrals += other.damped_deferrals;
     }
 }
 
@@ -149,6 +154,9 @@ pub struct VertexRowData {
     pub neighbors: Vec<VertexId>,
     /// Whether the label sequence changed since the last dirty drain.
     pub dirty: bool,
+    /// Damping: sorted slots whose receivers may be out of date and
+    /// await an unmute release (empty without damping).
+    pub pending: Vec<u32>,
 }
 
 /// The full provenance rows of one owned vertex.
@@ -164,6 +172,10 @@ struct VertexRow {
     records: Vec<Record>,
     /// Sorted neighbor list (the shard-owned adjacency row).
     neighbors: Vec<VertexId>,
+    /// Damping: sorted slots whose receivers may be out of date —
+    /// changed while this vertex was muted, or picked by a listener the
+    /// muted fetch never answered — awaiting a budgeted unmute release.
+    pending: Vec<u32>,
 }
 
 impl VertexRow {
@@ -175,7 +187,25 @@ impl VertexRow {
             epochs: vec![0; t_max],
             records: Vec::new(),
             neighbors: Vec::new(),
+            pending: Vec::new(),
         }
+    }
+}
+
+/// Park slot `t` for an unmute release: its value changed while the
+/// vertex was muted, or a muted fetch left a listener holding its own
+/// stale value.
+fn pending_park(pending: &mut Vec<u32>, t: u32) {
+    if let Err(i) = pending.binary_search(&t) {
+        pending.insert(i, t);
+    }
+}
+
+/// Forget a parked slot (its receivers are being brought up to date by a
+/// normal forward).
+fn pending_clear(pending: &mut Vec<u32>, t: u32) {
+    if let Ok(i) = pending.binary_search(&t) {
+        pending.remove(i);
     }
 }
 
@@ -185,6 +215,9 @@ pub struct ShardRepairState {
     t_max: usize,
     seed: u64,
     value_pruned: bool,
+    /// Degree-capped cascade damping; `None` (default) forwards every
+    /// correction immediately, like the paper's Algorithm 2.
+    damping: Option<DampingConfig>,
     partitioner: Arc<dyn Partitioner>,
     rows: FxHashMap<VertexId, VertexRow>,
     /// Owned vertices whose label sequence changed since the last drain
@@ -203,6 +236,9 @@ pub struct ShardRepairState {
     /// Local delivery queue: envelopes addressed to this shard that have
     /// not been applied yet.
     local: Vec<Envelope>,
+    /// Owned vertices with a nonempty `pending` row (damping); an index
+    /// so release staging never scans the full row map.
+    pending_set: FxHashSet<VertexId>,
 }
 
 impl ShardRepairState {
@@ -227,6 +263,7 @@ impl ShardRepairState {
                     epochs: (1..=t_max as u32).map(|t| state.epoch(v, t)).collect(),
                     records: state.records(v).to_vec(),
                     neighbors: graph.neighbors(v).to_vec(),
+                    pending: Vec::new(),
                 },
             );
         }
@@ -237,6 +274,7 @@ impl ShardRepairState {
             // Paper-faithful unconditional forwarding by default;
             // `set_value_pruned` selects the ablation semantics.
             value_pruned: false,
+            damping: None,
             partitioner,
             rows,
             dirty: FxHashSet::default(),
@@ -244,6 +282,7 @@ impl ShardRepairState {
             touched: FxHashSet::default(),
             flush_dirty: FxHashSet::default(),
             local: Vec::new(),
+            pending_set: FxHashSet::default(),
         }
     }
 
@@ -251,6 +290,19 @@ impl ShardRepairState {
     /// forwarding vs value-pruned ablation).
     pub fn set_value_pruned(&mut self, pruned: bool) {
         self.value_pruned = pruned;
+    }
+
+    /// Enable (or disable) degree-capped cascade damping. Must be set
+    /// identically on every shard of an engine, before the first flush.
+    pub fn set_damping(&mut self, damping: Option<DampingConfig>) {
+        self.damping = damping;
+    }
+
+    /// Whether any owned vertex has a parked re-spray awaiting release.
+    /// The mailbox engine uses this to keep posting (possibly empty)
+    /// flushes to an otherwise-idle shard until its pending work drains.
+    pub fn has_pending(&self) -> bool {
+        !self.pending_set.is_empty()
     }
 
     /// Shard index.
@@ -315,13 +367,86 @@ impl ShardRepairState {
         self.begin_flush();
         let mut report = ShardFlushReport::default();
         let mut staged = Vec::new();
+        // Bring the adjacency rows to the post-batch topology first:
+        // every muting decision of this flush — the release gate below
+        // included — reads post-batch degrees, exactly like the
+        // centralized engine's `graph_after`.
         for (v, delta) in deltas {
             debug_assert!(self.owns(*v), "delta routed to the wrong shard");
+            self.apply_adjacency(*v, delta);
+        }
+        // Damping: release parked re-sprays next, against the
+        // pre-Phase-A labels and records (the centralized engine stages
+        // its releases at the same point).
+        self.stage_releases(&mut staged);
+        for (v, delta) in deltas {
             self.phase_a(*v, delta, &mut staged, &mut report);
         }
         self.route(staged, out, &mut report);
         self.drain_local(out, &mut report);
         report
+    }
+
+    /// Damping release: for every owned vertex with parked slots whose
+    /// degree dropped back to the cap or under, in ascending (vertex,
+    /// slot) order, forward the current value of each parked slot to its
+    /// receivers under the per-hub `flush_budget` (always at least one
+    /// slot, so pending work cannot starve). Vertices still over the cap
+    /// stay parked untouched. The staged `Value`s carry the pick-origin
+    /// guard, so a receiver that re-picks away this very flush drops
+    /// them.
+    fn stage_releases(&mut self, staged: &mut Vec<Envelope>) {
+        let Some(cfg) = self.damping else { return };
+        if self.pending_set.is_empty() {
+            return;
+        }
+        let budget = cfg.flush_budget.max(1);
+        let mut vids: Vec<VertexId> = self.pending_set.iter().copied().collect();
+        vids.sort_unstable();
+        for v in vids {
+            let row = self
+                .rows
+                .get_mut(&v)
+                .expect("pending index points to a row");
+            if row.neighbors.len() > cfg.degree_cap {
+                continue; // still muted: receivers keep waiting
+            }
+            let slots = std::mem::take(&mut row.pending);
+            let mut kept: Vec<u32> = Vec::new();
+            let mut used = 0usize;
+            let mut released_any = false;
+            let mut stopped = false;
+            for t in slots {
+                if stopped {
+                    kept.push(t);
+                    continue;
+                }
+                let fanout = row.records.iter().filter(|r| r.slot == t).count();
+                if released_any && used + fanout > budget {
+                    stopped = true;
+                    kept.push(t);
+                    continue;
+                }
+                used += fanout;
+                released_any = true;
+                let current = row.labels[t as usize];
+                for r in row.records.iter().filter(|r| r.slot == t) {
+                    staged.push(Envelope {
+                        to: r.receiver,
+                        from: v,
+                        msg: ShardMsg::Value {
+                            t: r.k,
+                            origin_pos: t,
+                            label: current,
+                        },
+                    });
+                }
+            }
+            if kept.is_empty() {
+                self.pending_set.remove(&v);
+            }
+            row.pending = kept;
+        }
     }
 
     /// Deliver a round of inbound envelopes (all addressed to owned
@@ -354,6 +479,7 @@ impl ShardRepairState {
             .map(|&v| {
                 let row = self.rows.remove(&v).expect("extracting a row we own");
                 let dirty = self.dirty.remove(&v);
+                self.pending_set.remove(&v);
                 (
                     v,
                     VertexRowData {
@@ -363,6 +489,7 @@ impl ShardRepairState {
                         records: row.records,
                         neighbors: row.neighbors,
                         dirty,
+                        pending: row.pending,
                     },
                 )
             })
@@ -380,6 +507,9 @@ impl ShardRepairState {
             if data.dirty {
                 self.dirty.insert(v);
             }
+            if !data.pending.is_empty() {
+                self.pending_set.insert(v);
+            }
             let prev = self.rows.insert(
                 v,
                 VertexRow {
@@ -388,6 +518,7 @@ impl ShardRepairState {
                     epochs: data.epochs,
                     records: data.records,
                     neighbors: data.neighbors,
+                    pending: data.pending,
                 },
             );
             debug_assert!(prev.is_none(), "adopted row collides with a live one");
@@ -439,8 +570,29 @@ impl ShardRepairState {
         }
     }
 
-    /// Phase A for one owned vertex: update the adjacency row, re-examine
-    /// every pick slot, stage protocol messages.
+    /// Fold one vertex's edge delta into its adjacency row (creating the
+    /// row for a fresh vertex). Runs for the whole shard before release
+    /// staging and Phase A, so both see post-batch degrees.
+    fn apply_adjacency(&mut self, v: VertexId, delta: &VertexDelta) {
+        let t_max = self.t_max;
+        let row = self
+            .rows
+            .entry(v)
+            .or_insert_with(|| VertexRow::fresh(v, t_max));
+        for &gone in &delta.removed {
+            if let Ok(i) = row.neighbors.binary_search(&gone) {
+                row.neighbors.remove(i);
+            }
+        }
+        for &new in &delta.added {
+            if let Err(i) = row.neighbors.binary_search(&new) {
+                row.neighbors.insert(i, new);
+            }
+        }
+    }
+
+    /// Phase A for one owned vertex: re-examine every pick slot against
+    /// the (already updated) adjacency row, stage protocol messages.
     fn phase_a(
         &mut self,
         v: VertexId,
@@ -453,18 +605,8 @@ impl ShardRepairState {
         let value_pruned = self.value_pruned;
         let row = self
             .rows
-            .entry(v)
-            .or_insert_with(|| VertexRow::fresh(v, t_max as usize));
-        for &gone in &delta.removed {
-            if let Ok(i) = row.neighbors.binary_search(&gone) {
-                row.neighbors.remove(i);
-            }
-        }
-        for &new in &delta.added {
-            if let Err(i) = row.neighbors.binary_search(&new) {
-                row.neighbors.insert(i, new);
-            }
-        }
+            .get_mut(&v)
+            .expect("apply_adjacency materialized the row");
         for t in 1..=t_max {
             let ti = t as usize - 1;
             let (old_src, old_pos) = row.picks[ti];
@@ -500,8 +642,15 @@ impl ShardRepairState {
                         });
                     }
                     // A reverted slot gets no incoming Value to trigger
-                    // forwarding, so notify its receivers directly.
+                    // forwarding, so notify its receivers directly. (A
+                    // reverted vertex has degree 0 — always under any
+                    // damping cap — but a former hub may still carry a
+                    // parked entry; this forward supersedes it.)
                     if !value_pruned || changed {
+                        pending_clear(&mut row.pending, t);
+                        if row.pending.is_empty() {
+                            self.pending_set.remove(&v);
+                        }
                         for r in &row.records {
                             if r.slot == t {
                                 staged.push(Envelope {
@@ -579,6 +728,7 @@ impl ShardRepairState {
         staged: &mut Vec<Envelope>,
         report: &mut ShardFlushReport,
     ) {
+        let damping = self.damping;
         let row = self.rows.get_mut(&v).expect("message to unknown vertex");
         // 1. Unrecords: detach receivers that repicked away.
         for env in inbox {
@@ -623,6 +773,14 @@ impl ShardRepairState {
                         old,
                         new: label,
                     });
+                    // Damping: a muted vertex parks the changed slot —
+                    // its receivers catch up at the unmute release.
+                    if let Some(cfg) = damping {
+                        if row.neighbors.len() > cfg.degree_cap {
+                            pending_park(&mut row.pending, t);
+                            self.pending_set.insert(v);
+                        }
+                    }
                 }
                 if !self.value_pruned || changed {
                     changed_slots.push(t);
@@ -633,6 +791,12 @@ impl ShardRepairState {
         changed_slots.dedup();
         // 3. Serve fetches with post-update labels; snapshot the record
         //    count first so step 4 does not double-deliver to them.
+        //    A muted owner (over the degree cap) registers the record but
+        //    suppresses the reply: the requester keeps its own previous
+        //    value by silence, and the parked slot re-delivers at the
+        //    unmute release. (The centralized engine's muted re-pick read
+        //    is the same move.)
+        let muted_owner = damping.is_some_and(|cfg| row.neighbors.len() > cfg.degree_cap);
         let pre_fetch_records = row.records.len();
         for env in inbox {
             if let ShardMsg::Fetch { pos, k } = env.msg {
@@ -641,6 +805,12 @@ impl ShardRepairState {
                     receiver: env.from,
                     k,
                 });
+                if muted_owner {
+                    pending_park(&mut row.pending, pos);
+                    self.pending_set.insert(v);
+                    report.damped_deferrals += 1;
+                    continue;
+                }
                 staged.push(Envelope {
                     to: env.from,
                     from: v,
@@ -652,8 +822,24 @@ impl ShardRepairState {
                 });
             }
         }
-        // 4. Forward corrections to previously-registered receivers.
+        // 4. Forward corrections to previously-registered receivers — or,
+        //    at an over-cap vertex under damping, defer the whole
+        //    re-spray (changes were parked at their change sites).
+        if let Some(cfg) = damping {
+            if row.neighbors.len() > cfg.degree_cap {
+                report.damped_deferrals += changed_slots.len();
+                return;
+            }
+        }
         for &t in &changed_slots {
+            if damping.is_some() {
+                // Under the cap (again): this forward updates every
+                // receiver, superseding any parked entry.
+                pending_clear(&mut row.pending, t);
+                if row.pending.is_empty() {
+                    self.pending_set.remove(&v);
+                }
+            }
             let label = row.labels[t as usize];
             for i in 0..pre_fetch_records {
                 let r = row.records[i];
@@ -1491,6 +1677,318 @@ mod tests {
             });
             let meshed = assemble(&shards, 8, t_max, seed);
             compare_states(&central, &meshed, 8, t_max as u32);
+        }
+    }
+
+    /// A 10-spoke hub (vertex 0) with a ring through the spokes — degree
+    /// 10 at the hub, ≥ 3 elsewhere, so a small cap makes the hub (and
+    /// only the hub) defer.
+    fn hub_graph() -> AdjacencyGraph {
+        let mut edges: Vec<(VertexId, VertexId)> = (1..=10).map(|i| (0, i)).collect();
+        edges.extend((1..10).map(|i| (i, i + 1)));
+        AdjacencyGraph::from_edges(11, edges)
+    }
+
+    /// The centralized damped reference: per-batch states for a script.
+    fn central_damped_script(
+        batches: &[EditBatch],
+        seed: u64,
+        t_max: usize,
+        cfg: DampingConfig,
+    ) -> Vec<LabelState> {
+        let mut dg = DynamicGraph::new(hub_graph());
+        let mut state = run_propagation(dg.graph(), t_max, seed);
+        let mut damper = crate::incremental::CascadeDamper::new(cfg);
+        batches
+            .iter()
+            .map(|batch| {
+                let applied = dg.apply(batch).unwrap();
+                let mut dirty = FxHashSet::default();
+                let mut deltas = Vec::new();
+                crate::incremental::apply_correction_damped(
+                    &mut state,
+                    dg.graph(),
+                    &applied,
+                    false,
+                    Some(&mut damper),
+                    &mut dirty,
+                    &mut deltas,
+                );
+                state.clone()
+            })
+            .collect()
+    }
+
+    fn damped_script() -> Vec<EditBatch> {
+        vec![
+            EditBatch::from_lists([], [(0, 3)]),
+            EditBatch::from_lists([(0, 3), (2, 9)], [(0, 7)]),
+            EditBatch::from_lists([(0, 7)], [(1, 2)]),
+            // Pure-release flushes: pending hub slots drain on a budget.
+            EditBatch::new(),
+            EditBatch::new(),
+            EditBatch::new(),
+        ]
+    }
+
+    #[test]
+    fn damped_repair_matches_centralized_across_shard_counts() {
+        // The damped fixed point after every flush — including
+        // budget-limited partial releases mid-drain — must be a pure
+        // function of the batch sequence, whatever the shard count.
+        let cfg = DampingConfig {
+            degree_cap: 4,
+            flush_budget: 3,
+        };
+        let t_max = 10usize;
+        let batches = damped_script();
+        for seed in 0..4u64 {
+            let reference = central_damped_script(&batches, seed, t_max, cfg);
+            for parts in [1usize, 2, 4, 8] {
+                let partitioner: Arc<dyn Partitioner> = Arc::new(HashPartitioner::new(parts));
+                let state0 = run_propagation(&hub_graph(), t_max, seed);
+                let mut shards: Vec<ShardRepairState> = (0..parts)
+                    .map(|s| {
+                        let mut sh = ShardRepairState::from_state(
+                            &state0,
+                            &hub_graph(),
+                            s,
+                            Arc::clone(&partitioner),
+                        );
+                        sh.set_damping(Some(cfg));
+                        sh
+                    })
+                    .collect();
+                let mut dg = DynamicGraph::new(hub_graph());
+                let mut deferred = 0usize;
+                for (i, batch) in batches.iter().enumerate() {
+                    let applied = dg.apply(batch).unwrap();
+                    let report = run_shards(&mut shards, partitioner.as_ref(), &applied);
+                    deferred += report.damped_deferrals;
+                    let sharded = assemble(&shards, 11, t_max, seed);
+                    compare_states(&reference[i], &sharded, 11, t_max as u32);
+                }
+                assert!(
+                    deferred > 0,
+                    "hub degree 10 over cap 4 must defer (seed {seed}, {parts} shards)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn damped_repair_matches_centralized_over_the_mesh() {
+        let cfg = DampingConfig {
+            degree_cap: 4,
+            flush_budget: 3,
+        };
+        let t_max = 10usize;
+        let batches = damped_script();
+        for seed in 0..3u64 {
+            let reference = central_damped_script(&batches, seed, t_max, cfg);
+            for parts in [2usize, 4] {
+                let partitioner: Arc<dyn Partitioner> = Arc::new(HashPartitioner::new(parts));
+                let state0 = run_propagation(&hub_graph(), t_max, seed);
+                let mut shards: Vec<ShardRepairState> = (0..parts)
+                    .map(|s| {
+                        let mut sh = ShardRepairState::from_state(
+                            &state0,
+                            &hub_graph(),
+                            s,
+                            Arc::clone(&partitioner),
+                        );
+                        sh.set_damping(Some(cfg));
+                        sh
+                    })
+                    .collect();
+                let mut dg = DynamicGraph::new(hub_graph());
+                for (i, batch) in batches.iter().enumerate() {
+                    let applied = dg.apply(batch).unwrap();
+                    let (back, _, _) = run_shards_mesh(shards, &applied, partitioner.as_ref());
+                    shards = back;
+                    let meshed = assemble(&shards, 11, t_max, seed);
+                    compare_states(&reference[i], &meshed, 11, t_max as u32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pending_rows_survive_migration_bit_exactly() {
+        // Repartition mid-drain — while hub slots are still parked — and
+        // keep flushing: parked entries must travel with their rows.
+        let cfg = DampingConfig {
+            degree_cap: 4,
+            flush_budget: 2,
+        };
+        let t_max = 10usize;
+        let seed = 9u64;
+        let parts = 3usize;
+        let batches = damped_script();
+        let reference = central_damped_script(&batches, seed, t_max, cfg);
+
+        let p_old: Arc<dyn Partitioner> = Arc::new(HashPartitioner::with_seed(parts, 1));
+        let state0 = run_propagation(&hub_graph(), t_max, seed);
+        let mut shards: Vec<ShardRepairState> = (0..parts)
+            .map(|s| {
+                let mut sh =
+                    ShardRepairState::from_state(&state0, &hub_graph(), s, Arc::clone(&p_old));
+                sh.set_damping(Some(cfg));
+                sh
+            })
+            .collect();
+        let mut dg = DynamicGraph::new(hub_graph());
+        for (i, batch) in batches.iter().enumerate() {
+            let applied = dg.apply(batch).unwrap();
+            run_shards(&mut shards, p_old.as_ref(), &applied);
+            compare_states(
+                &reference[i],
+                &assemble(&shards, 11, t_max, seed),
+                11,
+                t_max as u32,
+            );
+            if i == 1 {
+                // Mid-drain migration: the hub has parked slots here.
+                assert!(
+                    shards.iter().any(|s| s.has_pending()),
+                    "script must leave pending work at batch 1"
+                );
+                let p_new: Arc<dyn Partitioner> = Arc::new(HashPartitioner::with_seed(parts, 99));
+                let mut in_flight: Vec<Vec<(VertexId, VertexRowData)>> = vec![Vec::new(); parts];
+                for shard in shards.iter_mut() {
+                    let leaving: Vec<VertexId> = (0..11u32)
+                        .filter(|&v| {
+                            p_old.assign(v) == shard.shard() && p_new.assign(v) != shard.shard()
+                        })
+                        .collect();
+                    for (v, row) in shard.extract_rows(&leaving) {
+                        in_flight[p_new.assign(v)].push((v, row));
+                    }
+                }
+                for (shard, rows) in shards.iter_mut().zip(in_flight) {
+                    shard.set_partitioner(Arc::clone(&p_new));
+                    shard.adopt_rows(rows);
+                }
+                // Later flushes run under the new map.
+                return pending_migration_tail(
+                    shards,
+                    p_new,
+                    dg,
+                    &batches[2..],
+                    &reference[2..],
+                    t_max,
+                    seed,
+                );
+            }
+        }
+    }
+
+    /// Continuation of [`pending_rows_survive_migration_bit_exactly`]
+    /// after the mid-drain repartition.
+    fn pending_migration_tail(
+        mut shards: Vec<ShardRepairState>,
+        partitioner: Arc<dyn Partitioner>,
+        mut dg: DynamicGraph,
+        batches: &[EditBatch],
+        reference: &[LabelState],
+        t_max: usize,
+        seed: u64,
+    ) {
+        for (i, batch) in batches.iter().enumerate() {
+            let applied = dg.apply(batch).unwrap();
+            run_shards(&mut shards, partitioner.as_ref(), &applied);
+            compare_states(
+                &reference[i],
+                &assemble(&shards, 11, t_max, seed),
+                11,
+                t_max as u32,
+            );
+        }
+    }
+
+    #[test]
+    fn damped_cap_crossing_churn_matches_centralized() {
+        // Drive the hub over and back under the cap repeatedly (burst /
+        // calm cycles) with random peripheral churn mixed in: the
+        // sharded damped state must track the centralized damped
+        // reference bit for bit at every flush, including the unmute
+        // release windows. (Regression: full-scale skew_burst first
+        // diverged at the window where a burst vertex dropped back
+        // under the cap.)
+        let cfg = DampingConfig {
+            degree_cap: 4,
+            flush_budget: 2,
+        };
+        let t_max = 8usize;
+        for seed in 0..6u64 {
+            // Script the windows against a shadow graph.
+            let mut rng_state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+            let mut rng = move || {
+                rng_state ^= rng_state << 13;
+                rng_state ^= rng_state >> 7;
+                rng_state ^= rng_state << 17;
+                rng_state
+            };
+            let mut shadow = DynamicGraph::new(hub_graph());
+            let mut batches = Vec::new();
+            for w in 0..12usize {
+                let mut ins: Vec<(VertexId, VertexId)> = Vec::new();
+                let mut del: Vec<(VertexId, VertexId)> = Vec::new();
+                let g = shadow.graph();
+                if w % 4 < 2 {
+                    // Burst: wire the hub to every current non-neighbor.
+                    for u in 1..11u32 {
+                        if g.neighbors(0).binary_search(&u).is_err() {
+                            ins.push((0, u));
+                        }
+                    }
+                } else {
+                    // Calm: unwire every other hub edge.
+                    for (i, &u) in g.neighbors(0).iter().enumerate() {
+                        if i % 2 == w % 2 {
+                            del.push((0, u));
+                        }
+                    }
+                }
+                // Peripheral churn: toggle one random non-hub pair.
+                let a = 1 + (rng() % 10) as u32;
+                let b = 1 + (rng() % 10) as u32;
+                if a != b {
+                    let (a, b) = (a.min(b), a.max(b));
+                    if g.neighbors(a).binary_search(&b).is_ok() {
+                        del.push((a, b));
+                    } else {
+                        ins.push((a, b));
+                    }
+                }
+                let batch = EditBatch::from_lists(ins, del);
+                shadow.apply(&batch).unwrap();
+                batches.push(batch);
+            }
+            let reference = central_damped_script(&batches, seed, t_max, cfg);
+            for parts in [2usize, 3, 4] {
+                let partitioner: Arc<dyn Partitioner> = Arc::new(HashPartitioner::new(parts));
+                let state0 = run_propagation(&hub_graph(), t_max, seed);
+                let mut shards: Vec<ShardRepairState> = (0..parts)
+                    .map(|s| {
+                        let mut sh = ShardRepairState::from_state(
+                            &state0,
+                            &hub_graph(),
+                            s,
+                            Arc::clone(&partitioner),
+                        );
+                        sh.set_damping(Some(cfg));
+                        sh
+                    })
+                    .collect();
+                let mut dg = DynamicGraph::new(hub_graph());
+                for (i, batch) in batches.iter().enumerate() {
+                    let applied = dg.apply(batch).unwrap();
+                    run_shards(&mut shards, partitioner.as_ref(), &applied);
+                    let sharded = assemble(&shards, 11, t_max, seed);
+                    compare_states(&reference[i], &sharded, 11, t_max as u32);
+                }
+            }
         }
     }
 

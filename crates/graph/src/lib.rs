@@ -68,7 +68,7 @@ pub use edits::{EditBatch, EditError};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use mem::{MemAccounted, MemFootprint};
 pub use paged::{AdjacencyStore, PagedAdjacency};
-pub use partition::{BlockPartitioner, HashPartitioner, Partitioner, PlannedPartitioner};
+pub use partition::{BlockPartitioner, HashPartitioner, HubPull, Partitioner, PlannedPartitioner};
 pub use rng::{DetRng, PickKey};
 pub use sharding::{
     compact_slot_deltas, split_deltas, split_slot_deltas, BoundaryTracker, SlotDelta,

@@ -134,6 +134,20 @@ impl Partitioner for BfsPartitioner {
     }
 }
 
+/// A forming hub and the spoke frontier that should ride along with it
+/// during a repartition, so the hub's correction cascades stay
+/// shard-local. Detected from per-window degree deltas (see the serve
+/// layer's hub tracker); consumed by
+/// [`PlannedPartitioner::rebalance_with_hubs`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HubPull {
+    /// The high-degree-gain vertex to pin.
+    pub hub: VertexId,
+    /// Its current neighbors, pulled onto the hub's shard (ascending id,
+    /// best effort under the load cap).
+    pub spokes: Vec<VertexId>,
+}
+
 /// A materialized assignment for an open-ended vertex space: ids covered
 /// by the plan use it, ids beyond it (vertices created after planning)
 /// fall back to hashing. This is what a long-lived sharded service needs —
@@ -211,17 +225,79 @@ impl PlannedPartitioner {
     /// keep their previous owner. Minimizes row migration while tracking
     /// the evolving community structure.
     pub fn rebalance(prev: &dyn Partitioner, cover: &crate::Cover, n: usize, parts: usize) -> Self {
+        Self::rebalance_with_hubs(prev, cover, n, parts, &[])
+    }
+
+    /// [`rebalance`](Self::rebalance) with a hub-pull pass in front: each
+    /// forming hub and its spoke frontier are pinned to a single shard
+    /// *before* communities are placed, so a flash crowd's correction
+    /// cascades stay shard-local instead of fanning out across the
+    /// boundary exchange. Placement is majority vote of `{hub} ∪ spokes`
+    /// under `prev` (ties to the lower shard; least-loaded shard if the
+    /// vote target is past the load cap); the hub lands unconditionally,
+    /// spokes in ascending id until the cap. Pulls are applied in the
+    /// order given, first claim wins, and everything else follows the
+    /// sticky community pass unchanged.
+    pub fn rebalance_with_hubs(
+        prev: &dyn Partitioner,
+        cover: &crate::Cover,
+        n: usize,
+        parts: usize,
+        pulls: &[HubPull],
+    ) -> Self {
         assert!(parts > 0, "need at least one partition");
         let fallback = HashPartitioner::new(parts);
         // As in `from_cover`, the id universe is the larger of `n` and
         // the highest community member — grown ids stick with their
-        // community rather than falling through to `prev`'s hash.
-        let universe = cover_universe(cover, n);
+        // community rather than falling through to `prev`'s hash. Hub
+        // pulls may likewise name grown ids.
+        let universe = cover_universe(cover, n).max(
+            pulls
+                .iter()
+                .flat_map(|p| std::iter::once(p.hub).chain(p.spokes.iter().copied()))
+                .map(|v| v as usize + 1)
+                .max()
+                .unwrap_or(0),
+        );
         let cap = (universe.div_ceil(parts) * 5).div_ceil(4).max(1); // ~1.25× fair share
-        let mut order: Vec<usize> = (0..cover.len()).collect();
-        order.sort_by_key(|&c| std::cmp::Reverse(cover.communities()[c].len()));
         let mut load = vec![0usize; parts];
         let mut assignment = vec![u32::MAX; universe];
+        for pull in pulls {
+            let mut members = Vec::with_capacity(pull.spokes.len() + 1);
+            members.push(pull.hub);
+            let mut spokes: Vec<VertexId> = pull
+                .spokes
+                .iter()
+                .copied()
+                .filter(|&s| s != pull.hub)
+                .collect();
+            spokes.sort_unstable();
+            spokes.dedup();
+            members.extend(spokes);
+            members.retain(|&v| assignment[v as usize] == u32::MAX);
+            if members.is_empty() {
+                continue;
+            }
+            let mut votes = vec![0usize; parts];
+            for &v in &members {
+                votes[prev.assign(v)] += 1;
+            }
+            let preferred = (0..parts).max_by_key(|&s| (votes[s], parts - s)).unwrap();
+            let shard = if load[preferred] + members.len() <= cap {
+                preferred
+            } else {
+                (0..parts).min_by_key(|&s| load[s]).unwrap()
+            };
+            for &v in &members {
+                if load[shard] >= cap && v != pull.hub {
+                    break; // the hub itself always lands
+                }
+                assignment[v as usize] = shard as u32;
+                load[shard] += 1;
+            }
+        }
+        let mut order: Vec<usize> = (0..cover.len()).collect();
+        order.sort_by_key(|&c| std::cmp::Reverse(cover.communities()[c].len()));
         for c in order {
             let members = &cover.communities()[c];
             let mut votes = vec![0usize; parts];
@@ -480,6 +556,115 @@ mod tests {
         let cap = (16usize.div_ceil(2) * 5).div_ceil(4);
         assert!(counts.iter().all(|&c| c <= cap + 5), "{counts:?}");
         assert!(counts[1] > 0, "cap never pushed anything off shard 0");
+    }
+
+    #[test]
+    fn rebalance_with_no_pulls_is_plain_rebalance() {
+        use crate::Cover;
+        let p0 = HashPartitioner::new(3);
+        let cover = Cover::new(vec![vec![0, 1, 2, 3], vec![4, 5, 6], vec![7, 8]]);
+        let a = PlannedPartitioner::rebalance(&p0, &cover, 9, 3);
+        let b = PlannedPartitioner::rebalance_with_hubs(&p0, &cover, 9, 3, &[]);
+        assert_eq!(a.assignment(9), b.assignment(9));
+    }
+
+    #[test]
+    fn hub_pull_colocates_hub_and_spokes() {
+        use crate::Cover;
+        // Under hashing the hub's spokes scatter; a pull gathers them.
+        let p0 = HashPartitioner::new(4);
+        let spokes: Vec<u32> = (1..=9).collect();
+        let scattered = spokes.iter().any(|&v| p0.assign(v) != p0.assign(0));
+        assert!(scattered, "test graph must start split");
+        let pulls = [HubPull {
+            hub: 0,
+            spokes: spokes.clone(),
+        }];
+        let cover = Cover::new(vec![(10..20u32).collect(), (20..30u32).collect()]);
+        let p1 = PlannedPartitioner::rebalance_with_hubs(&p0, &cover, 30, 4, &pulls);
+        let shard = p1.assign(0);
+        for &v in &spokes {
+            assert_eq!(p1.assign(v), shard, "spoke {v} left the hub's shard");
+        }
+        // The sticky community pass still runs for everyone else.
+        for community in cover.communities() {
+            let s = p1.assign(community[0]);
+            assert!(community.iter().all(|&v| p1.assign(v) == s));
+        }
+    }
+
+    #[test]
+    fn hub_pull_follows_the_majority_shard() {
+        // 3 of 4 group members live on shard 1 under prev: the pull must
+        // pick shard 1, not the hub's own previous shard.
+        let prev = BlockPartitioner::new(8, 2); // 0..4 → 0, 4..8 → 1
+        let pulls = [HubPull {
+            hub: 0,
+            spokes: vec![5, 6, 7],
+        }];
+        let cover = crate::Cover::new(vec![]);
+        let p = PlannedPartitioner::rebalance_with_hubs(&prev, &cover, 8, 2, &pulls);
+        assert_eq!(p.assign(0), 1);
+        for v in [5u32, 6, 7] {
+            assert_eq!(p.assign(v), 1);
+        }
+        // Untouched vertices keep their previous owner.
+        for v in [1u32, 2, 3] {
+            assert_eq!(p.assign(v), 0);
+        }
+    }
+
+    #[test]
+    fn hub_pull_respects_the_load_cap() {
+        // Cap for 8 vertices over 2 shards is ceil(8/2)*5/4 = 5. A pull
+        // of 1 hub + 7 spokes cannot fit: the hub and the first spokes
+        // land, the tail stays with its previous owner.
+        let prev = BlockPartitioner::new(8, 2);
+        let pulls = [HubPull {
+            hub: 0,
+            spokes: (1..8u32).collect(),
+        }];
+        let cover = crate::Cover::new(vec![]);
+        let p = PlannedPartitioner::rebalance_with_hubs(&prev, &cover, 8, 2, &pulls);
+        let hub_shard = p.assign(0);
+        let with_hub = (0..8u32).filter(|&v| p.assign(v) == hub_shard).count();
+        let cap = (8usize.div_ceil(2) * 5).div_ceil(4);
+        assert!(with_hub <= cap, "pull overfilled shard: {with_hub} > {cap}");
+        assert!(with_hub >= 2, "pull placed nothing beyond the hub");
+    }
+
+    #[test]
+    fn overlapping_pulls_first_claim_wins() {
+        let prev = BlockPartitioner::new(6, 2); // 0..3 → 0, 3..6 → 1
+        let pulls = [
+            HubPull {
+                hub: 0,
+                spokes: vec![1, 2],
+            },
+            // Hub 5's pull names vertex 2, already claimed by hub 0.
+            HubPull {
+                hub: 5,
+                spokes: vec![2, 4],
+            },
+        ];
+        let cover = crate::Cover::new(vec![]);
+        let p = PlannedPartitioner::rebalance_with_hubs(&prev, &cover, 6, 2, &pulls);
+        assert_eq!(p.assign(2), p.assign(0), "first pull keeps its claim");
+        assert_eq!(p.assign(4), p.assign(5));
+        assert_ne!(p.assign(0), p.assign(5));
+    }
+
+    #[test]
+    fn hub_pull_handles_grown_ids_beyond_n() {
+        let prev = HashPartitioner::new(2);
+        let pulls = [HubPull {
+            hub: 40,
+            spokes: vec![41, 42],
+        }];
+        let cover = crate::Cover::new(vec![vec![0, 1]]);
+        let p = PlannedPartitioner::rebalance_with_hubs(&prev, &cover, 4, 2, &pulls);
+        assert_eq!(p.assign(41), p.assign(40));
+        assert_eq!(p.assign(42), p.assign(40));
     }
 
     #[test]

@@ -54,6 +54,7 @@
 //! The facade is [`CommunityService`]; see its docs for a runnable
 //! example.
 
+pub(crate) mod hubs;
 pub mod maintain;
 pub mod policy;
 pub mod query;
@@ -69,6 +70,10 @@ pub use queue::EditOp;
 pub use service::{
     CommunityService, ExchangeMode, IngestHandle, ServeConfig, ServiceClosed, TraceOptions,
 };
+
+// Re-exported so callers can tune serve-path damping without a direct
+// `rslpa_core` dependency.
+pub use rslpa_core::DampingConfig;
 pub use snapshot::{
     fingerprint_weights, membership_diff, CommunitySnapshot, MembershipDiff, SnapshotReader,
     SnapshotStore,

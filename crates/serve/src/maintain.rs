@@ -29,6 +29,7 @@ use rslpa_core::{DetectionResult, IncrementalPostprocess};
 use rslpa_graph::{AdjacencyGraph, EditBatch, FxHashMap, SlotDelta, VertexId};
 use rslpa_trace::{names, TraceWriter};
 
+use crate::hubs::HubTracker;
 use crate::policy::FlushPolicy;
 use crate::queue::{Command, EditOp, EditQueue};
 use crate::shards::RepairEngine;
@@ -109,6 +110,8 @@ pub(crate) struct MaintenanceLoop {
     pub(crate) resolve_scratch: FxHashMap<(VertexId, VertexId), bool>,
     /// Slot-delta stream scratch, retained across flushes.
     pub(crate) slot_deltas: Vec<SlotDelta>,
+    /// Per-window degree-delta tracker feeding hub-aware repartitioning.
+    pub(crate) hubs: HubTracker,
     /// Flight-recorder handle for lane 0 (this thread). A writer against a
     /// disabled tracer costs one relaxed load per span site.
     pub(crate) trace: TraceWriter,
@@ -252,6 +255,7 @@ impl MaintenanceLoop {
         // into their own partitions (in parallel, off this thread), so
         // there is nothing central to do.
         if !batch.is_empty() {
+            self.hubs.note_batch(&batch);
             if !self.engine.shard_owned_counters() {
                 let _span = self.trace.span(names::COUNTER_UPKEEP);
                 let counters_started = Instant::now();
@@ -323,10 +327,16 @@ impl MaintenanceLoop {
         // Re-shard around the communities just published: the ownership
         // map tracks the structure it serves, so cascade locality does
         // not decay as the graph drifts from the genesis partition.
+        // Forming hubs (top degree gainers since the last repartition)
+        // are pulled — spokes and all — onto single shards first.
         {
             let _span = self.trace.span(names::PUBLISH_MIGRATE);
+            self.stats
+                .set_max_degree_delta(self.hubs.max_degree_delta().max(0) as u64);
+            let pulls = self.hubs.take_hubs(self.engine.graph());
+            self.stats.note_hub_pulls(pulls.len() as u64);
             self.engine
-                .repartition(&detection.result.cover, &self.stats);
+                .repartition(&detection.result.cover, &pulls, &self.stats);
         }
         drop(publish_span);
         // Publish is the natural low-rate point to fold the recorder's

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use rslpa_core::{DetectionResult, RslpaConfig};
+use rslpa_core::{DampingConfig, DetectionResult, RslpaConfig};
 use rslpa_graph::{AdjacencyGraph, VertexId};
 use rslpa_trace::Tracer;
 
@@ -111,7 +111,15 @@ pub struct ServeConfig {
 impl Default for ServeConfig {
     fn default() -> Self {
         Self {
-            detector: RslpaConfig::default(),
+            // The serve path is the one place damping defaults *on*: a
+            // live service is exactly where a flash crowd's unbounded
+            // cascade blows up flush latency and dirty fractions. The
+            // library default (`RslpaConfig`) stays `None` — batch and
+            // reference paths keep the paper's Algorithm 2 verbatim.
+            detector: RslpaConfig {
+                damping: Some(DampingConfig::default()),
+                ..RslpaConfig::default()
+            },
             policy: Box::new(BySize::default()),
             snapshot_every: 1,
             history: 64,
@@ -123,12 +131,31 @@ impl Default for ServeConfig {
 }
 
 impl ServeConfig {
-    /// Small-iteration config for tests and examples.
+    /// Small-iteration config for tests and examples. Keeps the serve
+    /// default of damping *on* (see [`Default`]).
     pub fn quick(iterations: usize, seed: u64) -> Self {
         Self {
-            detector: RslpaConfig::quick(iterations, seed),
+            detector: RslpaConfig {
+                damping: Some(DampingConfig::default()),
+                ..RslpaConfig::quick(iterations, seed)
+            },
             ..Self::default()
         }
+    }
+
+    /// Override the degree-capped cascade damping (builder style). The
+    /// serve default is `DampingConfig::default()` (cap 64, budget 64).
+    pub fn with_damping(mut self, damping: DampingConfig) -> Self {
+        self.detector.damping = Some(damping);
+        self
+    }
+
+    /// Disable cascade damping (builder style): restores the paper's
+    /// unbounded Algorithm 2 cascade on the serve path, reproducing the
+    /// pre-damping behavior bit-for-bit.
+    pub fn without_damping(mut self) -> Self {
+        self.detector.damping = None;
+        self
     }
 
     /// Replace the flush policy (builder style).
@@ -352,6 +379,7 @@ impl CommunityService {
             dirty_since_snapshot: false,
             resolve_scratch: Default::default(),
             slot_deltas: Vec::new(),
+            hubs: Default::default(),
             trace: tracer.writer(0),
         };
         let handle = std::thread::Builder::new()

@@ -48,7 +48,7 @@ use rslpa_core::{
 use rslpa_graph::sharding::split_deltas;
 use rslpa_graph::{
     AdjacencyGraph, AppliedBatch, BoundaryTracker, DynamicGraph, EditBatch, FxHashMap, FxHashSet,
-    MemAccounted, MemFootprint, Partitioner, PlannedPartitioner, SlotDelta, VertexId,
+    HubPull, MemAccounted, MemFootprint, Partitioner, PlannedPartitioner, SlotDelta, VertexId,
 };
 use rslpa_graph::{Cover, Label};
 use rslpa_trace::{names, TraceWriter, Tracer};
@@ -210,22 +210,29 @@ enum MeshCmd {
 /// Mesh worker replies.
 enum MeshReply {
     /// Phase A + local cascade done; `boundary` envelopes are staged for
-    /// the mesh (0 means this shard needs no exchange).
+    /// the mesh (0 means this shard needs no exchange). `pending` reports
+    /// whether damping left parked cascade work on this shard — the
+    /// coordinator must keep posting (possibly empty) flushes until it
+    /// drains, since the normal wake rule skips shards with no routed
+    /// deltas.
     Local {
         shard: usize,
         boundary: u64,
         report: ShardFlushReport,
+        pending: bool,
     },
     /// Mesh exchange ran to quiescence. `envelopes_sent` is counted by
     /// the port at its peer channels — independent of the route-side
     /// `report.boundary_msgs`, so the coordinator can cross-check the
-    /// two.
+    /// two. `pending` as in [`MeshReply::Local`] (exchange deliveries can
+    /// park new slots at over-cap receivers).
     Exchanged {
         shard: usize,
         report: ShardFlushReport,
         rounds: u64,
         batches_sent: u64,
         envelopes_sent: u64,
+        pending: bool,
     },
     Collected {
         shard: usize,
@@ -339,6 +346,7 @@ fn mesh_worker_loop(
                             shard: idx,
                             boundary,
                             report,
+                            pending: state.has_pending(),
                         })
                         .is_err()
                     {
@@ -375,6 +383,7 @@ fn mesh_worker_loop(
                             rounds: mesh.rounds,
                             batches_sent: mesh.batches_sent,
                             envelopes_sent: mesh.envelopes_sent,
+                            pending: state.has_pending(),
                         })
                         .is_err()
                     {
@@ -513,6 +522,13 @@ pub(crate) struct MailboxEngine {
     /// needs. Entries are evicted when their vertex migrates — the
     /// adopter marks it dirty and re-ships at the next collect.
     hist_cache: FxHashMap<VertexId, Vec<(Label, u32)>>,
+    /// Which shards reported parked (damped) cascade work after their
+    /// last command. The flush wake rule normally skips shards with no
+    /// routed deltas; a shard with pending work gets a possibly-empty
+    /// `Flush` anyway so its release budget keeps draining. Conservatively
+    /// all-true after a repartition (pending rows may have migrated to
+    /// any shard); each flush reply then settles the flag to truth.
+    pending_shards: Vec<bool>,
     /// Sticky publish failure: once a worker dies mid-collect, the
     /// shipped/dirty bookkeeping on the surviving workers no longer
     /// matches `hist_cache` (their diffs were consumed but never cached),
@@ -591,6 +607,7 @@ impl RepairEngine {
             let mut shard =
                 ShardRepairState::from_state(&state, &graph, s, Arc::clone(&partitioner));
             shard.set_value_pruned(config.value_pruned_cascade);
+            shard.set_damping(config.damping);
             shard
         };
         let engine = match mode {
@@ -676,6 +693,7 @@ impl RepairEngine {
                     draws: config.iterations + 1,
                     grid: config.tau1_grid,
                     hist_cache: FxHashMap::default(),
+                    pending_shards: vec![false; shards],
                     failed: None,
                     poisoner,
                 })
@@ -771,6 +789,7 @@ impl RepairEngine {
                     .apply_batch_streaming(batch, &mut dirty, slot_deltas)
                     .expect("net-resolved batch validates by construction");
                 stats.note_shard_flush(0, report.affected_vertices as u64, report.eta as u64);
+                stats.note_damped_deferrals(report.damped_deferrals as u64);
                 (report.eta as u64, dirty.len() as u64)
             }
             RepairEngine::Sharded(e) => e.apply(batch, stats, slot_deltas),
@@ -803,14 +822,16 @@ impl RepairEngine {
         }
     }
 
-    /// Re-plan the ownership map around the just-published cover and
-    /// migrate rows accordingly (no-op for a single writer). Must run
-    /// between flushes, when no envelope is in flight.
-    pub(crate) fn repartition(&mut self, cover: &Cover, stats: &ServeStats) {
+    /// Re-plan the ownership map around the just-published cover —
+    /// pinning each forming hub and its spoke frontier to one shard first
+    /// (see [`PlannedPartitioner::rebalance_with_hubs`]) — and migrate
+    /// rows accordingly (no-op for a single writer). Must run between
+    /// flushes, when no envelope is in flight.
+    pub(crate) fn repartition(&mut self, cover: &Cover, pulls: &[HubPull], stats: &ServeStats) {
         match self {
             RepairEngine::Single(_) => {}
-            RepairEngine::Sharded(e) => e.repartition(cover, stats),
-            RepairEngine::Mailbox(e) => e.repartition(cover, stats),
+            RepairEngine::Sharded(e) => e.repartition(cover, pulls, stats),
+            RepairEngine::Mailbox(e) => e.repartition(cover, pulls, stats),
         }
     }
 }
@@ -910,11 +931,14 @@ impl ShardedEngine {
         }
         let mut eta = 0u64;
         let mut dirty = 0u64;
+        let mut deferred = 0u64;
         for (s, report) in reports.iter().enumerate() {
             stats.note_shard_flush(s, routed[s], report.eta as u64);
             eta += report.eta as u64;
             dirty += report.dirty_vertices as u64;
+            deferred += report.damped_deferrals as u64;
         }
+        stats.note_damped_deferrals(deferred);
         stats.note_exchange(rounds, boundary_msgs);
         stats.note_channel_hops(hops);
         // Every boundary envelope is relayed: worker → coordinator →
@@ -926,17 +950,19 @@ impl ShardedEngine {
 }
 
 impl ShardedEngine {
-    /// Re-plan ownership stickily around `cover` and migrate the rows of
-    /// every vertex whose owner changed. Runs at publish time, between
-    /// flushes, so no envelope is in flight and shard queues are empty.
-    fn repartition(&mut self, cover: &Cover, stats: &ServeStats) {
+    /// Re-plan ownership stickily around `cover` (hub pulls first) and
+    /// migrate the rows of every vertex whose owner changed. Runs at
+    /// publish time, between flushes, so no envelope is in flight and
+    /// shard queues are empty.
+    fn repartition(&mut self, cover: &Cover, pulls: &[HubPull], stats: &ServeStats) {
         let shards = self.workers.len();
         let n = self.graph.graph().num_vertices();
-        let next: Arc<dyn Partitioner> = Arc::new(PlannedPartitioner::rebalance(
+        let next: Arc<dyn Partitioner> = Arc::new(PlannedPartitioner::rebalance_with_hubs(
             self.partitioner.as_ref(),
             cover,
             n,
             shards,
+            pulls,
         ));
         // Which rows leave which shard?
         let mut leaving: Vec<Vec<VertexId>> = vec![Vec::new(); shards];
@@ -1054,9 +1080,12 @@ impl MailboxEngine {
         let mut participants = 0usize;
         let mut hops = 0u64;
         for (s, deltas) in per_shard.into_iter().enumerate() {
-            if deltas.is_empty() {
+            if deltas.is_empty() && !self.pending_shards[s] {
                 continue; // sub-queue stays empty; the shard sleeps
             }
+            // A shard with parked damped work gets a (possibly empty)
+            // flush so its release budget keeps draining — exactly the
+            // per-flush release the centralized path runs unconditionally.
             routed[s] = deltas.len() as u64;
             participants += 1;
             hops += 1;
@@ -1073,9 +1102,11 @@ impl MailboxEngine {
                     shard,
                     boundary,
                     report,
+                    pending,
                 } => {
                     reports[shard].absorb(&report);
                     staged += boundary;
+                    self.pending_shards[shard] = pending;
                 }
                 _ => unreachable!("only flush replies in flight"),
             }
@@ -1099,12 +1130,14 @@ impl MailboxEngine {
                         rounds: r,
                         batches_sent,
                         envelopes_sent,
+                        pending,
                     } => {
                         envelopes += report.boundary_msgs as u64;
                         delivered += envelopes_sent;
                         reports[shard].absorb(&report);
                         rounds = rounds.max(r);
                         hops += batches_sent;
+                        self.pending_shards[shard] = pending;
                     }
                     _ => unreachable!("only exchange replies in flight"),
                 }
@@ -1118,11 +1151,14 @@ impl MailboxEngine {
         }
         let mut eta = 0u64;
         let mut dirty = 0u64;
+        let mut deferred = 0u64;
         for (s, report) in reports.iter().enumerate() {
             stats.note_shard_flush(s, routed[s], report.eta as u64);
             eta += report.eta as u64;
             dirty += report.dirty_vertices as u64;
+            deferred += report.damped_deferrals as u64;
         }
+        stats.note_damped_deferrals(deferred);
         stats.note_exchange(rounds, envelopes);
         stats.note_channel_hops(hops);
         // Mesh delivery is direct: one channel hop per envelope. Counted
@@ -1215,14 +1251,15 @@ impl MailboxEngine {
     /// counter — edges co-owned again later are re-merged lazily at the
     /// next collect. Runs at publish time, between flushes, when no
     /// envelope or undrained slot delta is in flight.
-    fn repartition(&mut self, cover: &Cover, stats: &ServeStats) {
+    fn repartition(&mut self, cover: &Cover, pulls: &[HubPull], stats: &ServeStats) {
         let shards = self.workers.len();
         let n = self.graph.graph().num_vertices();
-        let next: Arc<dyn Partitioner> = Arc::new(PlannedPartitioner::rebalance(
+        let next: Arc<dyn Partitioner> = Arc::new(PlannedPartitioner::rebalance_with_hubs(
             self.partitioner.as_ref(),
             cover,
             n,
             shards,
+            pulls,
         ));
         let mut leaving: Vec<Vec<VertexId>> = vec![Vec::new(); shards];
         let mut moved = 0u64;
@@ -1250,6 +1287,12 @@ impl MailboxEngine {
             match self.recv_reply() {
                 MeshReply::Extracted { rows } => {
                     for (v, row) in rows {
+                        // A migrating row can carry parked damped slots;
+                        // its adopter must keep getting flushes so the
+                        // release budget drains there.
+                        if !row.pending.is_empty() {
+                            self.pending_shards[next.assign(v)] = true;
+                        }
                         incoming[next.assign(v)].push((v, row));
                     }
                 }

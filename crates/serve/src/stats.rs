@@ -377,6 +377,15 @@ pub struct ServeStats {
     pub repartitions: AtomicU64,
     /// Vertex rows migrated between shards by repartitions.
     pub vertices_migrated: AtomicU64,
+    /// Forming hubs pulled (with their spoke frontiers) onto single
+    /// shards by hub-aware repartitions.
+    pub hub_pulls: AtomicU64,
+    /// Cascade re-sprays deferred at over-cap vertices by degree-capped
+    /// damping (0 with damping off).
+    pub damped_deferrals: AtomicU64,
+    /// Gauge: largest net per-vertex degree gain observed in the window
+    /// ending at the last publish (the hub-detector's input signal).
+    pub max_degree_delta: AtomicU64,
     /// Gauge: coordinator-resident live bytes (graph + label rows +
     /// counters, per the engine's ownership split) at the last publish.
     pub mem_live_bytes: AtomicU64,
@@ -462,6 +471,9 @@ impl ServeStats {
             boundary_vertices: AtomicU64::new(0),
             repartitions: AtomicU64::new(0),
             vertices_migrated: AtomicU64::new(0),
+            hub_pulls: AtomicU64::new(0),
+            damped_deferrals: AtomicU64::new(0),
+            max_degree_delta: AtomicU64::new(0),
             mem_live_bytes: AtomicU64::new(0),
             mem_capacity_bytes: AtomicU64::new(0),
             mem_vertices: AtomicU64::new(0),
@@ -592,6 +604,22 @@ impl ServeStats {
         bump!(self.vertices_migrated, moved);
     }
 
+    /// Hubs nominated for this publish's repartition (0 most windows).
+    pub(crate) fn note_hub_pulls(&self, pulls: u64) {
+        bump!(self.hub_pulls, pulls);
+    }
+
+    /// Cascade deliveries deferred by degree-capped damping in one flush.
+    pub(crate) fn note_damped_deferrals(&self, deferred: u64) {
+        bump!(self.damped_deferrals, deferred);
+    }
+
+    /// Gauge: the hub-detector's max net degree delta for the window
+    /// ending at this publish.
+    pub(crate) fn set_max_degree_delta(&self, delta: u64) {
+        self.max_degree_delta.store(delta, Ordering::Relaxed);
+    }
+
     pub(crate) fn note_flush(&self, applied: u64, rejected: u64, eta: u64, took: Duration) {
         bump!(self.batches_flushed);
         bump!(self.edits_applied, applied);
@@ -661,6 +689,9 @@ impl ServeStats {
             boundary_vertices: self.boundary_vertices.load(Ordering::Relaxed),
             repartitions: self.repartitions.load(Ordering::Relaxed),
             vertices_migrated: self.vertices_migrated.load(Ordering::Relaxed),
+            hub_pulls: self.hub_pulls.load(Ordering::Relaxed),
+            damped_deferrals: self.damped_deferrals.load(Ordering::Relaxed),
+            max_degree_delta: self.max_degree_delta.load(Ordering::Relaxed),
             mem_live_bytes: self.mem_live_bytes.load(Ordering::Relaxed),
             mem_capacity_bytes: self.mem_capacity_bytes.load(Ordering::Relaxed),
             mem_vertices: self.mem_vertices.load(Ordering::Relaxed),
@@ -761,6 +792,12 @@ pub struct StatsReport {
     pub repartitions: u64,
     /// See [`ServeStats::vertices_migrated`].
     pub vertices_migrated: u64,
+    /// See [`ServeStats::hub_pulls`].
+    pub hub_pulls: u64,
+    /// See [`ServeStats::damped_deferrals`].
+    pub damped_deferrals: u64,
+    /// See [`ServeStats::max_degree_delta`].
+    pub max_degree_delta: u64,
     /// See [`ServeStats::mem_live_bytes`].
     pub mem_live_bytes: u64,
     /// See [`ServeStats::mem_capacity_bytes`].
@@ -827,7 +864,11 @@ impl StatsReport {
     /// `boundary_hists_total`, `boundary_dirty_marked`, `collect_bytes`,
     /// and `publish_failures`; version 4 added the dirty-region counters
     /// `dirty_vertices` / `dirty_span` / `dirty_fraction` and the
-    /// `quality_per_window` array of externally-scored publish windows.
+    /// `quality_per_window` array of externally-scored publish windows;
+    /// version 5 added the hub-aware repartition counters `hub_pulls` /
+    /// `repartition_vertices_moved` (an alias of `vertices_migrated`),
+    /// the damping counter `damped_deferrals`, and the per-window degree
+    /// gauge `max_degree_delta`.
     pub fn to_json(&self) -> String {
         let quality = self
             .quality_per_window
@@ -862,7 +903,7 @@ impl StatsReport {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "{{\"schema_version\":4,\
+            "{{\"schema_version\":5,\
              \"edits_enqueued\":{},\"edits_applied\":{},\"edits_rejected\":{},\
              \"batches_flushed\":{},\"snapshots_published\":{},\"slots_repaired\":{},\
              \"slot_deltas_net\":{},\"barriers\":{},\
@@ -884,6 +925,8 @@ impl StatsReport {
              \"barrier_wait_us\":{{\"count\":{},\"mean\":{:.3},\"p50\":{:.3},\"p99\":{:.3}}},\
              \"cut_edges\":{},\"boundary_vertices\":{},\
              \"repartitions\":{},\"vertices_migrated\":{},\
+             \"repartition_vertices_moved\":{},\"hub_pulls\":{},\
+             \"damped_deferrals\":{},\"max_degree_delta\":{},\
              \"mem_live_bytes\":{},\"mem_capacity_bytes\":{},\
              \"mem_vertices\":{},\"bytes_per_vertex\":{:.2},\
              \"query_count\":{},\"query_mean_ns\":{},\"query_p50_ns\":{},\
@@ -940,6 +983,10 @@ impl StatsReport {
             self.boundary_vertices,
             self.repartitions,
             self.vertices_migrated,
+            self.vertices_migrated,
+            self.hub_pulls,
+            self.damped_deferrals,
+            self.max_degree_delta,
             self.mem_live_bytes,
             self.mem_capacity_bytes,
             self.mem_vertices,
@@ -1225,7 +1272,7 @@ mod tests {
         assert!((s0.attribution_coverage() - 0.99).abs() < 1e-9);
         assert_eq!(r.shards[1].attribution_coverage(), 0.0);
         let json = r.to_json();
-        assert!(json.starts_with("{\"schema_version\":4,"));
+        assert!(json.starts_with("{\"schema_version\":5,"));
         assert!(json.contains("\"attribution_per_shard\":{\"work_us\":[600.0,0.0]"));
         assert!(json.contains("\"barrier_wait_us\":[150.0,0.0]"));
         assert!(json.contains("\"barrier_arrive_us\":[100.0,0.0]"));
@@ -1234,6 +1281,28 @@ mod tests {
         assert!(json.contains("\"wall_us\":[1000.0,0.0]"));
         assert!(json.contains("\"coverage\":[0.990,0.000]"));
         assert!(json.contains("\"trace_dropped_records\":0"));
+    }
+
+    #[test]
+    fn hub_and_damping_counters_roll_into_json() {
+        let stats = ServeStats::with_shards(2);
+        stats.note_hub_pulls(3);
+        stats.note_damped_deferrals(40);
+        stats.note_damped_deferrals(2);
+        stats.set_max_degree_delta(97);
+        stats.set_max_degree_delta(12); // gauge: last write wins
+        stats.note_repartition(7);
+        let r = stats.report();
+        assert_eq!(r.hub_pulls, 3);
+        assert_eq!(r.damped_deferrals, 42);
+        assert_eq!(r.max_degree_delta, 12);
+        let json = r.to_json();
+        assert!(json.contains("\"hub_pulls\":3"));
+        assert!(json.contains("\"damped_deferrals\":42"));
+        assert!(json.contains("\"max_degree_delta\":12"));
+        // repartition_vertices_moved aliases vertices_migrated.
+        assert!(json.contains("\"vertices_migrated\":7"));
+        assert!(json.contains("\"repartition_vertices_moved\":7"));
     }
 
     #[test]
